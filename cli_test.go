@@ -1,0 +1,259 @@
+// Integration tests that build and drive the command-line tools the
+// way a user would, over the testdata programs.
+package pdt_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	binOnce sync.Once
+	binDir  string
+	binErr  error
+)
+
+// buildTools compiles all cmd/ binaries once per test run.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	binOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "pdt-bin-")
+		if err != nil {
+			binErr = err
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator), "./cmd/...")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			binErr = err
+			binDir = string(out)
+			return
+		}
+		binDir = dir
+	})
+	if binErr != nil {
+		t.Fatalf("building tools: %v (%s)", binErr, binDir)
+	}
+	return binDir
+}
+
+func runTool(t *testing.T, name string, args ...string) (string, string, error) {
+	t.Helper()
+	bin := filepath.Join(buildTools(t), name)
+	cmd := exec.Command(bin, args...)
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	return out.String(), errb.String(), err
+}
+
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	tmp := t.TempDir()
+	pdbPath := filepath.Join(tmp, "stack.pdb")
+
+	// cxxparse: C++ → PDB.
+	_, stderr, err := runTool(t, "cxxparse", "-v", "-o", pdbPath,
+		"testdata/cxx/stack/TestStackAr.cpp")
+	if err != nil {
+		t.Fatalf("cxxparse: %v\n%s", err, stderr)
+	}
+	if !strings.Contains(stderr, "PDB items") {
+		t.Errorf("cxxparse -v output: %q", stderr)
+	}
+	data, err := os.ReadFile(pdbPath)
+	if err != nil || !strings.HasPrefix(string(data), "<PDB 1.0>") {
+		t.Fatalf("PDB file: %v", err)
+	}
+
+	// pdbtree: Figure 5 output.
+	out, _, err := runTool(t, "pdbtree", "-calls", pdbPath)
+	if err != nil {
+		t.Fatalf("pdbtree: %v", err)
+	}
+	for _, want := range []string{"main()", "`--> Stack<int>::push(const int &)",
+		"`--> Stack<int>::isFull()"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pdbtree missing %q:\n%s", want, out)
+		}
+	}
+
+	// pdbconv: readable dump.
+	out, _, err = runTool(t, "pdbconv", pdbPath)
+	if err != nil {
+		t.Fatalf("pdbconv: %v", err)
+	}
+	if !strings.Contains(out, "Program Database (PDB 1.0)") ||
+		!strings.Contains(out, "Stack<int>") {
+		t.Errorf("pdbconv output:\n%s", out[:200])
+	}
+
+	// pdbhtml: documentation tree.
+	htmlDir := filepath.Join(tmp, "docs")
+	_, stderr, err = runTool(t, "pdbhtml", "-d", htmlDir, pdbPath)
+	if err != nil {
+		t.Fatalf("pdbhtml: %v\n%s", err, stderr)
+	}
+	if _, err := os.Stat(filepath.Join(htmlDir, "index.html")); err != nil {
+		t.Errorf("index.html missing: %v", err)
+	}
+
+	// pdbmerge: self-merge must keep the structure and parse.
+	merged := filepath.Join(tmp, "merged.pdb")
+	_, stderr, err = runTool(t, "pdbmerge", "-o", merged, pdbPath, pdbPath)
+	if err != nil {
+		t.Fatalf("pdbmerge: %v\n%s", err, stderr)
+	}
+	out, _, err = runTool(t, "pdbtree", "-calls", merged)
+	if err != nil {
+		t.Fatalf("pdbtree on merged: %v", err)
+	}
+	if strings.Count(out, "main()\n") != 1 {
+		t.Errorf("self-merge duplicated main:\n%s", out)
+	}
+}
+
+func TestCLITaurun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	out, stderr, err := runTool(t, "taurun", "testdata/cxx/pooma/krylov.cpp")
+	if err != nil {
+		t.Fatalf("taurun: %v\n%s", err, stderr)
+	}
+	for _, want := range []string{"iterations 16", "converged 1",
+		"%Time", "conjugateGradient()", "axpy()"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("taurun missing %q", want)
+		}
+	}
+}
+
+func TestCLITauinstr(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	dir := t.TempDir()
+	out, stderr, err := runTool(t, "tauinstr", "-d", dir,
+		"testdata/cxx/pooma/krylov.cpp")
+	if err != nil {
+		t.Fatalf("tauinstr: %v\n%s", err, stderr)
+	}
+	if !strings.Contains(out, "instrumented") {
+		t.Errorf("tauinstr output: %q", out)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) == 0 {
+		t.Fatal("no instrumented files written")
+	}
+	found := false
+	for _, e := range entries {
+		b, _ := os.ReadFile(filepath.Join(dir, e.Name()))
+		if strings.Contains(string(b), "TAU_PROFILE(") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no TAU_PROFILE macros in instrumented output")
+	}
+}
+
+func TestCLISiloonAndSlang(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	tmp := t.TempDir()
+	lib := filepath.Join(tmp, "lib.cpp")
+	os.WriteFile(lib, []byte(`
+class Adder {
+public:
+    Adder() : total(0) { }
+    void add(int x) { total += x; }
+    int sum() const { return total; }
+private:
+    int total;
+};
+int main() { return 0; }
+`), 0o644)
+
+	// siloongen -list shows the binding table.
+	out, stderr, err := runTool(t, "siloongen", "-list", lib)
+	if err != nil {
+		t.Fatalf("siloongen: %v\n%s", err, stderr)
+	}
+	if !strings.Contains(out, "new__Adder") || !strings.Contains(out, "Adder__add") {
+		t.Errorf("siloongen -list:\n%s", out)
+	}
+
+	// siloongen writes the generated files.
+	genDir := filepath.Join(tmp, "gen")
+	_, stderr, err = runTool(t, "siloongen", "-d", genDir, lib)
+	if err != nil {
+		t.Fatalf("siloongen: %v\n%s", err, stderr)
+	}
+	for _, f := range []string{"bindings.slang", "glue.cpp"} {
+		if _, err := os.Stat(filepath.Join(genDir, f)); err != nil {
+			t.Errorf("%s missing: %v", f, err)
+		}
+	}
+
+	// slang drives the library.
+	scriptPath := filepath.Join(tmp, "drv.slang")
+	os.WriteFile(scriptPath, []byte(`
+a = Adder_new();
+a.add(40);
+a.add(2);
+print(a.sum());
+Adder_delete(a);
+`), 0o644)
+	out, stderr, err = runTool(t, "slang", "-lib", lib, scriptPath)
+	if err != nil {
+		t.Fatalf("slang: %v\n%s", err, stderr)
+	}
+	if strings.TrimSpace(out) != "42" {
+		t.Errorf("slang output = %q, want 42", out)
+	}
+
+	// slang without a library runs plain scripts.
+	plainScript := filepath.Join(tmp, "plain.slang")
+	os.WriteFile(plainScript, []byte(`print(6 * 7);`), 0o644)
+	out, _, err = runTool(t, "slang", plainScript)
+	if err != nil || strings.TrimSpace(out) != "42" {
+		t.Errorf("plain slang: %v %q", err, out)
+	}
+}
+
+func TestCLIErrorReporting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	tmp := t.TempDir()
+	bad := filepath.Join(tmp, "bad.cpp")
+	os.WriteFile(bad, []byte("Unknown broken ;;; int main( { return"), 0o644)
+	_, stderr, err := runTool(t, "cxxparse", bad)
+	if err == nil {
+		t.Error("cxxparse should fail on broken input")
+	}
+	if stderr == "" {
+		t.Error("no diagnostics printed")
+	}
+	// Missing file.
+	_, _, err = runTool(t, "cxxparse", filepath.Join(tmp, "nope.cpp"))
+	if err == nil {
+		t.Error("cxxparse should fail on missing file")
+	}
+	// pdbtree on garbage.
+	garbage := filepath.Join(tmp, "garbage.pdb")
+	os.WriteFile(garbage, []byte("not a pdb"), 0o644)
+	_, _, err = runTool(t, "pdbtree", garbage)
+	if err == nil {
+		t.Error("pdbtree should fail on a non-PDB file")
+	}
+}

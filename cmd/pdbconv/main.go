@@ -1,0 +1,41 @@
+// pdbconv converts files in the compact PDB format into a more
+// readable format (Table 2).
+//
+// Usage:
+//
+//	pdbconv [-o out.txt] file.pdb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pdt/internal/ductape"
+	"pdt/internal/tools/conv"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default: stdout)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pdbconv [-o out.txt] file.pdb")
+		os.Exit(2)
+	}
+	db, err := ductape.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdbconv: %v\n", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pdbconv: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	conv.Convert(w, db)
+}

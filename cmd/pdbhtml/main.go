@@ -1,0 +1,40 @@
+// pdbhtml automatically creates web-based documentation that enables
+// navigation of code via HTML links (Table 2).
+//
+// Usage:
+//
+//	pdbhtml [-d outdir] file.pdb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pdt/internal/ductape"
+	"pdt/internal/tools/html"
+)
+
+func main() {
+	dir := flag.String("d", "pdbhtml-out", "output directory")
+	noSrc := flag.Bool("nosrc", false, "do not generate source listings")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pdbhtml [-d outdir] file.pdb")
+		os.Exit(2)
+	}
+	db, err := ductape.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdbhtml: %v\n", err)
+		os.Exit(1)
+	}
+	loader := html.DiskLoader
+	if *noSrc {
+		loader = nil
+	}
+	if err := html.Generate(db, *dir, loader); err != nil {
+		fmt.Fprintf(os.Stderr, "pdbhtml: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("pdbhtml: wrote documentation to %s/\n", *dir)
+}

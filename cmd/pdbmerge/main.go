@@ -1,0 +1,39 @@
+// pdbmerge merges PDB files from separate compilations into one PDB
+// file, eliminating duplicate template instantiations in the process
+// (Table 2).
+//
+// Usage:
+//
+//	pdbmerge [-o out.pdb] a.pdb b.pdb ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pdt/internal/tools/merge"
+)
+
+func main() {
+	out := flag.String("o", "", "output PDB file (default: stdout)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: pdbmerge [-o out.pdb] a.pdb b.pdb ...")
+		os.Exit(2)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pdbmerge: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := merge.Files(w, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,48 @@
+// pdbtree displays file inclusion, class hierarchy, and call graph
+// trees of a program database (Table 2, Figure 5).
+//
+// Usage:
+//
+//	pdbtree [-files] [-classes] [-calls] file.pdb
+//
+// With no selection flags, all three trees are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pdt/internal/ductape"
+	"pdt/internal/tools/tree"
+)
+
+func main() {
+	files := flag.Bool("files", false, "print the file inclusion tree")
+	classes := flag.Bool("classes", false, "print the class hierarchy")
+	calls := flag.Bool("calls", false, "print the static call graph")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pdbtree [-files] [-classes] [-calls] file.pdb")
+		os.Exit(2)
+	}
+	db, err := ductape.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdbtree: %v\n", err)
+		os.Exit(1)
+	}
+	all := !*files && !*classes && !*calls
+	if all || *files {
+		fmt.Println("=== file inclusion tree ===")
+		tree.PrintFileTree(os.Stdout, db)
+	}
+	if all || *classes {
+		fmt.Println("=== class hierarchy ===")
+		tree.PrintClassHierarchy(os.Stdout, db)
+		fmt.Println()
+	}
+	if all || *calls {
+		fmt.Println("=== static call graph ===")
+		tree.PrintCallGraph(os.Stdout, db)
+	}
+}

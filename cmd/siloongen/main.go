@@ -1,0 +1,98 @@
+// siloongen generates SILOON bindings (§4.2) for a C++ library: a
+// slang wrapper module and the C++ registration glue, derived from the
+// library's program database.
+//
+// Usage:
+//
+//	siloongen [-d outdir] [-free] [-class name]... file.cpp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pdt/internal/core"
+	"pdt/internal/ductape"
+	"pdt/internal/ilanalyzer"
+	"pdt/internal/siloon"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint(*s) }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var classes stringList
+	dir := flag.String("d", "siloon-out", "output directory")
+	free := flag.Bool("free", true, "also wrap free functions")
+	list := flag.Bool("list", false, "print the binding table instead of writing files")
+	templates := flag.Bool("templates", false, "list class templates and their instantiations (PDT extension, paper §6)")
+	var instantiate stringList
+	flag.Var(&instantiate, "instantiate", "generate an explicit instantiation, e.g. 'Stack:double' (repeatable; implies -templates output)")
+	flag.Var(&classes, "class", "wrap only the named class (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: siloongen [-d outdir] file.cpp")
+		os.Exit(2)
+	}
+	opts := core.Options{}
+	fs := core.NewFileSet(opts)
+	res, err := core.CompileFile(fs, flag.Arg(0), opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "siloongen: %v\n", err)
+		os.Exit(1)
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Fprintf(os.Stderr, "%v\n", d)
+	}
+	if res.HasErrors() {
+		os.Exit(1)
+	}
+	db := ductape.FromRaw(ilanalyzer.Analyze(res.Unit, ilanalyzer.Options{}))
+	if *templates || len(instantiate) > 0 {
+		fmt.Print(siloon.DescribeTemplates(siloon.ListClassTemplates(db)))
+		if len(instantiate) > 0 {
+			var reqs []siloon.InstantiationRequest
+			for _, spec := range instantiate {
+				name, args, ok := strings.Cut(spec, ":")
+				if !ok {
+					fmt.Fprintf(os.Stderr, "siloongen: bad -instantiate %q (want Template:arg[,arg])\n", spec)
+					os.Exit(2)
+				}
+				reqs = append(reqs, siloon.InstantiationRequest{
+					Template: name, Args: strings.Split(args, ","),
+				})
+			}
+			fmt.Println("\n// add this translation unit to the library and re-run siloongen:")
+			fmt.Print(siloon.GenerateInstantiations(reqs))
+		}
+		return
+	}
+	b := siloon.Generate(db, siloon.Options{Classes: classes, IncludeFree: *free})
+	if *list {
+		fmt.Print(b.Describe())
+		return
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "siloongen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(filepath.Join(*dir, "bindings.slang"), []byte(b.WrapperScript), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "siloongen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(filepath.Join(*dir, "glue.cpp"), []byte(b.GlueSource), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "siloongen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("siloongen: wrote %s/bindings.slang and %s/glue.cpp (%d bindings)\n",
+		*dir, *dir, len(b.Items))
+}

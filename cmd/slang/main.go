@@ -1,0 +1,68 @@
+// slang runs a slang script, optionally bridged to a C++ library via
+// SILOON bindings (§4.2, Figure 8).
+//
+// Usage:
+//
+//	slang script.slang                        # plain script
+//	slang -lib lib.cpp script.slang           # script with library access
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pdt/internal/core"
+	"pdt/internal/ductape"
+	"pdt/internal/ilanalyzer"
+	"pdt/internal/script"
+	"pdt/internal/siloon"
+)
+
+func main() {
+	lib := flag.String("lib", "", "C++ library to bridge (compiled and wrapped automatically)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: slang [-lib lib.cpp] script.slang")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slang: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *lib == "" {
+		it := script.NewInterp(os.Stdout)
+		if err := it.Run(string(src)); err != nil {
+			fmt.Fprintf(os.Stderr, "slang: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	opts := core.Options{}
+	fs := core.NewFileSet(opts)
+	res, err := core.CompileFile(fs, *lib, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slang: %v\n", err)
+		os.Exit(1)
+	}
+	if res.HasErrors() {
+		for _, d := range res.Diagnostics {
+			fmt.Fprintf(os.Stderr, "%v\n", d)
+		}
+		os.Exit(1)
+	}
+	db := ductape.FromRaw(ilanalyzer.Analyze(res.Unit, ilanalyzer.Options{}))
+	bindings := siloon.Generate(db, siloon.Options{IncludeFree: true})
+	_, sc, err := siloon.NewBridge(res.Unit, bindings, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slang: %v\n", err)
+		os.Exit(1)
+	}
+	if err := siloon.RunScript(sc, bindings, string(src)); err != nil {
+		fmt.Fprintf(os.Stderr, "slang: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,16 @@
+// Package pdt is a Go reproduction of the Program Database Toolkit
+// (PDT) from "A Tool Framework for Static and Dynamic Analysis of
+// Object-Oriented Software with Templates" (Lindlan et al., SC 2000).
+//
+// The pipeline mirrors the paper's Figure 2:
+//
+//	C++ source → frontend (internal/cpp/...) → IL (internal/il)
+//	           → IL Analyzer (internal/ilanalyzer) → PDB (internal/pdb)
+//	           → DUCTAPE API (internal/ductape)
+//	           → tools (internal/tools/...), TAU (internal/tau),
+//	             SILOON (internal/siloon)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// per-table/figure reproduction index. The benchmarks in bench_test.go
+// regenerate the quantitative results.
+package pdt

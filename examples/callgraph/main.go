@@ -1,0 +1,42 @@
+// The callgraph example reproduces the paper's Figure 5: the pdbtree
+// call-graph display implemented against the DUCTAPE API, run over the
+// Figure 1 Stack program. It prints the file inclusion tree, the class
+// hierarchy, and the static call graph.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pdt/internal/core"
+	"pdt/internal/ductape"
+	"pdt/internal/ilanalyzer"
+	"pdt/internal/tools/tree"
+	"pdt/internal/workload"
+)
+
+func main() {
+	opts := core.Options{}
+	fs := core.NewFileSet(opts)
+	for name, content := range workload.StackFiles() {
+		fs.AddVirtualFile(name, content)
+	}
+	res := core.CompileSource(fs, "TestStackAr.cpp",
+		workload.StackFiles()["TestStackAr.cpp"], opts)
+	if res.HasErrors() {
+		for _, d := range res.Diagnostics {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(1)
+	}
+	db := ductape.FromRaw(ilanalyzer.Analyze(res.Unit, ilanalyzer.Options{}))
+
+	fmt.Println("=== file inclusion tree ===")
+	tree.PrintFileTree(os.Stdout, db)
+
+	fmt.Println("=== class hierarchy ===")
+	tree.PrintClassHierarchy(os.Stdout, db)
+
+	fmt.Println("\n=== static call graph (Figure 5) ===")
+	tree.PrintCallGraph(os.Stdout, db)
+}

@@ -1,0 +1,99 @@
+// The merge example shows the paper's multi-translation-unit workflow
+// (Table 2, pdbmerge): each unit of a project is compiled to its own
+// program database — as a build system would invoke cxxparse per file
+// — and the databases are merged into one, eliminating the duplicate
+// template instantiations the shared header produced in every unit.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pdt/internal/core"
+	"pdt/internal/ductape"
+	"pdt/internal/ilanalyzer"
+	"pdt/internal/tools/tree"
+)
+
+const sharedHeader = `#ifndef GEOM_H
+#define GEOM_H
+template <class T>
+class Point {
+public:
+    Point(T x_, T y_) : x(x_), y(y_) { }
+    T dist2() const { return x * x + y * y; }
+    T x, y;
+};
+#endif
+`
+
+var units = map[string]string{
+	"render.cpp": `#include "geom.h"
+double renderDistance() {
+    Point<double> p(3.0, 4.0);
+    return p.dist2();
+}
+`,
+	"physics.cpp": `#include "geom.h"
+double physicsStep() {
+    Point<double> v(1.0, 2.0);   // duplicate instantiation
+    Point<int> cell(7, 8);       // unique to this unit
+    return v.dist2() + cell.dist2();
+}
+`,
+	"main.cpp": `#include "geom.h"
+double renderDistance();
+double physicsStep();
+int main() {
+    return renderDistance() + physicsStep() > 0 ? 0 : 1;
+}
+`,
+}
+
+func compileUnit(name string) *ductape.PDB {
+	opts := core.Options{}
+	fs := core.NewFileSet(opts)
+	fs.AddVirtualFile("geom.h", sharedHeader)
+	res := core.CompileSource(fs, name, units[name], opts)
+	if res.HasErrors() {
+		for _, d := range res.Diagnostics {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(1)
+	}
+	return ductape.FromRaw(ilanalyzer.Analyze(res.Unit, ilanalyzer.Options{}))
+}
+
+func main() {
+	var dbs []*ductape.PDB
+	total := 0
+	for _, name := range []string{"render.cpp", "physics.cpp", "main.cpp"} {
+		db := compileUnit(name)
+		n := db.Raw().ItemCount()
+		total += n
+		fmt.Printf("compiled %-12s -> %3d PDB items "+
+			"(%d classes, %d routines)\n", name, n,
+			len(db.Classes()), len(db.Routines()))
+		dbs = append(dbs, db)
+	}
+
+	merged := ductape.Merge(dbs...)
+	fmt.Printf("\nmerged: %d items in -> %d items out "+
+		"(duplicate template instantiations eliminated)\n",
+		total, merged.Raw().ItemCount())
+
+	if errs := merged.Raw().Validate(); len(errs) > 0 {
+		fmt.Fprintln(os.Stderr, "integrity:", errs[0])
+		os.Exit(1)
+	}
+
+	fmt.Println("\ninstantiations in the merged database:")
+	for _, c := range merged.Classes() {
+		if c.IsInstantiation() {
+			fmt.Printf("  %s (from template %s)\n", c.Name(), c.Template().Name())
+		}
+	}
+
+	fmt.Println("\nmerged static call graph:")
+	tree.PrintCallGraph(os.Stdout, merged)
+}

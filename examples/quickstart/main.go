@@ -1,0 +1,87 @@
+// The quickstart example reproduces the paper's core flow on Figure
+// 1's Stack program: compile C++ source with the PDT frontend, run the
+// IL Analyzer to build a program database, and walk the database with
+// the DUCTAPE API — listing the templates, their instantiations, and
+// the attributes Figure 3 shows.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pdt/internal/core"
+	"pdt/internal/ductape"
+	"pdt/internal/ilanalyzer"
+	"pdt/internal/workload"
+)
+
+func main() {
+	// 1. Compile the paper's Figure 1 program (StackAr.h includes
+	//    StackAr.cpp so templates are instantiated in the PDB file).
+	opts := core.Options{}
+	fs := core.NewFileSet(opts)
+	for name, content := range workload.StackFiles() {
+		fs.AddVirtualFile(name, content)
+	}
+	res := core.CompileSource(fs, "TestStackAr.cpp",
+		workload.StackFiles()["TestStackAr.cpp"], opts)
+	if res.HasErrors() {
+		for _, d := range res.Diagnostics {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(1)
+	}
+
+	// 2. The IL Analyzer produces the program database.
+	raw := ilanalyzer.Analyze(res.Unit, ilanalyzer.Options{})
+	db := ductape.FromRaw(raw)
+	fmt.Printf("program database: %d items (%d files, %d classes, %d routines, %d templates, %d types)\n\n",
+		raw.ItemCount(), len(db.Files()), len(db.Classes()),
+		len(db.Routines()), len(db.Templates()), len(db.Types()))
+
+	// 3. Navigate with DUCTAPE: templates and their instantiations.
+	fmt.Println("templates:")
+	for _, te := range db.Templates() {
+		fmt.Printf("  te#%-4d %-12s kind=%-8s at %s\n",
+			te.ID(), te.Name(), te.Kind(), te.Location())
+		for _, c := range te.InstantiatedClasses() {
+			fmt.Printf("          instantiates class %s\n", c.Name())
+		}
+		for _, r := range te.InstantiatedRoutines() {
+			fmt.Printf("          instantiates routine %s\n", r.FullName())
+		}
+	}
+
+	// 4. The Stack<int> class item, as in Figure 3's cl#8.
+	cls := db.LookupClass("Stack<int>")
+	if cls == nil {
+		fmt.Fprintln(os.Stderr, "Stack<int> not found")
+		os.Exit(1)
+	}
+	fmt.Printf("\nclass %s (instantiation of %s):\n", cls.Name(), cls.Template().Name())
+	for _, m := range cls.DataMembers() {
+		fmt.Printf("  member %-12s %-6s : %s\n", m.Name, m.Access, m.Type.Name())
+	}
+	for _, r := range cls.Functions() {
+		body := "declared"
+		if r.HasBody() {
+			body = "instantiated"
+		}
+		fmt.Printf("  method %-40s [%s]\n", r.FullName(), body)
+	}
+
+	// 5. The push routine's signature reveals return and parameter
+	//    types (Figure 3's ty#2058).
+	push := db.LookupRoutine("Stack<int>::push(const int &)")
+	if push != nil {
+		sig := push.Signature()
+		fmt.Printf("\npush signature: %s\n", sig.Name())
+		fmt.Printf("  returns %s\n", sig.ReturnType().Name())
+		for i, a := range sig.ArgumentTypes() {
+			fmt.Printf("  arg %d: %s (kind %s)\n", i, a.Name(), a.Kind())
+		}
+		for _, call := range push.Callees() {
+			fmt.Printf("  calls %s at %s\n", call.Call().FullName(), call.Location())
+		}
+	}
+}

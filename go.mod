@@ -1,0 +1,3 @@
+module pdt
+
+go 1.22

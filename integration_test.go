@@ -1,0 +1,229 @@
+// Integration test of the paper's multi-translation-unit workflow:
+// each source file of a project is compiled to its own PDB (as a build
+// system would), the PDBs are merged with pdbmerge semantics, and the
+// merged database is queried through DUCTAPE — duplicate template
+// instantiations from the shared header appear exactly once, with the
+// call graph stitched across translation units.
+package pdt_test
+
+import (
+	"strings"
+	"testing"
+
+	"pdt/internal/core"
+	"pdt/internal/ductape"
+	"pdt/internal/ilanalyzer"
+	"pdt/internal/tools/tree"
+)
+
+const matrixHeader = `#ifndef MATRIX_H
+#define MATRIX_H
+// A shared numerics header: class template + free function templates.
+template <class T>
+class Matrix2 {
+public:
+    Matrix2() : a(0), b(0), c(0), d(0) { }
+    Matrix2(T a_, T b_, T c_, T d_) : a(a_), b(b_), c(c_), d(d_) { }
+    T det() const { return a * d - b * c; }
+    T trace() const { return a + d; }
+    Matrix2 operator*(const Matrix2 & o) const {
+        return Matrix2(a * o.a + b * o.c, a * o.b + b * o.d,
+                       c * o.a + d * o.c, c * o.b + d * o.d);
+    }
+    T a, b, c, d;
+};
+
+template <class T>
+T detProduct(const Matrix2<T> & x, const Matrix2<T> & y) {
+    Matrix2<T> prod = x * y;
+    return prod.det();
+}
+#endif
+`
+
+const unitAlpha = `#include "matrix.h"
+// Unit alpha uses Matrix2<double>.
+double alphaWork() {
+    Matrix2<double> m(1.0, 2.0, 3.0, 4.0);
+    Matrix2<double> n(0.5, 0.0, 0.0, 0.5);
+    return detProduct(m, n);
+}
+`
+
+const unitBeta = `#include "matrix.h"
+// Unit beta also uses Matrix2<double> (duplicate instantiation) and
+// Matrix2<int> (unique).
+double betaWork() {
+    Matrix2<double> m(2.0, 0.0, 0.0, 2.0);
+    return m.det();
+}
+int betaCount() {
+    Matrix2<int> mi(1, 2, 3, 4);
+    return mi.trace();
+}
+`
+
+const unitMain = `#include "matrix.h"
+double alphaWork();
+double betaWork();
+int betaCount();
+int main() {
+    double total = alphaWork() + betaWork();
+    return betaCount() + (total > 0 ? 0 : 1);
+}
+`
+
+func compileTU(t *testing.T, name, src string) *ductape.PDB {
+	t.Helper()
+	opts := core.Options{}
+	fs := core.NewFileSet(opts)
+	fs.AddVirtualFile("matrix.h", matrixHeader)
+	res := core.CompileSource(fs, name, src, opts)
+	for _, d := range res.Diagnostics {
+		t.Fatalf("%s: %v", name, d)
+	}
+	return ductape.FromRaw(ilanalyzer.Analyze(res.Unit, ilanalyzer.Options{}))
+}
+
+func TestMultiTUMergeWorkflow(t *testing.T) {
+	// Separate compilations, as a build system would run cxxparse.
+	dbAlpha := compileTU(t, "alpha.cpp", unitAlpha)
+	dbBeta := compileTU(t, "beta.cpp", unitBeta)
+	dbMain := compileTU(t, "main.cpp", unitMain)
+
+	merged := ductape.Merge(dbAlpha, dbBeta, dbMain)
+
+	// Integrity first.
+	if errs := merged.Raw().Validate(); len(errs) != 0 {
+		t.Fatalf("merged PDB invalid: %v", errs[0])
+	}
+
+	// Duplicate instantiations from the shared header are deduplicated.
+	count := func(name string) int {
+		n := 0
+		for _, c := range merged.Classes() {
+			if c.Name() == name {
+				n++
+			}
+		}
+		return n
+	}
+	if count("Matrix2<double>") != 1 {
+		t.Errorf("Matrix2<double> appears %d times", count("Matrix2<double>"))
+	}
+	if count("Matrix2<int>") != 1 {
+		t.Errorf("Matrix2<int> appears %d times", count("Matrix2<int>"))
+	}
+
+	// Per-unit functions all survive.
+	for _, fn := range []string{"alphaWork", "betaWork", "betaCount", "main"} {
+		if merged.LookupRoutine(fn) == nil {
+			t.Errorf("routine %s lost in merge", fn)
+		}
+	}
+
+	// main was compiled against declarations only; alpha.cpp carried
+	// the definition of alphaWork. The merged routine has the body.
+	alpha := merged.LookupRoutine("alphaWork")
+	if !alpha.HasBody() {
+		t.Error("merge kept the bodyless alphaWork declaration")
+	}
+	if len(alpha.Callees()) == 0 {
+		t.Error("alphaWork callees lost")
+	}
+
+	// The merged call graph stitches across units: main calls
+	// alphaWork, which calls detProduct<double>, which calls
+	// Matrix2<double>::det (through the shared instantiation).
+	var sb strings.Builder
+	tree.PrintCallGraph(&sb, merged)
+	out := sb.String()
+	for _, want := range []string{
+		"main()",
+		"`--> alphaWork()",
+		"`--> detProduct<double>",
+		"Matrix2<double>::det()",
+		"Matrix2<double>::operator*(const Matrix2<double> &)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged call graph missing %q:\n%s", want, out)
+		}
+	}
+
+	// The shared template exists once, pointing at both instantiations.
+	matTemplates := 0
+	for _, te := range merged.Templates() {
+		if te.Name() == "Matrix2" && te.Kind() == ductape.TE_CLASS {
+			matTemplates++
+			if len(te.InstantiatedClasses()) != 2 {
+				t.Errorf("Matrix2 template instantiations = %d, want 2",
+					len(te.InstantiatedClasses()))
+			}
+		}
+	}
+	if matTemplates != 1 {
+		t.Errorf("Matrix2 class template appears %d times", matTemplates)
+	}
+
+	// The shared header file item exists once with three includers.
+	var hdr *ductape.File
+	for _, f := range merged.Files() {
+		if f.Name() == "matrix.h" {
+			if hdr != nil {
+				t.Error("matrix.h duplicated")
+			}
+			hdr = f
+		}
+	}
+	if hdr == nil {
+		t.Fatal("matrix.h lost")
+	}
+	if len(hdr.IncludedBy()) != 3 {
+		t.Errorf("matrix.h includedBy = %d, want 3", len(hdr.IncludedBy()))
+	}
+
+	// Round-trip the merged database through the ASCII format.
+	var buf strings.Builder
+	if err := merged.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	re, err := ductape.Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re.Classes()) != len(merged.Classes()) {
+		t.Error("merged database does not round-trip")
+	}
+}
+
+// TestMergeIdempotent checks that merging a database with itself is a
+// no-op structurally.
+func TestMergeIdempotent(t *testing.T) {
+	db := compileTU(t, "alpha.cpp", unitAlpha)
+	merged := ductape.Merge(db, db)
+	if merged.Raw().ItemCount() != db.Raw().ItemCount() {
+		t.Errorf("self-merge changed item count: %d -> %d",
+			db.Raw().ItemCount(), merged.Raw().ItemCount())
+	}
+	if errs := merged.Raw().Validate(); len(errs) != 0 {
+		t.Errorf("self-merge invalid: %v", errs[0])
+	}
+}
+
+// TestMergeAssociativeShape checks that merge order does not change
+// the structural outcome (item counts per kind).
+func TestMergeAssociativeShape(t *testing.T) {
+	a := compileTU(t, "alpha.cpp", unitAlpha)
+	b := compileTU(t, "beta.cpp", unitBeta)
+	m := compileTU(t, "main.cpp", unitMain)
+
+	x := ductape.Merge(ductape.Merge(a, b), m).Raw()
+	y := ductape.Merge(a, ductape.Merge(b, m)).Raw()
+	if x.ItemCount() != y.ItemCount() {
+		t.Errorf("merge not shape-associative: %d vs %d", x.ItemCount(), y.ItemCount())
+	}
+	if len(x.Classes) != len(y.Classes) || len(x.Routines) != len(y.Routines) ||
+		len(x.Templates) != len(y.Templates) {
+		t.Error("per-kind counts differ between association orders")
+	}
+}

@@ -1,0 +1,107 @@
+// Package core is the PDT pipeline facade: it wires the preprocessor,
+// parser, and semantic analyzer into a single Compile call producing
+// the IL, and (together with internal/ilanalyzer and internal/pdb) a
+// program database. It is the programmatic equivalent of the paper's
+// cxxparse front-end driver.
+package core
+
+import (
+	"fmt"
+
+	"pdt/internal/cpp/ast"
+	"pdt/internal/cpp/parse"
+	"pdt/internal/cpp/pp"
+	"pdt/internal/cpp/sema"
+	"pdt/internal/cpp/stdlib"
+	"pdt/internal/il"
+	"pdt/internal/source"
+)
+
+// Options configure a compilation.
+type Options struct {
+	// Defines are command-line macro definitions ("NAME" or "NAME=V").
+	Defines []string
+	// IncludePaths are extra directories for #include resolution.
+	IncludePaths []string
+	// Mode selects template instantiation strategy (default Used).
+	Mode sema.InstantiationMode
+	// NoStdlib disables the built-in system headers.
+	NoStdlib bool
+}
+
+// Diagnostic is a pipeline error with its source stage.
+type Diagnostic struct {
+	Stage string // "lex/pp", "parse", "sema"
+	Loc   source.Loc
+	Msg   string
+}
+
+func (d Diagnostic) Error() string { return fmt.Sprintf("%s: %s: %s", d.Loc, d.Stage, d.Msg) }
+
+// Result is the output of Compile.
+type Result struct {
+	Unit        *il.Unit
+	TU          *ast.TranslationUnit
+	Diagnostics []Diagnostic
+	Stats       sema.Stats
+}
+
+// HasErrors reports whether any stage produced diagnostics.
+func (r *Result) HasErrors() bool { return len(r.Diagnostics) > 0 }
+
+// NewFileSet returns a file set with the built-in headers registered
+// (unless opts.NoStdlib) and the option include paths installed.
+func NewFileSet(opts Options) *source.FileSet {
+	fs := source.NewFileSet()
+	fs.SearchPaths = append(fs.SearchPaths, opts.IncludePaths...)
+	if !opts.NoStdlib {
+		stdlib.Register(fs)
+	}
+	return fs
+}
+
+// CompileFile loads path from disk and compiles it.
+func CompileFile(fs *source.FileSet, path string, opts Options) (*Result, error) {
+	f, err := fs.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(fs, f, opts), nil
+}
+
+// CompileSource compiles in-memory source registered under name.
+func CompileSource(fs *source.FileSet, name, src string, opts Options) *Result {
+	f := fs.AddVirtualFile(name, src)
+	return Compile(fs, f, opts)
+}
+
+// Compile runs the full frontend over one translation unit.
+func Compile(fs *source.FileSet, f *source.File, opts Options) *Result {
+	res := &Result{}
+
+	pre := pp.New(fs)
+	for _, d := range opts.Defines {
+		pre.Define(d)
+	}
+	toks := pre.Process(f)
+	for _, e := range pre.Errors() {
+		res.Diagnostics = append(res.Diagnostics, Diagnostic{Stage: "lex/pp", Loc: e.Loc, Msg: e.Msg})
+	}
+
+	tu, perrs := parse.ParseFile(f, toks)
+	res.TU = tu
+	for _, e := range perrs {
+		res.Diagnostics = append(res.Diagnostics, Diagnostic{Stage: "parse", Loc: e.Loc, Msg: e.Msg})
+	}
+
+	semaOpts := sema.DefaultOptions()
+	semaOpts.Mode = opts.Mode
+	an := sema.New(f, semaOpts)
+	res.Unit = an.Analyze(tu)
+	res.Unit.Macros = pre.Records
+	for _, e := range an.Errors() {
+		res.Diagnostics = append(res.Diagnostics, Diagnostic{Stage: "sema", Loc: e.Loc, Msg: e.Msg})
+	}
+	res.Stats = an.Stats()
+	return res
+}

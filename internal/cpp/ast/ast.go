@@ -1,0 +1,247 @@
+// Package ast defines the parse tree produced by the PDT C++ parser
+// (internal/cpp/parse). The tree is purely syntactic: names are not yet
+// resolved and templates are not yet instantiated; that is the job of
+// internal/cpp/sema, which lowers the AST into the IL.
+//
+// Every node records the source extent it covers. Declarations that have
+// a distinguishable header and body (classes, functions, namespaces,
+// templates — the paper's "fat items") record both spans, because the
+// PDB format reports them separately (Figure 3's four-position "pos"
+// attributes).
+package ast
+
+import (
+	"strings"
+
+	"pdt/internal/source"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Span() source.Span
+}
+
+// ---------------------------------------------------------------------
+// Names
+
+// Seg is one segment of a (possibly qualified) name, with optional
+// template arguments: e.g. the "Stack<int>" in "Stack<int>::push".
+type Seg struct {
+	Name string
+	Args []TemplateArg // nil when not a template-id
+	// HasArgs distinguishes "Stack<>" (empty arg list) from "Stack".
+	HasArgs bool
+	Loc     source.Loc
+}
+
+// QualName is a qualified name: one or more segments. A leading empty
+// segment ("::x") denotes explicit global qualification.
+type QualName struct {
+	Global bool
+	Segs   []Seg
+}
+
+// Terminal returns the last segment.
+func (q QualName) Terminal() Seg {
+	if len(q.Segs) == 0 {
+		return Seg{}
+	}
+	return q.Segs[len(q.Segs)-1]
+}
+
+// IsSimple reports whether the name is a single unqualified identifier
+// without template arguments.
+func (q QualName) IsSimple() bool {
+	return !q.Global && len(q.Segs) == 1 && !q.Segs[0].HasArgs
+}
+
+// Loc returns the location of the first segment.
+func (q QualName) Loc() source.Loc {
+	if len(q.Segs) == 0 {
+		return source.Loc{}
+	}
+	return q.Segs[0].Loc
+}
+
+// String renders the name in C++ syntax.
+func (q QualName) String() string {
+	var sb strings.Builder
+	if q.Global {
+		sb.WriteString("::")
+	}
+	for i, s := range q.Segs {
+		if i > 0 {
+			sb.WriteString("::")
+		}
+		sb.WriteString(s.Name)
+		if s.HasArgs {
+			sb.WriteByte('<')
+			for j, a := range s.Args {
+				if j > 0 {
+					sb.WriteString(", ")
+				}
+				sb.WriteString(a.String())
+			}
+			sb.WriteByte('>')
+		}
+	}
+	return sb.String()
+}
+
+// TemplateArg is one template argument: either a type or a constant
+// expression (non-type argument).
+type TemplateArg struct {
+	Type TypeExpr // non-nil for type arguments
+	Expr Expr     // non-nil for non-type arguments
+}
+
+func (a TemplateArg) String() string {
+	if a.Type != nil {
+		return a.Type.String()
+	}
+	if a.Expr != nil {
+		return ExprString(a.Expr)
+	}
+	return "?"
+}
+
+// TemplateParam is one parameter of a template declaration.
+type TemplateParam struct {
+	// IsType is true for "class T" / "typename T" parameters, false for
+	// non-type parameters ("int N").
+	IsType bool
+	Name   string
+	// Type is the declared type of a non-type parameter.
+	Type TypeExpr
+	// Default is the default argument, if any (a type for type
+	// parameters, an expression for non-type parameters).
+	DefaultType TypeExpr
+	DefaultExpr Expr
+	Loc         source.Loc
+}
+
+// TemplateInfo captures the "template <...>" clause attached to a
+// declaration. Specializations ("template <>") have empty Params.
+type TemplateInfo struct {
+	Params []TemplateParam
+	// KwLoc is the location of the "template" keyword.
+	KwLoc source.Loc
+	// Text is the full original text of the templated declaration,
+	// reported by the PDB "ttext" attribute.
+	Text string
+}
+
+// IsSpecialization reports whether this is an explicit specialization
+// clause ("template <>").
+func (t *TemplateInfo) IsSpecialization() bool { return t != nil && len(t.Params) == 0 }
+
+// ---------------------------------------------------------------------
+// Types (syntactic)
+
+// TypeExpr is a syntactic type.
+type TypeExpr interface {
+	Node
+	String() string
+	typeExpr()
+}
+
+// BuiltinType is a fundamental type ("int", "unsigned long", "void"...).
+type BuiltinType struct {
+	Spec string
+	Pos  source.Loc
+}
+
+// NamedType refers to a class/enum/typedef/template-id by name.
+type NamedType struct {
+	Name QualName
+	// Struct records an elaborated-type-specifier keyword ("class",
+	// "struct", "union", "enum", "typename"), or "".
+	Elaborated string
+}
+
+// ConstType wraps a type with a const qualifier.
+type ConstType struct {
+	Elem TypeExpr
+	Pos  source.Loc
+}
+
+// VolatileType wraps a type with a volatile qualifier.
+type VolatileType struct {
+	Elem TypeExpr
+	Pos  source.Loc
+}
+
+// PointerType is "T*".
+type PointerType struct {
+	Elem TypeExpr
+	Pos  source.Loc
+}
+
+// RefType is "T&".
+type RefType struct {
+	Elem TypeExpr
+	Pos  source.Loc
+}
+
+// ArrayType is "T[n]" (n may be nil for unsized).
+type ArrayType struct {
+	Elem TypeExpr
+	Size Expr
+	Pos  source.Loc
+}
+
+// FuncType is a function type as it appears in a declarator (pointers
+// to functions, signatures).
+type FuncType struct {
+	Ret    TypeExpr
+	Params []*ParamDecl
+	Const  bool
+	Pos    source.Loc
+}
+
+func (t *BuiltinType) typeExpr()  {}
+func (t *NamedType) typeExpr()    {}
+func (t *ConstType) typeExpr()    {}
+func (t *VolatileType) typeExpr() {}
+func (t *PointerType) typeExpr()  {}
+func (t *RefType) typeExpr()      {}
+func (t *ArrayType) typeExpr()    {}
+func (t *FuncType) typeExpr()     {}
+
+func (t *BuiltinType) Span() source.Span { return source.Span{Begin: t.Pos, End: t.Pos} }
+func (t *NamedType) Span() source.Span {
+	l := t.Name.Loc()
+	return source.Span{Begin: l, End: l}
+}
+func (t *ConstType) Span() source.Span    { return t.Elem.Span() }
+func (t *VolatileType) Span() source.Span { return t.Elem.Span() }
+func (t *PointerType) Span() source.Span  { return t.Elem.Span() }
+func (t *RefType) Span() source.Span      { return t.Elem.Span() }
+func (t *ArrayType) Span() source.Span    { return t.Elem.Span() }
+func (t *FuncType) Span() source.Span     { return source.Span{Begin: t.Pos, End: t.Pos} }
+
+func (t *BuiltinType) String() string { return t.Spec }
+func (t *NamedType) String() string   { return t.Name.String() }
+func (t *ConstType) String() string   { return "const " + t.Elem.String() }
+func (t *VolatileType) String() string {
+	return "volatile " + t.Elem.String()
+}
+func (t *PointerType) String() string { return t.Elem.String() + " *" }
+func (t *RefType) String() string     { return t.Elem.String() + " &" }
+func (t *ArrayType) String() string   { return t.Elem.String() + " []" }
+func (t *FuncType) String() string {
+	var sb strings.Builder
+	sb.WriteString(t.Ret.String())
+	sb.WriteString(" (")
+	for i, p := range t.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.Type.String())
+	}
+	sb.WriteString(")")
+	if t.Const {
+		sb.WriteString(" const")
+	}
+	return sb.String()
+}

@@ -1,0 +1,362 @@
+package ast
+
+import "pdt/internal/source"
+
+// TranslationUnit is the root of the parse tree for one compiled file.
+type TranslationUnit struct {
+	File  *source.File
+	Decls []Decl
+}
+
+func (t *TranslationUnit) Span() source.Span {
+	if len(t.Decls) == 0 {
+		return source.Span{}
+	}
+	return source.Span{Begin: t.Decls[0].Span().Begin, End: t.Decls[len(t.Decls)-1].Span().End}
+}
+
+// Decl is implemented by every declaration node.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// Access is a C++ member access mode. The PDB renders these as
+// pub/prot/priv (Figure 3's "racs"/"cmacs" attributes).
+type Access int
+
+// Access modes. NoAccess marks non-member declarations.
+const (
+	NoAccess Access = iota
+	Public
+	Protected
+	Private
+)
+
+func (a Access) String() string {
+	switch a {
+	case Public:
+		return "pub"
+	case Protected:
+		return "prot"
+	case Private:
+		return "priv"
+	default:
+		return "NA"
+	}
+}
+
+// StorageClass of a declaration.
+type StorageClass int
+
+// Storage classes.
+const (
+	NoStorage StorageClass = iota
+	Static
+	Extern
+	Auto
+	Register
+	Mutable
+)
+
+func (s StorageClass) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case Extern:
+		return "extern"
+	case Auto:
+		return "auto"
+	case Register:
+		return "register"
+	case Mutable:
+		return "mutable"
+	default:
+		return "NA"
+	}
+}
+
+// NamespaceDecl is "namespace N { ... }" or an alias
+// "namespace A = B;".
+type NamespaceDecl struct {
+	Name    string // "" for anonymous namespaces
+	NameLoc source.Loc
+	Decls   []Decl
+	// Alias is set for namespace alias definitions.
+	Alias  *QualName
+	Header source.Span
+	Body   source.Span
+}
+
+// UsingDirective is "using namespace N;".
+type UsingDirective struct {
+	Namespace QualName
+	Pos       source.Span
+}
+
+// UsingDecl is "using N::x;".
+type UsingDecl struct {
+	Name QualName
+	Pos  source.Span
+}
+
+// LinkageSpec is `extern "C" { ... }` or `extern "C" decl`.
+type LinkageSpec struct {
+	Lang  string
+	Decls []Decl
+	Pos   source.Span
+}
+
+// ClassKind distinguishes class/struct/union.
+type ClassKind int
+
+// Class kinds.
+const (
+	Class ClassKind = iota
+	Struct
+	Union
+)
+
+func (k ClassKind) String() string {
+	switch k {
+	case Struct:
+		return "struct"
+	case Union:
+		return "union"
+	default:
+		return "class"
+	}
+}
+
+// BaseSpec is one entry of a base-clause.
+type BaseSpec struct {
+	Access  Access // as written; parser applies defaults
+	Virtual bool
+	Name    QualName
+}
+
+// Member is one member declaration plus its access mode.
+type Member struct {
+	Access Access
+	Decl   Decl
+	Friend bool
+}
+
+// ClassDecl is a class/struct/union declaration or definition, possibly
+// templated or an explicit specialization.
+type ClassDecl struct {
+	Kind    ClassKind
+	Name    string
+	NameLoc source.Loc
+	// Template is non-nil for "template<...> class C" and for
+	// explicit specializations ("template<> class C<int>").
+	Template *TemplateInfo
+	// SpecArgs holds the <...> arguments of an explicit specialization
+	// header ("template<> class Stack<int>").
+	SpecArgs []TemplateArg
+	Bases    []BaseSpec
+	Members  []Member
+	// IsDefinition is false for forward declarations ("class C;").
+	IsDefinition bool
+	Header       source.Span
+	Body         source.Span
+}
+
+// EnumDecl declares an enumeration.
+type EnumDecl struct {
+	Name        string // "" for anonymous enums
+	NameLoc     source.Loc
+	Enumerators []Enumerator
+	Header      source.Span
+	Body        source.Span
+}
+
+// Enumerator is one name of an enum.
+type Enumerator struct {
+	Name  string
+	Value Expr // nil if implicit
+	Loc   source.Loc
+}
+
+// TypedefDecl is "typedef T Name;".
+type TypedefDecl struct {
+	Name    string
+	NameLoc source.Loc
+	Type    TypeExpr
+	Pos     source.Span
+}
+
+// VarDecl declares one variable (or data member). A multi-declarator
+// statement produces several VarDecls.
+type VarDecl struct {
+	Name    string
+	NameLoc source.Loc
+	Type    TypeExpr
+	Init    Expr
+	// CtorArgs holds direct-initialization arguments: "T x(a, b);".
+	CtorArgs []Expr
+	// HasCtorArgs distinguishes "T x;" from "T x();" — the latter never
+	// reaches VarDecl (vexing parse resolves to a declaration), but
+	// "T x(a)" does.
+	HasCtorArgs bool
+	Storage     StorageClass
+	Pos         source.Span
+}
+
+// ParamDecl is one function parameter.
+type ParamDecl struct {
+	Name    string // may be ""
+	NameLoc source.Loc
+	Type    TypeExpr
+	Default Expr // default argument or nil
+	// Ellipsis marks the "..." pseudo-parameter; Type is nil.
+	Ellipsis bool
+}
+
+func (p *ParamDecl) Span() source.Span {
+	if p.Type != nil {
+		return p.Type.Span()
+	}
+	return source.Span{}
+}
+
+// RoutineKind distinguishes the function-like entities the PDB reports.
+type RoutineKind int
+
+// Routine kinds.
+const (
+	PlainFunction RoutineKind = iota
+	Constructor
+	Destructor
+	Operator
+	Conversion
+)
+
+// CtorInit is one member/base initializer in a constructor.
+type CtorInit struct {
+	Name QualName
+	Args []Expr
+}
+
+// FunctionDecl is a function declaration or definition: free functions,
+// member functions (in-class or out-of-line via a qualified name),
+// constructors, destructors, and operators.
+type FunctionDecl struct {
+	// Name is the declarator name. Out-of-line members carry their
+	// qualifier: "Stack<Object>::push" has Segs [Stack<Object>, push].
+	Name        QualName
+	Kind        RoutineKind
+	OpName      string // "+", "[]", "()"... for Kind==Operator
+	Ret         TypeExpr
+	Params      []*ParamDecl
+	Inits       []CtorInit
+	Body        *CompoundStmt // nil for pure declarations
+	PureVirtual bool
+
+	Template *TemplateInfo
+
+	Virtual  bool
+	Explicit bool
+	Inline   bool
+	Const    bool
+	Storage  StorageClass
+	// Linkage is "C++" by default, "C" inside extern "C".
+	Linkage string
+
+	// Throws lists the exception-specification types, HasThrow marks
+	// that a throw() clause was present at all.
+	HasThrow bool
+	Throws   []TypeExpr
+
+	Header source.Span
+	Body2  source.Span // body span; zero when no body
+}
+
+// DeclGroup wraps the declarations produced by one multi-declarator
+// statement ("int a, *b;"). It keeps TranslationUnit and class bodies
+// flat while preserving source grouping.
+type DeclGroup struct {
+	Decls []Decl
+	Pos   source.Span
+}
+
+func (d *DeclGroup) declNode()         {}
+func (d *DeclGroup) Span() source.Span { return d.Pos }
+
+// ExplicitInstantiation is "template class Stack<int>;".
+type ExplicitInstantiation struct {
+	Type TypeExpr
+	Pos  source.Span
+}
+
+// StaticAssertLike is kept for diagnostics of unsupported constructs the
+// parser consumed but could not represent; it never reaches sema.
+type BadDecl struct {
+	Why string
+	Pos source.Span
+}
+
+func (d *NamespaceDecl) declNode()         {}
+func (d *UsingDirective) declNode()        {}
+func (d *UsingDecl) declNode()             {}
+func (d *LinkageSpec) declNode()           {}
+func (d *ClassDecl) declNode()             {}
+func (d *EnumDecl) declNode()              {}
+func (d *TypedefDecl) declNode()           {}
+func (d *VarDecl) declNode()               {}
+func (d *FunctionDecl) declNode()          {}
+func (d *ExplicitInstantiation) declNode() {}
+func (d *BadDecl) declNode()               {}
+
+func (d *NamespaceDecl) Span() source.Span {
+	if d.Body.Valid() {
+		return source.Span{Begin: d.Header.Begin, End: d.Body.End}
+	}
+	return d.Header
+}
+func (d *UsingDirective) Span() source.Span { return d.Pos }
+func (d *UsingDecl) Span() source.Span      { return d.Pos }
+func (d *LinkageSpec) Span() source.Span    { return d.Pos }
+func (d *ClassDecl) Span() source.Span {
+	if d.Body.Valid() {
+		return source.Span{Begin: d.Header.Begin, End: d.Body.End}
+	}
+	return d.Header
+}
+func (d *EnumDecl) Span() source.Span {
+	if d.Body.Valid() {
+		return source.Span{Begin: d.Header.Begin, End: d.Body.End}
+	}
+	return d.Header
+}
+func (d *TypedefDecl) Span() source.Span { return d.Pos }
+func (d *VarDecl) Span() source.Span     { return d.Pos }
+func (d *FunctionDecl) Span() source.Span {
+	if d.Body2.Valid() {
+		return source.Span{Begin: d.Header.Begin, End: d.Body2.End}
+	}
+	return d.Header
+}
+func (d *ExplicitInstantiation) Span() source.Span { return d.Pos }
+func (d *BadDecl) Span() source.Span               { return d.Pos }
+
+// DeclaredName returns the simple name a declaration introduces, for
+// diagnostics and scope indexing.
+func DeclaredName(d Decl) string {
+	switch d := d.(type) {
+	case *NamespaceDecl:
+		return d.Name
+	case *ClassDecl:
+		return d.Name
+	case *EnumDecl:
+		return d.Name
+	case *TypedefDecl:
+		return d.Name
+	case *VarDecl:
+		return d.Name
+	case *FunctionDecl:
+		return d.Name.Terminal().Name
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,385 @@
+package ast
+
+import (
+	"strings"
+
+	"pdt/internal/source"
+)
+
+// Expr is implemented by every expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int64
+	Text  string
+	Pos   source.Loc
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	Value float64
+	Text  string
+	Pos   source.Loc
+}
+
+// CharLit is a character literal.
+type CharLit struct {
+	Value int64
+	Text  string
+	Pos   source.Loc
+}
+
+// StringLit is a string literal (adjacent literals already concatenated).
+type StringLit struct {
+	Value string
+	Pos   source.Loc
+}
+
+// BoolLit is "true" or "false".
+type BoolLit struct {
+	Value bool
+	Pos   source.Loc
+}
+
+// NameExpr references a (possibly qualified) name.
+type NameExpr struct {
+	Name QualName
+}
+
+// ThisExpr is "this".
+type ThisExpr struct {
+	Pos source.Loc
+}
+
+// ParenExpr is "(e)".
+type ParenExpr struct {
+	E   Expr
+	Pos source.Span
+}
+
+// UnaryOp enumerates unary operators.
+type UnaryOp int
+
+// Unary operators.
+const (
+	Neg     UnaryOp = iota // -
+	Pos_                   // +
+	LogNot                 // !
+	BitNot                 // ~
+	Deref                  // *
+	AddrOf                 // &
+	PreInc                 // ++e
+	PreDec                 // --e
+	PostInc                // e++
+	PostDec                // e--
+)
+
+var unaryNames = map[UnaryOp]string{
+	Neg: "-", Pos_: "+", LogNot: "!", BitNot: "~", Deref: "*", AddrOf: "&",
+	PreInc: "++", PreDec: "--", PostInc: "++", PostDec: "--",
+}
+
+func (o UnaryOp) String() string { return unaryNames[o] }
+
+// UnaryExpr is a unary operation.
+type UnaryExpr struct {
+	Op      UnaryOp
+	Operand Expr
+	Pos     source.Loc
+}
+
+// BinOp enumerates binary (and assignment and comma) operators.
+type BinOp int
+
+// Binary operators.
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Rem
+	BAnd
+	BOr
+	BXor
+	ShlOp
+	ShrOp
+	LAnd
+	LOr
+	EqOp
+	NeOp
+	LtOp
+	GtOp
+	LeOp
+	GeOp
+	AssignOp
+	AddAssign
+	SubAssign
+	MulAssign
+	DivAssign
+	RemAssign
+	AndAssign
+	OrAssign
+	XorAssign
+	ShlAssignOp
+	ShrAssignOp
+	Comma
+)
+
+var binNames = map[BinOp]string{
+	Add: "+", Sub: "-", Mul: "*", Div: "/", Rem: "%",
+	BAnd: "&", BOr: "|", BXor: "^", ShlOp: "<<", ShrOp: ">>",
+	LAnd: "&&", LOr: "||", EqOp: "==", NeOp: "!=",
+	LtOp: "<", GtOp: ">", LeOp: "<=", GeOp: ">=",
+	AssignOp: "=", AddAssign: "+=", SubAssign: "-=", MulAssign: "*=",
+	DivAssign: "/=", RemAssign: "%=", AndAssign: "&=", OrAssign: "|=",
+	XorAssign: "^=", ShlAssignOp: "<<=", ShrAssignOp: ">>=", Comma: ",",
+}
+
+func (o BinOp) String() string { return binNames[o] }
+
+// IsAssign reports whether the operator assigns to its left operand.
+func (o BinOp) IsAssign() bool {
+	switch o {
+	case AssignOp, AddAssign, SubAssign, MulAssign, DivAssign, RemAssign,
+		AndAssign, OrAssign, XorAssign, ShlAssignOp, ShrAssignOp:
+		return true
+	}
+	return false
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op   BinOp
+	L, R Expr
+	Pos  source.Loc // operator position
+}
+
+// CondExpr is "c ? t : f".
+type CondExpr struct {
+	C, T, F Expr
+	Pos     source.Loc
+}
+
+// CallExpr is "fn(args...)". Fn may be a NameExpr, MemberExpr, or any
+// callable expression.
+type CallExpr struct {
+	Fn   Expr
+	Args []Expr
+	Pos  source.Span // from fn to ')'
+	// LParen is the call's opening parenthesis; PDB "rcall" locations
+	// point at the callee name, kept on Fn.
+	LParen source.Loc
+}
+
+// MemberExpr is "base.name" or "base->name".
+type MemberExpr struct {
+	Base  Expr
+	Arrow bool
+	Name  QualName
+	Pos   source.Loc // location of name
+}
+
+// IndexExpr is "base[index]".
+type IndexExpr struct {
+	Base, Index Expr
+	Pos         source.Span
+}
+
+// CastStyle distinguishes cast syntaxes.
+type CastStyle int
+
+// Cast styles.
+const (
+	CCast CastStyle = iota
+	StaticCast
+	ConstCast
+	ReinterpretCast
+	DynamicCast
+	FunctionalCast // T(expr)
+)
+
+// CastExpr is a cast of any style.
+type CastExpr struct {
+	Style   CastStyle
+	Type    TypeExpr
+	Operand Expr
+	Pos     source.Span
+}
+
+// ConstructExpr is a functional-style construction "T(a, b)" with zero
+// or 2+ arguments (one argument parses as FunctionalCast), or an
+// explicit temporary of class type.
+type ConstructExpr struct {
+	Type TypeExpr
+	Args []Expr
+	Pos  source.Span
+}
+
+// NewExpr is "new T", "new T(args)", or "new T[n]".
+type NewExpr struct {
+	Type      TypeExpr
+	Args      []Expr
+	ArraySize Expr // non-nil for new[]
+	Pos       source.Span
+}
+
+// DeleteExpr is "delete e" or "delete[] e".
+type DeleteExpr struct {
+	Operand Expr
+	Array   bool
+	Pos     source.Span
+}
+
+// SizeofExpr is "sizeof(type)" or "sizeof expr".
+type SizeofExpr struct {
+	Type TypeExpr // exactly one of Type/Operand set
+	E    Expr
+	Pos  source.Span
+}
+
+// ThrowExpr is "throw e" or rethrow "throw".
+type ThrowExpr struct {
+	Operand Expr // may be nil
+	Pos     source.Span
+}
+
+func (e *IntLit) exprNode()        {}
+func (e *FloatLit) exprNode()      {}
+func (e *CharLit) exprNode()       {}
+func (e *StringLit) exprNode()     {}
+func (e *BoolLit) exprNode()       {}
+func (e *NameExpr) exprNode()      {}
+func (e *ThisExpr) exprNode()      {}
+func (e *ParenExpr) exprNode()     {}
+func (e *UnaryExpr) exprNode()     {}
+func (e *BinaryExpr) exprNode()    {}
+func (e *CondExpr) exprNode()      {}
+func (e *CallExpr) exprNode()      {}
+func (e *MemberExpr) exprNode()    {}
+func (e *IndexExpr) exprNode()     {}
+func (e *CastExpr) exprNode()      {}
+func (e *ConstructExpr) exprNode() {}
+func (e *NewExpr) exprNode()       {}
+func (e *DeleteExpr) exprNode()    {}
+func (e *SizeofExpr) exprNode()    {}
+func (e *ThrowExpr) exprNode()     {}
+
+func ptSpan(l source.Loc) source.Span { return source.Span{Begin: l, End: l} }
+
+func (e *IntLit) Span() source.Span     { return ptSpan(e.Pos) }
+func (e *FloatLit) Span() source.Span   { return ptSpan(e.Pos) }
+func (e *CharLit) Span() source.Span    { return ptSpan(e.Pos) }
+func (e *StringLit) Span() source.Span  { return ptSpan(e.Pos) }
+func (e *BoolLit) Span() source.Span    { return ptSpan(e.Pos) }
+func (e *NameExpr) Span() source.Span   { return ptSpan(e.Name.Loc()) }
+func (e *ThisExpr) Span() source.Span   { return ptSpan(e.Pos) }
+func (e *ParenExpr) Span() source.Span  { return e.Pos }
+func (e *UnaryExpr) Span() source.Span  { return ptSpan(e.Pos) }
+func (e *BinaryExpr) Span() source.Span { return ptSpan(e.Pos) }
+func (e *CondExpr) Span() source.Span   { return ptSpan(e.Pos) }
+func (e *CallExpr) Span() source.Span   { return e.Pos }
+func (e *MemberExpr) Span() source.Span { return ptSpan(e.Pos) }
+func (e *IndexExpr) Span() source.Span  { return e.Pos }
+func (e *CastExpr) Span() source.Span   { return e.Pos }
+func (e *ConstructExpr) Span() source.Span {
+	return e.Pos
+}
+func (e *NewExpr) Span() source.Span    { return e.Pos }
+func (e *DeleteExpr) Span() source.Span { return e.Pos }
+func (e *SizeofExpr) Span() source.Span { return e.Pos }
+func (e *ThrowExpr) Span() source.Span  { return e.Pos }
+
+// ExprString renders an expression back to approximate C++ source, used
+// in diagnostics and in PDB template-argument spellings.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case nil:
+		return ""
+	case *IntLit:
+		return e.Text
+	case *FloatLit:
+		return e.Text
+	case *CharLit:
+		return e.Text
+	case *StringLit:
+		return "\"" + e.Value + "\""
+	case *BoolLit:
+		if e.Value {
+			return "true"
+		}
+		return "false"
+	case *NameExpr:
+		return e.Name.String()
+	case *ThisExpr:
+		return "this"
+	case *ParenExpr:
+		return "(" + ExprString(e.E) + ")"
+	case *UnaryExpr:
+		if e.Op == PostInc || e.Op == PostDec {
+			return ExprString(e.Operand) + e.Op.String()
+		}
+		return e.Op.String() + ExprString(e.Operand)
+	case *BinaryExpr:
+		return ExprString(e.L) + " " + e.Op.String() + " " + ExprString(e.R)
+	case *CondExpr:
+		return ExprString(e.C) + " ? " + ExprString(e.T) + " : " + ExprString(e.F)
+	case *CallExpr:
+		return ExprString(e.Fn) + "(" + exprList(e.Args) + ")"
+	case *MemberExpr:
+		op := "."
+		if e.Arrow {
+			op = "->"
+		}
+		return ExprString(e.Base) + op + e.Name.String()
+	case *IndexExpr:
+		return ExprString(e.Base) + "[" + ExprString(e.Index) + "]"
+	case *CastExpr:
+		switch e.Style {
+		case StaticCast:
+			return "static_cast<" + e.Type.String() + ">(" + ExprString(e.Operand) + ")"
+		case FunctionalCast:
+			return e.Type.String() + "(" + ExprString(e.Operand) + ")"
+		default:
+			return "(" + e.Type.String() + ")" + ExprString(e.Operand)
+		}
+	case *ConstructExpr:
+		return e.Type.String() + "(" + exprList(e.Args) + ")"
+	case *NewExpr:
+		s := "new " + e.Type.String()
+		if e.ArraySize != nil {
+			s += "[" + ExprString(e.ArraySize) + "]"
+		} else if len(e.Args) > 0 {
+			s += "(" + exprList(e.Args) + ")"
+		}
+		return s
+	case *DeleteExpr:
+		if e.Array {
+			return "delete[] " + ExprString(e.Operand)
+		}
+		return "delete " + ExprString(e.Operand)
+	case *SizeofExpr:
+		if e.Type != nil {
+			return "sizeof(" + e.Type.String() + ")"
+		}
+		return "sizeof " + ExprString(e.E)
+	case *ThrowExpr:
+		if e.Operand == nil {
+			return "throw"
+		}
+		return "throw " + ExprString(e.Operand)
+	default:
+		return "<expr>"
+	}
+}
+
+func exprList(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = ExprString(e)
+	}
+	return strings.Join(parts, ", ")
+}

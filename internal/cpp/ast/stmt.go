@@ -1,0 +1,135 @@
+package ast
+
+import "pdt/internal/source"
+
+// Stmt is implemented by every statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// CompoundStmt is "{ ... }".
+type CompoundStmt struct {
+	Stmts []Stmt
+	Pos   source.Span // from '{' to '}'
+}
+
+// DeclStmt wraps local declarations (possibly several from one
+// multi-declarator statement).
+type DeclStmt struct {
+	Decls []Decl
+	Pos   source.Span
+}
+
+// ExprStmt is "expr;".
+type ExprStmt struct {
+	E   Expr
+	Pos source.Span
+}
+
+// EmptyStmt is ";".
+type EmptyStmt struct {
+	Pos source.Span
+}
+
+// IfStmt is "if (cond) then else els".
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // nil if absent
+	Pos  source.Span
+}
+
+// WhileStmt is "while (cond) body".
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Pos  source.Span
+}
+
+// DoStmt is "do body while (cond);".
+type DoStmt struct {
+	Body Stmt
+	Cond Expr
+	Pos  source.Span
+}
+
+// ForStmt is "for (init; cond; post) body".
+type ForStmt struct {
+	Init Stmt // DeclStmt, ExprStmt or EmptyStmt
+	Cond Expr // nil if absent
+	Post Expr // nil if absent
+	Body Stmt
+	Pos  source.Span
+}
+
+// ReturnStmt is "return expr;" (expr may be nil).
+type ReturnStmt struct {
+	E   Expr
+	Pos source.Span
+}
+
+// BreakStmt is "break;".
+type BreakStmt struct{ Pos source.Span }
+
+// ContinueStmt is "continue;".
+type ContinueStmt struct{ Pos source.Span }
+
+// SwitchCase is one "case v: ..." or "default: ..." group.
+type SwitchCase struct {
+	// Values lists the case expressions; empty means "default".
+	Values []Expr
+	Stmts  []Stmt
+	Pos    source.Span
+}
+
+// SwitchStmt is "switch (cond) { cases }". Fallthrough between groups is
+// honored by the interpreter.
+type SwitchStmt struct {
+	Cond  Expr
+	Cases []SwitchCase
+	Pos   source.Span
+}
+
+// Handler is one catch clause.
+type Handler struct {
+	// Param is nil for "catch (...)".
+	Param *ParamDecl
+	Body  *CompoundStmt
+	Pos   source.Span
+}
+
+// TryStmt is "try { } catch (...) { } ...".
+type TryStmt struct {
+	Body     *CompoundStmt
+	Handlers []Handler
+	Pos      source.Span
+}
+
+func (s *CompoundStmt) stmtNode() {}
+func (s *DeclStmt) stmtNode()     {}
+func (s *ExprStmt) stmtNode()     {}
+func (s *EmptyStmt) stmtNode()    {}
+func (s *IfStmt) stmtNode()       {}
+func (s *WhileStmt) stmtNode()    {}
+func (s *DoStmt) stmtNode()       {}
+func (s *ForStmt) stmtNode()      {}
+func (s *ReturnStmt) stmtNode()   {}
+func (s *BreakStmt) stmtNode()    {}
+func (s *ContinueStmt) stmtNode() {}
+func (s *SwitchStmt) stmtNode()   {}
+func (s *TryStmt) stmtNode()      {}
+
+func (s *CompoundStmt) Span() source.Span { return s.Pos }
+func (s *DeclStmt) Span() source.Span     { return s.Pos }
+func (s *ExprStmt) Span() source.Span     { return s.Pos }
+func (s *EmptyStmt) Span() source.Span    { return s.Pos }
+func (s *IfStmt) Span() source.Span       { return s.Pos }
+func (s *WhileStmt) Span() source.Span    { return s.Pos }
+func (s *DoStmt) Span() source.Span       { return s.Pos }
+func (s *ForStmt) Span() source.Span      { return s.Pos }
+func (s *ReturnStmt) Span() source.Span   { return s.Pos }
+func (s *BreakStmt) Span() source.Span    { return s.Pos }
+func (s *ContinueStmt) Span() source.Span { return s.Pos }
+func (s *SwitchStmt) Span() source.Span   { return s.Pos }
+func (s *TryStmt) Span() source.Span      { return s.Pos }

@@ -1,0 +1,183 @@
+package lex
+
+import (
+	"testing"
+
+	"pdt/internal/source"
+)
+
+func lexAll(t *testing.T, src string) []Token {
+	t.Helper()
+	fs := source.NewFileSet()
+	f := fs.AddVirtualFile("test.cpp", src)
+	toks, errs := Tokens(f)
+	for _, e := range errs {
+		t.Errorf("lex error: %v", e)
+	}
+	return toks
+}
+
+func kindsOf(toks []Token) []Kind {
+	out := make([]Kind, 0, len(toks))
+	for _, t := range toks {
+		out = append(out, t.Kind)
+	}
+	return out
+}
+
+func TestIdentifiersAndKeywords(t *testing.T) {
+	toks := lexAll(t, "class Stack _x x1 template int")
+	want := []struct {
+		kind Kind
+		text string
+	}{
+		{Keyword, "class"}, {Ident, "Stack"}, {Ident, "_x"},
+		{Ident, "x1"}, {Keyword, "template"}, {Keyword, "int"}, {EOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("tok %d = (%v,%q), want (%v,%q)", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestPunctuators(t *testing.T) {
+	toks := lexAll(t, ":: -> ->* << >> <<= >>= == != <= >= && || ++ -- ... ## .*")
+	want := []Kind{ColonCol, Arrow, ArrowStar, Shl, Shr, ShlAssign, ShrAssign,
+		Eq, Ne, Le, Ge, AndAnd, OrOr, PlusPlus, MinusMinus, Ellipsis, HashHash, DotStar, EOF}
+	got := kindsOf(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tok %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind Kind
+	}{
+		{"42", IntLit}, {"0x1f", IntLit}, {"017", IntLit}, {"42u", IntLit},
+		{"42UL", IntLit}, {"3.14", FloatLit}, {"1e10", FloatLit},
+		{"1.5e-3", FloatLit}, {"2.0f", FloatLit}, {".5", FloatLit},
+	}
+	for _, c := range cases {
+		toks := lexAll(t, c.src)
+		if toks[0].Kind != c.kind || toks[0].Text != c.src {
+			t.Errorf("%q -> (%v,%q), want (%v,%q)", c.src, toks[0].Kind, toks[0].Text, c.kind, c.src)
+		}
+	}
+}
+
+func TestIntValue(t *testing.T) {
+	cases := []struct {
+		text string
+		want int64
+	}{
+		{"42", 42}, {"0x10", 16}, {"010", 8}, {"7uL", 7},
+	}
+	for _, c := range cases {
+		got, err := IntValue(c.text)
+		if err != nil || got != c.want {
+			t.Errorf("IntValue(%q) = %d,%v want %d", c.text, got, err, c.want)
+		}
+	}
+}
+
+func TestCharAndStringLiterals(t *testing.T) {
+	toks := lexAll(t, `'a' '\n' "hi\tthere" "quote\""`)
+	if toks[0].Kind != CharLit || toks[0].Text != "'a'" {
+		t.Errorf("char lit: %v %q", toks[0].Kind, toks[0].Text)
+	}
+	if v, _ := CharValue(toks[1].Text); v != '\n' {
+		t.Errorf("CharValue newline = %d", v)
+	}
+	if s, _ := StringValue(toks[2].Text); s != "hi\tthere" {
+		t.Errorf("StringValue = %q", s)
+	}
+	if s, _ := StringValue(toks[3].Text); s != `quote"` {
+		t.Errorf("StringValue = %q", s)
+	}
+}
+
+func TestCommentsAndFlags(t *testing.T) {
+	toks := lexAll(t, "a // comment\nb /* multi\nline */ c")
+	if len(toks) != 4 {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	if !toks[0].StartOfLine {
+		t.Error("a should start a line")
+	}
+	if !toks[1].StartOfLine {
+		t.Error("b should start a line (after // comment)")
+	}
+	if !toks[2].SpaceBefore {
+		t.Error("c should have SpaceBefore (after block comment)")
+	}
+	if toks[1].Loc.Line != 2 || toks[2].Loc.Line != 3 {
+		t.Errorf("line numbers: b at %d, c at %d", toks[1].Loc.Line, toks[2].Loc.Line)
+	}
+}
+
+func TestLineSplice(t *testing.T) {
+	toks := lexAll(t, "ab\\\ncd efg")
+	if toks[0].Text != "abcd" {
+		t.Errorf("spliced ident = %q, want abcd", toks[0].Text)
+	}
+	if toks[1].Text != "efg" || toks[1].Loc.Line != 2 {
+		t.Errorf("efg at line %d", toks[1].Loc.Line)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := lexAll(t, "int x;\n  foo();")
+	// int at 1:1, x at 1:5, ; at 1:6, foo at 2:3
+	checks := []struct {
+		i, line, col int
+	}{{0, 1, 1}, {1, 1, 5}, {2, 1, 6}, {3, 2, 3}}
+	for _, c := range checks {
+		if toks[c.i].Loc.Line != c.line || toks[c.i].Loc.Col != c.col {
+			t.Errorf("tok %d at %d:%d, want %d:%d", c.i, toks[c.i].Loc.Line, toks[c.i].Loc.Col, c.line, c.col)
+		}
+	}
+}
+
+func TestHideSet(t *testing.T) {
+	var h *HideSet
+	if h.Contains("A") {
+		t.Error("empty set should not contain A")
+	}
+	h2 := h.With("A").With("B")
+	if !h2.Contains("A") || !h2.Contains("B") || h2.Contains("C") {
+		t.Error("hide set membership wrong")
+	}
+	h3 := h2.Union(h.With("C"))
+	if !h3.Contains("C") || !h3.Contains("A") {
+		t.Error("union wrong")
+	}
+}
+
+func TestStringify(t *testing.T) {
+	toks := lexAll(t, "template <class T> class Stack { };")
+	got := Stringify(toks[:len(toks)-1])
+	want := "template <class T> class Stack { };"
+	if got != want {
+		t.Errorf("Stringify = %q, want %q", got, want)
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	fs := source.NewFileSet()
+	f := fs.AddVirtualFile("bad.cpp", "\"oops\nint x;")
+	_, errs := Tokens(f)
+	if len(errs) == 0 {
+		t.Error("expected error for unterminated string")
+	}
+}

@@ -1,0 +1,132 @@
+package lex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pdt/internal/source"
+)
+
+// randTokenText draws a random valid token spelling.
+func randTokenText(r *rand.Rand) string {
+	switch r.Intn(6) {
+	case 0: // identifier/keyword
+		words := []string{"foo", "bar", "x1", "_tmp", "class", "template",
+			"int", "Stack", "operatorX"}
+		return words[r.Intn(len(words))]
+	case 1: // integer
+		ints := []string{"0", "42", "0x1f", "017", "7u", "9L"}
+		return ints[r.Intn(len(ints))]
+	case 2: // float
+		floats := []string{"1.5", "0.25", "2e10", "3.5e-2", "1.0f"}
+		return floats[r.Intn(len(floats))]
+	case 3: // string
+		strs := []string{`"hi"`, `"a b c"`, `"esc\n"`, `""`}
+		return strs[r.Intn(len(strs))]
+	case 4: // char
+		chars := []string{`'a'`, `'\n'`, `'0'`}
+		return chars[r.Intn(len(chars))]
+	default: // punctuator
+		puncts := []string{"{", "}", "(", ")", ";", ",", "::", "->", "<<",
+			">>", "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+", "-",
+			"*", "/", "%", "=", "<", ">", "[", "]", ".", "?", ":"}
+		return puncts[r.Intn(len(puncts))]
+	}
+}
+
+// Property: lex → Stringify → lex reproduces the same token kinds and
+// spellings (the lexer round-trips through its own printer).
+func TestLexStringifyRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		texts := make([]string, n)
+		for i := range texts {
+			texts[i] = randTokenText(r)
+		}
+		// Join with spaces so adjacent tokens cannot merge.
+		src := ""
+		for i, txt := range texts {
+			if i > 0 {
+				src += " "
+			}
+			src += txt
+		}
+		fs := source.NewFileSet()
+		f1 := fs.AddVirtualFile("a.cpp", src)
+		toks1, errs1 := Tokens(f1)
+		if len(errs1) > 0 {
+			return false
+		}
+		printed := Stringify(toks1[:len(toks1)-1])
+		f2 := fs.AddVirtualFile("b.cpp", printed)
+		toks2, errs2 := Tokens(f2)
+		if len(errs2) > 0 {
+			t.Logf("relex failed on %q", printed)
+			return false
+		}
+		if len(toks1) != len(toks2) {
+			t.Logf("token count changed: %d vs %d (%q vs %q)", len(toks1), len(toks2), src, printed)
+			return false
+		}
+		for i := range toks1 {
+			if toks1[i].Kind != toks2[i].Kind || toks1[i].Text != toks2[i].Text {
+				t.Logf("token %d changed: (%v,%q) vs (%v,%q)",
+					i, toks1[i].Kind, toks1[i].Text, toks2[i].Kind, toks2[i].Text)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the lexer never panics and always terminates with EOF on
+// arbitrary byte soup.
+func TestLexArbitraryBytesNoPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		fs := source.NewFileSet()
+		file := fs.AddVirtualFile("fuzz.cpp", string(data))
+		toks, _ := Tokens(file)
+		return len(toks) > 0 && toks[len(toks)-1].Kind == EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: positions are non-decreasing through the token stream.
+func TestLexPositionsMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := ""
+		for i := 0; i < 20; i++ {
+			src += randTokenText(r)
+			if r.Intn(3) == 0 {
+				src += "\n"
+			} else {
+				src += " "
+			}
+		}
+		fs := source.NewFileSet()
+		file := fs.AddVirtualFile("m.cpp", src)
+		toks, errs := Tokens(file)
+		if len(errs) > 0 {
+			return true // soup with merged tokens can error; fine
+		}
+		for i := 1; i < len(toks); i++ {
+			a, b := toks[i-1].Loc, toks[i].Loc
+			if b.Line < a.Line || (b.Line == a.Line && b.Col < a.Col) {
+				t.Logf("positions went backwards at token %d", i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

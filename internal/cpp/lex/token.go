@@ -1,0 +1,210 @@
+// Package lex implements the C++ lexer of the PDT frontend. It turns the
+// bytes of one source file into a stream of tokens carrying full source
+// positions. The preprocessor (internal/cpp/pp) consumes these raw token
+// streams, executes directives, expands macros, and hands the resulting
+// logical stream to the parser.
+package lex
+
+import (
+	"fmt"
+
+	"pdt/internal/source"
+)
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds. Punctuators get one kind each so the parser can switch on
+// them directly.
+const (
+	EOF Kind = iota
+	Ident
+	Keyword
+	IntLit
+	FloatLit
+	CharLit
+	StringLit
+
+	// Punctuators.
+	LBrace    // {
+	RBrace    // }
+	LParen    // (
+	RParen    // )
+	LBracket  // [
+	RBracket  // ]
+	Semi      // ;
+	Comma     // ,
+	Colon     // :
+	ColonCol  // ::
+	Dot       // .
+	DotStar   // .*
+	Arrow     // ->
+	ArrowStar // ->*
+	Ellipsis  // ...
+	Question  // ?
+
+	Plus    // +
+	Minus   // -
+	Star    // *
+	Slash   // /
+	Percent // %
+	Caret   // ^
+	Amp     // &
+	Pipe    // |
+	Tilde   // ~
+	Not     // !
+	Assign  // =
+	Lt      // <
+	Gt      // >
+
+	PlusAssign    // +=
+	MinusAssign   // -=
+	StarAssign    // *=
+	SlashAssign   // /=
+	PercentAssign // %=
+	CaretAssign   // ^=
+	AmpAssign     // &=
+	PipeAssign    // |=
+	Shl           // <<
+	Shr           // >>
+	ShlAssign     // <<=
+	ShrAssign     // >>=
+	Eq            // ==
+	Ne            // !=
+	Le            // <=
+	Ge            // >=
+	AndAnd        // &&
+	OrOr          // ||
+	PlusPlus      // ++
+	MinusMinus    // --
+
+	Hash     // #  (significant only to the preprocessor)
+	HashHash // ## (significant only inside macro bodies)
+
+	Other // any byte the lexer does not understand
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", Keyword: "keyword",
+	IntLit: "integer literal", FloatLit: "float literal",
+	CharLit: "char literal", StringLit: "string literal",
+	LBrace: "{", RBrace: "}", LParen: "(", RParen: ")",
+	LBracket: "[", RBracket: "]", Semi: ";", Comma: ",",
+	Colon: ":", ColonCol: "::", Dot: ".", DotStar: ".*",
+	Arrow: "->", ArrowStar: "->*", Ellipsis: "...", Question: "?",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Caret: "^", Amp: "&", Pipe: "|", Tilde: "~", Not: "!",
+	Assign: "=", Lt: "<", Gt: ">",
+	PlusAssign: "+=", MinusAssign: "-=", StarAssign: "*=",
+	SlashAssign: "/=", PercentAssign: "%=", CaretAssign: "^=",
+	AmpAssign: "&=", PipeAssign: "|=", Shl: "<<", Shr: ">>",
+	ShlAssign: "<<=", ShrAssign: ">>=", Eq: "==", Ne: "!=",
+	Le: "<=", Ge: ">=", AndAnd: "&&", OrOr: "||",
+	PlusPlus: "++", MinusMinus: "--", Hash: "#", HashHash: "##",
+	Other: "invalid token",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords recognized by the frontend. The lexer marks them Keyword; the
+// preprocessor treats them as plain identifiers (so they may be macro
+// names), and the parser dispatches on Text.
+var keywords = map[string]bool{
+	"asm": true, "auto": true, "bool": true, "break": true,
+	"case": true, "catch": true, "char": true, "class": true,
+	"const": true, "const_cast": true, "continue": true,
+	"default": true, "delete": true, "do": true, "double": true,
+	"dynamic_cast": true, "else": true, "enum": true, "explicit": true,
+	"export": true, "extern": true, "false": true, "float": true,
+	"for": true, "friend": true, "goto": true, "if": true,
+	"inline": true, "int": true, "long": true, "mutable": true,
+	"namespace": true, "new": true, "operator": true, "private": true,
+	"protected": true, "public": true, "register": true,
+	"reinterpret_cast": true, "return": true, "short": true,
+	"signed": true, "sizeof": true, "static": true, "static_cast": true,
+	"struct": true, "switch": true, "template": true, "this": true,
+	"throw": true, "true": true, "try": true, "typedef": true,
+	"typeid": true, "typename": true, "union": true, "unsigned": true,
+	"using": true, "virtual": true, "void": true, "volatile": true,
+	"while": true,
+}
+
+// IsKeyword reports whether s is a C++ keyword in the supported subset.
+func IsKeyword(s string) bool { return keywords[s] }
+
+// Token is one lexical token. Text is the exact spelling (without quotes
+// stripped or escapes processed; use Value helpers for that).
+type Token struct {
+	Kind Kind
+	Text string
+	Loc  source.Loc
+
+	// StartOfLine marks the first token on a physical line; the
+	// preprocessor uses it to find directives and to terminate them.
+	StartOfLine bool
+	// SpaceBefore records preceding whitespace or comments; it is used
+	// when re-stringifying token runs (PDB "ttext"/"mtext" attributes).
+	SpaceBefore bool
+
+	// HideSet carries macro names that must not expand this token
+	// again. Managed entirely by the preprocessor.
+	HideSet *HideSet
+}
+
+// Is reports whether the token is the given punctuator/keyword spelling.
+func (t Token) Is(kind Kind, text string) bool {
+	return t.Kind == kind && t.Text == text
+}
+
+// IsKw reports whether the token is the given keyword.
+func (t Token) IsKw(text string) bool { return t.Kind == Keyword && t.Text == text }
+
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "EOF"
+	case Ident, Keyword, IntLit, FloatLit, CharLit, StringLit:
+		return t.Text
+	default:
+		return t.Kind.String()
+	}
+}
+
+// HideSet is an immutable set of macro names, shared structurally. Sets
+// are tiny in practice (nesting depth of expansion), so a linked list is
+// both simple and fast.
+type HideSet struct {
+	name string
+	rest *HideSet
+}
+
+// Contains reports whether name is in the set.
+func (h *HideSet) Contains(name string) bool {
+	for s := h; s != nil; s = s.rest {
+		if s.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// With returns a set extended with name.
+func (h *HideSet) With(name string) *HideSet {
+	return &HideSet{name: name, rest: h}
+}
+
+// Union returns the union of two hide sets.
+func (h *HideSet) Union(other *HideSet) *HideSet {
+	out := h
+	for s := other; s != nil; s = s.rest {
+		if !out.Contains(s.name) {
+			out = out.With(s.name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package lex
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// IntValue parses the spelling of an IntLit token (decimal, hex, or
+// octal, with optional u/l suffixes) into an int64.
+func IntValue(text string) (int64, error) {
+	s := strings.TrimRight(text, "uUlL")
+	if s == "" {
+		return 0, fmt.Errorf("empty integer literal %q", text)
+	}
+	// strconv with base 0 handles 0x..., 0... (octal) and decimal.
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Large unsigned constants (e.g. 0xffffffffffffffff).
+		u, uerr := strconv.ParseUint(s, 0, 64)
+		if uerr != nil {
+			return 0, fmt.Errorf("bad integer literal %q: %v", text, err)
+		}
+		return int64(u), nil
+	}
+	return v, nil
+}
+
+// FloatValue parses the spelling of a FloatLit token into a float64.
+func FloatValue(text string) (float64, error) {
+	s := strings.TrimRight(text, "fFlL")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad float literal %q: %v", text, err)
+	}
+	return v, nil
+}
+
+// CharValue decodes a character literal (including escapes) to its
+// integer value.
+func CharValue(text string) (int64, error) {
+	body := text
+	if strings.HasPrefix(body, "'") {
+		body = body[1:]
+	}
+	if strings.HasSuffix(body, "'") {
+		body = body[:len(body)-1]
+	}
+	if body == "" {
+		return 0, fmt.Errorf("empty char literal %q", text)
+	}
+	if body[0] != '\\' {
+		return int64(body[0]), nil
+	}
+	v, _, err := decodeEscape(body[1:])
+	return v, err
+}
+
+// StringValue decodes a string literal's spelling (quotes + escapes)
+// into its contents.
+func StringValue(text string) (string, error) {
+	body := text
+	if strings.HasPrefix(body, `"`) {
+		body = body[1:]
+	}
+	if strings.HasSuffix(body, `"`) {
+		body = body[:len(body)-1]
+	}
+	var sb strings.Builder
+	for i := 0; i < len(body); {
+		if body[i] != '\\' {
+			sb.WriteByte(body[i])
+			i++
+			continue
+		}
+		v, n, err := decodeEscape(body[i+1:])
+		if err != nil {
+			return "", err
+		}
+		sb.WriteByte(byte(v))
+		i += 1 + n
+	}
+	return sb.String(), nil
+}
+
+// decodeEscape decodes the escape sequence following a backslash,
+// returning the value and the number of bytes consumed.
+func decodeEscape(s string) (int64, int, error) {
+	if s == "" {
+		return 0, 0, fmt.Errorf("dangling backslash")
+	}
+	switch s[0] {
+	case 'n':
+		return '\n', 1, nil
+	case 't':
+		return '\t', 1, nil
+	case 'r':
+		return '\r', 1, nil
+	case '0', '1', '2', '3', '4', '5', '6', '7':
+		n := 0
+		var v int64
+		for n < 3 && n < len(s) && s[n] >= '0' && s[n] <= '7' {
+			v = v*8 + int64(s[n]-'0')
+			n++
+		}
+		return v, n, nil
+	case 'x':
+		n := 1
+		var v int64
+		for n < len(s) && isHexDigit(s[n]) {
+			d, _ := strconv.ParseInt(string(s[n]), 16, 64)
+			v = v*16 + d
+			n++
+		}
+		if n == 1 {
+			return 0, 0, fmt.Errorf("bad hex escape")
+		}
+		return v, n, nil
+	case '\\':
+		return '\\', 1, nil
+	case '\'':
+		return '\'', 1, nil
+	case '"':
+		return '"', 1, nil
+	case '?':
+		return '?', 1, nil
+	case 'a':
+		return 7, 1, nil
+	case 'b':
+		return 8, 1, nil
+	case 'f':
+		return 12, 1, nil
+	case 'v':
+		return 11, 1, nil
+	default:
+		return int64(s[0]), 1, nil
+	}
+}
+
+// Quote renders s as a C string literal.
+func Quote(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch b := s[i]; b {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			sb.WriteByte(b)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}

@@ -1,0 +1,470 @@
+package parse
+
+import (
+	"pdt/internal/cpp/ast"
+	"pdt/internal/cpp/lex"
+	"pdt/internal/source"
+)
+
+// parseExternalDecl parses one namespace-scope declaration.
+func (p *Parser) parseExternalDecl() ast.Decl {
+	t := p.peek()
+	switch {
+	case t.Kind == lex.Semi:
+		p.next()
+		return nil
+	case t.IsKw("namespace"):
+		return p.parseNamespace()
+	case t.IsKw("using"):
+		return p.parseUsing()
+	case t.IsKw("extern") && p.peekN(1).Kind == lex.StringLit:
+		return p.parseLinkage()
+	case t.IsKw("template"):
+		return p.parseTemplate(ast.NoAccess)
+	case t.IsKw("typedef"):
+		return p.parseTypedef()
+	case t.IsKw("enum"):
+		return p.parseEnum()
+	case t.IsKw("class") || t.IsKw("struct") || t.IsKw("union"):
+		if p.classHeadFollows() {
+			return p.parseClass(nil)
+		}
+		return p.parseFuncOrVar(ast.NoAccess, nil)
+	default:
+		return p.parseFuncOrVar(ast.NoAccess, nil)
+	}
+}
+
+// classHeadFollows disambiguates "class C {...}" / "class C;" /
+// "class C : base" from an elaborated-type-specifier in a variable or
+// function declaration ("class C x;" / "struct S f();").
+func (p *Parser) classHeadFollows() bool {
+	// p.peek() is class/struct/union.
+	i := 1
+	if p.peekN(i).Kind != lex.Ident {
+		return p.peekN(i).Kind == lex.LBrace // anonymous
+	}
+	i++
+	// Skip a template-id on the name (specialization headers).
+	if p.peekN(i).Kind == lex.Lt {
+		depth := 1
+		i++
+		for depth > 0 {
+			switch p.peekN(i).Kind {
+			case lex.Lt:
+				depth++
+			case lex.Gt:
+				depth--
+			case lex.Shr:
+				depth -= 2
+			case lex.EOF:
+				return false
+			}
+			i++
+		}
+	}
+	switch p.peekN(i).Kind {
+	case lex.LBrace, lex.Colon, lex.Semi:
+		return true
+	}
+	return false
+}
+
+// --- namespaces, using, linkage ----------------------------------------
+
+func (p *Parser) parseNamespace() ast.Decl {
+	kw := p.next() // namespace
+	d := &ast.NamespaceDecl{Header: source.Span{Begin: kw.Loc, End: kw.Loc}}
+	if p.at(lex.Ident) {
+		id := p.next()
+		d.Name = id.Text
+		d.NameLoc = id.Loc
+		d.Header.End = id.Loc
+	}
+	if p.accept(lex.Assign) {
+		alias := p.parseQualName(true)
+		d.Alias = &alias
+		p.expect(lex.Semi, "namespace alias")
+		p.declareName(d.Name, symNamespace)
+		return d
+	}
+	p.declareName(d.Name, symNamespace)
+	lb := p.expect(lex.LBrace, "namespace body")
+	d.Body.Begin = lb.Loc
+	p.pushScope()
+	for !p.at(lex.RBrace) && !p.at(lex.EOF) {
+		start := p.pos
+		if inner := p.parseExternalDecl(); inner != nil {
+			d.Decls = append(d.Decls, inner)
+		}
+		if p.pos == start {
+			p.errorf(p.peek().Loc, "unexpected token %s in namespace", p.peek())
+			p.next()
+		}
+	}
+	p.popScope()
+	rb := p.expect(lex.RBrace, "namespace body")
+	d.Body.End = rb.Loc
+	return d
+}
+
+func (p *Parser) parseUsing() ast.Decl {
+	kw := p.next() // using
+	if p.atKw("namespace") {
+		p.next()
+		name := p.parseQualName(true)
+		semi := p.expect(lex.Semi, "using directive")
+		return &ast.UsingDirective{Namespace: name, Pos: source.Span{Begin: kw.Loc, End: semi.Loc}}
+	}
+	name := p.parseQualName(true)
+	semi := p.expect(lex.Semi, "using declaration")
+	// Names brought in by using may be types (e.g. using std::vector).
+	if p.isTypeName(name.Terminal().Name) {
+		p.declareName(name.Terminal().Name, p.lookupName(name.Terminal().Name))
+	}
+	return &ast.UsingDecl{Name: name, Pos: source.Span{Begin: kw.Loc, End: semi.Loc}}
+}
+
+func (p *Parser) parseLinkage() ast.Decl {
+	kw := p.next() // extern
+	langTok := p.next()
+	lang, _ := lex.StringValue(langTok.Text)
+	d := &ast.LinkageSpec{Lang: lang, Pos: source.Span{Begin: kw.Loc, End: langTok.Loc}}
+	if p.accept(lex.LBrace) {
+		for !p.at(lex.RBrace) && !p.at(lex.EOF) {
+			start := p.pos
+			if inner := p.parseExternalDecl(); inner != nil {
+				d.Decls = append(d.Decls, inner)
+			}
+			if p.pos == start {
+				p.next()
+			}
+		}
+		rb := p.expect(lex.RBrace, "linkage specification")
+		d.Pos.End = rb.Loc
+		return d
+	}
+	if inner := p.parseExternalDecl(); inner != nil {
+		d.Decls = append(d.Decls, inner)
+	}
+	return d
+}
+
+// --- typedef, enum ------------------------------------------------------
+
+func (p *Parser) parseTypedef() ast.Decl {
+	kw := p.next() // typedef
+	base := p.parseTypeSpecifier()
+	ty := p.parseTypeOps(base)
+	id := p.expect(lex.Ident, "typedef name")
+	// Array suffix: typedef int Buf[16];
+	for p.at(lex.LBracket) {
+		p.next()
+		var size ast.Expr
+		if !p.at(lex.RBracket) {
+			size = p.parseConstantExpr()
+		}
+		p.expect(lex.RBracket, "typedef array")
+		ty = &ast.ArrayType{Elem: ty, Size: size, Pos: id.Loc}
+	}
+	semi := p.expect(lex.Semi, "typedef")
+	p.declareName(id.Text, symType)
+	return &ast.TypedefDecl{Name: id.Text, NameLoc: id.Loc, Type: ty,
+		Pos: source.Span{Begin: kw.Loc, End: semi.Loc}}
+}
+
+func (p *Parser) parseEnum() ast.Decl {
+	kw := p.next() // enum
+	d := &ast.EnumDecl{Header: source.Span{Begin: kw.Loc, End: kw.Loc}}
+	if p.at(lex.Ident) {
+		id := p.next()
+		d.Name = id.Text
+		d.NameLoc = id.Loc
+		d.Header.End = id.Loc
+		p.declareName(d.Name, symType)
+	}
+	if p.at(lex.LBrace) {
+		lb := p.next()
+		d.Body.Begin = lb.Loc
+		for !p.at(lex.RBrace) && !p.at(lex.EOF) {
+			id := p.expect(lex.Ident, "enumerator")
+			e := ast.Enumerator{Name: id.Text, Loc: id.Loc}
+			if p.accept(lex.Assign) {
+				e.Value = p.parseConstantExpr()
+			}
+			d.Enumerators = append(d.Enumerators, e)
+			if !p.accept(lex.Comma) {
+				break
+			}
+		}
+		rb := p.expect(lex.RBrace, "enum body")
+		d.Body.End = rb.Loc
+	}
+	p.expect(lex.Semi, "enum declaration")
+	return d
+}
+
+// --- templates -----------------------------------------------------------
+
+// parseTemplate parses "template <...> declaration", explicit
+// specializations ("template <>") and explicit instantiations
+// ("template class Stack<int>;").
+func (p *Parser) parseTemplate(access ast.Access) ast.Decl {
+	startTok := p.pos
+	kw := p.next() // template
+	if !p.at(lex.Lt) {
+		// Explicit instantiation: template class Stack<int>;
+		ty := p.parseType()
+		semi := p.expect(lex.Semi, "explicit instantiation")
+		return &ast.ExplicitInstantiation{Type: ty,
+			Pos: source.Span{Begin: kw.Loc, End: semi.Loc}}
+	}
+	p.next() // <
+	info := &ast.TemplateInfo{KwLoc: kw.Loc}
+	p.pushScope()
+	defer p.popScope()
+	for !p.at(lex.Gt) && !p.at(lex.EOF) {
+		param := p.parseTemplateParam()
+		info.Params = append(info.Params, param)
+		if !p.accept(lex.Comma) {
+			break
+		}
+	}
+	if p.at(lex.Shr) {
+		p.splitShr()
+	}
+	p.expect(lex.Gt, "template parameter list")
+
+	var d ast.Decl
+	t := p.peek()
+	switch {
+	case t.IsKw("class") || t.IsKw("struct") || t.IsKw("union"):
+		if p.classHeadFollows() {
+			d = p.parseClass(info)
+		} else {
+			d = p.parseFuncOrVar(access, info)
+		}
+	case t.IsKw("template"):
+		// template<class T> template<class U> — member template
+		// out-of-line definition; the inner clause carries the real
+		// parameters for the function.
+		inner := p.parseTemplate(access)
+		if fd, ok := inner.(*ast.FunctionDecl); ok && fd.Template != nil {
+			merged := append(append([]ast.TemplateParam{}, info.Params...), fd.Template.Params...)
+			fd.Template.Params = merged
+		}
+		d = inner
+	default:
+		d = p.parseFuncOrVar(access, info)
+	}
+	info.Text = lex.Stringify(p.toks[startTok:p.pos])
+	return d
+}
+
+func (p *Parser) parseTemplateParam() ast.TemplateParam {
+	t := p.peek()
+	if t.IsKw("class") || t.IsKw("typename") {
+		p.next()
+		param := ast.TemplateParam{IsType: true, Loc: t.Loc}
+		if p.at(lex.Ident) {
+			id := p.next()
+			param.Name = id.Text
+			param.Loc = id.Loc
+			p.declareName(param.Name, symType)
+		}
+		if p.accept(lex.Assign) {
+			param.DefaultType = p.parseType()
+		}
+		return param
+	}
+	// Non-type parameter: type name [= expr]
+	ty := p.parseType()
+	param := ast.TemplateParam{Type: ty, Loc: t.Loc}
+	if p.at(lex.Ident) {
+		id := p.next()
+		param.Name = id.Text
+		param.Loc = id.Loc
+	}
+	if p.accept(lex.Assign) {
+		savedNoGt := p.noGt
+		p.noGt = true
+		param.DefaultExpr = p.parseConstantExpr()
+		p.noGt = savedNoGt
+	}
+	return param
+}
+
+// --- classes --------------------------------------------------------------
+
+// parseClass parses a class/struct/union declaration or definition.
+// info carries the enclosing template clause, or nil.
+func (p *Parser) parseClass(info *ast.TemplateInfo) ast.Decl {
+	kwTok := p.next()
+	var kind ast.ClassKind
+	switch kwTok.Text {
+	case "struct":
+		kind = ast.Struct
+	case "union":
+		kind = ast.Union
+	default:
+		kind = ast.Class
+	}
+	d := &ast.ClassDecl{Kind: kind, Template: info,
+		Header: source.Span{Begin: kwTok.Loc, End: kwTok.Loc}}
+	if info != nil {
+		d.Header.Begin = info.KwLoc
+	}
+	if p.at(lex.Ident) {
+		id := p.next()
+		d.Name = id.Text
+		d.NameLoc = id.Loc
+		d.Header.End = id.Loc
+		if info != nil && !info.IsSpecialization() {
+			p.declareName(d.Name, symTemplate)
+		} else {
+			if p.lookupName(d.Name) != symTemplate {
+				p.declareName(d.Name, symType)
+			}
+		}
+	}
+	// Specialization arguments: template<> class Stack<int>
+	if p.at(lex.Lt) {
+		d.SpecArgs, _ = p.parseTemplateArgs()
+	}
+	if p.accept(lex.Semi) {
+		return d // forward declaration
+	}
+	if p.at(lex.Colon) {
+		p.next()
+		defAccess := ast.Private
+		if kind != ast.Class {
+			defAccess = ast.Public
+		}
+		for {
+			b := ast.BaseSpec{Access: defAccess}
+			for {
+				switch {
+				case p.acceptKw("virtual"):
+					b.Virtual = true
+					continue
+				case p.atKw("public"):
+					p.next()
+					b.Access = ast.Public
+					continue
+				case p.atKw("protected"):
+					p.next()
+					b.Access = ast.Protected
+					continue
+				case p.atKw("private"):
+					p.next()
+					b.Access = ast.Private
+					continue
+				}
+				break
+			}
+			b.Name = p.parseQualNameInType()
+			d.Bases = append(d.Bases, b)
+			if !p.accept(lex.Comma) {
+				break
+			}
+		}
+	}
+	lb := p.expect(lex.LBrace, "class body")
+	d.IsDefinition = true
+	d.Body.Begin = lb.Loc
+	p.classStack = append(p.classStack, d.Name)
+	p.pushScope()
+	// The class name itself is a type inside its own body.
+	if info != nil && !info.IsSpecialization() {
+		p.declareName(d.Name, symTemplate)
+	} else {
+		p.declareName(d.Name, symType)
+	}
+
+	access := ast.Private
+	if kind != ast.Class {
+		access = ast.Public
+	}
+	for !p.at(lex.RBrace) && !p.at(lex.EOF) {
+		switch {
+		case p.atKw("public") && p.peekN(1).Kind == lex.Colon:
+			p.next()
+			p.next()
+			access = ast.Public
+		case p.atKw("protected") && p.peekN(1).Kind == lex.Colon:
+			p.next()
+			p.next()
+			access = ast.Protected
+		case p.atKw("private") && p.peekN(1).Kind == lex.Colon:
+			p.next()
+			p.next()
+			access = ast.Private
+		default:
+			start := p.pos
+			m := p.parseMemberDecl(access)
+			if m != nil {
+				d.Members = append(d.Members, ast.Member{Access: access, Decl: m, Friend: p.lastWasFriend})
+			}
+			if p.pos == start {
+				p.errorf(p.peek().Loc, "unexpected token %s in class body", p.peek())
+				p.next()
+			}
+		}
+	}
+	p.popScope()
+	p.classStack = p.classStack[:len(p.classStack)-1]
+	rb := p.expect(lex.RBrace, "class body")
+	d.Body.End = rb.Loc
+	p.expect(lex.Semi, "class declaration")
+	return d
+}
+
+// parseMemberDecl parses one member of a class body.
+func (p *Parser) parseMemberDecl(access ast.Access) ast.Decl {
+	p.lastWasFriend = false
+	t := p.peek()
+	switch {
+	case t.Kind == lex.Semi:
+		p.next()
+		return nil
+	case t.IsKw("friend"):
+		p.next()
+		p.lastWasFriend = true
+		if p.atKw("class") || p.atKw("struct") || p.atKw("union") {
+			// friend class X;
+			kw := p.next()
+			name := p.parseQualNameInType()
+			semi := p.expect(lex.Semi, "friend class declaration")
+			return &ast.ClassDecl{Kind: classKindOf(kw.Text), Name: name.Terminal().Name,
+				NameLoc: name.Loc(),
+				Header:  source.Span{Begin: kw.Loc, End: semi.Loc}}
+		}
+		return p.parseFuncOrVar(access, nil)
+	case t.IsKw("template"):
+		return p.parseTemplate(access)
+	case t.IsKw("typedef"):
+		return p.parseTypedef()
+	case t.IsKw("enum"):
+		return p.parseEnum()
+	case t.IsKw("using"):
+		return p.parseUsing()
+	case t.IsKw("class") || t.IsKw("struct") || t.IsKw("union"):
+		if p.classHeadFollows() {
+			return p.parseClass(nil)
+		}
+		return p.parseFuncOrVar(access, nil)
+	default:
+		return p.parseFuncOrVar(access, nil)
+	}
+}
+
+func classKindOf(kw string) ast.ClassKind {
+	switch kw {
+	case "struct":
+		return ast.Struct
+	case "union":
+		return ast.Union
+	default:
+		return ast.Class
+	}
+}

@@ -1,0 +1,237 @@
+package parse
+
+import (
+	"testing"
+
+	"pdt/internal/cpp/ast"
+)
+
+func TestQualifiedTypeInBlockScope(t *testing.T) {
+	src := `namespace lib { class Widget { public: int id; }; }
+void f() {
+    lib::Widget w;
+    w.id = 3;
+    ::lib::Widget g;
+    g.id = 4;
+}`
+	tu := parseSrc(t, src, nil)
+	fn := tu.Decls[1].(*ast.FunctionDecl)
+	ds, ok := fn.Body.Stmts[0].(*ast.DeclStmt)
+	if !ok {
+		t.Fatalf("stmt 0 = %T, want DeclStmt", fn.Body.Stmts[0])
+	}
+	v := ds.Decls[0].(*ast.VarDecl)
+	nt := v.Type.(*ast.NamedType)
+	if nt.Name.String() != "lib::Widget" {
+		t.Errorf("type = %q", nt.Name.String())
+	}
+	ds2, ok := fn.Body.Stmts[2].(*ast.DeclStmt)
+	if !ok {
+		t.Fatalf("stmt 2 = %T, want DeclStmt (globally qualified)", fn.Body.Stmts[2])
+	}
+	nt2 := ds2.Decls[0].(*ast.VarDecl).Type.(*ast.NamedType)
+	if !nt2.Name.Global {
+		t.Error("global qualification lost")
+	}
+}
+
+func TestFunctionalCastsOfFundamentals(t *testing.T) {
+	src := `double g() {
+    int a = int(2.9);
+    double b = double(a);
+    unsigned u = unsigned(7);
+    return b + a + u;
+}`
+	tu := parseSrc(t, src, nil)
+	fn := firstDecl[*ast.FunctionDecl](t, tu)
+	ds := fn.Body.Stmts[0].(*ast.DeclStmt)
+	v := ds.Decls[0].(*ast.VarDecl)
+	cast, ok := v.Init.(*ast.CastExpr)
+	if !ok || cast.Style != ast.FunctionalCast {
+		t.Fatalf("init = %#v", v.Init)
+	}
+}
+
+func TestTernaryChainsAndComma(t *testing.T) {
+	src := `int f(int x) {
+    int r = x > 10 ? 1 : x > 5 ? 2 : 3;
+    int a, b;
+    a = 1, b = 2;
+    for (a = 0, b = 10; a < b; a++, b--) { }
+    return r + a + b;
+}`
+	tu := parseSrc(t, src, nil)
+	fn := firstDecl[*ast.FunctionDecl](t, tu)
+	if len(fn.Body.Stmts) != 5 {
+		t.Fatalf("stmts = %d", len(fn.Body.Stmts))
+	}
+	es := fn.Body.Stmts[2].(*ast.ExprStmt)
+	bin := es.E.(*ast.BinaryExpr)
+	if bin.Op != ast.Comma {
+		t.Errorf("comma op = %v", bin.Op)
+	}
+}
+
+func TestDanglingElse(t *testing.T) {
+	src := `int f(int a, int b) {
+    if (a)
+        if (b)
+            return 1;
+        else
+            return 2;
+    return 3;
+}`
+	tu := parseSrc(t, src, nil)
+	fn := firstDecl[*ast.FunctionDecl](t, tu)
+	outer := fn.Body.Stmts[0].(*ast.IfStmt)
+	if outer.Else != nil {
+		t.Error("else must bind to the inner if")
+	}
+	inner := outer.Then.(*ast.IfStmt)
+	if inner.Else == nil {
+		t.Error("inner if lost its else")
+	}
+}
+
+func TestDeleteThisAndChainedCalls(t *testing.T) {
+	src := `class Node {
+public:
+    Node *next;
+    Node *advance() { return next; }
+    void destroy() { delete this; }
+};
+Node *walk(Node *n) { return n->advance()->advance(); }`
+	tu := parseSrc(t, src, nil)
+	if len(tu.Decls) != 2 {
+		t.Fatalf("decls = %d", len(tu.Decls))
+	}
+}
+
+func TestNegativeTemplateArgs(t *testing.T) {
+	src := `template <int N> class Bias { public: int v[10]; };
+Bias<-3> b;`
+	tu := parseSrc(t, src, nil)
+	var v *ast.VarDecl
+	for _, d := range tu.Decls {
+		if vd, ok := d.(*ast.VarDecl); ok {
+			v = vd
+		}
+	}
+	nt := v.Type.(*ast.NamedType)
+	arg := nt.Name.Segs[0].Args[0]
+	if arg.Expr == nil {
+		t.Fatal("negative arg lost")
+	}
+	u := arg.Expr.(*ast.UnaryExpr)
+	if u.Op != ast.Neg {
+		t.Errorf("arg = %#v", arg.Expr)
+	}
+}
+
+func TestConstMethodsReturningConstRefs(t *testing.T) {
+	src := `template <class T> class Wrap {
+public:
+    const T & view() const { return item; }
+    T & edit() { return item; }
+private:
+    T item;
+};`
+	tu := parseSrc(t, src, nil)
+	c := firstDecl[*ast.ClassDecl](t, tu)
+	view := c.Members[0].Decl.(*ast.FunctionDecl)
+	if !view.Const {
+		t.Error("view should be const")
+	}
+	ref := view.Ret.(*ast.RefType)
+	if _, ok := ref.Elem.(*ast.ConstType); !ok {
+		t.Errorf("view ret = %#v", view.Ret)
+	}
+	edit := c.Members[1].Decl.(*ast.FunctionDecl)
+	if edit.Const {
+		t.Error("edit should not be const")
+	}
+}
+
+func TestErrorsAccessors(t *testing.T) {
+	_, errs := parseSrcErrs(t, "class ;;; 123 junk", nil)
+	if len(errs) == 0 {
+		t.Fatal("expected errors")
+	}
+	if errs[0].Error() == "" {
+		t.Error("error string empty")
+	}
+}
+
+func TestPrefixSuffixIncrementMix(t *testing.T) {
+	src := `int f() {
+    int i = 0;
+    int a = i++ + ++i;
+    int b = --i - i--;
+    return a + b;
+}`
+	tu := parseSrc(t, src, nil)
+	fn := firstDecl[*ast.FunctionDecl](t, tu)
+	if len(fn.Body.Stmts) != 4 {
+		t.Fatalf("stmts = %d", len(fn.Body.Stmts))
+	}
+}
+
+func TestThrowInExpressions(t *testing.T) {
+	src := `int f(int x) {
+    int v = x > 0 ? x : throw 5;
+    return v;
+}`
+	tu := parseSrc(t, src, nil)
+	fn := firstDecl[*ast.FunctionDecl](t, tu)
+	ds := fn.Body.Stmts[0].(*ast.DeclStmt)
+	cond := ds.Decls[0].(*ast.VarDecl).Init.(*ast.CondExpr)
+	if _, ok := cond.F.(*ast.ThrowExpr); !ok {
+		t.Errorf("false arm = %#v", cond.F)
+	}
+}
+
+func TestMultiDimArrays(t *testing.T) {
+	src := `double grid[4][8];
+void f() { grid[1][2] = 3.5; }`
+	tu := parseSrc(t, src, nil)
+	v := firstDecl[*ast.VarDecl](t, tu)
+	outer := v.Type.(*ast.ArrayType)
+	inner, ok := outer.Elem.(*ast.ArrayType)
+	if !ok {
+		t.Fatalf("type = %#v", v.Type)
+	}
+	_ = inner
+}
+
+func TestUnsignedCombos(t *testing.T) {
+	src := `unsigned a; unsigned int b; unsigned long c; signed char d;
+long long e; unsigned long long f2; short g; long double h;`
+	tu := parseSrc(t, src, nil)
+	specs := map[string]string{}
+	collect := func(d ast.Decl) {
+		if v, ok := d.(*ast.VarDecl); ok {
+			if bt, ok := v.Type.(*ast.BuiltinType); ok {
+				specs[v.Name] = bt.Spec
+			}
+		}
+	}
+	for _, d := range tu.Decls {
+		if g, ok := d.(*ast.DeclGroup); ok {
+			for _, inner := range g.Decls {
+				collect(inner)
+			}
+		} else {
+			collect(d)
+		}
+	}
+	want := map[string]string{
+		"a": "unsigned int", "b": "unsigned int", "c": "unsigned long",
+		"d": "signed char", "e": "long long", "f2": "unsigned long long",
+		"g": "short", "h": "long double",
+	}
+	for name, spec := range want {
+		if specs[name] != spec {
+			t.Errorf("%s = %q, want %q", name, specs[name], spec)
+		}
+	}
+}

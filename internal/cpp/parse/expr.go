@@ -1,0 +1,437 @@
+package parse
+
+import (
+	"pdt/internal/cpp/ast"
+	"pdt/internal/cpp/lex"
+	"pdt/internal/source"
+)
+
+// binary operator precedence (higher binds tighter). Assignment and the
+// conditional operator are handled separately for right-associativity.
+var binPrec = map[lex.Kind]int{
+	lex.OrOr:   1,
+	lex.AndAnd: 2,
+	lex.Pipe:   3,
+	lex.Caret:  4,
+	lex.Amp:    5,
+	lex.Eq:     6, lex.Ne: 6,
+	lex.Lt: 7, lex.Gt: 7, lex.Le: 7, lex.Ge: 7,
+	lex.Shl: 8, lex.Shr: 8,
+	lex.Plus: 9, lex.Minus: 9,
+	lex.Star: 10, lex.Slash: 10, lex.Percent: 10,
+}
+
+var binOpOf = map[lex.Kind]ast.BinOp{
+	lex.OrOr: ast.LOr, lex.AndAnd: ast.LAnd, lex.Pipe: ast.BOr,
+	lex.Caret: ast.BXor, lex.Amp: ast.BAnd,
+	lex.Eq: ast.EqOp, lex.Ne: ast.NeOp,
+	lex.Lt: ast.LtOp, lex.Gt: ast.GtOp, lex.Le: ast.LeOp, lex.Ge: ast.GeOp,
+	lex.Shl: ast.ShlOp, lex.Shr: ast.ShrOp,
+	lex.Plus: ast.Add, lex.Minus: ast.Sub,
+	lex.Star: ast.Mul, lex.Slash: ast.Div, lex.Percent: ast.Rem,
+}
+
+var assignOpOf = map[lex.Kind]ast.BinOp{
+	lex.Assign: ast.AssignOp, lex.PlusAssign: ast.AddAssign,
+	lex.MinusAssign: ast.SubAssign, lex.StarAssign: ast.MulAssign,
+	lex.SlashAssign: ast.DivAssign, lex.PercentAssign: ast.RemAssign,
+	lex.AmpAssign: ast.AndAssign, lex.PipeAssign: ast.OrAssign,
+	lex.CaretAssign: ast.XorAssign, lex.ShlAssign: ast.ShlAssignOp,
+	lex.ShrAssign: ast.ShrAssignOp,
+}
+
+// parseExpr parses a full expression including the comma operator.
+func (p *Parser) parseExpr() ast.Expr {
+	e := p.parseAssignExpr()
+	for p.at(lex.Comma) {
+		loc := p.next().Loc
+		r := p.parseAssignExpr()
+		e = &ast.BinaryExpr{Op: ast.Comma, L: e, R: r, Pos: loc}
+	}
+	return e
+}
+
+// parseAssignExpr parses an assignment-expression (also the grammar
+// production where throw-expressions live).
+func (p *Parser) parseAssignExpr() ast.Expr {
+	if p.atKw("throw") {
+		kw := p.next()
+		t := &ast.ThrowExpr{Pos: source.Span{Begin: kw.Loc, End: kw.Loc}}
+		if !p.at(lex.Semi) && !p.at(lex.RParen) && !p.at(lex.Comma) && !p.at(lex.Colon) {
+			t.Operand = p.parseAssignExpr()
+			t.Pos.End = p.lastLoc()
+		}
+		return t
+	}
+	lhs := p.parseConditional(p.parseBinary(1))
+	if op, ok := assignOpOf[p.peek().Kind]; ok {
+		loc := p.next().Loc
+		rhs := p.parseAssignExpr()
+		return &ast.BinaryExpr{Op: op, L: lhs, R: rhs, Pos: loc}
+	}
+	return lhs
+}
+
+// parseConstantExpr parses a conditional-expression (no assignment, no
+// comma) — used for array sizes, enum values, template arguments.
+func (p *Parser) parseConstantExpr() ast.Expr {
+	return p.parseConditional(p.parseBinary(1))
+}
+
+func (p *Parser) parseConditional(cond ast.Expr) ast.Expr {
+	if !p.at(lex.Question) {
+		return cond
+	}
+	loc := p.next().Loc
+	thenE := p.parseAssignExpr()
+	p.expect(lex.Colon, "conditional expression")
+	elseE := p.parseAssignExpr()
+	return &ast.CondExpr{C: cond, T: thenE, F: elseE, Pos: loc}
+}
+
+// noGt suppresses '>' (and '>>') as binary operators while parsing
+// template arguments.
+func (p *Parser) parseBinary(minPrec int) ast.Expr {
+	lhs := p.parseUnary()
+	for {
+		k := p.peek().Kind
+		if p.noGt && (k == lex.Gt || k == lex.Shr) {
+			return lhs
+		}
+		prec, ok := binPrec[k]
+		if !ok || prec < minPrec {
+			return lhs
+		}
+		opTok := p.next()
+		rhs := p.parseBinary(prec + 1)
+		lhs = &ast.BinaryExpr{Op: binOpOf[k], L: lhs, R: rhs, Pos: opTok.Loc}
+	}
+}
+
+func (p *Parser) parseUnary() ast.Expr {
+	t := p.peek()
+	switch t.Kind {
+	case lex.Plus:
+		p.next()
+		return &ast.UnaryExpr{Op: ast.Pos_, Operand: p.parseUnary(), Pos: t.Loc}
+	case lex.Minus:
+		p.next()
+		return &ast.UnaryExpr{Op: ast.Neg, Operand: p.parseUnary(), Pos: t.Loc}
+	case lex.Not:
+		p.next()
+		return &ast.UnaryExpr{Op: ast.LogNot, Operand: p.parseUnary(), Pos: t.Loc}
+	case lex.Tilde:
+		// "~x" vs a destructor call "~C()" — destructor calls appear
+		// only after '.'/'->', handled in parsePostfix.
+		p.next()
+		return &ast.UnaryExpr{Op: ast.BitNot, Operand: p.parseUnary(), Pos: t.Loc}
+	case lex.Star:
+		p.next()
+		return &ast.UnaryExpr{Op: ast.Deref, Operand: p.parseUnary(), Pos: t.Loc}
+	case lex.Amp:
+		p.next()
+		return &ast.UnaryExpr{Op: ast.AddrOf, Operand: p.parseUnary(), Pos: t.Loc}
+	case lex.PlusPlus:
+		p.next()
+		return &ast.UnaryExpr{Op: ast.PreInc, Operand: p.parseUnary(), Pos: t.Loc}
+	case lex.MinusMinus:
+		p.next()
+		return &ast.UnaryExpr{Op: ast.PreDec, Operand: p.parseUnary(), Pos: t.Loc}
+	case lex.Keyword:
+		switch t.Text {
+		case "sizeof":
+			return p.parseSizeof()
+		case "new":
+			return p.parseNew()
+		case "delete":
+			return p.parseDelete()
+		case "static_cast", "const_cast", "reinterpret_cast", "dynamic_cast":
+			return p.parseNamedCast()
+		}
+	case lex.LParen:
+		// C-style cast "(T)expr" vs parenthesized expression.
+		if p.castFollows() {
+			lp := p.next()
+			ty := p.parseType()
+			p.expect(lex.RParen, "cast")
+			operand := p.parseUnary()
+			return &ast.CastExpr{Style: ast.CCast, Type: ty, Operand: operand,
+				Pos: source.Span{Begin: lp.Loc, End: p.lastLoc()}}
+		}
+	}
+	return p.parsePostfix(p.parsePrimary())
+}
+
+// castFollows reports whether "(T)" at the cursor is a cast: the
+// parenthesized tokens must form a type and be followed by an
+// expression-start token.
+func (p *Parser) castFollows() bool {
+	save := p.pos
+	defer func() { p.pos = save }()
+	p.next() // '('
+	if !p.startsType() {
+		return false
+	}
+	saved := p.errs
+	p.parseType()
+	p.errs = saved
+	if !p.at(lex.RParen) {
+		return false
+	}
+	p.next()
+	switch p.peek().Kind {
+	case lex.Ident, lex.IntLit, lex.FloatLit, lex.CharLit, lex.StringLit,
+		lex.LParen, lex.Tilde, lex.Not, lex.Star, lex.Amp,
+		lex.PlusPlus, lex.MinusMinus:
+		return true
+	case lex.Keyword:
+		switch p.peek().Text {
+		case "this", "true", "false", "new", "sizeof":
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Parser) parseSizeof() ast.Expr {
+	kw := p.next()
+	if p.at(lex.LParen) {
+		save := p.pos
+		p.next()
+		if p.startsType() {
+			ty := p.parseType()
+			if p.at(lex.RParen) {
+				rp := p.next()
+				return &ast.SizeofExpr{Type: ty, Pos: source.Span{Begin: kw.Loc, End: rp.Loc}}
+			}
+		}
+		p.pos = save
+	}
+	e := p.parseUnary()
+	return &ast.SizeofExpr{E: e, Pos: source.Span{Begin: kw.Loc, End: p.lastLoc()}}
+}
+
+func (p *Parser) parseNew() ast.Expr {
+	kw := p.next()
+	n := &ast.NewExpr{Pos: source.Span{Begin: kw.Loc}}
+	// "new (T)" or "new T"; placement new unsupported.
+	n.Type = p.parseNewType()
+	if p.at(lex.LBracket) {
+		p.next()
+		n.ArraySize = p.parseExpr()
+		p.expect(lex.RBracket, "array new")
+	} else if p.at(lex.LParen) {
+		p.next()
+		for !p.at(lex.RParen) && !p.at(lex.EOF) {
+			n.Args = append(n.Args, p.parseAssignExpr())
+			if !p.accept(lex.Comma) {
+				break
+			}
+		}
+		p.expect(lex.RParen, "new initializer")
+	}
+	n.Pos.End = p.lastLoc()
+	return n
+}
+
+// parseNewType parses the type of a new-expression: specifier plus
+// pointer operators (but array/paren parts handled by parseNew).
+func (p *Parser) parseNewType() ast.TypeExpr {
+	base := p.parseTypeSpecifier()
+	for p.at(lex.Star) {
+		loc := p.next().Loc
+		base = &ast.PointerType{Elem: base, Pos: loc}
+	}
+	return base
+}
+
+func (p *Parser) parseDelete() ast.Expr {
+	kw := p.next()
+	d := &ast.DeleteExpr{Pos: source.Span{Begin: kw.Loc}}
+	if p.at(lex.LBracket) {
+		p.next()
+		p.expect(lex.RBracket, "delete[]")
+		d.Array = true
+	}
+	d.Operand = p.parseUnary()
+	d.Pos.End = p.lastLoc()
+	return d
+}
+
+func (p *Parser) parseNamedCast() ast.Expr {
+	kw := p.next()
+	var style ast.CastStyle
+	switch kw.Text {
+	case "static_cast":
+		style = ast.StaticCast
+	case "const_cast":
+		style = ast.ConstCast
+	case "reinterpret_cast":
+		style = ast.ReinterpretCast
+	case "dynamic_cast":
+		style = ast.DynamicCast
+	}
+	p.expect(lex.Lt, kw.Text)
+	ty := p.parseType()
+	if p.at(lex.Shr) {
+		p.splitShr()
+	}
+	p.expect(lex.Gt, kw.Text)
+	p.expect(lex.LParen, kw.Text)
+	e := p.parseExpr()
+	rp := p.expect(lex.RParen, kw.Text)
+	return &ast.CastExpr{Style: style, Type: ty, Operand: e,
+		Pos: source.Span{Begin: kw.Loc, End: rp.Loc}}
+}
+
+func (p *Parser) parsePrimary() ast.Expr {
+	t := p.peek()
+	switch t.Kind {
+	case lex.IntLit:
+		p.next()
+		v, err := lex.IntValue(t.Text)
+		if err != nil {
+			p.errorf(t.Loc, "%v", err)
+		}
+		return &ast.IntLit{Value: v, Text: t.Text, Pos: t.Loc}
+	case lex.FloatLit:
+		p.next()
+		v, err := lex.FloatValue(t.Text)
+		if err != nil {
+			p.errorf(t.Loc, "%v", err)
+		}
+		return &ast.FloatLit{Value: v, Text: t.Text, Pos: t.Loc}
+	case lex.CharLit:
+		p.next()
+		v, err := lex.CharValue(t.Text)
+		if err != nil {
+			p.errorf(t.Loc, "%v", err)
+		}
+		return &ast.CharLit{Value: v, Text: t.Text, Pos: t.Loc}
+	case lex.StringLit:
+		p.next()
+		v, err := lex.StringValue(t.Text)
+		if err != nil {
+			p.errorf(t.Loc, "%v", err)
+		}
+		// Adjacent string literals concatenate.
+		for p.at(lex.StringLit) {
+			t2 := p.next()
+			v2, _ := lex.StringValue(t2.Text)
+			v += v2
+		}
+		return &ast.StringLit{Value: v, Pos: t.Loc}
+	case lex.LParen:
+		lp := p.next()
+		savedNoGt := p.noGt
+		p.noGt = false
+		e := p.parseExpr()
+		p.noGt = savedNoGt
+		rp := p.expect(lex.RParen, "parenthesized expression")
+		return &ast.ParenExpr{E: e, Pos: source.Span{Begin: lp.Loc, End: rp.Loc}}
+	case lex.Keyword:
+		switch t.Text {
+		case "this":
+			p.next()
+			return &ast.ThisExpr{Pos: t.Loc}
+		case "true":
+			p.next()
+			return &ast.BoolLit{Value: true, Pos: t.Loc}
+		case "false":
+			p.next()
+			return &ast.BoolLit{Value: false, Pos: t.Loc}
+		case "bool", "char", "int", "long", "short", "float", "double",
+			"unsigned", "signed", "void":
+			// Functional cast on a fundamental type: int(x).
+			ty := p.parseTypeSpecifier()
+			return p.parseConstructOrName(ty, t.Loc)
+		case "operator":
+			// Address of an operator function: &operator<< — rare;
+			// parse the name.
+			name := p.parseQualName(true)
+			return &ast.NameExpr{Name: name}
+		}
+	case lex.Ident, lex.ColonCol:
+		name := p.parseQualName(true)
+		// Functional construction: T(...) where T names a type.
+		term := name.Terminal()
+		if p.at(lex.LParen) && (p.isTypeName(term.Name) || (term.HasArgs && p.isTypeName(term.Name))) {
+			ty := &ast.NamedType{Name: name}
+			return p.parseConstructOrName(ty, name.Loc())
+		}
+		return &ast.NameExpr{Name: name}
+	}
+	p.errorf(t.Loc, "expected expression, found %s", t)
+	p.next()
+	return &ast.IntLit{Value: 0, Text: "0", Pos: t.Loc}
+}
+
+// parseConstructOrName parses "T(args)" as a construction/functional
+// cast; a bare type name in expression context is an error the caller
+// reports later.
+func (p *Parser) parseConstructOrName(ty ast.TypeExpr, loc source.Loc) ast.Expr {
+	if !p.at(lex.LParen) {
+		if nt, ok := ty.(*ast.NamedType); ok {
+			return &ast.NameExpr{Name: nt.Name}
+		}
+		p.errorf(loc, "type name used as expression")
+		return &ast.IntLit{Value: 0, Text: "0", Pos: loc}
+	}
+	lp := p.next()
+	var args []ast.Expr
+	for !p.at(lex.RParen) && !p.at(lex.EOF) {
+		args = append(args, p.parseAssignExpr())
+		if !p.accept(lex.Comma) {
+			break
+		}
+	}
+	rp := p.expect(lex.RParen, "construction")
+	span := source.Span{Begin: loc, End: rp.Loc}
+	_ = lp
+	if len(args) == 1 {
+		return &ast.CastExpr{Style: ast.FunctionalCast, Type: ty, Operand: args[0], Pos: span}
+	}
+	return &ast.ConstructExpr{Type: ty, Args: args, Pos: span}
+}
+
+func (p *Parser) parsePostfix(e ast.Expr) ast.Expr {
+	for {
+		t := p.peek()
+		switch t.Kind {
+		case lex.LParen:
+			lp := p.next()
+			call := &ast.CallExpr{Fn: e, LParen: lp.Loc}
+			savedNoGt := p.noGt
+			p.noGt = false
+			for !p.at(lex.RParen) && !p.at(lex.EOF) {
+				call.Args = append(call.Args, p.parseAssignExpr())
+				if !p.accept(lex.Comma) {
+					break
+				}
+			}
+			p.noGt = savedNoGt
+			rp := p.expect(lex.RParen, "call")
+			call.Pos = source.Span{Begin: e.Span().Begin, End: rp.Loc}
+			e = call
+		case lex.LBracket:
+			p.next()
+			idx := p.parseExpr()
+			rb := p.expect(lex.RBracket, "subscript")
+			e = &ast.IndexExpr{Base: e, Index: idx,
+				Pos: source.Span{Begin: e.Span().Begin, End: rb.Loc}}
+		case lex.Dot, lex.Arrow:
+			p.next()
+			name := p.parseQualName(true)
+			e = &ast.MemberExpr{Base: e, Arrow: t.Kind == lex.Arrow,
+				Name: name, Pos: name.Loc()}
+		case lex.PlusPlus:
+			p.next()
+			e = &ast.UnaryExpr{Op: ast.PostInc, Operand: e, Pos: t.Loc}
+		case lex.MinusMinus:
+			p.next()
+			e = &ast.UnaryExpr{Op: ast.PostDec, Operand: e, Pos: t.Loc}
+		default:
+			return e
+		}
+	}
+}

@@ -1,0 +1,381 @@
+package parse
+
+import (
+	"strings"
+
+	"pdt/internal/cpp/ast"
+	"pdt/internal/cpp/lex"
+	"pdt/internal/source"
+)
+
+// declSpecs holds the leading specifiers of a declaration.
+type declSpecs struct {
+	storage  ast.StorageClass
+	virtual  bool
+	inline   bool
+	explicit bool
+}
+
+func (p *Parser) parseDeclSpecs() declSpecs {
+	var s declSpecs
+	for {
+		switch {
+		case p.acceptKw("virtual"):
+			s.virtual = true
+		case p.acceptKw("inline"):
+			s.inline = true
+		case p.acceptKw("explicit"):
+			s.explicit = true
+		case p.acceptKw("static"):
+			s.storage = ast.Static
+		case p.acceptKw("extern"):
+			s.storage = ast.Extern
+		case p.acceptKw("register"):
+			s.storage = ast.Register
+		case p.acceptKw("mutable"):
+			s.storage = ast.Mutable
+		case p.acceptKw("auto"):
+			s.storage = ast.Auto
+		default:
+			return s
+		}
+	}
+}
+
+// parseFuncOrVar parses a function or variable declaration (namespace
+// scope or member), including constructors, destructors, operators and
+// conversion functions. info carries the template clause, if any.
+func (p *Parser) parseFuncOrVar(access ast.Access, info *ast.TemplateInfo) ast.Decl {
+	startLoc := p.peek().Loc
+	if info != nil {
+		startLoc = info.KwLoc
+	}
+	specs := p.parseDeclSpecs()
+
+	inClass := p.currentClass() != ""
+
+	// Conversion operator: "operator T() ..." (member only).
+	if p.atKw("operator") && inClass {
+		opLoc := p.next().Loc
+		convType := p.parseType()
+		fd := &ast.FunctionDecl{
+			Name: ast.QualName{Segs: []ast.Seg{{Name: "operator " + convType.String(), Loc: opLoc}}},
+			Kind: ast.Conversion, Ret: convType, Template: info, Linkage: "C++",
+			Virtual: specs.virtual, Inline: specs.inline, Storage: specs.storage,
+			Header: source.Span{Begin: startLoc, End: opLoc},
+		}
+		p.expectFunctionParen(fd)
+		return p.finishFunction(fd)
+	}
+
+	// In-class destructor: "~C() {...}".
+	if p.at(lex.Tilde) && inClass {
+		loc := p.peek().Loc
+		name := p.parseQualName(true)
+		fd := &ast.FunctionDecl{Name: name, Kind: ast.Destructor, Template: info,
+			Linkage: "C++", Virtual: specs.virtual, Inline: specs.inline,
+			Header: source.Span{Begin: startLoc, End: loc}}
+		p.expectFunctionParen(fd)
+		return p.finishFunction(fd)
+	}
+
+	// In-class constructor: "C(...)" where C is the current class.
+	if inClass && p.at(lex.Ident) && p.peek().Text == p.currentClass() &&
+		p.peekN(1).Kind == lex.LParen {
+		id := p.next()
+		fd := &ast.FunctionDecl{
+			Name: ast.QualName{Segs: []ast.Seg{{Name: id.Text, Loc: id.Loc}}},
+			Kind: ast.Constructor, Template: info, Linkage: "C++",
+			Explicit: specs.explicit, Inline: specs.inline,
+			Header: source.Span{Begin: startLoc, End: id.Loc},
+		}
+		p.expectFunctionParen(fd)
+		return p.finishFunction(fd)
+	}
+
+	// General path: type then declarator(s).
+	baseType := p.parseTypeSpecifier()
+
+	// Reinterpretation: the "type" may actually be a constructor or
+	// destructor name (out-of-line "Stack<Object>::Stack", "...::~Stack").
+	if nt, ok := baseType.(*ast.NamedType); ok && p.at(lex.LParen) {
+		if kind, isCtorDtor := ctorDtorNameKind(nt.Name, p.currentClass()); isCtorDtor {
+			fd := &ast.FunctionDecl{Name: nt.Name, Kind: kind, Template: info,
+				Linkage: "C++", Explicit: specs.explicit, Inline: specs.inline,
+				Virtual: specs.virtual,
+				Header:  source.Span{Begin: startLoc, End: nt.Name.Terminal().Loc}}
+			p.expectFunctionParen(fd)
+			return p.finishFunction(fd)
+		}
+	}
+
+	var decls []ast.Decl
+	for {
+		d := p.parseDeclarator(baseType, specs, info, access, startLoc)
+		if d == nil {
+			p.syncDecl()
+			return groupOf(decls, startLoc, p.lastLoc())
+		}
+		if fd, ok := d.(*ast.FunctionDecl); ok {
+			// Functions cannot share a declarator list in the subset.
+			return fd
+		}
+		decls = append(decls, d)
+		if p.accept(lex.Comma) {
+			continue
+		}
+		p.expect(lex.Semi, "declaration")
+		return groupOf(decls, startLoc, p.lastLoc())
+	}
+}
+
+func groupOf(decls []ast.Decl, begin, end source.Loc) ast.Decl {
+	switch len(decls) {
+	case 0:
+		return nil
+	case 1:
+		return decls[0]
+	default:
+		return &ast.DeclGroup{Decls: decls, Pos: source.Span{Begin: begin, End: end}}
+	}
+}
+
+// ctorDtorNameKind inspects a qualified name that was parsed as a type
+// and reports whether it actually names a constructor ("C::C",
+// unqualified "C" matching the current class) or destructor ("C::~C").
+func ctorDtorNameKind(q ast.QualName, currentClass string) (ast.RoutineKind, bool) {
+	t := q.Terminal()
+	if strings.HasPrefix(t.Name, "~") {
+		return ast.Destructor, true
+	}
+	if len(q.Segs) >= 2 {
+		prev := q.Segs[len(q.Segs)-2]
+		if prev.Name == t.Name {
+			return ast.Constructor, true
+		}
+	} else if currentClass != "" && t.Name == currentClass {
+		return ast.Constructor, true
+	}
+	return ast.PlainFunction, false
+}
+
+// parseDeclarator parses one declarator given the base type, producing a
+// VarDecl or FunctionDecl.
+func (p *Parser) parseDeclarator(baseType ast.TypeExpr, specs declSpecs, info *ast.TemplateInfo, access ast.Access, startLoc source.Loc) ast.Decl {
+	ty := p.parseTypeOps(baseType)
+
+	if p.at(lex.Semi) {
+		// Bare "class C;"-style already handled; "int;" is an error but
+		// elaborated friend decls can land here; emit nothing.
+		return &ast.VarDecl{Name: "", Type: ty, Pos: source.Span{Begin: startLoc, End: p.peek().Loc}}
+	}
+
+	// operator declarations: "bool operator==(...)"
+	if p.atKw("operator") {
+		opLoc := p.peek().Loc
+		name := p.parseQualName(true)
+		fd := &ast.FunctionDecl{Name: name, Kind: ast.Operator,
+			OpName: strings.TrimPrefix(name.Terminal().Name, "operator"),
+			Ret:    ty, Template: info, Linkage: "C++",
+			Virtual: specs.virtual, Inline: specs.inline, Storage: specs.storage,
+			Header: source.Span{Begin: startLoc, End: opLoc}}
+		p.expectFunctionParen(fd)
+		return p.finishFunction(fd)
+	}
+
+	if !p.at(lex.Ident) && !p.at(lex.ColonCol) && !p.at(lex.Tilde) {
+		p.errorf(p.peek().Loc, "expected declarator name, found %s", p.peek())
+		return nil
+	}
+	name := p.parseQualName(true)
+	nameLoc := name.Terminal().Loc
+
+	// Qualified operator definitions: "bool Stack<T>::operator==(...)"
+	if isOperatorSegName(name.Terminal().Name) {
+		fd := &ast.FunctionDecl{Name: name, Kind: ast.Operator,
+			OpName: strings.TrimPrefix(name.Terminal().Name, "operator"),
+			Ret:    ty, Template: info, Linkage: "C++",
+			Virtual: specs.virtual, Inline: specs.inline, Storage: specs.storage,
+			Header: source.Span{Begin: startLoc, End: nameLoc}}
+		p.expectFunctionParen(fd)
+		return p.finishFunction(fd)
+	}
+
+	if p.at(lex.LParen) && p.parenStartsParams() {
+		fd := &ast.FunctionDecl{Name: name, Kind: ast.PlainFunction, Ret: ty,
+			Template: info, Linkage: "C++",
+			Virtual: specs.virtual, Inline: specs.inline, Storage: specs.storage,
+			Header: source.Span{Begin: startLoc, End: nameLoc}}
+		if info != nil && name.IsSimple() {
+			p.declareName(name.Terminal().Name, symFuncTemplate)
+		}
+		p.expectFunctionParen(fd)
+		return p.finishFunction(fd)
+	}
+
+	// Variable.
+	v := &ast.VarDecl{Name: name.Terminal().Name, NameLoc: nameLoc, Type: ty,
+		Storage: specs.storage, Pos: source.Span{Begin: startLoc, End: nameLoc}}
+	if len(name.Segs) > 1 {
+		// Out-of-line static member definition: keep full name in Name.
+		v.Name = name.String()
+	}
+	for p.at(lex.LBracket) {
+		p.next()
+		var size ast.Expr
+		if !p.at(lex.RBracket) {
+			size = p.parseConstantExpr()
+		}
+		p.expect(lex.RBracket, "array declarator")
+		v.Type = &ast.ArrayType{Elem: v.Type, Size: size, Pos: nameLoc}
+	}
+	switch {
+	case p.accept(lex.Assign):
+		v.Init = p.parseAssignExpr()
+	case p.at(lex.LParen):
+		p.next()
+		v.HasCtorArgs = true
+		for !p.at(lex.RParen) && !p.at(lex.EOF) {
+			v.CtorArgs = append(v.CtorArgs, p.parseAssignExpr())
+			if !p.accept(lex.Comma) {
+				break
+			}
+		}
+		p.expect(lex.RParen, "initializer")
+	}
+	v.Pos.End = p.peek().Loc
+	return v
+}
+
+// parenStartsParams disambiguates "T f(...)" (function declarator) from
+// "T x(args)" (variable with constructor arguments) at block scope. At
+// namespace/class scope a '(' always begins parameters.
+func (p *Parser) parenStartsParams() bool {
+	if !p.inBlock {
+		return true
+	}
+	// Block scope: parameters start with a type or ')' (empty list, the
+	// "most vexing parse" — treated as a declaration, as the standard
+	// requires).
+	save := p.pos
+	defer func() { p.pos = save }()
+	p.next() // '('
+	if p.at(lex.RParen) {
+		return true
+	}
+	return p.startsType()
+}
+
+// expectFunctionParen parses the parameter list into fd.
+func (p *Parser) expectFunctionParen(fd *ast.FunctionDecl) {
+	p.expect(lex.LParen, "parameter list")
+	if p.atKw("void") && p.peekN(1).Kind == lex.RParen {
+		p.next()
+	}
+	for !p.at(lex.RParen) && !p.at(lex.EOF) {
+		if p.at(lex.Ellipsis) {
+			loc := p.next().Loc
+			fd.Params = append(fd.Params, &ast.ParamDecl{Ellipsis: true, NameLoc: loc})
+			break
+		}
+		fd.Params = append(fd.Params, p.parseParam())
+		if !p.accept(lex.Comma) {
+			break
+		}
+	}
+	p.expect(lex.RParen, "parameter list")
+}
+
+func (p *Parser) parseParam() *ast.ParamDecl {
+	ty := p.parseType()
+	param := &ast.ParamDecl{Type: ty}
+	if p.at(lex.Ident) {
+		id := p.next()
+		param.Name = id.Text
+		param.NameLoc = id.Loc
+	}
+	// Abstract function declarators in parameters ("T ()", "T (*f)(U)")
+	// — the "most vexing parse" outcome. The paren groups are consumed
+	// and the parameter is recorded with its return type only.
+	for p.at(lex.LParen) {
+		p.skipBalancedParens()
+	}
+	for p.at(lex.LBracket) {
+		p.next()
+		var size ast.Expr
+		if !p.at(lex.RBracket) {
+			size = p.parseConstantExpr()
+		}
+		p.expect(lex.RBracket, "parameter array")
+		// Array parameters decay to pointers.
+		param.Type = &ast.PointerType{Elem: param.Type, Pos: param.NameLoc}
+		_ = size
+	}
+	if p.accept(lex.Assign) {
+		param.Default = p.parseAssignExpr()
+	}
+	return param
+}
+
+// finishFunction parses everything after the parameter list: cv
+// qualifiers, exception specification, pure-virtual marker, constructor
+// initializers, and the body.
+func (p *Parser) finishFunction(fd *ast.FunctionDecl) ast.Decl {
+	if p.acceptKw("const") {
+		fd.Const = true
+	}
+	p.acceptKw("volatile")
+	if p.atKw("throw") && p.peekN(1).Kind == lex.LParen {
+		p.next()
+		p.next()
+		fd.HasThrow = true
+		for !p.at(lex.RParen) && !p.at(lex.EOF) {
+			fd.Throws = append(fd.Throws, p.parseType())
+			if !p.accept(lex.Comma) {
+				break
+			}
+		}
+		p.expect(lex.RParen, "exception specification")
+	}
+	fd.Header.End = p.lastLoc()
+
+	// Pure virtual: "= 0 ;"
+	if p.at(lex.Assign) && p.peekN(1).Kind == lex.IntLit && p.peekN(1).Text == "0" {
+		p.next()
+		p.next()
+		fd.PureVirtual = true
+		p.expect(lex.Semi, "pure virtual declaration")
+		return fd
+	}
+	// Constructor initializers.
+	if p.at(lex.Colon) && fd.Kind == ast.Constructor {
+		p.next()
+		for {
+			var init ast.CtorInit
+			init.Name = p.parseQualName(true)
+			p.expect(lex.LParen, "constructor initializer")
+			for !p.at(lex.RParen) && !p.at(lex.EOF) {
+				init.Args = append(init.Args, p.parseAssignExpr())
+				if !p.accept(lex.Comma) {
+					break
+				}
+			}
+			p.expect(lex.RParen, "constructor initializer")
+			fd.Inits = append(fd.Inits, init)
+			if !p.accept(lex.Comma) {
+				break
+			}
+		}
+	}
+	switch {
+	case p.at(lex.LBrace):
+		fd.Body = p.parseCompound()
+		fd.Body2 = fd.Body.Pos
+	case p.accept(lex.Semi):
+		// declaration only
+	default:
+		p.errorf(p.peek().Loc, "expected function body or ';', found %s", p.peek())
+		p.syncDecl()
+	}
+	return fd
+}

@@ -1,0 +1,239 @@
+package parse
+
+import (
+	"pdt/internal/cpp/ast"
+	"pdt/internal/cpp/lex"
+)
+
+// parseQualName parses a possibly-qualified name with optional template
+// argument lists on each segment: "::N::Stack<int>::push".
+// allowTemplateArgs controls whether '<' after a known template name
+// opens an argument list.
+func (p *Parser) parseQualName(allowTemplateArgs bool) ast.QualName {
+	var q ast.QualName
+	if p.at(lex.ColonCol) {
+		q.Global = true
+		p.next()
+	}
+	for {
+		t := p.peek()
+		if t.Kind != lex.Ident && !(t.Kind == lex.Keyword && t.Text == "operator") && t.Kind != lex.Tilde {
+			p.errorf(t.Loc, "expected identifier, found %s", t)
+			return q
+		}
+		seg := p.parseSeg(allowTemplateArgs)
+		q.Segs = append(q.Segs, seg)
+		if p.at(lex.ColonCol) && p.segCanQualify(seg) {
+			p.next()
+			continue
+		}
+		return q
+	}
+}
+
+// segCanQualify reports whether a further "::" continues the qualified
+// name (destructor and operator segments must be terminal).
+func (p *Parser) segCanQualify(seg ast.Seg) bool {
+	if len(seg.Name) == 0 {
+		return false
+	}
+	return seg.Name[0] != '~' && !isOperatorSegName(seg.Name)
+}
+
+func isOperatorSegName(name string) bool {
+	return len(name) > 8 && name[:8] == "operator"
+}
+
+// parseSeg parses one name segment: identifier, "~identifier"
+// (destructor), or "operator @", each optionally followed by template
+// arguments.
+func (p *Parser) parseSeg(allowTemplateArgs bool) ast.Seg {
+	var seg ast.Seg
+	switch {
+	case p.at(lex.Tilde):
+		loc := p.next().Loc
+		id := p.expect(lex.Ident, "destructor name")
+		seg = ast.Seg{Name: "~" + id.Text, Loc: loc}
+	case p.atKw("operator"):
+		loc := p.next().Loc
+		seg = ast.Seg{Name: "operator" + p.parseOperatorSpelling(), Loc: loc}
+	default:
+		id := p.next()
+		seg = ast.Seg{Name: id.Text, Loc: id.Loc}
+	}
+	if allowTemplateArgs && p.at(lex.Lt) && p.shouldOpenArgs(seg.Name) {
+		seg.Args, seg.HasArgs = p.parseTemplateArgs()
+	}
+	return seg
+}
+
+// shouldOpenArgs decides whether '<' after name opens template
+// arguments. Known templates always do; unknown names do when inside a
+// type context caller (handled by callers passing allowTemplateArgs).
+func (p *Parser) shouldOpenArgs(name string) bool {
+	if p.isTemplateName(name) {
+		return true
+	}
+	// Heuristic for qualified unknowns (e.g. out-of-line members of a
+	// template parsed before its definition is recorded — rare).
+	return false
+}
+
+// parseOperatorSpelling consumes the tokens after the "operator"
+// keyword and returns their spelling ("+", "[]", "()", " new", ...).
+func (p *Parser) parseOperatorSpelling() string {
+	t := p.peek()
+	switch t.Kind {
+	case lex.LParen:
+		p.next()
+		p.expect(lex.RParen, "operator()")
+		return "()"
+	case lex.LBracket:
+		p.next()
+		p.expect(lex.RBracket, "operator[]")
+		return "[]"
+	case lex.Keyword:
+		if t.Text == "new" || t.Text == "delete" {
+			p.next()
+			if p.at(lex.LBracket) {
+				p.next()
+				p.expect(lex.RBracket, "operator new[]")
+				return " " + t.Text + "[]"
+			}
+			return " " + t.Text
+		}
+	}
+	switch t.Kind {
+	case lex.Plus, lex.Minus, lex.Star, lex.Slash, lex.Percent, lex.Caret,
+		lex.Amp, lex.Pipe, lex.Tilde, lex.Not, lex.Assign, lex.Lt, lex.Gt,
+		lex.PlusAssign, lex.MinusAssign, lex.StarAssign, lex.SlashAssign,
+		lex.PercentAssign, lex.CaretAssign, lex.AmpAssign, lex.PipeAssign,
+		lex.Shl, lex.Shr, lex.ShlAssign, lex.ShrAssign, lex.Eq, lex.Ne,
+		lex.Le, lex.Ge, lex.AndAnd, lex.OrOr, lex.PlusPlus, lex.MinusMinus,
+		lex.Comma, lex.Arrow, lex.ArrowStar:
+		p.next()
+		return t.Text
+	}
+	p.errorf(t.Loc, "expected operator symbol after 'operator', found %s", t)
+	return "?"
+}
+
+// parseTemplateArgs parses "<arg, arg, ...>" and returns the args. The
+// opening '<' must be current. Handles '>>' closing nested lists.
+func (p *Parser) parseTemplateArgs() ([]ast.TemplateArg, bool) {
+	p.expect(lex.Lt, "template argument list")
+	var args []ast.TemplateArg
+	if p.at(lex.Gt) {
+		p.next()
+		return args, true
+	}
+	if p.at(lex.Shr) {
+		p.splitShr()
+		p.next()
+		return args, true
+	}
+	for {
+		args = append(args, p.parseTemplateArg())
+		if p.accept(lex.Comma) {
+			continue
+		}
+		if p.at(lex.Shr) {
+			p.splitShr()
+		}
+		p.expect(lex.Gt, "template argument list")
+		return args, true
+	}
+}
+
+// parseTemplateArg parses one template argument: a type when the
+// lookahead begins a type, otherwise a constant expression.
+func (p *Parser) parseTemplateArg() ast.TemplateArg {
+	if p.startsType() {
+		ty := p.parseType()
+		return ast.TemplateArg{Type: ty}
+	}
+	savedNoGt := p.noGt
+	p.noGt = true
+	e := p.parseConstantExpr()
+	p.noGt = savedNoGt
+	return ast.TemplateArg{Expr: e}
+}
+
+// startsType reports whether the lookahead begins a type in the
+// supported subset.
+func (p *Parser) startsType() bool {
+	t := p.peek()
+	switch t.Kind {
+	case lex.Keyword:
+		switch t.Text {
+		case "const", "volatile", "void", "bool", "char", "int", "long",
+			"short", "signed", "unsigned", "float", "double", "class",
+			"struct", "union", "enum", "typename":
+			return true
+		}
+		return false
+	case lex.Ident:
+		if p.isTypeName(t.Text) {
+			return true
+		}
+		// Qualified type: A::B where terminal is a known type.
+		if p.peekN(1).Kind == lex.ColonCol {
+			return p.qualifiedLooksLikeType()
+		}
+		return false
+	case lex.ColonCol:
+		return p.qualifiedLooksLikeType()
+	}
+	return false
+}
+
+// qualifiedLooksLikeType scans a qualified name without consuming input
+// and reports whether its terminal segment is a registered type.
+func (p *Parser) qualifiedLooksLikeType() bool {
+	i := p.pos
+	if p.toks[i].Kind == lex.ColonCol {
+		i++
+	}
+	last := ""
+	for {
+		if p.toks[i].Kind != lex.Ident {
+			return false
+		}
+		last = p.toks[i].Text
+		i++
+		// Skip a balanced template argument list.
+		if p.toks[i].Kind == lex.Lt && (p.lookupName(last) == symTemplate || p.lookupName(last) == symFuncTemplate) {
+			depth := 1
+			i++
+			for depth > 0 {
+				switch p.toks[i].Kind {
+				case lex.Lt:
+					depth++
+				case lex.Gt:
+					depth--
+				case lex.Shr:
+					depth -= 2
+				case lex.EOF, lex.Semi, lex.LBrace:
+					return false
+				}
+				i++
+			}
+		}
+		if p.toks[i].Kind == lex.ColonCol {
+			i++
+			continue
+		}
+		break
+	}
+	k, ok := p.globalTypes[last]
+	if ok && (k == symType || k == symTemplate) {
+		return true
+	}
+	// Unknown terminal after qualification: assume type when followed
+	// by something declarator-like. Conservative: only '*'/'&'/ident.
+	switch p.toks[i].Kind {
+	case lex.Ident, lex.Star, lex.Amp:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,737 @@
+package parse
+
+import (
+	"testing"
+
+	"pdt/internal/cpp/ast"
+	"pdt/internal/cpp/pp"
+	"pdt/internal/source"
+)
+
+// parseSrc preprocesses and parses src as main.cpp with optional extra
+// files, failing the test on any diagnostic.
+func parseSrc(t *testing.T, src string, extra map[string]string) *ast.TranslationUnit {
+	t.Helper()
+	tu, errs := parseSrcErrs(t, src, extra)
+	for _, e := range errs {
+		t.Errorf("parse error: %v", e)
+	}
+	return tu
+}
+
+func parseSrcErrs(t *testing.T, src string, extra map[string]string) (*ast.TranslationUnit, []*Error) {
+	t.Helper()
+	fs := source.NewFileSet()
+	for name, content := range extra {
+		fs.AddVirtualFile(name, content)
+	}
+	main := fs.AddVirtualFile("main.cpp", src)
+	pre := pp.New(fs)
+	toks := pre.Process(main)
+	for _, e := range pre.Errors() {
+		t.Errorf("pp error: %v", e)
+	}
+	return ParseFile(main, toks)
+}
+
+func firstDecl[T ast.Decl](t *testing.T, tu *ast.TranslationUnit) T {
+	t.Helper()
+	for _, d := range tu.Decls {
+		if v, ok := d.(T); ok {
+			return v
+		}
+	}
+	var zero T
+	t.Fatalf("no %T in translation unit (decls: %#v)", zero, tu.Decls)
+	return zero
+}
+
+func TestSimpleVar(t *testing.T) {
+	tu := parseSrc(t, "int x = 42;", nil)
+	v := firstDecl[*ast.VarDecl](t, tu)
+	if v.Name != "x" {
+		t.Errorf("name = %q", v.Name)
+	}
+	if bt, ok := v.Type.(*ast.BuiltinType); !ok || bt.Spec != "int" {
+		t.Errorf("type = %v", v.Type)
+	}
+	if lit, ok := v.Init.(*ast.IntLit); !ok || lit.Value != 42 {
+		t.Errorf("init = %#v", v.Init)
+	}
+}
+
+func TestMultiDeclarator(t *testing.T) {
+	tu := parseSrc(t, "int a, *b, c[3];", nil)
+	g := firstDecl[*ast.DeclGroup](t, tu)
+	if len(g.Decls) != 3 {
+		t.Fatalf("got %d decls", len(g.Decls))
+	}
+	b := g.Decls[1].(*ast.VarDecl)
+	if _, ok := b.Type.(*ast.PointerType); !ok {
+		t.Errorf("b type = %v", b.Type)
+	}
+	c := g.Decls[2].(*ast.VarDecl)
+	if _, ok := c.Type.(*ast.ArrayType); !ok {
+		t.Errorf("c type = %v", c.Type)
+	}
+}
+
+func TestFunctionDecl(t *testing.T) {
+	tu := parseSrc(t, "double hypot(double a, double b = 1.0);", nil)
+	f := firstDecl[*ast.FunctionDecl](t, tu)
+	if f.Name.String() != "hypot" || len(f.Params) != 2 {
+		t.Fatalf("f = %v params=%d", f.Name, len(f.Params))
+	}
+	if f.Params[1].Default == nil {
+		t.Error("default argument missing")
+	}
+	if f.Body != nil {
+		t.Error("declaration should have no body")
+	}
+}
+
+func TestFunctionDef(t *testing.T) {
+	tu := parseSrc(t, "int add(int a, int b) { return a + b; }", nil)
+	f := firstDecl[*ast.FunctionDecl](t, tu)
+	if f.Body == nil || len(f.Body.Stmts) != 1 {
+		t.Fatalf("body = %#v", f.Body)
+	}
+	ret := f.Body.Stmts[0].(*ast.ReturnStmt)
+	bin := ret.E.(*ast.BinaryExpr)
+	if bin.Op != ast.Add {
+		t.Errorf("op = %v", bin.Op)
+	}
+}
+
+func TestClassWithMembers(t *testing.T) {
+	src := `class Point {
+public:
+    Point(int x, int y);
+    ~Point();
+    int getX() const;
+    virtual void move(int dx, int dy);
+    static int count;
+private:
+    int x, y;
+};`
+	tu := parseSrc(t, src, nil)
+	c := firstDecl[*ast.ClassDecl](t, tu)
+	if c.Name != "Point" || !c.IsDefinition {
+		t.Fatalf("class = %+v", c)
+	}
+	var kinds []ast.RoutineKind
+	var accesses []ast.Access
+	for _, m := range c.Members {
+		if fd, ok := m.Decl.(*ast.FunctionDecl); ok {
+			kinds = append(kinds, fd.Kind)
+			accesses = append(accesses, m.Access)
+			if fd.Name.Terminal().Name == "getX" && !fd.Const {
+				t.Error("getX should be const")
+			}
+			if fd.Name.Terminal().Name == "move" && !fd.Virtual {
+				t.Error("move should be virtual")
+			}
+		}
+	}
+	want := []ast.RoutineKind{ast.Constructor, ast.Destructor, ast.PlainFunction, ast.PlainFunction}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("kind[%d] = %v, want %v", i, kinds[i], want[i])
+		}
+		if accesses[i] != ast.Public {
+			t.Errorf("access[%d] = %v", i, accesses[i])
+		}
+	}
+	// x, y private members
+	last := c.Members[len(c.Members)-1]
+	if last.Access != ast.Private {
+		t.Errorf("last member access = %v", last.Access)
+	}
+}
+
+func TestInheritance(t *testing.T) {
+	src := `class Base {};
+class Mid {};
+class Derived : public Base, protected virtual Mid {};`
+	tu := parseSrc(t, src, nil)
+	var derived *ast.ClassDecl
+	for _, d := range tu.Decls {
+		if c, ok := d.(*ast.ClassDecl); ok && c.Name == "Derived" {
+			derived = c
+		}
+	}
+	if derived == nil || len(derived.Bases) != 2 {
+		t.Fatalf("derived = %+v", derived)
+	}
+	if derived.Bases[0].Access != ast.Public || derived.Bases[0].Name.String() != "Base" {
+		t.Errorf("base0 = %+v", derived.Bases[0])
+	}
+	if derived.Bases[1].Access != ast.Protected || !derived.Bases[1].Virtual {
+		t.Errorf("base1 = %+v", derived.Bases[1])
+	}
+}
+
+func TestStructDefaultAccess(t *testing.T) {
+	tu := parseSrc(t, "struct S { int x; };", nil)
+	c := firstDecl[*ast.ClassDecl](t, tu)
+	if c.Kind != ast.Struct || c.Members[0].Access != ast.Public {
+		t.Errorf("struct member access = %v", c.Members[0].Access)
+	}
+}
+
+func TestClassTemplate(t *testing.T) {
+	src := `template <class Object>
+class Stack {
+public:
+    explicit Stack(int capacity = 10);
+    bool isEmpty() const;
+    void push(const Object & x);
+private:
+    int topOfStack;
+};`
+	tu := parseSrc(t, src, nil)
+	c := firstDecl[*ast.ClassDecl](t, tu)
+	if c.Template == nil || len(c.Template.Params) != 1 {
+		t.Fatalf("template info = %+v", c.Template)
+	}
+	if !c.Template.Params[0].IsType || c.Template.Params[0].Name != "Object" {
+		t.Errorf("param = %+v", c.Template.Params[0])
+	}
+	// explicit ctor
+	ctor := c.Members[0].Decl.(*ast.FunctionDecl)
+	if ctor.Kind != ast.Constructor || !ctor.Explicit {
+		t.Errorf("ctor = %+v", ctor)
+	}
+	// const member function with reference-to-const param
+	push := c.Members[2].Decl.(*ast.FunctionDecl)
+	ref, ok := push.Params[0].Type.(*ast.RefType)
+	if !ok {
+		t.Fatalf("push param type = %v", push.Params[0].Type)
+	}
+	if _, ok := ref.Elem.(*ast.ConstType); !ok {
+		t.Errorf("push param elem = %v", ref.Elem)
+	}
+}
+
+func TestOutOfLineMemberTemplate(t *testing.T) {
+	src := `template <class Object> class Stack { public: void push(const Object & x); bool isFull() const; };
+template <class Object>
+void Stack<Object>::push(const Object & x) {
+    theArray[++topOfStack] = x;
+}
+template <class Object>
+bool Stack<Object>::isFull() const {
+    return topOfStack == 10;
+}`
+	tu := parseSrc(t, src, nil)
+	if len(tu.Decls) != 3 {
+		t.Fatalf("got %d decls", len(tu.Decls))
+	}
+	push := tu.Decls[1].(*ast.FunctionDecl)
+	if push.Name.String() != "Stack<Object>::push" {
+		t.Errorf("push name = %q", push.Name.String())
+	}
+	if push.Template == nil || push.Body == nil {
+		t.Error("push should be a templated definition")
+	}
+	isFull := tu.Decls[2].(*ast.FunctionDecl)
+	if !isFull.Const {
+		t.Error("isFull should be const")
+	}
+}
+
+func TestOutOfLineCtorDtor(t *testing.T) {
+	src := `template <class T> class Vec { public: Vec(int n); ~Vec(); };
+template <class T> Vec<T>::Vec(int n) { }
+template <class T> Vec<T>::~Vec() { }`
+	tu := parseSrc(t, src, nil)
+	ctor := tu.Decls[1].(*ast.FunctionDecl)
+	if ctor.Kind != ast.Constructor {
+		t.Errorf("ctor kind = %v (%v)", ctor.Kind, ctor.Name)
+	}
+	dtor := tu.Decls[2].(*ast.FunctionDecl)
+	if dtor.Kind != ast.Destructor {
+		t.Errorf("dtor kind = %v (%v)", dtor.Kind, dtor.Name)
+	}
+}
+
+func TestFunctionTemplate(t *testing.T) {
+	src := `template <class T> T max(T a, T b) { return a > b ? a : b; }`
+	tu := parseSrc(t, src, nil)
+	f := firstDecl[*ast.FunctionDecl](t, tu)
+	if f.Template == nil || f.Name.String() != "max" {
+		t.Fatalf("f = %+v", f)
+	}
+}
+
+func TestNonTypeTemplateParam(t *testing.T) {
+	src := `template <class T, int N> class Array { T data[N]; };
+Array<double, 16> a;`
+	tu := parseSrc(t, src, nil)
+	c := firstDecl[*ast.ClassDecl](t, tu)
+	if len(c.Template.Params) != 2 || c.Template.Params[1].IsType {
+		t.Fatalf("params = %+v", c.Template.Params)
+	}
+	v := firstDecl[*ast.VarDecl](t, tu)
+	nt := v.Type.(*ast.NamedType)
+	if len(nt.Name.Segs[0].Args) != 2 {
+		t.Fatalf("args = %+v", nt.Name.Segs[0].Args)
+	}
+	if nt.Name.Segs[0].Args[1].Expr == nil {
+		t.Error("second arg should be an expression")
+	}
+}
+
+func TestExplicitSpecialization(t *testing.T) {
+	src := `template <class T> class Traits { };
+template <> class Traits<int> { public: int size; };`
+	tu := parseSrc(t, src, nil)
+	spec := tu.Decls[1].(*ast.ClassDecl)
+	if spec.Template == nil || !spec.Template.IsSpecialization() {
+		t.Fatalf("spec = %+v", spec.Template)
+	}
+	if len(spec.SpecArgs) != 1 || spec.SpecArgs[0].Type == nil {
+		t.Errorf("spec args = %+v", spec.SpecArgs)
+	}
+}
+
+func TestExplicitInstantiation(t *testing.T) {
+	src := `template <class T> class Stack { };
+template class Stack<int>;`
+	tu := parseSrc(t, src, nil)
+	inst := tu.Decls[1].(*ast.ExplicitInstantiation)
+	nt := inst.Type.(*ast.NamedType)
+	if nt.Name.String() != "Stack<int>" {
+		t.Errorf("inst = %q", nt.Name.String())
+	}
+}
+
+func TestNestedTemplateArgsShr(t *testing.T) {
+	src := `template <class T> class Stack { };
+Stack<Stack<int>> s;`
+	tu := parseSrc(t, src, nil)
+	v := firstDecl[*ast.VarDecl](t, tu)
+	nt := v.Type.(*ast.NamedType)
+	if nt.Name.String() != "Stack<Stack<int>>" {
+		t.Errorf("type = %q", nt.Name.String())
+	}
+}
+
+func TestNamespace(t *testing.T) {
+	src := `namespace math {
+    const double pi = 3.14159;
+    namespace detail { int hidden; }
+}
+using namespace math;`
+	tu := parseSrc(t, src, nil)
+	ns := firstDecl[*ast.NamespaceDecl](t, tu)
+	if ns.Name != "math" || len(ns.Decls) != 2 {
+		t.Fatalf("ns = %+v", ns)
+	}
+	inner := ns.Decls[1].(*ast.NamespaceDecl)
+	if inner.Name != "detail" {
+		t.Errorf("inner = %+v", inner)
+	}
+	ud := firstDecl[*ast.UsingDirective](t, tu)
+	if ud.Namespace.String() != "math" {
+		t.Errorf("using = %v", ud.Namespace)
+	}
+}
+
+func TestEnumTypedef(t *testing.T) {
+	src := `enum Color { RED, GREEN = 5, BLUE };
+typedef unsigned long size_type;
+size_type n = 0;`
+	tu := parseSrc(t, src, nil)
+	e := firstDecl[*ast.EnumDecl](t, tu)
+	if e.Name != "Color" || len(e.Enumerators) != 3 {
+		t.Fatalf("enum = %+v", e)
+	}
+	if e.Enumerators[1].Value == nil {
+		t.Error("GREEN should have a value")
+	}
+	td := firstDecl[*ast.TypedefDecl](t, tu)
+	if td.Name != "size_type" {
+		t.Errorf("typedef = %+v", td)
+	}
+	v := firstDecl[*ast.VarDecl](t, tu)
+	if v.Name != "n" {
+		t.Errorf("var via typedef type: %+v", v)
+	}
+}
+
+func TestOperatorOverload(t *testing.T) {
+	src := `class Complex {
+public:
+    Complex operator+(const Complex & o) const;
+    Complex & operator=(const Complex & o);
+    bool operator==(const Complex & o) const;
+    double & operator[](int i);
+    double operator()(int i, int j) const;
+};
+Complex operator-(const Complex & a, const Complex & b);`
+	tu := parseSrc(t, src, nil)
+	c := firstDecl[*ast.ClassDecl](t, tu)
+	ops := []string{"+", "=", "==", "[]", "()"}
+	for i, m := range c.Members {
+		fd := m.Decl.(*ast.FunctionDecl)
+		if fd.Kind != ast.Operator || fd.OpName != ops[i] {
+			t.Errorf("member %d: kind=%v op=%q want %q", i, fd.Kind, fd.OpName, ops[i])
+		}
+	}
+	free := firstDecl[*ast.FunctionDecl](t, tu)
+	if free.Kind != ast.Operator || free.OpName != "-" {
+		t.Errorf("free op = %+v", free)
+	}
+}
+
+func TestCtorInitializers(t *testing.T) {
+	src := `class P { public: P(int a, int b) : x(a), y(b) { } int x, y; };`
+	tu := parseSrc(t, src, nil)
+	c := firstDecl[*ast.ClassDecl](t, tu)
+	ctor := c.Members[0].Decl.(*ast.FunctionDecl)
+	if len(ctor.Inits) != 2 || ctor.Inits[0].Name.String() != "x" {
+		t.Fatalf("inits = %+v", ctor.Inits)
+	}
+}
+
+func TestThrowSpecAndPureVirtual(t *testing.T) {
+	src := `class Overflow {};
+class Shape {
+public:
+    virtual double area() const = 0;
+    void check() throw(Overflow);
+};`
+	tu := parseSrc(t, src, nil)
+	var shape *ast.ClassDecl
+	for _, d := range tu.Decls {
+		if c, ok := d.(*ast.ClassDecl); ok && c.Name == "Shape" {
+			shape = c
+		}
+	}
+	area := shape.Members[0].Decl.(*ast.FunctionDecl)
+	if !area.PureVirtual || !area.Virtual || !area.Const {
+		t.Errorf("area = %+v", area)
+	}
+	check := shape.Members[1].Decl.(*ast.FunctionDecl)
+	if !check.HasThrow || len(check.Throws) != 1 {
+		t.Errorf("check throws = %+v", check.Throws)
+	}
+}
+
+func TestStatements(t *testing.T) {
+	src := `int f(int n) {
+    int sum = 0;
+    for (int i = 0; i < n; i++) sum += i;
+    while (sum > 100) { sum /= 2; }
+    do { sum++; } while (sum < 10);
+    if (sum == 50) return 0; else sum--;
+    switch (n) {
+    case 0:
+    case 1: sum = 1; break;
+    default: sum = 2;
+    }
+    try { throw sum; } catch (int e) { return e; } catch (...) { }
+    return sum;
+}`
+	tu := parseSrc(t, src, nil)
+	f := firstDecl[*ast.FunctionDecl](t, tu)
+	if len(f.Body.Stmts) != 8 {
+		t.Fatalf("got %d statements", len(f.Body.Stmts))
+	}
+	sw := f.Body.Stmts[5].(*ast.SwitchStmt)
+	if len(sw.Cases) != 2 || len(sw.Cases[0].Values) != 2 {
+		t.Errorf("switch cases = %+v", sw.Cases)
+	}
+	try := f.Body.Stmts[6].(*ast.TryStmt)
+	if len(try.Handlers) != 2 || try.Handlers[1].Param != nil {
+		t.Errorf("try = %+v", try)
+	}
+}
+
+func TestExpressions(t *testing.T) {
+	src := `int g() {
+    int a = 1, b = 2;
+    int c = a * b + (a - b) / 2 % 3;
+    bool d = a < b && b <= 3 || !(a == b);
+    c = d ? a : b;
+    a = b = c;
+    int *p = &a;
+    *p = 5;
+    p[0] = 6;
+    a++; --b;
+    double e = (double)a;
+    double f2 = static_cast<double>(b);
+    long n = sizeof(int) + sizeof a;
+    return a << 2 | b >> 1 & c ^ 3;
+}`
+	tu := parseSrc(t, src, nil)
+	f := firstDecl[*ast.FunctionDecl](t, tu)
+	if f.Body == nil || len(f.Body.Stmts) < 10 {
+		t.Fatalf("body stmts = %d", len(f.Body.Stmts))
+	}
+}
+
+func TestNewDelete(t *testing.T) {
+	src := `class T {};
+void h() {
+    T *p = new T;
+    T *q = new T();
+    int *arr = new int[10];
+    delete p;
+    delete q;
+    delete[] arr;
+}`
+	tu := parseSrc(t, src, nil)
+	f := firstDecl[*ast.FunctionDecl](t, tu)
+	ds := f.Body.Stmts[2].(*ast.DeclStmt)
+	v := ds.Decls[0].(*ast.VarDecl)
+	ne := v.Init.(*ast.NewExpr)
+	if ne.ArraySize == nil {
+		t.Error("new[] should have array size")
+	}
+	es := f.Body.Stmts[5].(*ast.ExprStmt)
+	de := es.E.(*ast.DeleteExpr)
+	if !de.Array {
+		t.Error("delete[] flag missing")
+	}
+}
+
+func TestMemberAccessAndCalls(t *testing.T) {
+	src := `class S { public: int f(); S *next(); };
+int use(S & s, S *p) {
+    return s.f() + p->f() + p->next()->f();
+}`
+	tu := parseSrc(t, src, nil)
+	f := firstDecl[*ast.FunctionDecl](t, tu)
+	ret := f.Body.Stmts[0].(*ast.ReturnStmt)
+	if ret.E == nil {
+		t.Fatal("no return expr")
+	}
+}
+
+func TestStackFigure1(t *testing.T) {
+	// The verbatim code of the paper's Figure 1 (vector included as a
+	// stub header).
+	vec := `template <class T> class vector {
+public:
+    vector();
+    int size() const;
+    T & operator[](int i);
+};`
+	src := `#include "vector.h"
+class Overflow {};
+class Underflow {};
+
+template <class Object>
+class Stack {
+public:
+    explicit Stack(int capacity = 10);
+    bool isEmpty() const;
+    bool isFull() const;
+    const Object & top() const;
+    void makeEmpty();
+    void pop();
+    void push(const Object & x);
+    Object topAndPop();
+private:
+    vector<Object> theArray;
+    int topOfStack;
+};
+
+template <class Object>
+bool Stack<Object>::isFull() const {
+    return topOfStack == theArray.size() - 1;
+}
+
+template <class Object>
+void Stack<Object>::push(const Object & x) {
+    if (isFull())
+        throw Overflow();
+    theArray[++topOfStack] = x;
+}
+
+template <class Object>
+Object Stack<Object>::topAndPop() {
+    if (isEmpty())
+        throw Underflow();
+    return theArray[topOfStack--];
+}
+
+int main() {
+    Stack<int> s;
+    for (int i = 0; i < 10; i++)
+        s.push(i);
+    while (!s.isEmpty())
+        s.topAndPop();
+    return 0;
+}`
+	tu := parseSrc(t, src, map[string]string{"vector.h": vec})
+	// Expect: vector template (from header), Overflow, Underflow, Stack,
+	// 3 out-of-line member templates, main.
+	var classNames []string
+	var funcNames []string
+	for _, d := range tu.Decls {
+		switch d := d.(type) {
+		case *ast.ClassDecl:
+			classNames = append(classNames, d.Name)
+		case *ast.FunctionDecl:
+			funcNames = append(funcNames, d.Name.String())
+		}
+	}
+	wantClasses := []string{"vector", "Overflow", "Underflow", "Stack"}
+	if len(classNames) != len(wantClasses) {
+		t.Fatalf("classes = %v", classNames)
+	}
+	for i := range wantClasses {
+		if classNames[i] != wantClasses[i] {
+			t.Errorf("class[%d] = %q want %q", i, classNames[i], wantClasses[i])
+		}
+	}
+	wantFuncs := []string{"Stack<Object>::isFull", "Stack<Object>::push",
+		"Stack<Object>::topAndPop", "main"}
+	if len(funcNames) != len(wantFuncs) {
+		t.Fatalf("funcs = %v", funcNames)
+	}
+	for i := range wantFuncs {
+		if funcNames[i] != wantFuncs[i] {
+			t.Errorf("func[%d] = %q want %q", i, funcNames[i], wantFuncs[i])
+		}
+	}
+}
+
+func TestTemplateTextCaptured(t *testing.T) {
+	src := `template <class T> class Box { T v; };`
+	tu := parseSrc(t, src, nil)
+	c := firstDecl[*ast.ClassDecl](t, tu)
+	if c.Template.Text == "" {
+		t.Error("template text not captured")
+	}
+}
+
+func TestFriendDecls(t *testing.T) {
+	src := `class Matrix {
+    friend class Vector;
+    friend Matrix transpose(const Matrix & m);
+    int data;
+};`
+	tu := parseSrc(t, src, nil)
+	c := firstDecl[*ast.ClassDecl](t, tu)
+	if !c.Members[0].Friend || !c.Members[1].Friend || c.Members[2].Friend {
+		t.Errorf("friend flags: %v %v %v", c.Members[0].Friend, c.Members[1].Friend, c.Members[2].Friend)
+	}
+}
+
+func TestConversionOperator(t *testing.T) {
+	src := `class Fraction { public: operator double() const; };`
+	tu := parseSrc(t, src, nil)
+	c := firstDecl[*ast.ClassDecl](t, tu)
+	f := c.Members[0].Decl.(*ast.FunctionDecl)
+	if f.Kind != ast.Conversion {
+		t.Errorf("kind = %v", f.Kind)
+	}
+}
+
+func TestLinkageSpec(t *testing.T) {
+	src := `extern "C" { void c_func(int); }
+extern "C" int another(void);`
+	tu := parseSrc(t, src, nil)
+	ls := firstDecl[*ast.LinkageSpec](t, tu)
+	if ls.Lang != "C" || len(ls.Decls) != 1 {
+		t.Fatalf("linkage = %+v", ls)
+	}
+}
+
+func TestVexingParseBlockScope(t *testing.T) {
+	src := `class T { public: T(); T(int); };
+void f() {
+    T a;      // default construction (not "T a()" which would be a func decl)
+    T b(5);   // direct init with expression
+    T c(T()); // most vexing parse: function declaration
+    int x(7); // direct init of int
+}`
+	tu := parseSrc(t, src, nil)
+	f := tu.Decls[1].(*ast.FunctionDecl)
+	ds0 := f.Body.Stmts[0].(*ast.DeclStmt)
+	if v := ds0.Decls[0].(*ast.VarDecl); v.HasCtorArgs {
+		t.Error("T a; should not have ctor args")
+	}
+	ds1 := f.Body.Stmts[1].(*ast.DeclStmt)
+	if v := ds1.Decls[0].(*ast.VarDecl); !v.HasCtorArgs || len(v.CtorArgs) != 1 {
+		t.Error("T b(5); should have one ctor arg")
+	}
+	ds3 := f.Body.Stmts[3].(*ast.DeclStmt)
+	if v := ds3.Decls[0].(*ast.VarDecl); !v.HasCtorArgs {
+		t.Error("int x(7); should have ctor args")
+	}
+}
+
+func TestStaticMemberOutOfLine(t *testing.T) {
+	src := `class C { public: static int count; };
+int C::count = 0;`
+	tu := parseSrc(t, src, nil)
+	found := false
+	for _, d := range tu.Decls {
+		if v, ok := d.(*ast.VarDecl); ok && v.Name == "C::count" {
+			found = true
+			if v.Init == nil {
+				t.Error("C::count should have initializer")
+			}
+		}
+	}
+	if !found {
+		t.Error("out-of-line static member definition not parsed")
+	}
+}
+
+func TestErrorRecovery(t *testing.T) {
+	src := `int good1;
+class 123 456 garbage;
+int good2;`
+	tu, errs := parseSrcErrs(t, src, nil)
+	if len(errs) == 0 {
+		t.Error("expected parse errors")
+	}
+	names := map[string]bool{}
+	for _, d := range tu.Decls {
+		if v, ok := d.(*ast.VarDecl); ok {
+			names[v.Name] = true
+		}
+	}
+	if !names["good1"] || !names["good2"] {
+		t.Errorf("recovery lost declarations: %v", names)
+	}
+}
+
+func TestMemberFunctionTemplate(t *testing.T) {
+	src := `class Host {
+public:
+    template <class U> void accept(U visitor);
+};`
+	tu := parseSrc(t, src, nil)
+	c := firstDecl[*ast.ClassDecl](t, tu)
+	f := c.Members[0].Decl.(*ast.FunctionDecl)
+	if f.Template == nil || len(f.Template.Params) != 1 {
+		t.Fatalf("member template = %+v", f.Template)
+	}
+}
+
+func TestQualifiedCall(t *testing.T) {
+	src := `namespace ns { int helper(); }
+int z = ns::helper();`
+	tu := parseSrc(t, src, nil)
+	var v *ast.VarDecl
+	for _, d := range tu.Decls {
+		if vd, ok := d.(*ast.VarDecl); ok {
+			v = vd
+		}
+	}
+	call := v.Init.(*ast.CallExpr)
+	ne := call.Fn.(*ast.NameExpr)
+	if ne.Name.String() != "ns::helper" {
+		t.Errorf("callee = %q", ne.Name.String())
+	}
+}

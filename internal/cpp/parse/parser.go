@@ -1,0 +1,303 @@
+// Package parse implements the recursive-descent C++ parser of the PDT
+// frontend. It consumes the preprocessed token stream (internal/cpp/pp)
+// and produces the parse tree (internal/cpp/ast).
+//
+// Like every C++ parser, it must disambiguate declarations from
+// expressions. It does so with a lightweight syntactic symbol table
+// tracking which identifiers name types and which name templates —
+// enough for the supported subset without full semantic analysis (which
+// happens later, in internal/cpp/sema).
+package parse
+
+import (
+	"fmt"
+
+	"pdt/internal/cpp/ast"
+	"pdt/internal/cpp/lex"
+	"pdt/internal/source"
+)
+
+const maxErrors = 50
+
+// Error is a parse diagnostic.
+type Error struct {
+	Loc source.Loc
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Loc, e.Msg) }
+
+// symKind classifies names in the parser's syntactic symbol table.
+type symKind int
+
+const (
+	symNone symKind = iota
+	symType
+	symTemplate // class template name (a '<' after it opens arguments)
+	symNamespace
+	symFuncTemplate // function template name
+)
+
+// scope is one level of the syntactic symbol table.
+type scope struct {
+	names map[string]symKind
+}
+
+// Parser parses one translation unit.
+type Parser struct {
+	toks []lex.Token
+	pos  int
+	errs []*Error
+
+	scopes []scope
+	// globalTypes remembers every type-ish name ever declared, used to
+	// interpret qualified names (N::T) without modeling namespaces.
+	globalTypes map[string]symKind
+
+	// classStack tracks enclosing class names so constructors and
+	// destructors can be recognized.
+	classStack []string
+
+	// lastWasFriend is set by parseMemberDecl when the declaration it
+	// just parsed was introduced by 'friend'.
+	lastWasFriend bool
+
+	// inBlock is true while parsing statements inside a function body;
+	// it switches declarator disambiguation to block-scope rules.
+	inBlock bool
+
+	// noGt suppresses '>'/'>>' as binary operators while parsing a
+	// non-type template argument ("Stack<N>" vs "a > b").
+	noGt bool
+}
+
+// New returns a parser over the preprocessed token stream (which must
+// be EOF-terminated).
+func New(toks []lex.Token) *Parser {
+	p := &Parser{
+		toks:        toks,
+		globalTypes: make(map[string]symKind),
+	}
+	p.pushScope()
+	// Names treated as types by convention (so code using a few std
+	// names parses even without headers).
+	for _, n := range []string{"size_t", "ptrdiff_t"} {
+		p.declareName(n, symType)
+	}
+	return p
+}
+
+// Errors returns accumulated diagnostics.
+func (p *Parser) Errors() []*Error { return p.errs }
+
+// ParseFile parses the whole stream as one translation unit.
+func ParseFile(f *source.File, toks []lex.Token) (*ast.TranslationUnit, []*Error) {
+	p := New(toks)
+	tu := &ast.TranslationUnit{File: f}
+	for !p.at(lex.EOF) {
+		start := p.pos
+		d := p.parseExternalDecl()
+		if d != nil {
+			tu.Decls = append(tu.Decls, d)
+		}
+		if p.pos == start {
+			// Guarantee progress even on garbage.
+			p.errorf(p.peek().Loc, "unexpected token %s", p.peek())
+			p.next()
+		}
+		if len(p.errs) > maxErrors {
+			break
+		}
+	}
+	return tu, p.errs
+}
+
+// --- token cursor -----------------------------------------------------
+
+func (p *Parser) peek() lex.Token { return p.toks[p.pos] }
+
+func (p *Parser) peekN(n int) lex.Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // EOF
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *Parser) next() lex.Token {
+	t := p.toks[p.pos]
+	if t.Kind != lex.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) at(k lex.Kind) bool { return p.peek().Kind == k }
+
+func (p *Parser) atKw(text string) bool { return p.peek().IsKw(text) }
+
+// accept consumes the next token if it has kind k.
+func (p *Parser) accept(k lex.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// acceptKw consumes the next token if it is the given keyword.
+func (p *Parser) acceptKw(text string) bool {
+	if p.atKw(text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// expect consumes a token of kind k or records an error.
+func (p *Parser) expect(k lex.Kind, context string) lex.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errorf(p.peek().Loc, "expected %s in %s, found %s", k, context, p.peek())
+	return lex.Token{Kind: k, Loc: p.peek().Loc}
+}
+
+func (p *Parser) errorf(loc source.Loc, format string, args ...interface{}) {
+	if len(p.errs) <= maxErrors {
+		p.errs = append(p.errs, &Error{Loc: loc, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+// splitShr splits a '>>' token into two '>' tokens; called when closing
+// nested template argument lists (the classic "Stack<Stack<int>>" case).
+func (p *Parser) splitShr() {
+	t := p.toks[p.pos]
+	first := t
+	first.Kind = lex.Gt
+	first.Text = ">"
+	second := t
+	second.Kind = lex.Gt
+	second.Text = ">"
+	second.Loc.Col++
+	rest := append([]lex.Token{first, second}, p.toks[p.pos+1:]...)
+	p.toks = append(p.toks[:p.pos], rest...)
+}
+
+// skipBalancedParens consumes a '(' ... ')' group, balancing nesting.
+func (p *Parser) skipBalancedParens() {
+	if !p.at(lex.LParen) {
+		return
+	}
+	depth := 0
+	for !p.at(lex.EOF) {
+		switch p.peek().Kind {
+		case lex.LParen:
+			depth++
+		case lex.RParen:
+			depth--
+			if depth == 0 {
+				p.next()
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+// --- recovery ----------------------------------------------------------
+
+// syncDecl skips tokens until a likely declaration boundary.
+func (p *Parser) syncDecl() {
+	depth := 0
+	for !p.at(lex.EOF) {
+		switch p.peek().Kind {
+		case lex.Semi:
+			if depth == 0 {
+				p.next()
+				return
+			}
+			p.next()
+		case lex.LBrace:
+			depth++
+			p.next()
+		case lex.RBrace:
+			if depth == 0 {
+				return
+			}
+			depth--
+			p.next()
+			if depth == 0 {
+				// Consume a trailing ';' of a class definition.
+				p.accept(lex.Semi)
+				return
+			}
+		default:
+			p.next()
+		}
+	}
+}
+
+// --- syntactic symbol table ---------------------------------------------
+
+func (p *Parser) pushScope() { p.scopes = append(p.scopes, scope{names: map[string]symKind{}}) }
+
+func (p *Parser) popScope() { p.scopes = p.scopes[:len(p.scopes)-1] }
+
+// declareName records a name's kind in the current scope and globally.
+func (p *Parser) declareName(name string, kind symKind) {
+	if name == "" {
+		return
+	}
+	p.scopes[len(p.scopes)-1].names[name] = kind
+	if kind == symType || kind == symTemplate || kind == symNamespace || kind == symFuncTemplate {
+		// Type-ness is remembered globally so out-of-line and cross-
+		// namespace references still parse.
+		if old, ok := p.globalTypes[name]; !ok || old < kind {
+			p.globalTypes[name] = kind
+		}
+	}
+}
+
+// lookupName returns the kind of name in the nearest scope, falling back
+// to the global type registry.
+func (p *Parser) lookupName(name string) symKind {
+	for i := len(p.scopes) - 1; i >= 0; i-- {
+		if k, ok := p.scopes[i].names[name]; ok {
+			return k
+		}
+	}
+	if k, ok := p.globalTypes[name]; ok {
+		return k
+	}
+	return symNone
+}
+
+// isTypeName reports whether an identifier currently names a type or
+// class template.
+func (p *Parser) isTypeName(name string) bool {
+	k := p.lookupName(name)
+	return k == symType || k == symTemplate
+}
+
+// isTemplateName reports whether a '<' after the identifier should open
+// a template argument list.
+func (p *Parser) isTemplateName(name string) bool {
+	k := p.lookupName(name)
+	return k == symTemplate || k == symFuncTemplate
+}
+
+// currentClass returns the innermost class name being parsed, or "".
+func (p *Parser) currentClass() string {
+	if len(p.classStack) == 0 {
+		return ""
+	}
+	return p.classStack[len(p.classStack)-1]
+}
+
+// endLocOf returns the location of the token just consumed.
+func (p *Parser) lastLoc() source.Loc {
+	if p.pos == 0 {
+		return p.peek().Loc
+	}
+	return p.toks[p.pos-1].Loc
+}

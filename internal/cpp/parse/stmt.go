@@ -1,0 +1,317 @@
+package parse
+
+import (
+	"pdt/internal/cpp/ast"
+	"pdt/internal/cpp/lex"
+	"pdt/internal/source"
+)
+
+// parseCompound parses "{ stmts }".
+func (p *Parser) parseCompound() *ast.CompoundStmt {
+	lb := p.expect(lex.LBrace, "compound statement")
+	cs := &ast.CompoundStmt{Pos: source.Span{Begin: lb.Loc}}
+	wasInBlock := p.inBlock
+	p.inBlock = true
+	p.pushScope()
+	for !p.at(lex.RBrace) && !p.at(lex.EOF) {
+		start := p.pos
+		s := p.parseStmt()
+		if s != nil {
+			cs.Stmts = append(cs.Stmts, s)
+		}
+		if p.pos == start {
+			p.errorf(p.peek().Loc, "unexpected token %s in block", p.peek())
+			p.next()
+		}
+	}
+	p.popScope()
+	p.inBlock = wasInBlock
+	rb := p.expect(lex.RBrace, "compound statement")
+	cs.Pos.End = rb.Loc
+	return cs
+}
+
+// parseStmt parses one statement.
+func (p *Parser) parseStmt() ast.Stmt {
+	t := p.peek()
+	switch {
+	case t.Kind == lex.LBrace:
+		return p.parseCompound()
+	case t.Kind == lex.Semi:
+		loc := p.next().Loc
+		return &ast.EmptyStmt{Pos: source.Span{Begin: loc, End: loc}}
+	case t.IsKw("if"):
+		return p.parseIf()
+	case t.IsKw("while"):
+		return p.parseWhile()
+	case t.IsKw("do"):
+		return p.parseDo()
+	case t.IsKw("for"):
+		return p.parseFor()
+	case t.IsKw("return"):
+		kw := p.next()
+		s := &ast.ReturnStmt{Pos: source.Span{Begin: kw.Loc}}
+		if !p.at(lex.Semi) {
+			s.E = p.parseExpr()
+		}
+		semi := p.expect(lex.Semi, "return statement")
+		s.Pos.End = semi.Loc
+		return s
+	case t.IsKw("break"):
+		kw := p.next()
+		semi := p.expect(lex.Semi, "break statement")
+		return &ast.BreakStmt{Pos: source.Span{Begin: kw.Loc, End: semi.Loc}}
+	case t.IsKw("continue"):
+		kw := p.next()
+		semi := p.expect(lex.Semi, "continue statement")
+		return &ast.ContinueStmt{Pos: source.Span{Begin: kw.Loc, End: semi.Loc}}
+	case t.IsKw("switch"):
+		return p.parseSwitch()
+	case t.IsKw("try"):
+		return p.parseTry()
+	case t.IsKw("goto"):
+		p.errorf(t.Loc, "goto is not supported by the PDT frontend subset")
+		p.syncDecl()
+		return nil
+	case t.IsKw("typedef"):
+		d := p.parseTypedef()
+		return &ast.DeclStmt{Decls: []ast.Decl{d}, Pos: d.Span()}
+	case t.IsKw("class") || t.IsKw("struct") || t.IsKw("union"):
+		if p.classHeadFollows() {
+			d := p.parseClass(nil)
+			return &ast.DeclStmt{Decls: []ast.Decl{d}, Pos: d.Span()}
+		}
+		return p.parseBlockDeclStmt()
+	case t.IsKw("enum"):
+		d := p.parseEnum()
+		return &ast.DeclStmt{Decls: []ast.Decl{d}, Pos: d.Span()}
+	case p.stmtStartsDecl():
+		return p.parseBlockDeclStmt()
+	default:
+		return p.parseExprStmt()
+	}
+}
+
+// stmtStartsDecl decides whether the statement at the cursor is a
+// declaration. This is the central declaration/expression ambiguity;
+// it relies on the syntactic symbol table.
+func (p *Parser) stmtStartsDecl() bool {
+	t := p.peek()
+	if t.Kind == lex.Keyword {
+		switch t.Text {
+		case "const", "volatile", "static", "register", "auto", "mutable",
+			"void", "bool", "char", "int", "long", "short", "signed",
+			"unsigned", "float", "double", "typename":
+			return true
+		}
+		return false
+	}
+	if t.Kind != lex.Ident && t.Kind != lex.ColonCol {
+		return false
+	}
+	if !p.startsType() {
+		return false
+	}
+	// A type name begins the statement; it is a declaration when a
+	// declarator follows ("T x", "T *x", "T &x", "T<...>" then those).
+	save := p.pos
+	defer func() { p.pos = save }()
+	p.parseTypeSpecifierQuiet()
+	switch p.peek().Kind {
+	case lex.Ident:
+		return true
+	case lex.Star, lex.Amp:
+		// "T * x" — declaration only if an identifier follows the ops;
+		// "a * b;" with a not-a-type never reaches here.
+		for p.at(lex.Star) || p.at(lex.Amp) || p.atKw("const") || p.atKw("volatile") {
+			p.next()
+		}
+		return p.at(lex.Ident)
+	}
+	return false
+}
+
+// parseTypeSpecifierQuiet parses a type specifier while suppressing
+// diagnostics (used for lookahead).
+func (p *Parser) parseTypeSpecifierQuiet() {
+	saved := p.errs
+	p.parseTypeSpecifier()
+	p.errs = saved
+}
+
+// parseBlockDeclStmt parses a block-scope declaration statement.
+func (p *Parser) parseBlockDeclStmt() ast.Stmt {
+	startLoc := p.peek().Loc
+	specs := p.parseDeclSpecs()
+	baseType := p.parseTypeSpecifier()
+	var decls []ast.Decl
+	for {
+		d := p.parseDeclarator(baseType, specs, nil, ast.NoAccess, startLoc)
+		if d == nil {
+			return nil
+		}
+		if fd, ok := d.(*ast.FunctionDecl); ok {
+			// Local function declaration ("most vexing parse" outcome).
+			decls = append(decls, fd)
+			return &ast.DeclStmt{Decls: decls, Pos: fd.Span()}
+		}
+		decls = append(decls, d)
+		if p.accept(lex.Comma) {
+			continue
+		}
+		semi := p.expect(lex.Semi, "declaration statement")
+		return &ast.DeclStmt{Decls: decls, Pos: source.Span{Begin: startLoc, End: semi.Loc}}
+	}
+}
+
+func (p *Parser) parseExprStmt() ast.Stmt {
+	start := p.peek().Loc
+	e := p.parseExpr()
+	semi := p.expect(lex.Semi, "expression statement")
+	if e == nil {
+		return nil
+	}
+	return &ast.ExprStmt{E: e, Pos: source.Span{Begin: start, End: semi.Loc}}
+}
+
+func (p *Parser) parseIf() ast.Stmt {
+	kw := p.next()
+	p.expect(lex.LParen, "if condition")
+	cond := p.parseExpr()
+	p.expect(lex.RParen, "if condition")
+	s := &ast.IfStmt{Cond: cond, Pos: source.Span{Begin: kw.Loc}}
+	s.Then = p.parseStmt()
+	if p.acceptKw("else") {
+		s.Else = p.parseStmt()
+	}
+	s.Pos.End = p.lastLoc()
+	return s
+}
+
+func (p *Parser) parseWhile() ast.Stmt {
+	kw := p.next()
+	p.expect(lex.LParen, "while condition")
+	cond := p.parseExpr()
+	p.expect(lex.RParen, "while condition")
+	body := p.parseStmt()
+	return &ast.WhileStmt{Cond: cond, Body: body,
+		Pos: source.Span{Begin: kw.Loc, End: p.lastLoc()}}
+}
+
+func (p *Parser) parseDo() ast.Stmt {
+	kw := p.next()
+	body := p.parseStmt()
+	if !p.acceptKw("while") {
+		p.errorf(p.peek().Loc, "expected 'while' after do body")
+	}
+	p.expect(lex.LParen, "do-while condition")
+	cond := p.parseExpr()
+	p.expect(lex.RParen, "do-while condition")
+	semi := p.expect(lex.Semi, "do-while statement")
+	return &ast.DoStmt{Body: body, Cond: cond,
+		Pos: source.Span{Begin: kw.Loc, End: semi.Loc}}
+}
+
+func (p *Parser) parseFor() ast.Stmt {
+	kw := p.next()
+	p.expect(lex.LParen, "for clause")
+	s := &ast.ForStmt{Pos: source.Span{Begin: kw.Loc}}
+	p.pushScope()
+	defer p.popScope()
+	switch {
+	case p.accept(lex.Semi):
+		s.Init = &ast.EmptyStmt{}
+	case p.stmtStartsDecl():
+		s.Init = p.parseBlockDeclStmt()
+	default:
+		s.Init = p.parseExprStmt()
+	}
+	if !p.at(lex.Semi) {
+		s.Cond = p.parseExpr()
+	}
+	p.expect(lex.Semi, "for clause")
+	if !p.at(lex.RParen) {
+		s.Post = p.parseExpr()
+	}
+	p.expect(lex.RParen, "for clause")
+	s.Body = p.parseStmt()
+	s.Pos.End = p.lastLoc()
+	return s
+}
+
+func (p *Parser) parseSwitch() ast.Stmt {
+	kw := p.next()
+	p.expect(lex.LParen, "switch condition")
+	cond := p.parseExpr()
+	p.expect(lex.RParen, "switch condition")
+	s := &ast.SwitchStmt{Cond: cond, Pos: source.Span{Begin: kw.Loc}}
+	p.expect(lex.LBrace, "switch body")
+	var cur *ast.SwitchCase
+	flush := func() {
+		if cur != nil {
+			s.Cases = append(s.Cases, *cur)
+			cur = nil
+		}
+	}
+	for !p.at(lex.RBrace) && !p.at(lex.EOF) {
+		switch {
+		case p.atKw("case"):
+			loc := p.next().Loc
+			v := p.parseConstantExpr()
+			p.expect(lex.Colon, "case label")
+			if cur == nil || len(cur.Stmts) > 0 {
+				flush()
+				cur = &ast.SwitchCase{Pos: source.Span{Begin: loc}}
+			}
+			cur.Values = append(cur.Values, v)
+		case p.atKw("default"):
+			loc := p.next().Loc
+			p.expect(lex.Colon, "default label")
+			if cur == nil || len(cur.Stmts) > 0 {
+				flush()
+				cur = &ast.SwitchCase{Pos: source.Span{Begin: loc}}
+			}
+		default:
+			if cur == nil {
+				p.errorf(p.peek().Loc, "statement before first case label")
+				cur = &ast.SwitchCase{Pos: source.Span{Begin: p.peek().Loc}}
+			}
+			start := p.pos
+			if st := p.parseStmt(); st != nil {
+				cur.Stmts = append(cur.Stmts, st)
+			}
+			if p.pos == start {
+				p.next()
+			}
+		}
+	}
+	flush()
+	rb := p.expect(lex.RBrace, "switch body")
+	s.Pos.End = rb.Loc
+	return s
+}
+
+func (p *Parser) parseTry() ast.Stmt {
+	kw := p.next()
+	s := &ast.TryStmt{Pos: source.Span{Begin: kw.Loc}}
+	s.Body = p.parseCompound()
+	for p.atKw("catch") {
+		cloc := p.next().Loc
+		p.expect(lex.LParen, "catch clause")
+		h := ast.Handler{Pos: source.Span{Begin: cloc}}
+		if p.at(lex.Ellipsis) {
+			p.next()
+		} else {
+			h.Param = p.parseParam()
+		}
+		p.expect(lex.RParen, "catch clause")
+		h.Body = p.parseCompound()
+		h.Pos.End = p.lastLoc()
+		s.Handlers = append(s.Handlers, h)
+	}
+	if len(s.Handlers) == 0 {
+		p.errorf(kw.Loc, "try block without catch handler")
+	}
+	s.Pos.End = p.lastLoc()
+	return s
+}

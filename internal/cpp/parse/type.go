@@ -1,0 +1,210 @@
+package parse
+
+import (
+	"strings"
+
+	"pdt/internal/cpp/ast"
+	"pdt/internal/cpp/lex"
+)
+
+// builtinSpecWords are the keywords that can combine into a fundamental
+// type specifier.
+var builtinSpecWords = map[string]bool{
+	"void": true, "bool": true, "char": true, "int": true, "long": true,
+	"short": true, "signed": true, "unsigned": true, "float": true,
+	"double": true,
+}
+
+// parseType parses a type: cv-qualifiers, a fundamental or named type,
+// then pointer/reference declarator operators. Array/function parts
+// belong to declarators, not to this production.
+func (p *Parser) parseType() ast.TypeExpr {
+	base := p.parseTypeSpecifier()
+	return p.parseTypeOps(base)
+}
+
+// parseTypeSpecifier parses cv-qualifiers plus the core type.
+func (p *Parser) parseTypeSpecifier() ast.TypeExpr {
+	constQ, volatileQ := false, false
+	for {
+		if p.acceptKw("const") {
+			constQ = true
+			continue
+		}
+		if p.acceptKw("volatile") {
+			volatileQ = true
+			continue
+		}
+		break
+	}
+	core := p.parseCoreType()
+	// Trailing cv-qualifiers ("int const").
+	for {
+		if p.acceptKw("const") {
+			constQ = true
+			continue
+		}
+		if p.acceptKw("volatile") {
+			volatileQ = true
+			continue
+		}
+		break
+	}
+	if volatileQ {
+		core = &ast.VolatileType{Elem: core, Pos: core.Span().Begin}
+	}
+	if constQ {
+		core = &ast.ConstType{Elem: core, Pos: core.Span().Begin}
+	}
+	return core
+}
+
+// parseCoreType parses the fundamental-type word run or a named type.
+func (p *Parser) parseCoreType() ast.TypeExpr {
+	t := p.peek()
+	if t.Kind == lex.Keyword && builtinSpecWords[t.Text] {
+		loc := t.Loc
+		var words []string
+		for p.peek().Kind == lex.Keyword && builtinSpecWords[p.peek().Text] {
+			words = append(words, p.next().Text)
+		}
+		return &ast.BuiltinType{Spec: normalizeBuiltin(words), Pos: loc}
+	}
+	elaborated := ""
+	if t.Kind == lex.Keyword {
+		switch t.Text {
+		case "class", "struct", "union", "enum", "typename":
+			elaborated = t.Text
+			p.next()
+		}
+	}
+	name := p.parseQualNameInType()
+	return &ast.NamedType{Name: name, Elaborated: elaborated}
+}
+
+// parseQualNameInType parses a qualified name in a type context, where
+// '<' after any segment opens template arguments (even for names not
+// yet registered, e.g. dependent types).
+func (p *Parser) parseQualNameInType() ast.QualName {
+	var q ast.QualName
+	if p.at(lex.ColonCol) {
+		q.Global = true
+		p.next()
+	}
+	for {
+		id := p.peek()
+		if id.Kind == lex.Tilde {
+			// Destructor segment in an out-of-line definition name
+			// ("Vec<T>::~Vec"). Terminal by construction.
+			loc := p.next().Loc
+			dtor := p.expect(lex.Ident, "destructor name")
+			q.Segs = append(q.Segs, ast.Seg{Name: "~" + dtor.Text, Loc: loc})
+			return q
+		}
+		if id.Kind != lex.Ident {
+			p.errorf(id.Loc, "expected type name, found %s", id)
+			return q
+		}
+		p.next()
+		seg := ast.Seg{Name: id.Text, Loc: id.Loc}
+		if p.at(lex.Lt) && p.typeContextOpensArgs(id.Text) {
+			seg.Args, seg.HasArgs = p.parseTemplateArgs()
+		}
+		q.Segs = append(q.Segs, seg)
+		if p.at(lex.ColonCol) {
+			p.next()
+			continue
+		}
+		return q
+	}
+}
+
+// typeContextOpensArgs: in a type context, '<' opens arguments when the
+// name is a known template, or when the name is unknown entirely (a
+// dependent template like "vector<Object>" inside a template body) —
+// but not when the name is a known non-template type or value.
+func (p *Parser) typeContextOpensArgs(name string) bool {
+	switch p.lookupName(name) {
+	case symTemplate, symFuncTemplate:
+		return true
+	case symNone:
+		return true
+	default:
+		return false
+	}
+}
+
+// parseTypeOps applies trailing '*', '&' and their cv-qualifiers.
+func (p *Parser) parseTypeOps(base ast.TypeExpr) ast.TypeExpr {
+	for {
+		switch p.peek().Kind {
+		case lex.Star:
+			loc := p.next().Loc
+			base = &ast.PointerType{Elem: base, Pos: loc}
+			for {
+				if p.acceptKw("const") {
+					base = &ast.ConstType{Elem: base, Pos: loc}
+					continue
+				}
+				if p.acceptKw("volatile") {
+					base = &ast.VolatileType{Elem: base, Pos: loc}
+					continue
+				}
+				break
+			}
+		case lex.Amp:
+			loc := p.next().Loc
+			base = &ast.RefType{Elem: base, Pos: loc}
+		default:
+			return base
+		}
+	}
+}
+
+// normalizeBuiltin canonicalizes a run of fundamental-type keywords
+// ("unsigned long int" → "unsigned long").
+func normalizeBuiltin(words []string) string {
+	var signedness, length, core string
+	longCount := 0
+	for _, w := range words {
+		switch w {
+		case "signed", "unsigned":
+			signedness = w
+		case "long":
+			longCount++
+		case "short":
+			length = "short"
+		case "void", "bool", "char", "int", "float", "double":
+			core = w
+		}
+	}
+	if longCount == 1 {
+		length = "long"
+	} else if longCount >= 2 {
+		length = "long long"
+	}
+	var parts []string
+	if signedness == "unsigned" {
+		parts = append(parts, "unsigned")
+	}
+	if signedness == "signed" && core == "char" {
+		parts = append(parts, "signed")
+	}
+	switch {
+	case core == "double" && length == "long":
+		parts = append(parts, "long double")
+	case core == "" || core == "int":
+		if length != "" {
+			parts = append(parts, length)
+		} else {
+			parts = append(parts, "int")
+		}
+	default:
+		if length != "" && core == "int" {
+			parts = append(parts, length)
+		} else {
+			parts = append(parts, core)
+		}
+	}
+	return strings.Join(parts, " ")
+}

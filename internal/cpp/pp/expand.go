@@ -1,0 +1,451 @@
+package pp
+
+import (
+	"strings"
+
+	"pdt/internal/cpp/lex"
+	"pdt/internal/source"
+)
+
+// stream is a token cursor with pushback, used both for file streams and
+// for macro-expansion rescanning.
+type stream struct {
+	pushed []lex.Token
+	toks   []lex.Token
+	pos    int
+}
+
+func (s *stream) peek() lex.Token {
+	if n := len(s.pushed); n > 0 {
+		return s.pushed[n-1]
+	}
+	if s.pos < len(s.toks) {
+		return s.toks[s.pos]
+	}
+	return lex.Token{Kind: lex.EOF}
+}
+
+func (s *stream) next() lex.Token {
+	if n := len(s.pushed); n > 0 {
+		t := s.pushed[n-1]
+		s.pushed = s.pushed[:n-1]
+		return t
+	}
+	if s.pos < len(s.toks) {
+		t := s.toks[s.pos]
+		s.pos++
+		return t
+	}
+	return lex.Token{Kind: lex.EOF}
+}
+
+// push prepends toks so they are read next, before the rest of the
+// stream (used to rescan macro expansions).
+func (s *stream) push(toks []lex.Token) {
+	for i := len(toks) - 1; i >= 0; i-- {
+		s.pushed = append(s.pushed, toks[i])
+	}
+}
+
+// expandOne reads one token from ts; if it begins a macro invocation the
+// expansion is pushed back for rescanning, otherwise the token is
+// appended to out.
+func (p *Preprocessor) expandOne(ts *stream, out *[]lex.Token) {
+	t := ts.next()
+	if t.Kind != lex.Ident && t.Kind != lex.Keyword {
+		*out = append(*out, t)
+		return
+	}
+	m, ok := p.macros[t.Text]
+	if !ok || t.HideSet.Contains(t.Text) {
+		*out = append(*out, t)
+		return
+	}
+	if m.Intrinse != nil {
+		repl := m.Intrinse(t.Loc)
+		for i := range repl {
+			repl[i].HideSet = t.HideSet.With(m.Name)
+		}
+		ts.push(repl)
+		return
+	}
+	if !m.IsFunc {
+		repl := p.substitute(m, nil, t)
+		ts.push(repl)
+		return
+	}
+	// Function-like: expands only when followed by '('.
+	if ts.peek().Kind != lex.LParen {
+		*out = append(*out, t)
+		return
+	}
+	args, ok2 := p.gatherArgs(ts, m, t.Loc)
+	if !ok2 {
+		*out = append(*out, t)
+		return
+	}
+	repl := p.substitute(m, args, t)
+	ts.push(repl)
+}
+
+// gatherArgs consumes "( a, b, ... )" splitting at top-level commas.
+func (p *Preprocessor) gatherArgs(ts *stream, m *Macro, loc source.Loc) ([][]lex.Token, bool) {
+	ts.next() // '('
+	var args [][]lex.Token
+	var cur []lex.Token
+	depth := 0
+	for {
+		t := ts.next()
+		switch {
+		case t.Kind == lex.EOF:
+			p.errorf(loc, "unterminated invocation of macro %s", m.Name)
+			return nil, false
+		case t.Kind == lex.LParen || t.Kind == lex.LBracket || t.Kind == lex.LBrace:
+			depth++
+			cur = append(cur, t)
+		case t.Kind == lex.RBracket || t.Kind == lex.RBrace:
+			depth--
+			cur = append(cur, t)
+		case t.Kind == lex.RParen:
+			if depth == 0 {
+				args = append(args, cur)
+				// f() with no params: zero args.
+				if len(m.Params) == 0 && len(args) == 1 && len(args[0]) == 0 {
+					args = nil
+				}
+				if len(args) != len(m.Params) {
+					p.errorf(loc, "macro %s expects %d arguments, got %d", m.Name, len(m.Params), len(args))
+					// Continue anyway with what we have, padding.
+					for len(args) < len(m.Params) {
+						args = append(args, nil)
+					}
+				}
+				return args, true
+			}
+			depth--
+			cur = append(cur, t)
+		case t.Kind == lex.Comma && depth == 0:
+			args = append(args, cur)
+			cur = nil
+		default:
+			cur = append(cur, t)
+		}
+	}
+}
+
+// expandTokens fully macro-expands a token run (used for macro arguments
+// and conditional expressions).
+func (p *Preprocessor) expandTokens(toks []lex.Token) []lex.Token {
+	ts := &stream{toks: toks}
+	var out []lex.Token
+	for {
+		if ts.peek().Kind == lex.EOF && len(ts.pushed) == 0 {
+			return out
+		}
+		p.expandOne(ts, &out)
+	}
+}
+
+// substitute builds the replacement list for one invocation: parameters
+// are replaced by fully-expanded arguments, '#' stringizes, '##' pastes,
+// and the macro name is added to every output token's hide set. Output
+// tokens take the invocation location so downstream consumers (PDB,
+// instrumentor) see source positions, as the EDG IL does.
+func (p *Preprocessor) substitute(m *Macro, args [][]lex.Token, inv lex.Token) []lex.Token {
+	paramIndex := func(name string) int {
+		for i, p := range m.Params {
+			if p == name {
+				return i
+			}
+		}
+		return -1
+	}
+	var out []lex.Token
+	body := m.Body
+	for i := 0; i < len(body); i++ {
+		t := body[i]
+		// '#param' → string literal of the raw argument spelling.
+		if t.Kind == lex.Hash && i+1 < len(body) {
+			if idx := paramIndex(body[i+1].Text); idx >= 0 && m.IsFunc {
+				s := lex.Stringify(args[idx])
+				out = append(out, lex.Token{Kind: lex.StringLit, Text: lex.Quote(s),
+					Loc: inv.Loc, SpaceBefore: t.SpaceBefore})
+				i++
+				continue
+			}
+		}
+		// 'a ## b' → paste.
+		if i+2 < len(body) && body[i+1].Kind == lex.HashHash {
+			left := p.substTokenRaw(t, args, paramIndex)
+			right := p.substTokenRaw(body[i+2], args, paramIndex)
+			pasted := pasteTokens(left, right, inv.Loc)
+			pasted[0].SpaceBefore = t.SpaceBefore
+			out = append(out, pasted...)
+			i += 2
+			continue
+		}
+		if idx := paramIndex(t.Text); idx >= 0 && m.IsFunc && (t.Kind == lex.Ident || t.Kind == lex.Keyword) {
+			exp := p.expandTokens(args[idx])
+			for j, e := range exp {
+				e.Loc = inv.Loc
+				if j == 0 {
+					e.SpaceBefore = t.SpaceBefore
+				}
+				out = append(out, e)
+			}
+			continue
+		}
+		t.Loc = inv.Loc
+		out = append(out, t)
+	}
+	hs := inv.HideSet.With(m.Name)
+	for i := range out {
+		out[i].HideSet = out[i].HideSet.Union(hs)
+	}
+	return out
+}
+
+// substTokenRaw substitutes a parameter with its *unexpanded* argument
+// tokens (operands of ## are not pre-expanded).
+func (p *Preprocessor) substTokenRaw(t lex.Token, args [][]lex.Token, paramIndex func(string) int) []lex.Token {
+	if idx := paramIndex(t.Text); idx >= 0 && (t.Kind == lex.Ident || t.Kind == lex.Keyword) {
+		if len(args[idx]) == 0 {
+			return nil
+		}
+		return args[idx]
+	}
+	return []lex.Token{t}
+}
+
+// pasteTokens concatenates the last token of left with the first of
+// right and relexes the result.
+func pasteTokens(left, right []lex.Token, loc source.Loc) []lex.Token {
+	if len(left) == 0 {
+		if len(right) == 0 {
+			return []lex.Token{{Kind: lex.Ident, Text: "", Loc: loc}}
+		}
+		return right
+	}
+	if len(right) == 0 {
+		return left
+	}
+	glue := left[len(left)-1].Text + right[0].Text
+	relexed := tokenizeString(glue, loc)
+	out := append([]lex.Token(nil), left[:len(left)-1]...)
+	out = append(out, relexed...)
+	out = append(out, right[1:]...)
+	for i := range out {
+		out[i].Loc = loc
+	}
+	return out
+}
+
+// evalCondition evaluates a #if/#elif controlling expression.
+// 'defined X' / 'defined(X)' are resolved before macro expansion, then
+// the run is expanded and parsed as an integer constant expression.
+// Unknown identifiers evaluate to 0, per the standard.
+func (p *Preprocessor) evalCondition(line []lex.Token, loc source.Loc) bool {
+	var pre []lex.Token
+	for i := 0; i < len(line); i++ {
+		t := line[i]
+		if (t.Kind == lex.Ident || t.Kind == lex.Keyword) && t.Text == "defined" {
+			name := ""
+			if i+1 < len(line) && (line[i+1].Kind == lex.Ident || line[i+1].Kind == lex.Keyword) {
+				name = line[i+1].Text
+				i++
+			} else if i+3 < len(line) && line[i+1].Kind == lex.LParen && line[i+3].Kind == lex.RParen {
+				name = line[i+2].Text
+				i += 3
+			} else {
+				p.errorf(t.Loc, "bad 'defined' operator")
+			}
+			val := "0"
+			if _, ok := p.macros[name]; ok {
+				val = "1"
+			}
+			pre = append(pre, lex.Token{Kind: lex.IntLit, Text: val, Loc: t.Loc, SpaceBefore: t.SpaceBefore})
+			continue
+		}
+		pre = append(pre, t)
+	}
+	expanded := p.expandTokens(pre)
+	ev := condEval{toks: expanded, pp: p, loc: loc}
+	v := ev.ternary()
+	if ev.pos < len(ev.toks) && !ev.failed {
+		p.errorf(loc, "trailing tokens in preprocessor condition")
+	}
+	return v != 0
+}
+
+// condEval is a tiny recursive-descent evaluator for preprocessor
+// integer constant expressions.
+type condEval struct {
+	toks   []lex.Token
+	pos    int
+	pp     *Preprocessor
+	loc    source.Loc
+	failed bool
+}
+
+func (e *condEval) peek() lex.Token {
+	if e.pos < len(e.toks) {
+		return e.toks[e.pos]
+	}
+	return lex.Token{Kind: lex.EOF}
+}
+
+func (e *condEval) next() lex.Token {
+	t := e.peek()
+	if e.pos < len(e.toks) {
+		e.pos++
+	}
+	return t
+}
+
+func (e *condEval) fail(msg string) int64 {
+	if !e.failed {
+		e.pp.errorf(e.loc, "in preprocessor condition: %s", msg)
+		e.failed = true
+	}
+	return 0
+}
+
+func (e *condEval) ternary() int64 {
+	c := e.binary(0)
+	if e.peek().Kind == lex.Question {
+		e.next()
+		a := e.ternary()
+		if e.peek().Kind != lex.Colon {
+			return e.fail("expected ':'")
+		}
+		e.next()
+		b := e.ternary()
+		if c != 0 {
+			return a
+		}
+		return b
+	}
+	return c
+}
+
+// binding powers for binary operators.
+var condPrec = map[lex.Kind]int{
+	lex.OrOr: 1, lex.AndAnd: 2, lex.Pipe: 3, lex.Caret: 4, lex.Amp: 5,
+	lex.Eq: 6, lex.Ne: 6, lex.Lt: 7, lex.Gt: 7, lex.Le: 7, lex.Ge: 7,
+	lex.Shl: 8, lex.Shr: 8, lex.Plus: 9, lex.Minus: 9,
+	lex.Star: 10, lex.Slash: 10, lex.Percent: 10,
+}
+
+func (e *condEval) binary(minPrec int) int64 {
+	lhs := e.unary()
+	for {
+		op := e.peek().Kind
+		prec, ok := condPrec[op]
+		if !ok || prec < minPrec {
+			return lhs
+		}
+		e.next()
+		rhs := e.binary(prec + 1)
+		switch op {
+		case lex.OrOr:
+			lhs = b2i(lhs != 0 || rhs != 0)
+		case lex.AndAnd:
+			lhs = b2i(lhs != 0 && rhs != 0)
+		case lex.Pipe:
+			lhs |= rhs
+		case lex.Caret:
+			lhs ^= rhs
+		case lex.Amp:
+			lhs &= rhs
+		case lex.Eq:
+			lhs = b2i(lhs == rhs)
+		case lex.Ne:
+			lhs = b2i(lhs != rhs)
+		case lex.Lt:
+			lhs = b2i(lhs < rhs)
+		case lex.Gt:
+			lhs = b2i(lhs > rhs)
+		case lex.Le:
+			lhs = b2i(lhs <= rhs)
+		case lex.Ge:
+			lhs = b2i(lhs >= rhs)
+		case lex.Shl:
+			lhs <<= uint(rhs) & 63
+		case lex.Shr:
+			lhs >>= uint(rhs) & 63
+		case lex.Plus:
+			lhs += rhs
+		case lex.Minus:
+			lhs -= rhs
+		case lex.Star:
+			lhs *= rhs
+		case lex.Slash:
+			if rhs == 0 {
+				return e.fail("division by zero")
+			}
+			lhs /= rhs
+		case lex.Percent:
+			if rhs == 0 {
+				return e.fail("division by zero")
+			}
+			lhs %= rhs
+		}
+	}
+}
+
+func (e *condEval) unary() int64 {
+	t := e.next()
+	switch t.Kind {
+	case lex.IntLit:
+		v, err := lex.IntValue(t.Text)
+		if err != nil {
+			return e.fail(err.Error())
+		}
+		return v
+	case lex.CharLit:
+		v, err := lex.CharValue(t.Text)
+		if err != nil {
+			return e.fail(err.Error())
+		}
+		return v
+	case lex.Ident:
+		return 0 // unknown identifiers are 0
+	case lex.Keyword:
+		switch t.Text {
+		case "true":
+			return 1
+		case "false":
+			return 0
+		}
+		return 0
+	case lex.Not:
+		return b2i(e.unary() == 0)
+	case lex.Minus:
+		return -e.unary()
+	case lex.Plus:
+		return e.unary()
+	case lex.Tilde:
+		return ^e.unary()
+	case lex.LParen:
+		v := e.ternary()
+		if e.peek().Kind != lex.RParen {
+			return e.fail("expected ')'")
+		}
+		e.next()
+		return v
+	default:
+		return e.fail("unexpected token " + t.String())
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// StringifyLine renders tokens of one directive for diagnostics.
+func StringifyLine(toks []lex.Token) string {
+	return strings.TrimSpace(lex.Stringify(toks))
+}

@@ -1,0 +1,420 @@
+// Package pp implements the C++ preprocessor of the PDT frontend. It
+// executes #include/#define/#undef and the conditional directives,
+// expands object- and function-like macros with correct hide-set
+// handling, and produces the logical token stream consumed by the
+// parser. It also records every macro definition and undefinition so
+// the IL Analyzer can emit the PDB MACRO items of Table 1.
+package pp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pdt/internal/cpp/lex"
+	"pdt/internal/source"
+)
+
+const maxIncludeDepth = 200
+
+// Macro is a preprocessor macro definition.
+type Macro struct {
+	Name     string
+	IsFunc   bool
+	Params   []string
+	Body     []lex.Token
+	Loc      source.Loc
+	Builtin  bool
+	Intrinse func(loc source.Loc) []lex.Token // dynamic builtins (__LINE__ ...)
+}
+
+// Text renders the macro's definition text for the PDB "mtext"
+// attribute, in the same style as the paper's Figure 3 template text.
+func (m *Macro) Text() string {
+	var sb strings.Builder
+	sb.WriteString(m.Name)
+	if m.IsFunc {
+		sb.WriteByte('(')
+		sb.WriteString(strings.Join(m.Params, ", "))
+		sb.WriteByte(')')
+	}
+	body := lex.Stringify(m.Body)
+	if body != "" {
+		sb.WriteByte(' ')
+		sb.WriteString(body)
+	}
+	return sb.String()
+}
+
+// RecordKind distinguishes PDB macro records.
+type RecordKind int
+
+const (
+	// Define records a #define.
+	Define RecordKind = iota
+	// Undef records an #undef.
+	Undef
+)
+
+// Record is one macro event, reported to the program database.
+type Record struct {
+	Kind  RecordKind
+	Name  string
+	Text  string
+	Loc   source.Loc
+	Macro *Macro // nil for Undef
+}
+
+// Error is a preprocessing diagnostic.
+type Error struct {
+	Loc source.Loc
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Loc, e.Msg) }
+
+// Preprocessor holds the macro table and accumulates output tokens and
+// macro records across a whole translation unit.
+type Preprocessor struct {
+	fs     *source.FileSet
+	macros map[string]*Macro
+
+	// Records lists macro definitions/undefinitions in source order.
+	Records []Record
+
+	out   []lex.Token
+	errs  []*Error
+	once  map[*source.File]bool
+	depth int
+}
+
+// New returns a preprocessor over the file set, with the standard
+// predefined macros installed.
+func New(fs *source.FileSet) *Preprocessor {
+	p := &Preprocessor{
+		fs:     fs,
+		macros: make(map[string]*Macro),
+		once:   make(map[*source.File]bool),
+	}
+	p.predefine("__cplusplus", "199711L")
+	p.predefine("__PDT__", "1")
+	p.macros["__FILE__"] = &Macro{Name: "__FILE__", Builtin: true,
+		Intrinse: func(loc source.Loc) []lex.Token {
+			name := "<unknown>"
+			if loc.File != nil {
+				name = loc.File.Name
+			}
+			return []lex.Token{{Kind: lex.StringLit, Text: lex.Quote(name), Loc: loc}}
+		}}
+	p.macros["__LINE__"] = &Macro{Name: "__LINE__", Builtin: true,
+		Intrinse: func(loc source.Loc) []lex.Token {
+			return []lex.Token{{Kind: lex.IntLit, Text: strconv.Itoa(loc.Line), Loc: loc}}
+		}}
+	return p
+}
+
+func (p *Preprocessor) predefine(name, value string) {
+	f := p.fs.AddVirtualFile("<predefined>", "")
+	toks := tokenizeString(value, source.Loc{File: f, Line: 1, Col: 1})
+	p.macros[name] = &Macro{Name: name, Body: toks, Builtin: true}
+}
+
+// Define installs a command-line style definition ("NAME" or
+// "NAME=value").
+func (p *Preprocessor) Define(def string) {
+	name, value := def, "1"
+	if i := strings.IndexByte(def, '='); i >= 0 {
+		name, value = def[:i], def[i+1:]
+	}
+	p.predefine(name, value)
+}
+
+// Errors returns accumulated diagnostics.
+func (p *Preprocessor) Errors() []*Error { return p.errs }
+
+// Macros returns the current macro table (primarily for tests).
+func (p *Preprocessor) Macros() map[string]*Macro { return p.macros }
+
+func (p *Preprocessor) errorf(loc source.Loc, format string, args ...interface{}) {
+	p.errs = append(p.errs, &Error{Loc: loc, Msg: fmt.Sprintf(format, args...)})
+}
+
+// tokenizeString lexes a string as if it appeared at loc.
+func tokenizeString(s string, loc source.Loc) []lex.Token {
+	f := &source.File{Name: "<builtin>", Content: []byte(s)}
+	toks, _ := lex.Tokens(f)
+	toks = toks[:len(toks)-1] // strip EOF
+	for i := range toks {
+		toks[i].Loc = loc
+	}
+	return toks
+}
+
+// Process preprocesses the file and returns the complete logical token
+// stream for the translation unit, terminated with an EOF token.
+func (p *Preprocessor) Process(f *source.File) []lex.Token {
+	p.processFile(f)
+	eofLoc := source.Loc{File: f, Line: f.NumLines() + 1, Col: 1}
+	p.out = append(p.out, lex.Token{Kind: lex.EOF, Loc: eofLoc, StartOfLine: true})
+	return p.out
+}
+
+// condState tracks one level of conditional nesting.
+type condState struct {
+	active    bool // tokens in the current branch are emitted
+	taken     bool // some branch of this conditional was active
+	seenElse  bool
+	parentOff bool // an enclosing conditional is inactive
+}
+
+func (p *Preprocessor) processFile(f *source.File) {
+	if p.once[f] {
+		return
+	}
+	if p.depth >= maxIncludeDepth {
+		p.errorf(source.Loc{File: f, Line: 1, Col: 1}, "include depth limit exceeded")
+		return
+	}
+	p.depth++
+	defer func() { p.depth-- }()
+
+	raw, lerrs := lex.Tokens(f)
+	for _, e := range lerrs {
+		p.errs = append(p.errs, &Error{Loc: e.Loc, Msg: e.Msg})
+	}
+
+	ts := &stream{toks: raw}
+	var conds []condState
+
+	active := func() bool {
+		for _, c := range conds {
+			if !c.active {
+				return false
+			}
+		}
+		return true
+	}
+
+	for {
+		t := ts.peek()
+		if t.Kind == lex.EOF {
+			break
+		}
+		if t.Kind == lex.Hash && t.StartOfLine {
+			ts.next() // '#'
+			p.directive(f, ts, &conds, active())
+			continue
+		}
+		if !active() {
+			ts.next()
+			continue
+		}
+		p.expandOne(ts, &p.out)
+	}
+	if len(conds) != 0 {
+		p.errorf(source.Loc{File: f, Line: f.NumLines(), Col: 1}, "unterminated conditional directive")
+	}
+}
+
+// directiveLine collects the remaining tokens of the current directive
+// (up to but excluding the first token of the next line).
+func directiveLine(ts *stream) []lex.Token {
+	var out []lex.Token
+	for {
+		t := ts.peek()
+		if t.Kind == lex.EOF || t.StartOfLine {
+			return out
+		}
+		out = append(out, ts.next())
+	}
+}
+
+func (p *Preprocessor) directive(f *source.File, ts *stream, conds *[]condState, active bool) {
+	nameTok := ts.peek()
+	if nameTok.StartOfLine || nameTok.Kind == lex.EOF {
+		return // null directive: "#" alone
+	}
+	name := nameTok.Text
+	switch name {
+	case "if", "ifdef", "ifndef":
+		ts.next()
+		line := directiveLine(ts)
+		cond := false
+		if active {
+			switch name {
+			case "ifdef", "ifndef":
+				if len(line) == 0 || line[0].Kind != lex.Ident && line[0].Kind != lex.Keyword {
+					p.errorf(nameTok.Loc, "#%s expects an identifier", name)
+				} else {
+					_, defined := p.macros[line[0].Text]
+					cond = defined == (name == "ifdef")
+				}
+			case "if":
+				cond = p.evalCondition(line, nameTok.Loc)
+			}
+		}
+		*conds = append(*conds, condState{active: cond, taken: cond, parentOff: !active})
+	case "elif":
+		ts.next()
+		line := directiveLine(ts)
+		if len(*conds) == 0 {
+			p.errorf(nameTok.Loc, "#elif without #if")
+			return
+		}
+		c := &(*conds)[len(*conds)-1]
+		if c.seenElse {
+			p.errorf(nameTok.Loc, "#elif after #else")
+		}
+		if c.parentOff || c.taken {
+			c.active = false
+		} else {
+			c.active = p.evalCondition(line, nameTok.Loc)
+			c.taken = c.taken || c.active
+		}
+	case "else":
+		ts.next()
+		directiveLine(ts)
+		if len(*conds) == 0 {
+			p.errorf(nameTok.Loc, "#else without #if")
+			return
+		}
+		c := &(*conds)[len(*conds)-1]
+		if c.seenElse {
+			p.errorf(nameTok.Loc, "duplicate #else")
+		}
+		c.seenElse = true
+		c.active = !c.parentOff && !c.taken
+		c.taken = true
+	case "endif":
+		ts.next()
+		directiveLine(ts)
+		if len(*conds) == 0 {
+			p.errorf(nameTok.Loc, "#endif without #if")
+			return
+		}
+		*conds = (*conds)[:len(*conds)-1]
+	case "include":
+		ts.next()
+		line := directiveLine(ts)
+		if active {
+			p.include(f, line, nameTok.Loc)
+		}
+	case "define":
+		ts.next()
+		line := directiveLine(ts)
+		if active {
+			p.define(line, nameTok.Loc)
+		}
+	case "undef":
+		ts.next()
+		line := directiveLine(ts)
+		if !active {
+			return
+		}
+		if len(line) == 0 {
+			p.errorf(nameTok.Loc, "#undef expects an identifier")
+			return
+		}
+		delete(p.macros, line[0].Text)
+		p.Records = append(p.Records, Record{Kind: Undef, Name: line[0].Text, Loc: line[0].Loc})
+	case "pragma":
+		ts.next()
+		line := directiveLine(ts)
+		if active && len(line) > 0 && line[0].Text == "once" {
+			p.once[f] = true
+		}
+	case "error":
+		ts.next()
+		line := directiveLine(ts)
+		if active {
+			p.errorf(nameTok.Loc, "#error %s", lex.Stringify(line))
+		}
+	case "warning", "line", "ident":
+		ts.next()
+		directiveLine(ts)
+	default:
+		p.errorf(nameTok.Loc, "unknown preprocessor directive #%s", name)
+		ts.next()
+		directiveLine(ts)
+	}
+}
+
+func (p *Preprocessor) include(from *source.File, line []lex.Token, loc source.Loc) {
+	if len(line) == 0 {
+		p.errorf(loc, "#include expects a file name")
+		return
+	}
+	var spelling string
+	system := false
+	switch {
+	case line[0].Kind == lex.StringLit:
+		s, err := lex.StringValue(line[0].Text)
+		if err != nil {
+			p.errorf(line[0].Loc, "bad include: %v", err)
+			return
+		}
+		spelling = s
+	case line[0].Kind == lex.Lt:
+		system = true
+		var sb strings.Builder
+		for _, t := range line[1:] {
+			if t.Kind == lex.Gt {
+				break
+			}
+			if t.SpaceBefore && sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(t.Text)
+		}
+		spelling = sb.String()
+	default:
+		p.errorf(line[0].Loc, "bad #include syntax")
+		return
+	}
+	inc, err := p.fs.Resolve(spelling, system, from)
+	if err != nil {
+		p.errorf(loc, "%v", err)
+		return
+	}
+	already := false
+	for _, e := range from.Includes {
+		if e == inc {
+			already = true
+			break
+		}
+	}
+	if !already {
+		from.Includes = append(from.Includes, inc)
+	}
+	p.processFile(inc)
+}
+
+func (p *Preprocessor) define(line []lex.Token, loc source.Loc) {
+	if len(line) == 0 || (line[0].Kind != lex.Ident && line[0].Kind != lex.Keyword) {
+		p.errorf(loc, "#define expects an identifier")
+		return
+	}
+	m := &Macro{Name: line[0].Text, Loc: line[0].Loc}
+	rest := line[1:]
+	// Function-like only when '(' immediately follows the name.
+	if len(rest) > 0 && rest[0].Kind == lex.LParen && !rest[0].SpaceBefore {
+		m.IsFunc = true
+		i := 1
+		for i < len(rest) && rest[i].Kind != lex.RParen {
+			if rest[i].Kind == lex.Ident || rest[i].Kind == lex.Keyword {
+				m.Params = append(m.Params, rest[i].Text)
+			} else if rest[i].Kind != lex.Comma {
+				p.errorf(rest[i].Loc, "bad macro parameter list")
+			}
+			i++
+		}
+		if i >= len(rest) {
+			p.errorf(loc, "unterminated macro parameter list")
+			return
+		}
+		rest = rest[i+1:]
+	}
+	m.Body = append([]lex.Token(nil), rest...)
+	p.macros[m.Name] = m
+	p.Records = append(p.Records, Record{Kind: Define, Name: m.Name, Text: m.Text(), Loc: m.Loc, Macro: m})
+}

@@ -1,0 +1,314 @@
+package pp
+
+import (
+	"strings"
+	"testing"
+
+	"pdt/internal/cpp/lex"
+	"pdt/internal/source"
+)
+
+// run preprocesses main.cpp given as src, with extra named files.
+func run(t *testing.T, src string, extra map[string]string) (string, *Preprocessor) {
+	t.Helper()
+	fs := source.NewFileSet()
+	for name, content := range extra {
+		fs.AddVirtualFile(name, content)
+	}
+	main := fs.AddVirtualFile("main.cpp", src)
+	p := New(fs)
+	toks := p.Process(main)
+	for _, e := range p.Errors() {
+		t.Errorf("pp error: %v", e)
+	}
+	return lex.Stringify(toks[:len(toks)-1]), p
+}
+
+func TestObjectMacro(t *testing.T) {
+	got, _ := run(t, "#define N 10\nint a[N];", nil)
+	if got != "int a[10];" && got != "int a[ 10 ];" {
+		if !strings.Contains(got, "10") || strings.Contains(got, "N") {
+			t.Errorf("got %q", got)
+		}
+	}
+}
+
+func TestFunctionMacro(t *testing.T) {
+	got, _ := run(t, "#define MAX(a,b) ((a)>(b)?(a):(b))\nint x = MAX(1, 2);", nil)
+	want := "int x = ((1)>(2)?(1):(2));"
+	if strings.ReplaceAll(got, " ", "") != strings.ReplaceAll(want, " ", "") {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestFunctionMacroNotCalled(t *testing.T) {
+	got, _ := run(t, "#define F(a) a+a\nint F;", nil)
+	if !strings.Contains(got, "int F ;") && !strings.Contains(got, "int F;") {
+		t.Errorf("bare function-macro name should not expand: %q", got)
+	}
+}
+
+func TestNestedExpansion(t *testing.T) {
+	got, _ := run(t, "#define A B\n#define B C\n#define C 42\nint x = A;", nil)
+	if !strings.Contains(got, "42") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestRecursiveMacroStops(t *testing.T) {
+	got, _ := run(t, "#define X X\nint X;", nil)
+	if !strings.Contains(got, "int X") {
+		t.Errorf("self-referential macro must not loop: %q", got)
+	}
+}
+
+func TestMutualRecursionStops(t *testing.T) {
+	got, _ := run(t, "#define A B\n#define B A\nint A;", nil)
+	// Expansion A -> B -> A(with A in hideset) stops.
+	if !strings.Contains(got, "int A") && !strings.Contains(got, "int B") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestStringize(t *testing.T) {
+	got, _ := run(t, `#define S(x) #x`+"\nconst char* s = S(hello world);", nil)
+	if !strings.Contains(got, `"hello world"`) {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPaste(t *testing.T) {
+	got, _ := run(t, "#define GLUE(a,b) a##b\nint GLUE(foo,bar) = 1;", nil)
+	if !strings.Contains(got, "foobar") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestConditionals(t *testing.T) {
+	src := `#define FOO 1
+#if FOO
+int yes;
+#else
+int no;
+#endif
+#ifdef BAR
+int bar;
+#endif
+#ifndef BAR
+int nobar;
+#endif`
+	got, _ := run(t, src, nil)
+	if !strings.Contains(got, "yes") || strings.Contains(got, "int no;") {
+		t.Errorf("got %q", got)
+	}
+	if strings.Contains(got, "int bar") || !strings.Contains(got, "nobar") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestElifChain(t *testing.T) {
+	src := `#define V 2
+#if V == 1
+int one;
+#elif V == 2
+int two;
+#elif V == 3
+int three;
+#else
+int other;
+#endif`
+	got, _ := run(t, src, nil)
+	if !strings.Contains(got, "two") || strings.Contains(got, "one") ||
+		strings.Contains(got, "three") || strings.Contains(got, "other") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestNestedConditionals(t *testing.T) {
+	src := `#if 1
+#if 0
+int dead;
+#else
+int live;
+#endif
+#endif`
+	got, _ := run(t, src, nil)
+	if strings.Contains(got, "dead") || !strings.Contains(got, "live") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestCondExpressionOperators(t *testing.T) {
+	src := `#if (1 << 3) == 8 && !defined(NOPE) && (5 % 3 == 2) && (2 > 1 ? 1 : 0)
+int pass;
+#endif`
+	got, _ := run(t, src, nil)
+	if !strings.Contains(got, "pass") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestInclude(t *testing.T) {
+	got, p := run(t, `#include "defs.h"`+"\nint x = VALUE;",
+		map[string]string{"defs.h": "#define VALUE 7\n"})
+	if !strings.Contains(got, "7") {
+		t.Errorf("got %q", got)
+	}
+	_ = p
+}
+
+func TestIncludeGuard(t *testing.T) {
+	hdr := `#ifndef H_GUARD
+#define H_GUARD
+int decl;
+#endif`
+	got, _ := run(t, "#include \"g.h\"\n#include \"g.h\"\nint tail;",
+		map[string]string{"g.h": hdr})
+	if strings.Count(got, "decl") != 1 {
+		t.Errorf("guarded header included twice: %q", got)
+	}
+}
+
+func TestPragmaOnce(t *testing.T) {
+	got, _ := run(t, "#include \"o.h\"\n#include \"o.h\"\n",
+		map[string]string{"o.h": "#pragma once\nint once_decl;\n"})
+	if strings.Count(got, "once_decl") != 1 {
+		t.Errorf("pragma once violated: %q", got)
+	}
+}
+
+func TestIncludesRecorded(t *testing.T) {
+	fs := source.NewFileSet()
+	fs.AddVirtualFile("a.h", "int a;")
+	fs.AddVirtualFile("b.h", `#include "a.h"`+"\nint b;")
+	main := fs.AddVirtualFile("main.cpp", `#include "b.h"`+"\nint m;")
+	p := New(fs)
+	p.Process(main)
+	if len(p.Errors()) > 0 {
+		t.Fatalf("errors: %v", p.Errors())
+	}
+	if len(main.Includes) != 1 || main.Includes[0].Name != "b.h" {
+		t.Errorf("main includes = %v", main.Includes)
+	}
+	bh := fs.Lookup("b.h")
+	if len(bh.Includes) != 1 || bh.Includes[0].Name != "a.h" {
+		t.Errorf("b.h includes = %v", bh.Includes)
+	}
+}
+
+func TestBuiltinHeader(t *testing.T) {
+	fs := source.NewFileSet()
+	fs.RegisterBuiltin("vector", "int builtin_vec;")
+	main := fs.AddVirtualFile("main.cpp", "#include <vector>\n")
+	p := New(fs)
+	toks := p.Process(main)
+	if len(p.Errors()) > 0 {
+		t.Fatalf("errors: %v", p.Errors())
+	}
+	if !strings.Contains(lex.Stringify(toks), "builtin_vec") {
+		t.Error("builtin header not included")
+	}
+	if len(main.Includes) != 1 || !main.Includes[0].System {
+		t.Errorf("system include not recorded: %v", main.Includes)
+	}
+}
+
+func TestMacroRecords(t *testing.T) {
+	_, p := run(t, "#define A 1\n#define F(x) x*2\n#undef A\n", nil)
+	if len(p.Records) != 3 {
+		t.Fatalf("got %d records", len(p.Records))
+	}
+	if p.Records[0].Kind != Define || p.Records[0].Name != "A" {
+		t.Errorf("rec0 = %+v", p.Records[0])
+	}
+	if p.Records[1].Name != "F" || !strings.Contains(p.Records[1].Text, "F(x)") {
+		t.Errorf("rec1 = %+v", p.Records[1])
+	}
+	if p.Records[2].Kind != Undef || p.Records[2].Name != "A" {
+		t.Errorf("rec2 = %+v", p.Records[2])
+	}
+}
+
+func TestFileLineMacros(t *testing.T) {
+	got, _ := run(t, "const char* f = __FILE__;\nint l = __LINE__;", nil)
+	if !strings.Contains(got, `"main.cpp"`) {
+		t.Errorf("__FILE__: %q", got)
+	}
+	if !strings.Contains(got, "2") {
+		t.Errorf("__LINE__: %q", got)
+	}
+}
+
+func TestCommandLineDefine(t *testing.T) {
+	fs := source.NewFileSet()
+	main := fs.AddVirtualFile("main.cpp", "#ifdef CLI\nint cli;\n#endif\nint v = VAL;")
+	p := New(fs)
+	p.Define("CLI")
+	p.Define("VAL=9")
+	toks := p.Process(main)
+	got := lex.Stringify(toks)
+	if !strings.Contains(got, "cli") || !strings.Contains(got, "9") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestErrorDirective(t *testing.T) {
+	fs := source.NewFileSet()
+	main := fs.AddVirtualFile("main.cpp", "#if 0\n#error dead\n#endif\n#define OK 1\n")
+	p := New(fs)
+	p.Process(main)
+	if len(p.Errors()) != 0 {
+		t.Errorf("inactive #error should not fire: %v", p.Errors())
+	}
+	main2 := fs.AddVirtualFile("main2.cpp", "#error boom\n")
+	p2 := New(fs)
+	p2.Process(main2)
+	if len(p2.Errors()) != 1 {
+		t.Errorf("active #error should fire once: %v", p2.Errors())
+	}
+}
+
+func TestMissingInclude(t *testing.T) {
+	fs := source.NewFileSet()
+	main := fs.AddVirtualFile("main.cpp", `#include "nope.h"`+"\n")
+	p := New(fs)
+	p.Process(main)
+	if len(p.Errors()) == 0 {
+		t.Error("expected missing-include error")
+	}
+}
+
+func TestMacroArgsWithCommasInParens(t *testing.T) {
+	got, _ := run(t, "#define CALL(f, args) f args\nint y = CALL(g, (1, 2));", nil)
+	if !strings.Contains(strings.ReplaceAll(got, " ", ""), "g(1,2)") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestExpandedTokensCarryInvocationLoc(t *testing.T) {
+	fs := source.NewFileSet()
+	main := fs.AddVirtualFile("main.cpp", "#define M 1+2\nint x = M;")
+	p := New(fs)
+	toks := p.Process(main)
+	for _, tok := range toks {
+		if tok.Text == "1" || tok.Text == "2" {
+			if tok.Loc.Line != 2 {
+				t.Errorf("expanded token %q at line %d, want 2", tok.Text, tok.Loc.Line)
+			}
+		}
+	}
+}
+
+func TestTAUStyleProfileMacro(t *testing.T) {
+	// The macro shape TAU inserts (paper §4.1).
+	src := `#define TAU_PROFILE(name, type, group) TauProfiler __tauP(name, type, group)
+#define CT(obj) __pdt_typename(obj)
+void f() { TAU_PROFILE("vector::vector()", CT(*this), 0); }`
+	got, _ := run(t, src, nil)
+	if !strings.Contains(got, "TauProfiler") || !strings.Contains(got, "__pdt_typename") {
+		t.Errorf("got %q", got)
+	}
+	if !strings.Contains(got, "* this") && !strings.Contains(got, "*this") {
+		t.Errorf("CT argument lost: %q", got)
+	}
+}

@@ -1,0 +1,125 @@
+package pp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pdt/internal/cpp/lex"
+	"pdt/internal/source"
+)
+
+// randCondExpr builds a random well-formed preprocessor constant
+// expression together with its expected value, so the evaluator can be
+// checked against an independent Go computation.
+func randCondExpr(r *rand.Rand, depth int) (string, int64) {
+	if depth <= 0 {
+		v := int64(r.Intn(50))
+		return fmt.Sprintf("%d", v), v
+	}
+	switch r.Intn(8) {
+	case 0:
+		s, v := randCondExpr(r, depth-1)
+		return "(" + s + ")", v
+	case 1:
+		s, v := randCondExpr(r, depth-1)
+		return "!" + "(" + s + ")", boolToInt(v == 0)
+	case 2:
+		s, v := randCondExpr(r, depth-1)
+		return "-(" + s + ")", -v
+	default:
+		ls, lv := randCondExpr(r, depth-1)
+		rs, rv := randCondExpr(r, depth-1)
+		ops := []struct {
+			text string
+			f    func(a, b int64) (int64, bool)
+		}{
+			{"+", func(a, b int64) (int64, bool) { return a + b, true }},
+			{"-", func(a, b int64) (int64, bool) { return a - b, true }},
+			{"*", func(a, b int64) (int64, bool) { return a * b, true }},
+			{"==", func(a, b int64) (int64, bool) { return boolToInt(a == b), true }},
+			{"!=", func(a, b int64) (int64, bool) { return boolToInt(a != b), true }},
+			{"<", func(a, b int64) (int64, bool) { return boolToInt(a < b), true }},
+			{">=", func(a, b int64) (int64, bool) { return boolToInt(a >= b), true }},
+			{"&&", func(a, b int64) (int64, bool) { return boolToInt(a != 0 && b != 0), true }},
+			{"||", func(a, b int64) (int64, bool) { return boolToInt(a != 0 || b != 0), true }},
+			{"&", func(a, b int64) (int64, bool) { return a & b, true }},
+			{"|", func(a, b int64) (int64, bool) { return a | b, true }},
+			{"^", func(a, b int64) (int64, bool) { return a ^ b, true }},
+		}
+		op := ops[r.Intn(len(ops))]
+		v, _ := op.f(lv, rv)
+		// Parenthesize operands: precedence is the evaluator's concern
+		// elsewhere; this property targets operator semantics.
+		return "(" + ls + ") " + op.text + " (" + rs + ")", v
+	}
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Property: #if evaluation matches an independent Go computation of
+// the same expression.
+func TestCondEvalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		exprText, want := randCondExpr(r, 4)
+		src := fmt.Sprintf("#if (%s) == (%d)\nint yes;\n#else\nint no;\n#endif\n", exprText, want)
+		fs := source.NewFileSet()
+		main := fs.AddVirtualFile("main.cpp", src)
+		p := New(fs)
+		toks := p.Process(main)
+		if len(p.Errors()) > 0 {
+			t.Logf("errors on %q: %v", exprText, p.Errors())
+			return false
+		}
+		got := lex.Stringify(toks)
+		if got != "int yes ;" && got != "int yes;" {
+			t.Logf("expr %q: want %d, pp chose %q", exprText, want, got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: macro-expanded output never contains the defined
+// object-macro names (full expansion), for random non-recursive
+// definitions.
+func TestObjectMacroFullExpansionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		src := ""
+		// Chain: M0 = literal, Mi = Mi-1 + i
+		src += "#define M0 1\n"
+		for i := 1; i < n; i++ {
+			src += fmt.Sprintf("#define M%d (M%d + %d)\n", i, i-1, i)
+		}
+		src += fmt.Sprintf("int x = M%d;\n", n-1)
+		fs := source.NewFileSet()
+		main := fs.AddVirtualFile("main.cpp", src)
+		p := New(fs)
+		toks := p.Process(main)
+		if len(p.Errors()) > 0 {
+			return false
+		}
+		for _, tok := range toks {
+			if tok.Kind == lex.Ident && len(tok.Text) > 1 && tok.Text[0] == 'M' {
+				t.Logf("unexpanded macro %q in output of:\n%s", tok.Text, src)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,424 @@
+package sema_test
+
+import (
+	"strings"
+	"testing"
+
+	"pdt/internal/cpp/ast"
+	"pdt/internal/cpp/sema"
+	"pdt/internal/il"
+)
+
+func TestTypedefsAtAllScopes(t *testing.T) {
+	u := compile(t, `
+typedef unsigned long size_type;
+typedef int *int_ptr;
+typedef double matrix_t[4];
+namespace util {
+    typedef size_type count_t;
+}
+class Holder {
+public:
+    typedef int value_type;
+    value_type get() const { return v; }
+private:
+    value_type v;
+};
+size_type g1;
+util::count_t g2;
+Holder::value_type g3;
+int_ptr g4;
+matrix_t g5;
+`, nil)
+	findVarType := func(name string) *il.Type {
+		for _, v := range u.Global.Vars {
+			if v.Name == name {
+				return v.Type
+			}
+		}
+		t.Fatalf("global %s missing", name)
+		return nil
+	}
+	if findVarType("g1").Kind != il.TULong {
+		t.Errorf("g1 = %v", findVarType("g1"))
+	}
+	if findVarType("g2").Kind != il.TULong {
+		t.Errorf("g2 (via nested typedef) = %v", findVarType("g2"))
+	}
+	if findVarType("g3").Kind != il.TInt {
+		t.Errorf("g3 (class-scoped typedef) = %v", findVarType("g3"))
+	}
+	if g4 := findVarType("g4"); g4.Kind != il.TPtr || g4.Elem.Kind != il.TInt {
+		t.Errorf("g4 = %v", g4)
+	}
+	if g5 := findVarType("g5"); g5.Kind != il.TArray || g5.ArrayLen != 4 {
+		t.Errorf("g5 = %v", g5)
+	}
+	if len(u.AllTypedefs) != 5 {
+		t.Errorf("typedefs recorded = %d", len(u.AllTypedefs))
+	}
+}
+
+func TestSizeofInConstantExpressions(t *testing.T) {
+	u := compile(t, `
+int a[sizeof(int)];
+int b[sizeof(double) + sizeof(char)];
+template <class T, int N> class Fixed { T d[N]; };
+Fixed<char, sizeof(long)> f;
+`, nil)
+	vt := func(name string) *il.Type {
+		for _, v := range u.Global.Vars {
+			if v.Name == name {
+				return v.Type.Unqualified()
+			}
+		}
+		t.Fatalf("missing %s", name)
+		return nil
+	}
+	if vt("a").ArrayLen != 4 {
+		t.Errorf("a len = %d", vt("a").ArrayLen)
+	}
+	if vt("b").ArrayLen != 9 {
+		t.Errorf("b len = %d", vt("b").ArrayLen)
+	}
+	if u.LookupClass("Fixed<char, 8>") == nil {
+		t.Error("sizeof in template args failed")
+	}
+}
+
+func TestConstExprOperators(t *testing.T) {
+	// Exercise the full constant-expression evaluator through array
+	// bounds.
+	u := compile(t, `
+enum { BASE = 3 };
+const int K = 5;
+int a[(BASE * K + 1) % 7];       // 16 % 7 = 2
+int b[(1 << 4) | 3];             // 19
+int c[~(-3) & 7];                // 2 & 7 = 2
+int d[BASE > 2 ? 10 : 20];       // 10
+int e[(BASE == 3) + (K != 5)];   // 1
+int f[-(-6) / 2];                // 3
+`, nil)
+	want := map[string]int64{"a": 2, "b": 19, "c": 2, "d": 10, "e": 1, "f": 3}
+	for _, v := range u.Global.Vars {
+		if w, ok := want[v.Name]; ok {
+			if got := v.Type.Unqualified().ArrayLen; got != w {
+				t.Errorf("%s bound = %d, want %d", v.Name, got, w)
+			}
+		}
+	}
+}
+
+func TestQualifiedTypeResolution(t *testing.T) {
+	u := compile(t, `
+namespace lib {
+    class Widget { public: int id; };
+    namespace detail {
+        class Gear { public: int teeth; };
+    }
+    typedef Widget W;
+}
+lib::Widget w1;
+lib::detail::Gear g1;
+lib::W w2;
+::lib::Widget w3;
+`, nil)
+	for _, name := range []string{"w1", "g1", "w2", "w3"} {
+		found := false
+		for _, v := range u.Global.Vars {
+			if v.Name == name && v.Type.Unqualified().Kind == il.TClass {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s not resolved to a class type", name)
+		}
+	}
+}
+
+func TestQualifiedTemplateInNamespace(t *testing.T) {
+	u := compile(t, `
+namespace geo {
+    template <class T> class Point { public: T x; T y; };
+}
+geo::Point<double> origin;
+`, nil)
+	if u.LookupClass("Point<double>") == nil {
+		t.Error("namespace-qualified template-id not instantiated")
+	}
+}
+
+func TestExternCLinkage(t *testing.T) {
+	u := compile(t, `
+extern "C" {
+    int c_add(int a, int b);
+    int c_global;
+}
+extern "C" void c_single(void);
+`, nil)
+	add := findRoutine(t, u, "c_add")
+	if add.Linkage != "C" {
+		t.Errorf("c_add linkage = %q", add.Linkage)
+	}
+	single := findRoutine(t, u, "c_single")
+	if single.Linkage != "C" {
+		t.Errorf("c_single linkage = %q", single.Linkage)
+	}
+	foundVar := false
+	for _, v := range u.Global.Vars {
+		if v.Name == "c_global" {
+			foundVar = true
+		}
+	}
+	if !foundVar {
+		t.Error("extern \"C\" variable lost")
+	}
+}
+
+func TestStaticMemberOutOfLineDefinition(t *testing.T) {
+	u := compile(t, `
+class Registry {
+public:
+    static int count;
+    static double factor;
+};
+int Registry::count = 7;
+double Registry::factor = 2.5;
+`, nil)
+	reg := findClass(t, u, "Registry")
+	for _, m := range reg.Members {
+		if m.Init == nil {
+			t.Errorf("static member %s has no initializer attached", m.Name)
+		}
+	}
+}
+
+func TestConversionOperatorSema(t *testing.T) {
+	u := compile(t, `
+class Fraction {
+public:
+    Fraction(int n, int d) : num(n), den(d) { }
+    operator double() const { return (double) num / den; }
+private:
+    int num, den;
+};
+`, nil)
+	frac := findClass(t, u, "Fraction")
+	var conv *il.Routine
+	for _, m := range frac.Methods {
+		if m.Kind == ast.Conversion {
+			conv = m
+		}
+	}
+	if conv == nil {
+		t.Fatal("conversion operator not collected")
+	}
+	if conv.Ret.Kind != il.TDouble {
+		t.Errorf("conversion target = %v", conv.Ret)
+	}
+}
+
+func TestFreeOperatorTwoClassArgs(t *testing.T) {
+	u := compile(t, `
+class V { public: V(int a) : x(a) { } int x; };
+V operator+(const V & l, const V & r) { return V(l.x + r.x); }
+int use() {
+    V a(1), b(2);
+    V c = a + b;
+    return c.x;
+}
+`, nil)
+	use := findRoutine(t, u, "use")
+	foundOp := false
+	for _, cs := range use.Calls {
+		if cs.Callee.Name == "operator+" && cs.Callee.Class == nil {
+			foundOp = true
+		}
+	}
+	if !foundOp {
+		t.Errorf("free operator+ not recorded: %+v", use.Calls)
+	}
+}
+
+func TestDeductionPatterns(t *testing.T) {
+	u := compile(t, `
+#include <vector>
+template <class T> int byValue(T v) { return 1; }
+template <class T> int byConstRef(const T & v) { return 2; }
+template <class T> int byPtr(T *p) { return 3; }
+template <class T> int fromVector(const vector<T> & v) { return 4; }
+template <class T, int N> int fromArray(const Arr<T, N> & a) { return 5; }
+template <class T, int N> class Arr { public: T d[N]; };
+int main() {
+    int x = 5;
+    vector<double> vd;
+    Arr<char, 9> ac;
+    return byValue(x) + byConstRef(x) + byPtr(&x) + fromVector(vd) + fromArray(ac);
+}
+`, nil)
+	wantInsts := []string{
+		"byValue<int>", "byConstRef<int>", "byPtr<int>",
+		"fromVector<double>", "fromArray<char, 9>",
+	}
+	have := map[string]bool{}
+	for _, r := range u.AllRoutines {
+		if r.IsInstantiation {
+			have[r.Name] = true
+		}
+	}
+	for _, w := range wantInsts {
+		if !have[w] {
+			t.Errorf("deduction missed %s; have %v", w, have)
+		}
+	}
+}
+
+func TestDiamondInheritance(t *testing.T) {
+	u := compile(t, `
+class Top { public: int t; };
+class Left : public Top { public: int l; };
+class Right : public Top { public: int r; };
+class Bottom : public Left, public Right { public: int b; };
+`, nil)
+	bottom := findClass(t, u, "Bottom")
+	if len(bottom.Bases) != 2 {
+		t.Fatalf("bases = %d", len(bottom.Bases))
+	}
+	all := bottom.AllBases(nil)
+	// Left, Top, Right, Top — the diamond is visible in the base walk.
+	if len(all) != 4 {
+		t.Errorf("AllBases = %d", len(all))
+	}
+	if !bottom.DerivesFrom(findClass(t, u, "Top")) {
+		t.Error("DerivesFrom through diamond")
+	}
+}
+
+func TestPureVirtualAndAbstract(t *testing.T) {
+	u := compile(t, `
+class Shape {
+public:
+    virtual double area() const = 0;
+    virtual ~Shape() { }
+};
+class Square : public Shape {
+public:
+    Square(double s) : side(s) { }
+    double area() const { return side * side; }
+private:
+    double side;
+};
+double measure(const Shape & s) { return s.area(); }
+int main() {
+    Square sq(3);
+    return (int) measure(sq);
+}
+`, nil)
+	area := findRoutine(t, u, "Shape::area")
+	if !area.PureVirtual {
+		t.Error("pure virtual flag lost")
+	}
+	measure := findRoutine(t, u, "measure")
+	if len(measure.Calls) != 1 || !measure.Calls[0].Virtual {
+		t.Errorf("virtual call through const ref: %+v", measure.Calls)
+	}
+}
+
+func TestUsingDirectiveLookup(t *testing.T) {
+	u := compile(t, `
+namespace math {
+    double pi() { return 3.14159; }
+    class Angle { public: double rad; };
+}
+using namespace math;
+double area(double r) { return pi() * r * r; }
+Angle globalAngle;
+`, nil)
+	area := findRoutine(t, u, "area")
+	if len(area.Calls) != 1 || area.Calls[0].Callee.QualifiedName() != "math::pi" {
+		t.Errorf("using-directive call resolution: %+v", area.Calls)
+	}
+	found := false
+	for _, v := range u.Global.Vars {
+		if v.Name == "globalAngle" && v.Type.Unqualified().Kind == il.TClass {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("using-directive type resolution failed")
+	}
+}
+
+func TestNamespaceAlias(t *testing.T) {
+	u := compile(t, `
+namespace verylongname {
+    int f() { return 1; }
+}
+namespace vl = verylongname;
+int main() { return vl::f(); }
+`, nil)
+	mainR := findRoutine(t, u, "main")
+	if len(mainR.Calls) != 1 || mainR.Calls[0].Callee.QualifiedName() != "verylongname::f" {
+		t.Errorf("alias call: %+v", mainR.Calls)
+	}
+}
+
+func TestReopenedNamespace(t *testing.T) {
+	u := compile(t, `
+namespace app { int first() { return 1; } }
+namespace app { int second() { return first() + 1; } }
+`, nil)
+	if len(u.Global.Namespaces) != 1 {
+		t.Fatalf("namespaces = %d (reopen must merge)", len(u.Global.Namespaces))
+	}
+	second := findRoutine(t, u, "app::second")
+	if len(second.Calls) != 1 {
+		t.Errorf("cross-reopening call: %+v", second.Calls)
+	}
+}
+
+func TestInstantiationDepthLimit(t *testing.T) {
+	res := compileRes(t, `
+template <class T> class Wrap { public: Wrap<Wrap<T> > *next; };
+int main() { Wrap<int> w; return 0; }
+`, nil, sema.Used)
+	// Recursive wrapping through a pointer member must not hang; it
+	// either resolves lazily or reports the depth limit.
+	_ = res
+}
+
+func TestRedefinitionDiagnosed(t *testing.T) {
+	res := compileRes(t, `
+class C { public: int a; };
+class C { public: int b; };
+`, nil, sema.Used)
+	if !res.HasErrors() {
+		t.Error("class redefinition not diagnosed")
+	}
+	found := false
+	for _, d := range res.Diagnostics {
+		if strings.Contains(d.Msg, "redefinition") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diagnostics = %v", res.Diagnostics)
+	}
+}
+
+func TestUnknownTemplateDiagnosed(t *testing.T) {
+	res := compileRes(t, "NotATemplate<int> x;\n", nil, sema.Used)
+	if !res.HasErrors() {
+		t.Error("unknown template not diagnosed")
+	}
+}
+
+func TestTooFewTemplateArgsDiagnosed(t *testing.T) {
+	res := compileRes(t, `
+template <class A, class B> class Pair { A a; B b; };
+Pair<int> p;
+`, nil, sema.Used)
+	if !res.HasErrors() {
+		t.Error("missing template argument not diagnosed")
+	}
+}

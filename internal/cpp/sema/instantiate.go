@@ -1,0 +1,411 @@
+package sema
+
+import (
+	"strings"
+
+	"pdt/internal/cpp/ast"
+	"pdt/internal/il"
+	"pdt/internal/source"
+)
+
+// resolveTemplateArgs lowers syntactic template arguments to bound
+// values under the enclosing bindings.
+func (s *Sema) resolveTemplateArgs(args []ast.TemplateArg, b bindings) []il.TemplateArgValue {
+	out := make([]il.TemplateArgValue, 0, len(args))
+	for _, a := range args {
+		switch {
+		case a.Type != nil:
+			out = append(out, il.TemplateArgValue{Type: s.resolveType(a.Type, b)})
+		case a.Expr != nil:
+			// A bare name that is bound to a *type* parameter was
+			// parsed as an expression; reinterpret.
+			if ne, ok := a.Expr.(*ast.NameExpr); ok && ne.Name.IsSimple() && b != nil {
+				if v, bound := b[ne.Name.Terminal().Name]; bound {
+					out = append(out, v)
+					continue
+				}
+			}
+			if v, ok := s.evalConst(a.Expr, b); ok {
+				out = append(out, il.TemplateArgValue{Const: v, IsInt: true})
+			} else {
+				s.errorf(a.Expr.Span().Begin,
+					"template argument is neither a type nor a constant expression")
+				out = append(out, il.TemplateArgValue{IsInt: true})
+			}
+		}
+	}
+	return out
+}
+
+// instantiatedName renders "Stack<int>" from a base name and arguments.
+func instantiatedName(base string, args []il.TemplateArgValue) string {
+	var sb strings.Builder
+	sb.WriteString(base)
+	sb.WriteByte('<')
+	for i, a := range args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.String())
+	}
+	// ">>" needs no special care in IL names; PDB names keep "> >"-free
+	// modern spelling.
+	sb.WriteByte('>')
+	return sb.String()
+}
+
+// qualifiedKey builds the instantiation cache key.
+func qualifiedKey(tmpl *il.Template, name string) string {
+	p := ""
+	if tmpl.Parent != nil {
+		p = tmpl.Parent.QualifiedName()
+	}
+	if p == "" {
+		return name
+	}
+	return p + "::" + name
+}
+
+// argsEqual compares bound argument lists.
+func argsEqual(a, b []il.TemplateArgValue) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].IsInt != b[i].IsInt {
+			return false
+		}
+		if a[i].IsInt {
+			if a[i].Const != b[i].Const {
+				return false
+			}
+		} else if a[i].Type != b[i].Type {
+			return false
+		}
+	}
+	return true
+}
+
+// instantiateClass returns the class for tmpl<args>, creating it on
+// first use ("used" instantiation mode, §2 of the paper). Explicit
+// specializations take precedence.
+func (s *Sema) instantiateClass(tmpl *il.Template, args []il.TemplateArgValue, loc source.Loc) *il.Class {
+	if s.depth >= s.opts.MaxInstantiationDepth {
+		s.errorf(loc, "template instantiation depth limit exceeded at %s", tmpl.Name)
+		return nil
+	}
+	args = s.applyDefaultArgs(tmpl, args, loc)
+
+	// Explicit specialization?
+	for _, spec := range tmpl.Specs {
+		if argsEqual(spec.Args, args) {
+			return spec.Class
+		}
+	}
+	name := instantiatedName(tmpl.Name, args)
+	key := qualifiedKey(tmpl, name)
+	if c, ok := s.classInsts[key]; ok {
+		return c
+	}
+	if tmpl.ClassDecl == nil {
+		s.errorf(loc, "%s is not a class template", tmpl.Name)
+		return nil
+	}
+
+	c := &il.Class{
+		Name: name, Kind: tmpl.ClassDecl.Kind, Parent: tmpl.Parent,
+		Access: tmpl.Access,
+		// Instantiations carry the template's source position — the IL
+		// property the paper's analyzer exploits to match templates to
+		// instantiations by location (§3.1).
+		Loc: tmpl.Loc, Header: tmpl.ClassDecl.Header, Body: tmpl.ClassDecl.Body,
+		Complete: true, IsInstantiation: true, Origin: tmpl, Args: args,
+		Decl: tmpl.ClassDecl,
+	}
+	s.classInsts[key] = c // cache before body resolution (self-reference)
+	s.registerClass(c)
+	tmpl.ClassInsts = append(tmpl.ClassInsts, c)
+
+	b := s.bindParams(tmpl.Params, args)
+	// The template's own name maps to this instantiation inside the
+	// body ("Stack" used unqualified inside Stack<Object>).
+	b[tmpl.Name] = il.TemplateArgValue{Type: s.unit.Types.ClassType(c)}
+
+	s.depth++
+	s.resolveClassBody(c, tmpl.ClassDecl, b)
+	s.depth--
+
+	if s.opts.Mode == Eager {
+		for _, m := range c.Methods {
+			s.useRoutine(m)
+		}
+	}
+	return c
+}
+
+// applyDefaultArgs pads args with the template's default arguments.
+func (s *Sema) applyDefaultArgs(tmpl *il.Template, args []il.TemplateArgValue, loc source.Loc) []il.TemplateArgValue {
+	if len(args) >= len(tmpl.Params) {
+		return args
+	}
+	out := append([]il.TemplateArgValue{}, args...)
+	b := s.bindParams(tmpl.Params[:len(args)], args)
+	for _, p := range tmpl.Params[len(args):] {
+		switch {
+		case p.DefaultType != nil:
+			v := il.TemplateArgValue{Type: s.resolveType(p.DefaultType, b)}
+			out = append(out, v)
+			b[p.Name] = v
+		case p.DefaultExpr != nil:
+			c, ok := s.evalConst(p.DefaultExpr, b)
+			if !ok {
+				s.errorf(loc, "default template argument of %s is not constant", p.Name)
+			}
+			v := il.TemplateArgValue{Const: c, IsInt: true}
+			out = append(out, v)
+			b[p.Name] = v
+		default:
+			s.errorf(loc, "too few template arguments for %s (%d < %d)",
+				tmpl.Name, len(args), len(tmpl.Params))
+			if p.IsType {
+				out = append(out, il.TemplateArgValue{Type: s.unit.Types.Builtin(il.TError)})
+			} else {
+				out = append(out, il.TemplateArgValue{IsInt: true})
+			}
+		}
+	}
+	return out
+}
+
+// bindParams zips parameter names with argument values.
+func (s *Sema) bindParams(params []ast.TemplateParam, args []il.TemplateArgValue) bindings {
+	b := bindings{}
+	for i, p := range params {
+		if i < len(args) && p.Name != "" {
+			b[p.Name] = args[i]
+		}
+	}
+	return b
+}
+
+// useRoutine marks a routine as used: for instantiated routines whose
+// body has not yet been materialized, it locates the defining AST
+// (in-class or out-of-line) and queues body analysis. This is the core
+// of "used" instantiation mode.
+func (s *Sema) useRoutine(r *il.Routine) {
+	if r == nil {
+		return
+	}
+	r.Used = true
+	if s.analyzed[r] {
+		return
+	}
+	if r.IsInstantiation && r.Decl != nil && r.Decl.Body == nil {
+		// Find an out-of-line definition registered for the class
+		// template this routine's class came from.
+		if r.Class != nil && r.Class.Origin != nil {
+			if defs := s.memberDefs[r.Class.Origin]; defs != nil {
+				for _, def := range defs[r.Name] {
+					if len(def.Params) == len(r.Decl.Params) {
+						r.Decl = def
+						// The routine is reported at its definition
+						// site, as in the paper's Figure 3.
+						r.Loc = def.Name.Terminal().Loc
+						r.Header = def.Header
+						break
+					}
+				}
+			}
+		}
+	}
+	if r.Decl != nil && r.Decl.Body != nil {
+		r.HasBody = true
+		r.BodySpan = r.Decl.Body2
+		s.queueBody(r)
+	}
+}
+
+// deduceFunctionTemplate attempts template argument deduction for a
+// call f(args...) against a function template, returning bindings or
+// nil when deduction fails.
+func (s *Sema) deduceFunctionTemplate(tmpl *il.Template, argTypes []*il.Type) bindings {
+	fd := tmpl.FuncDecl
+	if fd == nil {
+		return nil
+	}
+	params := fd.Params
+	// Count required parameters (those without defaults).
+	required := 0
+	for _, p := range params {
+		if p.Default == nil && !p.Ellipsis {
+			required++
+		}
+	}
+	if len(argTypes) < required || len(argTypes) > len(params) {
+		return nil
+	}
+	b := bindings{}
+	for i, at := range argTypes {
+		if i >= len(params) || params[i].Ellipsis {
+			break
+		}
+		if !s.unify(params[i].Type, at, b) {
+			return nil
+		}
+	}
+	// Every template parameter must be bound.
+	for _, p := range tmpl.Params {
+		if _, ok := b[p.Name]; !ok {
+			return nil
+		}
+	}
+	return b
+}
+
+// unify matches a syntactic parameter type pattern against a concrete
+// argument type, binding template parameter names.
+func (s *Sema) unify(pattern ast.TypeExpr, arg *il.Type, b bindings) bool {
+	if arg == nil {
+		return false
+	}
+	switch pattern := pattern.(type) {
+	case *ast.NamedType:
+		name := pattern.Name
+		if name.IsSimple() {
+			pname := name.Terminal().Name
+			if isTemplateParamName(b, pname) {
+				return bindOrCheck(b, pname, il.TemplateArgValue{Type: stripForDeduction(arg)})
+			}
+			if _, pending := b[pname]; !pending {
+				// Unbound non-parameter name: may still be a template
+				// parameter not yet seen; bind optimistically only if
+				// it looks like one (single upper-case-led identifier
+				// not resolving to a type).
+				if s.lookupTypeNameQuiet(pname) == nil {
+					return bindOrCheck(b, pname, il.TemplateArgValue{Type: stripForDeduction(arg)})
+				}
+			}
+			// Concrete named type: must equal the argument.
+			t := s.lookupTypeNameQuiet(pname)
+			return t != nil && t == stripForDeduction(arg)
+		}
+		// Template-id pattern: vector<T> against vector<int>.
+		term := name.Terminal()
+		if term.HasArgs {
+			u := stripForDeduction(arg)
+			if u.Kind != il.TClass || u.Class == nil || !u.Class.IsInstantiation {
+				return false
+			}
+			if u.Class.BaseName() != term.Name {
+				return false
+			}
+			if len(term.Args) != len(u.Class.Args) {
+				return false
+			}
+			for i, pa := range term.Args {
+				ca := u.Class.Args[i]
+				switch {
+				case pa.Type != nil && !ca.IsInt:
+					if !s.unify(pa.Type, ca.Type, b) {
+						return false
+					}
+				case pa.Expr != nil && ca.IsInt:
+					if ne, ok := pa.Expr.(*ast.NameExpr); ok && ne.Name.IsSimple() {
+						if !bindOrCheck(b, ne.Name.Terminal().Name,
+							il.TemplateArgValue{Const: ca.Const, IsInt: true}) {
+							return false
+						}
+					} else if v, ok := s.evalConst(pa.Expr, b); !ok || v != ca.Const {
+						return false
+					}
+				default:
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	case *ast.ConstType:
+		return s.unify(pattern.Elem, stripConst(arg), b)
+	case *ast.VolatileType:
+		return s.unify(pattern.Elem, stripConst(arg), b)
+	case *ast.RefType:
+		return s.unify(pattern.Elem, derefForDeduction(arg), b)
+	case *ast.PointerType:
+		u := arg.Deref()
+		if u.Kind != il.TPtr && u.Kind != il.TArray {
+			return false
+		}
+		return s.unify(pattern.Elem, u.Elem, b)
+	case *ast.ArrayType:
+		u := arg.Deref()
+		if u.Kind != il.TArray && u.Kind != il.TPtr {
+			return false
+		}
+		return s.unify(pattern.Elem, u.Elem, b)
+	case *ast.BuiltinType:
+		return builtinKind(pattern.Spec) == arg.Deref().Kind
+	default:
+		return false
+	}
+}
+
+func isTemplateParamName(b bindings, name string) bool {
+	_, ok := b[name]
+	return ok
+}
+
+func bindOrCheck(b bindings, name string, v il.TemplateArgValue) bool {
+	if old, ok := b[name]; ok && (old.Type != nil || old.IsInt) {
+		return argsEqual([]il.TemplateArgValue{old}, []il.TemplateArgValue{v})
+	}
+	b[name] = v
+	return true
+}
+
+func stripForDeduction(t *il.Type) *il.Type { return t.Deref() }
+
+func stripConst(t *il.Type) *il.Type {
+	if t.Kind == il.TTref {
+		return t.Elem
+	}
+	return t
+}
+
+func derefForDeduction(t *il.Type) *il.Type {
+	u := t
+	if u.Kind == il.TRef {
+		u = u.Elem
+	}
+	return u
+}
+
+// lookupTypeNameQuiet looks a type name up without diagnostics.
+func (s *Sema) lookupTypeNameQuiet(name string) *il.Type {
+	return s.lookupTypeName(name, s.currentScopeChain())
+}
+
+// instantiateFunctionTemplate creates (or returns the cached) routine
+// instantiation of a free function template under bindings b.
+func (s *Sema) instantiateFunctionTemplate(tmpl *il.Template, b bindings, loc source.Loc) *il.Routine {
+	var args []il.TemplateArgValue
+	for _, p := range tmpl.Params {
+		args = append(args, b[p.Name])
+	}
+	name := instantiatedName(tmpl.Name, args)
+	for _, r := range tmpl.RoutineInsts {
+		if r.Name == name {
+			return r
+		}
+	}
+	fd := tmpl.FuncDecl
+	ns, _ := tmpl.Parent.(*il.Namespace)
+	r := s.buildRoutine(fd, nil, ns, ast.NoAccess, "C++", b)
+	r.Name = name
+	r.IsInstantiation = true
+	r.Origin = tmpl
+	r.Bindings = b
+	tmpl.RoutineInsts = append(tmpl.RoutineInsts, r)
+	s.useRoutine(r)
+	return r
+}

@@ -1,0 +1,794 @@
+package sema_test
+
+import (
+	"strings"
+	"testing"
+
+	"pdt/internal/core"
+	"pdt/internal/cpp/ast"
+	"pdt/internal/cpp/sema"
+	"pdt/internal/il"
+)
+
+// compile runs the full frontend over src (as main.cpp), with extra
+// virtual files, failing on diagnostics.
+func compile(t *testing.T, src string, extra map[string]string) *il.Unit {
+	t.Helper()
+	res := compileRes(t, src, extra, sema.Used)
+	for _, d := range res.Diagnostics {
+		t.Errorf("diagnostic: %v", d)
+	}
+	return res.Unit
+}
+
+func compileRes(t *testing.T, src string, extra map[string]string, mode sema.InstantiationMode) *core.Result {
+	t.Helper()
+	opts := core.Options{Mode: mode}
+	fs := core.NewFileSet(opts)
+	for name, content := range extra {
+		fs.AddVirtualFile(name, content)
+	}
+	return core.CompileSource(fs, "main.cpp", src, opts)
+}
+
+func findClass(t *testing.T, u *il.Unit, name string) *il.Class {
+	t.Helper()
+	if c := u.LookupClass(name); c != nil {
+		return c
+	}
+	var names []string
+	for _, c := range u.AllClasses {
+		names = append(names, c.Name)
+	}
+	t.Fatalf("class %q not found; have %v", name, names)
+	return nil
+}
+
+func findRoutine(t *testing.T, u *il.Unit, qualified string) *il.Routine {
+	t.Helper()
+	if r := u.LookupRoutine(qualified); r != nil {
+		return r
+	}
+	var names []string
+	for _, r := range u.AllRoutines {
+		names = append(names, r.QualifiedName())
+	}
+	t.Fatalf("routine %q not found; have %v", qualified, names)
+	return nil
+}
+
+func TestGlobalsAndFunctions(t *testing.T) {
+	u := compile(t, `
+int counter = 0;
+double scale(double x) { return x * 2.0; }
+int main() { counter = 1; scale(3.0); return 0; }
+`, nil)
+	if len(u.Global.Vars) != 1 || u.Global.Vars[0].Name != "counter" {
+		t.Errorf("globals = %+v", u.Global.Vars)
+	}
+	mainR := findRoutine(t, u, "main")
+	if len(mainR.Calls) != 1 || mainR.Calls[0].Callee.Name != "scale" {
+		t.Errorf("main calls = %+v", mainR.Calls)
+	}
+}
+
+func TestClassLayoutAndMethods(t *testing.T) {
+	u := compile(t, `
+class Point {
+public:
+    Point(int x, int y) : x_(x), y_(y) { }
+    int x() const { return x_; }
+    int y() const { return y_; }
+    void move(int dx, int dy) { x_ += dx; y_ += dy; }
+private:
+    int x_, y_;
+};
+`, nil)
+	p := findClass(t, u, "Point")
+	if len(p.Methods) != 4 || len(p.Members) != 2 {
+		t.Fatalf("methods=%d members=%d", len(p.Methods), len(p.Members))
+	}
+	if p.Methods[0].Kind != ast.Constructor {
+		t.Errorf("first method kind = %v", p.Methods[0].Kind)
+	}
+	if p.Members[0].Access != ast.Private {
+		t.Errorf("member access = %v", p.Members[0].Access)
+	}
+	x := findRoutine(t, u, "Point::x")
+	if !x.Const || x.Ret.Kind != il.TInt {
+		t.Errorf("x: const=%v ret=%v", x.Const, x.Ret)
+	}
+	if x.Signature.String() != "int () const" {
+		t.Errorf("signature = %q", x.Signature.String())
+	}
+}
+
+func TestInheritanceAndVirtualOverride(t *testing.T) {
+	u := compile(t, `
+class Shape {
+public:
+    virtual double area() const { return 0.0; }
+    virtual ~Shape() { }
+};
+class Circle : public Shape {
+public:
+    Circle(double r) : r_(r) { }
+    double area() const { return 3.14159 * r_ * r_; }
+private:
+    double r_;
+};
+double measure(Shape *s) { return s->area(); }
+`, nil)
+	circle := findClass(t, u, "Circle")
+	if len(circle.Bases) != 1 || circle.Bases[0].Class.Name != "Shape" {
+		t.Fatalf("bases = %+v", circle.Bases)
+	}
+	area := findRoutine(t, u, "Circle::area")
+	if !area.Virtual {
+		t.Error("Circle::area should inherit virtual")
+	}
+	measure := findRoutine(t, u, "measure")
+	if len(measure.Calls) != 1 || !measure.Calls[0].Virtual {
+		t.Errorf("measure calls = %+v", measure.Calls)
+	}
+	if measure.Calls[0].Callee.QualifiedName() != "Shape::area" {
+		t.Errorf("static callee = %s", measure.Calls[0].Callee.QualifiedName())
+	}
+}
+
+func TestOutOfLinePlainMember(t *testing.T) {
+	u := compile(t, `
+class Counter {
+public:
+    void bump();
+    int value() const;
+private:
+    int n;
+};
+void Counter::bump() { n++; }
+int Counter::value() const { return n; }
+`, nil)
+	bump := findRoutine(t, u, "Counter::bump")
+	if !bump.HasBody {
+		t.Error("out-of-line body not attached")
+	}
+	if bump.Loc.Line != 9 {
+		t.Errorf("bump reported at line %d, want definition line 9", bump.Loc.Line)
+	}
+}
+
+func TestClassTemplateInstantiation(t *testing.T) {
+	u := compile(t, `
+template <class T>
+class Box {
+public:
+    Box(const T & v) : value(v) { }
+    T get() const { return value; }
+private:
+    T value;
+};
+int main() {
+    Box<int> bi(42);
+    Box<double> bd(2.5);
+    return bi.get();
+}
+`, nil)
+	bi := findClass(t, u, "Box<int>")
+	if !bi.IsInstantiation || bi.Origin == nil || bi.Origin.Name != "Box" {
+		t.Fatalf("Box<int> = %+v", bi)
+	}
+	if bi.Members[0].Type.Kind != il.TInt {
+		t.Errorf("Box<int>::value type = %v", bi.Members[0].Type)
+	}
+	bd := findClass(t, u, "Box<double>")
+	if bd.Members[0].Type.Kind != il.TDouble {
+		t.Errorf("Box<double>::value type = %v", bd.Members[0].Type)
+	}
+	// get() used only on Box<int> — "used" mode instantiates only that
+	// body, but both declarations exist.
+	getInt := findRoutine(t, u, "Box<int>::get")
+	if !getInt.HasBody {
+		t.Error("Box<int>::get should be instantiated (used)")
+	}
+	getDouble := findRoutine(t, u, "Box<double>::get")
+	if getDouble.HasBody {
+		t.Error("Box<double>::get should NOT be instantiated in used mode")
+	}
+}
+
+func TestUsedVsEagerMode(t *testing.T) {
+	src := `
+template <class T>
+class Wide {
+public:
+    void a() { }
+    void b() { }
+    void c() { }
+    void d() { }
+};
+int main() { Wide<int> w; w.a(); return 0; }
+`
+	used := compileRes(t, src, nil, sema.Used)
+	eager := compileRes(t, src, nil, sema.Eager)
+	if len(used.Diagnostics) > 0 || len(eager.Diagnostics) > 0 {
+		t.Fatalf("diags: %v %v", used.Diagnostics, eager.Diagnostics)
+	}
+	usedBodies := 0
+	for _, r := range used.Unit.AllRoutines {
+		if r.IsInstantiation && r.HasBody {
+			usedBodies++
+		}
+	}
+	eagerBodies := 0
+	for _, r := range eager.Unit.AllRoutines {
+		if r.IsInstantiation && r.HasBody {
+			eagerBodies++
+		}
+	}
+	if usedBodies >= eagerBodies {
+		t.Errorf("used mode should instantiate fewer bodies: used=%d eager=%d",
+			usedBodies, eagerBodies)
+	}
+	if usedBodies != 1 {
+		t.Errorf("used mode instantiated %d bodies, want 1 (only a())", usedBodies)
+	}
+	if eagerBodies != 4 {
+		t.Errorf("eager mode instantiated %d bodies, want 4", eagerBodies)
+	}
+}
+
+func TestMemberTemplateEntities(t *testing.T) {
+	// Member functions of a class template are templates themselves
+	// (tkind memfunc), located at their out-of-line definitions — the
+	// paper's Figure 3 te#566.
+	u := compile(t, `
+template <class Object>
+class Stack {
+public:
+    void push(const Object & x);
+    bool isFull() const;
+private:
+    int top;
+};
+template <class Object>
+void Stack<Object>::push(const Object & x) { top++; }
+template <class Object>
+bool Stack<Object>::isFull() const { return top == 10; }
+int main() { Stack<int> s; s.push(3); return 0; }
+`, nil)
+	var classT, pushT, isFullT *il.Template
+	for _, tm := range u.AllTemplates {
+		switch {
+		case tm.Name == "Stack" && tm.Kind == il.TemplClass:
+			classT = tm
+		case tm.Name == "push" && tm.Kind == il.TemplMemFunc:
+			pushT = tm
+		case tm.Name == "isFull" && tm.Kind == il.TemplMemFunc:
+			isFullT = tm
+		}
+	}
+	if classT == nil || pushT == nil || isFullT == nil {
+		t.Fatalf("templates = %+v", u.AllTemplates)
+	}
+	if pushT.Loc.Line != 11 {
+		t.Errorf("push template at line %d, want out-of-line def line 11", pushT.Loc.Line)
+	}
+	if !strings.Contains(pushT.Text, "push") {
+		t.Errorf("push template text = %q", pushT.Text)
+	}
+	// The instantiated routine's Origin is the member template.
+	pushR := findRoutine(t, u, "Stack<int>::push")
+	if pushR.Origin != pushT {
+		t.Errorf("push origin = %+v", pushR.Origin)
+	}
+	stackInt := findClass(t, u, "Stack<int>")
+	if stackInt.Origin != classT {
+		t.Errorf("class origin = %+v", stackInt.Origin)
+	}
+}
+
+func TestStackFigure1CallGraph(t *testing.T) {
+	u := compile(t, stackFig1Source, nil)
+	push := findRoutine(t, u, "Stack<int>::push")
+	if !push.HasBody {
+		t.Fatal("push not instantiated")
+	}
+	var callees []string
+	for _, cs := range push.Calls {
+		callees = append(callees, cs.Callee.QualifiedName())
+	}
+	// push calls isFull, Overflow's ctor (implicit none — no user ctor),
+	// and vector<int>::operator[].
+	wantContains := []string{"Stack<int>::isFull", "vector<int>::operator[]"}
+	for _, w := range wantContains {
+		found := false
+		for _, c := range callees {
+			if c == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("push should call %s; calls = %v", w, callees)
+		}
+	}
+	isFull := findRoutine(t, u, "Stack<int>::isFull")
+	var isFullCallees []string
+	for _, cs := range isFull.Calls {
+		isFullCallees = append(isFullCallees, cs.Callee.QualifiedName())
+	}
+	found := false
+	for _, c := range isFullCallees {
+		if c == "vector<int>::size" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("isFull should call vector<int>::size; calls = %v", isFullCallees)
+	}
+	// main calls push, isEmpty, topAndPop and the Stack<int> ctor.
+	mainR := findRoutine(t, u, "main")
+	var mainCallees []string
+	for _, cs := range mainR.Calls {
+		mainCallees = append(mainCallees, cs.Callee.QualifiedName())
+	}
+	for _, w := range []string{"Stack<int>::Stack", "Stack<int>::push",
+		"Stack<int>::isEmpty", "Stack<int>::topAndPop"} {
+		found := false
+		for _, c := range mainCallees {
+			if c == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("main should call %s; calls = %v", w, mainCallees)
+		}
+	}
+}
+
+func TestFunctionTemplateDeduction(t *testing.T) {
+	u := compile(t, `
+template <class T> T biggest(T a, T b) { return a > b ? a : b; }
+int main() {
+    int i = biggest(3, 4);
+    double d = biggest(1.5, 2.5);
+    return i;
+}
+`, nil)
+	var insts []string
+	for _, r := range u.AllRoutines {
+		if r.IsInstantiation {
+			insts = append(insts, r.Name)
+		}
+	}
+	want := map[string]bool{"biggest<int>": false, "biggest<double>": false}
+	for _, n := range insts {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("missing instantiation %s; have %v", n, insts)
+		}
+	}
+	mainR := findRoutine(t, u, "main")
+	if len(mainR.Calls) != 2 {
+		t.Errorf("main calls = %+v", mainR.Calls)
+	}
+	bi := findRoutine(t, u, "biggest<int>")
+	if bi.Ret.Kind != il.TInt {
+		t.Errorf("biggest<int> ret = %v", bi.Ret)
+	}
+}
+
+func TestExplicitSpecializationPreferred(t *testing.T) {
+	u := compile(t, `
+template <class T> class Traits {
+public:
+    int size() { return 1; }
+};
+template <> class Traits<double> {
+public:
+    int size() { return 8; }
+};
+int main() {
+    Traits<int> ti;
+    Traits<double> td;
+    return ti.size() + td.size();
+}
+`, nil)
+	td := findClass(t, u, "Traits<double>")
+	if !td.IsSpecialization {
+		t.Error("Traits<double> should be the explicit specialization")
+	}
+	ti := findClass(t, u, "Traits<int>")
+	if ti.IsSpecialization || !ti.IsInstantiation {
+		t.Error("Traits<int> should be a normal instantiation")
+	}
+	// Only one instantiation of the primary template.
+	tmpl := u.LookupTemplate("Traits")
+	if len(tmpl.ClassInsts) != 1 {
+		t.Errorf("primary instantiations = %d", len(tmpl.ClassInsts))
+	}
+	if len(tmpl.Specs) != 1 {
+		t.Errorf("specs = %d", len(tmpl.Specs))
+	}
+}
+
+func TestNonTypeTemplateParams(t *testing.T) {
+	u := compile(t, `
+template <class T, int N>
+class FixedArray {
+public:
+    int capacity() const { return N; }
+private:
+    T data[N];
+};
+int main() {
+    FixedArray<double, 16> fa;
+    return fa.capacity();
+}
+`, nil)
+	fa := findClass(t, u, "FixedArray<double, 16>")
+	if fa == nil {
+		t.Fatal("instantiation missing")
+	}
+	data := fa.Members[0]
+	u2 := data.Type.Unqualified()
+	if u2.Kind != il.TArray || u2.ArrayLen != 16 || u2.Elem.Kind != il.TDouble {
+		t.Errorf("data type = %v", data.Type)
+	}
+}
+
+func TestDefaultTemplateArgs(t *testing.T) {
+	u := compile(t, `
+template <class T, int N = 4>
+class Buf {
+public:
+    int cap() const { return N; }
+};
+int main() {
+    Buf<char> b;
+    return b.cap();
+}
+`, nil)
+	if u.LookupClass("Buf<char, 4>") == nil {
+		var names []string
+		for _, c := range u.AllClasses {
+			names = append(names, c.Name)
+		}
+		t.Fatalf("default arg not applied; classes = %v", names)
+	}
+}
+
+func TestNestedTemplates(t *testing.T) {
+	u := compile(t, `
+template <class T> class Inner { public: T v; };
+template <class T> class Outer { public: Inner<T> inner; };
+int main() {
+    Outer<int> o;
+    o.inner.v = 5;
+    return o.inner.v;
+}
+`, nil)
+	if u.LookupClass("Outer<int>") == nil || u.LookupClass("Inner<int>") == nil {
+		t.Error("transitive instantiation failed")
+	}
+}
+
+func TestNamespaces(t *testing.T) {
+	u := compile(t, `
+namespace math {
+    double pi = 3.14159;
+    double twice(double x) { return 2 * x; }
+    namespace detail {
+        int secret() { return 42; }
+    }
+}
+int main() {
+    return (int) math::twice(math::pi) + math::detail::secret();
+}
+`, nil)
+	if len(u.Global.Namespaces) != 1 || u.Global.Namespaces[0].Name != "math" {
+		t.Fatalf("namespaces = %+v", u.Global.Namespaces)
+	}
+	mainR := findRoutine(t, u, "main")
+	var callees []string
+	for _, cs := range mainR.Calls {
+		callees = append(callees, cs.Callee.QualifiedName())
+	}
+	for _, w := range []string{"math::twice", "math::detail::secret"} {
+		found := false
+		for _, c := range callees {
+			if c == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("main should call %s; calls = %v", w, callees)
+		}
+	}
+}
+
+func TestOverloadResolution(t *testing.T) {
+	u := compile(t, `
+int f(int x) { return 1; }
+int f(double x) { return 2; }
+int f(const char *s) { return 3; }
+int main() {
+    return f(1) + f(2.5) + f("hi");
+}
+`, nil)
+	mainR := findRoutine(t, u, "main")
+	if len(mainR.Calls) != 3 {
+		t.Fatalf("calls = %+v", mainR.Calls)
+	}
+	kinds := []il.TypeKind{
+		mainR.Calls[0].Callee.Params[0].Type.Deref().Kind,
+		mainR.Calls[1].Callee.Params[0].Type.Deref().Kind,
+		mainR.Calls[2].Callee.Params[0].Type.Deref().Kind,
+	}
+	if kinds[0] != il.TInt || kinds[1] != il.TDouble || kinds[2] != il.TPtr {
+		t.Errorf("overload picks = %v", kinds)
+	}
+}
+
+func TestCtorDtorLifetimeCalls(t *testing.T) {
+	u := compile(t, `
+class Res {
+public:
+    Res() { }
+    ~Res() { }
+};
+void scopeTest() {
+    Res r;
+    {
+        Res inner;
+    }
+}
+`, nil)
+	st := findRoutine(t, u, "scopeTest")
+	ctors, dtors := 0, 0
+	for _, cs := range st.Calls {
+		switch cs.Callee.Kind {
+		case ast.Constructor:
+			ctors++
+		case ast.Destructor:
+			dtors++
+		}
+	}
+	if ctors != 2 || dtors != 2 {
+		t.Errorf("ctors=%d dtors=%d (calls=%+v)", ctors, dtors, st.Calls)
+	}
+}
+
+func TestNewDeleteCalls(t *testing.T) {
+	u := compile(t, `
+class Obj {
+public:
+    Obj(int v) { }
+    ~Obj() { }
+};
+void heap() {
+    Obj *p = new Obj(3);
+    delete p;
+}
+`, nil)
+	h := findRoutine(t, u, "heap")
+	var kinds []ast.RoutineKind
+	for _, cs := range h.Calls {
+		kinds = append(kinds, cs.Callee.Kind)
+	}
+	if len(kinds) != 2 || kinds[0] != ast.Constructor || kinds[1] != ast.Destructor {
+		t.Errorf("heap calls = %+v", h.Calls)
+	}
+}
+
+func TestEnumsAndConstants(t *testing.T) {
+	u := compile(t, `
+enum Color { RED, GREEN = 5, BLUE };
+template <class T, int N> class Arr { T d[N]; };
+Arr<int, BLUE> a;
+`, nil)
+	e := u.AllEnums[0]
+	if v, _ := e.Lookup("BLUE"); v != 6 {
+		t.Errorf("BLUE = %d", v)
+	}
+	if u.LookupClass("Arr<int, 6>") == nil {
+		t.Error("enum constant not used in template arg")
+	}
+}
+
+func TestOperatorOverloadCalls(t *testing.T) {
+	u := compile(t, `
+class Vec2 {
+public:
+    Vec2(double x, double y) : x_(x), y_(y) { }
+    Vec2 operator+(const Vec2 & o) const { return Vec2(x_ + o.x_, y_ + o.y_); }
+    double operator[](int i) const { return i == 0 ? x_ : y_; }
+private:
+    double x_, y_;
+};
+double use() {
+    Vec2 a(1, 2), b(3, 4);
+    Vec2 c = a + b;
+    return c[0];
+}
+`, nil)
+	use := findRoutine(t, u, "use")
+	names := map[string]bool{}
+	for _, cs := range use.Calls {
+		names[cs.Callee.Name] = true
+	}
+	if !names["operator+"] || !names["operator[]"] {
+		t.Errorf("operator calls missing: %+v", use.Calls)
+	}
+}
+
+func TestVectorHeaderInstantiation(t *testing.T) {
+	u := compile(t, `
+#include <vector>
+int main() {
+    vector<double> v;
+    v.push_back(1.5);
+    v.push_back(2.5);
+    return v.size();
+}
+`, nil)
+	vd := findClass(t, u, "vector<double>")
+	if !vd.IsInstantiation {
+		t.Error("vector<double> should be an instantiation")
+	}
+	pb := findRoutine(t, u, "vector<double>::push_back")
+	if !pb.HasBody {
+		t.Error("push_back should be instantiated (used)")
+	}
+	// reserve is called by push_back's body.
+	rs := findRoutine(t, u, "vector<double>::reserve")
+	if !rs.HasBody {
+		t.Error("reserve should be transitively instantiated")
+	}
+}
+
+func TestTAUHeaderMacros(t *testing.T) {
+	u := compile(t, `
+#include <tau.h>
+template <class T> class veclike {
+public:
+    veclike(int size) {
+        TAU_PROFILE("veclike::veclike()", CT(*this), TAU_USER);
+    }
+};
+int main() {
+    veclike<int> v(10);
+    return 0;
+}
+`, nil)
+	ctor := findRoutine(t, u, "veclike<int>::veclike")
+	var names []string
+	for _, cs := range ctor.Calls {
+		names = append(names, cs.Callee.QualifiedName())
+	}
+	foundCtor, foundType := false, false
+	for _, n := range names {
+		if n == "TauProfiler::TauProfiler" {
+			foundCtor = true
+		}
+		if n == "__pdt_typename" {
+			foundType = true
+		}
+	}
+	if !foundCtor || !foundType {
+		t.Errorf("TAU macro lowering calls = %v", names)
+	}
+}
+
+func TestStats(t *testing.T) {
+	res := compileRes(t, stackFig1Source, nil, sema.Used)
+	st := res.Stats
+	if st.ClassInsts == 0 || st.RoutineInsts == 0 || st.Types == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestExplicitInstantiationForcesMembers(t *testing.T) {
+	u := compile(t, `
+template <class T> class Full {
+public:
+    void used() { }
+    void unused() { }
+};
+template class Full<int>;
+`, nil)
+	un := findRoutine(t, u, "Full<int>::unused")
+	if !un.HasBody {
+		t.Error("explicit instantiation must instantiate all members")
+	}
+}
+
+func TestDiagnosticsForUnknownType(t *testing.T) {
+	res := compileRes(t, "Unknown x;", nil, sema.Used)
+	if !res.HasErrors() {
+		t.Error("expected a diagnostic for unknown type")
+	}
+}
+
+// stackFig1Source is the paper's Figure 1 program (StackAr layout:
+// header + implementation + driver merged into one unit the way the
+// paper's so#66/so#73/so#75 files combine).
+const stackFig1Source = `
+#include <vector>
+class Overflow { };
+class Underflow { };
+
+template <class Object>
+class Stack {
+public:
+    explicit Stack(int capacity = 10);
+    bool isEmpty() const;
+    bool isFull() const;
+    const Object & top() const;
+    void makeEmpty();
+    void pop();
+    void push(const Object & x);
+    Object topAndPop();
+private:
+    vector<Object> theArray;
+    int topOfStack;
+};
+
+template <class Object>
+Stack<Object>::Stack(int capacity) : theArray(capacity), topOfStack(-1) { }
+
+template <class Object>
+bool Stack<Object>::isEmpty() const {
+    return topOfStack == -1;
+}
+
+template <class Object>
+bool Stack<Object>::isFull() const {
+    return topOfStack == theArray.size() - 1;
+}
+
+template <class Object>
+const Object & Stack<Object>::top() const {
+    if (isEmpty())
+        throw Underflow();
+    return theArray.at(topOfStack);
+}
+
+template <class Object>
+void Stack<Object>::makeEmpty() {
+    topOfStack = -1;
+}
+
+template <class Object>
+void Stack<Object>::pop() {
+    if (isEmpty())
+        throw Underflow();
+    topOfStack--;
+}
+
+template <class Object>
+void Stack<Object>::push(const Object & x) {
+    if (isFull())
+        throw Overflow();
+    theArray[++topOfStack] = x;
+}
+
+template <class Object>
+Object Stack<Object>::topAndPop() {
+    if (isEmpty())
+        throw Underflow();
+    return theArray.at(topOfStack--);
+}
+
+int main() {
+    Stack<int> s;
+    for (int i = 0; i < 10; i++)
+        s.push(i);
+    while (!s.isEmpty())
+        s.topAndPop();
+    return 0;
+}
+`

@@ -1,0 +1,207 @@
+// Package stdlib provides the built-in system headers shipped with the
+// PDT frontend — the stand-in for the KAI standard library headers the
+// paper bundles with PDT 1.3 ("the inclusion of KAI's 3.4c standard
+// library header files has significantly improved PDT's robustness").
+//
+// Headers are written in the supported C++ subset. Routines declared
+// without bodies (stream inserters, math functions, the TAU runtime
+// hooks) are implemented as intrinsics by the interpreter
+// (internal/interp); their names all start with __pdt_ or live on the
+// iostream/TauProfiler classes.
+package stdlib
+
+import "pdt/internal/source"
+
+// Headers maps header names to their contents.
+var Headers = map[string]string{
+	"vector":     vectorH,
+	"vector.h":   vectorH,
+	"iostream":   iostreamH,
+	"iostream.h": iostreamH,
+	"cmath":      cmathH,
+	"math.h":     cmathH,
+	"cstdio":     cstdioH,
+	"stdio.h":    cstdioH,
+	"cstdlib":    cstdlibH,
+	"stdlib.h":   cstdlibH,
+	"cassert":    cassertH,
+	"assert.h":   cassertH,
+	"cstring":    cstringH,
+	"string.h":   cstringH,
+	"tau.h":      tauH,
+	"siloon.h":   siloonH,
+}
+
+// Register installs every built-in header into the file set.
+func Register(fs *source.FileSet) {
+	for name, content := range Headers {
+		fs.RegisterBuiltin(name, content)
+	}
+}
+
+const vectorH = `#ifndef __PDT_VECTOR
+#define __PDT_VECTOR
+// Minimal std-style vector for the PDT subset. Grows geometrically;
+// bounds are not checked (as in the era's KAI headers).
+template <class T>
+class vector {
+public:
+    vector() : data_(0), size_(0), cap_(0) { }
+    explicit vector(int n) : data_(new T[n]), size_(n), cap_(n) { }
+    vector(int n, const T & init) : data_(new T[n]), size_(n), cap_(n) {
+        for (int i = 0; i < n; i++)
+            data_[i] = init;
+    }
+    vector(const vector & other)
+        : data_(new T[other.cap_]), size_(other.size_), cap_(other.cap_) {
+        for (int i = 0; i < size_; i++)
+            data_[i] = other.data_[i];
+    }
+    ~vector() { delete[] data_; }
+    vector & operator=(const vector & other) {
+        if (this != &other) {
+            delete[] data_;
+            cap_ = other.cap_;
+            size_ = other.size_;
+            data_ = new T[cap_];
+            for (int i = 0; i < size_; i++)
+                data_[i] = other.data_[i];
+        }
+        return *this;
+    }
+    int size() const { return size_; }
+    int capacity() const { return cap_; }
+    bool empty() const { return size_ == 0; }
+    T & operator[](int i) { return data_[i]; }
+    const T & at(int i) const { return data_[i]; }
+    T & front() { return data_[0]; }
+    T & back() { return data_[size_ - 1]; }
+    void push_back(const T & x) {
+        if (size_ == cap_)
+            reserve(cap_ == 0 ? 8 : 2 * cap_);
+        data_[size_++] = x;
+    }
+    void pop_back() { size_--; }
+    void clear() { size_ = 0; }
+    void resize(int n) {
+        reserve(n);
+        size_ = n;
+    }
+    void reserve(int n) {
+        if (n <= cap_)
+            return;
+        T *bigger = new T[n];
+        for (int i = 0; i < size_; i++)
+            bigger[i] = data_[i];
+        delete[] data_;
+        data_ = bigger;
+        cap_ = n;
+    }
+private:
+    T *data_;
+    int size_;
+    int cap_;
+};
+#endif
+`
+
+const iostreamH = `#ifndef __PDT_IOSTREAM
+#define __PDT_IOSTREAM
+// Stream output. The inserters are interpreter intrinsics.
+class ostream {
+public:
+    ostream & operator<<(int x);
+    ostream & operator<<(long x);
+    ostream & operator<<(unsigned long x);
+    ostream & operator<<(double x);
+    ostream & operator<<(char c);
+    ostream & operator<<(bool b);
+    ostream & operator<<(const char * s);
+};
+extern ostream cout;
+extern ostream cerr;
+extern const char * endl;
+#endif
+`
+
+const cmathH = `#ifndef __PDT_CMATH
+#define __PDT_CMATH
+double sqrt(double x);
+double fabs(double x);
+double sin(double x);
+double cos(double x);
+double tan(double x);
+double exp(double x);
+double log(double x);
+double pow(double base, double exponent);
+double floor(double x);
+double ceil(double x);
+#endif
+`
+
+const cstdioH = `#ifndef __PDT_CSTDIO
+#define __PDT_CSTDIO
+int printf(const char * format, ...);
+int puts(const char * s);
+int putchar(int c);
+#endif
+`
+
+const cstdlibH = `#ifndef __PDT_CSTDLIB
+#define __PDT_CSTDLIB
+int abs(int x);
+long labs(long x);
+void exit(int status);
+int rand();
+void srand(unsigned int seed);
+int atoi(const char * s);
+#endif
+`
+
+const cassertH = `#ifndef __PDT_CASSERT
+#define __PDT_CASSERT
+void __pdt_assert(int ok, const char * what);
+#define assert(x) __pdt_assert((x) ? 1 : 0, #x)
+#endif
+`
+
+const cstringH = `#ifndef __PDT_CSTRING
+#define __PDT_CSTRING
+int strcmp(const char * a, const char * b);
+unsigned long strlen(const char * s);
+#endif
+`
+
+// tauH is the TAU measurement API of the paper's §4.1: the
+// TAU_PROFILE macro declares a scoped profiler object whose constructor
+// starts a timer and whose destructor (run at scope exit) stops it.
+// CT(obj) is the run-time type query used for template instantiations.
+const tauH = `#ifndef __PDT_TAU
+#define __PDT_TAU
+const char * __pdt_typename(...);
+class TauProfiler {
+public:
+    TauProfiler(const char * name, const char * type, int group);
+    ~TauProfiler();
+};
+#define TAU_PROFILE(name, type, group) TauProfiler __tauProfiler(name, type, group)
+#define CT(obj) __pdt_typename(obj)
+#define TAU_USER 0
+#define TAU_DEFAULT 1
+#endif
+`
+
+// siloonH declares the bridge runtime hooks used by SILOON-generated
+// glue code (§4.2): registration of wrapped routines and boxed
+// argument passing.
+const siloonH = `#ifndef __PDT_SILOON
+#define __PDT_SILOON
+void __pdt_siloon_register(const char * mangled, int token);
+double __pdt_siloon_arg_num(int index);
+const char * __pdt_siloon_arg_str(int index);
+void __pdt_siloon_ret_num(double value);
+void __pdt_siloon_ret_str(const char * value);
+int __pdt_siloon_arg_obj(int index);
+void __pdt_siloon_ret_obj(int handle);
+#endif
+`

@@ -1,0 +1,219 @@
+package ductape_test
+
+import (
+	"testing"
+
+	"pdt/internal/ductape"
+)
+
+// TestAccessorSurface walks the full accessor surface of every item
+// kind over a representative program, verifying the hierarchy's
+// uniform attribute access (§3.3: "all information about these items
+// is accessible through member functions").
+func TestAccessorSurface(t *testing.T) {
+	db := buildDB(t, `
+#define LIMIT 64
+namespace app {
+    enum Mode { FAST, SLOW };
+    typedef unsigned long size_type;
+    template <class T>
+    class Engine {
+    public:
+        Engine() : power(0) { }
+        virtual ~Engine() { }
+        void rev(const T & amount) { power += (int) amount; }
+        static int shared;
+    private:
+        int power;
+    };
+    class Turbo : public Engine<double> {
+    public:
+        void boost() { rev(2.5); }
+    };
+}
+int app_shared_init = 0;
+int main() {
+    app::Turbo t;
+    t.boost();
+    return 0;
+}
+`, nil)
+
+	// Files.
+	var mainFile *ductape.File
+	for _, f := range db.Files() {
+		if f.Prefix() != "so" {
+			t.Errorf("file prefix = %q", f.Prefix())
+		}
+		if f.Name() == "main.cpp" {
+			mainFile = f
+		}
+		_ = f.System()
+	}
+	if mainFile == nil {
+		t.Fatal("main.cpp missing")
+	}
+
+	// Macros.
+	macros := db.Macros()
+	if len(macros) != 1 {
+		t.Fatalf("macros = %d", len(macros))
+	}
+	m := macros[0]
+	if m.Prefix() != "ma" || m.Name() != "LIMIT" || m.Kind() != "def" {
+		t.Errorf("macro = %s %s %s", m.Prefix(), m.Name(), m.Kind())
+	}
+	if m.ParentClass() != nil || m.ParentNamespace() != nil || m.Access() != "NA" {
+		t.Error("macro parent/access defaults")
+	}
+	if m.Text() == "" || !m.Location().Valid() {
+		t.Error("macro text/location")
+	}
+
+	// Namespaces.
+	var appNS *ductape.Namespace
+	for _, n := range db.Namespaces() {
+		if n.Name() == "app" {
+			appNS = n
+		}
+	}
+	if appNS == nil {
+		t.Fatal("namespace app missing")
+	}
+	if appNS.Prefix() != "na" || appNS.ParentNamespace() != nil ||
+		appNS.ParentClass() != nil || appNS.Access() != "NA" {
+		t.Error("namespace attributes")
+	}
+	if appNS.AliasOf() != "" || len(appNS.Members()) == 0 {
+		t.Error("namespace members/alias")
+	}
+	if appNS.HeaderBegin().Valid() || appNS.BodyEnd().Valid() {
+		t.Error("namespaces carry no extents in the PDB")
+	}
+
+	// Templates.
+	var engineT *ductape.Template
+	for _, te := range db.Templates() {
+		if te.Name() == "Engine" && te.Kind() == ductape.TE_CLASS {
+			engineT = te
+		}
+	}
+	if engineT == nil {
+		t.Fatal("Engine template missing")
+	}
+	if engineT.Prefix() != "te" || engineT.ParentNamespace() == nil ||
+		engineT.ParentNamespace().Name() != "app" {
+		t.Errorf("template parent: %+v", engineT.ParentNamespace())
+	}
+	if !engineT.HeaderBegin().Valid() || !engineT.BodyEnd().Valid() {
+		t.Error("template extents missing")
+	}
+	if len(engineT.InstantiatedClasses()) != 1 {
+		t.Errorf("Engine instantiations = %d", len(engineT.InstantiatedClasses()))
+	}
+
+	// Classes.
+	engine := db.LookupClass("Engine<double>")
+	turbo := db.LookupClass("app::Turbo")
+	if engine == nil || turbo == nil {
+		t.Fatal("classes missing")
+	}
+	if engine.Prefix() != "cl" || !engine.IsInstantiation() || engine.IsSpecialization() {
+		t.Error("Engine<double> attributes")
+	}
+	if engine.Template() != engineT {
+		t.Error("Engine<double>.Template() link")
+	}
+	if turbo.ParentNamespace() == nil || turbo.FullName() != "app::Turbo" {
+		t.Errorf("Turbo FullName = %q", turbo.FullName())
+	}
+	if len(turbo.BaseClasses()) != 1 || turbo.BaseClasses()[0].Class != engine {
+		t.Error("Turbo bases")
+	}
+	if len(engine.DerivedClasses()) != 1 || engine.DerivedClasses()[0] != turbo {
+		t.Error("Engine derived")
+	}
+	if !engine.HeaderBegin().Valid() || !engine.BodyEnd().Valid() {
+		t.Error("class extents")
+	}
+	foundStatic := false
+	for _, mem := range engine.DataMembers() {
+		if mem.Name == "shared" && mem.Static {
+			foundStatic = true
+		}
+	}
+	if !foundStatic {
+		t.Error("static data member lost")
+	}
+
+	// Routines.
+	var rev, dtor *ductape.Routine
+	for _, r := range engine.Functions() {
+		switch {
+		case r.Name() == "rev":
+			rev = r
+		case r.Kind() == "dtor":
+			dtor = r
+		}
+	}
+	if rev == nil || dtor == nil {
+		t.Fatal("Engine methods missing")
+	}
+	if rev.Prefix() != "ro" || rev.ParentClass() != engine || rev.Access() != "pub" {
+		t.Error("rev attributes")
+	}
+	if rev.Linkage() != "C++" || rev.Storage() != "NA" || rev.IsStatic() || rev.IsConst() {
+		t.Error("rev characteristics")
+	}
+	if dtor.Virtuality() != "virt" || !dtor.IsVirtual() {
+		t.Error("dtor virtuality")
+	}
+	if !rev.HasBody() || !rev.HeaderBegin().Valid() || !rev.BodyEnd().Valid() {
+		t.Error("rev extents")
+	}
+	if rev.Template() == nil || rev.Template().Kind() != ductape.TE_MEMFUNC {
+		t.Error("rev template origin")
+	}
+	if rev.IsSpecialization() {
+		t.Error("rev is not a specialization")
+	}
+
+	// Types through the signature.
+	sig := rev.Signature()
+	if sig == nil || sig.Kind() != "func" {
+		t.Fatal("rev signature")
+	}
+	if sig.Prefix() != "ty" || sig.Location().Valid() ||
+		sig.ParentClass() != nil || sig.ParentNamespace() != nil || sig.Access() != "NA" {
+		t.Error("type item attributes")
+	}
+	if sig.ReturnType() == nil || sig.ReturnType().Kind() != "void" {
+		t.Error("return type")
+	}
+	if sig.HasEllipsis() {
+		t.Error("ellipsis flag")
+	}
+	args := sig.ArgumentTypes()
+	if len(args) != 1 || args[0].Kind() != "ref" {
+		t.Fatal("arg types")
+	}
+	tref := args[0].Elem()
+	if tref == nil || tref.Kind() != "tref" || !tref.IsConst() {
+		t.Fatal("tref")
+	}
+	if tref.BaseType() == nil || tref.BaseType().Kind() != "double" {
+		t.Error("tref base type")
+	}
+	if len(tref.Qualifiers()) != 1 {
+		t.Error("qualifiers")
+	}
+	// Integer kind detail on an int type.
+	for _, ty := range db.Types() {
+		if ty.Kind() == "int" && ty.IntegerKind() != "int" {
+			t.Errorf("yikind = %q", ty.IntegerKind())
+		}
+		if ty.Kind() == "array" && ty.ArrayLength() == 0 {
+			t.Errorf("array length missing for %s", ty.Name())
+		}
+	}
+}

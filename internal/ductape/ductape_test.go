@@ -1,0 +1,371 @@
+package ductape_test
+
+import (
+	"strings"
+	"testing"
+
+	"pdt/internal/core"
+	"pdt/internal/ductape"
+	"pdt/internal/ilanalyzer"
+)
+
+// buildDB compiles src and wraps the PDB in the DUCTAPE API.
+func buildDB(t *testing.T, src string, extra map[string]string) *ductape.PDB {
+	t.Helper()
+	opts := core.Options{}
+	fs := core.NewFileSet(opts)
+	for name, content := range extra {
+		fs.AddVirtualFile(name, content)
+	}
+	res := core.CompileSource(fs, "main.cpp", src, opts)
+	for _, d := range res.Diagnostics {
+		t.Errorf("diagnostic: %v", d)
+	}
+	return ductape.FromRaw(ilanalyzer.Analyze(res.Unit, ilanalyzer.Options{}))
+}
+
+const stackSrc = `
+#include <vector>
+class Overflow { };
+template <class Object>
+class Stack {
+public:
+    bool isEmpty() const;
+    bool isFull() const;
+    void push(const Object & x);
+private:
+    vector<Object> theArray;
+    int topOfStack;
+};
+template <class Object>
+bool Stack<Object>::isEmpty() const { return topOfStack == -1; }
+template <class Object>
+bool Stack<Object>::isFull() const { return topOfStack == theArray.size() - 1; }
+template <class Object>
+void Stack<Object>::push(const Object & x) {
+    if (isFull())
+        throw Overflow();
+    theArray[++topOfStack] = x;
+}
+int main() {
+    Stack<int> s;
+    s.push(3);
+    return s.isEmpty() ? 0 : 1;
+}
+`
+
+// TestHierarchyInterfaces is experiment E5 (Figure 4): the concrete
+// types satisfy exactly the interface layers the paper's class
+// hierarchy prescribes.
+func TestHierarchyInterfaces(t *testing.T) {
+	db := buildDB(t, stackSrc, nil)
+	// Every concrete type slots into the Figure 4 hierarchy.
+	items := db.Items()
+	if len(items) == 0 {
+		t.Fatal("no items")
+	}
+	var nItem, nFat, nTmpl int
+	for _, it := range items {
+		if _, ok := it.(ductape.Item); ok {
+			nItem++
+		}
+		if _, ok := it.(ductape.FatItem); ok {
+			nFat++
+		}
+		if _, ok := it.(ductape.TemplateItem); ok {
+			nTmpl++
+		}
+	}
+	if nItem == 0 || nFat == 0 || nTmpl == 0 {
+		t.Errorf("hierarchy counts: item=%d fat=%d tmpl=%d", nItem, nFat, nTmpl)
+	}
+	// Files are SimpleItems but not Items.
+	var fileAsAny interface{} = db.Files()[0]
+	if _, ok := fileAsAny.(ductape.Item); ok {
+		t.Error("File must not satisfy Item (it has no location/parent)")
+	}
+	// Types are Items but not FatItems.
+	var typeAsAny interface{} = db.Types()[0]
+	if _, ok := typeAsAny.(ductape.Item); !ok {
+		t.Error("Type must satisfy Item")
+	}
+	if _, ok := typeAsAny.(ductape.FatItem); ok {
+		t.Error("Type must not satisfy FatItem")
+	}
+	// Classes and routines are TemplateItems.
+	var clsAsAny interface{} = db.Classes()[0]
+	if _, ok := clsAsAny.(ductape.TemplateItem); !ok {
+		t.Error("Class must satisfy TemplateItem")
+	}
+	var roAsAny interface{} = db.Routines()[0]
+	if _, ok := roAsAny.(ductape.TemplateItem); !ok {
+		t.Error("Routine must satisfy TemplateItem")
+	}
+}
+
+func TestTemplateInstancesHeterogeneousList(t *testing.T) {
+	db := buildDB(t, stackSrc, nil)
+	// "list<pdbTemplateItem> can store a list of all template
+	// instantiations."
+	var insts []ductape.TemplateItem
+	for _, it := range db.TemplateItems() {
+		if it.IsInstantiation() {
+			insts = append(insts, it)
+		}
+	}
+	names := map[string]bool{}
+	for _, it := range insts {
+		names[it.Name()] = true
+	}
+	if !names["Stack<int>"] || !names["push"] {
+		t.Errorf("instantiations = %v", names)
+	}
+}
+
+func TestNavigation(t *testing.T) {
+	db := buildDB(t, stackSrc, nil)
+	cls := db.LookupClass("Stack<int>")
+	if cls == nil {
+		t.Fatal("Stack<int> missing")
+	}
+	if !cls.IsInstantiation() || cls.Template() == nil || cls.Template().Name() != "Stack" {
+		t.Errorf("template link broken: %+v", cls.Template())
+	}
+	// Member types navigate to the class object.
+	var theArray *ductape.Member
+	for i := range cls.DataMembers() {
+		if cls.DataMembers()[i].Name == "theArray" {
+			theArray = &cls.DataMembers()[i]
+		}
+	}
+	if theArray == nil || theArray.Type == nil {
+		t.Fatal("theArray missing or untyped")
+	}
+	vecCls := theArray.Type.Class()
+	if vecCls == nil || vecCls.Name() != "vector<int>" {
+		t.Errorf("theArray type class = %+v", vecCls)
+	}
+	// Routine navigation: push → signature → argument types.
+	var push *ductape.Routine
+	for _, r := range cls.Functions() {
+		if r.Name() == "push" {
+			push = r
+		}
+	}
+	if push == nil {
+		t.Fatal("push missing")
+	}
+	if push.FullName() != "Stack<int>::push(const int &)" {
+		t.Errorf("FullName = %q", push.FullName())
+	}
+	sig := push.Signature()
+	args := sig.ArgumentTypes()
+	if len(args) != 1 || args[0].Kind() != "ref" {
+		t.Fatalf("args = %+v", args)
+	}
+	if base := args[0].Elem(); base == nil || !base.IsConst() {
+		t.Errorf("arg elem = %+v", base)
+	}
+	// Callees and callers.
+	foundIsFull := false
+	for _, call := range push.Callees() {
+		if call.Call().Name() == "isFull" {
+			foundIsFull = true
+			if len(call.Call().Callers()) == 0 {
+				t.Error("isFull should know its callers")
+			}
+		}
+	}
+	if !foundIsFull {
+		t.Error("push callees missing isFull")
+	}
+}
+
+func TestInclusionTree(t *testing.T) {
+	db := buildDB(t, `#include "a.h"`+"\nint main() { return 0; }\n",
+		map[string]string{
+			"a.h": `#include "b.h"` + "\nint aa;\n",
+			"b.h": "int bb;\n",
+		})
+	roots := db.RootFiles()
+	if len(roots) != 1 || roots[0].Name() != "main.cpp" {
+		t.Fatalf("roots = %v", names(roots))
+	}
+	if len(roots[0].Includes()) != 1 || roots[0].Includes()[0].Name() != "a.h" {
+		t.Errorf("main includes = %v", names(roots[0].Includes()))
+	}
+	a := db.LookupFile("a.h")
+	if len(a.Includes()) != 1 || a.Includes()[0].Name() != "b.h" {
+		t.Errorf("a.h includes = %v", names(a.Includes()))
+	}
+	b := db.LookupFile("b.h")
+	if len(b.IncludedBy()) != 1 || b.IncludedBy()[0].Name() != "a.h" {
+		t.Errorf("b.h includedBy = %v", names(b.IncludedBy()))
+	}
+}
+
+func names(fs []*ductape.File) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.Name())
+	}
+	return out
+}
+
+func TestClassHierarchyView(t *testing.T) {
+	db := buildDB(t, `
+class A { };
+class B : public A { };
+class C : public B { };
+class D : public A { };
+`, nil)
+	a := db.LookupClass("A")
+	if len(a.DerivedClasses()) != 2 {
+		t.Errorf("A derived = %d", len(a.DerivedClasses()))
+	}
+	roots := db.RootClasses()
+	rootNames := map[string]bool{}
+	for _, c := range roots {
+		rootNames[c.Name()] = true
+	}
+	if !rootNames["A"] || rootNames["B"] {
+		t.Errorf("roots = %v", rootNames)
+	}
+	b := db.LookupClass("B")
+	if len(b.BaseClasses()) != 1 || b.BaseClasses()[0].Class.Name() != "A" {
+		t.Errorf("B bases = %+v", b.BaseClasses())
+	}
+}
+
+func TestCallTreeRoots(t *testing.T) {
+	db := buildDB(t, stackSrc, nil)
+	roots := db.RootRoutines()
+	if len(roots) == 0 || roots[0].Name() != "main" {
+		var ns []string
+		for _, r := range roots {
+			ns = append(ns, r.FullName())
+		}
+		t.Errorf("call tree roots = %v", ns)
+	}
+}
+
+func TestWriteReadStable(t *testing.T) {
+	db := buildDB(t, stackSrc, nil)
+	var sb strings.Builder
+	if err := db.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := ductape.Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb2 strings.Builder
+	if err := db2.Write(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Error("write/read/write is not stable")
+	}
+}
+
+func TestMergeDeduplicatesInstantiations(t *testing.T) {
+	// Two translation units both instantiate Stack<int> from the same
+	// header; the merge keeps one copy (Table 2's pdbmerge).
+	hdr := `#ifndef S_H
+#define S_H
+template <class T> class Stack {
+public:
+    void push(const T & x) { n++; }
+    int n;
+};
+#endif
+`
+	build := func(mainSrc string) *ductape.PDB {
+		return buildDB(t, mainSrc, map[string]string{"s.h": hdr})
+	}
+	db1 := build(`#include "s.h"` + "\nvoid f1() { Stack<int> s; s.push(1); }\n")
+	db2 := build(`#include "s.h"` + "\nvoid f2() { Stack<int> s; s.push(2); }\nvoid g2() { Stack<double> d; d.push(0.5); }\n")
+
+	merged := ductape.Merge(db1, db2)
+
+	count := func(name string) int {
+		n := 0
+		for _, c := range merged.Classes() {
+			if c.Name() == name {
+				n++
+			}
+		}
+		return n
+	}
+	if count("Stack<int>") != 1 {
+		t.Errorf("Stack<int> appears %d times after merge", count("Stack<int>"))
+	}
+	if count("Stack<double>") != 1 {
+		t.Errorf("Stack<double> appears %d times", count("Stack<double>"))
+	}
+	// Both entry functions survive.
+	if merged.LookupRoutine("f1") == nil || merged.LookupRoutine("f2") == nil {
+		t.Error("merge lost translation-unit routines")
+	}
+	// push instantiation deduplicated.
+	pushes := 0
+	for _, r := range merged.Routines() {
+		if r.Name() == "push" && r.ParentClass() != nil && r.ParentClass().Name() == "Stack<int>" {
+			pushes++
+		}
+	}
+	if pushes != 1 {
+		t.Errorf("Stack<int>::push appears %d times", pushes)
+	}
+	// Templates deduplicated.
+	stacks := 0
+	for _, tm := range merged.Templates() {
+		if tm.Name() == "Stack" && tm.Kind() == ductape.TE_CLASS {
+			stacks++
+		}
+	}
+	if stacks != 1 {
+		t.Errorf("Stack template appears %d times", stacks)
+	}
+	// Merged output still parses.
+	var sb strings.Builder
+	if err := merged.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ductape.Read(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("merged PDB unreadable: %v", err)
+	}
+}
+
+func TestMergePrefersDefinitions(t *testing.T) {
+	// Unit 1 sees only a declaration of helper; unit 2 has the
+	// definition. The merge must keep the definition.
+	db1 := buildDB(t, "void helper(int x);\nvoid a() { helper(1); }\n", nil)
+	db2 := buildDB(t, "void helper(int x) { int y = x; }\nvoid b() { helper(2); }\n", nil)
+	merged := ductape.Merge(db1, db2)
+	h := merged.LookupRoutine("helper")
+	if h == nil {
+		t.Fatal("helper lost")
+	}
+	if !h.HasBody() {
+		t.Error("merge kept the bodyless declaration")
+	}
+}
+
+// TestMergedOutputValidates checks that pdbmerge output preserves
+// referential integrity.
+func TestMergedOutputValidates(t *testing.T) {
+	hdr := `#ifndef M_H
+#define M_H
+template <class T> class Shared { public: T v; int get() { return 1; } };
+#endif
+`
+	db1 := buildDB(t, "#include \"m.h\"\nvoid u1() { Shared<int> s; s.get(); }\n",
+		map[string]string{"m.h": hdr})
+	db2 := buildDB(t, "#include \"m.h\"\nvoid u2() { Shared<double> s; s.get(); }\n",
+		map[string]string{"m.h": hdr})
+	merged := ductape.Merge(db1, db2)
+	if errs := merged.Raw().Validate(); len(errs) != 0 {
+		t.Errorf("merged PDB invalid: %d violations, first: %v", len(errs), errs[0])
+	}
+}

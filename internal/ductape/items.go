@@ -1,0 +1,313 @@
+// Package ductape is the Go rendition of DUCTAPE — the "C++ program
+// Database Utilities and Conversion Tools APplication Environment" of
+// the paper's §3.3. It provides an object-oriented API over PDB files:
+// every PDB item type is represented by a type of the corresponding
+// name, attributes that reference other entities are pointers to the
+// corresponding objects, and common attributes are factored into the
+// interface hierarchy of the paper's Figure 4:
+//
+//	SimpleItem
+//	├── File
+//	└── Item                (location, parent, access)
+//	    ├── Macro
+//	    ├── Type
+//	    └── FatItem         (header and body extents)
+//	        ├── Template
+//	        ├── Namespace
+//	        └── TemplateItem (entities instantiable from templates)
+//	            ├── Class
+//	            └── Routine
+package ductape
+
+import (
+	"fmt"
+
+	"pdt/internal/pdb"
+)
+
+// Flag is the user-settable traversal mark used by tree walks (the
+// paper's Figure 5 pdbtree code uses ACTIVE/INACTIVE to cut cycles).
+type Flag int
+
+// Traversal flags.
+const (
+	Inactive Flag = iota
+	Active
+)
+
+// SimpleItem is the root of the DUCTAPE hierarchy: anything with a
+// name and a PDB ID.
+type SimpleItem interface {
+	ID() int
+	Name() string
+	// Prefix returns the PDB item prefix ("so", "ro", ...).
+	Prefix() string
+}
+
+// Location is a resolved source location.
+type Location struct {
+	File *File
+	Line int
+	Col  int
+}
+
+// Valid reports whether the location points into a file.
+func (l Location) Valid() bool { return l.File != nil && l.Line > 0 }
+
+func (l Location) String() string {
+	if !l.Valid() {
+		return "<unknown>"
+	}
+	return fmt.Sprintf("%s:%d:%d", l.File.Name(), l.Line, l.Col)
+}
+
+// Item extends SimpleItem with a source location, an optional parent
+// class or namespace, and an access mode.
+type Item interface {
+	SimpleItem
+	Location() Location
+	ParentClass() *Class
+	ParentNamespace() *Namespace
+	Access() string
+}
+
+// FatItem extends Item with header and body extents.
+type FatItem interface {
+	Item
+	HeaderBegin() Location
+	HeaderEnd() Location
+	BodyBegin() Location
+	BodyEnd() Location
+}
+
+// TemplateItem is an entity that can be instantiated from a template.
+type TemplateItem interface {
+	FatItem
+	// Template returns the originating template, or nil (for
+	// non-instantiations, and for specializations under the
+	// paper-faithful analyzer mode).
+	Template() *Template
+	IsInstantiation() bool
+	IsSpecialization() bool
+}
+
+// --- File -------------------------------------------------------------------
+
+// File is a "so" item.
+type File struct {
+	p   *PDB
+	raw *pdb.SourceFile
+
+	includes   []*File
+	includedBy []*File
+}
+
+// ID returns the PDB item ID.
+func (f *File) ID() int { return f.raw.ID }
+
+// Name returns the file name as compiled.
+func (f *File) Name() string { return f.raw.Name }
+
+// Prefix returns "so".
+func (f *File) Prefix() string { return pdb.PrefixSourceFile }
+
+// System reports whether this is a system/built-in header.
+func (f *File) System() bool { return f.raw.System }
+
+// Includes returns the files this file directly includes.
+func (f *File) Includes() []*File { return f.includes }
+
+// IncludedBy returns the files that directly include this file.
+func (f *File) IncludedBy() []*File { return f.includedBy }
+
+// --- Macro -------------------------------------------------------------------
+
+// Macro is a "ma" item.
+type Macro struct {
+	p   *PDB
+	raw *pdb.Macro
+	loc Location
+}
+
+// ID returns the PDB item ID.
+func (m *Macro) ID() int { return m.raw.ID }
+
+// Name returns the macro name.
+func (m *Macro) Name() string { return m.raw.Name }
+
+// Prefix returns "ma".
+func (m *Macro) Prefix() string { return pdb.PrefixMacro }
+
+// Location returns the definition location.
+func (m *Macro) Location() Location { return m.loc }
+
+// ParentClass returns nil (macros have no parent).
+func (m *Macro) ParentClass() *Class { return nil }
+
+// ParentNamespace returns nil (macros have no parent).
+func (m *Macro) ParentNamespace() *Namespace { return nil }
+
+// Access returns "NA".
+func (m *Macro) Access() string { return "NA" }
+
+// Kind returns "def" or "undef".
+func (m *Macro) Kind() string { return m.raw.Kind }
+
+// Text returns the macro definition text.
+func (m *Macro) Text() string { return m.raw.Text }
+
+// --- Type -------------------------------------------------------------------
+
+// Type is a "ty" item.
+type Type struct {
+	p   *PDB
+	raw *pdb.Type
+}
+
+// ID returns the PDB item ID.
+func (t *Type) ID() int { return t.raw.ID }
+
+// Name returns the type spelling ("const int &").
+func (t *Type) Name() string { return t.raw.Name }
+
+// Prefix returns "ty".
+func (t *Type) Prefix() string { return pdb.PrefixType }
+
+// Location returns the zero location (types are positionless in the
+// PDB).
+func (t *Type) Location() Location { return Location{} }
+
+// ParentClass returns nil.
+func (t *Type) ParentClass() *Class { return nil }
+
+// ParentNamespace returns nil.
+func (t *Type) ParentNamespace() *Namespace { return nil }
+
+// Access returns "NA".
+func (t *Type) Access() string { return "NA" }
+
+// Kind returns the "ykind" attribute.
+func (t *Type) Kind() string { return t.raw.Kind }
+
+// IntegerKind returns the "yikind" attribute for integral types.
+func (t *Type) IntegerKind() string { return t.raw.IntKind }
+
+// Elem returns the referent of a ptr/ref/array type.
+func (t *Type) Elem() *Type { return t.p.typeByID(t.raw.Elem.ID) }
+
+// BaseType returns the unqualified type of a tref.
+func (t *Type) BaseType() *Type { return t.p.typeByID(t.raw.Tref.ID) }
+
+// Qualifiers returns the cv-qualifiers of a tref or func type.
+func (t *Type) Qualifiers() []string { return t.raw.Qual }
+
+// IsConst reports whether the type carries a const qualifier.
+func (t *Type) IsConst() bool {
+	for _, q := range t.raw.Qual {
+		if q == "const" {
+			return true
+		}
+	}
+	return false
+}
+
+// Class returns the class of a class type.
+func (t *Type) Class() *Class { return t.p.classByID(t.raw.Class.ID) }
+
+// ReturnType returns the return type of a function type.
+func (t *Type) ReturnType() *Type { return t.p.typeByID(t.raw.Ret.ID) }
+
+// ArgumentTypes returns the parameter types of a function type.
+func (t *Type) ArgumentTypes() []*Type {
+	out := make([]*Type, 0, len(t.raw.Args))
+	for _, a := range t.raw.Args {
+		out = append(out, t.p.typeByID(a.ID))
+	}
+	return out
+}
+
+// HasEllipsis reports a variadic function type.
+func (t *Type) HasEllipsis() bool { return t.raw.Ellipsis }
+
+// ArrayLength returns the element count of an array type (-1 unknown).
+func (t *Type) ArrayLength() int64 { return t.raw.ArrayLen }
+
+// --- Template ----------------------------------------------------------------
+
+// TemplateKind values mirror the PDB "tkind" attribute and the
+// pdbItem::templ_t constants the paper's Figure 6 switches on.
+const (
+	TE_CLASS   = "class"
+	TE_FUNC    = "func"
+	TE_MEMFUNC = "memfunc"
+	TE_STATMEM = "statmem"
+)
+
+// Template is a "te" item.
+type Template struct {
+	p   *PDB
+	raw *pdb.Template
+	loc Location
+	pos fourPos
+
+	instClasses  []*Class
+	instRoutines []*Routine
+}
+
+type fourPos struct {
+	hb, he, bb, be Location
+}
+
+// ID returns the PDB item ID.
+func (t *Template) ID() int { return t.raw.ID }
+
+// Name returns the template name.
+func (t *Template) Name() string { return t.raw.Name }
+
+// Prefix returns "te".
+func (t *Template) Prefix() string { return pdb.PrefixTemplate }
+
+// Location returns the declaration location.
+func (t *Template) Location() Location { return t.loc }
+
+// ParentClass returns the enclosing class, or nil.
+func (t *Template) ParentClass() *Class { return t.p.classByID(t.raw.Class.ID) }
+
+// ParentNamespace returns the enclosing namespace, or nil.
+func (t *Template) ParentNamespace() *Namespace { return t.p.namespaceByID(t.raw.Namespace.ID) }
+
+// Access returns the member access mode.
+func (t *Template) Access() string { return orNA(t.raw.Access) }
+
+// HeaderBegin returns the start of the declaration header.
+func (t *Template) HeaderBegin() Location { return t.pos.hb }
+
+// HeaderEnd returns the end of the declaration header.
+func (t *Template) HeaderEnd() Location { return t.pos.he }
+
+// BodyBegin returns the start of the body.
+func (t *Template) BodyBegin() Location { return t.pos.bb }
+
+// BodyEnd returns the end of the body.
+func (t *Template) BodyEnd() Location { return t.pos.be }
+
+// Kind returns class/func/memfunc/statmem.
+func (t *Template) Kind() string { return t.raw.Kind }
+
+// Text returns the declaration text ("ttext").
+func (t *Template) Text() string { return t.raw.Text }
+
+// InstantiatedClasses returns the classes instantiated from this
+// template (linked via "ctempl").
+func (t *Template) InstantiatedClasses() []*Class { return t.instClasses }
+
+// InstantiatedRoutines returns the routines instantiated from this
+// template (linked via "rtempl").
+func (t *Template) InstantiatedRoutines() []*Routine { return t.instRoutines }
+
+func orNA(s string) string {
+	if s == "" {
+		return "NA"
+	}
+	return s
+}

@@ -1,0 +1,308 @@
+package ductape
+
+import "pdt/internal/pdb"
+
+// --- Namespace ---------------------------------------------------------------
+
+// Namespace is a "na" item.
+type Namespace struct {
+	p   *PDB
+	raw *pdb.Namespace
+	loc Location
+}
+
+// ID returns the PDB item ID.
+func (n *Namespace) ID() int { return n.raw.ID }
+
+// Name returns the namespace name.
+func (n *Namespace) Name() string { return n.raw.Name }
+
+// Prefix returns "na".
+func (n *Namespace) Prefix() string { return pdb.PrefixNamespace }
+
+// Location returns the declaration location.
+func (n *Namespace) Location() Location { return n.loc }
+
+// ParentClass returns nil (namespaces nest only in namespaces).
+func (n *Namespace) ParentClass() *Class { return nil }
+
+// ParentNamespace returns the enclosing namespace, or nil.
+func (n *Namespace) ParentNamespace() *Namespace { return n.p.namespaceByID(n.raw.Parent.ID) }
+
+// Access returns "NA".
+func (n *Namespace) Access() string { return "NA" }
+
+// HeaderBegin returns the zero location (namespaces carry no extents
+// in the PDB).
+func (n *Namespace) HeaderBegin() Location { return Location{} }
+
+// HeaderEnd returns the zero location.
+func (n *Namespace) HeaderEnd() Location { return Location{} }
+
+// BodyBegin returns the zero location.
+func (n *Namespace) BodyBegin() Location { return Location{} }
+
+// BodyEnd returns the zero location.
+func (n *Namespace) BodyEnd() Location { return Location{} }
+
+// Members returns the names of the namespace's direct members.
+func (n *Namespace) Members() []string { return n.raw.Members }
+
+// AliasOf returns the target of a namespace alias, or "".
+func (n *Namespace) AliasOf() string { return n.raw.Alias }
+
+// --- Class ---------------------------------------------------------------------
+
+// Base is one resolved base-class link.
+type Base struct {
+	Class   *Class
+	Access  string
+	Virtual bool
+	Loc     Location
+}
+
+// Member is one resolved data member.
+type Member struct {
+	Name   string
+	Loc    Location
+	Access string
+	Kind   string
+	Type   *Type
+	Static bool
+}
+
+// Class is a "cl" item.
+type Class struct {
+	p   *PDB
+	raw *pdb.Class
+	loc Location
+	pos fourPos
+
+	bases   []Base
+	derived []*Class
+	funcs   []*Routine
+	members []Member
+
+	// Flag is the user traversal mark (Figure 5).
+	Flag Flag
+}
+
+// ID returns the PDB item ID.
+func (c *Class) ID() int { return c.raw.ID }
+
+// Name returns the class name (template instantiations include their
+// arguments: "Stack<int>").
+func (c *Class) Name() string { return c.raw.Name }
+
+// Prefix returns "cl".
+func (c *Class) Prefix() string { return pdb.PrefixClass }
+
+// Location returns the definition location.
+func (c *Class) Location() Location { return c.loc }
+
+// ParentClass returns the enclosing class for nested classes, or nil.
+func (c *Class) ParentClass() *Class { return c.p.classByID(c.raw.Parent.ID) }
+
+// ParentNamespace returns the enclosing namespace, or nil.
+func (c *Class) ParentNamespace() *Namespace { return c.p.namespaceByID(c.raw.Namespace.ID) }
+
+// Access returns the member access mode for nested classes.
+func (c *Class) Access() string { return orNA(c.raw.Access) }
+
+// HeaderBegin returns the start of the class head.
+func (c *Class) HeaderBegin() Location { return c.pos.hb }
+
+// HeaderEnd returns the end of the class head.
+func (c *Class) HeaderEnd() Location { return c.pos.he }
+
+// BodyBegin returns the '{' of the class body.
+func (c *Class) BodyBegin() Location { return c.pos.bb }
+
+// BodyEnd returns the '}' of the class body.
+func (c *Class) BodyEnd() Location { return c.pos.be }
+
+// Template returns the originating class template, or nil.
+func (c *Class) Template() *Template { return c.p.templateByID(c.raw.Template.ID) }
+
+// IsInstantiation reports whether the class is a template
+// instantiation.
+func (c *Class) IsInstantiation() bool { return c.raw.Instantiation }
+
+// IsSpecialization reports whether the class is an explicit
+// specialization.
+func (c *Class) IsSpecialization() bool { return c.raw.Specialization }
+
+// Kind returns class/struct/union.
+func (c *Class) Kind() string { return c.raw.Kind }
+
+// BaseClasses returns the resolved direct bases.
+func (c *Class) BaseClasses() []Base { return c.bases }
+
+// DerivedClasses returns the classes that list c as a direct base.
+func (c *Class) DerivedClasses() []*Class { return c.derived }
+
+// Functions returns the member functions.
+func (c *Class) Functions() []*Routine { return c.funcs }
+
+// DataMembers returns the resolved data members.
+func (c *Class) DataMembers() []Member { return c.members }
+
+// Friends returns the friend names.
+func (c *Class) Friends() []string { return c.raw.Friends }
+
+// FullName returns the qualified name including namespace/class
+// parents.
+func (c *Class) FullName() string {
+	name := c.raw.Name
+	if p := c.ParentClass(); p != nil {
+		return p.FullName() + "::" + name
+	}
+	if n := c.ParentNamespace(); n != nil && n.Name() != "" {
+		return namespaceFullName(n) + "::" + name
+	}
+	return name
+}
+
+func namespaceFullName(n *Namespace) string {
+	if p := n.ParentNamespace(); p != nil {
+		return namespaceFullName(p) + "::" + n.Name()
+	}
+	return n.Name()
+}
+
+// --- Routine ---------------------------------------------------------------------
+
+// Call is one resolved call site, as iterated by the paper's Figure 5
+// pdbtree code (callvec).
+type Call struct {
+	p       *PDB
+	callee  *Routine
+	virtual bool
+	loc     Location
+}
+
+// Call returns the callee routine.
+func (c *Call) Call() *Routine { return c.callee }
+
+// IsVirtual reports whether the call dispatches virtually.
+func (c *Call) IsVirtual() bool { return c.virtual }
+
+// Location returns the call site.
+func (c *Call) Location() Location { return c.loc }
+
+// Routine is a "ro" item.
+type Routine struct {
+	p   *PDB
+	raw *pdb.Routine
+	loc Location
+	pos fourPos
+
+	callees []*Call
+	callers []*Routine
+
+	// Flag is the user traversal mark (Figure 5 uses it to cut cycles
+	// in the static call graph display).
+	Flag Flag
+}
+
+// ID returns the PDB item ID.
+func (r *Routine) ID() int { return r.raw.ID }
+
+// Name returns the routine name.
+func (r *Routine) Name() string { return r.raw.Name }
+
+// Prefix returns "ro".
+func (r *Routine) Prefix() string { return pdb.PrefixRoutine }
+
+// Location returns the definition (or declaration) location.
+func (r *Routine) Location() Location { return r.loc }
+
+// ParentClass returns the owning class for member functions, or nil.
+func (r *Routine) ParentClass() *Class { return r.p.classByID(r.raw.Class.ID) }
+
+// ParentNamespace returns the owning namespace, or nil.
+func (r *Routine) ParentNamespace() *Namespace { return r.p.namespaceByID(r.raw.Namespace.ID) }
+
+// Access returns pub/prot/priv/NA.
+func (r *Routine) Access() string { return orNA(r.raw.Access) }
+
+// HeaderBegin returns the start of the declaration header.
+func (r *Routine) HeaderBegin() Location { return r.pos.hb }
+
+// HeaderEnd returns the end of the declaration header.
+func (r *Routine) HeaderEnd() Location { return r.pos.he }
+
+// BodyBegin returns the '{' of the definition.
+func (r *Routine) BodyBegin() Location { return r.pos.bb }
+
+// BodyEnd returns the '}' of the definition.
+func (r *Routine) BodyEnd() Location { return r.pos.be }
+
+// Template returns the originating template, or nil.
+func (r *Routine) Template() *Template { return r.p.templateByID(r.raw.Template.ID) }
+
+// IsInstantiation reports whether the routine was instantiated from a
+// template (it carries an "rtempl" link).
+func (r *Routine) IsInstantiation() bool { return r.raw.Template.Valid() }
+
+// IsSpecialization reports false for routines in the current format.
+func (r *Routine) IsSpecialization() bool { return false }
+
+// Signature returns the routine's function type.
+func (r *Routine) Signature() *Type { return r.p.typeByID(r.raw.Signature.ID) }
+
+// Kind returns fun/ctor/dtor/op/conv.
+func (r *Routine) Kind() string { return r.raw.Kind }
+
+// Linkage returns "C++" or "C".
+func (r *Routine) Linkage() string { return r.raw.Linkage }
+
+// Storage returns the storage class ("NA", "static", ...).
+func (r *Routine) Storage() string { return r.raw.Storage }
+
+// Virtuality returns no/virt/pure.
+func (r *Routine) Virtuality() string { return r.raw.Virtual }
+
+// IsVirtual reports virt or pure.
+func (r *Routine) IsVirtual() bool { return r.raw.Virtual == "virt" || r.raw.Virtual == "pure" }
+
+// IsStatic reports a static member function.
+func (r *Routine) IsStatic() bool { return r.raw.Static }
+
+// IsConst reports a const member function.
+func (r *Routine) IsConst() bool { return r.raw.Const }
+
+// HasBody reports whether the routine has a recorded definition.
+func (r *Routine) HasBody() bool { return r.pos.bb.Valid() }
+
+// Callees returns the recorded call sites (the Figure 5 callvec).
+func (r *Routine) Callees() []*Call { return r.callees }
+
+// Callers returns the routines that call this one.
+func (r *Routine) Callers() []*Routine { return r.callers }
+
+// FullName renders the qualified routine name with its signature's
+// parameter list, in the style printed by pdbtree.
+func (r *Routine) FullName() string {
+	name := r.raw.Name
+	if c := r.ParentClass(); c != nil {
+		name = c.FullName() + "::" + name
+	} else if n := r.ParentNamespace(); n != nil && n.Name() != "" {
+		name = namespaceFullName(n) + "::" + name
+	}
+	sig := r.Signature()
+	if sig == nil {
+		return name + "()"
+	}
+	out := name + "("
+	for i, a := range sig.ArgumentTypes() {
+		if i > 0 {
+			out += ", "
+		}
+		if a != nil {
+			out += a.Name()
+		}
+	}
+	out += ")"
+	return out
+}

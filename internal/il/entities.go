@@ -1,0 +1,514 @@
+package il
+
+import (
+	"strings"
+
+	"pdt/internal/cpp/ast"
+	"pdt/internal/source"
+)
+
+// Scope is implemented by entities that can own declarations
+// (namespaces and classes).
+type Scope interface {
+	QualifiedName() string
+	ScopeNamespace() *Namespace // innermost enclosing namespace
+}
+
+// Namespace is a C++ namespace (or the global namespace, Name == "").
+type Namespace struct {
+	Name   string
+	Parent *Namespace
+	Loc    source.Loc
+
+	Namespaces []*Namespace
+	Classes    []*Class
+	Routines   []*Routine
+	Vars       []*Var
+	Enums      []*Enum
+	Typedefs   []*Typedef
+	Templates  []*Template
+	Aliases    map[string]*Namespace
+}
+
+// QualifiedName returns "a::b" ("" for the global namespace).
+func (n *Namespace) QualifiedName() string {
+	if n == nil || n.Parent == nil {
+		return ""
+	}
+	p := n.Parent.QualifiedName()
+	if p == "" {
+		return n.Name
+	}
+	return p + "::" + n.Name
+}
+
+// ScopeNamespace returns the namespace itself.
+func (n *Namespace) ScopeNamespace() *Namespace { return n }
+
+// MemberNames lists the direct member names, for the PDB NAMESPACE item.
+func (n *Namespace) MemberNames() []string {
+	var out []string
+	for _, x := range n.Namespaces {
+		out = append(out, x.Name)
+	}
+	for _, x := range n.Classes {
+		out = append(out, x.Name)
+	}
+	for _, x := range n.Routines {
+		out = append(out, x.Name)
+	}
+	for _, x := range n.Vars {
+		out = append(out, x.Name)
+	}
+	for _, x := range n.Enums {
+		out = append(out, x.Name)
+	}
+	for _, x := range n.Typedefs {
+		out = append(out, x.Name)
+	}
+	return out
+}
+
+// Base is one direct base class of a class.
+type Base struct {
+	Class   *Class
+	Access  ast.Access
+	Virtual bool
+	Loc     source.Loc
+}
+
+// Friend records a friend declaration.
+type Friend struct {
+	// Name is the friend's name as written; Class/Routine are resolved
+	// when possible.
+	Name    string
+	Class   *Class
+	Routine *Routine
+	Loc     source.Loc
+}
+
+// Class is a class/struct/union: a plain definition, a template
+// instantiation ("Stack<int>"), or an explicit specialization.
+type Class struct {
+	Name      string // includes template arguments for instantiations
+	Kind      ast.ClassKind
+	Parent    Scope
+	Access    ast.Access // access when nested in a class
+	Loc       source.Loc
+	Header    source.Span
+	Body      source.Span
+	Complete  bool // definition seen
+	Bases     []Base
+	Friends   []Friend
+	Methods   []*Routine
+	Members   []*Var // data members
+	Enums     []*Enum
+	Typedefs  []*Typedef
+	Nested    []*Class
+	Templates []*Template // member templates
+
+	// IsInstantiation marks classes produced by template instantiation.
+	IsInstantiation bool
+	// IsSpecialization marks explicit specializations.
+	IsSpecialization bool
+	// Origin is the template this class was instantiated from. Present
+	// in the IL as the paper's proposed front-end modification; the
+	// analyzer's default (paper-faithful) mode ignores it and matches by
+	// location instead. Nil for specializations in scan mode semantics.
+	Origin *Template
+	// Args holds the instantiation's template arguments.
+	Args []TemplateArgValue
+
+	// Decl is the AST the class came from (the template's ClassDecl for
+	// instantiations).
+	Decl *ast.ClassDecl
+
+	// AnonUnion marks unnamed unions folded into the enclosing class.
+	AnonUnion bool
+}
+
+// QualifiedName returns the full name including parents.
+func (c *Class) QualifiedName() string {
+	if c.Parent == nil {
+		return c.Name
+	}
+	p := c.Parent.QualifiedName()
+	if p == "" {
+		return c.Name
+	}
+	return p + "::" + c.Name
+}
+
+// ScopeNamespace returns the innermost namespace enclosing the class.
+func (c *Class) ScopeNamespace() *Namespace {
+	if c.Parent == nil {
+		return nil
+	}
+	return c.Parent.ScopeNamespace()
+}
+
+// BaseName returns the class name without template arguments
+// ("Stack" for "Stack<int>").
+func (c *Class) BaseName() string {
+	if i := strings.IndexByte(c.Name, '<'); i >= 0 {
+		return c.Name[:i]
+	}
+	return c.Name
+}
+
+// FindMethod returns the first method with the given name, searching
+// bases depth-first (used for member lookup and virtual dispatch).
+func (c *Class) FindMethod(name string) *Routine {
+	for _, m := range c.Methods {
+		if m.Name == name {
+			return m
+		}
+	}
+	for _, b := range c.Bases {
+		if b.Class == nil {
+			continue
+		}
+		if m := b.Class.FindMethod(name); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// FindMethods returns all methods with the given name (the overload
+// set), innermost class first.
+func (c *Class) FindMethods(name string) []*Routine {
+	var out []*Routine
+	for _, m := range c.Methods {
+		if m.Name == name {
+			out = append(out, m)
+		}
+	}
+	if len(out) == 0 {
+		for _, b := range c.Bases {
+			if b.Class == nil {
+				continue
+			}
+			if ms := b.Class.FindMethods(name); len(ms) > 0 {
+				out = append(out, ms...)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// FindMember returns the data member with the given name, searching
+// bases.
+func (c *Class) FindMember(name string) *Var {
+	for _, v := range c.Members {
+		if v.Name == name {
+			return v
+		}
+	}
+	for _, b := range c.Bases {
+		if b.Class == nil {
+			continue
+		}
+		if v := b.Class.FindMember(name); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// AllBases appends every (transitive) base class to out, depth-first.
+func (c *Class) AllBases(out []*Class) []*Class {
+	for _, b := range c.Bases {
+		if b.Class == nil {
+			continue
+		}
+		out = append(out, b.Class)
+		out = b.Class.AllBases(out)
+	}
+	return out
+}
+
+// DerivesFrom reports whether c has base (transitively).
+func (c *Class) DerivesFrom(base *Class) bool {
+	for _, b := range c.Bases {
+		if b.Class == nil {
+			continue
+		}
+		if b.Class == base || b.Class.DerivesFrom(base) {
+			return true
+		}
+	}
+	return false
+}
+
+// CallSite is one static call recorded in a routine body — the PDB
+// "rcall" attribute. The paper's IL Analyzer must do extra lifetime
+// processing to catch constructor/destructor calls; sema performs the
+// equivalent analysis when building the IL.
+type CallSite struct {
+	Callee  *Routine
+	Virtual bool
+	Loc     source.Loc
+}
+
+// Var is a variable: global, namespace member, class data member, or
+// parameter (parameters appear only in Routine.Params).
+type Var struct {
+	Name    string
+	Type    *Type
+	Loc     source.Loc
+	Access  ast.Access
+	Storage ast.StorageClass
+	Class   *Class   // owning class for data members
+	Init    ast.Expr // initializer (unevaluated)
+	Default ast.Expr // default argument (parameters)
+	Kind    string   // PDB cmkind: "var" normally
+}
+
+// Routine is a function: free, member, instantiated from a template, or
+// compiler-relevant special member.
+type Routine struct {
+	ID        int // stable creation index within the unit
+	Name      string
+	Kind      ast.RoutineKind
+	Class     *Class // nil for free functions
+	Namespace *Namespace
+	Access    ast.Access
+	Loc       source.Loc
+	Header    source.Span
+	BodySpan  source.Span
+	Signature *Type
+	Params    []*Var
+	Ret       *Type
+
+	Virtual     bool
+	PureVirtual bool
+	Static      bool
+	Inline      bool
+	Const       bool
+	Explicit    bool
+	Linkage     string
+	Storage     ast.StorageClass
+
+	// IsInstantiation marks routines produced by template instantiation.
+	IsInstantiation bool
+	// Used marks routines actually used in the compilation. In "used"
+	// instantiation mode, unused members of instantiated class
+	// templates keep Used == false and are omitted from the PDB, as the
+	// EDG used mode omits them from the IL (§2).
+	Used bool
+	// Origin is the template the routine was instantiated from (see
+	// Class.Origin for the fidelity caveat).
+	Origin *Template
+
+	// Decl is the (possibly template) AST carrying the body.
+	Decl *ast.FunctionDecl
+	// HasBody reports whether a definition was seen.
+	HasBody bool
+
+	// Calls lists the static call sites found in the body.
+	Calls []CallSite
+
+	// Bindings maps template parameter names to their argument values
+	// for instantiated routines (used when analyzing/interpreting the
+	// shared template body).
+	Bindings map[string]TemplateArgValue
+}
+
+// QualifiedName returns "Class::name" or "ns::name".
+func (r *Routine) QualifiedName() string {
+	if r.Class != nil {
+		return r.Class.QualifiedName() + "::" + r.Name
+	}
+	if r.Namespace != nil {
+		if q := r.Namespace.QualifiedName(); q != "" {
+			return q + "::" + r.Name
+		}
+	}
+	return r.Name
+}
+
+// FullName renders the routine with its signature for display, in the
+// style of the paper's pdbtree output.
+func (r *Routine) FullName() string {
+	if r.Signature == nil {
+		return r.QualifiedName() + "()"
+	}
+	sig := r.Signature
+	var sb strings.Builder
+	sb.WriteString(r.QualifiedName())
+	sb.WriteString("(")
+	for i, p := range sig.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.String())
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Enum is an enumeration with its enumerators.
+type Enum struct {
+	Name   string
+	Parent Scope
+	Access ast.Access
+	Loc    source.Loc
+	Values []EnumValue
+}
+
+// EnumValue is one enumerator.
+type EnumValue struct {
+	Name  string
+	Value int64
+	Loc   source.Loc
+}
+
+// QualifiedName returns the full name of the enum.
+func (e *Enum) QualifiedName() string {
+	if e.Parent == nil {
+		return e.Name
+	}
+	p := e.Parent.QualifiedName()
+	if p == "" {
+		return e.Name
+	}
+	return p + "::" + e.Name
+}
+
+// Lookup returns the value of an enumerator, if present.
+func (e *Enum) Lookup(name string) (int64, bool) {
+	for _, v := range e.Values {
+		if v.Name == name {
+			return v.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Typedef is a type alias.
+type Typedef struct {
+	Name   string
+	Type   *Type
+	Parent Scope
+	Access ast.Access
+	Loc    source.Loc
+}
+
+// TemplateKind classifies templates — the PDB "tkind" attribute
+// (Figure 3: class, memfunc; Figure 6 adds func, statmem).
+type TemplateKind int
+
+// Template kinds.
+const (
+	TemplClass TemplateKind = iota
+	TemplFunc
+	TemplMemFunc
+	TemplStatMem
+)
+
+func (k TemplateKind) String() string {
+	switch k {
+	case TemplClass:
+		return "class"
+	case TemplFunc:
+		return "func"
+	case TemplMemFunc:
+		return "memfunc"
+	case TemplStatMem:
+		return "statmem"
+	default:
+		return "?"
+	}
+}
+
+// TemplateArgValue is one bound template argument: a type or an integer
+// constant.
+type TemplateArgValue struct {
+	Type  *Type
+	Const int64
+	IsInt bool
+}
+
+// String renders the argument as it appears inside "<...>".
+func (a TemplateArgValue) String() string {
+	if a.IsInt {
+		return intToString(a.Const)
+	}
+	if a.Type != nil {
+		return a.Type.String()
+	}
+	return "?"
+}
+
+func intToString(v int64) string {
+	// Avoid strconv import churn in this file's tiny use.
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [24]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Template is a class, function, member-function, or static-member
+// template declaration.
+type Template struct {
+	Name   string
+	Kind   TemplateKind
+	Parent Scope
+	Access ast.Access
+	Loc    source.Loc
+	Header source.Span
+	Body   source.Span
+	Text   string
+
+	Params []ast.TemplateParam
+
+	// ClassDecl or FuncDecl is the declaration AST (exactly one set).
+	ClassDecl *ast.ClassDecl
+	FuncDecl  *ast.FunctionDecl
+
+	// For member-function templates declared in-class and defined
+	// out-of-line, OutOfLine carries the definition.
+	OutOfLine *ast.FunctionDecl
+
+	// Instantiations produced from this template.
+	ClassInsts   []*Class
+	RoutineInsts []*Routine
+
+	// Specializations registered for this template.
+	Specs []*TemplateSpec
+}
+
+// TemplateSpec is one explicit specialization of a class template.
+type TemplateSpec struct {
+	Args  []TemplateArgValue
+	Class *Class
+}
+
+// QualifiedName returns the template's qualified name.
+func (t *Template) QualifiedName() string {
+	if t.Parent == nil {
+		return t.Name
+	}
+	p := t.Parent.QualifiedName()
+	if p == "" {
+		return t.Name
+	}
+	return p + "::" + t.Name
+}

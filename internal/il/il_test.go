@@ -1,0 +1,240 @@
+package il
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"pdt/internal/cpp/ast"
+)
+
+func TestTypeTableInternsBuiltins(t *testing.T) {
+	tt := NewTypeTable()
+	a := tt.Builtin(TInt)
+	b := tt.Builtin(TInt)
+	if a != b {
+		t.Error("builtin types must be pointer-identical")
+	}
+	if tt.Builtin(TDouble) == a {
+		t.Error("distinct builtins must differ")
+	}
+}
+
+func TestTypeTableInternsCompound(t *testing.T) {
+	tt := NewTypeTable()
+	p1 := tt.PtrTo(tt.ConstOf(tt.Builtin(TChar)))
+	p2 := tt.PtrTo(tt.ConstOf(tt.Builtin(TChar)))
+	if p1 != p2 {
+		t.Error("equal compound types must intern to one instance")
+	}
+	f1 := tt.Func(tt.Builtin(TVoid), []*Type{p1}, false, true)
+	f2 := tt.Func(tt.Builtin(TVoid), []*Type{p2}, false, true)
+	if f1 != f2 {
+		t.Error("function types must intern")
+	}
+	f3 := tt.Func(tt.Builtin(TVoid), []*Type{p1}, true, true)
+	if f1 == f3 {
+		t.Error("variadic flag must distinguish function types")
+	}
+}
+
+// randomType builds a random type tree of bounded depth in the table.
+func randomType(tt *TypeTable, r *rand.Rand, depth int) *Type {
+	if depth <= 0 {
+		kinds := []TypeKind{TVoid, TBool, TChar, TInt, TUInt, TLong, TFloat, TDouble}
+		return tt.Builtin(kinds[r.Intn(len(kinds))])
+	}
+	switch r.Intn(5) {
+	case 0:
+		return tt.PtrTo(randomType(tt, r, depth-1))
+	case 1:
+		return tt.RefTo(randomType(tt, r, depth-1))
+	case 2:
+		return tt.ConstOf(randomType(tt, r, depth-1))
+	case 3:
+		return tt.ArrayOf(randomType(tt, r, depth-1), int64(r.Intn(16)))
+	default:
+		n := r.Intn(3)
+		params := make([]*Type, n)
+		for i := range params {
+			params[i] = randomType(tt, r, depth-1)
+		}
+		return tt.Func(randomType(tt, r, depth-1), params, r.Intn(2) == 0, false)
+	}
+}
+
+// Property: interning is idempotent — rebuilding the same structure
+// returns the identical pointer, and String() is injective over
+// distinct interned types within one table.
+func TestTypeInterningProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tt := NewTypeTable()
+		a := randomType(tt, r, 4)
+		// Rebuild with a fresh RNG of the same seed: identical walk.
+		r2 := rand.New(rand.NewSource(seed))
+		b := randomType(tt, r2, 4)
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: String renderings of distinct interned types are distinct
+// (the spelling is a faithful key).
+func TestTypeStringInjectiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tt := NewTypeTable()
+		seen := map[string]*Type{}
+		for i := 0; i < 50; i++ {
+			ty := randomType(tt, r, 3)
+			if prev, ok := seen[ty.String()]; ok && prev != ty {
+				return false
+			}
+			seen[ty.String()] = ty
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnqualifiedAndDeref(t *testing.T) {
+	tt := NewTypeTable()
+	base := tt.Builtin(TInt)
+	cref := tt.RefTo(tt.ConstOf(base))
+	if cref.Deref() != base {
+		t.Errorf("Deref(const int &) = %v", cref.Deref())
+	}
+	cc := tt.ConstOf(tt.ConstOf(base))
+	if cc.Unqualified() != base {
+		t.Errorf("Unqualified(const const int) = %v", cc.Unqualified())
+	}
+	if !tt.ConstOf(base).IsConst() {
+		t.Error("IsConst")
+	}
+}
+
+func TestClassHierarchyHelpers(t *testing.T) {
+	base := &Class{Name: "Base"}
+	base.Methods = append(base.Methods,
+		&Routine{Name: "f", Virtual: true},
+		&Routine{Name: "g"})
+	base.Members = append(base.Members, &Var{Name: "x"})
+	mid := &Class{Name: "Mid", Bases: []Base{{Class: base}}}
+	mid.Methods = append(mid.Methods, &Routine{Name: "f", Virtual: true})
+	derived := &Class{Name: "Derived", Bases: []Base{{Class: mid}}}
+
+	if got := derived.FindMethod("f"); got != mid.Methods[0] {
+		t.Errorf("FindMethod(f) = %v (want Mid's override)", got)
+	}
+	if got := derived.FindMethod("g"); got != base.Methods[1] {
+		t.Error("FindMethod(g) should reach Base")
+	}
+	if derived.FindMember("x") == nil {
+		t.Error("FindMember should search bases")
+	}
+	if !derived.DerivesFrom(base) || base.DerivesFrom(derived) {
+		t.Error("DerivesFrom wrong")
+	}
+	all := derived.AllBases(nil)
+	if len(all) != 2 {
+		t.Errorf("AllBases = %d", len(all))
+	}
+}
+
+func TestQualifiedNames(t *testing.T) {
+	g := &Namespace{}
+	outer := &Namespace{Name: "outer", Parent: g}
+	inner := &Namespace{Name: "inner", Parent: outer}
+	if inner.QualifiedName() != "outer::inner" {
+		t.Errorf("qn = %q", inner.QualifiedName())
+	}
+	cls := &Class{Name: "C", Parent: inner}
+	if cls.QualifiedName() != "outer::inner::C" {
+		t.Errorf("class qn = %q", cls.QualifiedName())
+	}
+	m := &Routine{Name: "m", Class: cls}
+	if m.QualifiedName() != "outer::inner::C::m" {
+		t.Errorf("routine qn = %q", m.QualifiedName())
+	}
+	if cls.ScopeNamespace() != inner {
+		t.Error("ScopeNamespace")
+	}
+}
+
+func TestBaseName(t *testing.T) {
+	c := &Class{Name: "Stack<int, 4>"}
+	if c.BaseName() != "Stack" {
+		t.Errorf("BaseName = %q", c.BaseName())
+	}
+}
+
+func TestTemplateArgValueString(t *testing.T) {
+	tt := NewTypeTable()
+	cases := []struct {
+		v    TemplateArgValue
+		want string
+	}{
+		{TemplateArgValue{Type: tt.Builtin(TInt)}, "int"},
+		{TemplateArgValue{Const: 42, IsInt: true}, "42"},
+		{TemplateArgValue{Const: -7, IsInt: true}, "-7"},
+		{TemplateArgValue{Const: 0, IsInt: true}, "0"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q want %q", got, c.want)
+		}
+	}
+}
+
+func TestUnitExprTypes(t *testing.T) {
+	u := NewUnit(nil)
+	r := &Routine{Name: "f"}
+	te := &ast.BuiltinType{Spec: "int"}
+	ty := u.Types.Builtin(TInt)
+	u.RecordExprType(r, te, ty)
+	if u.ExprType(r, te) != ty {
+		t.Error("ExprType lookup failed")
+	}
+	r2 := &Routine{Name: "g"}
+	if u.ExprType(r2, te) != nil {
+		t.Error("ExprType must be per-routine")
+	}
+}
+
+func TestRoutineFullName(t *testing.T) {
+	tt := NewTypeTable()
+	cls := &Class{Name: "Stack<int>"}
+	sig := tt.Func(tt.Builtin(TVoid), []*Type{tt.RefTo(tt.ConstOf(tt.Builtin(TInt)))}, false, false)
+	r := &Routine{Name: "push", Class: cls, Signature: sig}
+	if r.FullName() != "Stack<int>::push(const int &)" {
+		t.Errorf("FullName = %q", r.FullName())
+	}
+}
+
+func TestEnumLookup(t *testing.T) {
+	e := &Enum{Name: "Color", Values: []EnumValue{{Name: "R", Value: 0}, {Name: "G", Value: 5}}}
+	if v, ok := e.Lookup("G"); !ok || v != 5 {
+		t.Errorf("Lookup(G) = %d,%v", v, ok)
+	}
+	if _, ok := e.Lookup("B"); ok {
+		t.Error("Lookup(B) should fail")
+	}
+}
+
+func TestNamespaceMemberNames(t *testing.T) {
+	ns := &Namespace{Name: "n"}
+	ns.Classes = append(ns.Classes, &Class{Name: "C"})
+	ns.Routines = append(ns.Routines, &Routine{Name: "f"})
+	ns.Vars = append(ns.Vars, &Var{Name: "v"})
+	got := ns.MemberNames()
+	want := []string{"C", "f", "v"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MemberNames = %v", got)
+	}
+}

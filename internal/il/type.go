@@ -1,0 +1,351 @@
+// Package il defines PDT's intermediate language: the typed, semantic
+// representation of one C++ translation unit that internal/cpp/sema
+// constructs and internal/ilanalyzer walks to produce the program
+// database.
+//
+// The IL mirrors the properties of the EDG front end's IL that the
+// paper relies on (§3.1): it preserves source names and locations, it
+// represents every *used* template instantiation as a first-class
+// entity, and — faithfully to the paper — an instantiation's subtree
+// records *that* it was instantiated, while the link back to its
+// originating template is recoverable either by the analyzer's
+// location-scan (the paper's approach) or via the direct back-pointer
+// (the paper's proposed front-end modification, kept for the D2
+// ablation).
+package il
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// TypeKind classifies IL types. The names parallel the PDB "ykind"
+// attribute values of the paper's Figure 3.
+type TypeKind int
+
+// Type kinds.
+const (
+	TVoid TypeKind = iota
+	TBool
+	TChar
+	TSChar
+	TUChar
+	TShort
+	TUShort
+	TInt
+	TUInt
+	TLong
+	TULong
+	TLongLong
+	TULongLong
+	TFloat
+	TDouble
+	TLongDouble
+	TEnum
+	TClass
+	TPtr
+	TRef
+	TArray
+	TFunc
+	// TTref is a qualified type reference (const/volatile wrapper) —
+	// the paper's "tref" kind (Figure 3 item ty#439 "const int").
+	TTref
+	// TError is the recovery type for ill-formed constructs.
+	TError
+)
+
+var typeKindNames = map[TypeKind]string{
+	TVoid: "void", TBool: "bool", TChar: "char", TSChar: "schar",
+	TUChar: "uchar", TShort: "short", TUShort: "ushort", TInt: "int",
+	TUInt: "uint", TLong: "long", TULong: "ulong", TLongLong: "llong",
+	TULongLong: "ullong", TFloat: "float", TDouble: "double",
+	TLongDouble: "ldouble", TEnum: "enum", TClass: "class", TPtr: "ptr",
+	TRef: "ref", TArray: "array", TFunc: "func", TTref: "tref",
+	TError: "error",
+}
+
+// String returns the PDB ykind spelling of the kind.
+func (k TypeKind) String() string { return typeKindNames[k] }
+
+// IsInteger reports whether the kind is an integral type.
+func (k TypeKind) IsInteger() bool {
+	switch k {
+	case TBool, TChar, TSChar, TUChar, TShort, TUShort, TInt, TUInt,
+		TLong, TULong, TLongLong, TULongLong:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether the kind is a floating-point type.
+func (k TypeKind) IsFloat() bool {
+	return k == TFloat || k == TDouble || k == TLongDouble
+}
+
+// IsArithmetic reports whether the kind is integral or floating.
+func (k TypeKind) IsArithmetic() bool { return k.IsInteger() || k.IsFloat() }
+
+// Type is one canonicalized IL type. Types are interned in a TypeTable;
+// pointer equality implies type identity.
+type Type struct {
+	Kind TypeKind
+	ID   int
+
+	// Elem is the referent for TPtr/TRef/TArray/TTref.
+	Elem *Type
+	// Const/Volatile qualify a TTref.
+	Const    bool
+	Volatile bool
+	// ArrayLen is the element count of a TArray (-1 when unknown).
+	ArrayLen int64
+	// Class is the class of a TClass type.
+	Class *Class
+	// Enum is the enumeration of a TEnum type.
+	Enum *Enum
+	// Func signature parts (TFunc).
+	Ret         *Type
+	Params      []*Type
+	Variadic    bool
+	ConstMethod bool
+}
+
+// Unqualified strips TTref wrappers.
+func (t *Type) Unqualified() *Type {
+	for t != nil && t.Kind == TTref {
+		t = t.Elem
+	}
+	return t
+}
+
+// Deref strips reference types (and qualifiers around them).
+func (t *Type) Deref() *Type {
+	u := t.Unqualified()
+	if u != nil && u.Kind == TRef {
+		return u.Elem.Unqualified()
+	}
+	return u
+}
+
+// IsConst reports whether the outermost qualification is const.
+func (t *Type) IsConst() bool { return t.Kind == TTref && t.Const }
+
+// String renders the type in C++-like syntax (as PDB item names do:
+// "const int &", "bool () const", "void (const int &)").
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil-type>"
+	}
+	switch t.Kind {
+	case TVoid:
+		return "void"
+	case TBool:
+		return "bool"
+	case TChar:
+		return "char"
+	case TSChar:
+		return "signed char"
+	case TUChar:
+		return "unsigned char"
+	case TShort:
+		return "short"
+	case TUShort:
+		return "unsigned short"
+	case TInt:
+		return "int"
+	case TUInt:
+		return "unsigned int"
+	case TLong:
+		return "long"
+	case TULong:
+		return "unsigned long"
+	case TLongLong:
+		return "long long"
+	case TULongLong:
+		return "unsigned long long"
+	case TFloat:
+		return "float"
+	case TDouble:
+		return "double"
+	case TLongDouble:
+		return "long double"
+	case TEnum:
+		if t.Enum != nil {
+			return t.Enum.QualifiedName()
+		}
+		return "enum"
+	case TClass:
+		if t.Class != nil {
+			return t.Class.QualifiedName()
+		}
+		return "class"
+	case TPtr:
+		return t.Elem.String() + " *"
+	case TRef:
+		return t.Elem.String() + " &"
+	case TArray:
+		if t.ArrayLen >= 0 {
+			return fmt.Sprintf("%s [%d]", t.Elem.String(), t.ArrayLen)
+		}
+		return t.Elem.String() + " []"
+	case TTref:
+		var q []string
+		if t.Const {
+			q = append(q, "const")
+		}
+		if t.Volatile {
+			q = append(q, "volatile")
+		}
+		quals := strings.Join(q, " ")
+		// Qualified pointers/arrays/functions spell the qualifier on
+		// the right ("int * const"), distinguishing pointer-to-const
+		// ("const int *") from const-pointer.
+		if e := t.Elem; e != nil {
+			switch e.Kind {
+			case TPtr, TArray, TFunc, TRef:
+				return e.String() + " " + quals
+			}
+		}
+		return quals + " " + t.Elem.String()
+	case TFunc:
+		var sb strings.Builder
+		sb.WriteString(t.Ret.String())
+		sb.WriteString(" (")
+		for i, p := range t.Params {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(p.String())
+		}
+		if t.Variadic {
+			if len(t.Params) > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString("...")
+		}
+		sb.WriteString(")")
+		if t.ConstMethod {
+			sb.WriteString(" const")
+		}
+		return sb.String()
+	default:
+		return "<error-type>"
+	}
+}
+
+// key returns the interning key.
+func (t *Type) key() string {
+	switch t.Kind {
+	case TEnum:
+		return "enum:" + t.Enum.QualifiedName() + fmt.Sprintf("@%p", t.Enum)
+	case TClass:
+		return "class:" + fmt.Sprintf("%p", t.Class)
+	case TPtr:
+		return "ptr:" + t.Elem.key()
+	case TRef:
+		return "ref:" + t.Elem.key()
+	case TArray:
+		return fmt.Sprintf("array[%d]:%s", t.ArrayLen, t.Elem.key())
+	case TTref:
+		return fmt.Sprintf("tref[c=%v,v=%v]:%s", t.Const, t.Volatile, t.Elem.key())
+	case TFunc:
+		parts := make([]string, 0, len(t.Params)+1)
+		for _, p := range t.Params {
+			parts = append(parts, p.key())
+		}
+		return fmt.Sprintf("func[v=%v,c=%v]:%s->(%s)", t.Variadic, t.ConstMethod,
+			t.Ret.key(), strings.Join(parts, ","))
+	default:
+		return "k:" + t.Kind.String()
+	}
+}
+
+// TypeTable interns types so each distinct type exists once per unit,
+// with a stable ID (the PDB "ty#" number).
+type TypeTable struct {
+	mu     sync.Mutex
+	byKey  map[string]*Type
+	all    []*Type
+	nextID int
+}
+
+// NewTypeTable returns an empty table with the fundamental types
+// preregistered.
+func NewTypeTable() *TypeTable {
+	tt := &TypeTable{byKey: make(map[string]*Type), nextID: 1}
+	for k := TVoid; k <= TLongDouble; k++ {
+		tt.Intern(&Type{Kind: k})
+	}
+	return tt
+}
+
+// Intern canonicalizes t, returning the unique instance.
+func (tt *TypeTable) Intern(t *Type) *Type {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	k := t.key()
+	if existing, ok := tt.byKey[k]; ok {
+		return existing
+	}
+	t.ID = tt.nextID
+	tt.nextID++
+	tt.byKey[k] = t
+	tt.all = append(tt.all, t)
+	return t
+}
+
+// Builtin returns the interned fundamental type of kind k.
+func (tt *TypeTable) Builtin(k TypeKind) *Type { return tt.Intern(&Type{Kind: k}) }
+
+// PtrTo returns the interned pointer-to-t.
+func (tt *TypeTable) PtrTo(t *Type) *Type { return tt.Intern(&Type{Kind: TPtr, Elem: t}) }
+
+// RefTo returns the interned reference-to-t.
+func (tt *TypeTable) RefTo(t *Type) *Type { return tt.Intern(&Type{Kind: TRef, Elem: t}) }
+
+// ConstOf returns the interned const-qualified t.
+func (tt *TypeTable) ConstOf(t *Type) *Type {
+	if t.Kind == TTref {
+		return tt.Intern(&Type{Kind: TTref, Elem: t.Elem, Const: true, Volatile: t.Volatile})
+	}
+	return tt.Intern(&Type{Kind: TTref, Elem: t, Const: true})
+}
+
+// ArrayOf returns the interned array type.
+func (tt *TypeTable) ArrayOf(t *Type, n int64) *Type {
+	return tt.Intern(&Type{Kind: TArray, Elem: t, ArrayLen: n})
+}
+
+// ClassType returns the interned type of a class.
+func (tt *TypeTable) ClassType(c *Class) *Type {
+	return tt.Intern(&Type{Kind: TClass, Class: c})
+}
+
+// EnumType returns the interned type of an enum.
+func (tt *TypeTable) EnumType(e *Enum) *Type {
+	return tt.Intern(&Type{Kind: TEnum, Enum: e})
+}
+
+// Func returns the interned function type.
+func (tt *TypeTable) Func(ret *Type, params []*Type, variadic, constM bool) *Type {
+	return tt.Intern(&Type{Kind: TFunc, Ret: ret, Params: params,
+		Variadic: variadic, ConstMethod: constM})
+}
+
+// All returns every interned type ordered by ID.
+func (tt *TypeTable) All() []*Type {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	out := make([]*Type, len(tt.all))
+	copy(out, tt.all)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len reports the number of interned types.
+func (tt *TypeTable) Len() int {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	return len(tt.all)
+}

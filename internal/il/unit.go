@@ -1,0 +1,134 @@
+package il
+
+import (
+	"pdt/internal/cpp/ast"
+	"pdt/internal/cpp/pp"
+	"pdt/internal/source"
+)
+
+// TypeKey identifies one syntactic type occurrence within one routine.
+// Template instantiations share AST nodes, so the routine is part of
+// the key: the same ast.TypeExpr resolves differently in Stack<int>
+// and Stack<double>.
+type TypeKey struct {
+	R *Routine
+	T ast.TypeExpr
+}
+
+// Unit is the IL for one translation unit: the output of the frontend
+// (preprocessor + parser + sema) and the input of the IL Analyzer.
+type Unit struct {
+	// Main is the compiled source file.
+	Main *source.File
+	// Files lists every file the unit touched (main + includes), in
+	// first-visit order.
+	Files []*source.File
+
+	// Global is the global namespace; every entity is reachable from it
+	// except the flat indices below.
+	Global *Namespace
+
+	// Flat creation-ordered indices over all entities, including
+	// template instantiations (which also hang off their templates).
+	AllClasses   []*Class
+	AllRoutines  []*Routine
+	AllEnums     []*Enum
+	AllTypedefs  []*Typedef
+	AllTemplates []*Template
+	AllVars      []*Var
+
+	// Macros records preprocessor definitions/undefinitions in source
+	// order (for the PDB MACRO items).
+	Macros []pp.Record
+
+	// Types interns every type in the unit.
+	Types *TypeTable
+
+	// ExprTypes records the resolved type of every syntactic type
+	// occurrence inside routine bodies (declarations, casts, new
+	// expressions, catch parameters). The interpreter reads it to
+	// materialize typed storage without redoing name resolution.
+	ExprTypes map[TypeKey]*Type
+
+	// SuppLocs is the supplemental location table: the paper notes that
+	// some constructs' locations "are maintained in supplemental data
+	// structures that must be scanned, since they are not directly
+	// connected to the IL constructs" (§3.1). We reproduce that
+	// property: template header/body spans live here, keyed by the
+	// template, and the analyzer scans this table rather than reading a
+	// field off the node.
+	SuppLocs map[interface{}]source.Span
+
+	nextRoutineID int
+}
+
+// NewUnit returns an empty unit for the given main file.
+func NewUnit(main *source.File) *Unit {
+	return &Unit{
+		Main:      main,
+		Global:    &Namespace{Aliases: map[string]*Namespace{}},
+		Types:     NewTypeTable(),
+		ExprTypes: map[TypeKey]*Type{},
+		SuppLocs:  map[interface{}]source.Span{},
+	}
+}
+
+// RecordExprType stores the resolved type of a syntactic type
+// occurrence within r.
+func (u *Unit) RecordExprType(r *Routine, te ast.TypeExpr, t *Type) {
+	if te != nil && t != nil {
+		u.ExprTypes[TypeKey{R: r, T: te}] = t
+	}
+}
+
+// ExprType returns the recorded type of te within r, or nil.
+func (u *Unit) ExprType(r *Routine, te ast.TypeExpr) *Type {
+	return u.ExprTypes[TypeKey{R: r, T: te}]
+}
+
+// AddRoutine registers r in the flat index, assigning its ID.
+func (u *Unit) AddRoutine(r *Routine) {
+	r.ID = u.nextRoutineID
+	u.nextRoutineID++
+	u.AllRoutines = append(u.AllRoutines, r)
+}
+
+// AddFile records f in the unit's file list if not already present.
+func (u *Unit) AddFile(f *source.File) {
+	for _, e := range u.Files {
+		if e == f {
+			return
+		}
+	}
+	u.Files = append(u.Files, f)
+}
+
+// LookupClass finds a class by qualified name anywhere in the unit.
+func (u *Unit) LookupClass(qualified string) *Class {
+	for _, c := range u.AllClasses {
+		if c.QualifiedName() == qualified || c.Name == qualified {
+			return c
+		}
+	}
+	return nil
+}
+
+// LookupRoutine finds the first routine with the given qualified name.
+func (u *Unit) LookupRoutine(qualified string) *Routine {
+	for _, r := range u.AllRoutines {
+		if r.QualifiedName() == qualified || r.Name == qualified {
+			return r
+		}
+	}
+	return nil
+}
+
+// LookupTemplate finds a template by name.
+func (u *Unit) LookupTemplate(name string) *Template {
+	for _, t := range u.AllTemplates {
+		if t.QualifiedName() == name || t.Name == name {
+			return t
+		}
+	}
+	return nil
+}

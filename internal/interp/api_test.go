@@ -1,0 +1,228 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"pdt/internal/core"
+	"pdt/internal/interp"
+)
+
+// compileUnit compiles a library without running it.
+func compileUnit(t *testing.T, src string) *core.Result {
+	t.Helper()
+	opts := core.Options{}
+	fs := core.NewFileSet(opts)
+	res := core.CompileSource(fs, "lib.cpp", src, opts)
+	for _, d := range res.Diagnostics {
+		t.Fatalf("diagnostic: %v", d)
+	}
+	return res
+}
+
+// TestEmbeddingAPI drives the interpreter the way an embedding host
+// (the SILOON bridge) does: InitGlobals, Construct, CallMethod,
+// CallFree, Destroy.
+func TestEmbeddingAPI(t *testing.T) {
+	res := compileUnit(t, `
+#include <iostream>
+int initialized = 40;
+class Gauge {
+public:
+    Gauge() : level(initialized) { }
+    Gauge(int start) : level(start) { }
+    void raise(int by) { level += by; }
+    int read() const { return level; }
+    ~Gauge() { cout << "gone"; }
+private:
+    int level;
+};
+double half(double x) { return x / 2; }
+int main() { return 0; }
+`)
+	var out strings.Builder
+	in := interp.New(res.Unit, interp.Options{Out: &out})
+	if err := in.InitGlobals(); err != nil {
+		t.Fatal(err)
+	}
+
+	cls := res.Unit.LookupClass("Gauge")
+	// Default ctor reads the initialized global.
+	g1, err := in.Construct(cls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := in.CallMethod(g1, "read", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := v.(interp.Int); n != 40 {
+		t.Errorf("read = %v, want 40", v)
+	}
+	// Overloaded ctor.
+	g2, err := in.Construct(cls, []interp.Value{interp.Int(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.CallMethod(g2, "raise", []interp.Value{interp.Int(11)}); err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := in.CallMethod(g2, "read", nil)
+	if n, _ := v2.(interp.Int); n != 111 {
+		t.Errorf("read = %v, want 111", v2)
+	}
+	// Free function with float conversion.
+	h, err := in.CallFree("half", []interp.Value{interp.Float(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := h.(interp.Float); f != 4.5 {
+		t.Errorf("half = %v", h)
+	}
+	// Destroy runs the destructor.
+	if err := in.Destroy(g1); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "gone" {
+		t.Errorf("dtor output = %q", out.String())
+	}
+	// Unknown free call errors.
+	if _, err := in.CallFree("nonexistent", nil); err == nil {
+		t.Error("expected error for unknown function")
+	}
+	if in.Unit() != res.Unit || in.Output() == nil {
+		t.Error("accessors broken")
+	}
+}
+
+func TestSizeofAtRuntime(t *testing.T) {
+	code, _ := run(t, `
+int main() {
+    int total = 0;
+    total += sizeof(char);      // 1
+    total += sizeof(int);       // 4
+    total += sizeof(double);    // 8
+    int x = 3;
+    total += sizeof x;          // 4
+    double d = 1.0;
+    total += (int) sizeof d;    // 8
+    return total;               // 25
+}`, nil)
+	if code != 25 {
+		t.Errorf("code = %d, want 25", code)
+	}
+}
+
+func TestEnumConstantsAtRuntime(t *testing.T) {
+	code, _ := run(t, `
+enum Color { RED, GREEN = 10, BLUE };
+class Palette {
+public:
+    enum Depth { SHALLOW = 2, DEEP = 4 };
+};
+int main() {
+    return RED + GREEN + BLUE + Palette::DEEP + Color::GREEN; // 0+10+11+4+10
+}`, nil)
+	if code != 35 {
+		t.Errorf("code = %d, want 35", code)
+	}
+}
+
+func TestCopyAssignWithoutOperator(t *testing.T) {
+	code, _ := run(t, `
+class P { public: int x, y; };
+int main() {
+    P a;
+    a.x = 1; a.y = 2;
+    P b;
+    b = a;            // memberwise copy (no user operator=)
+    b.x = 9;
+    return a.x * 10 + b.x; // 19
+}`, nil)
+	if code != 19 {
+		t.Errorf("code = %d, want 19", code)
+	}
+}
+
+func TestUserAssignOperatorCalled(t *testing.T) {
+	_, out := run(t, `
+#include <iostream>
+class Tracked {
+public:
+    Tracked() : v(0) { }
+    Tracked & operator=(const Tracked & o) {
+        cout << "=";
+        v = o.v;
+        return *this;
+    }
+    int v;
+};
+int main() {
+    Tracked a, b;
+    a.v = 5;
+    b = a;
+    cout << b.v;
+    return 0;
+}`, nil)
+	if out != "=5" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestQualifiedFreeCall(t *testing.T) {
+	code, _ := run(t, `
+namespace outer {
+    namespace inner {
+        int deep() { return 21; }
+    }
+    int mid() { return inner::deep(); }
+}
+int main() { return outer::mid() + outer::inner::deep(); }`, nil)
+	if code != 42 {
+		t.Errorf("code = %d, want 42", code)
+	}
+}
+
+func TestConstRefBindsTemporary(t *testing.T) {
+	code, _ := run(t, `
+int describe(const int & v) { return v * 2; }
+int main() {
+    return describe(10 + 11); // const ref binds an rvalue
+}`, nil)
+	if code != 42 {
+		t.Errorf("code = %d, want 42", code)
+	}
+}
+
+func TestRefReturnAssignable(t *testing.T) {
+	code, _ := run(t, `
+class Box {
+public:
+    Box() : v(0) { }
+    int & slot() { return v; }
+    int v;
+};
+int main() {
+    Box b;
+    b.slot() = 42;
+    b.slot() += 0;
+    return b.v;
+}`, nil)
+	if code != 42 {
+		t.Errorf("code = %d, want 42", code)
+	}
+}
+
+func TestWhileWithSideEffectCond(t *testing.T) {
+	code, _ := run(t, `
+int main() {
+    int i = 0, n = 0;
+    while (i++ < 5) n++;
+    int j = 0, m = 0;
+    while (++j < 5) m++;
+    return n * 10 + m; // 5*10 + 4
+}`, nil)
+	if code != 54 {
+		t.Errorf("code = %d, want 54", code)
+	}
+}

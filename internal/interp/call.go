@@ -1,0 +1,203 @@
+package interp
+
+import (
+	"strings"
+
+	"pdt/internal/cpp/ast"
+	"pdt/internal/il"
+	"pdt/internal/source"
+)
+
+// evalCall resolves and executes a call expression.
+func (in *Interp) evalCall(e *env, expr *ast.CallExpr) (Value, error) {
+	var args []Value
+	for _, a := range expr.Args {
+		v, err := in.evalArg(e, a)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, v)
+	}
+
+	switch fn := expr.Fn.(type) {
+	case *ast.NameExpr:
+		name := fn.Name.Terminal().Name
+		if fn.Name.IsSimple() || (len(fn.Name.Segs) == 1) {
+			// A local/member variable of class type: operator().
+			if c := e.lookup(name); c != nil {
+				if obj, ok := c.V.(*Object); ok {
+					return in.callMethodByName(e, obj, "operator()", args, fn.Name.Loc())
+				}
+			}
+			// Member function of the receiver (virtual via dynamic
+			// class).
+			if e.this != nil {
+				if v, err, ok := in.tryMethod(e.this, name, args); ok {
+					return v, err
+				}
+			}
+			// Free function (including template instantiations).
+			if r := in.findFreeRoutine(name, args); r != nil {
+				return in.Call(r, nil, args)
+			}
+			// Intrinsic-only names (declared in built-in headers).
+			if fnIntr, ok := in.intrinsics[name]; ok {
+				return fnIntr(in, nil, args)
+			}
+			return nil, in.rterr(fn.Name.Loc(), "call of undefined function %q", name)
+		}
+		// Qualified call: Class::f or ns::f.
+		ownerSeg := fn.Name.Segs[len(fn.Name.Segs)-2]
+		owner := ownerSeg.Name
+		if cls := in.unit.LookupClass(owner); cls != nil {
+			cands := collectMethods(cls, name)
+			m := pickByRuntimeArgs(cands, args)
+			if m != nil {
+				var this *Object
+				if !m.Static && e.this != nil {
+					this = e.this
+				}
+				return in.Call(m, this, args)
+			}
+		}
+		qname := fn.Name.String()
+		if r := in.findQualifiedRoutine(qname, args); r != nil {
+			return in.Call(r, nil, args)
+		}
+		return nil, in.rterr(fn.Name.Loc(), "call of undefined function %q", qname)
+
+	case *ast.MemberExpr:
+		obj, err := in.evalObjectBase(e, fn.Base, fn.Arrow)
+		if err != nil {
+			return nil, err
+		}
+		name := fn.Name.Terminal().Name
+		return in.callMethodByName(e, obj, name, args, fn.Pos)
+
+	default:
+		fnV, err := in.evalRValue(e, expr.Fn)
+		if err != nil {
+			return nil, err
+		}
+		if obj, ok := fnV.(*Object); ok {
+			return in.callMethodByName(e, obj, "operator()", args, expr.Pos.Begin)
+		}
+		return nil, in.rterr(expr.Pos.Begin, "call of non-function value")
+	}
+}
+
+// tryMethod attempts a method call on obj; ok=false when no candidate
+// matched (so the caller can fall back to free functions).
+func (in *Interp) tryMethod(obj *Object, name string, args []Value) (Value, error, bool) {
+	cands := collectMethods(obj.Class, name)
+	m := pickByRuntimeArgs(cands, args)
+	if m == nil {
+		return nil, nil, false
+	}
+	v, err := in.Call(m, obj, args)
+	return v, err, true
+}
+
+// callMethodByName dispatches a (possibly virtual) method call on obj.
+func (in *Interp) callMethodByName(e *env, obj *Object, name string, args []Value, loc source.Loc) (Value, error) {
+	if obj.Class == nil {
+		return nil, in.rterr(loc, "method call on classless object")
+	}
+	cands := collectMethods(obj.Class, name)
+	m := pickByRuntimeArgs(cands, args)
+	if m == nil {
+		return nil, in.rterr(loc, "class %s has no method %q matching %d argument(s)",
+			obj.Class.QualifiedName(), name, len(args))
+	}
+	// Virtual dispatch: collectMethods searched the dynamic class
+	// first, so m is already the final overrider.
+	return in.Call(m, obj, args)
+}
+
+// collectMethods gathers the overload set for name on cls, searching
+// the dynamic class before its bases (so overrides win), and including
+// member-template instantiations by base name.
+func collectMethods(cls *il.Class, name string) []*il.Routine {
+	var out []*il.Routine
+	seen := map[*il.Routine]bool{}
+	var visit func(c *il.Class)
+	visit = func(c *il.Class) {
+		if c == nil {
+			return
+		}
+		for _, m := range c.Methods {
+			if seen[m] {
+				continue
+			}
+			if m.Name == name || instBaseName(m.Name) == name {
+				// An override in a more-derived class shadows the base
+				// declaration with the same arity.
+				shadowed := false
+				for _, prev := range out {
+					if prev.Name == m.Name && len(prev.Params) == len(m.Params) {
+						shadowed = true
+						break
+					}
+				}
+				if !shadowed {
+					out = append(out, m)
+				}
+				seen[m] = true
+			}
+		}
+		for _, b := range c.Bases {
+			visit(b.Class)
+		}
+	}
+	visit(cls)
+	return out
+}
+
+func instBaseName(name string) string {
+	if i := strings.IndexByte(name, '<'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// freeIndex lazily builds the free-function index: base name → overload
+// set (template instantiations included under their base name).
+func (in *Interp) freeIndex() map[string][]*il.Routine {
+	if in.freeByName != nil {
+		return in.freeByName
+	}
+	idx := map[string][]*il.Routine{}
+	for _, r := range in.unit.AllRoutines {
+		if r.Class != nil {
+			continue
+		}
+		idx[instBaseName(r.Name)] = append(idx[instBaseName(r.Name)], r)
+		if q := r.QualifiedName(); q != r.Name {
+			idx[q] = append(idx[q], r)
+		}
+	}
+	in.freeByName = idx
+	return idx
+}
+
+// findFreeRoutine picks the best free-function overload for the
+// runtime arguments.
+func (in *Interp) findFreeRoutine(name string, args []Value) *il.Routine {
+	cands := in.freeIndex()[name]
+	return pickByRuntimeArgs(cands, args)
+}
+
+// findQualifiedRoutine matches "ns::f" style names.
+func (in *Interp) findQualifiedRoutine(qname string, args []Value) *il.Routine {
+	if r := in.findFreeRoutine(qname, args); r != nil {
+		return r
+	}
+	// Loose suffix match for using-directive style calls.
+	var cands []*il.Routine
+	for key, rs := range in.freeIndex() {
+		if strings.HasSuffix(key, "::"+qname) || key == qname {
+			cands = append(cands, rs...)
+		}
+	}
+	return pickByRuntimeArgs(cands, args)
+}

@@ -1,0 +1,1058 @@
+package interp
+
+import (
+	"strings"
+
+	"pdt/internal/cpp/ast"
+	"pdt/internal/il"
+	"pdt/internal/source"
+)
+
+// evalRValue evaluates an expression to a plain value (references are
+// unwrapped).
+func (in *Interp) evalRValue(e *env, expr ast.Expr) (Value, error) {
+	v, err := in.evalExpr(e, expr)
+	if err != nil {
+		return nil, err
+	}
+	return deref(v), nil
+}
+
+// evalArg evaluates a call argument: lvalues become Ref so reference
+// parameters can alias them; everything else is a plain value.
+func (in *Interp) evalArg(e *env, expr ast.Expr) (Value, error) {
+	if isLValueExpr(expr) {
+		cell, err := in.evalLValue(e, expr)
+		if err == nil && cell != nil {
+			return Ref{Cell: cell}, nil
+		}
+		if _, thrown := err.(*thrownError); thrown {
+			return nil, err
+		}
+		// Not an lvalue after all (e.g. an enumerator name): evaluate
+		// as an rvalue.
+	}
+	return in.evalExpr(e, expr)
+}
+
+func isLValueExpr(expr ast.Expr) bool {
+	switch expr := expr.(type) {
+	case *ast.NameExpr, *ast.MemberExpr, *ast.IndexExpr:
+		return true
+	case *ast.UnaryExpr:
+		return expr.Op == ast.Deref || expr.Op == ast.PreInc || expr.Op == ast.PreDec
+	case *ast.ParenExpr:
+		return isLValueExpr(expr.E)
+	default:
+		return false
+	}
+}
+
+// evalExpr evaluates an expression; may return a Ref for
+// reference-yielding expressions.
+func (in *Interp) evalExpr(e *env, expr ast.Expr) (Value, error) {
+	if err := in.step(expr.Span().Begin); err != nil {
+		return nil, err
+	}
+	switch expr := expr.(type) {
+	case *ast.IntLit:
+		return Int(expr.Value), nil
+	case *ast.FloatLit:
+		return Float(expr.Value), nil
+	case *ast.CharLit:
+		return Char(expr.Value), nil
+	case *ast.StringLit:
+		return Str(expr.Value), nil
+	case *ast.BoolLit:
+		return Bool(expr.Value), nil
+	case *ast.ThisExpr:
+		if e.this == nil {
+			return nil, in.rterr(expr.Pos, "'this' outside a member function")
+		}
+		return Ptr{Obj: e.this}, nil
+	case *ast.ParenExpr:
+		return in.evalExpr(e, expr.E)
+	case *ast.NameExpr:
+		return in.evalName(e, expr)
+	case *ast.UnaryExpr:
+		return in.evalUnary(e, expr)
+	case *ast.BinaryExpr:
+		return in.evalBinary(e, expr)
+	case *ast.CondExpr:
+		cond, err := in.evalRValue(e, expr.C)
+		if err != nil {
+			return nil, err
+		}
+		b, err := truthy(cond)
+		if err != nil {
+			return nil, in.rterr(expr.Pos, "%v", err)
+		}
+		if b {
+			return in.evalExpr(e, expr.T)
+		}
+		return in.evalExpr(e, expr.F)
+	case *ast.CallExpr:
+		return in.evalCall(e, expr)
+	case *ast.MemberExpr:
+		cell, err := in.memberCell(e, expr)
+		if err != nil {
+			return nil, err
+		}
+		return Ref{Cell: cell}, nil
+	case *ast.IndexExpr:
+		return in.evalIndex(e, expr)
+	case *ast.CastExpr:
+		return in.evalCast(e, expr)
+	case *ast.ConstructExpr:
+		return in.evalConstruct(e, expr)
+	case *ast.NewExpr:
+		return in.evalNew(e, expr)
+	case *ast.DeleteExpr:
+		return in.evalDelete(e, expr)
+	case *ast.SizeofExpr:
+		return in.evalSizeof(e, expr)
+	case *ast.ThrowExpr:
+		if expr.Operand == nil {
+			// Bare "throw;" rethrows the exception being handled.
+			if n := len(in.excStack); n > 0 {
+				return nil, &thrownError{val: in.excStack[n-1], loc: expr.Pos.Begin}
+			}
+			return nil, in.rterr(expr.Pos.Begin, "rethrow with no active exception")
+		}
+		tv, err := in.evalRValue(e, expr.Operand)
+		if err != nil {
+			return nil, err
+		}
+		return nil, &thrownError{val: copyValue(tv), loc: expr.Pos.Begin}
+	default:
+		return nil, in.rterr(expr.Span().Begin, "unsupported expression %T", expr)
+	}
+}
+
+// --- names ---------------------------------------------------------------------
+
+func (in *Interp) evalName(e *env, expr *ast.NameExpr) (Value, error) {
+	cell, err := in.nameCell(e, expr, false)
+	if err != nil {
+		return nil, err
+	}
+	if cell != nil {
+		return Ref{Cell: cell}, nil
+	}
+	// Bound non-type template parameter (e.g. N in Slot<int, 4>).
+	if e.rtn != nil && e.rtn.Bindings != nil && expr.Name.IsSimple() {
+		if bv, ok := e.rtn.Bindings[expr.Name.Terminal().Name]; ok && bv.IsInt {
+			return Int(bv.Const), nil
+		}
+	}
+	// Enumerator?
+	if v, ok := in.lookupEnumConst(expr.Name); ok {
+		return Int(v), nil
+	}
+	return nil, in.rterr(expr.Name.Loc(), "undefined name %q", expr.Name.String())
+}
+
+// nameCell resolves a name to its storage cell: locals, receiver
+// members, static members, then globals. Returns nil (no error) if the
+// name is not a variable (e.g. an enumerator) unless required.
+func (in *Interp) nameCell(e *env, expr *ast.NameExpr, required bool) (*Cell, error) {
+	name := expr.Name.Terminal().Name
+	if expr.Name.IsSimple() {
+		if c := e.lookup(name); c != nil {
+			return c, nil
+		}
+		if e.this != nil {
+			if c := e.this.Field(name); c != nil {
+				return c, nil
+			}
+			// static member of the receiver's class
+			if m := e.this.Class.FindMember(name); m != nil && m.Storage == ast.Static {
+				return in.staticCell(m), nil
+			}
+		}
+		if v := in.lookupGlobalVar(name); v != nil {
+			return in.globalCell(v), nil
+		}
+		if required {
+			return nil, in.rterr(expr.Name.Loc(), "undefined variable %q", name)
+		}
+		return nil, nil
+	}
+	// Qualified: Class::staticMember or ns::var.
+	owner := expr.Name.Segs[len(expr.Name.Segs)-2].Name
+	if cls := in.unit.LookupClass(owner); cls != nil {
+		if m := cls.FindMember(name); m != nil {
+			return in.staticCell(m), nil
+		}
+	}
+	if v := in.lookupGlobalVarQualified(expr.Name); v != nil {
+		return in.globalCell(v), nil
+	}
+	if required {
+		return nil, in.rterr(expr.Name.Loc(), "undefined name %q", expr.Name.String())
+	}
+	return nil, nil
+}
+
+func (in *Interp) globalCell(v *il.Var) *Cell {
+	if c, ok := in.globals[v]; ok {
+		return c
+	}
+	c := &Cell{V: zeroValueFor(v.Type)}
+	in.globals[v] = c
+	return c
+}
+
+func (in *Interp) staticCell(v *il.Var) *Cell { return in.globalCell(v) }
+
+func (in *Interp) lookupGlobalVar(name string) *il.Var {
+	var find func(ns *il.Namespace) *il.Var
+	find = func(ns *il.Namespace) *il.Var {
+		for _, v := range ns.Vars {
+			if v.Name == name {
+				return v
+			}
+		}
+		for _, sub := range ns.Namespaces {
+			if v := find(sub); v != nil {
+				return v
+			}
+		}
+		return nil
+	}
+	return find(in.unit.Global)
+}
+
+func (in *Interp) lookupGlobalVarQualified(q ast.QualName) *il.Var {
+	// Resolve the namespace path loosely: match the terminal variable
+	// within a namespace whose qualified name ends with the prefix.
+	prefix := make([]string, 0, len(q.Segs)-1)
+	for _, s := range q.Segs[:len(q.Segs)-1] {
+		prefix = append(prefix, s.Name)
+	}
+	want := strings.Join(prefix, "::")
+	name := q.Terminal().Name
+	var find func(ns *il.Namespace) *il.Var
+	find = func(ns *il.Namespace) *il.Var {
+		if qn := ns.QualifiedName(); qn == want || strings.HasSuffix(qn, "::"+want) {
+			for _, v := range ns.Vars {
+				if v.Name == name {
+					return v
+				}
+			}
+		}
+		for _, sub := range ns.Namespaces {
+			if v := find(sub); v != nil {
+				return v
+			}
+		}
+		return nil
+	}
+	return find(in.unit.Global)
+}
+
+func (in *Interp) lookupEnumConst(q ast.QualName) (int64, bool) {
+	name := q.Terminal().Name
+	if len(q.Segs) >= 2 {
+		owner := q.Segs[len(q.Segs)-2].Name
+		for _, en := range in.unit.AllEnums {
+			if en.Name == owner {
+				if v, ok := en.Lookup(name); ok {
+					return v, true
+				}
+			}
+		}
+		for _, c := range in.unit.AllClasses {
+			if c.Name == owner {
+				for _, en := range c.Enums {
+					if v, ok := en.Lookup(name); ok {
+						return v, true
+					}
+				}
+			}
+		}
+		return 0, false
+	}
+	for _, en := range in.unit.AllEnums {
+		if v, ok := en.Lookup(name); ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// --- lvalues --------------------------------------------------------------------
+
+// evalLValue resolves an expression to its storage cell.
+func (in *Interp) evalLValue(e *env, expr ast.Expr) (*Cell, error) {
+	switch expr := expr.(type) {
+	case *ast.ParenExpr:
+		return in.evalLValue(e, expr.E)
+	case *ast.NameExpr:
+		return in.nameCell(e, expr, true)
+	case *ast.MemberExpr:
+		return in.memberCell(e, expr)
+	case *ast.IndexExpr:
+		v, err := in.evalIndex(e, expr)
+		if err != nil {
+			return nil, err
+		}
+		if r, ok := v.(Ref); ok {
+			return r.Cell, nil
+		}
+		return &Cell{V: v}, nil
+	case *ast.UnaryExpr:
+		switch expr.Op {
+		case ast.Deref:
+			pv, err := in.evalRValue(e, expr.Operand)
+			if err != nil {
+				return nil, err
+			}
+			p, ok := pv.(Ptr)
+			if !ok {
+				return nil, in.rterr(expr.Pos, "dereference of non-pointer")
+			}
+			if p.Obj != nil {
+				return &Cell{V: p.Obj}, nil
+			}
+			cell, err := p.Cell()
+			if err != nil {
+				return nil, in.rterr(expr.Pos, "%v", err)
+			}
+			return cell, nil
+		case ast.PreInc, ast.PreDec:
+			if _, err := in.evalExpr(e, expr); err != nil {
+				return nil, err
+			}
+			return in.evalLValue(e, expr.Operand)
+		}
+	case *ast.CallExpr:
+		v, err := in.evalCall(e, expr)
+		if err != nil {
+			return nil, err
+		}
+		if r, ok := v.(Ref); ok {
+			return r.Cell, nil
+		}
+		return &Cell{V: v}, nil
+	}
+	return nil, in.rterr(expr.Span().Begin, "expression is not an lvalue")
+}
+
+// memberCell resolves base.field / base->field to the field's cell.
+func (in *Interp) memberCell(e *env, expr *ast.MemberExpr) (*Cell, error) {
+	obj, err := in.evalObjectBase(e, expr.Base, expr.Arrow)
+	if err != nil {
+		return nil, err
+	}
+	name := expr.Name.Terminal().Name
+	if c := obj.Field(name); c != nil {
+		return c, nil
+	}
+	if m := obj.Class.FindMember(name); m != nil && m.Storage == ast.Static {
+		return in.staticCell(m), nil
+	}
+	return nil, in.rterr(expr.Pos, "class %s has no member %q", obj.Class.QualifiedName(), name)
+}
+
+// evalObjectBase evaluates the base of a member access to an object.
+func (in *Interp) evalObjectBase(e *env, base ast.Expr, arrow bool) (*Object, error) {
+	v, err := in.evalExpr(e, base)
+	if err != nil {
+		return nil, err
+	}
+	v2 := deref(v)
+	if arrow {
+		p, ok := v2.(Ptr)
+		if !ok {
+			return nil, in.rterr(base.Span().Begin, "-> on non-pointer")
+		}
+		pv, err := p.Pointee()
+		if err != nil {
+			return nil, in.rterr(base.Span().Begin, "%v", err)
+		}
+		v2 = deref(pv)
+	}
+	obj, ok := v2.(*Object)
+	if !ok {
+		return nil, in.rterr(base.Span().Begin, "member access on non-class value (%T)", v2)
+	}
+	return obj, nil
+}
+
+// --- operators -------------------------------------------------------------------
+
+func (in *Interp) evalUnary(e *env, expr *ast.UnaryExpr) (Value, error) {
+	switch expr.Op {
+	case ast.AddrOf:
+		cell, err := in.evalLValue(e, expr.Operand)
+		if err != nil {
+			return nil, err
+		}
+		if obj, ok := cell.V.(*Object); ok {
+			return Ptr{Obj: obj}, nil
+		}
+		return Ptr{Direct: cell}, nil
+	case ast.Deref:
+		v, err := in.evalRValue(e, expr.Operand)
+		if err != nil {
+			return nil, err
+		}
+		switch v := v.(type) {
+		case Ptr:
+			pv, err := v.Pointee()
+			if err != nil {
+				return nil, in.rterr(expr.Pos, "%v", err)
+			}
+			if cell, cerr := v.Cell(); cerr == nil && v.Obj == nil {
+				return Ref{Cell: cell}, nil
+			}
+			return pv, nil
+		case *Object:
+			// operator* overload
+			return in.callMethodByName(e, v, "operator*", nil, expr.Pos)
+		}
+		return nil, in.rterr(expr.Pos, "dereference of non-pointer")
+	case ast.PreInc, ast.PreDec, ast.PostInc, ast.PostDec:
+		return in.evalIncDec(e, expr)
+	}
+
+	v, err := in.evalRValue(e, expr.Operand)
+	if err != nil {
+		return nil, err
+	}
+	if obj, ok := v.(*Object); ok {
+		opName := map[ast.UnaryOp]string{
+			ast.Neg: "operator-", ast.LogNot: "operator!",
+		}[expr.Op]
+		if opName != "" {
+			return in.callMethodByName(e, obj, opName, nil, expr.Pos)
+		}
+	}
+	switch expr.Op {
+	case ast.Neg:
+		switch v := v.(type) {
+		case Float:
+			return Float(-v), nil
+		default:
+			i, err := asInt(v)
+			if err != nil {
+				return nil, in.rterr(expr.Pos, "%v", err)
+			}
+			return Int(-i), nil
+		}
+	case ast.Pos_:
+		return v, nil
+	case ast.LogNot:
+		b, err := truthy(v)
+		if err != nil {
+			return nil, in.rterr(expr.Pos, "%v", err)
+		}
+		return Bool(!b), nil
+	case ast.BitNot:
+		i, err := asInt(v)
+		if err != nil {
+			return nil, in.rterr(expr.Pos, "%v", err)
+		}
+		return Int(^i), nil
+	}
+	return nil, in.rterr(expr.Pos, "unsupported unary operator")
+}
+
+func (in *Interp) evalIncDec(e *env, expr *ast.UnaryExpr) (Value, error) {
+	cell, err := in.evalLValue(e, expr.Operand)
+	if err != nil {
+		return nil, err
+	}
+	old := cell.V
+	if obj, ok := old.(*Object); ok {
+		opName := "operator++"
+		if expr.Op == ast.PreDec || expr.Op == ast.PostDec {
+			opName = "operator--"
+		}
+		return in.callMethodByName(e, obj, opName, nil, expr.Pos)
+	}
+	delta := int64(1)
+	if expr.Op == ast.PreDec || expr.Op == ast.PostDec {
+		delta = -1
+	}
+	var newV Value
+	switch v := old.(type) {
+	case Int:
+		newV = Int(int64(v) + delta)
+	case Char:
+		newV = Char(int64(v) + delta)
+	case Float:
+		newV = Float(float64(v) + float64(delta))
+	case Ptr:
+		if v.Alloc == nil {
+			return nil, in.rterr(expr.Pos, "arithmetic on non-array pointer")
+		}
+		newV = Ptr{Alloc: v.Alloc, Idx: v.Idx + int(delta)}
+	default:
+		return nil, in.rterr(expr.Pos, "cannot increment value of kind %T", old)
+	}
+	cell.V = newV
+	if expr.Op == ast.PostInc || expr.Op == ast.PostDec {
+		return old, nil
+	}
+	return Ref{Cell: cell}, nil
+}
+
+func (in *Interp) evalBinary(e *env, expr *ast.BinaryExpr) (Value, error) {
+	if expr.Op.IsAssign() {
+		return in.evalAssign(e, expr)
+	}
+	switch expr.Op {
+	case ast.LAnd:
+		l, err := in.evalRValue(e, expr.L)
+		if err != nil {
+			return nil, err
+		}
+		lb, err := truthy(l)
+		if err != nil {
+			return nil, in.rterr(expr.Pos, "%v", err)
+		}
+		if !lb {
+			return Bool(false), nil
+		}
+		r, err := in.evalRValue(e, expr.R)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := truthy(r)
+		if err != nil {
+			return nil, in.rterr(expr.Pos, "%v", err)
+		}
+		return Bool(rb), nil
+	case ast.LOr:
+		l, err := in.evalRValue(e, expr.L)
+		if err != nil {
+			return nil, err
+		}
+		lb, err := truthy(l)
+		if err != nil {
+			return nil, in.rterr(expr.Pos, "%v", err)
+		}
+		if lb {
+			return Bool(true), nil
+		}
+		r, err := in.evalRValue(e, expr.R)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := truthy(r)
+		if err != nil {
+			return nil, in.rterr(expr.Pos, "%v", err)
+		}
+		return Bool(rb), nil
+	case ast.Comma:
+		if _, err := in.evalRValue(e, expr.L); err != nil {
+			return nil, err
+		}
+		return in.evalExpr(e, expr.R)
+	}
+
+	// Operator overloading: when the left operand is a class object,
+	// dispatch before evaluating numerically.
+	lv, err := in.evalArg(e, expr.L)
+	if err != nil {
+		return nil, err
+	}
+	if obj, ok := deref(lv).(*Object); ok {
+		rv, err := in.evalArg(e, expr.R)
+		if err != nil {
+			return nil, err
+		}
+		opName := "operator" + expr.Op.String()
+		if v, err2 := in.callMethodByName(e, obj, opName, []Value{rv}, expr.Pos); err2 == nil {
+			return v, nil
+		}
+		// Free operator function.
+		if r := in.findFreeRoutine(opName, []Value{lv, rv}); r != nil {
+			return in.Call(r, nil, []Value{lv, rv})
+		}
+		return nil, in.rterr(expr.Pos, "no %s for class %s", opName, obj.Class.QualifiedName())
+	}
+	rv, err := in.evalArg(e, expr.R)
+	if err != nil {
+		return nil, err
+	}
+	if obj, ok := deref(rv).(*Object); ok {
+		// Free operator with class RHS (e.g. scalar * vector).
+		opName := "operator" + expr.Op.String()
+		if r := in.findFreeRoutine(opName, []Value{lv, rv}); r != nil {
+			return in.Call(r, nil, []Value{lv, rv})
+		}
+		_ = obj
+	}
+	return in.numericBinary(expr.Op, deref(lv), deref(rv), expr.Pos)
+}
+
+// numericBinary applies a builtin binary operator.
+func (in *Interp) numericBinary(op ast.BinOp, l, r Value, loc source.Loc) (Value, error) {
+	// Pointer arithmetic and comparisons.
+	lp, lIsPtr := l.(Ptr)
+	rp, rIsPtr := r.(Ptr)
+	switch {
+	case lIsPtr && rIsPtr:
+		switch op {
+		case ast.EqOp:
+			return Bool(lp.SameAddress(rp)), nil
+		case ast.NeOp:
+			return Bool(!lp.SameAddress(rp)), nil
+		case ast.Sub:
+			if lp.Alloc != nil && lp.Alloc == rp.Alloc {
+				return Int(lp.Idx - rp.Idx), nil
+			}
+			return nil, in.rterr(loc, "subtraction of unrelated pointers")
+		case ast.LtOp:
+			return Bool(lp.Alloc == rp.Alloc && lp.Idx < rp.Idx), nil
+		case ast.GtOp:
+			return Bool(lp.Alloc == rp.Alloc && lp.Idx > rp.Idx), nil
+		case ast.LeOp:
+			return Bool(lp.Alloc == rp.Alloc && lp.Idx <= rp.Idx), nil
+		case ast.GeOp:
+			return Bool(lp.Alloc == rp.Alloc && lp.Idx >= rp.Idx), nil
+		}
+	case lIsPtr:
+		n, err := asInt(r)
+		if err != nil {
+			return nil, in.rterr(loc, "pointer arithmetic: %v", err)
+		}
+		switch op {
+		case ast.Add:
+			return Ptr{Alloc: lp.Alloc, Idx: lp.Idx + int(n), Obj: lp.Obj, Direct: lp.Direct}, nil
+		case ast.Sub:
+			return Ptr{Alloc: lp.Alloc, Idx: lp.Idx - int(n), Obj: lp.Obj, Direct: lp.Direct}, nil
+		case ast.EqOp:
+			return Bool(n == 0 && lp.IsNull()), nil
+		case ast.NeOp:
+			return Bool(!(n == 0 && lp.IsNull())), nil
+		}
+	case rIsPtr:
+		n, err := asInt(l)
+		if err != nil {
+			return nil, in.rterr(loc, "pointer arithmetic: %v", err)
+		}
+		switch op {
+		case ast.Add:
+			return Ptr{Alloc: rp.Alloc, Idx: rp.Idx + int(n)}, nil
+		case ast.EqOp:
+			return Bool(n == 0 && rp.IsNull()), nil
+		case ast.NeOp:
+			return Bool(!(n == 0 && rp.IsNull())), nil
+		}
+	}
+
+	// String comparisons.
+	if ls, ok := l.(Str); ok {
+		if rs, ok := r.(Str); ok {
+			switch op {
+			case ast.EqOp:
+				return Bool(ls == rs), nil
+			case ast.NeOp:
+				return Bool(ls != rs), nil
+			case ast.LtOp:
+				return Bool(ls < rs), nil
+			case ast.GtOp:
+				return Bool(ls > rs), nil
+			}
+		}
+	}
+
+	_, lf := l.(Float)
+	_, rf := r.(Float)
+	if lf || rf {
+		a, err := asFloat(l)
+		if err != nil {
+			return nil, in.rterr(loc, "%v", err)
+		}
+		b, err := asFloat(r)
+		if err != nil {
+			return nil, in.rterr(loc, "%v", err)
+		}
+		switch op {
+		case ast.Add:
+			return Float(a + b), nil
+		case ast.Sub:
+			return Float(a - b), nil
+		case ast.Mul:
+			return Float(a * b), nil
+		case ast.Div:
+			if b == 0 {
+				return nil, in.rterr(loc, "floating division by zero")
+			}
+			return Float(a / b), nil
+		case ast.EqOp:
+			return Bool(a == b), nil
+		case ast.NeOp:
+			return Bool(a != b), nil
+		case ast.LtOp:
+			return Bool(a < b), nil
+		case ast.GtOp:
+			return Bool(a > b), nil
+		case ast.LeOp:
+			return Bool(a <= b), nil
+		case ast.GeOp:
+			return Bool(a >= b), nil
+		default:
+			return nil, in.rterr(loc, "invalid operator %s on floating values", op)
+		}
+	}
+
+	a, err := asInt(l)
+	if err != nil {
+		return nil, in.rterr(loc, "%v", err)
+	}
+	b, err := asInt(r)
+	if err != nil {
+		return nil, in.rterr(loc, "%v", err)
+	}
+	switch op {
+	case ast.Add:
+		return Int(a + b), nil
+	case ast.Sub:
+		return Int(a - b), nil
+	case ast.Mul:
+		return Int(a * b), nil
+	case ast.Div:
+		if b == 0 {
+			return nil, in.rterr(loc, "integer division by zero")
+		}
+		return Int(a / b), nil
+	case ast.Rem:
+		if b == 0 {
+			return nil, in.rterr(loc, "integer remainder by zero")
+		}
+		return Int(a % b), nil
+	case ast.BAnd:
+		return Int(a & b), nil
+	case ast.BOr:
+		return Int(a | b), nil
+	case ast.BXor:
+		return Int(a ^ b), nil
+	case ast.ShlOp:
+		return Int(a << uint(b&63)), nil
+	case ast.ShrOp:
+		return Int(a >> uint(b&63)), nil
+	case ast.EqOp:
+		return Bool(a == b), nil
+	case ast.NeOp:
+		return Bool(a != b), nil
+	case ast.LtOp:
+		return Bool(a < b), nil
+	case ast.GtOp:
+		return Bool(a > b), nil
+	case ast.LeOp:
+		return Bool(a <= b), nil
+	case ast.GeOp:
+		return Bool(a >= b), nil
+	default:
+		return nil, in.rterr(loc, "unsupported binary operator %s", op)
+	}
+}
+
+func (in *Interp) evalAssign(e *env, expr *ast.BinaryExpr) (Value, error) {
+	cell, err := in.evalLValue(e, expr.L)
+	if err != nil {
+		return nil, err
+	}
+	if obj, ok := cell.V.(*Object); ok {
+		rv, err := in.evalArg(e, expr.R)
+		if err != nil {
+			return nil, err
+		}
+		opName := "operator" + expr.Op.String()
+		if v, err2 := in.callMethodByName(e, obj, opName, []Value{rv}, expr.Pos); err2 == nil {
+			return v, nil
+		}
+		if expr.Op == ast.AssignOp {
+			if src, ok := deref(rv).(*Object); ok {
+				copyFields(obj, src)
+				return Ref{Cell: cell}, nil
+			}
+			// Converting assignment through a one-argument constructor.
+			tmp := NewObject(obj.Class)
+			if err := in.construct(tmp, []Value{rv}, expr.Pos); err != nil {
+				return nil, err
+			}
+			copyFields(obj, tmp)
+			return Ref{Cell: cell}, nil
+		}
+		return nil, in.rterr(expr.Pos, "no %s for class %s", opName, obj.Class.QualifiedName())
+	}
+	rv, err := in.evalRValue(e, expr.R)
+	if err != nil {
+		return nil, err
+	}
+	if expr.Op == ast.AssignOp {
+		cell.V = assignConvert(cell.V, copyValue(rv))
+		return Ref{Cell: cell}, nil
+	}
+	// Compound assignment.
+	base := map[ast.BinOp]ast.BinOp{
+		ast.AddAssign: ast.Add, ast.SubAssign: ast.Sub, ast.MulAssign: ast.Mul,
+		ast.DivAssign: ast.Div, ast.RemAssign: ast.Rem, ast.AndAssign: ast.BAnd,
+		ast.OrAssign: ast.BOr, ast.XorAssign: ast.BXor,
+		ast.ShlAssignOp: ast.ShlOp, ast.ShrAssignOp: ast.ShrOp,
+	}[expr.Op]
+	nv, err := in.numericBinary(base, deref(cell.V), rv, expr.Pos)
+	if err != nil {
+		return nil, err
+	}
+	cell.V = assignConvert(cell.V, nv)
+	return Ref{Cell: cell}, nil
+}
+
+// assignConvert keeps the stored kind stable when the destination
+// already holds a typed value (int cell receiving a float truncates).
+func assignConvert(old, v Value) Value {
+	switch old.(type) {
+	case Int:
+		if i, err := asInt(v); err == nil {
+			return Int(i)
+		}
+	case Char:
+		if i, err := asInt(v); err == nil {
+			return Char(i)
+		}
+	case Float:
+		if f, err := asFloat(v); err == nil {
+			return Float(f)
+		}
+	case Bool:
+		if b, err := truthy(v); err == nil {
+			return Bool(b)
+		}
+	}
+	return v
+}
+
+func (in *Interp) evalIndex(e *env, expr *ast.IndexExpr) (Value, error) {
+	baseV, err := in.evalExpr(e, expr.Base)
+	if err != nil {
+		return nil, err
+	}
+	idxV, err := in.evalRValue(e, expr.Index)
+	if err != nil {
+		return nil, err
+	}
+	switch b := deref(baseV).(type) {
+	case Ptr:
+		i, err := asInt(idxV)
+		if err != nil {
+			return nil, in.rterr(expr.Pos.Begin, "subscript: %v", err)
+		}
+		p := Ptr{Alloc: b.Alloc, Idx: b.Idx + int(i), Direct: b.Direct, Obj: b.Obj}
+		cell, err := p.Cell()
+		if err != nil {
+			return nil, in.rterr(expr.Pos.Begin, "%v", err)
+		}
+		return Ref{Cell: cell}, nil
+	case Str:
+		i, err := asInt(idxV)
+		if err != nil || i < 0 || int(i) >= len(b) {
+			return nil, in.rterr(expr.Pos.Begin, "string index out of range")
+		}
+		return Char(b[i]), nil
+	case *Object:
+		return in.callMethodByName(e, b, "operator[]", []Value{idxV}, expr.Pos.Begin)
+	default:
+		return nil, in.rterr(expr.Pos.Begin, "subscript on non-array value")
+	}
+}
+
+func (in *Interp) evalCast(e *env, expr *ast.CastExpr) (Value, error) {
+	t := in.unit.ExprType(e.rtn, expr.Type)
+	// Functional casts on class types construct a temporary.
+	if t != nil {
+		if u := t.Unqualified(); u.Kind == il.TClass && u.Class != nil {
+			v, err := in.evalArg(e, expr.Operand)
+			if err != nil {
+				return nil, err
+			}
+			obj := NewObject(u.Class)
+			if err := in.construct(obj, []Value{v}, expr.Pos.Begin); err != nil {
+				return nil, err
+			}
+			return obj, nil
+		}
+	}
+	v, err := in.evalRValue(e, expr.Operand)
+	if err != nil {
+		return nil, err
+	}
+	if t == nil {
+		return v, nil
+	}
+	return convertForStore(t, v), nil
+}
+
+func (in *Interp) evalConstruct(e *env, expr *ast.ConstructExpr) (Value, error) {
+	t := in.unit.ExprType(e.rtn, expr.Type)
+	var args []Value
+	for _, a := range expr.Args {
+		v, err := in.evalArg(e, a)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, v)
+	}
+	if t != nil {
+		if u := t.Unqualified(); u.Kind == il.TClass && u.Class != nil {
+			obj := NewObject(u.Class)
+			if err := in.construct(obj, args, expr.Pos.Begin); err != nil {
+				return nil, err
+			}
+			return obj, nil
+		}
+	}
+	if len(args) > 0 {
+		return convertForStore(t, deref(args[0])), nil
+	}
+	return zeroValueFor(t), nil
+}
+
+func (in *Interp) evalNew(e *env, expr *ast.NewExpr) (Value, error) {
+	t := in.unit.ExprType(e.rtn, expr.Type)
+	if expr.ArraySize != nil {
+		nV, err := in.evalRValue(e, expr.ArraySize)
+		if err != nil {
+			return nil, err
+		}
+		n, err := asInt(nV)
+		if err != nil || n < 0 {
+			return nil, in.rterr(expr.Pos.Begin, "bad array size")
+		}
+		if n > 1<<28 {
+			return nil, in.rterr(expr.Pos.Begin, "array allocation too large (%d)", n)
+		}
+		alloc := &Alloc{Cells: make([]Cell, n)}
+		var elemCls *il.Class
+		if t != nil {
+			if u := t.Unqualified(); u.Kind == il.TClass {
+				elemCls = u.Class
+			}
+		}
+		alloc.Elem = elemCls
+		for i := range alloc.Cells {
+			alloc.Cells[i].V = zeroValueFor(t)
+			if elemCls != nil {
+				if obj, ok := alloc.Cells[i].V.(*Object); ok {
+					if err := in.construct(obj, nil, expr.Pos.Begin); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		return Ptr{Alloc: alloc}, nil
+	}
+	var args []Value
+	for _, a := range expr.Args {
+		v, err := in.evalArg(e, a)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, v)
+	}
+	if t != nil {
+		if u := t.Unqualified(); u.Kind == il.TClass && u.Class != nil {
+			obj := NewObject(u.Class)
+			if err := in.construct(obj, args, expr.Pos.Begin); err != nil {
+				return nil, err
+			}
+			return Ptr{Obj: obj}, nil
+		}
+	}
+	alloc := &Alloc{Cells: make([]Cell, 1)}
+	alloc.Cells[0].V = zeroValueFor(t)
+	if len(args) > 0 {
+		alloc.Cells[0].V = convertForStore(t, deref(args[0]))
+	}
+	return Ptr{Alloc: alloc}, nil
+}
+
+func (in *Interp) evalDelete(e *env, expr *ast.DeleteExpr) (Value, error) {
+	v, err := in.evalRValue(e, expr.Operand)
+	if err != nil {
+		return nil, err
+	}
+	p, ok := v.(Ptr)
+	if !ok {
+		// delete of the integer literal 0 (null) is a no-op.
+		if i, err := asInt(v); err == nil && i == 0 {
+			return Null{}, nil
+		}
+		if _, isNull := v.(Null); isNull {
+			return Null{}, nil
+		}
+		return nil, in.rterr(expr.Pos.Begin, "delete of non-pointer")
+	}
+	if p.IsNull() {
+		return Null{}, nil // deleting null is a no-op
+	}
+	if p.Obj != nil {
+		if err := in.destroy(p.Obj); err != nil {
+			return nil, err
+		}
+		return Null{}, nil
+	}
+	if p.Alloc != nil {
+		if p.Alloc.Freed {
+			return nil, in.rterr(expr.Pos.Begin, "double delete")
+		}
+		if expr.Array && p.Alloc.Elem != nil {
+			for i := len(p.Alloc.Cells) - 1; i >= 0; i-- {
+				if obj, ok := p.Alloc.Cells[i].V.(*Object); ok {
+					if err := in.destroy(obj); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		p.Alloc.Freed = true
+	}
+	return Null{}, nil
+}
+
+func (in *Interp) evalSizeof(e *env, expr *ast.SizeofExpr) (Value, error) {
+	if expr.Type != nil {
+		if t := in.unit.ExprType(e.rtn, expr.Type); t != nil {
+			return Int(staticSize(t)), nil
+		}
+		return Int(8), nil
+	}
+	v, err := in.evalRValue(e, expr.E)
+	if err != nil {
+		return nil, err
+	}
+	switch v.(type) {
+	case Bool, Char:
+		return Int(1), nil
+	case Int:
+		return Int(4), nil
+	case Float:
+		return Int(8), nil
+	default:
+		return Int(8), nil
+	}
+}
+
+func staticSize(t *il.Type) int64 {
+	switch u := t.Unqualified(); u.Kind {
+	case il.TBool, il.TChar, il.TSChar, il.TUChar:
+		return 1
+	case il.TShort, il.TUShort:
+		return 2
+	case il.TInt, il.TUInt, il.TFloat, il.TEnum:
+		return 4
+	case il.TArray:
+		if u.ArrayLen > 0 {
+			return u.ArrayLen * staticSize(u.Elem)
+		}
+		return 8
+	default:
+		return 8
+	}
+}

@@ -1,0 +1,432 @@
+package interp
+
+import (
+	"pdt/internal/cpp/ast"
+	"pdt/internal/il"
+	"pdt/internal/source"
+)
+
+// ctlKind classifies non-sequential control flow.
+type ctlKind int
+
+const (
+	ctlReturn ctlKind = iota
+	ctlBreak
+	ctlContinue
+	// ctlThrow is reserved; exceptions propagate as *thrownError
+	// errors so they unwind through Go call frames too.
+	ctlThrow
+)
+
+type ctl struct {
+	kind ctlKind
+	val  Value
+	loc  source.Loc
+}
+
+// execStmt executes one statement. A non-nil ctl requests unwinding
+// (return/break/continue); C++ exceptions arrive as *thrownError via
+// the error return.
+func (in *Interp) execStmt(e *env, st ast.Stmt) (*ctl, error) {
+	if st == nil {
+		return nil, nil
+	}
+	if err := in.step(st.Span().Begin); err != nil {
+		return nil, err
+	}
+	switch st := st.(type) {
+	case *ast.CompoundStmt:
+		return in.execBlock(e, st.Stmts)
+	case *ast.DeclStmt:
+		for _, d := range st.Decls {
+			if err := in.execLocalDecl(e, d); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	case *ast.ExprStmt:
+		_, err := in.evalRValue(e, st.E)
+		return nil, err
+	case *ast.EmptyStmt:
+		return nil, nil
+	case *ast.IfStmt:
+		cond, err := in.evalRValue(e, st.Cond)
+		if err != nil {
+			return nil, err
+		}
+		b, err := truthy(cond)
+		if err != nil {
+			return nil, in.rterr(st.Cond.Span().Begin, "%v", err)
+		}
+		if b {
+			return in.execStmt(e, st.Then)
+		}
+		return in.execStmt(e, st.Else)
+	case *ast.WhileStmt:
+		for {
+			cond, err := in.evalRValue(e, st.Cond)
+			if err != nil {
+				return nil, err
+			}
+			b, err := truthy(cond)
+			if err != nil {
+				return nil, in.rterr(st.Cond.Span().Begin, "%v", err)
+			}
+			if !b {
+				return nil, nil
+			}
+			c, err := in.execStmt(e, st.Body)
+			if err != nil {
+				return nil, err
+			}
+			if c != nil {
+				if c.kind == ctlBreak {
+					return nil, nil
+				}
+				if c.kind != ctlContinue {
+					return c, nil
+				}
+			}
+			if err := in.step(st.Pos.Begin); err != nil {
+				return nil, err
+			}
+		}
+	case *ast.DoStmt:
+		for {
+			c, err := in.execStmt(e, st.Body)
+			if err != nil {
+				return nil, err
+			}
+			if c != nil {
+				if c.kind == ctlBreak {
+					return nil, nil
+				}
+				if c.kind != ctlContinue {
+					return c, nil
+				}
+			}
+			cond, err := in.evalRValue(e, st.Cond)
+			if err != nil {
+				return nil, err
+			}
+			b, err := truthy(cond)
+			if err != nil {
+				return nil, in.rterr(st.Cond.Span().Begin, "%v", err)
+			}
+			if !b {
+				return nil, nil
+			}
+			if err := in.step(st.Pos.Begin); err != nil {
+				return nil, err
+			}
+		}
+	case *ast.ForStmt:
+		e.push()
+		defer func() { _ = e.pop() }()
+		if st.Init != nil {
+			if c, err := in.execStmt(e, st.Init); err != nil || c != nil {
+				return c, err
+			}
+		}
+		for {
+			if st.Cond != nil {
+				cond, err := in.evalRValue(e, st.Cond)
+				if err != nil {
+					return nil, err
+				}
+				b, err := truthy(cond)
+				if err != nil {
+					return nil, in.rterr(st.Cond.Span().Begin, "%v", err)
+				}
+				if !b {
+					return nil, nil
+				}
+			}
+			c, err := in.execStmt(e, st.Body)
+			if err != nil {
+				return nil, err
+			}
+			if c != nil {
+				if c.kind == ctlBreak {
+					return nil, nil
+				}
+				if c.kind != ctlContinue {
+					return c, nil
+				}
+			}
+			if st.Post != nil {
+				if _, err := in.evalRValue(e, st.Post); err != nil {
+					return nil, err
+				}
+			}
+			if err := in.step(st.Pos.Begin); err != nil {
+				return nil, err
+			}
+		}
+	case *ast.ReturnStmt:
+		var v Value = Null{}
+		if st.E != nil {
+			rv, err := in.evalReturnValue(e, st.E)
+			if err != nil {
+				return nil, err
+			}
+			v = rv
+		}
+		return &ctl{kind: ctlReturn, val: v, loc: st.Pos.Begin}, nil
+	case *ast.BreakStmt:
+		return &ctl{kind: ctlBreak, loc: st.Pos.Begin}, nil
+	case *ast.ContinueStmt:
+		return &ctl{kind: ctlContinue, loc: st.Pos.Begin}, nil
+	case *ast.SwitchStmt:
+		return in.execSwitch(e, st)
+	case *ast.TryStmt:
+		return in.execTry(e, st)
+	default:
+		return nil, in.rterr(st.Span().Begin, "unsupported statement %T", st)
+	}
+}
+
+// execBlock runs statements in a fresh scope, running destructors on
+// every exit path (including exception unwinding, which scoped TAU
+// timers rely on).
+func (in *Interp) execBlock(e *env, stmts []ast.Stmt) (*ctl, error) {
+	e.push()
+	for _, st := range stmts {
+		c, err := in.execStmt(e, st)
+		if err != nil {
+			if _, thrown := err.(*thrownError); thrown {
+				if derr := e.pop(); derr != nil {
+					return nil, derr
+				}
+			} else {
+				e.popNoDtor()
+			}
+			return nil, err
+		}
+		if c != nil {
+			if derr := e.pop(); derr != nil {
+				return nil, derr
+			}
+			return c, nil
+		}
+	}
+	return nil, e.pop()
+}
+
+// execLocalDecl materializes a local variable.
+func (in *Interp) execLocalDecl(e *env, d ast.Decl) error {
+	switch d := d.(type) {
+	case *ast.VarDecl:
+		t := in.unit.ExprType(e.rtn, d.Type)
+		cell := &Cell{V: zeroValueFor(t)}
+		e.declare(d.Name, cell)
+		obj, isObj := cell.V.(*Object)
+		switch {
+		case d.HasCtorArgs:
+			var args []Value
+			for _, a := range d.CtorArgs {
+				v, err := in.evalArg(e, a)
+				if err != nil {
+					return err
+				}
+				args = append(args, v)
+			}
+			if isObj {
+				if err := in.construct(obj, args, d.NameLoc); err != nil {
+					return err
+				}
+				e.trackObj(obj)
+			} else if len(args) >= 1 {
+				cell.V = convertForStore(t, copyValue(deref(args[0])))
+			}
+		case d.Init != nil:
+			v, err := in.evalRValue(e, d.Init)
+			if err != nil {
+				return err
+			}
+			if isObj {
+				if src, ok := deref(v).(*Object); ok {
+					copyFields(obj, src)
+				} else if err := in.construct(obj, []Value{v}, d.NameLoc); err != nil {
+					return err
+				}
+				e.trackObj(obj)
+			} else {
+				cell.V = convertForStore(t, copyValue(deref(v)))
+			}
+		default:
+			if isObj {
+				if err := in.construct(obj, nil, d.NameLoc); err != nil {
+					return err
+				}
+				e.trackObj(obj)
+			}
+		}
+		return nil
+	case *ast.DeclGroup:
+		for _, inner := range d.Decls {
+			if err := in.execLocalDecl(e, inner); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		// Local typedefs/classes/enums need no runtime action.
+		return nil
+	}
+}
+
+func (in *Interp) execSwitch(e *env, st *ast.SwitchStmt) (*ctl, error) {
+	condV, err := in.evalRValue(e, st.Cond)
+	if err != nil {
+		return nil, err
+	}
+	cond, err := asInt(deref(condV))
+	if err != nil {
+		return nil, in.rterr(st.Cond.Span().Begin, "switch condition: %v", err)
+	}
+	match := -1
+	defaultIdx := -1
+	for i, cs := range st.Cases {
+		if len(cs.Values) == 0 {
+			defaultIdx = i
+			continue
+		}
+		for _, vexpr := range cs.Values {
+			v, err := in.evalRValue(e, vexpr)
+			if err != nil {
+				return nil, err
+			}
+			iv, err := asInt(deref(v))
+			if err != nil {
+				return nil, in.rterr(vexpr.Span().Begin, "case value: %v", err)
+			}
+			if iv == cond {
+				match = i
+				break
+			}
+		}
+		if match >= 0 {
+			break
+		}
+	}
+	if match < 0 {
+		match = defaultIdx
+	}
+	if match < 0 {
+		return nil, nil
+	}
+	e.push()
+	// Fallthrough: execute from the matched group onward.
+	for i := match; i < len(st.Cases); i++ {
+		for _, inner := range st.Cases[i].Stmts {
+			c, err := in.execStmt(e, inner)
+			if err != nil {
+				if _, thrown := err.(*thrownError); thrown {
+					if derr := e.pop(); derr != nil {
+						return nil, derr
+					}
+				} else {
+					e.popNoDtor()
+				}
+				return nil, err
+			}
+			if c != nil {
+				if derr := e.pop(); derr != nil {
+					return nil, derr
+				}
+				if c.kind == ctlBreak {
+					return nil, nil
+				}
+				return c, nil
+			}
+		}
+	}
+	return nil, e.pop()
+}
+
+func (in *Interp) execTry(e *env, st *ast.TryStmt) (*ctl, error) {
+	c, err := in.execStmt(e, st.Body)
+	if err == nil {
+		return c, nil
+	}
+	thrown, ok := err.(*thrownError)
+	if !ok {
+		return nil, err
+	}
+	for i := range st.Handlers {
+		h := &st.Handlers[i]
+		if !in.handlerMatches(e, h, thrown.val) {
+			continue
+		}
+		e.push()
+		if h.Param != nil && h.Param.Name != "" {
+			t := in.unit.ExprType(e.rtn, h.Param.Type)
+			var cell *Cell
+			if isRefParam(t) {
+				cell = &Cell{V: deref(thrown.val)}
+			} else {
+				cell = &Cell{V: copyValue(deref(thrown.val))}
+			}
+			e.declare(h.Param.Name, cell)
+		}
+		// The exception is "active" inside the handler so a bare
+		// "throw;" can rethrow it.
+		in.excStack = append(in.excStack, thrown.val)
+		hc, herr := in.execStmt(e, h.Body)
+		in.excStack = in.excStack[:len(in.excStack)-1]
+		if herr != nil {
+			if _, t2 := herr.(*thrownError); t2 {
+				if derr := e.pop(); derr != nil {
+					return nil, derr
+				}
+			} else {
+				e.popNoDtor()
+			}
+			return nil, herr
+		}
+		if derr := e.pop(); derr != nil {
+			return nil, derr
+		}
+		return hc, nil
+	}
+	return nil, thrown // rethrow to the next enclosing try
+}
+
+// handlerMatches tests whether a catch clause accepts the thrown value.
+func (in *Interp) handlerMatches(e *env, h *ast.Handler, v Value) bool {
+	if h.Param == nil {
+		return true // catch (...)
+	}
+	t := in.unit.ExprType(e.rtn, h.Param.Type)
+	if t == nil {
+		return true
+	}
+	u := t.Deref()
+	switch v := deref(v).(type) {
+	case *Object:
+		if u.Kind != il.TClass || u.Class == nil {
+			return false
+		}
+		return v.Class == u.Class || (v.Class != nil && v.Class.DerivesFrom(u.Class))
+	case Int, Char, Bool:
+		return u.Kind.IsInteger()
+	case Float:
+		return u.Kind.IsFloat()
+	case Str:
+		return u.Kind == il.TPtr
+	default:
+		return false
+	}
+}
+
+// evalReturnValue handles reference returns: when the routine returns
+// T&, the operand is evaluated as an lvalue so callers can alias it.
+func (in *Interp) evalReturnValue(e *env, expr ast.Expr) (Value, error) {
+	if e.rtn != nil && isRefReturn(e.rtn.Ret) {
+		if cell, err := in.evalLValue(e, expr); err == nil && cell != nil {
+			return Ref{Cell: cell}, nil
+		}
+	}
+	return in.evalRValue(e, expr)
+}

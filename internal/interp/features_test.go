@@ -1,0 +1,459 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConstructionDestructionOrder(t *testing.T) {
+	// Bases construct before members, members before the body;
+	// destruction reverses everything.
+	_, out := run(t, `
+#include <iostream>
+class Part {
+public:
+    Part(int id) : id_(id) { cout << "+" << id_; }
+    ~Part() { cout << "-" << id_; }
+private:
+    int id_;
+};
+class Base {
+public:
+    Base() : bp(1) { cout << "B"; }
+    ~Base() { cout << "b"; }
+private:
+    Part bp;
+};
+class Whole : public Base {
+public:
+    Whole() : p1(2), p2(3) { cout << "W"; }
+    ~Whole() { cout << "w"; }
+private:
+    Part p1;
+    Part p2;
+};
+int main() {
+    { Whole w; cout << "."; }
+    return 0;
+}`, nil)
+	// Construction: Base(bp then body) then members p1, p2, then W.
+	// Destruction: w body, members reverse (p2, p1), then Base (body
+	// then bp).
+	want := "+1B+2+3W.w-3-2b-1"
+	if out != want {
+		t.Errorf("order = %q, want %q", out, want)
+	}
+}
+
+func TestBaseCtorInitArgs(t *testing.T) {
+	code, _ := run(t, `
+class Base {
+public:
+    Base(int v) : stored(v * 2) { }
+    int stored;
+};
+class Derived : public Base {
+public:
+    Derived(int v) : Base(v + 1) { }
+};
+int main() {
+    Derived d(20);
+    return d.stored; // (20+1)*2
+}`, nil)
+	if code != 42 {
+		t.Errorf("code = %d, want 42", code)
+	}
+}
+
+func TestMemberFunctionTemplateRuns(t *testing.T) {
+	code, _ := run(t, `
+class Host {
+public:
+    template <class U> U twice(U v) { return v + v; }
+};
+int main() {
+    Host h;
+    int a = h.twice(10);
+    double b = h.twice(1.25);
+    return a + (int)(b * 4); // 20 + 10
+}`, nil)
+	if code != 30 {
+		t.Errorf("code = %d, want 30", code)
+	}
+}
+
+func TestExplicitTemplateArgsCall(t *testing.T) {
+	code, _ := run(t, `
+template <class T> T zero() { return 0; }
+template <class T> T widen(int x) { return x; }
+int main() {
+    double d = widen<double>(21);
+    return (int)(d * 2) + (int) zero<int>();
+}`, nil)
+	if code != 42 {
+		t.Errorf("code = %d, want 42", code)
+	}
+}
+
+func TestArrayOfObjects(t *testing.T) {
+	code, _ := run(t, `
+#include <iostream>
+class Cell {
+public:
+    Cell() : v(7) { }
+    int v;
+};
+int main() {
+    Cell *cells = new Cell[3];
+    int sum = cells[0].v + cells[1].v + cells[2].v;
+    cells[1].v = 1;
+    sum += cells[1].v;
+    delete[] cells;
+    return sum; // 21 + 1
+}`, nil)
+	if code != 22 {
+		t.Errorf("code = %d, want 22", code)
+	}
+}
+
+func TestStaticMethods(t *testing.T) {
+	code, _ := run(t, `
+class MathUtil {
+public:
+    static int square(int x) { return x * x; }
+    static int calls;
+};
+int MathUtil::calls = 0;
+int main() {
+    return MathUtil::square(6) + MathUtil::calls;
+}`, nil)
+	if code != 36 {
+		t.Errorf("code = %d, want 36", code)
+	}
+}
+
+func TestCharAndBoolSemantics(t *testing.T) {
+	code, out := run(t, `
+#include <iostream>
+int main() {
+    char c = 'A';
+    c = c + 1;
+    cout << c;
+    bool b = 5;   // non-zero converts to true
+    bool b2 = 0;
+    int total = b + b2 + (c == 'B' ? 10 : 0);
+    return total; // 1 + 0 + 10
+}`, nil)
+	if out != "B" || code != 11 {
+		t.Errorf("out=%q code=%d", out, code)
+	}
+}
+
+func TestTypedefsInFunctions(t *testing.T) {
+	code, _ := run(t, `
+typedef unsigned long ulong_t;
+typedef int number;
+number compute(ulong_t n) { return (number) (n * 2); }
+int main() {
+    ulong_t x = 21;
+    return compute(x);
+}`, nil)
+	if code != 42 {
+		t.Errorf("code = %d", code)
+	}
+}
+
+func TestNamespaceStaticsAndGlobals(t *testing.T) {
+	code, _ := run(t, `
+namespace counters {
+    int hits = 0;
+    void bump() { hits += 2; }
+}
+int main() {
+    counters::bump();
+    counters::bump();
+    return counters::hits + 38;
+}`, nil)
+	if code != 42 {
+		t.Errorf("code = %d", code)
+	}
+}
+
+func TestCoutChaining(t *testing.T) {
+	_, out := run(t, `
+#include <iostream>
+int main() {
+    cout << "a=" << 1 << " b=" << 2.5 << " done" << endl;
+    cerr << "err" << endl;
+    return 0;
+}`, nil)
+	if out != "a=1 b=2.5 done\nerr\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestCompoundAssignOnMembers(t *testing.T) {
+	code, _ := run(t, `
+class Acc {
+public:
+    Acc() : total(0) { }
+    void feed(int v) {
+        total += v;
+        total *= 2;
+        total -= 1;
+    }
+    int total;
+};
+int main() {
+    Acc a;
+    a.feed(3);  // (0+3)*2-1 = 5
+    a.feed(2);  // (5+2)*2-1 = 13
+    return a.total;
+}`, nil)
+	if code != 13 {
+		t.Errorf("code = %d, want 13", code)
+	}
+}
+
+func TestPointerComparisonsAndNull(t *testing.T) {
+	code, _ := run(t, `
+int main() {
+    int *arr = new int[4];
+    int *p = arr;
+    int *q = arr + 2;
+    int r = 0;
+    if (p < q) r += 1;
+    if (q - p == 2) r += 2;
+    if (p == arr) r += 4;
+    int *n = 0;
+    if (n == 0) r += 8;
+    if (!n) r += 16;
+    delete[] arr;
+    return r; // 31
+}`, nil)
+	if code != 31 {
+		t.Errorf("code = %d, want 31", code)
+	}
+}
+
+func TestStaticCastsAndTruncation(t *testing.T) {
+	code, _ := run(t, `
+int main() {
+    double d = 3.99;
+    int i = static_cast<int>(d);          // 3
+    int j = (int) (d * 2);                // 7
+    double back = static_cast<double>(i); // 3.0
+    return i + j + (int) back;            // 13
+}`, nil)
+	if code != 13 {
+		t.Errorf("code = %d, want 13", code)
+	}
+}
+
+func TestStrcmpStrlen(t *testing.T) {
+	code, _ := run(t, `
+#include <cstring>
+int main() {
+    int r = 0;
+    if (strcmp("abc", "abc") == 0) r += 1;
+    if (strcmp("abc", "abd") < 0) r += 2;
+    if (strlen("hello") == 5) r += 4;
+    return r;
+}`, nil)
+	if code != 7 {
+		t.Errorf("code = %d, want 7", code)
+	}
+}
+
+func TestExitIntrinsic(t *testing.T) {
+	code, out := run(t, `
+#include <cstdlib>
+#include <iostream>
+int main() {
+    cout << "before";
+    exit(5);
+    cout << "after";
+    return 0;
+}`, nil)
+	if code != 5 || out != "before" {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	src := `
+#include <cstdlib>
+int main() {
+    srand(12345);
+    return (rand() + rand()) % 100;
+}`
+	c1, _ := run(t, src, nil)
+	c2, _ := run(t, src, nil)
+	if c1 != c2 {
+		t.Errorf("rand not deterministic: %d vs %d", c1, c2)
+	}
+}
+
+func TestNestedClassesRuntime(t *testing.T) {
+	code, _ := run(t, `
+class Outer {
+public:
+    class Inner {
+    public:
+        Inner() : v(21) { }
+        int v;
+    };
+    Inner make() { Inner i; return i; }
+};
+int main() {
+    Outer o;
+    Outer::Inner i = o.make();
+    return i.v * 2;
+}`, nil)
+	if code != 42 {
+		t.Errorf("code = %d, want 42", code)
+	}
+}
+
+func TestVirtualDtorThroughBasePointer(t *testing.T) {
+	_, out := run(t, `
+#include <iostream>
+class Base {
+public:
+    virtual ~Base() { cout << "b"; }
+};
+class Derived : public Base {
+public:
+    ~Derived() { cout << "d"; }
+};
+int main() {
+    Base *p = new Derived;
+    delete p; // must run ~Derived then ~Base
+    return 0;
+}`, nil)
+	if out != "db" {
+		t.Errorf("dtor chain = %q, want db", out)
+	}
+}
+
+func TestThrowAcrossTemplates(t *testing.T) {
+	code, _ := run(t, `
+class Bad { public: Bad(int c) : code(c) { } int code; };
+template <class T>
+T risky(T v) {
+    if (v > 10)
+        throw Bad((int) v);
+    return v;
+}
+int main() {
+    int total = risky(5);
+    try {
+        total += risky(50);
+    } catch (Bad & b) {
+        total += b.code / 10;
+    }
+    return total; // 5 + 5
+}`, nil)
+	if code != 10 {
+		t.Errorf("code = %d, want 10", code)
+	}
+}
+
+func TestDeepRecursionGuard(t *testing.T) {
+	_, _, err := runErr(t, `
+int forever(int n) { return forever(n + 1); }
+int main() { return forever(0); }`, nil)
+	if err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDoubleDeleteDetected(t *testing.T) {
+	_, _, err := runErr(t, `
+int main() {
+    int *p = new int[4];
+    delete[] p;
+    delete[] p;
+    return 0;
+}`, nil)
+	if err == nil || !strings.Contains(err.Error(), "double delete") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUseAfterDeleteDetected(t *testing.T) {
+	_, _, err := runErr(t, `
+int main() {
+    int *p = new int[4];
+    delete[] p;
+    return p[0];
+}`, nil)
+	if err == nil || !strings.Contains(err.Error(), "delete") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestOutOfBoundsDetected(t *testing.T) {
+	_, _, err := runErr(t, `
+int main() {
+    int *p = new int[4];
+    return p[9];
+}`, nil)
+	if err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAssertIntrinsic(t *testing.T) {
+	code, _ := run(t, `
+#include <cassert>
+int main() {
+    assert(1 + 1 == 2);
+    return 0;
+}`, nil)
+	if code != 0 {
+		t.Errorf("code = %d", code)
+	}
+	_, _, err := runErr(t, `
+#include <cassert>
+int main() {
+    assert(1 == 2);
+    return 0;
+}`, nil)
+	if err == nil || !strings.Contains(err.Error(), "assertion failed") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRethrow(t *testing.T) {
+	code, out := run(t, `
+#include <iostream>
+class E { public: E(int c) : code(c) { } int code; };
+void middle() {
+    try {
+        throw E(7);
+    } catch (E & e) {
+        cout << "m" << e.code;
+        throw; // rethrow the active exception
+    }
+}
+int main() {
+    try {
+        middle();
+    } catch (E & e) {
+        cout << "o" << e.code;
+        return e.code;
+    }
+    return 0;
+}`, nil)
+	if out != "m7o7" || code != 7 {
+		t.Errorf("out=%q code=%d", out, code)
+	}
+}
+
+func TestBareRethrowOutsideHandlerErrors(t *testing.T) {
+	_, _, err := runErr(t, `int main() { throw; }`, nil)
+	if err == nil || !strings.Contains(err.Error(), "rethrow") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,853 @@
+package interp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pdt/internal/cpp/ast"
+	"pdt/internal/il"
+	"pdt/internal/source"
+)
+
+// Hooks receive routine entry/exit events — the attachment point for
+// measurement runtimes (TAU).
+type Hooks interface {
+	RoutineEnter(r *il.Routine)
+	RoutineExit(r *il.Routine)
+}
+
+// Intrinsic implements a routine natively. this is nil for free
+// functions.
+type Intrinsic func(in *Interp, this *Object, args []Value) (Value, error)
+
+// Options configure an interpreter.
+type Options struct {
+	// Out receives cout/printf output (io.Discard when nil).
+	Out io.Writer
+	// MaxSteps bounds execution (0 = default 200M).
+	MaxSteps uint64
+	// MaxDepth bounds the call stack (0 = default 10000).
+	MaxDepth int
+	// Hooks observe routine entry/exit.
+	Hooks Hooks
+}
+
+// RuntimeError is an execution failure with a source position and a
+// call trace.
+type RuntimeError struct {
+	Loc   source.Loc
+	Msg   string
+	Trace []string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("%s: runtime error: %s", e.Loc, e.Msg)
+}
+
+// UncaughtException reports a C++ exception that escaped main.
+type UncaughtException struct {
+	Value Value
+}
+
+func (e *UncaughtException) Error() string {
+	if o, ok := e.Value.(*Object); ok && o.Class != nil {
+		return "uncaught exception of type " + o.Class.QualifiedName()
+	}
+	return "uncaught exception: " + FormatValue(e.Value)
+}
+
+// Interp executes routines of one IL unit.
+type Interp struct {
+	unit *il.Unit
+	opts Options
+	out  io.Writer
+
+	globals map[*il.Var]*Cell
+
+	clock    uint64
+	maxSteps uint64
+	maxDepth int
+	depth    int
+
+	intrinsics map[string]Intrinsic
+	trace      []string
+
+	// excStack holds the exceptions currently being handled, so a bare
+	// "throw;" can rethrow the active one.
+	excStack []Value
+
+	// freeByName indexes free functions (and their template
+	// instantiations) by base name; built lazily.
+	freeByName map[string][]*il.Routine
+
+	rngState uint64
+}
+
+// New prepares an interpreter: globals are allocated (and initialized
+// when Run is called) and the standard intrinsics installed.
+func New(unit *il.Unit, opts Options) *Interp {
+	in := &Interp{
+		unit: unit, opts: opts,
+		out:        opts.Out,
+		globals:    map[*il.Var]*Cell{},
+		maxSteps:   opts.MaxSteps,
+		maxDepth:   opts.MaxDepth,
+		intrinsics: map[string]Intrinsic{},
+		rngState:   0x2545F4914F6CDD1D,
+	}
+	if in.out == nil {
+		in.out = io.Discard
+	}
+	if in.maxSteps == 0 {
+		in.maxSteps = 200_000_000
+	}
+	if in.maxDepth == 0 {
+		in.maxDepth = 10_000
+	}
+	installStdIntrinsics(in)
+	return in
+}
+
+// RegisterIntrinsic installs (or overrides) a native routine
+// implementation, keyed by qualified name ("TauProfiler::TauProfiler",
+// "sqrt", "ostream::operator<<").
+func (in *Interp) RegisterIntrinsic(qualified string, fn Intrinsic) {
+	in.intrinsics[qualified] = fn
+}
+
+// Clock returns the current virtual time (steps executed).
+func (in *Interp) Clock() uint64 { return in.clock }
+
+// Unit returns the IL unit.
+func (in *Interp) Unit() *il.Unit { return in.unit }
+
+// Output returns the configured output writer.
+func (in *Interp) Output() io.Writer { return in.out }
+
+// step advances the virtual clock, enforcing the step budget.
+func (in *Interp) step(loc source.Loc) error {
+	in.clock++
+	if in.clock > in.maxSteps {
+		return in.rterr(loc, "step budget exceeded (%d)", in.maxSteps)
+	}
+	return nil
+}
+
+func (in *Interp) rterr(loc source.Loc, format string, args ...interface{}) error {
+	return &RuntimeError{Loc: loc, Msg: fmt.Sprintf(format, args...),
+		Trace: append([]string(nil), in.trace...)}
+}
+
+// Run initializes globals and executes main, returning its exit code.
+func (in *Interp) Run() (int, error) {
+	if err := in.initGlobals(); err != nil {
+		return 1, err
+	}
+	mainR := in.unit.LookupRoutine("main")
+	if mainR == nil || !mainR.HasBody {
+		return 1, fmt.Errorf("no main function in unit")
+	}
+	v, err := in.Call(mainR, nil, nil)
+	if err != nil {
+		if ee, ok := err.(*exitSignal); ok {
+			return ee.code, nil
+		}
+		return 1, err
+	}
+	code, _ := asInt(deref(v))
+	return int(code), nil
+}
+
+// InitGlobals initializes namespace-scope variables without running
+// main — used by embedding hosts (the SILOON bridge) that call library
+// routines directly.
+func (in *Interp) InitGlobals() error { return in.initGlobals() }
+
+// Construct allocates and constructs an object of cls with the given
+// arguments (the embedding-host entry point used by SILOON's bridge).
+func (in *Interp) Construct(cls *il.Class, args []Value) (*Object, error) {
+	obj := NewObject(cls)
+	if err := in.construct(obj, args, cls.Loc); err != nil {
+		return nil, err
+	}
+	return obj, nil
+}
+
+// Destroy runs the destructor chain of obj.
+func (in *Interp) Destroy(obj *Object) error { return in.destroy(obj) }
+
+// CallMethod dispatches a method call on obj by name, with runtime
+// overload selection and virtual dispatch.
+func (in *Interp) CallMethod(obj *Object, name string, args []Value) (Value, error) {
+	return in.callMethodByName(nil, obj, name, args, source.Loc{})
+}
+
+// CallFree calls a free function (or function-template instantiation)
+// by name with runtime overload selection.
+func (in *Interp) CallFree(name string, args []Value) (Value, error) {
+	if r := in.findFreeRoutine(name, args); r != nil {
+		return in.Call(r, nil, args)
+	}
+	if fn, ok := in.intrinsics[name]; ok {
+		return fn(in, nil, args)
+	}
+	return nil, fmt.Errorf("no function %q matching %d argument(s)", name, len(args))
+}
+
+// exitSignal implements the exit() intrinsic.
+type exitSignal struct{ code int }
+
+func (e *exitSignal) Error() string { return fmt.Sprintf("exit(%d)", e.code) }
+
+// initGlobals allocates and initializes namespace-scope variables.
+func (in *Interp) initGlobals() error {
+	var walk func(ns *il.Namespace) error
+	walk = func(ns *il.Namespace) error {
+		for _, v := range ns.Vars {
+			cell := &Cell{V: zeroValueFor(v.Type)}
+			in.globals[v] = cell
+			// Well-known stream globals from the built-in <iostream>.
+			if v.Init == nil && v.Name == "endl" {
+				cell.V = Str("\n")
+				continue
+			}
+			if v.Init != nil {
+				env := in.newEnv(nil, nil)
+				val, err := in.evalRValue(env, v.Init)
+				if err != nil {
+					return err
+				}
+				cell.V = convertForStore(v.Type, copyValue(val))
+			}
+		}
+		for _, sub := range ns.Namespaces {
+			if err := walk(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(in.unit.Global)
+}
+
+// convertForStore applies the trivially-needed conversions when a value
+// is stored into a typed location (float↔int truncation, bool).
+func convertForStore(t *il.Type, v Value) Value {
+	if t == nil {
+		return v
+	}
+	switch u := t.Deref(); u.Kind {
+	case il.TBool:
+		b, err := truthy(deref(v))
+		if err == nil {
+			return Bool(b)
+		}
+	case il.TChar, il.TSChar, il.TUChar:
+		if i, err := asInt(deref(v)); err == nil {
+			return Char(i)
+		}
+	case il.TFloat, il.TDouble, il.TLongDouble:
+		if f, err := asFloat(deref(v)); err == nil {
+			return Float(f)
+		}
+	case il.TInt, il.TUInt, il.TShort, il.TUShort, il.TLong, il.TULong,
+		il.TLongLong, il.TULongLong:
+		switch deref(v).(type) {
+		case Float, Bool, Char:
+			if i, err := asInt(deref(v)); err == nil {
+				return Int(i)
+			}
+		}
+	case il.TPtr:
+		// Integer zero (and Null) convert to the null pointer.
+		switch dv := deref(v).(type) {
+		case Int:
+			if dv == 0 {
+				return Ptr{}
+			}
+		case Null:
+			return Ptr{}
+		}
+	}
+	return v
+}
+
+// env is one lexical environment (function frame with block scopes).
+type env struct {
+	in     *Interp
+	this   *Object
+	rtn    *il.Routine
+	scopes []map[string]*Cell
+	// objStack tracks locally-constructed objects per scope for
+	// destructor calls at scope exit.
+	objStack [][]*Object
+}
+
+func (in *Interp) newEnv(r *il.Routine, this *Object) *env {
+	e := &env{in: in, this: this, rtn: r}
+	e.push()
+	return e
+}
+
+func (e *env) push() {
+	e.scopes = append(e.scopes, map[string]*Cell{})
+	e.objStack = append(e.objStack, nil)
+}
+
+// pop destroys the scope, running destructors of tracked objects in
+// reverse order.
+func (e *env) pop() error {
+	top := e.objStack[len(e.objStack)-1]
+	e.scopes = e.scopes[:len(e.scopes)-1]
+	e.objStack = e.objStack[:len(e.objStack)-1]
+	for i := len(top) - 1; i >= 0; i-- {
+		if err := e.in.destroy(top[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// popNoDtor discards the scope without running destructors (used after
+// an error already unwound).
+func (e *env) popNoDtor() {
+	e.scopes = e.scopes[:len(e.scopes)-1]
+	e.objStack = e.objStack[:len(e.objStack)-1]
+}
+
+func (e *env) declare(name string, cell *Cell) {
+	e.scopes[len(e.scopes)-1][name] = cell
+}
+
+func (e *env) trackObj(o *Object) {
+	e.objStack[len(e.objStack)-1] = append(e.objStack[len(e.objStack)-1], o)
+}
+
+func (e *env) lookup(name string) *Cell {
+	for i := len(e.scopes) - 1; i >= 0; i-- {
+		if c, ok := e.scopes[i][name]; ok {
+			return c
+		}
+	}
+	return nil
+}
+
+// unwindAll runs destructors for every open scope (function return).
+func (e *env) unwindAll() error {
+	for len(e.scopes) > 0 {
+		if err := e.pop(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- calls ---------------------------------------------------------------------
+
+// Call invokes a routine with evaluated arguments. this is the receiver
+// object for member functions (nil otherwise). Reference parameters
+// receive Ref values; everything else is copied.
+func (in *Interp) Call(r *il.Routine, this *Object, args []Value) (Value, error) {
+	if r == nil {
+		return nil, fmt.Errorf("call of unresolved routine")
+	}
+	if in.depth >= in.maxDepth {
+		return nil, in.rterr(r.Loc, "call stack depth limit exceeded (%d)", in.maxDepth)
+	}
+	// Intrinsic?
+	if fn, ok := in.intrinsics[r.QualifiedName()]; ok {
+		return fn(in, this, args)
+	}
+	if !r.HasBody || r.Decl == nil || r.Decl.Body == nil {
+		// Unused-mode stub or undefined external.
+		if fn, ok := in.intrinsics[r.Name]; ok {
+			return fn(in, this, args)
+		}
+		return nil, in.rterr(r.Loc, "call of routine %s with no body (not instantiated or intrinsic)", r.QualifiedName())
+	}
+
+	in.depth++
+	in.trace = append(in.trace, r.QualifiedName())
+	defer func() {
+		in.depth--
+		in.trace = in.trace[:len(in.trace)-1]
+	}()
+
+	if in.opts.Hooks != nil {
+		in.opts.Hooks.RoutineEnter(r)
+		defer in.opts.Hooks.RoutineExit(r)
+	}
+
+	e := in.newEnv(r, this)
+
+	// Bind parameters.
+	for i, p := range r.Params {
+		var cell *Cell
+		var argV Value
+		switch {
+		case i < len(args):
+			argV = args[i]
+		case p.Default != nil:
+			dv, err := in.evalRValue(e, p.Default)
+			if err != nil {
+				return nil, err
+			}
+			argV = dv
+		default:
+			argV = zeroValueFor(p.Type)
+		}
+		if isRefParam(p.Type) {
+			if ref, ok := argV.(Ref); ok {
+				cell = ref.Cell
+			} else {
+				// Bind a temporary (const ref to rvalue).
+				cell = &Cell{V: copyValue(deref(argV))}
+			}
+		} else {
+			cell = &Cell{V: convertForStore(p.Type, copyValue(deref(argV)))}
+		}
+		e.declare(p.Name, cell)
+	}
+
+	// Constructor initializers.
+	if r.Kind == ast.Constructor && this != nil {
+		if err := in.runCtorInits(e, r, this); err != nil {
+			e.popNoDtor()
+			return nil, err
+		}
+	}
+
+	ctl, err := in.execStmt(e, r.Decl.Body)
+	if err != nil {
+		return nil, err
+	}
+	// Normal or early return: unwind scopes (running local dtors).
+	var ret Value = Null{}
+	if ctl != nil && ctl.kind == ctlReturn {
+		ret = ctl.val
+	}
+	if ctl != nil && ctl.kind == ctlThrow {
+		if err := e.unwindAll(); err != nil {
+			return nil, err
+		}
+		return nil, &thrownError{val: ctl.val, loc: ctl.loc}
+	}
+	if err := e.unwindAll(); err != nil {
+		return nil, err
+	}
+
+	// Destructor body done: run member + base destruction for the
+	// receiver.
+	if r.Kind == ast.Destructor && this != nil {
+		if err := in.destroyMembers(this, this.Class); err != nil {
+			return nil, err
+		}
+	}
+	if !isRefReturn(r.Ret) {
+		ret = copyValue(deref(ret))
+		ret = convertForStore(r.Ret, ret)
+	}
+	return ret, nil
+}
+
+func isRefParam(t *il.Type) bool { return t != nil && t.Unqualified().Kind == il.TRef }
+
+func isRefReturn(t *il.Type) bool { return t != nil && t.Unqualified().Kind == il.TRef }
+
+// runCtorInits performs the initialization phase of a constructor in
+// the canonical C++ order: direct bases in declaration order, then
+// data members in declaration order — each using its explicit
+// initializer when present and default construction otherwise. The
+// class is taken from the routine (not the object's dynamic class) so
+// base-subobject construction of derived objects initializes the right
+// layer.
+func (in *Interp) runCtorInits(e *env, r *il.Routine, this *Object) error {
+	cls := r.Class
+	if cls == nil {
+		return nil
+	}
+	inits := map[string]ast.CtorInit{}
+	for _, init := range r.Decl.Inits {
+		inits[init.Name.Terminal().Name] = init
+	}
+	evalInitArgs := func(init ast.CtorInit) ([]Value, error) {
+		var args []Value
+		for _, a := range init.Args {
+			v, err := in.evalArg(e, a)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, v)
+		}
+		return args, nil
+	}
+
+	// Direct bases, declaration order.
+	for _, b := range cls.Bases {
+		if b.Class == nil {
+			continue
+		}
+		init, ok := inits[b.Class.Name]
+		if !ok {
+			init, ok = inits[b.Class.BaseName()]
+		}
+		var args []Value
+		if ok {
+			var err error
+			if args, err = evalInitArgs(init); err != nil {
+				return err
+			}
+		}
+		if err := in.constructInPlace(this, b.Class, args, r.Loc); err != nil {
+			return err
+		}
+	}
+
+	// Data members, declaration order.
+	for _, m := range cls.Members {
+		if m.Storage == ast.Static {
+			continue
+		}
+		cell := this.Field(m.Name)
+		if cell == nil {
+			continue
+		}
+		init, ok := inits[m.Name]
+		if !ok {
+			// No explicit initializer: default-construct class-typed
+			// members (their constructors may have side effects).
+			if mo, isObj := cell.V.(*Object); isObj {
+				if err := in.construct(mo, nil, r.Loc); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		args, err := evalInitArgs(init)
+		if err != nil {
+			return err
+		}
+		if mo, isObj := cell.V.(*Object); isObj {
+			if err := in.construct(mo, args, init.Name.Loc()); err != nil {
+				return err
+			}
+			continue
+		}
+		if len(args) > 0 {
+			cell.V = convertForStore(m.Type, copyValue(deref(args[0])))
+		}
+	}
+
+	// Any remaining initializer names must have matched something.
+	for name, init := range inits {
+		if this.Field(name) != nil {
+			continue
+		}
+		matched := false
+		for _, b := range cls.Bases {
+			if b.Class != nil && (b.Class.Name == name || b.Class.BaseName() == name) {
+				matched = true
+			}
+		}
+		if !matched {
+			return in.rterr(init.Name.Loc(), "constructor initializer for unknown member %s", name)
+		}
+	}
+	return nil
+}
+
+// construct runs the best-matching constructor of obj's class on obj.
+// Classes without user constructors are already zero-initialized.
+func (in *Interp) construct(obj *Object, args []Value, loc source.Loc) error {
+	return in.constructInPlace(obj, obj.Class, args, loc)
+}
+
+func (in *Interp) constructInPlace(obj *Object, cls *il.Class, args []Value, loc source.Loc) error {
+	if cls == nil {
+		return nil
+	}
+	ctor := in.pickCtor(cls, args)
+	if ctor == nil {
+		// Copy construction from a same-class object.
+		if len(args) == 1 {
+			if src, ok := deref(args[0]).(*Object); ok && sameOrDerived(src.Class, cls) {
+				copyFields(obj, src)
+				return nil
+			}
+		}
+		if len(args) > 0 {
+			return in.rterr(loc, "no matching constructor for %s with %d argument(s)",
+				cls.QualifiedName(), len(args))
+		}
+		// Default: construct class-typed members recursively (their
+		// default ctors may have side effects).
+		return in.defaultConstructMembers(obj, cls, loc)
+	}
+	// Receiver for an in-place base construction is the full object;
+	// fields are shared via the flat field map.
+	saved := obj.Class
+	if cls != obj.Class {
+		obj.Class = cls
+	}
+	_, err := in.Call(ctor, obj, args)
+	obj.Class = saved
+	return err
+}
+
+// defaultConstructMembers runs default constructors of class-typed
+// members when the enclosing class has no user constructor.
+func (in *Interp) defaultConstructMembers(obj *Object, cls *il.Class, loc source.Loc) error {
+	for _, b := range cls.Bases {
+		if b.Class != nil {
+			if err := in.constructInPlace(obj, b.Class, nil, loc); err != nil {
+				return err
+			}
+		}
+	}
+	for _, m := range cls.Members {
+		if cell := obj.Field(m.Name); cell != nil {
+			if mo, ok := cell.V.(*Object); ok {
+				if err := in.construct(mo, nil, loc); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func copyFields(dst, src *Object) {
+	for name, cell := range src.Fields {
+		if d, ok := dst.Fields[name]; ok {
+			d.V = copyValue(cell.V)
+		}
+	}
+}
+
+func sameOrDerived(c, base *il.Class) bool {
+	return c == base || (c != nil && base != nil && c.DerivesFrom(base))
+}
+
+// pickCtor selects a constructor by runtime arguments.
+func (in *Interp) pickCtor(cls *il.Class, args []Value) *il.Routine {
+	var cands []*il.Routine
+	for _, m := range cls.Methods {
+		if m.Kind == ast.Constructor {
+			cands = append(cands, m)
+		}
+	}
+	return pickByRuntimeArgs(cands, args)
+}
+
+// destroy runs the destructor chain of an object.
+func (in *Interp) destroy(obj *Object) error {
+	if obj == nil || obj.Class == nil {
+		return nil
+	}
+	dtor := findDtor(obj.Class)
+	if dtor != nil && (dtor.HasBody || in.hasIntrinsic(dtor)) {
+		_, err := in.Call(dtor, obj, nil)
+		return err
+	}
+	return in.destroyMembers(obj, obj.Class)
+}
+
+// hasIntrinsic reports whether r has a native implementation.
+func (in *Interp) hasIntrinsic(r *il.Routine) bool {
+	_, ok := in.intrinsics[r.QualifiedName()]
+	return ok
+}
+
+// destroyMembers destroys class-typed members and base subobjects
+// (after a destructor body has run, or when no destructor exists).
+func (in *Interp) destroyMembers(obj *Object, cls *il.Class) error {
+	if cls == nil {
+		return nil
+	}
+	for i := len(cls.Members) - 1; i >= 0; i-- {
+		m := cls.Members[i]
+		if cell := obj.Field(m.Name); cell != nil {
+			if mo, ok := cell.V.(*Object); ok {
+				if err := in.destroy(mo); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for i := len(cls.Bases) - 1; i >= 0; i-- {
+		b := cls.Bases[i]
+		if b.Class == nil {
+			continue
+		}
+		if bd := findDtorIn(b.Class); bd != nil && (bd.HasBody || in.hasIntrinsic(bd)) {
+			saved := obj.Class
+			obj.Class = b.Class
+			_, err := in.Call(bd, obj, nil)
+			obj.Class = saved
+			if err != nil {
+				return err
+			}
+		} else if err := in.destroyMembers(obj, b.Class); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func findDtor(cls *il.Class) *il.Routine {
+	for c := cls; c != nil; {
+		if d := findDtorIn(c); d != nil {
+			return d
+		}
+		// climb to first base
+		if len(c.Bases) > 0 {
+			c = c.Bases[0].Class
+		} else {
+			c = nil
+		}
+	}
+	return nil
+}
+
+func findDtorIn(cls *il.Class) *il.Routine {
+	for _, m := range cls.Methods {
+		if m.Kind == ast.Destructor {
+			return m
+		}
+	}
+	return nil
+}
+
+// pickByRuntimeArgs selects an overload by argument count and runtime
+// value kinds.
+func pickByRuntimeArgs(cands []*il.Routine, args []Value) *il.Routine {
+	var best *il.Routine
+	bestScore := -1
+	for _, cand := range cands {
+		minArgs := 0
+		for _, p := range cand.Params {
+			if p.Default == nil {
+				minArgs++
+			}
+		}
+		variadic := cand.Signature != nil && cand.Signature.Variadic
+		if len(args) < minArgs || (!variadic && len(args) > len(cand.Params)) {
+			continue
+		}
+		score := 0
+		for i, a := range args {
+			if i >= len(cand.Params) {
+				break
+			}
+			score += runtimeRank(cand.Params[i].Type, deref(a))
+		}
+		if score > bestScore {
+			bestScore = score
+			best = cand
+		}
+	}
+	return best
+}
+
+// runtimeRank scores a runtime value against a parameter type.
+func runtimeRank(t *il.Type, v Value) int {
+	if t == nil {
+		return 0
+	}
+	u := t.Deref()
+	switch v := v.(type) {
+	case Int:
+		if u.Kind == il.TInt || u.Kind == il.TUInt || u.Kind == il.TLong ||
+			u.Kind == il.TULong || u.Kind == il.TLongLong || u.Kind == il.TULongLong ||
+			u.Kind == il.TShort || u.Kind == il.TUShort {
+			return 3
+		}
+		if u.Kind.IsArithmetic() {
+			return 1
+		}
+	case Float:
+		if u.Kind.IsFloat() {
+			return 3
+		}
+		if u.Kind.IsArithmetic() {
+			return 1
+		}
+	case Bool:
+		if u.Kind == il.TBool {
+			return 3
+		}
+		if u.Kind.IsArithmetic() {
+			return 1
+		}
+	case Char:
+		if u.Kind == il.TChar || u.Kind == il.TSChar || u.Kind == il.TUChar {
+			return 3
+		}
+		if u.Kind.IsArithmetic() {
+			return 1
+		}
+	case Str:
+		if u.Kind == il.TPtr {
+			if e := u.Elem.Unqualified(); e.Kind == il.TChar {
+				return 3
+			}
+			return 1
+		}
+	case Ptr:
+		if u.Kind == il.TPtr || u.Kind == il.TArray {
+			return 3
+		}
+	case *Object:
+		if u.Kind == il.TClass {
+			if u.Class == v.Class {
+				return 4
+			}
+			if v.Class != nil && u.Class != nil && v.Class.DerivesFrom(u.Class) {
+				return 2
+			}
+		}
+	}
+	return 0
+}
+
+// thrownError propagates a C++ exception through Go frames.
+type thrownError struct {
+	val Value
+	loc source.Loc
+}
+
+func (t *thrownError) Error() string {
+	if o, ok := t.val.(*Object); ok && o.Class != nil {
+		return "exception of type " + o.Class.QualifiedName()
+	}
+	return "exception: " + FormatValue(t.val)
+}
+
+// nameOfType renders a runtime type name for the CT() RTTI query.
+func nameOfType(v Value) string {
+	switch v := deref(v).(type) {
+	case *Object:
+		if v.Class != nil {
+			return v.Class.QualifiedName()
+		}
+		return "class"
+	case Int:
+		return "int"
+	case Float:
+		return "double"
+	case Bool:
+		return "bool"
+	case Char:
+		return "char"
+	case Str:
+		return "const char *"
+	case Ptr:
+		if !v.IsNull() && len(v.Alloc.Cells) > 0 {
+			return strings.TrimSpace(nameOfType(v.Alloc.Cells[v.Idx].V) + " *")
+		}
+		return "void *"
+	default:
+		return "void"
+	}
+}

@@ -1,0 +1,596 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"pdt/internal/core"
+	"pdt/internal/interp"
+)
+
+// run compiles and executes src, returning exit code and stdout.
+func run(t *testing.T, src string, extra map[string]string) (int, string) {
+	t.Helper()
+	code, out, err := runErr(t, src, extra)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return code, out
+}
+
+func runErr(t *testing.T, src string, extra map[string]string) (int, string, error) {
+	t.Helper()
+	opts := core.Options{}
+	fs := core.NewFileSet(opts)
+	for name, content := range extra {
+		fs.AddVirtualFile(name, content)
+	}
+	res := core.CompileSource(fs, "main.cpp", src, opts)
+	for _, d := range res.Diagnostics {
+		t.Fatalf("compile diagnostic: %v", d)
+	}
+	var sb strings.Builder
+	in := interp.New(res.Unit, interp.Options{Out: &sb})
+	code, err := in.Run()
+	return code, sb.String(), err
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	code, _ := run(t, `
+int main() {
+    int sum = 0;
+    for (int i = 1; i <= 10; i++) sum += i;       // 55
+    int n = 0;
+    while (n * n < 50) n++;                        // 8
+    do { n--; } while (n > 5);                     // 5
+    if (sum == 55 && n == 5) return 42;
+    return 1;
+}`, nil)
+	if code != 42 {
+		t.Errorf("exit code = %d, want 42", code)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	code, _ := run(t, `
+int classify(int x) {
+    int r = 0;
+    switch (x) {
+    case 0:
+    case 1: r = 10; break;
+    case 2: r = 20; // fallthrough
+    case 3: r += 1; break;
+    default: r = 99;
+    }
+    return r;
+}
+int main() {
+    // classify(1)=10, classify(2)=21, classify(3)=1, classify(7)=99
+    return classify(1) + classify(2) + classify(3) + classify(7);
+}`, nil)
+	if code != 131 {
+		t.Errorf("code = %d, want 131", code)
+	}
+}
+
+func TestFunctionsOverloadsDefaults(t *testing.T) {
+	code, _ := run(t, `
+int f(int x) { return 1; }
+int f(double x) { return 2; }
+int g(int a, int b = 10) { return a + b; }
+int main() { return f(1) * 100 + f(1.5) * 10 + g(5); }`, nil)
+	if code != 125 { // 100 + 20 + 15 = 135? f(1)=1*100, f(1.5)=2*10, g(5)=15 → 135
+		if code != 135 {
+			t.Errorf("code = %d, want 135", code)
+		}
+	}
+	if code != 135 {
+		t.Errorf("code = %d, want 135", code)
+	}
+}
+
+func TestReferencesAndPointers(t *testing.T) {
+	code, _ := run(t, `
+void bump(int & x) { x++; }
+void set(int * p, int v) { *p = v; }
+int main() {
+    int a = 1;
+    bump(a);            // 2
+    set(&a, 40);        // 40
+    int * q = &a;
+    *q += 2;            // 42
+    return a;
+}`, nil)
+	if code != 42 {
+		t.Errorf("code = %d, want 42", code)
+	}
+}
+
+func TestClassesCtorsDtors(t *testing.T) {
+	_, out := run(t, `
+#include <iostream>
+class Tracer {
+public:
+    Tracer(int id) : id_(id) { cout << "+" << id_; }
+    ~Tracer() { cout << "-" << id_; }
+private:
+    int id_;
+};
+int main() {
+    Tracer a(1);
+    {
+        Tracer b(2);
+    }
+    Tracer c(3);
+    return 0;
+}`, nil)
+	if out != "+1+2-2+3-3-1" {
+		t.Errorf("lifetime trace = %q, want +1+2-2+3-3-1", out)
+	}
+}
+
+func TestVirtualDispatch(t *testing.T) {
+	code, _ := run(t, `
+class Shape {
+public:
+    virtual int sides() const { return 0; }
+    virtual ~Shape() { }
+};
+class Triangle : public Shape {
+public:
+    int sides() const { return 3; }
+};
+class Square : public Shape {
+public:
+    int sides() const { return 4; }
+};
+int count(Shape * s) { return s->sides(); }
+int main() {
+    Triangle t;
+    Square q;
+    Shape plain;
+    return count(&t) * 100 + count(&q) * 10 + count(&plain);
+}`, nil)
+	if code != 340 {
+		t.Errorf("code = %d, want 340", code)
+	}
+}
+
+func TestOperatorOverloading(t *testing.T) {
+	code, _ := run(t, `
+class Vec2 {
+public:
+    Vec2(int x, int y) : x_(x), y_(y) { }
+    Vec2 operator+(const Vec2 & o) const { return Vec2(x_ + o.x_, y_ + o.y_); }
+    int operator[](int i) const { return i == 0 ? x_ : y_; }
+    bool operator==(const Vec2 & o) const { return x_ == o.x_ && y_ == o.y_; }
+private:
+    int x_, y_;
+};
+int main() {
+    Vec2 a(1, 2), b(3, 4);
+    Vec2 c = a + b;
+    if (c == Vec2(4, 6))
+        return c[0] * 10 + c[1];
+    return 0;
+}`, nil)
+	if code != 46 {
+		t.Errorf("code = %d, want 46", code)
+	}
+}
+
+func TestHeapAndArrays(t *testing.T) {
+	code, _ := run(t, `
+int main() {
+    int *a = new int[10];
+    for (int i = 0; i < 10; i++) a[i] = i * i;
+    int sum = 0;
+    for (int i = 0; i < 10; i++) sum += a[i];
+    delete[] a;
+    int *p = new int(7);
+    sum += *p;
+    delete p;
+    return sum; // 285 + 7
+}`, nil)
+	if code != 292 {
+		t.Errorf("code = %d, want 292", code)
+	}
+}
+
+func TestExceptions(t *testing.T) {
+	code, out := run(t, `
+#include <iostream>
+class Err { public: Err(int c) : code(c) { } int code; };
+int risky(int x) {
+    if (x > 5) throw Err(x);
+    return x;
+}
+int main() {
+    int got = 0;
+    try {
+        got += risky(3);
+        got += risky(9);
+        got += 1000; // skipped
+    } catch (Err & e) {
+        cout << "caught " << e.code;
+        got += e.code * 10;
+    }
+    return got; // 3 + 90
+}`, nil)
+	if code != 93 {
+		t.Errorf("code = %d, want 93", code)
+	}
+	if out != "caught 9" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestExceptionRunsDtorsDuringUnwind(t *testing.T) {
+	_, out := run(t, `
+#include <iostream>
+class Guard {
+public:
+    Guard(int id) : id_(id) { }
+    ~Guard() { cout << "~" << id_; }
+private:
+    int id_;
+};
+void deep() {
+    Guard g(2);
+    throw 42;
+}
+int main() {
+    try {
+        Guard g(1);
+        deep();
+    } catch (int e) {
+        cout << "!" << e;
+    }
+    return 0;
+}`, nil)
+	if out != "~2~1!42" {
+		t.Errorf("unwind order = %q, want ~2~1!42", out)
+	}
+}
+
+func TestUncaughtExceptionPropagates(t *testing.T) {
+	_, _, err := runErr(t, "int main() { throw 3; }", nil)
+	if err == nil {
+		t.Fatal("expected error for uncaught exception")
+	}
+}
+
+func TestCatchEllipsisAndRethrowToOuter(t *testing.T) {
+	code, _ := run(t, `
+int main() {
+    int r = 0;
+    try {
+        try {
+            throw 1.5;
+        } catch (int i) {
+            r = 1; // must not match a double
+        }
+    } catch (...) {
+        r = 7;
+    }
+    return r;
+}`, nil)
+	if code != 7 {
+		t.Errorf("code = %d, want 7", code)
+	}
+}
+
+func TestTemplatesRun(t *testing.T) {
+	code, _ := run(t, `
+template <class T> T biggest(T a, T b) { return a > b ? a : b; }
+template <class T>
+class Acc {
+public:
+    Acc() : total(0) { }
+    void add(T v) { total += v; }
+    T get() const { return total; }
+private:
+    T total;
+};
+int main() {
+    Acc<int> a;
+    for (int i = 1; i <= 4; i++) a.add(i);   // 10
+    Acc<double> d;
+    d.add(1.5); d.add(2.5);                  // 4.0
+    return biggest(a.get(), (int) d.get()) * 10 + (int) d.get();
+}`, nil)
+	if code != 104 {
+		t.Errorf("code = %d, want 104", code)
+	}
+}
+
+func TestVectorHeaderRuns(t *testing.T) {
+	code, _ := run(t, `
+#include <vector>
+int main() {
+    vector<int> v;
+    for (int i = 0; i < 100; i++) v.push_back(i);
+    int sum = 0;
+    for (int i = 0; i < v.size(); i++) sum += v[i];
+    return sum == 4950 ? 0 : 1;
+}`, nil)
+	if code != 0 {
+		t.Errorf("vector run failed, code = %d", code)
+	}
+}
+
+func TestStackFigure1Runs(t *testing.T) {
+	// The paper's Figure 1 driver, verbatim semantics: pushes 0..9 and
+	// pops them back in LIFO order, printing each.
+	code, out := run(t, `
+#include <vector>
+#include <iostream>
+class Overflow { };
+class Underflow { };
+
+template <class Object>
+class Stack {
+public:
+    explicit Stack(int capacity = 10)
+        : theArray(capacity), topOfStack(-1) { }
+    bool isEmpty() const { return topOfStack == -1; }
+    bool isFull() const { return topOfStack == theArray.size() - 1; }
+    void push(const Object & x) {
+        if (isFull())
+            throw Overflow();
+        theArray[++topOfStack] = x;
+    }
+    Object topAndPop() {
+        if (isEmpty())
+            throw Underflow();
+        return theArray[topOfStack--];
+    }
+private:
+    vector<Object> theArray;
+    int topOfStack;
+};
+
+int main() {
+    Stack<int> s;
+    for (int i = 0; i < 10; i++)
+        s.push(i);
+    while (!s.isEmpty())
+        cout << s.topAndPop() << endl;
+    return 0;
+}`, nil)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	want := "9\n8\n7\n6\n5\n4\n3\n2\n1\n0\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestStackOverflowThrows(t *testing.T) {
+	code, out := run(t, `
+#include <vector>
+#include <iostream>
+class Overflow { };
+template <class Object>
+class Stack {
+public:
+    explicit Stack(int capacity = 10) : theArray(capacity), topOfStack(-1) { }
+    bool isFull() const { return topOfStack == theArray.size() - 1; }
+    void push(const Object & x) {
+        if (isFull())
+            throw Overflow();
+        theArray[++topOfStack] = x;
+    }
+private:
+    vector<Object> theArray;
+    int topOfStack;
+};
+int main() {
+    Stack<int> s(3);
+    try {
+        for (int i = 0; i < 100; i++) s.push(i);
+    } catch (Overflow & o) {
+        cout << "overflow";
+        return 3;
+    }
+    return 0;
+}`, nil)
+	if code != 3 || out != "overflow" {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+}
+
+func TestStaticMembers(t *testing.T) {
+	code, _ := run(t, `
+class Counter {
+public:
+    Counter() { count++; }
+    static int count;
+};
+int Counter::count = 0;
+int main() {
+    Counter a, b, c;
+    return Counter::count;
+}`, nil)
+	if code != 3 {
+		t.Errorf("code = %d, want 3", code)
+	}
+}
+
+func TestStreamOutputFormats(t *testing.T) {
+	_, out := run(t, `
+#include <iostream>
+int main() {
+    cout << 42 << " " << 2.5 << " " << 'x' << " " << true << " " << "str" << endl;
+    return 0;
+}`, nil)
+	if out != "42 2.5 x 1 str\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestPrintfIntrinsic(t *testing.T) {
+	_, out := run(t, `
+#include <cstdio>
+int main() {
+    printf("%d %s %c %.2f %x %%\n", 7, "ok", 65, 3.14159, 255);
+    return 0;
+}`, nil)
+	if out != "7 ok A 3.14 ff %\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestMathIntrinsics(t *testing.T) {
+	code, _ := run(t, `
+#include <cmath>
+int main() {
+    double x = sqrt(16.0) + fabs(-3.0) + pow(2.0, 3.0) + floor(1.9);
+    return (int) x; // 4 + 3 + 8 + 1
+}`, nil)
+	if code != 16 {
+		t.Errorf("code = %d, want 16", code)
+	}
+}
+
+func TestRecursionAndGlobals(t *testing.T) {
+	code, _ := run(t, `
+int calls = 0;
+int fib(int n) {
+    calls++;
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(10) + (calls > 0 ? 0 : 1000); }`, nil)
+	if code != 55 {
+		t.Errorf("code = %d, want 55", code)
+	}
+}
+
+func TestNamespaceCalls(t *testing.T) {
+	code, _ := run(t, `
+namespace math {
+    int sq(int x) { return x * x; }
+    namespace inner { int one() { return 1; } }
+}
+int main() { return math::sq(6) + math::inner::one(); }`, nil)
+	if code != 37 {
+		t.Errorf("code = %d, want 37", code)
+	}
+}
+
+func TestCopySemantics(t *testing.T) {
+	code, _ := run(t, `
+class Box {
+public:
+    Box(int v) : val(v) { }
+    int val;
+};
+void mutate(Box b) { b.val = 999; }
+int main() {
+    Box a(5);
+    Box b = a;
+    b.val = 7;
+    mutate(a);
+    return a.val * 10 + b.val; // copy semantics: 57
+}`, nil)
+	if code != 57 {
+		t.Errorf("code = %d, want 57", code)
+	}
+}
+
+func TestVirtualClockDeterministic(t *testing.T) {
+	src := `
+int work() { int s = 0; for (int i = 0; i < 100; i++) s += i; return s; }
+int main() { return work() > 0 ? 0 : 1; }`
+	clock := func() uint64 {
+		opts := core.Options{}
+		fs := core.NewFileSet(opts)
+		res := core.CompileSource(fs, "main.cpp", src, opts)
+		in := interp.New(res.Unit, interp.Options{})
+		if _, err := in.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return in.Clock()
+	}
+	c1, c2 := clock(), clock()
+	if c1 != c2 {
+		t.Errorf("virtual clock not deterministic: %d vs %d", c1, c2)
+	}
+	if c1 == 0 {
+		t.Error("clock did not advance")
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	opts := core.Options{}
+	fs := core.NewFileSet(opts)
+	res := core.CompileSource(fs, "main.cpp", "int main() { while (true) { } return 0; }", opts)
+	in := interp.New(res.Unit, interp.Options{MaxSteps: 10000})
+	_, err := in.Run()
+	if err == nil || !strings.Contains(err.Error(), "step budget") {
+		t.Errorf("expected step budget error, got %v", err)
+	}
+}
+
+func TestDeleteNullIsNoop(t *testing.T) {
+	code, _ := run(t, `
+int main() {
+    int *p = 0;
+    delete p;
+    return 0;
+}`, nil)
+	if code != 0 {
+		t.Errorf("code = %d", code)
+	}
+}
+
+func TestEnumValues(t *testing.T) {
+	code, _ := run(t, `
+enum Mode { OFF, SLOW = 5, FAST };
+int main() { return OFF + SLOW + FAST; }`, nil)
+	if code != 11 {
+		t.Errorf("code = %d, want 11", code)
+	}
+}
+
+func TestRTTIIntrinsic(t *testing.T) {
+	_, out := run(t, `
+#include <iostream>
+#include <tau.h>
+template <class T> class Holder {
+public:
+    const char * name() { return CT(*this); }
+};
+int main() {
+    Holder<double> h;
+    cout << h.name();
+    return 0;
+}`, nil)
+	if out != "Holder<double>" {
+		t.Errorf("CT(*this) = %q, want Holder<double>", out)
+	}
+}
+
+func TestRuntimeErrorHasTrace(t *testing.T) {
+	_, _, err := runErr(t, `
+int crash() { int *p = 0; return *p; }
+int main() { return crash(); }`, nil)
+	if err == nil {
+		t.Fatal("expected null-deref error")
+	}
+	re, ok := err.(*interp.RuntimeError)
+	if !ok {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	found := false
+	for _, fr := range re.Trace {
+		if fr == "crash" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace = %v", re.Trace)
+	}
+}

@@ -1,0 +1,229 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// installStdIntrinsics wires the built-in header declarations
+// (internal/cpp/stdlib) to native implementations.
+func installStdIntrinsics(in *Interp) {
+	// Stream output: every ostream::operator<< overload.
+	in.RegisterIntrinsic("ostream::operator<<", func(in *Interp, this *Object, args []Value) (Value, error) {
+		if len(args) > 0 {
+			fmt.Fprint(in.out, FormatValue(args[0]))
+		}
+		return this, nil
+	})
+
+	mono := func(name string, f func(float64) float64) {
+		in.RegisterIntrinsic(name, func(in *Interp, _ *Object, args []Value) (Value, error) {
+			if len(args) < 1 {
+				return nil, fmt.Errorf("%s: missing argument", name)
+			}
+			x, err := asFloat(deref(args[0]))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", name, err)
+			}
+			return Float(f(x)), nil
+		})
+	}
+	mono("sqrt", math.Sqrt)
+	mono("fabs", math.Abs)
+	mono("sin", math.Sin)
+	mono("cos", math.Cos)
+	mono("tan", math.Tan)
+	mono("exp", math.Exp)
+	mono("log", math.Log)
+	mono("floor", math.Floor)
+	mono("ceil", math.Ceil)
+
+	in.RegisterIntrinsic("pow", func(in *Interp, _ *Object, args []Value) (Value, error) {
+		if len(args) < 2 {
+			return nil, fmt.Errorf("pow: missing arguments")
+		}
+		a, err1 := asFloat(deref(args[0]))
+		b, err2 := asFloat(deref(args[1]))
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("pow: non-numeric argument")
+		}
+		return Float(math.Pow(a, b)), nil
+	})
+
+	in.RegisterIntrinsic("printf", func(in *Interp, _ *Object, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return Int(0), nil
+		}
+		format, ok := deref(args[0]).(Str)
+		if !ok {
+			return nil, fmt.Errorf("printf: format is not a string")
+		}
+		s := formatPrintf(string(format), args[1:])
+		n, _ := fmt.Fprint(in.out, s)
+		return Int(n), nil
+	})
+	in.RegisterIntrinsic("puts", func(in *Interp, _ *Object, args []Value) (Value, error) {
+		if len(args) > 0 {
+			fmt.Fprintln(in.out, FormatValue(args[0]))
+		}
+		return Int(0), nil
+	})
+	in.RegisterIntrinsic("putchar", func(in *Interp, _ *Object, args []Value) (Value, error) {
+		if len(args) > 0 {
+			if i, err := asInt(deref(args[0])); err == nil {
+				fmt.Fprint(in.out, string(rune(i)))
+				return Int(i), nil
+			}
+		}
+		return Int(-1), nil
+	})
+
+	in.RegisterIntrinsic("abs", func(in *Interp, _ *Object, args []Value) (Value, error) {
+		i, err := asInt(deref(args[0]))
+		if err != nil {
+			return nil, err
+		}
+		if i < 0 {
+			i = -i
+		}
+		return Int(i), nil
+	})
+	in.RegisterIntrinsic("labs", in.intrinsics["abs"])
+	in.RegisterIntrinsic("exit", func(in *Interp, _ *Object, args []Value) (Value, error) {
+		code := int64(0)
+		if len(args) > 0 {
+			code, _ = asInt(deref(args[0]))
+		}
+		return nil, &exitSignal{code: int(code)}
+	})
+	// Deterministic xorshift PRNG so runs are reproducible.
+	in.RegisterIntrinsic("rand", func(in *Interp, _ *Object, args []Value) (Value, error) {
+		in.rngState ^= in.rngState << 13
+		in.rngState ^= in.rngState >> 7
+		in.rngState ^= in.rngState << 17
+		return Int(int64(in.rngState % 2147483647)), nil
+	})
+	in.RegisterIntrinsic("srand", func(in *Interp, _ *Object, args []Value) (Value, error) {
+		if len(args) > 0 {
+			if i, err := asInt(deref(args[0])); err == nil && i != 0 {
+				in.rngState = uint64(i)
+			}
+		}
+		return Null{}, nil
+	})
+	in.RegisterIntrinsic("atoi", func(in *Interp, _ *Object, args []Value) (Value, error) {
+		if len(args) > 0 {
+			if s, ok := deref(args[0]).(Str); ok {
+				n, _ := strconv.Atoi(strings.TrimSpace(string(s)))
+				return Int(n), nil
+			}
+		}
+		return Int(0), nil
+	})
+	in.RegisterIntrinsic("strcmp", func(in *Interp, _ *Object, args []Value) (Value, error) {
+		if len(args) < 2 {
+			return Int(0), nil
+		}
+		a, _ := deref(args[0]).(Str)
+		b, _ := deref(args[1]).(Str)
+		return Int(int64(strings.Compare(string(a), string(b)))), nil
+	})
+	in.RegisterIntrinsic("strlen", func(in *Interp, _ *Object, args []Value) (Value, error) {
+		if len(args) > 0 {
+			if s, ok := deref(args[0]).(Str); ok {
+				return Int(int64(len(s))), nil
+			}
+		}
+		return Int(0), nil
+	})
+	in.RegisterIntrinsic("__pdt_assert", func(in *Interp, _ *Object, args []Value) (Value, error) {
+		if len(args) >= 1 {
+			ok, _ := asInt(deref(args[0]))
+			if ok == 0 {
+				what := "assertion failed"
+				if len(args) >= 2 {
+					if s, isStr := deref(args[1]).(Str); isStr {
+						what = "assertion failed: " + string(s)
+					}
+				}
+				return nil, fmt.Errorf("%s", what)
+			}
+		}
+		return Null{}, nil
+	})
+
+	// RTTI for TAU's CT(obj) macro: the run-time type name, including
+	// instantiated template arguments ("Stack<int>").
+	in.RegisterIntrinsic("__pdt_typename", func(in *Interp, _ *Object, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return Str("void"), nil
+		}
+		return Str(nameOfType(args[0])), nil
+	})
+}
+
+// formatPrintf implements the printf subset: %d %i %ld %u %f %g %e %s
+// %c %x %% with optional width/precision digits (which are honored via
+// Go's formatter).
+func formatPrintf(format string, args []Value) string {
+	var sb strings.Builder
+	argi := 0
+	next := func() Value {
+		if argi < len(args) {
+			v := deref(args[argi])
+			argi++
+			return v
+		}
+		return Int(0)
+	}
+	for i := 0; i < len(format); i++ {
+		ch := format[i]
+		if ch != '%' {
+			sb.WriteByte(ch)
+			continue
+		}
+		if i+1 >= len(format) {
+			break
+		}
+		// Collect flags/width/precision.
+		j := i + 1
+		for j < len(format) && (format[j] == '-' || format[j] == '+' || format[j] == ' ' ||
+			format[j] == '0' || format[j] == '.' || (format[j] >= '0' && format[j] <= '9')) {
+			j++
+		}
+		// Skip length modifiers.
+		for j < len(format) && (format[j] == 'l' || format[j] == 'h' || format[j] == 'z') {
+			j++
+		}
+		if j >= len(format) {
+			break
+		}
+		spec := format[i+1 : j]
+		verb := format[j]
+		switch verb {
+		case '%':
+			sb.WriteByte('%')
+		case 'd', 'i', 'u':
+			v, _ := asInt(next())
+			fmt.Fprintf(&sb, "%"+spec+"d", v)
+		case 'x':
+			v, _ := asInt(next())
+			fmt.Fprintf(&sb, "%"+spec+"x", v)
+		case 'f', 'e', 'g':
+			v, _ := asFloat(next())
+			fmt.Fprintf(&sb, "%"+spec+string(verb), v)
+		case 'c':
+			v, _ := asInt(next())
+			sb.WriteString(string(rune(v)))
+		case 's':
+			sb.WriteString(FormatValue(next()))
+		default:
+			sb.WriteByte('%')
+			sb.WriteByte(verb)
+		}
+		i = j
+	}
+	return sb.String()
+}

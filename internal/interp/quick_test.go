@@ -1,0 +1,236 @@
+package interp_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pdt/internal/core"
+	"pdt/internal/interp"
+)
+
+// randIntExpr builds a random C++ integer expression along with its
+// expected value computed independently in Go (C++ and Go share
+// semantics for these operators on int64).
+func randIntExpr(r *rand.Rand, depth int) (string, int64) {
+	if depth <= 0 {
+		v := int64(r.Intn(100) - 50)
+		if v < 0 {
+			return fmt.Sprintf("(%d)", v), v
+		}
+		return fmt.Sprintf("%d", v), v
+	}
+	ls, lv := randIntExpr(r, depth-1)
+	rs, rv := randIntExpr(r, depth-1)
+	switch r.Intn(9) {
+	case 0:
+		return "(" + ls + " + " + rs + ")", lv + rv
+	case 1:
+		return "(" + ls + " - " + rs + ")", lv - rv
+	case 2:
+		return "(" + ls + " * " + rs + ")", lv * rv
+	case 3:
+		if rv == 0 {
+			return "(" + ls + " + " + rs + ")", lv + rv
+		}
+		return "(" + ls + " / " + rs + ")", lv / rv
+	case 4:
+		if rv == 0 {
+			return "(" + ls + " - " + rs + ")", lv - rv
+		}
+		return "(" + ls + " % " + rs + ")", lv % rv
+	case 5:
+		return "(" + ls + " & " + rs + ")", lv & rv
+	case 6:
+		return "(" + ls + " | " + rs + ")", lv | rv
+	case 7:
+		return "(" + ls + " ^ " + rs + ")", lv ^ rv
+	default:
+		return fmt.Sprintf("(%s < %s ? %s : %s)", ls, rs, ls, rs),
+			map[bool]int64{true: lv, false: rv}[lv < rv]
+	}
+}
+
+// Property: the interpreter computes random integer expressions
+// exactly as Go does.
+func TestIntArithmeticProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		exprText, want := randIntExpr(r, 4)
+		src := fmt.Sprintf(`
+int main() {
+    long result = %s;
+    long want = %d;
+    return result == want ? 0 : 1;
+}`, exprText, want)
+		opts := core.Options{}
+		fs := core.NewFileSet(opts)
+		res := core.CompileSource(fs, "m.cpp", src, opts)
+		if res.HasErrors() {
+			t.Logf("compile failed on %s: %v", exprText, res.Diagnostics[0])
+			return false
+		}
+		in := interp.New(res.Unit, interp.Options{})
+		code, err := in.Run()
+		if err != nil {
+			t.Logf("run failed on %s: %v", exprText, err)
+			return false
+		}
+		if code != 0 {
+			t.Logf("mismatch: %s should be %d", exprText, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a vector subjected to a random push/pop/set sequence
+// mirrors a Go slice driven by the same sequence.
+func TestVectorModelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var ops []string
+		model := []int64{}
+		for i := 0; i < 30; i++ {
+			switch r.Intn(3) {
+			case 0:
+				v := int64(r.Intn(1000))
+				ops = append(ops, fmt.Sprintf("v.push_back(%d);", v))
+				model = append(model, v)
+			case 1:
+				if len(model) > 0 {
+					ops = append(ops, "v.pop_back();")
+					model = model[:len(model)-1]
+				}
+			default:
+				if len(model) > 0 {
+					idx := r.Intn(len(model))
+					val := int64(r.Intn(1000))
+					ops = append(ops, fmt.Sprintf("v[%d] = %d;", idx, val))
+					model[idx] = val
+				}
+			}
+		}
+		var sum int64
+		for _, v := range model {
+			sum += v
+		}
+		body := ""
+		for _, op := range ops {
+			body += "    " + op + "\n"
+		}
+		src := fmt.Sprintf(`
+#include <vector>
+int main() {
+    vector<long> v;
+%s
+    long sum = 0;
+    for (int i = 0; i < v.size(); i++) sum += v[i];
+    long want = %d;
+    int wantLen = %d;
+    if (v.size() != wantLen) return 2;
+    return sum == want ? 0 : 1;
+}`, body, sum, len(model))
+		opts := core.Options{}
+		fs := core.NewFileSet(opts)
+		res := core.CompileSource(fs, "m.cpp", src, opts)
+		if res.HasErrors() {
+			t.Logf("compile: %v", res.Diagnostics[0])
+			return false
+		}
+		in := interp.New(res.Unit, interp.Options{})
+		code, err := in.Run()
+		if err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		if code != 0 {
+			t.Logf("model mismatch (code %d) for ops:\n%s", code, body)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the Figure-1 Stack behaves as a LIFO for random push/pop
+// sequences (bounded by capacity), matching a Go slice model.
+func TestStackModelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const cap = 16
+		var ops []string
+		var model []int64
+		checks := 0
+		for i := 0; i < 40; i++ {
+			if r.Intn(2) == 0 && len(model) < cap {
+				v := int64(r.Intn(100))
+				ops = append(ops, fmt.Sprintf("s.push(%d);", v))
+				model = append(model, v)
+			} else if len(model) > 0 {
+				want := model[len(model)-1]
+				model = model[:len(model)-1]
+				ops = append(ops, fmt.Sprintf("if (s.topAndPop() != %d) return %d;", want, 10+checks))
+				checks++
+			}
+		}
+		body := ""
+		for _, op := range ops {
+			body += "    " + op + "\n"
+		}
+		src := fmt.Sprintf(`
+#include <vector>
+class Overflow { };
+class Underflow { };
+template <class Object>
+class Stack {
+public:
+    explicit Stack(int capacity = 10) : theArray(capacity), topOfStack(-1) { }
+    bool isEmpty() const { return topOfStack == -1; }
+    bool isFull() const { return topOfStack == theArray.size() - 1; }
+    void push(const Object & x) {
+        if (isFull()) throw Overflow();
+        theArray[++topOfStack] = x;
+    }
+    Object topAndPop() {
+        if (isEmpty()) throw Underflow();
+        return theArray[topOfStack--];
+    }
+private:
+    vector<Object> theArray;
+    int topOfStack;
+};
+int main() {
+    Stack<long> s(%d);
+%s
+    return 0;
+}`, cap, body)
+		opts := core.Options{}
+		fs := core.NewFileSet(opts)
+		res := core.CompileSource(fs, "m.cpp", src, opts)
+		if res.HasErrors() {
+			t.Logf("compile: %v", res.Diagnostics[0])
+			return false
+		}
+		in := interp.New(res.Unit, interp.Options{})
+		code, err := in.Run()
+		if err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		if code != 0 {
+			t.Logf("LIFO violated (code %d):\n%s", code, body)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,340 @@
+// Package interp is a deterministic tree-walking interpreter over the
+// PDT IL. It is the execution substrate for the paper's dynamic
+// analysis (§4.1): the TAU-instrumented programs produced by
+// internal/tau run on it, with object lifetimes (constructors and
+// destructors at scope exit), virtual dispatch, overloaded operators,
+// exceptions, heap arrays, and run-time type information for template
+// instantiations (the CT(obj) query).
+//
+// Time is virtual by default: a monotonically increasing step counter
+// advanced by every statement and expression node, which makes profile
+// output exactly reproducible in CI. Wall-clock time is available as
+// an option for real measurements.
+package interp
+
+import (
+	"fmt"
+
+	"pdt/internal/cpp/ast"
+	"pdt/internal/il"
+)
+
+// Value is a runtime value. The concrete types are:
+//
+//	Int, Float, Bool, Char  — arithmetic values
+//	Str                     — C string (char* literal and results)
+//	Ptr                     — pointer into an allocation (or null)
+//	*Object                 — class instance storage
+//	Ref                     — reference (alias of a Cell)
+//	Null                    — the null pointer constant / void result
+type Value interface{ valueKind() string }
+
+// Int is any integral value.
+type Int int64
+
+// Float is any floating-point value.
+type Float float64
+
+// Bool is a boolean value.
+type Bool bool
+
+// Char is a character value (kept distinct from Int so overload
+// selection can route it to operator<<(char)).
+type Char int64
+
+// Str is a C string value.
+type Str string
+
+// Null is the null pointer / absent value.
+type Null struct{}
+
+func (Int) valueKind() string   { return "int" }
+func (Float) valueKind() string { return "float" }
+func (Bool) valueKind() string  { return "bool" }
+func (Char) valueKind() string  { return "char" }
+func (Str) valueKind() string   { return "str" }
+func (Null) valueKind() string  { return "null" }
+
+// Cell is one storage location.
+type Cell struct {
+	V Value
+}
+
+// Ref is a reference value: an alias of a cell.
+type Ref struct {
+	Cell *Cell
+}
+
+func (Ref) valueKind() string { return "ref" }
+
+// Alloc is a heap or stack allocation of one or more cells; pointers
+// index into it, giving well-defined pointer arithmetic and equality.
+type Alloc struct {
+	Cells []Cell
+	Freed bool
+	// Elem remembers the element class for object arrays (destructor
+	// runs on delete[]).
+	Elem *il.Class
+}
+
+// Ptr is a pointer value, in one of three forms:
+//   - allocation form: Alloc+Idx (supports pointer arithmetic),
+//   - object form: Obj (points at a class instance, e.g. `this`,
+//     `new T`, or the address of an object variable),
+//   - cell form: Direct (address of a scalar variable).
+//
+// All fields nil is the null pointer.
+type Ptr struct {
+	Alloc  *Alloc
+	Idx    int
+	Obj    *Object
+	Direct *Cell
+}
+
+func (Ptr) valueKind() string { return "ptr" }
+
+// IsNull reports whether the pointer is null.
+func (p Ptr) IsNull() bool { return p.Alloc == nil && p.Obj == nil && p.Direct == nil }
+
+// Cell returns the pointed-to cell (allocation and cell forms).
+func (p Ptr) Cell() (*Cell, error) {
+	if p.Direct != nil {
+		return p.Direct, nil
+	}
+	if p.Alloc == nil {
+		return nil, fmt.Errorf("null pointer dereference")
+	}
+	if p.Alloc.Freed {
+		return nil, fmt.Errorf("use after delete")
+	}
+	if p.Idx < 0 || p.Idx >= len(p.Alloc.Cells) {
+		return nil, fmt.Errorf("pointer out of bounds (index %d of %d)", p.Idx, len(p.Alloc.Cells))
+	}
+	return &p.Alloc.Cells[p.Idx], nil
+}
+
+// SameAddress reports whether two pointers designate the same storage.
+func (p Ptr) SameAddress(q Ptr) bool {
+	if p.Obj != nil || q.Obj != nil {
+		return p.Obj == q.Obj
+	}
+	if p.Direct != nil || q.Direct != nil {
+		return p.Direct == q.Direct
+	}
+	return p.Alloc == q.Alloc && (p.Alloc == nil || p.Idx == q.Idx)
+}
+
+// Pointee returns the value designated by the pointer (the object for
+// object form, the cell contents otherwise).
+func (p Ptr) Pointee() (Value, error) {
+	if p.Obj != nil {
+		return p.Obj, nil
+	}
+	c, err := p.Cell()
+	if err != nil {
+		return nil, err
+	}
+	return c.V, nil
+}
+
+// Object is a class instance: named field cells plus the dynamic class
+// for virtual dispatch.
+type Object struct {
+	Class  *il.Class
+	Fields map[string]*Cell
+	// order preserves field declaration order for deterministic
+	// copying and destruction.
+	order []string
+}
+
+func (*Object) valueKind() string { return "object" }
+
+// NewObject allocates zeroed storage for every data member of cls
+// (including inherited members).
+func NewObject(cls *il.Class) *Object {
+	o := &Object{Class: cls, Fields: map[string]*Cell{}}
+	o.addMembers(cls)
+	return o
+}
+
+func (o *Object) addMembers(cls *il.Class) {
+	if cls == nil {
+		return
+	}
+	for _, b := range cls.Bases {
+		o.addMembers(b.Class)
+	}
+	for _, m := range cls.Members {
+		if m.Storage == ast.Static {
+			continue // static members live in per-class storage
+		}
+		if _, ok := o.Fields[m.Name]; !ok {
+			cell := &Cell{V: zeroValueFor(m.Type)}
+			o.Fields[m.Name] = cell
+			o.order = append(o.order, m.Name)
+		}
+	}
+}
+
+// Field returns the named member cell, or nil.
+func (o *Object) Field(name string) *Cell { return o.Fields[name] }
+
+// zeroValueFor produces the default-initialized value for a type.
+func zeroValueFor(t *il.Type) Value {
+	if t == nil {
+		return Int(0)
+	}
+	u := t.Unqualified()
+	switch u.Kind {
+	case il.TBool:
+		return Bool(false)
+	case il.TChar, il.TSChar, il.TUChar:
+		return Char(0)
+	case il.TFloat, il.TDouble, il.TLongDouble:
+		return Float(0)
+	case il.TPtr:
+		return Ptr{}
+	case il.TRef:
+		return Null{}
+	case il.TClass:
+		if u.Class != nil {
+			return NewObject(u.Class)
+		}
+		return Null{}
+	case il.TArray:
+		n := u.ArrayLen
+		if n < 0 {
+			n = 0
+		}
+		a := &Alloc{Cells: make([]Cell, n)}
+		for i := range a.Cells {
+			a.Cells[i].V = zeroValueFor(u.Elem)
+		}
+		return Ptr{Alloc: a}
+	default:
+		return Int(0)
+	}
+}
+
+// copyValue implements C++ value semantics: objects copy deeply,
+// everything else copies by value.
+func copyValue(v Value) Value {
+	switch v := v.(type) {
+	case *Object:
+		return copyObject(v)
+	default:
+		return v
+	}
+}
+
+func copyObject(o *Object) *Object {
+	cp := &Object{Class: o.Class, Fields: map[string]*Cell{}, order: o.order}
+	for name, cell := range o.Fields {
+		cp.Fields[name] = &Cell{V: copyValue(cell.V)}
+	}
+	return cp
+}
+
+// truthy converts a value to a branch condition.
+func truthy(v Value) (bool, error) {
+	switch v := v.(type) {
+	case Bool:
+		return bool(v), nil
+	case Int:
+		return v != 0, nil
+	case Char:
+		return v != 0, nil
+	case Float:
+		return v != 0, nil
+	case Ptr:
+		return !v.IsNull(), nil
+	case Str:
+		return true, nil
+	case Null:
+		return false, nil
+	default:
+		return false, fmt.Errorf("value of kind %s is not a condition", v.valueKind())
+	}
+}
+
+// asInt coerces arithmetic values to an integer.
+func asInt(v Value) (int64, error) {
+	switch v := v.(type) {
+	case Int:
+		return int64(v), nil
+	case Char:
+		return int64(v), nil
+	case Bool:
+		if v {
+			return 1, nil
+		}
+		return 0, nil
+	case Float:
+		return int64(v), nil
+	default:
+		return 0, fmt.Errorf("value of kind %s is not an integer", v.valueKind())
+	}
+}
+
+// asFloat coerces arithmetic values to a float.
+func asFloat(v Value) (float64, error) {
+	switch v := v.(type) {
+	case Float:
+		return float64(v), nil
+	case Int:
+		return float64(v), nil
+	case Char:
+		return float64(v), nil
+	case Bool:
+		if v {
+			return 1, nil
+		}
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("value of kind %s is not arithmetic", v.valueKind())
+	}
+}
+
+// deref unwraps Ref values to their current contents.
+func deref(v Value) Value {
+	for {
+		r, ok := v.(Ref)
+		if !ok {
+			return v
+		}
+		v = r.Cell.V
+	}
+}
+
+// FormatValue renders a value the way the stream inserters do.
+func FormatValue(v Value) string {
+	switch v := deref(v).(type) {
+	case Int:
+		return fmt.Sprintf("%d", int64(v))
+	case Float:
+		return fmt.Sprintf("%g", float64(v))
+	case Bool:
+		if v {
+			return "1"
+		}
+		return "0"
+	case Char:
+		return string(rune(v))
+	case Str:
+		return string(v)
+	case Ptr:
+		if v.IsNull() {
+			return "0x0"
+		}
+		return fmt.Sprintf("<ptr+%d>", v.Idx)
+	case *Object:
+		if v.Class != nil {
+			return "<" + v.Class.QualifiedName() + ">"
+		}
+		return "<object>"
+	case Null:
+		return "0"
+	default:
+		return "<?>"
+	}
+}

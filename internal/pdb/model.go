@@ -1,0 +1,300 @@
+// Package pdb defines the program database (PDB) document model and its
+// compact, portable ASCII serialization — the format of the paper's
+// §3.2, Table 1 and Figure 3.
+//
+// A PDB is a flat list of items, each identified by a prefixed ID
+// ("so#66", "ro#7", "cl#8", "ty#2058", "te#559", "na#3", "ma#12").
+// Item attributes follow on subsequent lines, each introduced by a
+// short attribute keyword whose first letter repeats the item prefix
+// ("rloc", "rcall", "cmem", "ykind", ...). Items are separated by blank
+// lines; the file begins with the header "<PDB 1.0>".
+package pdb
+
+import "fmt"
+
+// Version is the format version written in the header line.
+const Version = "1.0"
+
+// Item prefixes (Table 1).
+const (
+	PrefixSourceFile = "so"
+	PrefixRoutine    = "ro"
+	PrefixClass      = "cl"
+	PrefixType       = "ty"
+	PrefixTemplate   = "te"
+	PrefixNamespace  = "na"
+	PrefixMacro      = "ma"
+)
+
+// Ref is a typed reference to another item: prefix + numeric ID.
+// The zero Ref is "no reference".
+type Ref struct {
+	Prefix string
+	ID     int
+}
+
+// Valid reports whether the reference points at an item.
+func (r Ref) Valid() bool { return r.ID != 0 }
+
+func (r Ref) String() string {
+	if !r.Valid() {
+		return "NA"
+	}
+	return fmt.Sprintf("%s#%d", r.Prefix, r.ID)
+}
+
+// Loc is a source location within the PDB: a file item reference plus
+// 1-based line and column. An invalid FileRef renders as "NULL 0 0"
+// (Figure 3's te#559 tpos).
+type Loc struct {
+	File Ref
+	Line int
+	Col  int
+}
+
+// Valid reports whether the location points into a file.
+func (l Loc) Valid() bool { return l.File.Valid() }
+
+func (l Loc) String() string {
+	if !l.Valid() {
+		return "NULL 0 0"
+	}
+	return fmt.Sprintf("%s %d %d", l.File, l.Line, l.Col)
+}
+
+// Pos is the four-position extent of a "fat" item: header begin/end and
+// body begin/end (the paper's rpos/cpos/tpos attributes).
+type Pos struct {
+	HeaderBegin Loc
+	HeaderEnd   Loc
+	BodyBegin   Loc
+	BodyEnd     Loc
+}
+
+// Valid reports whether any of the four positions is set.
+func (p Pos) Valid() bool {
+	return p.HeaderBegin.Valid() || p.BodyBegin.Valid()
+}
+
+// SourceFile is a "so" item.
+type SourceFile struct {
+	ID   int
+	Name string
+	// Includes lists directly included files (the "sinc" attribute).
+	Includes []Ref
+	// System marks built-in/system headers.
+	System bool
+}
+
+// Call is one "rcall" attribute: callee, virtualness, call location.
+type Call struct {
+	Callee  Ref
+	Virtual bool
+	Loc     Loc
+}
+
+// Routine is a "ro" item.
+type Routine struct {
+	ID   int
+	Name string
+	Loc  Loc
+	// Class is the parent class ("rclass"), Namespace the parent
+	// namespace ("rns"); at most one is valid.
+	Class     Ref
+	Namespace Ref
+	Access    string // pub/prot/priv/NA ("racs")
+	Signature Ref    // "rsig"
+	Linkage   string // "rlink"
+	Storage   string // "rstore"
+	Virtual   string // no/virt/pure ("rvirt")
+	Kind      string // fun/ctor/dtor/op/conv ("rkind")
+	Template  Ref    // originating template ("rtempl")
+	Calls     []Call
+	Pos       Pos
+	Static    bool
+	Inline    bool
+	Const     bool
+}
+
+// Member is one data member of a class ("cmem" with cm* sub-attributes).
+type Member struct {
+	Name   string
+	Loc    Loc
+	Access string
+	Kind   string // "var", "type", ...
+	Type   Ref
+	Static bool
+}
+
+// BaseClass is a "cbase" attribute.
+type BaseClass struct {
+	Access  string
+	Virtual bool
+	Class   Ref
+	Loc     Loc
+}
+
+// FuncRef is a "cfunc" attribute: a member function with its location.
+type FuncRef struct {
+	Routine Ref
+	Loc     Loc
+}
+
+// Class is a "cl" item.
+type Class struct {
+	ID        int
+	Name      string
+	Loc       Loc
+	Kind      string // class/struct/union ("ckind")
+	Parent    Ref    // enclosing class ("cparent")
+	Namespace Ref    // enclosing namespace ("cns")
+	Access    string
+	Template  Ref // originating template ("ctempl"); absent for
+	// specializations in the paper-faithful scan mode
+	Bases   []BaseClass
+	Friends []string
+	Funcs   []FuncRef
+	Members []Member
+	Pos     Pos
+	// Specialization marks explicit specializations ("cspec yes").
+	Specialization bool
+	// Instantiation marks template instantiations ("cinst yes").
+	Instantiation bool
+}
+
+// Type is a "ty" item.
+type Type struct {
+	ID   int
+	Name string
+	Kind string // "ykind": bool/int/.../ptr/ref/tref/array/func/class/enum
+	// IntKind is the "yikind" integer-kind detail for integral types.
+	IntKind string
+	// Elem is the referent for ptr ("yptr"), ref ("yref"), array
+	// ("yelem").
+	Elem Ref
+	// Tref is the unqualified type of a tref ("ytref"); Qual lists the
+	// qualifiers ("yqual").
+	Tref Ref
+	Qual []string
+	// Class/Enum link named types ("yclass"/"yenum").
+	Class Ref
+	Enum  Ref
+	// Func parts: return ("yrett"), arguments ("yargt" with an
+	// ellipsis flag).
+	Ret      Ref
+	Args     []Ref
+	Ellipsis bool
+	// ArrayLen is the element count of arrays (-1 unknown).
+	ArrayLen int64
+}
+
+// Template is a "te" item.
+type Template struct {
+	ID   int
+	Name string
+	Loc  Loc
+	// Kind is class/func/memfunc/statmem ("tkind").
+	Kind      string
+	Class     Ref // parent class
+	Namespace Ref // parent namespace
+	Access    string
+	Text      string // "ttext", single-line normalized declaration text
+	Pos       Pos
+}
+
+// Namespace is a "na" item.
+type Namespace struct {
+	ID      int
+	Name    string
+	Loc     Loc
+	Parent  Ref // enclosing namespace
+	Members []string
+	// Alias names the target namespace for alias items ("nalias").
+	Alias string
+}
+
+// Macro is a "ma" item.
+type Macro struct {
+	ID   int
+	Name string
+	Loc  Loc
+	Kind string // def/undef ("mkind")
+	Text string // "mtext"
+}
+
+// PDB is a whole program database.
+type PDB struct {
+	Files      []*SourceFile
+	Routines   []*Routine
+	Classes    []*Class
+	Types      []*Type
+	Templates  []*Template
+	Namespaces []*Namespace
+	Macros     []*Macro
+}
+
+// FileByID returns the source file with the given ID, or nil.
+func (p *PDB) FileByID(id int) *SourceFile {
+	for _, f := range p.Files {
+		if f.ID == id {
+			return f
+		}
+	}
+	return nil
+}
+
+// RoutineByID returns the routine with the given ID, or nil.
+func (p *PDB) RoutineByID(id int) *Routine {
+	for _, r := range p.Routines {
+		if r.ID == id {
+			return r
+		}
+	}
+	return nil
+}
+
+// ClassByID returns the class with the given ID, or nil.
+func (p *PDB) ClassByID(id int) *Class {
+	for _, c := range p.Classes {
+		if c.ID == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// TypeByID returns the type with the given ID, or nil.
+func (p *PDB) TypeByID(id int) *Type {
+	for _, t := range p.Types {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// TemplateByID returns the template with the given ID, or nil.
+func (p *PDB) TemplateByID(id int) *Template {
+	for _, t := range p.Templates {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// NamespaceByID returns the namespace with the given ID, or nil.
+func (p *PDB) NamespaceByID(id int) *Namespace {
+	for _, n := range p.Namespaces {
+		if n.ID == id {
+			return n
+		}
+	}
+	return nil
+}
+
+// ItemCount returns the total number of items.
+func (p *PDB) ItemCount() int {
+	return len(p.Files) + len(p.Routines) + len(p.Classes) + len(p.Types) +
+		len(p.Templates) + len(p.Namespaces) + len(p.Macros)
+}

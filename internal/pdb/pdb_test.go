@@ -1,0 +1,237 @@
+package pdb
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// samplePDB builds a database exercising every item type and attribute.
+func samplePDB() *PDB {
+	soRef := func(id int) Ref { return Ref{Prefix: PrefixSourceFile, ID: id} }
+	loc := func(f, l, c int) Loc { return Loc{File: soRef(f), Line: l, Col: c} }
+	return &PDB{
+		Files: []*SourceFile{
+			{ID: 66, Name: "StackAr.h", Includes: []Ref{soRef(71), soRef(72), soRef(73)}},
+			{ID: 71, Name: "/pdt/include/kai/vector.h", System: true},
+			{ID: 72, Name: "dsexceptions.h"},
+			{ID: 73, Name: "StackAr.cpp"},
+			{ID: 75, Name: "TestStackAr.cpp", Includes: []Ref{soRef(66)}},
+		},
+		Templates: []*Template{
+			{ID: 559, Name: "Stack", Loc: loc(66, 23, 15), Kind: "class",
+				Text: "template <class Object> class Stack {...};",
+				Pos: Pos{
+					HeaderBegin: loc(66, 22, 9), HeaderEnd: Loc{},
+					BodyBegin: loc(66, 23, 9), BodyEnd: loc(66, 40, 9),
+				}},
+			{ID: 566, Name: "push", Loc: loc(73, 72, 14), Kind: "memfunc"},
+		},
+		Routines: []*Routine{
+			{ID: 7, Name: "push", Loc: loc(73, 72, 29),
+				Class:  Ref{Prefix: PrefixClass, ID: 8},
+				Access: "pub", Signature: Ref{Prefix: PrefixType, ID: 2058},
+				Linkage: "C++", Storage: "NA", Virtual: "no", Kind: "fun",
+				Template: Ref{Prefix: PrefixTemplate, ID: 566},
+				Calls: []Call{
+					{Callee: Ref{Prefix: PrefixRoutine, ID: 32}, Virtual: false, Loc: loc(73, 74, 17)},
+					{Callee: Ref{Prefix: PrefixRoutine, ID: 33}, Virtual: true, Loc: loc(73, 76, 21)},
+				},
+				Pos: Pos{HeaderBegin: loc(73, 72, 9), HeaderEnd: loc(73, 72, 52),
+					BodyBegin: loc(73, 73, 9), BodyEnd: loc(73, 77, 9)},
+			},
+			{ID: 32, Name: "isFull", Loc: loc(73, 27, 29), Access: "pub",
+				Virtual: "no", Kind: "fun", Linkage: "C++", Storage: "NA",
+				Const: true, Inline: true, Static: false},
+			{ID: 33, Name: "overflow", Access: "NA", Virtual: "virt",
+				Kind: "ctor", Linkage: "C", Storage: "static", Static: true},
+		},
+		Classes: []*Class{
+			{ID: 8, Name: "Stack<int>", Kind: "class",
+				Template:      Ref{Prefix: PrefixTemplate, ID: 559},
+				Instantiation: true,
+				Bases: []BaseClass{
+					{Access: "pub", Virtual: false, Class: Ref{Prefix: PrefixClass, ID: 2}, Loc: loc(66, 23, 30)},
+				},
+				Friends: []string{"Vector", "transpose"},
+				Funcs: []FuncRef{
+					{Routine: Ref{Prefix: PrefixRoutine, ID: 7}, Loc: loc(73, 72, 29)},
+				},
+				Members: []Member{
+					{Name: "theArray", Loc: loc(66, 38, 28), Access: "priv",
+						Kind: "var", Type: Ref{Prefix: PrefixType, ID: 63}},
+					{Name: "topOfStack", Loc: loc(66, 39, 28), Access: "priv",
+						Kind: "var", Type: Ref{Prefix: PrefixType, ID: 5}, Static: true},
+				},
+				Pos: Pos{HeaderBegin: loc(66, 23, 9), HeaderEnd: loc(66, 23, 19),
+					BodyBegin: loc(66, 24, 9), BodyEnd: loc(66, 40, 9)},
+			},
+			{ID: 2, Name: "Base", Kind: "struct", Specialization: true},
+		},
+		Types: []*Type{
+			{ID: 9, Name: "bool", Kind: "bool", IntKind: "char"},
+			{ID: 5, Name: "int", Kind: "int", IntKind: "int"},
+			{ID: 14, Name: "void", Kind: "void"},
+			{ID: 49, Name: "const int &", Kind: "ref", Elem: Ref{Prefix: PrefixType, ID: 439}},
+			{ID: 439, Name: "const int", Kind: "tref",
+				Tref: Ref{Prefix: PrefixType, ID: 5}, Qual: []string{"const"}},
+			{ID: 2054, Name: "bool () const", Kind: "func",
+				Ret: Ref{Prefix: PrefixType, ID: 9}, Qual: []string{"const"}},
+			{ID: 2058, Name: "void (const int &)", Kind: "func",
+				Ret: Ref{Prefix: PrefixType, ID: 14}, Args: []Ref{{Prefix: PrefixType, ID: 49}}},
+			{ID: 70, Name: "int [8]", Kind: "array",
+				Elem: Ref{Prefix: PrefixType, ID: 5}, ArrayLen: 8},
+			{ID: 71, Name: "int *", Kind: "ptr", Elem: Ref{Prefix: PrefixType, ID: 5}},
+		},
+		Namespaces: []*Namespace{
+			{ID: 1, Name: "math", Loc: loc(66, 2, 11), Members: []string{"pi", "twice"}},
+			{ID: 2, Name: "m", Alias: "math"},
+		},
+		Macros: []*Macro{
+			{ID: 1, Name: "TAU_PROFILE", Loc: loc(73, 3, 9), Kind: "def",
+				Text: "TAU_PROFILE(name, type, group) TauProfiler __tau(name, type, group)"},
+			{ID: 2, Name: "NDEBUG", Loc: loc(73, 4, 9), Kind: "undef"},
+		},
+	}
+}
+
+func TestWriteHeaderAndShape(t *testing.T) {
+	text := samplePDB().String()
+	if !strings.HasPrefix(text, "<PDB 1.0>\n") {
+		t.Errorf("missing header: %q", text[:20])
+	}
+	for _, want := range []string{
+		"so#66 StackAr.h", "sinc so#71",
+		"te#559 Stack", "tkind class", "tloc so#66 23 15",
+		"ro#7 push", "rclass cl#8", "racs pub", "rsig ty#2058",
+		"rcall ro#32 no so#73 74 17", "rcall ro#33 yes so#73 76 21",
+		"rtempl te#566",
+		"rpos so#73 72 9 so#73 72 52 so#73 73 9 so#73 77 9",
+		"cl#8 Stack<int>", "ctempl te#559", "cmem theArray",
+		"cmloc so#66 38 28", "cmacs priv", "cmkind var", "cmtype ty#63",
+		"ty#9 bool", "ykind bool", "yikind char",
+		"ty#439 const int", "ykind tref", "ytref ty#5", "yqual const",
+		"ty#2058 void (const int &)", "yrett ty#14", "yargt ty#49 F",
+		"na#1 math", "nmem pi",
+		"ma#1 TAU_PROFILE", "mkind def",
+		"tpos so#66 22 9 NULL 0 0 so#66 23 9 so#66 40 9",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := samplePDB()
+	text := orig.String()
+	parsed, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	text2 := parsed.String()
+	if text != text2 {
+		t.Errorf("round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", text, text2)
+	}
+}
+
+func TestRoundTripSemantics(t *testing.T) {
+	orig := samplePDB()
+	parsed, err := Read(strings.NewReader(orig.String()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if parsed.ItemCount() != orig.ItemCount() {
+		t.Fatalf("item count %d != %d", parsed.ItemCount(), orig.ItemCount())
+	}
+	r := parsed.RoutineByID(7)
+	if r == nil || r.Name != "push" || len(r.Calls) != 2 {
+		t.Fatalf("ro#7 = %+v", r)
+	}
+	if !r.Calls[1].Virtual || r.Calls[1].Loc.Line != 76 {
+		t.Errorf("call 2 = %+v", r.Calls[1])
+	}
+	c := parsed.ClassByID(8)
+	if c == nil || len(c.Members) != 2 || c.Members[1].Name != "topOfStack" {
+		t.Fatalf("cl#8 = %+v", c)
+	}
+	if !c.Members[1].Static {
+		t.Error("static member flag lost")
+	}
+	if !c.Instantiation || c.Template.ID != 559 {
+		t.Errorf("instantiation attrs lost: %+v", c)
+	}
+	ty := parsed.TypeByID(439)
+	if ty.Kind != "tref" || ty.Tref.ID != 5 || !reflect.DeepEqual(ty.Qual, []string{"const"}) {
+		t.Errorf("ty#439 = %+v", ty)
+	}
+	ft := parsed.TypeByID(2058)
+	if ft.Ret.ID != 14 || len(ft.Args) != 1 || ft.Args[0].ID != 49 || ft.Ellipsis {
+		t.Errorf("ty#2058 = %+v", ft)
+	}
+	na := parsed.NamespaceByID(1)
+	if na.Name != "math" || len(na.Members) != 2 {
+		t.Errorf("na#1 = %+v", na)
+	}
+	ar := parsed.TypeByID(70)
+	if ar.Kind != "array" || ar.ArrayLen != 8 {
+		t.Errorf("ty#70 = %+v", ar)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := Read(strings.NewReader("ro#1 orphan\n")); err == nil {
+		t.Error("missing header should fail")
+	}
+	if _, err := Read(strings.NewReader("<PDB 1.0>\nrcall ro#1 no so#1 1 1\n")); err == nil {
+		t.Error("attribute outside item should fail")
+	}
+}
+
+func TestRefParsing(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Ref
+	}{
+		{"ro#7", Ref{Prefix: "ro", ID: 7}},
+		{"NA", Ref{}},
+		{"NULL", Ref{}},
+		{"bogus", Ref{}},
+		{"ty#2058", Ref{Prefix: "ty", ID: 2058}},
+	}
+	for _, c := range cases {
+		if got := parseRef(c.in); got != c.want {
+			t.Errorf("parseRef(%q) = %+v want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLocRendering(t *testing.T) {
+	l := Loc{}
+	if l.String() != "NULL 0 0" {
+		t.Errorf("invalid loc renders %q", l.String())
+	}
+	l2 := Loc{File: Ref{Prefix: "so", ID: 3}, Line: 10, Col: 4}
+	if l2.String() != "so#3 10 4" {
+		t.Errorf("loc renders %q", l2.String())
+	}
+}
+
+func TestOneLineText(t *testing.T) {
+	p := &PDB{Templates: []*Template{{ID: 1, Name: "T",
+		Text: "template <class X>\n  class T {\n  };", Kind: "class"}}}
+	text := p.String()
+	if !strings.Contains(text, "ttext template <class X> class T { };") {
+		t.Errorf("ttext not normalized: %s", text)
+	}
+	parsed, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Templates[0].Text != "template <class X> class T { };" {
+		t.Errorf("parsed ttext = %q", parsed.Templates[0].Text)
+	}
+}

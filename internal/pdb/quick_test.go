@@ -1,0 +1,200 @@
+package pdb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// randWord produces a safe item/attribute word (no newlines; names may
+// contain template angle brackets and spaces like real PDB names).
+func randWord(r *rand.Rand) string {
+	letters := "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	n := 1 + r.Intn(10)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(letters[r.Intn(len(letters))])
+	}
+	return sb.String()
+}
+
+func randName(r *rand.Rand) string {
+	name := randWord(r)
+	switch r.Intn(4) {
+	case 0:
+		name += "<" + randWord(r) + ">"
+	case 1:
+		name += "<" + randWord(r) + ", " + randWord(r) + ">"
+	case 2:
+		name = randWord(r) + "::" + name
+	}
+	return name
+}
+
+func randRef(r *rand.Rand, prefix string, max int) Ref {
+	if r.Intn(4) == 0 {
+		return Ref{}
+	}
+	return Ref{Prefix: prefix, ID: 1 + r.Intn(max)}
+}
+
+func randLoc(r *rand.Rand, files int) Loc {
+	if r.Intn(5) == 0 {
+		return Loc{}
+	}
+	return Loc{File: Ref{Prefix: PrefixSourceFile, ID: 1 + r.Intn(files)},
+		Line: 1 + r.Intn(500), Col: 1 + r.Intn(120)}
+}
+
+func randPos(r *rand.Rand, files int) Pos {
+	return Pos{
+		HeaderBegin: randLoc(r, files), HeaderEnd: randLoc(r, files),
+		BodyBegin: randLoc(r, files), BodyEnd: randLoc(r, files),
+	}
+}
+
+// randPDB generates a structurally arbitrary (but well-formed) PDB.
+func randPDB(r *rand.Rand) *PDB {
+	p := &PDB{}
+	nFiles := 1 + r.Intn(5)
+	for i := 1; i <= nFiles; i++ {
+		f := &SourceFile{ID: i, Name: randWord(r) + ".h", System: r.Intn(3) == 0}
+		for j := 0; j < r.Intn(3); j++ {
+			f.Includes = append(f.Includes, Ref{Prefix: PrefixSourceFile, ID: 1 + r.Intn(nFiles)})
+		}
+		p.Files = append(p.Files, f)
+	}
+	nTypes := 1 + r.Intn(8)
+	for i := 1; i <= nTypes; i++ {
+		kinds := []string{"int", "bool", "void", "ptr", "ref", "tref", "func", "class", "array"}
+		ty := &Type{ID: i, Name: randName(r), Kind: kinds[r.Intn(len(kinds))]}
+		switch ty.Kind {
+		case "ptr", "ref":
+			ty.Elem = randRef(r, PrefixType, nTypes)
+		case "array":
+			ty.Elem = randRef(r, PrefixType, nTypes)
+			ty.ArrayLen = int64(r.Intn(64)) - 1
+		case "tref":
+			ty.Tref = randRef(r, PrefixType, nTypes)
+			ty.Qual = []string{"const"}
+		case "func":
+			ty.Ret = Ref{Prefix: PrefixType, ID: 1 + r.Intn(nTypes)}
+			for j := 0; j < r.Intn(3); j++ {
+				ty.Args = append(ty.Args, Ref{Prefix: PrefixType, ID: 1 + r.Intn(nTypes)})
+			}
+			ty.Ellipsis = r.Intn(4) == 0 && len(ty.Args) > 0
+		case "int":
+			ty.IntKind = "int"
+		}
+		p.Types = append(p.Types, ty)
+	}
+	nTempl := r.Intn(4)
+	for i := 1; i <= nTempl; i++ {
+		kinds := []string{"class", "func", "memfunc", "statmem"}
+		p.Templates = append(p.Templates, &Template{
+			ID: i, Name: randWord(r), Loc: randLoc(r, nFiles),
+			Kind: kinds[r.Intn(len(kinds))],
+			Text: "template <class T> " + randWord(r) + " {...};",
+			Pos:  randPos(r, nFiles),
+		})
+	}
+	nClasses := r.Intn(4)
+	for i := 1; i <= nClasses; i++ {
+		c := &Class{ID: i, Name: randName(r), Loc: randLoc(r, nFiles),
+			Kind: []string{"class", "struct", "union"}[r.Intn(3)],
+			Pos:  randPos(r, nFiles)}
+		if nTempl > 0 && r.Intn(2) == 0 {
+			c.Template = Ref{Prefix: PrefixTemplate, ID: 1 + r.Intn(nTempl)}
+			c.Instantiation = true
+		}
+		if i > 1 && r.Intn(2) == 0 {
+			c.Bases = append(c.Bases, BaseClass{Access: "pub",
+				Virtual: r.Intn(3) == 0,
+				Class:   Ref{Prefix: PrefixClass, ID: 1 + r.Intn(i-1)},
+				Loc:     randLoc(r, nFiles)})
+		}
+		for j := 0; j < r.Intn(3); j++ {
+			c.Members = append(c.Members, Member{
+				Name: randWord(r), Loc: randLoc(r, nFiles),
+				Access: []string{"pub", "prot", "priv"}[r.Intn(3)],
+				Kind:   "var", Type: randRef(r, PrefixType, nTypes),
+				Static: r.Intn(4) == 0,
+			})
+		}
+		p.Classes = append(p.Classes, c)
+	}
+	nRoutines := r.Intn(5)
+	for i := 1; i <= nRoutines; i++ {
+		ro := &Routine{ID: i, Name: randWord(r), Loc: randLoc(r, nFiles),
+			Access: "pub", Kind: []string{"fun", "ctor", "dtor", "op", "conv"}[r.Intn(5)],
+			Linkage: "C++", Storage: "NA",
+			Virtual:   []string{"no", "virt", "pure"}[r.Intn(3)],
+			Signature: randRef(r, PrefixType, nTypes),
+			Static:    r.Intn(4) == 0, Inline: r.Intn(4) == 0, Const: r.Intn(4) == 0,
+			Pos: randPos(r, nFiles)}
+		if nClasses > 0 && r.Intn(2) == 0 {
+			ro.Class = Ref{Prefix: PrefixClass, ID: 1 + r.Intn(nClasses)}
+		}
+		for j := 0; j < r.Intn(3); j++ {
+			ro.Calls = append(ro.Calls, Call{
+				Callee:  Ref{Prefix: PrefixRoutine, ID: 1 + r.Intn(nRoutines)},
+				Virtual: r.Intn(3) == 0,
+				Loc:     Loc{File: Ref{Prefix: PrefixSourceFile, ID: 1 + r.Intn(nFiles)}, Line: 1 + r.Intn(99), Col: 1 + r.Intn(40)},
+			})
+		}
+		p.Routines = append(p.Routines, ro)
+	}
+	for i := 1; i <= r.Intn(3); i++ {
+		p.Namespaces = append(p.Namespaces, &Namespace{ID: i, Name: randWord(r),
+			Loc: randLoc(r, nFiles), Members: []string{randWord(r), randWord(r)}})
+	}
+	for i := 1; i <= r.Intn(3); i++ {
+		p.Macros = append(p.Macros, &Macro{ID: i, Name: randWord(r),
+			Loc: randLoc(r, nFiles), Kind: []string{"def", "undef"}[r.Intn(2)],
+			Text: randWord(r) + " " + randWord(r)})
+	}
+	return p
+}
+
+// Property: Write → Read → Write is byte-stable for arbitrary
+// well-formed databases.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randPDB(r)
+		text := p.String()
+		parsed, err := Read(strings.NewReader(text))
+		if err != nil {
+			t.Logf("read failed: %v\n%s", err, text)
+			return false
+		}
+		text2 := parsed.String()
+		if text != text2 {
+			t.Logf("unstable round trip:\n--- 1 ---\n%s\n--- 2 ---\n%s", text, text2)
+			return false
+		}
+		return parsed.ItemCount() == p.ItemCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the parser never panics on arbitrary line permutations of
+// a valid file (robustness against hand-edited databases).
+func TestReadShuffledLinesNoPanic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randPDB(r)
+		lines := strings.Split(p.String(), "\n")
+		r.Shuffle(len(lines), func(i, j int) { lines[i], lines[j] = lines[j], lines[i] })
+		// Keep the header first so parsing proceeds past it.
+		shuffled := "<PDB 1.0>\n" + strings.Join(lines, "\n")
+		_, _ = Read(strings.NewReader(shuffled)) // may error; must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

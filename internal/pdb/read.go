@@ -1,0 +1,368 @@
+package pdb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Read parses a PDB file from r.
+func Read(r io.Reader) (*PDB, error) {
+	p := &PDB{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+
+	lineNo := 0
+	sawHeader := false
+
+	// current item state
+	var curFile *SourceFile
+	var curRoutine *Routine
+	var curClass *Class
+	var curType *Type
+	var curTemplate *Template
+	var curNamespace *Namespace
+	var curMacro *Macro
+	var curMember *Member // pending cmem sub-attributes
+
+	flushMember := func() {
+		if curMember != nil && curClass != nil {
+			curClass.Members = append(curClass.Members, *curMember)
+		}
+		curMember = nil
+	}
+	reset := func() {
+		flushMember()
+		curFile, curRoutine, curClass, curType = nil, nil, nil, nil
+		curTemplate, curNamespace, curMacro = nil, nil, nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if !sawHeader {
+			if !strings.HasPrefix(trimmed, "<PDB") {
+				return nil, fmt.Errorf("line %d: missing <PDB> header", lineNo)
+			}
+			sawHeader = true
+			continue
+		}
+		// New item?
+		if id, name, prefix, ok := parseItemHead(trimmed); ok {
+			reset()
+			switch prefix {
+			case PrefixSourceFile:
+				curFile = &SourceFile{ID: id, Name: name}
+				p.Files = append(p.Files, curFile)
+			case PrefixRoutine:
+				curRoutine = &Routine{ID: id, Name: name}
+				p.Routines = append(p.Routines, curRoutine)
+			case PrefixClass:
+				curClass = &Class{ID: id, Name: name}
+				p.Classes = append(p.Classes, curClass)
+			case PrefixType:
+				curType = &Type{ID: id, Name: name}
+				p.Types = append(p.Types, curType)
+			case PrefixTemplate:
+				curTemplate = &Template{ID: id, Name: name}
+				p.Templates = append(p.Templates, curTemplate)
+			case PrefixNamespace:
+				curNamespace = &Namespace{ID: id, Name: name}
+				p.Namespaces = append(p.Namespaces, curNamespace)
+			case PrefixMacro:
+				curMacro = &Macro{ID: id, Name: name}
+				p.Macros = append(p.Macros, curMacro)
+			default:
+				return nil, fmt.Errorf("line %d: unknown item prefix %q", lineNo, prefix)
+			}
+			continue
+		}
+		// Attribute line.
+		attr, rest, _ := strings.Cut(trimmed, " ")
+		switch {
+		case curFile != nil:
+			switch attr {
+			case "sinc":
+				curFile.Includes = append(curFile.Includes, parseRef(rest))
+			case "ssys":
+				curFile.System = rest == "yes"
+			}
+		case curTemplate != nil:
+			switch attr {
+			case "tloc":
+				curTemplate.Loc = parseLoc(rest)
+			case "tkind":
+				curTemplate.Kind = rest
+			case "tclass":
+				curTemplate.Class = parseRef(rest)
+			case "tns":
+				curTemplate.Namespace = parseRef(rest)
+			case "tacs":
+				curTemplate.Access = rest
+			case "ttext":
+				curTemplate.Text = rest
+			case "tpos":
+				curTemplate.Pos = parsePos(rest)
+			}
+		case curRoutine != nil:
+			switch attr {
+			case "rloc":
+				curRoutine.Loc = parseLoc(rest)
+			case "rclass":
+				curRoutine.Class = parseRef(rest)
+			case "rns":
+				curRoutine.Namespace = parseRef(rest)
+			case "racs":
+				curRoutine.Access = rest
+			case "rsig":
+				curRoutine.Signature = parseRef(rest)
+			case "rkind":
+				curRoutine.Kind = rest
+			case "rlink":
+				curRoutine.Linkage = rest
+			case "rstore":
+				curRoutine.Storage = rest
+			case "rvirt":
+				curRoutine.Virtual = rest
+			case "rstatic":
+				curRoutine.Static = rest == "yes"
+			case "rinline":
+				curRoutine.Inline = rest == "yes"
+			case "rconst":
+				curRoutine.Const = rest == "yes"
+			case "rtempl":
+				curRoutine.Template = parseRef(rest)
+			case "rcall":
+				fields := strings.Fields(rest)
+				if len(fields) >= 5 {
+					curRoutine.Calls = append(curRoutine.Calls, Call{
+						Callee:  parseRef(fields[0]),
+						Virtual: fields[1] == "yes",
+						Loc:     parseLocFields(fields[2:5]),
+					})
+				}
+			case "rpos":
+				curRoutine.Pos = parsePos(rest)
+			}
+		case curClass != nil:
+			switch attr {
+			case "cloc":
+				flushMember()
+				curClass.Loc = parseLoc(rest)
+			case "ckind":
+				flushMember()
+				curClass.Kind = rest
+			case "cparent":
+				flushMember()
+				curClass.Parent = parseRef(rest)
+			case "cns":
+				flushMember()
+				curClass.Namespace = parseRef(rest)
+			case "cacs":
+				flushMember()
+				curClass.Access = rest
+			case "ctempl":
+				flushMember()
+				curClass.Template = parseRef(rest)
+			case "cinst":
+				flushMember()
+				curClass.Instantiation = rest == "yes"
+			case "cspec":
+				flushMember()
+				curClass.Specialization = rest == "yes"
+			case "cbase":
+				flushMember()
+				fields := strings.Fields(rest)
+				if len(fields) >= 6 {
+					curClass.Bases = append(curClass.Bases, BaseClass{
+						Access:  fields[0],
+						Virtual: fields[1] == "yes",
+						Class:   parseRef(fields[2]),
+						Loc:     parseLocFields(fields[3:6]),
+					})
+				}
+			case "cfriend":
+				flushMember()
+				curClass.Friends = append(curClass.Friends, rest)
+			case "cfunc":
+				flushMember()
+				fields := strings.Fields(rest)
+				if len(fields) >= 4 {
+					curClass.Funcs = append(curClass.Funcs, FuncRef{
+						Routine: parseRef(fields[0]),
+						Loc:     parseLocFields(fields[1:4]),
+					})
+				}
+			case "cmem":
+				flushMember()
+				curMember = &Member{Name: rest}
+			case "cmloc":
+				if curMember != nil {
+					curMember.Loc = parseLoc(rest)
+				}
+			case "cmacs":
+				if curMember != nil {
+					curMember.Access = rest
+				}
+			case "cmkind":
+				if curMember != nil {
+					curMember.Kind = rest
+				}
+			case "cmtype":
+				if curMember != nil {
+					curMember.Type = parseRef(rest)
+				}
+			case "cmstatic":
+				if curMember != nil {
+					curMember.Static = rest == "yes"
+				}
+			case "cpos":
+				flushMember()
+				curClass.Pos = parsePos(rest)
+			}
+		case curType != nil:
+			switch attr {
+			case "ykind":
+				curType.Kind = rest
+			case "yikind":
+				curType.IntKind = rest
+			case "yptr", "yref", "yelem":
+				curType.Elem = parseRef(rest)
+			case "ynelem":
+				curType.ArrayLen, _ = strconv.ParseInt(rest, 10, 64)
+			case "ytref":
+				curType.Tref = parseRef(rest)
+			case "yqual":
+				curType.Qual = strings.Fields(rest)
+			case "yclass":
+				curType.Class = parseRef(rest)
+			case "yenum":
+				curType.Enum = parseRef(rest)
+			case "yrett":
+				curType.Ret = parseRef(rest)
+			case "yargt":
+				fields := strings.Fields(rest)
+				if len(fields) >= 1 {
+					curType.Args = append(curType.Args, parseRef(fields[0]))
+				}
+				if len(fields) >= 2 && fields[1] == "T" {
+					curType.Ellipsis = true
+				}
+			case "yellip":
+				curType.Ellipsis = rest == "T"
+			}
+		case curNamespace != nil:
+			switch attr {
+			case "nloc":
+				curNamespace.Loc = parseLoc(rest)
+			case "nparent":
+				curNamespace.Parent = parseRef(rest)
+			case "nalias":
+				curNamespace.Alias = rest
+			case "nmem":
+				curNamespace.Members = append(curNamespace.Members, rest)
+			}
+		case curMacro != nil:
+			switch attr {
+			case "mloc":
+				curMacro.Loc = parseLoc(rest)
+			case "mkind":
+				curMacro.Kind = rest
+			case "mtext":
+				curMacro.Text = rest
+			}
+		default:
+			return nil, fmt.Errorf("line %d: attribute %q outside any item", lineNo, attr)
+		}
+	}
+	reset()
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("empty input: missing <PDB> header")
+	}
+	return p, nil
+}
+
+// parseItemHead recognizes "xx#N name..." lines.
+func parseItemHead(line string) (id int, name, prefix string, ok bool) {
+	hash := strings.Index(line, "#")
+	if hash != 2 {
+		return 0, "", "", false
+	}
+	prefix = line[:2]
+	switch prefix {
+	case PrefixSourceFile, PrefixRoutine, PrefixClass, PrefixType,
+		PrefixTemplate, PrefixNamespace, PrefixMacro:
+	default:
+		return 0, "", "", false
+	}
+	rest := line[3:]
+	sp := strings.IndexByte(rest, ' ')
+	numStr := rest
+	if sp >= 0 {
+		numStr = rest[:sp]
+		name = rest[sp+1:]
+	}
+	n, err := strconv.Atoi(numStr)
+	if err != nil {
+		return 0, "", "", false
+	}
+	return n, name, prefix, true
+}
+
+// parseRef parses "xx#N" or "NA".
+func parseRef(s string) Ref {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "NA" || s == "NULL" {
+		return Ref{}
+	}
+	hash := strings.Index(s, "#")
+	if hash != 2 {
+		return Ref{}
+	}
+	id, err := strconv.Atoi(s[hash+1:])
+	if err != nil {
+		return Ref{}
+	}
+	return Ref{Prefix: s[:2], ID: id}
+}
+
+// parseLoc parses "so#N line col" or "NULL 0 0".
+func parseLoc(s string) Loc {
+	return parseLocFields(strings.Fields(s))
+}
+
+func parseLocFields(fields []string) Loc {
+	if len(fields) < 3 {
+		return Loc{}
+	}
+	ref := parseRef(fields[0])
+	if !ref.Valid() {
+		return Loc{}
+	}
+	line, _ := strconv.Atoi(fields[1])
+	col, _ := strconv.Atoi(fields[2])
+	return Loc{File: ref, Line: line, Col: col}
+}
+
+// parsePos parses four locations (12 fields).
+func parsePos(s string) Pos {
+	fields := strings.Fields(s)
+	if len(fields) < 12 {
+		return Pos{}
+	}
+	return Pos{
+		HeaderBegin: parseLocFields(fields[0:3]),
+		HeaderEnd:   parseLocFields(fields[3:6]),
+		BodyBegin:   parseLocFields(fields[6:9]),
+		BodyEnd:     parseLocFields(fields[9:12]),
+	}
+}

@@ -1,0 +1,152 @@
+package pdb
+
+import "fmt"
+
+// Validate checks the database's referential integrity: every Ref
+// points at an existing item of the right kind, IDs are unique per
+// item type, and locations reference known files. It returns every
+// violation found (nil for a well-formed database).
+//
+// The IL Analyzer always produces valid databases; Validate exists for
+// hand-written or merged inputs, and as the invariant backing the
+// property tests.
+func (p *PDB) Validate() []error {
+	var errs []error
+	report := func(format string, args ...interface{}) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	files := map[int]bool{}
+	types := map[int]bool{}
+	templates := map[int]bool{}
+	classes := map[int]bool{}
+	routines := map[int]bool{}
+	namespaces := map[int]bool{}
+
+	index := func(kind string, id int, seen map[int]bool) {
+		if id == 0 {
+			report("%s item with zero ID", kind)
+			return
+		}
+		if seen[id] {
+			report("duplicate %s ID %d", kind, id)
+		}
+		seen[id] = true
+	}
+	for _, f := range p.Files {
+		index("so", f.ID, files)
+	}
+	for _, t := range p.Types {
+		index("ty", t.ID, types)
+	}
+	for _, t := range p.Templates {
+		index("te", t.ID, templates)
+	}
+	for _, c := range p.Classes {
+		index("cl", c.ID, classes)
+	}
+	for _, r := range p.Routines {
+		index("ro", r.ID, routines)
+	}
+	for _, n := range p.Namespaces {
+		index("na", n.ID, namespaces)
+	}
+
+	checkRef := func(owner string, ref Ref, wantPrefix string, seen map[int]bool) {
+		if !ref.Valid() {
+			return
+		}
+		if ref.Prefix != wantPrefix {
+			report("%s: reference %s has prefix %q, want %q", owner, ref, ref.Prefix, wantPrefix)
+			return
+		}
+		if !seen[ref.ID] {
+			report("%s: dangling reference %s", owner, ref)
+		}
+	}
+	checkLoc := func(owner string, l Loc) {
+		if !l.Valid() {
+			return
+		}
+		checkRef(owner, l.File, PrefixSourceFile, files)
+		if l.Line < 1 || l.Col < 1 {
+			report("%s: non-positive location %d:%d", owner, l.Line, l.Col)
+		}
+	}
+	checkPos := func(owner string, pos Pos) {
+		checkLoc(owner+" pos.hb", pos.HeaderBegin)
+		checkLoc(owner+" pos.he", pos.HeaderEnd)
+		checkLoc(owner+" pos.bb", pos.BodyBegin)
+		checkLoc(owner+" pos.be", pos.BodyEnd)
+	}
+
+	for _, f := range p.Files {
+		owner := fmt.Sprintf("so#%d", f.ID)
+		for _, inc := range f.Includes {
+			checkRef(owner, inc, PrefixSourceFile, files)
+		}
+	}
+	for _, t := range p.Templates {
+		owner := fmt.Sprintf("te#%d", t.ID)
+		checkLoc(owner, t.Loc)
+		checkRef(owner, t.Class, PrefixClass, classes)
+		checkRef(owner, t.Namespace, PrefixNamespace, namespaces)
+		checkPos(owner, t.Pos)
+	}
+	for _, r := range p.Routines {
+		owner := fmt.Sprintf("ro#%d", r.ID)
+		checkLoc(owner, r.Loc)
+		checkRef(owner, r.Class, PrefixClass, classes)
+		checkRef(owner, r.Namespace, PrefixNamespace, namespaces)
+		checkRef(owner, r.Signature, PrefixType, types)
+		checkRef(owner, r.Template, PrefixTemplate, templates)
+		checkPos(owner, r.Pos)
+		for i, c := range r.Calls {
+			callOwner := fmt.Sprintf("%s rcall[%d]", owner, i)
+			checkRef(callOwner, c.Callee, PrefixRoutine, routines)
+			checkLoc(callOwner, c.Loc)
+		}
+	}
+	for _, c := range p.Classes {
+		owner := fmt.Sprintf("cl#%d", c.ID)
+		checkLoc(owner, c.Loc)
+		checkRef(owner, c.Parent, PrefixClass, classes)
+		checkRef(owner, c.Namespace, PrefixNamespace, namespaces)
+		checkRef(owner, c.Template, PrefixTemplate, templates)
+		checkPos(owner, c.Pos)
+		for i, b := range c.Bases {
+			baseOwner := fmt.Sprintf("%s cbase[%d]", owner, i)
+			checkRef(baseOwner, b.Class, PrefixClass, classes)
+			checkLoc(baseOwner, b.Loc)
+		}
+		for i, fr := range c.Funcs {
+			fOwner := fmt.Sprintf("%s cfunc[%d]", owner, i)
+			checkRef(fOwner, fr.Routine, PrefixRoutine, routines)
+			checkLoc(fOwner, fr.Loc)
+		}
+		for _, m := range c.Members {
+			mOwner := fmt.Sprintf("%s cmem %s", owner, m.Name)
+			checkRef(mOwner, m.Type, PrefixType, types)
+			checkLoc(mOwner, m.Loc)
+		}
+	}
+	for _, t := range p.Types {
+		owner := fmt.Sprintf("ty#%d", t.ID)
+		checkRef(owner, t.Elem, PrefixType, types)
+		checkRef(owner, t.Tref, PrefixType, types)
+		checkRef(owner, t.Class, PrefixClass, classes)
+		checkRef(owner, t.Ret, PrefixType, types)
+		for i, a := range t.Args {
+			checkRef(fmt.Sprintf("%s yargt[%d]", owner, i), a, PrefixType, types)
+		}
+	}
+	for _, n := range p.Namespaces {
+		owner := fmt.Sprintf("na#%d", n.ID)
+		checkLoc(owner, n.Loc)
+		checkRef(owner, n.Parent, PrefixNamespace, namespaces)
+	}
+	for _, m := range p.Macros {
+		checkLoc(fmt.Sprintf("ma#%d", m.ID), m.Loc)
+	}
+	return errs
+}

@@ -1,0 +1,92 @@
+package pdb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidateAcceptsSample(t *testing.T) {
+	// The hand-built sample contains intentional references to items
+	// it does not define (forward examples like ty#63), so build a
+	// self-consistent subset instead.
+	p := &PDB{
+		Files: []*SourceFile{{ID: 1, Name: "a.h"}},
+		Types: []*Type{
+			{ID: 1, Name: "int", Kind: "int", IntKind: "int"},
+			{ID: 2, Name: "int *", Kind: "ptr", Elem: Ref{Prefix: "ty", ID: 1}},
+		},
+		Classes: []*Class{{ID: 1, Name: "C", Kind: "class",
+			Loc: Loc{File: Ref{Prefix: "so", ID: 1}, Line: 3, Col: 7},
+			Members: []Member{{Name: "x", Access: "priv", Kind: "var",
+				Type: Ref{Prefix: "ty", ID: 1}}}}},
+		Routines: []*Routine{{ID: 1, Name: "f", Access: "pub",
+			Class: Ref{Prefix: "cl", ID: 1}, Signature: Ref{Prefix: "ty", ID: 2}}},
+	}
+	if errs := p.Validate(); len(errs) != 0 {
+		t.Errorf("valid PDB rejected: %v", errs)
+	}
+}
+
+func TestValidateCatchesDanglingRefs(t *testing.T) {
+	p := &PDB{
+		Routines: []*Routine{{ID: 1, Name: "f",
+			Class:     Ref{Prefix: "cl", ID: 99},
+			Signature: Ref{Prefix: "ty", ID: 42}}},
+	}
+	errs := p.Validate()
+	if len(errs) != 2 {
+		t.Errorf("errors = %v", errs)
+	}
+}
+
+func TestValidateCatchesDuplicateIDs(t *testing.T) {
+	p := &PDB{Files: []*SourceFile{{ID: 1, Name: "a"}, {ID: 1, Name: "b"}}}
+	if errs := p.Validate(); len(errs) != 1 {
+		t.Errorf("errors = %v", errs)
+	}
+}
+
+func TestValidateCatchesWrongPrefix(t *testing.T) {
+	p := &PDB{
+		Types:    []*Type{{ID: 1, Name: "int", Kind: "int"}},
+		Routines: []*Routine{{ID: 1, Name: "f", Signature: Ref{Prefix: "cl", ID: 1}}},
+	}
+	if errs := p.Validate(); len(errs) != 1 {
+		t.Errorf("errors = %v", errs)
+	}
+}
+
+func TestValidateCatchesBadLocation(t *testing.T) {
+	p := &PDB{
+		Files: []*SourceFile{{ID: 1, Name: "a.h"}},
+		Macros: []*Macro{{ID: 1, Name: "M",
+			Loc: Loc{File: Ref{Prefix: "so", ID: 1}, Line: 0, Col: 5}}},
+	}
+	if errs := p.Validate(); len(errs) != 1 {
+		t.Errorf("errors = %v", errs)
+	}
+}
+
+// Property: every randomly generated database (which draws references
+// only from existing ID ranges) validates cleanly, and survives the
+// write/read cycle still valid.
+func TestValidateProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randPDB(r)
+		if errs := p.Validate(); len(errs) != 0 {
+			t.Logf("generator produced invalid PDB: %v", errs[0])
+			return false
+		}
+		parsed, err := Read(strings.NewReader(p.String()))
+		if err != nil {
+			return false
+		}
+		return len(parsed.Validate()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,247 @@
+package pdb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Write serializes the database in the compact ASCII format of Figure 3.
+// Items are written grouped by kind: files, templates, routines,
+// classes, types, namespaces, macros — each in ID order.
+func (p *PDB) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "<PDB %s>\n", Version)
+
+	for _, f := range p.Files {
+		fmt.Fprintf(bw, "\nso#%d %s\n", f.ID, f.Name)
+		if f.System {
+			fmt.Fprintf(bw, "ssys yes\n")
+		}
+		for _, inc := range f.Includes {
+			fmt.Fprintf(bw, "sinc %s\n", inc)
+		}
+	}
+
+	for _, t := range p.Templates {
+		fmt.Fprintf(bw, "\nte#%d %s\n", t.ID, t.Name)
+		writeLoc(bw, "tloc", t.Loc)
+		fmt.Fprintf(bw, "tkind %s\n", t.Kind)
+		if t.Class.Valid() {
+			fmt.Fprintf(bw, "tclass %s\n", t.Class)
+		}
+		if t.Namespace.Valid() {
+			fmt.Fprintf(bw, "tns %s\n", t.Namespace)
+		}
+		if t.Access != "" && t.Access != "NA" {
+			fmt.Fprintf(bw, "tacs %s\n", t.Access)
+		}
+		if t.Text != "" {
+			fmt.Fprintf(bw, "ttext %s\n", oneLine(t.Text))
+		}
+		writePos(bw, "tpos", t.Pos)
+	}
+
+	for _, r := range p.Routines {
+		fmt.Fprintf(bw, "\nro#%d %s\n", r.ID, r.Name)
+		writeLoc(bw, "rloc", r.Loc)
+		if r.Class.Valid() {
+			fmt.Fprintf(bw, "rclass %s\n", r.Class)
+		}
+		if r.Namespace.Valid() {
+			fmt.Fprintf(bw, "rns %s\n", r.Namespace)
+		}
+		fmt.Fprintf(bw, "racs %s\n", orNA(r.Access))
+		if r.Signature.Valid() {
+			fmt.Fprintf(bw, "rsig %s\n", r.Signature)
+		}
+		fmt.Fprintf(bw, "rkind %s\n", orDefault(r.Kind, "fun"))
+		fmt.Fprintf(bw, "rlink %s\n", orDefault(r.Linkage, "C++"))
+		fmt.Fprintf(bw, "rstore %s\n", orNA(r.Storage))
+		fmt.Fprintf(bw, "rvirt %s\n", orDefault(r.Virtual, "no"))
+		if r.Static {
+			fmt.Fprintf(bw, "rstatic yes\n")
+		}
+		if r.Inline {
+			fmt.Fprintf(bw, "rinline yes\n")
+		}
+		if r.Const {
+			fmt.Fprintf(bw, "rconst yes\n")
+		}
+		if r.Template.Valid() {
+			fmt.Fprintf(bw, "rtempl %s\n", r.Template)
+		}
+		for _, c := range r.Calls {
+			fmt.Fprintf(bw, "rcall %s %s %s\n", c.Callee, yesNo(c.Virtual), c.Loc)
+		}
+		writePos(bw, "rpos", r.Pos)
+	}
+
+	for _, c := range p.Classes {
+		fmt.Fprintf(bw, "\ncl#%d %s\n", c.ID, c.Name)
+		writeLoc(bw, "cloc", c.Loc)
+		fmt.Fprintf(bw, "ckind %s\n", orDefault(c.Kind, "class"))
+		if c.Parent.Valid() {
+			fmt.Fprintf(bw, "cparent %s\n", c.Parent)
+		}
+		if c.Namespace.Valid() {
+			fmt.Fprintf(bw, "cns %s\n", c.Namespace)
+		}
+		if c.Access != "" && c.Access != "NA" {
+			fmt.Fprintf(bw, "cacs %s\n", c.Access)
+		}
+		if c.Template.Valid() {
+			fmt.Fprintf(bw, "ctempl %s\n", c.Template)
+		}
+		if c.Instantiation {
+			fmt.Fprintf(bw, "cinst yes\n")
+		}
+		if c.Specialization {
+			fmt.Fprintf(bw, "cspec yes\n")
+		}
+		for _, b := range c.Bases {
+			fmt.Fprintf(bw, "cbase %s %s %s %s\n", b.Access, yesNo(b.Virtual), b.Class, b.Loc)
+		}
+		for _, fr := range c.Friends {
+			fmt.Fprintf(bw, "cfriend %s\n", fr)
+		}
+		for _, f := range c.Funcs {
+			fmt.Fprintf(bw, "cfunc %s %s\n", f.Routine, f.Loc)
+		}
+		for _, m := range c.Members {
+			fmt.Fprintf(bw, "cmem %s\n", m.Name)
+			writeLoc(bw, "cmloc", m.Loc)
+			fmt.Fprintf(bw, "cmacs %s\n", orNA(m.Access))
+			fmt.Fprintf(bw, "cmkind %s\n", orDefault(m.Kind, "var"))
+			if m.Type.Valid() {
+				fmt.Fprintf(bw, "cmtype %s\n", m.Type)
+			}
+			if m.Static {
+				fmt.Fprintf(bw, "cmstatic yes\n")
+			}
+		}
+		writePos(bw, "cpos", c.Pos)
+	}
+
+	for _, t := range p.Types {
+		fmt.Fprintf(bw, "\nty#%d %s\n", t.ID, t.Name)
+		fmt.Fprintf(bw, "ykind %s\n", t.Kind)
+		if t.IntKind != "" {
+			fmt.Fprintf(bw, "yikind %s\n", t.IntKind)
+		}
+		switch t.Kind {
+		case "ptr":
+			fmt.Fprintf(bw, "yptr %s\n", t.Elem)
+		case "ref":
+			fmt.Fprintf(bw, "yref %s\n", t.Elem)
+		case "array":
+			fmt.Fprintf(bw, "yelem %s\n", t.Elem)
+			fmt.Fprintf(bw, "ynelem %d\n", t.ArrayLen)
+		case "tref":
+			fmt.Fprintf(bw, "ytref %s\n", t.Tref)
+			if len(t.Qual) > 0 {
+				fmt.Fprintf(bw, "yqual %s\n", strings.Join(t.Qual, " "))
+			}
+		case "class":
+			if t.Class.Valid() {
+				fmt.Fprintf(bw, "yclass %s\n", t.Class)
+			}
+		case "enum":
+			if t.Enum.Valid() {
+				fmt.Fprintf(bw, "yenum %s\n", t.Enum)
+			}
+		case "func":
+			fmt.Fprintf(bw, "yrett %s\n", t.Ret)
+			for _, a := range t.Args {
+				fmt.Fprintf(bw, "yargt %s %s\n", a, tf(t.Ellipsis))
+			}
+			if len(t.Args) == 0 && t.Ellipsis {
+				fmt.Fprintf(bw, "yellip T\n")
+			}
+			if len(t.Qual) > 0 {
+				fmt.Fprintf(bw, "yqual %s\n", strings.Join(t.Qual, " "))
+			}
+		}
+	}
+
+	for _, n := range p.Namespaces {
+		fmt.Fprintf(bw, "\nna#%d %s\n", n.ID, n.Name)
+		writeLoc(bw, "nloc", n.Loc)
+		if n.Parent.Valid() {
+			fmt.Fprintf(bw, "nparent %s\n", n.Parent)
+		}
+		if n.Alias != "" {
+			fmt.Fprintf(bw, "nalias %s\n", n.Alias)
+		}
+		for _, m := range n.Members {
+			fmt.Fprintf(bw, "nmem %s\n", m)
+		}
+	}
+
+	for _, m := range p.Macros {
+		fmt.Fprintf(bw, "\nma#%d %s\n", m.ID, m.Name)
+		writeLoc(bw, "mloc", m.Loc)
+		fmt.Fprintf(bw, "mkind %s\n", orDefault(m.Kind, "def"))
+		if m.Text != "" {
+			fmt.Fprintf(bw, "mtext %s\n", oneLine(m.Text))
+		}
+	}
+
+	return bw.Flush()
+}
+
+// String renders the PDB to a string.
+func (p *PDB) String() string {
+	var sb strings.Builder
+	_ = p.Write(&sb)
+	return sb.String()
+}
+
+func writeLoc(w io.Writer, attr string, l Loc) {
+	if l.Valid() {
+		fmt.Fprintf(w, "%s %s\n", attr, l)
+	}
+}
+
+func writePos(w io.Writer, attr string, p Pos) {
+	if !p.Valid() {
+		return
+	}
+	fmt.Fprintf(w, "%s %s %s %s %s\n", attr,
+		p.HeaderBegin, p.HeaderEnd, p.BodyBegin, p.BodyEnd)
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+func tf(b bool) string {
+	if b {
+		return "T"
+	}
+	return "F"
+}
+
+func orNA(s string) string {
+	if s == "" {
+		return "NA"
+	}
+	return s
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// oneLine collapses whitespace so multi-line texts (template bodies,
+// macro definitions) stay on a single attribute line.
+func oneLine(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

@@ -1,0 +1,115 @@
+package script
+
+// Node positions are (line, col) pairs; slang diagnostics are simple.
+
+type sStmt interface{ sstmt() }
+
+type sExprStmt struct{ e sExpr }
+
+type sAssign struct {
+	target sExpr // sName or sIndex
+	value  sExpr
+}
+
+type sDef struct {
+	name   string
+	params []string
+	body   []sStmt
+	line   int
+}
+
+type sIf struct {
+	cond sExpr
+	then []sStmt
+	els  []sStmt
+}
+
+type sWhile struct {
+	cond sExpr
+	body []sStmt
+}
+
+type sFor struct {
+	init sStmt
+	cond sExpr
+	post sStmt
+	body []sStmt
+}
+
+type sReturn struct{ e sExpr }
+
+type sBreak struct{}
+
+type sContinue struct{}
+
+func (*sExprStmt) sstmt() {}
+func (*sAssign) sstmt()   {}
+func (*sDef) sstmt()      {}
+func (*sIf) sstmt()       {}
+func (*sWhile) sstmt()    {}
+func (*sFor) sstmt()      {}
+func (*sReturn) sstmt()   {}
+func (*sBreak) sstmt()    {}
+func (*sContinue) sstmt() {}
+
+type sExpr interface{ sexpr() }
+
+type sNum struct{ v float64 }
+
+type sStrLit struct{ v string }
+
+type sBool struct{ v bool }
+
+type sNil struct{}
+
+type sName struct {
+	name string
+	line int
+	col  int
+}
+
+type sList struct{ elems []sExpr }
+
+type sIndex struct {
+	base  sExpr
+	index sExpr
+}
+
+type sCall struct {
+	fn   sExpr
+	args []sExpr
+	line int
+	col  int
+}
+
+type sMethod struct {
+	base sExpr
+	name string
+	args []sExpr
+	line int
+	col  int
+}
+
+type sUnary struct {
+	op string
+	e  sExpr
+}
+
+type sBinary struct {
+	op   string
+	l, r sExpr
+	line int
+	col  int
+}
+
+func (*sNum) sexpr()    {}
+func (*sStrLit) sexpr() {}
+func (*sBool) sexpr()   {}
+func (*sNil) sexpr()    {}
+func (*sName) sexpr()   {}
+func (*sList) sexpr()   {}
+func (*sIndex) sexpr()  {}
+func (*sCall) sexpr()   {}
+func (*sMethod) sexpr() {}
+func (*sUnary) sexpr()  {}
+func (*sBinary) sexpr() {}

@@ -1,0 +1,677 @@
+package script
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Value is a slang runtime value: Num, Str, Bool, Nil, *List, *Func,
+// Foreign (a handle to a bridged C++ object), or Builtin.
+type Value interface{ svalue() }
+
+// Num is a slang number (all numbers are float64, Perl-style).
+type Num float64
+
+// Str is a slang string.
+type Str string
+
+// Bool is a slang boolean.
+type Bool bool
+
+// Nil is the absent value.
+type Nil struct{}
+
+// List is a mutable slang list.
+type List struct{ Elems []Value }
+
+// Foreign is a handle to an object owned by the bridge (a C++ object
+// living in the PDT interpreter).
+type Foreign struct {
+	Handle int
+	// Class is the C++ class name, for diagnostics and method routing.
+	Class string
+}
+
+// Func is a user-defined slang function.
+type Func struct {
+	Name   string
+	Params []string
+	Body   []sStmt
+	env    *Env
+}
+
+// Builtin is a native function.
+type Builtin struct {
+	Name string
+	Fn   func(it *Interp, args []Value) (Value, error)
+}
+
+func (Num) svalue()      {}
+func (Str) svalue()      {}
+func (Bool) svalue()     {}
+func (Nil) svalue()      {}
+func (*List) svalue()    {}
+func (Foreign) svalue()  {}
+func (*Func) svalue()    {}
+func (*Builtin) svalue() {}
+
+// Format renders a value the way print does.
+func Format(v Value) string {
+	switch v := v.(type) {
+	case Num:
+		f := float64(v)
+		if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+			return fmt.Sprintf("%d", int64(f))
+		}
+		return fmt.Sprintf("%g", f)
+	case Str:
+		return string(v)
+	case Bool:
+		if v {
+			return "true"
+		}
+		return "false"
+	case Nil:
+		return "nil"
+	case *List:
+		parts := make([]string, len(v.Elems))
+		for i, e := range v.Elems {
+			parts[i] = Format(e)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case Foreign:
+		return fmt.Sprintf("<%s#%d>", v.Class, v.Handle)
+	case *Func:
+		return "<def " + v.Name + ">"
+	case *Builtin:
+		return "<builtin " + v.Name + ">"
+	default:
+		return "<?>"
+	}
+}
+
+// Env is a lexical environment.
+type Env struct {
+	vars   map[string]Value
+	parent *Env
+}
+
+// NewEnv returns a child environment.
+func NewEnv(parent *Env) *Env { return &Env{vars: map[string]Value{}, parent: parent} }
+
+// Get looks a name up through the chain.
+func (e *Env) Get(name string) (Value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Set assigns to an existing binding, or creates one in this scope.
+func (e *Env) Set(name string, v Value) {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return
+		}
+	}
+	e.vars[name] = v
+}
+
+// Define creates a binding in this scope.
+func (e *Env) Define(name string, v Value) { e.vars[name] = v }
+
+// MethodDispatcher routes obj.method(args) calls on foreign objects —
+// the SILOON bridge implements this.
+type MethodDispatcher interface {
+	CallMethod(obj Foreign, method string, args []Value) (Value, error)
+}
+
+// Interp executes slang programs.
+type Interp struct {
+	Globals *Env
+	Out     io.Writer
+	// Dispatcher handles foreign method calls (may be nil).
+	Dispatcher MethodDispatcher
+
+	steps    int
+	maxSteps int
+}
+
+// NewInterp returns an interpreter with the standard builtins bound.
+func NewInterp(out io.Writer) *Interp {
+	if out == nil {
+		out = io.Discard
+	}
+	it := &Interp{Globals: NewEnv(nil), Out: out, maxSteps: 50_000_000}
+	it.installBuiltins()
+	return it
+}
+
+// RegisterBuiltin binds a native function.
+func (it *Interp) RegisterBuiltin(name string, fn func(it *Interp, args []Value) (Value, error)) {
+	it.Globals.Define(name, &Builtin{Name: name, Fn: fn})
+}
+
+func (it *Interp) installBuiltins() {
+	it.RegisterBuiltin("print", func(it *Interp, args []Value) (Value, error) {
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = Format(a)
+		}
+		fmt.Fprintln(it.Out, strings.Join(parts, " "))
+		return Nil{}, nil
+	})
+	it.RegisterBuiltin("len", func(it *Interp, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("len expects one argument")
+		}
+		switch v := args[0].(type) {
+		case Str:
+			return Num(len(v)), nil
+		case *List:
+			return Num(len(v.Elems)), nil
+		default:
+			return nil, fmt.Errorf("len of %s", Format(v))
+		}
+	})
+	it.RegisterBuiltin("push", func(it *Interp, args []Value) (Value, error) {
+		if len(args) < 2 {
+			return nil, fmt.Errorf("push expects (list, value)")
+		}
+		l, ok := args[0].(*List)
+		if !ok {
+			return nil, fmt.Errorf("push on non-list")
+		}
+		l.Elems = append(l.Elems, args[1:]...)
+		return Num(len(l.Elems)), nil
+	})
+	it.RegisterBuiltin("str", func(it *Interp, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("str expects one argument")
+		}
+		return Str(Format(args[0])), nil
+	})
+	it.RegisterBuiltin("abs", func(it *Interp, args []Value) (Value, error) {
+		n, err := wantNum(args, 0, "abs")
+		if err != nil {
+			return nil, err
+		}
+		return Num(math.Abs(n)), nil
+	})
+	it.RegisterBuiltin("sqrt", func(it *Interp, args []Value) (Value, error) {
+		n, err := wantNum(args, 0, "sqrt")
+		if err != nil {
+			return nil, err
+		}
+		return Num(math.Sqrt(n)), nil
+	})
+}
+
+func wantNum(args []Value, i int, ctx string) (float64, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("%s: missing argument %d", ctx, i)
+	}
+	n, ok := args[i].(Num)
+	if !ok {
+		return 0, fmt.Errorf("%s: argument %d is not a number", ctx, i)
+	}
+	return float64(n), nil
+}
+
+// Run parses and executes a program in the global environment.
+func (it *Interp) Run(src string) error {
+	prog, errs := parseProgram(src)
+	if len(errs) > 0 {
+		return fmt.Errorf("slang parse: %v", errs[0])
+	}
+	_, err := it.execStmts(prog, it.Globals)
+	return err
+}
+
+type sctl struct {
+	kind int // 1 return, 2 break, 3 continue
+	val  Value
+}
+
+func (it *Interp) execStmts(stmts []sStmt, env *Env) (*sctl, error) {
+	for _, st := range stmts {
+		c, err := it.execStmt(st, env)
+		if err != nil || c != nil {
+			return c, err
+		}
+	}
+	return nil, nil
+}
+
+func (it *Interp) execStmt(st sStmt, env *Env) (*sctl, error) {
+	it.steps++
+	if it.steps > it.maxSteps {
+		return nil, fmt.Errorf("slang: step budget exceeded")
+	}
+	switch st := st.(type) {
+	case *sExprStmt:
+		_, err := it.eval(st.e, env)
+		return nil, err
+	case *sAssign:
+		v, err := it.eval(st.value, env)
+		if err != nil {
+			return nil, err
+		}
+		switch target := st.target.(type) {
+		case *sName:
+			env.Set(target.name, v)
+		case *sIndex:
+			base, err := it.eval(target.base, env)
+			if err != nil {
+				return nil, err
+			}
+			idx, err := it.eval(target.index, env)
+			if err != nil {
+				return nil, err
+			}
+			l, ok := base.(*List)
+			if !ok {
+				return nil, fmt.Errorf("index assignment on non-list")
+			}
+			i, ok := idx.(Num)
+			if !ok || int(i) < 0 || int(i) >= len(l.Elems) {
+				return nil, fmt.Errorf("list index out of range")
+			}
+			l.Elems[int(i)] = v
+		}
+		return nil, nil
+	case *sDef:
+		env.Define(st.name, &Func{Name: st.name, Params: st.params, Body: st.body, env: env})
+		return nil, nil
+	case *sIf:
+		cond, err := it.eval(st.cond, env)
+		if err != nil {
+			return nil, err
+		}
+		if truthyS(cond) {
+			return it.execStmts(st.then, NewEnv(env))
+		}
+		return it.execStmts(st.els, NewEnv(env))
+	case *sWhile:
+		for {
+			cond, err := it.eval(st.cond, env)
+			if err != nil {
+				return nil, err
+			}
+			if !truthyS(cond) {
+				return nil, nil
+			}
+			c, err := it.execStmts(st.body, NewEnv(env))
+			if err != nil {
+				return nil, err
+			}
+			if c != nil {
+				if c.kind == 2 {
+					return nil, nil
+				}
+				if c.kind == 1 {
+					return c, nil
+				}
+			}
+		}
+	case *sFor:
+		loopEnv := NewEnv(env)
+		if st.init != nil {
+			if c, err := it.execStmt(st.init, loopEnv); err != nil || c != nil {
+				return c, err
+			}
+		}
+		for {
+			if st.cond != nil {
+				cond, err := it.eval(st.cond, loopEnv)
+				if err != nil {
+					return nil, err
+				}
+				if !truthyS(cond) {
+					return nil, nil
+				}
+			}
+			c, err := it.execStmts(st.body, NewEnv(loopEnv))
+			if err != nil {
+				return nil, err
+			}
+			if c != nil {
+				if c.kind == 2 {
+					return nil, nil
+				}
+				if c.kind == 1 {
+					return c, nil
+				}
+			}
+			if st.post != nil {
+				if c, err := it.execStmt(st.post, loopEnv); err != nil || c != nil {
+					return c, err
+				}
+			}
+		}
+	case *sReturn:
+		var v Value = Nil{}
+		if st.e != nil {
+			ev, err := it.eval(st.e, env)
+			if err != nil {
+				return nil, err
+			}
+			v = ev
+		}
+		return &sctl{kind: 1, val: v}, nil
+	case *sBreak:
+		return &sctl{kind: 2}, nil
+	case *sContinue:
+		return &sctl{kind: 3}, nil
+	default:
+		return nil, fmt.Errorf("slang: unknown statement %T", st)
+	}
+}
+
+func truthyS(v Value) bool {
+	switch v := v.(type) {
+	case Bool:
+		return bool(v)
+	case Num:
+		return v != 0
+	case Str:
+		return v != ""
+	case Nil:
+		return false
+	case *List:
+		return len(v.Elems) > 0
+	default:
+		return true
+	}
+}
+
+func (it *Interp) eval(e sExpr, env *Env) (Value, error) {
+	it.steps++
+	if it.steps > it.maxSteps {
+		return nil, fmt.Errorf("slang: step budget exceeded")
+	}
+	switch e := e.(type) {
+	case *sNum:
+		return Num(e.v), nil
+	case *sStrLit:
+		return Str(e.v), nil
+	case *sBool:
+		return Bool(e.v), nil
+	case *sNil:
+		return Nil{}, nil
+	case *sName:
+		if v, ok := env.Get(e.name); ok {
+			return v, nil
+		}
+		return nil, fmt.Errorf("%d:%d: undefined name %q", e.line, e.col, e.name)
+	case *sList:
+		l := &List{}
+		for _, el := range e.elems {
+			v, err := it.eval(el, env)
+			if err != nil {
+				return nil, err
+			}
+			l.Elems = append(l.Elems, v)
+		}
+		return l, nil
+	case *sIndex:
+		base, err := it.eval(e.base, env)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := it.eval(e.index, env)
+		if err != nil {
+			return nil, err
+		}
+		i, ok := idx.(Num)
+		if !ok {
+			return nil, fmt.Errorf("non-numeric index")
+		}
+		switch b := base.(type) {
+		case *List:
+			if int(i) < 0 || int(i) >= len(b.Elems) {
+				return nil, fmt.Errorf("list index out of range")
+			}
+			return b.Elems[int(i)], nil
+		case Str:
+			if int(i) < 0 || int(i) >= len(b) {
+				return nil, fmt.Errorf("string index out of range")
+			}
+			return Str(b[int(i) : int(i)+1]), nil
+		default:
+			return nil, fmt.Errorf("index on %s", Format(base))
+		}
+	case *sUnary:
+		v, err := it.eval(e.e, env)
+		if err != nil {
+			return nil, err
+		}
+		switch e.op {
+		case "-":
+			n, ok := v.(Num)
+			if !ok {
+				return nil, fmt.Errorf("unary - on %s", Format(v))
+			}
+			return Num(-n), nil
+		case "!":
+			return Bool(!truthyS(v)), nil
+		}
+		return nil, fmt.Errorf("unknown unary %q", e.op)
+	case *sBinary:
+		return it.evalBinary(e, env)
+	case *sCall:
+		fn, err := it.eval(e.fn, env)
+		if err != nil {
+			return nil, err
+		}
+		args, err := it.evalArgs(e.args, env)
+		if err != nil {
+			return nil, err
+		}
+		return it.callValue(fn, args)
+	case *sMethod:
+		base, err := it.eval(e.base, env)
+		if err != nil {
+			return nil, err
+		}
+		args, err := it.evalArgs(e.args, env)
+		if err != nil {
+			return nil, err
+		}
+		obj, ok := base.(Foreign)
+		if !ok {
+			return nil, fmt.Errorf("%d:%d: method call on non-object %s", e.line, e.col, Format(base))
+		}
+		if it.Dispatcher == nil {
+			return nil, fmt.Errorf("no bridge attached for method %q", e.name)
+		}
+		return it.Dispatcher.CallMethod(obj, e.name, args)
+	default:
+		return nil, fmt.Errorf("slang: unknown expression %T", e)
+	}
+}
+
+func (it *Interp) evalArgs(exprs []sExpr, env *Env) ([]Value, error) {
+	var out []Value
+	for _, a := range exprs {
+		v, err := it.eval(a, env)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// callValue invokes a slang function or builtin.
+func (it *Interp) callValue(fn Value, args []Value) (Value, error) {
+	switch fn := fn.(type) {
+	case *Builtin:
+		return fn.Fn(it, args)
+	case *Func:
+		env := NewEnv(fn.env)
+		for i, p := range fn.Params {
+			if i < len(args) {
+				env.Define(p, args[i])
+			} else {
+				env.Define(p, Nil{})
+			}
+		}
+		c, err := it.execStmts(fn.Body, env)
+		if err != nil {
+			return nil, err
+		}
+		if c != nil && c.kind == 1 {
+			return c.val, nil
+		}
+		return Nil{}, nil
+	default:
+		return nil, fmt.Errorf("call of non-function %s", Format(fn))
+	}
+}
+
+func (it *Interp) evalBinary(e *sBinary, env *Env) (Value, error) {
+	if e.op == "&&" {
+		l, err := it.eval(e.l, env)
+		if err != nil {
+			return nil, err
+		}
+		if !truthyS(l) {
+			return Bool(false), nil
+		}
+		r, err := it.eval(e.r, env)
+		if err != nil {
+			return nil, err
+		}
+		return Bool(truthyS(r)), nil
+	}
+	if e.op == "||" {
+		l, err := it.eval(e.l, env)
+		if err != nil {
+			return nil, err
+		}
+		if truthyS(l) {
+			return Bool(true), nil
+		}
+		r, err := it.eval(e.r, env)
+		if err != nil {
+			return nil, err
+		}
+		return Bool(truthyS(r)), nil
+	}
+	l, err := it.eval(e.l, env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := it.eval(e.r, env)
+	if err != nil {
+		return nil, err
+	}
+	// String concatenation and comparison.
+	if ls, ok := l.(Str); ok {
+		switch e.op {
+		case "+":
+			return Str(string(ls) + Format(r)), nil
+		case "==":
+			rs, ok := r.(Str)
+			return Bool(ok && ls == rs), nil
+		case "!=":
+			rs, ok := r.(Str)
+			return Bool(!ok || ls != rs), nil
+		case "<", ">", "<=", ">=":
+			rs, ok := r.(Str)
+			if !ok {
+				return nil, fmt.Errorf("comparison of string and %s", Format(r))
+			}
+			switch e.op {
+			case "<":
+				return Bool(ls < rs), nil
+			case ">":
+				return Bool(ls > rs), nil
+			case "<=":
+				return Bool(ls <= rs), nil
+			default:
+				return Bool(ls >= rs), nil
+			}
+		}
+	}
+	if e.op == "==" || e.op == "!=" {
+		eq := valueEq(l, r)
+		if e.op == "==" {
+			return Bool(eq), nil
+		}
+		return Bool(!eq), nil
+	}
+	ln, lok := l.(Num)
+	rn, rok := r.(Num)
+	if !lok || !rok {
+		return nil, fmt.Errorf("%d:%d: operator %q needs numbers, got %s and %s",
+			e.line, e.col, e.op, Format(l), Format(r))
+	}
+	a, b := float64(ln), float64(rn)
+	switch e.op {
+	case "+":
+		return Num(a + b), nil
+	case "-":
+		return Num(a - b), nil
+	case "*":
+		return Num(a * b), nil
+	case "/":
+		if b == 0 {
+			return nil, fmt.Errorf("division by zero")
+		}
+		return Num(a / b), nil
+	case "%":
+		if b == 0 {
+			return nil, fmt.Errorf("modulo by zero")
+		}
+		return Num(math.Mod(a, b)), nil
+	case "<":
+		return Bool(a < b), nil
+	case ">":
+		return Bool(a > b), nil
+	case "<=":
+		return Bool(a <= b), nil
+	case ">=":
+		return Bool(a >= b), nil
+	default:
+		return nil, fmt.Errorf("unknown operator %q", e.op)
+	}
+}
+
+func valueEq(l, r Value) bool {
+	switch l := l.(type) {
+	case Num:
+		rn, ok := r.(Num)
+		return ok && l == rn
+	case Str:
+		rs, ok := r.(Str)
+		return ok && l == rs
+	case Bool:
+		rb, ok := r.(Bool)
+		return ok && l == rb
+	case Nil:
+		_, ok := r.(Nil)
+		return ok
+	case Foreign:
+		rf, ok := r.(Foreign)
+		return ok && l.Handle == rf.Handle
+	default:
+		return false
+	}
+}
+
+// CallFunction invokes a named global function (used by the bridge and
+// by embedding hosts).
+func (it *Interp) CallFunction(name string, args []Value) (Value, error) {
+	fn, ok := it.Globals.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("undefined function %q", name)
+	}
+	return it.callValue(fn, args)
+}

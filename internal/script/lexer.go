@@ -1,0 +1,189 @@
+// Package script implements "slang", the small scripting language that
+// stands in for Perl/Python in the SILOON reproduction (§4.2). SILOON
+// generates slang wrapper functions that call bridging functions, which
+// dispatch into C++ libraries running on the PDT interpreter. The
+// language itself is deliberately small: numbers, strings, booleans,
+// lists, user functions, control flow, and foreign calls.
+package script
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tNum
+	tStr
+	tIdent
+	tKeyword
+	tPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	line int
+	col  int
+}
+
+var slangKeywords = map[string]bool{
+	"def": true, "if": true, "else": true, "while": true, "for": true,
+	"return": true, "true": true, "false": true, "nil": true,
+	"and": true, "or": true, "not": true, "break": true, "continue": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+	errs []error
+}
+
+func lexAll(src string) ([]token, []error) {
+	lx := &lexer{src: src, line: 1, col: 1}
+	var out []token
+	for {
+		t := lx.next()
+		out = append(out, t)
+		if t.kind == tEOF {
+			break
+		}
+	}
+	return out, lx.errs
+}
+
+func (lx *lexer) errorf(line, col int, format string, args ...interface{}) {
+	lx.errs = append(lx.errs, fmt.Errorf("%d:%d: %s", line, col, fmt.Sprintf(format, args...)))
+}
+
+func (lx *lexer) peek() byte {
+	if lx.pos < len(lx.src) {
+		return lx.src[lx.pos]
+	}
+	return 0
+}
+
+func (lx *lexer) peek2() byte {
+	if lx.pos+1 < len(lx.src) {
+		return lx.src[lx.pos+1]
+	}
+	return 0
+}
+
+func (lx *lexer) advance() byte {
+	b := lx.src[lx.pos]
+	lx.pos++
+	if b == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return b
+}
+
+func (lx *lexer) next() token {
+	for lx.pos < len(lx.src) {
+		b := lx.peek()
+		switch {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			lx.advance()
+		case b == '#':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		default:
+			goto scan
+		}
+	}
+scan:
+	if lx.pos >= len(lx.src) {
+		return token{kind: tEOF, line: lx.line, col: lx.col}
+	}
+	line, col := lx.line, lx.col
+	b := lx.peek()
+	switch {
+	case b >= '0' && b <= '9' || (b == '.' && lx.peek2() >= '0' && lx.peek2() <= '9'):
+		var sb strings.Builder
+		for lx.pos < len(lx.src) {
+			c := lx.peek()
+			if (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+				((c == '+' || c == '-') && sb.Len() > 0 && (sb.String()[sb.Len()-1] == 'e' || sb.String()[sb.Len()-1] == 'E')) {
+				sb.WriteByte(lx.advance())
+			} else {
+				break
+			}
+		}
+		var v float64
+		if _, err := fmt.Sscanf(sb.String(), "%g", &v); err != nil {
+			lx.errorf(line, col, "bad number %q", sb.String())
+		}
+		return token{kind: tNum, text: sb.String(), num: v, line: line, col: col}
+	case b == '"' || b == '\'':
+		quote := lx.advance()
+		var sb strings.Builder
+		for lx.pos < len(lx.src) && lx.peek() != quote {
+			c := lx.advance()
+			if c == '\\' && lx.pos < len(lx.src) {
+				e := lx.advance()
+				switch e {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '\\', '"', '\'':
+					sb.WriteByte(e)
+				default:
+					sb.WriteByte(e)
+				}
+				continue
+			}
+			sb.WriteByte(c)
+		}
+		if lx.pos >= len(lx.src) {
+			lx.errorf(line, col, "unterminated string")
+		} else {
+			lx.advance()
+		}
+		return token{kind: tStr, text: sb.String(), line: line, col: col}
+	case b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z'):
+		var sb strings.Builder
+		for lx.pos < len(lx.src) {
+			c := lx.peek()
+			if c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+				sb.WriteByte(lx.advance())
+			} else {
+				break
+			}
+		}
+		kind := tIdent
+		if slangKeywords[sb.String()] {
+			kind = tKeyword
+		}
+		return token{kind: kind, text: sb.String(), line: line, col: col}
+	default:
+		two := ""
+		if lx.pos+1 < len(lx.src) {
+			two = lx.src[lx.pos : lx.pos+2]
+		}
+		switch two {
+		case "==", "!=", "<=", ">=", "&&", "||":
+			lx.advance()
+			lx.advance()
+			return token{kind: tPunct, text: two, line: line, col: col}
+		}
+		c := lx.advance()
+		switch c {
+		case '(', ')', '{', '}', '[', ']', ',', ';', '+', '-', '*', '/',
+			'%', '<', '>', '=', '!', '.':
+			return token{kind: tPunct, text: string(c), line: line, col: col}
+		}
+		lx.errorf(line, col, "unexpected character %q", string(c))
+		return lx.next()
+	}
+}

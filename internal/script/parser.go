@@ -1,0 +1,312 @@
+package script
+
+import "fmt"
+
+type sparser struct {
+	toks []token
+	pos  int
+	errs []error
+}
+
+// parseProgram parses slang source into a statement list.
+func parseProgram(src string) ([]sStmt, []error) {
+	toks, lerrs := lexAll(src)
+	p := &sparser{toks: toks, errs: lerrs}
+	var out []sStmt
+	for !p.at(tEOF, "") {
+		start := p.pos
+		if st := p.stmt(); st != nil {
+			out = append(out, st)
+		}
+		if p.pos == start {
+			p.errorf("unexpected token %q", p.peek().text)
+			p.pos++
+		}
+		if len(p.errs) > 20 {
+			break
+		}
+	}
+	return out, p.errs
+}
+
+func (p *sparser) peek() token { return p.toks[p.pos] }
+
+func (p *sparser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *sparser) at(kind tokKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *sparser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *sparser) expect(kind tokKind, text, ctx string) token {
+	if p.at(kind, text) {
+		return p.next()
+	}
+	p.errorf("expected %q in %s, found %q", text, ctx, p.peek().text)
+	return p.peek()
+}
+
+func (p *sparser) errorf(format string, args ...interface{}) {
+	t := p.peek()
+	p.errs = append(p.errs, fmt.Errorf("%d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...)))
+}
+
+func (p *sparser) block() []sStmt {
+	p.expect(tPunct, "{", "block")
+	var out []sStmt
+	for !p.at(tPunct, "}") && !p.at(tEOF, "") {
+		start := p.pos
+		if st := p.stmt(); st != nil {
+			out = append(out, st)
+		}
+		if p.pos == start {
+			p.errorf("unexpected token %q in block", p.peek().text)
+			p.pos++
+		}
+	}
+	p.expect(tPunct, "}", "block")
+	return out
+}
+
+func (p *sparser) stmt() sStmt {
+	t := p.peek()
+	switch {
+	case t.kind == tKeyword && t.text == "def":
+		p.next()
+		name := p.expect(tIdent, "", "function definition")
+		p.expect(tPunct, "(", "parameter list")
+		var params []string
+		for !p.at(tPunct, ")") && !p.at(tEOF, "") {
+			id := p.expect(tIdent, "", "parameter list")
+			params = append(params, id.text)
+			if !p.accept(tPunct, ",") {
+				break
+			}
+		}
+		p.expect(tPunct, ")", "parameter list")
+		body := p.block()
+		return &sDef{name: name.text, params: params, body: body, line: t.line}
+	case t.kind == tKeyword && t.text == "if":
+		return p.ifStmt()
+	case t.kind == tKeyword && t.text == "while":
+		p.next()
+		p.expect(tPunct, "(", "while")
+		cond := p.expr()
+		p.expect(tPunct, ")", "while")
+		return &sWhile{cond: cond, body: p.block()}
+	case t.kind == tKeyword && t.text == "for":
+		p.next()
+		p.expect(tPunct, "(", "for")
+		var init, post sStmt
+		var cond sExpr
+		if !p.at(tPunct, ";") {
+			init = p.simpleStmt()
+		}
+		p.expect(tPunct, ";", "for")
+		if !p.at(tPunct, ";") {
+			cond = p.expr()
+		}
+		p.expect(tPunct, ";", "for")
+		if !p.at(tPunct, ")") {
+			post = p.simpleStmtNoSemi()
+		}
+		p.expect(tPunct, ")", "for")
+		return &sFor{init: init, cond: cond, post: post, body: p.block()}
+	case t.kind == tKeyword && t.text == "return":
+		p.next()
+		var e sExpr
+		if !p.at(tPunct, ";") {
+			e = p.expr()
+		}
+		p.expect(tPunct, ";", "return")
+		return &sReturn{e: e}
+	case t.kind == tKeyword && t.text == "break":
+		p.next()
+		p.expect(tPunct, ";", "break")
+		return &sBreak{}
+	case t.kind == tKeyword && t.text == "continue":
+		p.next()
+		p.expect(tPunct, ";", "continue")
+		return &sContinue{}
+	default:
+		st := p.simpleStmt()
+		p.expect(tPunct, ";", "statement")
+		return st
+	}
+}
+
+func (p *sparser) ifStmt() sStmt {
+	p.next() // if
+	p.expect(tPunct, "(", "if")
+	cond := p.expr()
+	p.expect(tPunct, ")", "if")
+	then := p.block()
+	var els []sStmt
+	if p.accept(tKeyword, "else") {
+		if p.at(tKeyword, "if") {
+			els = []sStmt{p.ifStmt()}
+		} else {
+			els = p.block()
+		}
+	}
+	return &sIf{cond: cond, then: then, els: els}
+}
+
+// simpleStmt parses "target = expr" or a bare expression, without the
+// trailing semicolon.
+func (p *sparser) simpleStmt() sStmt { return p.simpleStmtNoSemi() }
+
+func (p *sparser) simpleStmtNoSemi() sStmt {
+	e := p.expr()
+	if p.accept(tPunct, "=") {
+		v := p.expr()
+		switch e.(type) {
+		case *sName, *sIndex:
+			return &sAssign{target: e, value: v}
+		default:
+			p.errorf("invalid assignment target")
+			return &sExprStmt{e: v}
+		}
+	}
+	return &sExprStmt{e: e}
+}
+
+var slangPrec = map[string]int{
+	"||": 1, "or": 1, "&&": 2, "and": 2,
+	"==": 3, "!=": 3, "<": 4, ">": 4, "<=": 4, ">=": 4,
+	"+": 5, "-": 5, "*": 6, "/": 6, "%": 6,
+}
+
+func (p *sparser) expr() sExpr { return p.binary(1) }
+
+func (p *sparser) binary(minPrec int) sExpr {
+	lhs := p.unary()
+	for {
+		t := p.peek()
+		op := t.text
+		if t.kind != tPunct && t.kind != tKeyword {
+			return lhs
+		}
+		prec, ok := slangPrec[op]
+		if !ok || prec < minPrec {
+			return lhs
+		}
+		p.next()
+		rhs := p.binary(prec + 1)
+		if op == "or" {
+			op = "||"
+		}
+		if op == "and" {
+			op = "&&"
+		}
+		lhs = &sBinary{op: op, l: lhs, r: rhs, line: t.line, col: t.col}
+	}
+}
+
+func (p *sparser) unary() sExpr {
+	t := p.peek()
+	if t.kind == tPunct && (t.text == "-" || t.text == "!") {
+		p.next()
+		return &sUnary{op: t.text, e: p.unary()}
+	}
+	if t.kind == tKeyword && t.text == "not" {
+		p.next()
+		return &sUnary{op: "!", e: p.unary()}
+	}
+	return p.postfix(p.primary())
+}
+
+func (p *sparser) postfix(e sExpr) sExpr {
+	for {
+		t := p.peek()
+		switch {
+		case p.at(tPunct, "("):
+			p.next()
+			args := p.argList()
+			e = &sCall{fn: e, args: args, line: t.line, col: t.col}
+		case p.at(tPunct, "["):
+			p.next()
+			idx := p.expr()
+			p.expect(tPunct, "]", "index")
+			e = &sIndex{base: e, index: idx}
+		case p.at(tPunct, "."):
+			p.next()
+			name := p.expect(tIdent, "", "method call")
+			p.expect(tPunct, "(", "method call")
+			args := p.argList()
+			e = &sMethod{base: e, name: name.text, args: args, line: t.line, col: t.col}
+		default:
+			return e
+		}
+	}
+}
+
+func (p *sparser) argList() []sExpr {
+	var args []sExpr
+	for !p.at(tPunct, ")") && !p.at(tEOF, "") {
+		args = append(args, p.expr())
+		if !p.accept(tPunct, ",") {
+			break
+		}
+	}
+	p.expect(tPunct, ")", "argument list")
+	return args
+}
+
+func (p *sparser) primary() sExpr {
+	t := p.peek()
+	switch {
+	case t.kind == tNum:
+		p.next()
+		return &sNum{v: t.num}
+	case t.kind == tStr:
+		p.next()
+		return &sStrLit{v: t.text}
+	case t.kind == tKeyword && t.text == "true":
+		p.next()
+		return &sBool{v: true}
+	case t.kind == tKeyword && t.text == "false":
+		p.next()
+		return &sBool{v: false}
+	case t.kind == tKeyword && t.text == "nil":
+		p.next()
+		return &sNil{}
+	case t.kind == tIdent:
+		p.next()
+		return &sName{name: t.text, line: t.line, col: t.col}
+	case p.at(tPunct, "("):
+		p.next()
+		e := p.expr()
+		p.expect(tPunct, ")", "parenthesized expression")
+		return e
+	case p.at(tPunct, "["):
+		p.next()
+		var elems []sExpr
+		for !p.at(tPunct, "]") && !p.at(tEOF, "") {
+			elems = append(elems, p.expr())
+			if !p.accept(tPunct, ",") {
+				break
+			}
+		}
+		p.expect(tPunct, "]", "list literal")
+		return &sList{elems: elems}
+	default:
+		p.errorf("expected expression, found %q", t.text)
+		p.next()
+		return &sNil{}
+	}
+}

@@ -1,0 +1,186 @@
+package script
+
+import (
+	"strings"
+	"testing"
+)
+
+func runScript(t *testing.T, src string) string {
+	t.Helper()
+	var sb strings.Builder
+	it := NewInterp(&sb)
+	if err := it.Run(src); err != nil {
+		t.Fatalf("slang: %v", err)
+	}
+	return sb.String()
+}
+
+func TestArithmeticAndPrint(t *testing.T) {
+	out := runScript(t, `
+x = 2 + 3 * 4;
+y = (2 + 3) * 4;
+print(x, y, x < y, x == 14);
+`)
+	if out != "14 20 true true\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestStringsAndConcat(t *testing.T) {
+	out := runScript(t, `
+s = "hello" + " " + "world";
+print(s, len(s), s[0]);
+`)
+	if out != "hello world 11 h\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	out := runScript(t, `
+def fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+print(fib(10));
+`)
+	if out != "55\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestWhileForBreakContinue(t *testing.T) {
+	out := runScript(t, `
+sum = 0;
+i = 0;
+while (true) {
+    i = i + 1;
+    if (i > 10) { break; }
+    if (i % 2 == 0) { continue; }
+    sum = sum + i;   # 1+3+5+7+9
+}
+total = 0;
+for (j = 0; j < 5; j = j + 1) { total = total + j; }
+print(sum, total);
+`)
+	if out != "25 10\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestListsAndBuiltins(t *testing.T) {
+	out := runScript(t, `
+l = [1, 2, 3];
+push(l, 10);
+l[0] = 99;
+print(l, len(l), l[3]);
+print(abs(0-5), sqrt(16));
+`)
+	if out != "[99, 2, 3, 10] 4 10\n5 4\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestClosuresAndScope(t *testing.T) {
+	out := runScript(t, `
+x = 1;
+def bump() { x = x + 1; return x; }
+bump();
+bump();
+print(x);
+`)
+	if out != "3\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestLogicalOperators(t *testing.T) {
+	out := runScript(t, `
+print(true && false, true || false, not true, 1 and 2, 0 or 0);
+`)
+	if out != "false true false true false\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	out := runScript(t, `
+def grade(x) {
+    if (x > 90) { return "A"; }
+    else if (x > 80) { return "B"; }
+    else { return "C"; }
+}
+print(grade(95), grade(85), grade(50));
+`)
+	if out != "A B C\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestComments(t *testing.T) {
+	out := runScript(t, `
+# full line comment
+x = 5; # trailing comment
+print(x);
+`)
+	if out != "5\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	it := NewInterp(nil)
+	if err := it.Run(`x = 1 / 0;`); err == nil {
+		t.Error("expected division-by-zero error")
+	}
+	it2 := NewInterp(nil)
+	if err := it2.Run(`print(undefined_thing);`); err == nil {
+		t.Error("expected undefined-name error")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	it := NewInterp(nil)
+	if err := it.Run(`def broken( {`); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestForeignMethodNeedsBridge(t *testing.T) {
+	it := NewInterp(nil)
+	it.Globals.Define("obj", Foreign{Handle: 1, Class: "Stack<int>"})
+	err := it.Run(`obj.push(3);`)
+	if err == nil || !strings.Contains(err.Error(), "no bridge") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	it := NewInterp(nil)
+	it.maxSteps = 1000
+	err := it.Run(`while (true) { }`)
+	if err == nil || !strings.Contains(err.Error(), "step budget") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCallFunctionFromHost(t *testing.T) {
+	it := NewInterp(nil)
+	if err := it.Run(`def add(a, b) { return a + b; }`); err != nil {
+		t.Fatal(err)
+	}
+	v, err := it.CallFunction("add", []Value{Num(2), Num(40)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := v.(Num); !ok || n != 42 {
+		t.Errorf("v = %v", v)
+	}
+}
+
+func TestNumberFormatting(t *testing.T) {
+	out := runScript(t, `print(1.5, 2, 0.25, 1000000);`)
+	if out != "1.5 2 0.25 1000000\n" {
+		t.Errorf("out = %q", out)
+	}
+}

@@ -1,0 +1,313 @@
+package siloon
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"pdt/internal/il"
+	"pdt/internal/interp"
+	"pdt/internal/script"
+)
+
+// Bridge is SILOON's routine-management structure: it connects a slang
+// interpreter to a C++ library running on the PDT interpreter. Wrapper
+// functions in the script call ccall(mangled, ...), which the bridge
+// dispatches to constructors, methods, or free functions, converting
+// values in both directions and managing object handles.
+type Bridge struct {
+	cpp      *interp.Interp
+	unit     *il.Unit
+	bindings *Bindings
+
+	// registered records the entries announced by the library's
+	// generated __siloon_init glue (__pdt_siloon_register calls).
+	registered map[string]bool
+
+	handles map[int]*interp.Object
+	nextH   int
+
+	classIndex map[string]*il.Class
+}
+
+// NewBridge wires a C++ unit (library + compiled glue) to a fresh slang
+// interpreter. The returned script interpreter has ccall and the
+// dispatcher installed; run the generated wrapper module on it first.
+func NewBridge(unit *il.Unit, bindings *Bindings, out io.Writer) (*Bridge, *script.Interp, error) {
+	br := &Bridge{
+		unit:       unit,
+		bindings:   bindings,
+		registered: map[string]bool{},
+		handles:    map[int]*interp.Object{},
+		classIndex: map[string]*il.Class{},
+	}
+	for _, c := range unit.AllClasses {
+		br.classIndex[c.QualifiedName()] = c
+	}
+
+	br.cpp = interp.New(unit, interp.Options{Out: out})
+	br.cpp.RegisterIntrinsic("__pdt_siloon_register",
+		func(_ *interp.Interp, _ *interp.Object, args []interp.Value) (interp.Value, error) {
+			if len(args) >= 1 {
+				if s, ok := interpStr(args[0]); ok {
+					br.registered[s] = true
+				}
+			}
+			return interp.Null{}, nil
+		})
+	if err := br.cpp.InitGlobals(); err != nil {
+		return nil, nil, fmt.Errorf("library init: %w", err)
+	}
+	// Run the generated registration glue, if compiled in.
+	if _, err := br.cpp.CallFree("__siloon_init", nil); err == nil {
+		// registered table populated
+	} else {
+		// No glue compiled in: register everything from the manifest.
+		for _, b := range bindings.Items {
+			br.registered[b.Mangled] = true
+		}
+	}
+
+	sc := script.NewInterp(out)
+	sc.Dispatcher = br
+	sc.RegisterBuiltin("ccall", func(_ *script.Interp, args []script.Value) (script.Value, error) {
+		if len(args) == 0 {
+			return nil, fmt.Errorf("ccall: missing entry name")
+		}
+		name, ok := args[0].(script.Str)
+		if !ok {
+			return nil, fmt.Errorf("ccall: first argument must be the entry name")
+		}
+		return br.Dispatch(string(name), args[1:])
+	})
+	return br, sc, nil
+}
+
+// CPP exposes the underlying C++ interpreter (for tests and tools).
+func (br *Bridge) CPP() *interp.Interp { return br.cpp }
+
+// LiveObjects reports how many handles are outstanding.
+func (br *Bridge) LiveObjects() int { return len(br.handles) }
+
+// Dispatch routes one bridge call.
+func (br *Bridge) Dispatch(mangled string, args []script.Value) (script.Value, error) {
+	if !br.registered[mangled] {
+		return nil, fmt.Errorf("ccall: entry %q is not registered with the bridge", mangled)
+	}
+	b := br.bindings.Lookup(mangled)
+	if b == nil {
+		return nil, fmt.Errorf("ccall: no binding for %q", mangled)
+	}
+	switch b.Kind {
+	case KindCtor:
+		cls := br.classIndex[b.Class]
+		if cls == nil {
+			return nil, fmt.Errorf("ccall: class %q not in library", b.Class)
+		}
+		cppArgs, err := br.toCPPArgs(args)
+		if err != nil {
+			return nil, err
+		}
+		obj, err := br.cpp.Construct(cls, cppArgs)
+		if err != nil {
+			return nil, fmt.Errorf("constructing %s: %w", b.Class, err)
+		}
+		return br.newHandle(obj), nil
+	case KindDtor:
+		if len(args) != 1 {
+			return nil, fmt.Errorf("delete expects the object handle")
+		}
+		f, ok := args[0].(script.Foreign)
+		if !ok {
+			return nil, fmt.Errorf("delete of non-object %s", script.Format(args[0]))
+		}
+		obj, ok := br.handles[f.Handle]
+		if !ok {
+			return nil, fmt.Errorf("stale object handle %d", f.Handle)
+		}
+		if err := br.cpp.Destroy(obj); err != nil {
+			return nil, err
+		}
+		delete(br.handles, f.Handle)
+		return script.Nil{}, nil
+	case KindMethod:
+		if len(args) < 1 {
+			return nil, fmt.Errorf("method %s expects a receiver", b.Routine)
+		}
+		f, ok := args[0].(script.Foreign)
+		if !ok {
+			return nil, fmt.Errorf("method receiver is not an object")
+		}
+		obj, ok := br.handles[f.Handle]
+		if !ok {
+			return nil, fmt.Errorf("stale object handle %d", f.Handle)
+		}
+		cppArgs, err := br.toCPPArgs(args[1:])
+		if err != nil {
+			return nil, err
+		}
+		ret, err := br.cpp.CallMethod(obj, b.Routine, cppArgs)
+		if err != nil {
+			return nil, fmt.Errorf("calling %s::%s: %w", b.Class, b.Routine, err)
+		}
+		return br.toScript(ret), nil
+	case KindStatic, KindFree:
+		cppArgs, err := br.toCPPArgs(args)
+		if err != nil {
+			return nil, err
+		}
+		name := b.Routine
+		if b.Kind == KindStatic {
+			// Static members dispatch through a class method lookup on
+			// a throwaway receiver-less call.
+			cls := br.classIndex[b.Class]
+			if cls == nil {
+				return nil, fmt.Errorf("class %q not in library", b.Class)
+			}
+			for _, m := range cls.Methods {
+				if m.Name == b.Routine && m.Static {
+					v, err := br.cpp.Call(m, nil, cppArgs)
+					if err != nil {
+						return nil, err
+					}
+					return br.toScript(v), nil
+				}
+			}
+			return nil, fmt.Errorf("no static method %s::%s", b.Class, b.Routine)
+		}
+		ret, err := br.cpp.CallFree(name, cppArgs)
+		if err != nil {
+			return nil, err
+		}
+		return br.toScript(ret), nil
+	default:
+		return nil, fmt.Errorf("unknown binding kind %q", b.Kind)
+	}
+}
+
+// CallMethod implements script.MethodDispatcher: obj.method(args)
+// sugar routes through the same bindings as the wrapper functions.
+func (br *Bridge) CallMethod(obj script.Foreign, method string, args []script.Value) (script.Value, error) {
+	target, ok := br.handles[obj.Handle]
+	if !ok {
+		return nil, fmt.Errorf("stale object handle %d", obj.Handle)
+	}
+	cppArgs, err := br.toCPPArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	ret, err := br.cpp.CallMethod(target, method, cppArgs)
+	if err != nil {
+		return nil, err
+	}
+	return br.toScript(ret), nil
+}
+
+func (br *Bridge) newHandle(obj *interp.Object) script.Foreign {
+	br.nextH++
+	br.handles[br.nextH] = obj
+	return script.Foreign{Handle: br.nextH, Class: obj.Class.QualifiedName()}
+}
+
+// toCPPArgs converts slang values to interpreter values. Integral
+// numbers become Int so integer overloads are preferred; fractional
+// numbers become Float.
+func (br *Bridge) toCPPArgs(args []script.Value) ([]interp.Value, error) {
+	out := make([]interp.Value, 0, len(args))
+	for _, a := range args {
+		v, err := br.toCPP(a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func (br *Bridge) toCPP(v script.Value) (interp.Value, error) {
+	switch v := v.(type) {
+	case script.Num:
+		f := float64(v)
+		if f == math.Trunc(f) && math.Abs(f) < 1e18 {
+			return interp.Int(int64(f)), nil
+		}
+		return interp.Float(f), nil
+	case script.Str:
+		return interp.Str(v), nil
+	case script.Bool:
+		return interp.Bool(v), nil
+	case script.Nil:
+		return interp.Null{}, nil
+	case script.Foreign:
+		obj, ok := br.handles[v.Handle]
+		if !ok {
+			return nil, fmt.Errorf("stale object handle %d", v.Handle)
+		}
+		return obj, nil
+	default:
+		return nil, fmt.Errorf("cannot pass %s to C++", script.Format(v))
+	}
+}
+
+func (br *Bridge) toScript(v interp.Value) script.Value {
+	switch v := v.(type) {
+	case interp.Int:
+		return script.Num(v)
+	case interp.Char:
+		return script.Str(string(rune(v)))
+	case interp.Float:
+		return script.Num(v)
+	case interp.Bool:
+		return script.Bool(v)
+	case interp.Str:
+		return script.Str(v)
+	case *interp.Object:
+		return br.newHandle(v)
+	case interp.Ptr:
+		if p, err := v.Pointee(); err == nil {
+			if obj, ok := p.(*interp.Object); ok {
+				return br.newHandle(obj)
+			}
+		}
+		return script.Nil{}
+	default:
+		return script.Nil{}
+	}
+}
+
+func interpStr(v interp.Value) (string, bool) {
+	if s, ok := v.(interp.Str); ok {
+		return string(s), true
+	}
+	if s := interp.FormatValue(v); s != "" {
+		return s, true
+	}
+	return "", false
+}
+
+// RunScript is the one-call convenience used by tools and tests: it
+// loads the wrapper module then runs the user script.
+func RunScript(sc *script.Interp, bindings *Bindings, userScript string) error {
+	if err := sc.Run(bindings.WrapperScript); err != nil {
+		return fmt.Errorf("wrapper module: %w", err)
+	}
+	return sc.Run(userScript)
+}
+
+// Describe renders the binding table (for siloongen -list).
+func (b *Bindings) Describe() string {
+	var sb strings.Builder
+	for _, item := range b.Items {
+		target := item.Class
+		if item.Kind != KindCtor && item.Kind != KindDtor {
+			if target != "" {
+				target += "::"
+			}
+			target += item.Routine
+		}
+		fmt.Fprintf(&sb, "%-40s %-7s %s (%d args)\n",
+			item.Mangled, item.Kind, target, len(item.Params))
+	}
+	return sb.String()
+}

@@ -1,0 +1,221 @@
+package siloon
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pdt/internal/ductape"
+)
+
+// BindingKind classifies one bridge entry point.
+type BindingKind string
+
+// Binding kinds.
+const (
+	KindCtor   BindingKind = "ctor"
+	KindDtor   BindingKind = "dtor"
+	KindMethod BindingKind = "method"
+	KindStatic BindingKind = "static"
+	KindFree   BindingKind = "free"
+)
+
+// Binding is one routine exposed to the scripting language.
+type Binding struct {
+	// Mangled is the bridge entry name registered with the routine
+	// manager.
+	Mangled string
+	Kind    BindingKind
+	// Class is the (full) class name for member bindings.
+	Class string
+	// Routine is the routine's C++ name.
+	Routine string
+	// Params is the parameter count (excluding the receiver).
+	Params []string
+}
+
+// Bindings is the generator output: the binding table, the slang
+// wrapper module, and the C++ registration glue.
+type Bindings struct {
+	Items []Binding
+	// WrapperScript is the scripting-language wrapper module (the
+	// "natural and convenient interface").
+	WrapperScript string
+	// GlueSource is the C++ bridging/registration code, compiled into
+	// the SILOON library.
+	GlueSource string
+
+	byMangled map[string]*Binding
+}
+
+// Lookup finds a binding by mangled name.
+func (b *Bindings) Lookup(mangled string) *Binding {
+	if b.byMangled == nil {
+		b.byMangled = map[string]*Binding{}
+		for i := range b.Items {
+			b.byMangled[b.Items[i].Mangled] = &b.Items[i]
+		}
+	}
+	return b.byMangled[mangled]
+}
+
+// Options select what to wrap.
+type Options struct {
+	// Classes restricts wrapping to the named classes (full names);
+	// empty wraps every complete, non-system class.
+	Classes []string
+	// IncludeFree wraps free functions too.
+	IncludeFree bool
+}
+
+// Generate builds the binding set for a program database — the paper's
+// "generation of glue and skeleton code required in providing
+// scripting language access to scientific libraries".
+func Generate(db *ductape.PDB, opts Options) *Bindings {
+	b := &Bindings{}
+	var script strings.Builder
+	var glue strings.Builder
+
+	script.WriteString("# SILOON-generated slang wrapper module.\n")
+	script.WriteString("# Wrapper functions call the language-independent bridge (ccall).\n\n")
+	glue.WriteString("// SILOON-generated bridging code.\n#include <siloon.h>\n\nvoid __siloon_init() {\n")
+
+	want := map[string]bool{}
+	for _, c := range opts.Classes {
+		want[c] = true
+	}
+
+	token := 0
+	addItem := func(item Binding) {
+		token++
+		b.Items = append(b.Items, item)
+		fmt.Fprintf(&glue, "    __pdt_siloon_register(%q, %d);\n", item.Mangled, token)
+	}
+
+	for _, cls := range db.Classes() {
+		if len(want) > 0 && !want[cls.FullName()] && !want[cls.Name()] {
+			continue
+		}
+		if len(want) == 0 {
+			loc := cls.Location()
+			if loc.File == nil || loc.File.System() {
+				continue
+			}
+		}
+		clsMangled := Mangle(cls.FullName())
+
+		// Constructor wrapper (_new): uses the richest public ctor.
+		var ctor *ductape.Routine
+		hasDtor := false
+		for _, m := range cls.Functions() {
+			switch m.Kind() {
+			case "ctor":
+				if m.Access() == "pub" && (ctor == nil || len(sigParams(m)) > len(sigParams(ctor))) {
+					ctor = m
+				}
+			case "dtor":
+				hasDtor = true
+			}
+		}
+		ctorParams := []string{}
+		if ctor != nil {
+			ctorParams = sigParams(ctor)
+		}
+		addItem(Binding{Mangled: "new__" + clsMangled, Kind: KindCtor,
+			Class: cls.FullName(), Routine: cls.Name(), Params: ctorParams})
+		fmt.Fprintf(&script, "def %s_new(%s) { return ccall(\"new__%s\"%s); }\n",
+			clsMangled, strings.Join(ctorParams, ", "), clsMangled, argPass(ctorParams))
+
+		_ = hasDtor
+		addItem(Binding{Mangled: "delete__" + clsMangled, Kind: KindDtor,
+			Class: cls.FullName(), Routine: "~" + cls.Name()})
+		fmt.Fprintf(&script, "def %s_delete(self) { return ccall(\"delete__%s\", self); }\n",
+			clsMangled, clsMangled)
+
+		for _, m := range cls.Functions() {
+			if m.Access() != "pub" || m.Kind() == "ctor" || m.Kind() == "dtor" {
+				continue
+			}
+			mName := MangleRoutine(m.Name())
+			mangled := clsMangled + "__" + mName
+			params := sigParams(m)
+			kind := KindMethod
+			if m.IsStatic() {
+				kind = KindStatic
+			}
+			addItem(Binding{Mangled: mangled, Kind: kind,
+				Class: cls.FullName(), Routine: m.Name(), Params: params})
+			if kind == KindStatic {
+				fmt.Fprintf(&script, "def %s_%s(%s) { return ccall(%q%s); }\n",
+					clsMangled, mName, strings.Join(params, ", "), mangled, argPass(params))
+			} else {
+				all := append([]string{"self"}, params...)
+				fmt.Fprintf(&script, "def %s_%s(%s) { return ccall(%q%s); }\n",
+					clsMangled, mName, strings.Join(all, ", "), mangled, argPass(all))
+			}
+		}
+		script.WriteString("\n")
+	}
+
+	if opts.IncludeFree {
+		for _, r := range db.Routines() {
+			if r.ParentClass() != nil || r.Kind() != "fun" || r.IsInstantiation() {
+				continue
+			}
+			loc := r.Location()
+			if loc.File == nil || loc.File.System() {
+				continue
+			}
+			if r.Name() == "main" || strings.HasPrefix(r.Name(), "__") {
+				continue
+			}
+			mangled := "fn__" + MangleRoutine(fullRoutineName(r))
+			params := sigParams(r)
+			addItem(Binding{Mangled: mangled, Kind: KindFree,
+				Routine: fullRoutineName(r), Params: params})
+			fmt.Fprintf(&script, "def %s(%s) { return ccall(%q%s); }\n",
+				MangleRoutine(fullRoutineName(r)), strings.Join(params, ", "), mangled, argPass(params))
+		}
+	}
+
+	glue.WriteString("}\n")
+	b.WrapperScript = script.String()
+	b.GlueSource = glue.String()
+	sortBindings(b.Items)
+	return b
+}
+
+func sortBindings(items []Binding) {
+	sort.SliceStable(items, func(i, j int) bool { return items[i].Mangled < items[j].Mangled })
+}
+
+// fullRoutineName returns the namespace-qualified routine name.
+func fullRoutineName(r *ductape.Routine) string {
+	full := r.FullName()
+	if i := strings.IndexByte(full, '('); i >= 0 {
+		full = full[:i]
+	}
+	return full
+}
+
+// sigParams produces wrapper parameter names (p0, p1, ...) from the
+// routine's signature.
+func sigParams(r *ductape.Routine) []string {
+	sig := r.Signature()
+	if sig == nil {
+		return nil
+	}
+	n := len(sig.ArgumentTypes())
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("p%d", i)
+	}
+	return out
+}
+
+func argPass(params []string) string {
+	if len(params) == 0 {
+		return ""
+	}
+	return ", " + strings.Join(params, ", ")
+}

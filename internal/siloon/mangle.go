@@ -1,0 +1,102 @@
+// Package siloon is the SILOON (Scripting Interface Languages for
+// Object-Oriented Numerics) analog of the paper's §4.2: it uses PDT to
+// parse C++ class libraries, extracts the interfaces of functions and
+// class methods from the PDB, and generates bridging code that links
+// scripting-language (slang) code with the library.
+//
+// The generated code has the paper's two layers: language-specific
+// wrapper functions written in the scripting language, which call
+// language-independent bridging functions; the bridge registers
+// user-designated library routines with SILOON's routine-management
+// structures and processes calls from the script.
+//
+// Templates are treated the same as other entities except that
+// non-alphanumeric characters in their names are mangled so they can
+// be accessed from the scripting language — only template
+// instantiations present in the parsed code are available, exactly as
+// the paper describes.
+package siloon
+
+import "strings"
+
+// Mangle transforms a C++ entity name into an identifier usable from
+// scripting languages: non-alphanumeric characters are transformed to
+// encode type and qualifier information ("Stack<int>" → "Stack_int",
+// "vector<Stack<double>>" → "vector_Stack_double").
+func Mangle(name string) string {
+	var sb strings.Builder
+	lastUnderscore := false
+	put := func(s string) {
+		if s == "_" {
+			if lastUnderscore || sb.Len() == 0 {
+				return
+			}
+			lastUnderscore = true
+			sb.WriteByte('_')
+			return
+		}
+		lastUnderscore = false
+		sb.WriteString(s)
+	}
+	i := 0
+	for i < len(name) {
+		c := name[i]
+		switch {
+		case c == ':' && i+1 < len(name) && name[i+1] == ':':
+			put("_")
+			i += 2
+			continue
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			put(string(c))
+		case c == '<', c == ',':
+			put("_")
+		case c == '>':
+			// closing bracket adds nothing; the opening separated already
+		case c == ' ':
+			// drop
+		case c == '*':
+			put("_")
+			put("ptr")
+		case c == '&':
+			put("_")
+			put("ref")
+		case c == '~':
+			put("_")
+			put("dtor")
+			put("_")
+		case c == '(' || c == ')':
+			// operator() spelled out by operator table below
+		default:
+			put("_")
+		}
+		i++
+	}
+	out := strings.TrimRight(sb.String(), "_")
+	return out
+}
+
+// operatorNames maps operator spellings to mangled member names.
+var operatorNames = map[string]string{
+	"operator+": "op_add", "operator-": "op_sub", "operator*": "op_mul",
+	"operator/": "op_div", "operator%": "op_mod",
+	"operator==": "op_eq", "operator!=": "op_ne",
+	"operator<": "op_lt", "operator>": "op_gt",
+	"operator<=": "op_le", "operator>=": "op_ge",
+	"operator[]": "op_index", "operator()": "op_call",
+	"operator=": "op_assign", "operator+=": "op_add_assign",
+	"operator-=": "op_sub_assign", "operator*=": "op_mul_assign",
+	"operator/=": "op_div_assign", "operator<<": "op_shl",
+	"operator>>": "op_shr", "operator++": "op_inc", "operator--": "op_dec",
+	"operator!": "op_not",
+}
+
+// MangleRoutine mangles a routine name, handling operators.
+func MangleRoutine(name string) string {
+	if m, ok := operatorNames[name]; ok {
+		return m
+	}
+	if strings.HasPrefix(name, "operator") {
+		return "op" + Mangle(name[len("operator"):])
+	}
+	return Mangle(name)
+}

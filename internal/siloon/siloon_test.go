@@ -1,0 +1,275 @@
+package siloon_test
+
+import (
+	"strings"
+	"testing"
+
+	"pdt/internal/core"
+	"pdt/internal/ductape"
+	"pdt/internal/il"
+	"pdt/internal/ilanalyzer"
+	"pdt/internal/script"
+	"pdt/internal/siloon"
+)
+
+// numericsLib is a small scientific library in the supported subset —
+// the stand-in for the high-performance libraries SILOON wraps.
+const numericsLib = `
+class Accumulator {
+public:
+    Accumulator() : total(0), n(0) { }
+    void add(double x) { total += x; n++; }
+    double sum() const { return total; }
+    double mean() const { return n > 0 ? total / n : 0.0; }
+    int count() const { return n; }
+private:
+    double total;
+    int n;
+};
+
+class Matrix2 {
+public:
+    Matrix2(double a, double b, double c, double d)
+        : a_(a), b_(b), c_(c), d_(d) { }
+    double det() const { return a_ * d_ - b_ * c_; }
+    double trace() const { return a_ + d_; }
+private:
+    double a_, b_, c_, d_;
+};
+
+template <class T>
+class Pair {
+public:
+    Pair(T a, T b) : first(a), second(b) { }
+    T min() const { return first < second ? first : second; }
+    T max() const { return first < second ? second : first; }
+private:
+    T first;
+    T second;
+};
+
+double hypot2(double a, double b) { return a * a + b * b; }
+
+// Explicit instantiation makes Pair<double> available to SILOON, as
+// the paper requires ("the user must explicitly instantiate such
+// templates in the parsed code").
+template class Pair<double>;
+int main() { return 0; }
+`
+
+func compileLib(t *testing.T, extraGlue string) (*il.Unit, *ductape.PDB) {
+	t.Helper()
+	opts := core.Options{}
+	fs := core.NewFileSet(opts)
+	src := numericsLib
+	if extraGlue != "" {
+		fs.AddVirtualFile("glue.cpp", extraGlue)
+		src = numericsLib + "\n#include \"glue.cpp\"\n"
+	}
+	res := core.CompileSource(fs, "lib.cpp", src, opts)
+	for _, d := range res.Diagnostics {
+		t.Fatalf("diagnostic: %v", d)
+	}
+	return res.Unit, ductape.FromRaw(ilanalyzer.Analyze(res.Unit, ilanalyzer.Options{}))
+}
+
+func TestMangle(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Stack<int>", "Stack_int"},
+		{"Pair<double>", "Pair_double"},
+		{"vector<Stack<double>>", "vector_Stack_double"},
+		{"ns::Klass", "ns_Klass"},
+		{"Stack<const char *>", "Stack_constchar_ptr"},
+		{"plain", "plain"},
+		{"Arr<int, 16>", "Arr_int_16"},
+	}
+	for _, c := range cases {
+		if got := siloon.Mangle(c.in); got != c.want {
+			t.Errorf("Mangle(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := siloon.MangleRoutine("operator[]"); got != "op_index" {
+		t.Errorf("MangleRoutine operator[] = %q", got)
+	}
+	if got := siloon.MangleRoutine("operator+"); got != "op_add" {
+		t.Errorf("MangleRoutine operator+ = %q", got)
+	}
+}
+
+func TestGenerateBindings(t *testing.T) {
+	_, db := compileLib(t, "")
+	b := siloon.Generate(db, siloon.Options{IncludeFree: true})
+
+	// Wrapper module contains natural wrapper functions.
+	for _, want := range []string{
+		"def Accumulator_new()",
+		"def Accumulator_add(self, p0)",
+		"def Accumulator_mean(self)",
+		"def Matrix2_new(p0, p1, p2, p3)",
+		"def Pair_double_new(p0, p1)",
+		"def Pair_double_min(self)",
+		"def hypot2(p0, p1)",
+		`ccall("new__Accumulator")`,
+	} {
+		if !strings.Contains(b.WrapperScript, want) {
+			t.Errorf("wrapper module missing %q:\n%s", want, b.WrapperScript)
+		}
+	}
+	// Glue registers every binding.
+	for _, want := range []string{
+		"__siloon_init",
+		`__pdt_siloon_register("new__Accumulator"`,
+		`__pdt_siloon_register("Accumulator__add"`,
+		`__pdt_siloon_register("fn__hypot2"`,
+	} {
+		if !strings.Contains(b.GlueSource, want) {
+			t.Errorf("glue missing %q:\n%s", want, b.GlueSource)
+		}
+	}
+	if b.Lookup("new__Matrix2") == nil || b.Lookup("Pair_double__max") == nil {
+		t.Errorf("binding table incomplete:\n%s", b.Describe())
+	}
+}
+
+// TestScriptDrivesLibrary is experiment E9 (Figure 8): a slang script
+// calls into the C++ library through generated wrappers and the bridge.
+func TestScriptDrivesLibrary(t *testing.T) {
+	unit, db := compileLib(t, "")
+	b := siloon.Generate(db, siloon.Options{IncludeFree: true})
+
+	// Compile the glue into the library image (second compile with the
+	// generated registration code), as the paper's flow does.
+	opts := core.Options{}
+	fs := core.NewFileSet(opts)
+	fs.AddVirtualFile("glue.cpp", b.GlueSource)
+	res := core.CompileSource(fs, "lib.cpp", numericsLib+"\n#include \"glue.cpp\"\n", opts)
+	if res.HasErrors() {
+		t.Fatalf("glue compile: %v", res.Diagnostics[0])
+	}
+	unit = res.Unit
+
+	var out strings.Builder
+	_, sc, err := siloon.NewBridge(unit, b, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	userScript := `
+acc = Accumulator_new();
+Accumulator_add(acc, 1.5);
+Accumulator_add(acc, 2.5);
+Accumulator_add(acc, 6);
+print("sum", Accumulator_sum(acc));
+print("mean", Accumulator_mean(acc));
+print("count", Accumulator_count(acc));
+
+m = Matrix2_new(1, 2, 3, 4);
+print("det", Matrix2_det(m));
+print("trace", Matrix2_trace(m));
+
+p = Pair_double_new(3.5, 1.25);
+print("min", Pair_double_min(p));
+print("max", Pair_double_max(p));
+
+print("hypot2", hypot2(3, 4));
+
+Accumulator_delete(acc);
+Matrix2_delete(m);
+Pair_double_delete(p);
+`
+	if err := siloon.RunScript(sc, b, userScript); err != nil {
+		t.Fatal(err)
+	}
+	want := `sum 10
+mean 3.3333333333333335
+count 3
+det -2
+trace 5
+min 1.25
+max 3.5
+hypot2 25
+`
+	if out.String() != want {
+		t.Errorf("script output:\n%s\nwant:\n%s", out.String(), want)
+	}
+}
+
+func TestMethodSugar(t *testing.T) {
+	unit, db := compileLib(t, "")
+	b := siloon.Generate(db, siloon.Options{})
+	var out strings.Builder
+	br, sc, err := siloon.NewBridge(unit, b, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	userScript := `
+acc = Accumulator_new();
+acc.add(2);
+acc.add(4);
+print(acc.sum(), acc.count());
+Accumulator_delete(acc);
+`
+	if err := siloon.RunScript(sc, b, userScript); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "6 2\n" {
+		t.Errorf("out = %q", out.String())
+	}
+	if br.LiveObjects() != 0 {
+		t.Errorf("leaked handles: %d", br.LiveObjects())
+	}
+}
+
+func TestStaleHandleRejected(t *testing.T) {
+	unit, db := compileLib(t, "")
+	b := siloon.Generate(db, siloon.Options{})
+	_, sc, err := siloon.NewBridge(unit, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = siloon.RunScript(sc, b, `
+acc = Accumulator_new();
+Accumulator_delete(acc);
+Accumulator_add(acc, 1);
+`)
+	if err == nil || !strings.Contains(err.Error(), "stale object handle") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUnregisteredEntryRejected(t *testing.T) {
+	unit, db := compileLib(t, "")
+	b := siloon.Generate(db, siloon.Options{Classes: []string{"Accumulator"}})
+	_, sc, err := siloon.NewBridge(unit, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sc.Run(`ccall("new__Matrix2");`)
+	if err == nil {
+		t.Error("expected rejection of unregistered entry")
+	}
+}
+
+func TestRestrictedClassList(t *testing.T) {
+	_, db := compileLib(t, "")
+	b := siloon.Generate(db, siloon.Options{Classes: []string{"Matrix2"}})
+	if b.Lookup("new__Matrix2") == nil {
+		t.Error("Matrix2 not wrapped")
+	}
+	if b.Lookup("new__Accumulator") != nil {
+		t.Error("Accumulator should not be wrapped")
+	}
+	_ = script.Nil{}
+}
+
+func TestTemplateInstantiationOnlyAvailable(t *testing.T) {
+	// Pair<double> was explicitly instantiated; Pair<int> was not and
+	// must be absent — the paper's stated limitation.
+	_, db := compileLib(t, "")
+	b := siloon.Generate(db, siloon.Options{})
+	if b.Lookup("new__Pair_double") == nil {
+		t.Error("Pair<double> should be wrapped (explicitly instantiated)")
+	}
+	if b.Lookup("new__Pair_int") != nil {
+		t.Error("Pair<int> must not be wrapped (never instantiated)")
+	}
+}

@@ -1,0 +1,88 @@
+package siloon
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pdt/internal/ductape"
+)
+
+// This file implements the extension the paper proposes in §4.2/§6:
+// "A useful extension to PDT would be to provide access to all
+// templates, whether instantiated or not. SILOON could then present a
+// template list to the user, and automatically generate instantiations
+// of selected templates."
+
+// TemplateInfo describes one class template available for wrapping.
+type TemplateInfo struct {
+	Name string
+	// Text is the template's declaration text from the PDB.
+	Text string
+	// Instantiated lists the instantiations already present in the
+	// parsed code (immediately wrappable).
+	Instantiated []string
+}
+
+// ListClassTemplates presents the template list of the proposed
+// extension: every class template in the database with its existing
+// instantiations.
+func ListClassTemplates(db *ductape.PDB) []TemplateInfo {
+	var out []TemplateInfo
+	for _, te := range db.Templates() {
+		if te.Kind() != ductape.TE_CLASS {
+			continue
+		}
+		if loc := te.Location(); loc.File != nil && loc.File.System() {
+			continue
+		}
+		info := TemplateInfo{Name: te.Name(), Text: te.Text()}
+		for _, c := range te.InstantiatedClasses() {
+			info.Instantiated = append(info.Instantiated, c.Name())
+		}
+		sort.Strings(info.Instantiated)
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// InstantiationRequest asks for one new instantiation of a template.
+type InstantiationRequest struct {
+	Template string
+	// Args are the C++ template arguments ("double", "int", "Stack<int>").
+	Args []string
+}
+
+// GenerateInstantiations renders the explicit-instantiation
+// translation-unit text that makes the requested instantiations
+// available to SILOON ("template class Stack<double>;"). Compiling the
+// library together with this text and regenerating bindings exposes
+// the new instantiations to scripts.
+func GenerateInstantiations(reqs []InstantiationRequest) string {
+	var sb strings.Builder
+	sb.WriteString("// SILOON-generated explicit instantiations (PDT extension, paper §6).\n")
+	for _, r := range reqs {
+		fmt.Fprintf(&sb, "template class %s<%s>;\n", r.Template, strings.Join(r.Args, ", "))
+	}
+	return sb.String()
+}
+
+// DescribeTemplates renders the template list for the user (the
+// "present a template list to the user" half of the extension).
+func DescribeTemplates(infos []TemplateInfo) string {
+	var sb strings.Builder
+	for _, info := range infos {
+		fmt.Fprintf(&sb, "%s\n", info.Name)
+		if info.Text != "" {
+			fmt.Fprintf(&sb, "    %s\n", info.Text)
+		}
+		if len(info.Instantiated) == 0 {
+			sb.WriteString("    (no instantiations — request one to make it scriptable)\n")
+		}
+		for _, inst := range info.Instantiated {
+			fmt.Fprintf(&sb, "    instantiated: %s\n", inst)
+		}
+	}
+	return sb.String()
+}

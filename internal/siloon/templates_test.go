@@ -1,0 +1,150 @@
+package siloon_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pdt/internal/core"
+	"pdt/internal/ductape"
+	"pdt/internal/ilanalyzer"
+	"pdt/internal/siloon"
+)
+
+// TestTemplateListExtension exercises the paper's proposed §6
+// extension end-to-end: list templates (including uninstantiated
+// ones), request an instantiation, recompile with the generated
+// explicit-instantiation unit, and wrap the new instantiation.
+func TestTemplateListExtension(t *testing.T) {
+	lib := `
+template <class T>
+class Ring {
+public:
+    Ring(int n) : size_(n) { }
+    int capacity() const { return size_; }
+private:
+    int size_;
+};
+class Plain { public: int id() const { return 1; } };
+int main() { return 0; }
+`
+	compileDB := func(src string) (*core.Result, *ductape.PDB) {
+		opts := core.Options{}
+		fs := core.NewFileSet(opts)
+		res := core.CompileSource(fs, "lib.cpp", src, opts)
+		if res.HasErrors() {
+			t.Fatalf("compile: %v", res.Diagnostics[0])
+		}
+		return res, ductape.FromRaw(ilanalyzer.Analyze(res.Unit, ilanalyzer.Options{}))
+	}
+
+	// Phase 1: Ring is listed with no instantiations.
+	_, db := compileDB(lib)
+	infos := siloon.ListClassTemplates(db)
+	if len(infos) != 1 || infos[0].Name != "Ring" {
+		t.Fatalf("templates = %+v", infos)
+	}
+	if len(infos[0].Instantiated) != 0 {
+		t.Errorf("Ring should have no instantiations yet: %v", infos[0].Instantiated)
+	}
+	desc := siloon.DescribeTemplates(infos)
+	if !strings.Contains(desc, "no instantiations") {
+		t.Errorf("description:\n%s", desc)
+	}
+	// Without instantiations, no Ring binding exists.
+	b := siloon.Generate(db, siloon.Options{})
+	if b.Lookup("new__Ring_double") != nil {
+		t.Error("uninstantiated template must not be wrapped")
+	}
+
+	// Phase 2: the user selects Ring<double>; SILOON generates the
+	// explicit instantiation and the library is recompiled with it.
+	gen := siloon.GenerateInstantiations([]siloon.InstantiationRequest{
+		{Template: "Ring", Args: []string{"double"}},
+	})
+	if !strings.Contains(gen, "template class Ring<double>;") {
+		t.Fatalf("generated: %q", gen)
+	}
+	res2, db2 := compileDB(lib + "\n" + gen)
+	infos2 := siloon.ListClassTemplates(db2)
+	if len(infos2[0].Instantiated) != 1 || infos2[0].Instantiated[0] != "Ring<double>" {
+		t.Fatalf("after instantiation: %+v", infos2)
+	}
+
+	// Phase 3: the new instantiation is scriptable.
+	b2 := siloon.Generate(db2, siloon.Options{})
+	if b2.Lookup("new__Ring_double") == nil {
+		t.Fatalf("Ring<double> not wrapped:\n%s", b2.Describe())
+	}
+	var out strings.Builder
+	_, sc, err := siloon.NewBridge(res2.Unit, b2, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = siloon.RunScript(sc, b2, `
+r = Ring_double_new(17);
+print(r.capacity());
+Ring_double_delete(r);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "17" {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+// Property: Mangle emits only script-safe identifier characters and is
+// stable (idempotent on already-mangled names).
+func TestMangleProperty(t *testing.T) {
+	safe := func(s string) bool {
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if !(c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9') {
+				return false
+			}
+		}
+		return true
+	}
+	f := func(raw string) bool {
+		m := siloon.Mangle(raw)
+		if !safe(m) {
+			t.Logf("Mangle(%q) = %q contains unsafe characters", raw, m)
+			return false
+		}
+		// Idempotence: mangling a mangled name does not change it
+		// (underscore runs are already collapsed).
+		if siloon.Mangle(m) != m {
+			t.Logf("Mangle not idempotent: %q -> %q -> %q", raw, m, siloon.Mangle(m))
+			return false
+		}
+		// No leading/trailing underscores.
+		if strings.HasPrefix(m, "_") || strings.HasSuffix(m, "_") {
+			t.Logf("Mangle(%q) = %q has edge underscores", raw, m)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distinct realistic template-ids keep distinct mangled
+// names (no silent collisions among the names SILOON actually wraps).
+func TestMangleDistinguishesRealisticNames(t *testing.T) {
+	names := []string{
+		"Stack<int>", "Stack<double>", "Stack<char>", "Stack<int *>",
+		"Stack<const int>", "Stack<Stack<int>>", "Pair<int, int>",
+		"Pair<int, double>", "ns::Stack<int>", "Stack", "Stackint",
+		"Arr<int, 4>", "Arr<int, 8>",
+	}
+	seen := map[string]string{}
+	for _, n := range names {
+		m := siloon.Mangle(n)
+		if prev, ok := seen[m]; ok {
+			t.Errorf("collision: %q and %q both mangle to %q", prev, n, m)
+		}
+		seen[m] = n
+	}
+}

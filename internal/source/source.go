@@ -1,0 +1,318 @@
+// Package source implements the source manager used by every stage of the
+// PDT pipeline. It owns the set of files a translation unit touches,
+// assigns them stable identifiers, resolves #include references against
+// search paths and built-in system headers, and defines the position
+// types (Loc, Span) that the lexer, parser, IL, and program database all
+// carry. Positions are 1-based line/column pairs, matching the PDB format
+// of the paper (Figure 3).
+package source
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// File is a single source file known to a FileSet. A File may be backed
+// by the file system or by an in-memory buffer (built-in system headers,
+// tests, generated code).
+type File struct {
+	// Name is the name the file was requested as (e.g. "StackAr.h" or
+	// "/pdt/include/kai/vector.h"). It is the name reported in PDB items.
+	Name string
+	// Path is the resolved absolute path for disk-backed files, or ""
+	// for in-memory files.
+	Path string
+	// System reports whether the file was included as a system header
+	// (<...> or registered built-in).
+	System bool
+	// Content is the raw bytes of the file.
+	Content []byte
+
+	// Includes lists the files directly included by this file, in
+	// textual order. Populated by the preprocessor.
+	Includes []*File
+
+	mu    sync.Mutex
+	lines []int // byte offsets of line starts, computed lazily
+}
+
+// Loc is a source location: a file plus 1-based line and column.
+// The zero Loc (nil file) is "no location", rendered as "NULL 0 0" in
+// PDB output, mirroring the paper's Figure 3.
+type Loc struct {
+	File *File
+	Line int
+	Col  int
+}
+
+// Valid reports whether the location refers to a real file position.
+func (l Loc) Valid() bool { return l.File != nil && l.Line > 0 }
+
+// String renders the location for diagnostics ("file:line:col").
+func (l Loc) String() string {
+	if !l.Valid() {
+		return "<unknown>"
+	}
+	return fmt.Sprintf("%s:%d:%d", l.File.Name, l.Line, l.Col)
+}
+
+// Before reports whether l appears strictly before other within the same
+// file. Locations in different files are not ordered and return false.
+func (l Loc) Before(other Loc) bool {
+	if l.File != other.File || l.File == nil {
+		return false
+	}
+	if l.Line != other.Line {
+		return l.Line < other.Line
+	}
+	return l.Col < other.Col
+}
+
+// Span is a source extent: [Begin, End]. PDB "pos" attributes are pairs
+// of spans (header span, body span).
+type Span struct {
+	Begin Loc
+	End   Loc
+}
+
+// Valid reports whether the span has a valid beginning.
+func (s Span) Valid() bool { return s.Begin.Valid() }
+
+func (s Span) String() string {
+	if !s.Valid() {
+		return "<unknown>"
+	}
+	return fmt.Sprintf("%s-%d:%d", s.Begin, s.End.Line, s.End.Col)
+}
+
+// LineText returns the text of the 1-based line n, without its
+// terminating newline. It returns "" for out-of-range lines.
+func (f *File) LineText(n int) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.buildLineIndex()
+	if n < 1 || n > len(f.lines) {
+		return ""
+	}
+	start := f.lines[n-1]
+	end := len(f.Content)
+	if n < len(f.lines) {
+		end = f.lines[n] - 1 // strip '\n'
+	}
+	text := string(f.Content[start:end])
+	return strings.TrimSuffix(text, "\r")
+}
+
+// NumLines returns the number of lines in the file.
+func (f *File) NumLines() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.buildLineIndex()
+	return len(f.lines)
+}
+
+// Offset converts a (line, col) pair into a byte offset, clamped to the
+// file extent.
+func (f *File) Offset(line, col int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.buildLineIndex()
+	if line < 1 {
+		return 0
+	}
+	if line > len(f.lines) {
+		return len(f.Content)
+	}
+	off := f.lines[line-1] + col - 1
+	if off > len(f.Content) {
+		off = len(f.Content)
+	}
+	if off < 0 {
+		off = 0
+	}
+	return off
+}
+
+func (f *File) buildLineIndex() {
+	if f.lines != nil {
+		return
+	}
+	f.lines = append(f.lines, 0)
+	for i, b := range f.Content {
+		if b == '\n' && i+1 < len(f.Content) {
+			f.lines = append(f.lines, i+1)
+		}
+	}
+}
+
+// FileSet owns every file of a translation unit. It resolves includes
+// against user search paths, the including file's directory, and a
+// registry of built-in ("system") headers that stands in for the KAI
+// standard library headers the paper ships with PDT 1.3.
+type FileSet struct {
+	mu sync.Mutex
+	// SearchPaths are directories tried for both "..." and <...> forms.
+	SearchPaths []string
+	// builtin maps header names (e.g. "vector") to their content.
+	builtin map[string]string
+
+	files  []*File
+	byName map[string]*File
+}
+
+// NewFileSet returns an empty file set with no search paths.
+func NewFileSet() *FileSet {
+	return &FileSet{
+		builtin: make(map[string]string),
+		byName:  make(map[string]*File),
+	}
+}
+
+// RegisterBuiltin registers an in-memory system header, available to
+// #include <name> (and #include "name" as a last resort).
+func (fs *FileSet) RegisterBuiltin(name, content string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.builtin[name] = content
+}
+
+// AddVirtualFile adds an in-memory file under the given name and returns
+// it. If a file of that name already exists its content is replaced.
+func (fs *FileSet) AddVirtualFile(name, content string) *File {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f, ok := fs.byName[name]; ok {
+		f.Content = []byte(content)
+		f.lines = nil
+		return f
+	}
+	f := &File{Name: name, Content: []byte(content)}
+	fs.files = append(fs.files, f)
+	fs.byName[name] = f
+	return f
+}
+
+// Load opens the named file from disk (or returns the already-loaded
+// instance). The name is recorded as given; the path is resolved to an
+// absolute path.
+func (fs *FileSet) Load(name string) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f, ok := fs.byName[name]; ok {
+		return f, nil
+	}
+	content, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	abs, _ := filepath.Abs(name)
+	f := &File{Name: name, Path: abs, Content: content}
+	fs.files = append(fs.files, f)
+	fs.byName[name] = f
+	return f, nil
+}
+
+// Resolve resolves an #include reference. The spelling is the text
+// between the delimiters; system reports the <...> form; from is the
+// file containing the directive (may be nil).
+//
+// Lookup order for "..." includes: directory of the including file, the
+// search paths, already-registered virtual files, then built-in headers.
+// For <...> includes: built-in headers first, then search paths.
+func (fs *FileSet) Resolve(spelling string, system bool, from *File) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+
+	if !system {
+		if from != nil && from.Path != "" {
+			cand := filepath.Join(filepath.Dir(from.Path), spelling)
+			if f := fs.loadDiskLocked(spelling, cand); f != nil {
+				return f, nil
+			}
+		}
+		for _, dir := range fs.SearchPaths {
+			cand := filepath.Join(dir, spelling)
+			if f := fs.loadDiskLocked(spelling, cand); f != nil {
+				return f, nil
+			}
+		}
+		if f, ok := fs.byName[spelling]; ok {
+			return f, nil
+		}
+	}
+	if content, ok := fs.builtin[spelling]; ok {
+		name := "/pdt/include/kai/" + spelling
+		if f, ok := fs.byName[name]; ok {
+			return f, nil
+		}
+		f := &File{Name: name, System: true, Content: []byte(content)}
+		fs.files = append(fs.files, f)
+		fs.byName[name] = f
+		return f, nil
+	}
+	if system {
+		for _, dir := range fs.SearchPaths {
+			cand := filepath.Join(dir, spelling)
+			if f := fs.loadDiskLocked(spelling, cand); f != nil {
+				return f, nil
+			}
+		}
+		if f, ok := fs.byName[spelling]; ok {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("include not found: %q", spelling)
+}
+
+func (fs *FileSet) loadDiskLocked(name, path string) *File {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return nil
+	}
+	for _, f := range fs.files {
+		if f.Path == abs {
+			return f
+		}
+	}
+	content, err := os.ReadFile(abs)
+	if err != nil {
+		return nil
+	}
+	f := &File{Name: name, Path: abs, Content: content}
+	fs.files = append(fs.files, f)
+	fs.byName[f.Name] = f
+	return f
+}
+
+// Files returns all files in the set, in registration order.
+func (fs *FileSet) Files() []*File {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]*File, len(fs.files))
+	copy(out, fs.files)
+	return out
+}
+
+// Lookup returns the file registered under name, or nil.
+func (fs *FileSet) Lookup(name string) *File {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.byName[name]
+}
+
+// SortedNames returns the names of all files, sorted, for deterministic
+// reporting.
+func (fs *FileSet) SortedNames() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	names := make([]string, 0, len(fs.files))
+	for _, f := range fs.files {
+		names = append(names, f.Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,190 @@
+package source
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestLineText(t *testing.T) {
+	fs := NewFileSet()
+	f := fs.AddVirtualFile("t.cpp", "line one\nline two\r\nline three")
+	cases := []struct {
+		n    int
+		want string
+	}{
+		{1, "line one"}, {2, "line two"}, {3, "line three"},
+		{0, ""}, {4, ""},
+	}
+	for _, c := range cases {
+		if got := f.LineText(c.n); got != c.want {
+			t.Errorf("LineText(%d) = %q want %q", c.n, got, c.want)
+		}
+	}
+	if f.NumLines() != 3 {
+		t.Errorf("NumLines = %d", f.NumLines())
+	}
+}
+
+func TestOffset(t *testing.T) {
+	fs := NewFileSet()
+	f := fs.AddVirtualFile("t.cpp", "abc\ndefg\nhi")
+	cases := []struct {
+		line, col, want int
+	}{
+		{1, 1, 0}, {1, 3, 2}, {2, 1, 4}, {2, 4, 7}, {3, 2, 10},
+		{0, 1, 0}, {9, 1, 11},
+	}
+	for _, c := range cases {
+		if got := f.Offset(c.line, c.col); got != c.want {
+			t.Errorf("Offset(%d,%d) = %d want %d", c.line, c.col, got, c.want)
+		}
+	}
+}
+
+// Property: Offset is monotone in (line, col) and always within the
+// file extent.
+func TestOffsetMonotoneProperty(t *testing.T) {
+	fs := NewFileSet()
+	f := fs.AddVirtualFile("t.cpp", "one\ntwo three\n\nfour\nlast line here")
+	check := func(l1, c1, l2, c2 uint8) bool {
+		a := f.Offset(int(l1%8)+1, int(c1%20)+1)
+		b := f.Offset(int(l2%8)+1, int(c2%20)+1)
+		if a < 0 || a > len(f.Content) || b < 0 || b > len(f.Content) {
+			return false
+		}
+		if int(l1%8) < int(l2%8) && a > b+20 {
+			return false // earlier lines cannot be far beyond later lines
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocOrdering(t *testing.T) {
+	fs := NewFileSet()
+	f := fs.AddVirtualFile("t.cpp", "x\ny\n")
+	a := Loc{File: f, Line: 1, Col: 5}
+	b := Loc{File: f, Line: 2, Col: 1}
+	c := Loc{File: f, Line: 1, Col: 9}
+	if !a.Before(b) || b.Before(a) {
+		t.Error("line ordering")
+	}
+	if !a.Before(c) || c.Before(a) {
+		t.Error("column ordering")
+	}
+	g := fs.AddVirtualFile("u.cpp", "z\n")
+	d := Loc{File: g, Line: 9, Col: 9}
+	if a.Before(d) || d.Before(a) {
+		t.Error("cross-file locations are unordered")
+	}
+	var zero Loc
+	if zero.Valid() || zero.String() != "<unknown>" {
+		t.Error("zero Loc")
+	}
+}
+
+func TestResolveBuiltinAndVirtual(t *testing.T) {
+	fs := NewFileSet()
+	fs.RegisterBuiltin("vector", "// builtin vector")
+	fs.AddVirtualFile("local.h", "// local")
+
+	f, err := fs.Resolve("vector", true, nil)
+	if err != nil || !f.System {
+		t.Fatalf("builtin resolve: %v %+v", err, f)
+	}
+	// Second resolve returns the same instance.
+	f2, _ := fs.Resolve("vector", true, nil)
+	if f != f2 {
+		t.Error("builtin not cached")
+	}
+	// Quoted include of a virtual file.
+	l, err := fs.Resolve("local.h", false, nil)
+	if err != nil || l.Name != "local.h" {
+		t.Fatalf("virtual resolve: %v", err)
+	}
+	// Quoted include falls back to builtin as last resort.
+	v, err := fs.Resolve("vector", false, nil)
+	if err != nil || !v.System {
+		t.Fatalf("quoted builtin fallback: %v", err)
+	}
+	if _, err := fs.Resolve("missing.h", false, nil); err == nil {
+		t.Error("missing include should fail")
+	}
+}
+
+func TestResolveDiskRelativeToIncluder(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "sub")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	mainPath := filepath.Join(dir, "main.cpp")
+	hdrPath := filepath.Join(sub, "dep.h")
+	os.WriteFile(mainPath, []byte("int m;"), 0o644)
+	os.WriteFile(hdrPath, []byte("int d;"), 0o644)
+
+	fs := NewFileSet()
+	mainF, err := fs.Load(mainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "sub/dep.h" relative to main.cpp's directory.
+	dep, err := fs.Resolve("sub/dep.h", false, mainF)
+	if err != nil {
+		t.Fatalf("relative resolve: %v", err)
+	}
+	if string(dep.Content) != "int d;" {
+		t.Errorf("content = %q", dep.Content)
+	}
+	// Same file via search path dedupes to the same instance.
+	fs.SearchPaths = append(fs.SearchPaths, sub)
+	dep2, err := fs.Resolve("dep.h", false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep2.Path != dep.Path {
+		t.Error("search-path resolve found a different file")
+	}
+}
+
+func TestAddVirtualFileReplaces(t *testing.T) {
+	fs := NewFileSet()
+	f1 := fs.AddVirtualFile("x.h", "old")
+	f2 := fs.AddVirtualFile("x.h", "new content")
+	if f1 != f2 {
+		t.Error("replacement must reuse the File instance")
+	}
+	if f2.LineText(1) != "new content" {
+		t.Error("content not replaced / line index not invalidated")
+	}
+	if len(fs.Files()) != 1 {
+		t.Error("duplicate file registered")
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	fs := NewFileSet()
+	fs.AddVirtualFile("b.h", "")
+	fs.AddVirtualFile("a.h", "")
+	names := fs.SortedNames()
+	if len(names) != 2 || names[0] != "a.h" || names[1] != "b.h" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestSpanString(t *testing.T) {
+	fs := NewFileSet()
+	f := fs.AddVirtualFile("s.cpp", "abc")
+	sp := Span{Begin: Loc{File: f, Line: 1, Col: 2}, End: Loc{File: f, Line: 3, Col: 4}}
+	if !sp.Valid() {
+		t.Error("span should be valid")
+	}
+	var zero Span
+	if zero.Valid() || zero.String() != "<unknown>" {
+		t.Error("zero span")
+	}
+}

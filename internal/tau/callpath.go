@@ -1,0 +1,99 @@
+package tau
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Call-path profiling: in addition to the flat profile, the runtime
+// records parent→child timer edges, giving the caller-context view TAU
+// provides for drilling into where a kernel's time is spent from.
+
+// Edge is one parent→child timer relationship.
+type Edge struct {
+	Parent    string
+	Child     string
+	Calls     uint64
+	Inclusive uint64
+}
+
+// edgeKey identifies an edge.
+type edgeKey struct{ parent, child string }
+
+// recordEdge accumulates an edge sample (called from Stop).
+func (rt *Runtime) recordEdge(parent, child string, incl uint64) {
+	if rt.edges == nil {
+		rt.edges = map[edgeKey]*Edge{}
+	}
+	k := edgeKey{parent: parent, child: child}
+	e := rt.edges[k]
+	if e == nil {
+		e = &Edge{Parent: parent, Child: child}
+		rt.edges[k] = e
+	}
+	e.Calls++
+	e.Inclusive += incl
+}
+
+// Edges returns the call-path edges sorted by inclusive time
+// (descending, name-tiebroken).
+func (rt *Runtime) Edges() []*Edge {
+	out := make([]*Edge, 0, len(rt.edges))
+	for _, e := range rt.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Inclusive != out[j].Inclusive {
+			return out[i].Inclusive > out[j].Inclusive
+		}
+		if out[i].Parent != out[j].Parent {
+			return out[i].Parent < out[j].Parent
+		}
+		return out[i].Child < out[j].Child
+	})
+	return out
+}
+
+// EdgesFrom returns the edges whose parent is the given timer.
+func (rt *Runtime) EdgesFrom(parent string) []*Edge {
+	var out []*Edge
+	for _, e := range rt.Edges() {
+		if e.Parent == parent {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteCallPaths prints the caller→callee breakdown: for each parent
+// (by inclusive child time), its children with call counts and
+// inclusive time.
+func WriteCallPaths(w io.Writer, rt *Runtime) {
+	edges := rt.Edges()
+	if len(edges) == 0 {
+		fmt.Fprintln(w, "(no call-path data)")
+		return
+	}
+	byParent := map[string][]*Edge{}
+	var parents []string
+	for _, e := range edges {
+		if _, ok := byParent[e.Parent]; !ok {
+			parents = append(parents, e.Parent)
+		}
+		byParent[e.Parent] = append(byParent[e.Parent], e)
+	}
+	unit := rt.Unit()
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 78))
+	fmt.Fprintf(w, "Call paths (%s)\n", unit)
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 78))
+	for _, parent := range parents {
+		fmt.Fprintf(w, "%s\n", parent)
+		for _, e := range byParent[parent] {
+			fmt.Fprintf(w, "  => %-45s %10d calls %12d %s\n",
+				e.Child, e.Calls, e.Inclusive, unit)
+		}
+	}
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 78))
+}

@@ -1,0 +1,166 @@
+package tau
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pdt/internal/ductape"
+	"pdt/internal/source"
+)
+
+// itemRef is one instrumentation target — the structure the paper's
+// Figure 6 builds: an item plus whether CT(*this) must supply run-time
+// type information (member functions of templates).
+type itemRef struct {
+	name    string
+	needsCT bool
+	file    *source.File
+	line    int
+	col     int // location of the body's '{'
+}
+
+// Instrument rewrites the sources of a program according to its PDB:
+// every function body is annotated with a TAU_PROFILE macro right
+// after its opening brace, and "#include <tau.h>" is prepended to each
+// modified file. It returns the new content of every changed file.
+//
+// Template handling follows Figure 6 exactly: the instrumentor
+// iterates over all templates, filters the function-like kinds
+// (TE_MEMFUNC, TE_STATMEM, TE_FUNC), and inserts CT(*this) only for
+// member functions (which have a parent class whose unique
+// instantiation should be incorporated into the timer name at run
+// time); static members and free function templates get no CT.
+func Instrument(fs *source.FileSet, db *ductape.PDB) (map[string]string, error) {
+	var items []itemRef
+	seen := map[string]bool{} // dedupe by file:line:col
+
+	add := func(ref itemRef) {
+		if ref.file == nil || ref.file.System || ref.line == 0 {
+			return
+		}
+		key := fmt.Sprintf("%s:%d:%d", ref.file.Name, ref.line, ref.col)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		items = append(items, ref)
+	}
+
+	// Get the list of templates (Figure 6 step (1)).
+	for _, te := range db.Templates() {
+		tekind := te.Kind()
+		// Filter out non-function templates (2).
+		if tekind != ductape.TE_MEMFUNC && tekind != ductape.TE_STATMEM &&
+			tekind != ductape.TE_FUNC {
+			continue
+		}
+		body := te.BodyBegin()
+		if !body.Valid() {
+			continue // declaration only; the definition will be seen separately
+		}
+		// The target helps identify if we need to put CT(*this) in the
+		// type (3): member functions only.
+		needsCT := tekind == ductape.TE_MEMFUNC
+		add(itemRef{
+			name:    templateTimerName(te),
+			needsCT: needsCT,
+			file:    lookupSource(fs, body.File),
+			line:    body.Line,
+			col:     body.Col,
+		})
+	}
+
+	// Plain routines (non-template): instrument definitions directly.
+	for _, r := range db.Routines() {
+		if r.IsInstantiation() {
+			continue // covered by the template-definition insertion
+		}
+		body := r.BodyBegin()
+		if !body.Valid() {
+			continue
+		}
+		add(itemRef{
+			name: r.FullName(),
+			file: lookupSource(fs, body.File),
+			line: body.Line,
+			col:  body.Col,
+		})
+	}
+
+	// sort(itemvec.begin(), itemvec.end(), locCmp) — then apply edits
+	// bottom-up so earlier offsets stay valid.
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].file != items[j].file {
+			return items[i].file.Name < items[j].file.Name
+		}
+		if items[i].line != items[j].line {
+			return items[i].line > items[j].line
+		}
+		return items[i].col > items[j].col
+	})
+
+	edited := map[string][]byte{}
+	for _, ref := range items {
+		content, ok := edited[ref.file.Name]
+		if !ok {
+			content = append([]byte(nil), ref.file.Content...)
+		}
+		off := ref.file.Offset(ref.line, ref.col)
+		// Find the '{' at or after the recorded position.
+		for off < len(content) && content[off] != '{' {
+			off++
+		}
+		if off >= len(content) {
+			continue
+		}
+		insert := instrumentationText(ref)
+		content = append(content[:off+1], append([]byte(insert), content[off+1:]...)...)
+		edited[ref.file.Name] = content
+	}
+
+	out := map[string]string{}
+	for name, content := range edited {
+		out[name] = "#include <tau.h>\n" + string(content)
+	}
+	return out, nil
+}
+
+// lookupSource maps a PDB file item back to the loaded source file.
+func lookupSource(fs *source.FileSet, f *ductape.File) *source.File {
+	if f == nil {
+		return nil
+	}
+	if sf := fs.Lookup(f.Name()); sf != nil {
+		return sf
+	}
+	return nil
+}
+
+// templateTimerName renders the static part of a member/function
+// template's timer name ("push()", "Stack::Stack()").
+func templateTimerName(te *ductape.Template) string {
+	name := te.Name()
+	// Recover the owning class's base name from an instantiation, so
+	// the display reads "Stack::push()" rather than "push()".
+	if insts := te.InstantiatedRoutines(); len(insts) > 0 {
+		if cls := insts[0].ParentClass(); cls != nil {
+			base := cls.Name()
+			if i := strings.IndexByte(base, '<'); i >= 0 {
+				base = base[:i]
+			}
+			name = base + "::" + name
+		}
+	}
+	return name + "()"
+}
+
+// instrumentationText renders the inserted macro call.
+func instrumentationText(ref itemRef) string {
+	if ref.needsCT {
+		// Member function of a template: incorporate the unique
+		// instantiation via run-time type information.
+		return fmt.Sprintf(" TAU_PROFILE(%q, CT(*this), TAU_USER);", ref.name)
+	}
+	return fmt.Sprintf(" TAU_PROFILE(%q, \"\", TAU_USER);", ref.name)
+}

@@ -1,0 +1,188 @@
+package tau_test
+
+import (
+	"strings"
+	"testing"
+
+	"pdt/internal/tau"
+	"pdt/internal/workload"
+)
+
+// TestKrylovProfile is experiment E8 (Figure 7): TAU automatically
+// instruments the Krylov solver via PDT, runs it, and the resulting
+// profile has the paper's qualitative shape.
+func TestKrylovProfile(t *testing.T) {
+	res, err := tau.ProfileSource(workload.KrylovFiles(), "krylov.cpp", tau.VirtualClock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("exit = %d", res.ExitCode)
+	}
+	// The solver still behaves: CG converges in <= n iterations.
+	if !strings.Contains(res.Output, "converged 1") {
+		t.Fatalf("solver did not converge under instrumentation:\n%s", res.Output)
+	}
+	rt := res.Runtime
+
+	get := func(name string) uint64 {
+		p := rt.Lookup(name)
+		if p == nil {
+			var names []string
+			for _, pp := range rt.Profiles() {
+				names = append(names, pp.Name)
+			}
+			t.Fatalf("profile %q missing; have %v", name, names)
+		}
+		return p.Exclusive
+	}
+
+	// Every solver kernel is profiled.
+	axpy := get("axpy()")
+	dot := get("dot()")
+	lap := get("applyLaplacian()")
+	cg := rt.Lookup("conjugateGradient()")
+	mainP := rt.Lookup("main()")
+	if cg == nil || mainP == nil {
+		t.Fatal("driver profiles missing")
+	}
+
+	// Shape 1: the kernels dominate exclusive time.
+	total := rt.TotalTime()
+	kernels := axpy + dot + lap
+	if kernels*2 < total {
+		t.Errorf("kernels are only %d of %d exclusive steps (want majority)", kernels, total)
+	}
+	// Shape 2: the solver driver is almost pure inclusive time.
+	if cg.Exclusive*10 > cg.Inclusive {
+		t.Errorf("conjugateGradient excl=%d incl=%d (driver should be thin)", cg.Exclusive, cg.Inclusive)
+	}
+	// Shape 3: main's inclusive time covers everything measured.
+	if mainP.Inclusive < kernels {
+		t.Errorf("main inclusive %d < kernel total %d", mainP.Inclusive, kernels)
+	}
+	// Shape 4: the template instantiation appears under its RTTI name.
+	if rt.Lookup("Vector::get() Vector<double>") == nil {
+		t.Error("per-instantiation profile (CT name) missing")
+	}
+	// Shape 5: call counts are exact and deterministic. 16 CG
+	// iterations: applyLaplacian runs 16 + 2 (init + residual check);
+	// axpy twice per iteration; dot twice per iteration + once at init.
+	if p := rt.Lookup("applyLaplacian()"); p.Calls != 18 {
+		t.Errorf("applyLaplacian calls = %d, want 18", p.Calls)
+	}
+	if p := rt.Lookup("axpy()"); p.Calls != 32 {
+		t.Errorf("axpy calls = %d, want 32", p.Calls)
+	}
+	if p := rt.Lookup("dot()"); p.Calls != 33 {
+		t.Errorf("dot calls = %d, want 33", p.Calls)
+	}
+}
+
+// TestInstrumentMultiFile verifies the instrumentor edits every file
+// that contains routine bodies — headers included — and the
+// recompiled multi-file program still runs.
+func TestInstrumentMultiFile(t *testing.T) {
+	res, err := tau.ProfileSource(workload.KrylovFiles(), "krylov.cpp", tau.VirtualClock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pooma.h (kernels) and krylov.h (solver) and krylov.cpp (main)
+	// all carry bodies and must all be instrumented.
+	for _, f := range []string{"pooma.h", "krylov.h", "krylov.cpp"} {
+		content, ok := res.Instrumented[f]
+		if !ok {
+			t.Errorf("%s not instrumented", f)
+			continue
+		}
+		if !strings.HasPrefix(content, "#include <tau.h>") {
+			t.Errorf("%s missing tau.h include", f)
+		}
+		if !strings.Contains(content, "TAU_PROFILE(") {
+			t.Errorf("%s has no TAU_PROFILE insertions", f)
+		}
+	}
+	// Member templates in pooma.h carry CT(*this); the free kernel
+	// templates do not.
+	pooma := res.Instrumented["pooma.h"]
+	if !strings.Contains(pooma, `TAU_PROFILE("Vector::get()", CT(*this), TAU_USER)`) {
+		t.Error("Vector::get missing CT(*this) instrumentation")
+	}
+	if !strings.Contains(pooma, `TAU_PROFILE("dot()", "", TAU_USER)`) {
+		t.Error("dot missing plain instrumentation")
+	}
+}
+
+// TestStackFigure1Profile instruments and runs the paper's Figure 1
+// program: output is unchanged and every Stack<int> member appears in
+// the profile with its instantiation type.
+func TestStackFigure1Profile(t *testing.T) {
+	res, err := tau.ProfileSource(workload.StackFiles(), "TestStackAr.cpp", tau.VirtualClock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "9\n8\n7\n6\n5\n4\n3\n2\n1\n0\n" {
+		t.Errorf("instrumentation changed behaviour: %q", res.Output)
+	}
+	push := res.Runtime.Lookup("Stack::push() Stack<int>")
+	if push == nil || push.Calls != 10 {
+		var names []string
+		for _, p := range res.Runtime.Profiles() {
+			names = append(names, p.Name)
+		}
+		t.Fatalf("push profile wrong (%+v); have %v", push, names)
+	}
+	pop := res.Runtime.Lookup("Stack::topAndPop() Stack<int>")
+	if pop == nil || pop.Calls != 10 {
+		t.Errorf("topAndPop profile = %+v", pop)
+	}
+}
+
+// TestCallPathProfile checks the caller→callee breakdown: the
+// conjugateGradient driver is the parent of the kernel timers, and the
+// kernels are the parents of the Vector accessors.
+func TestCallPathProfile(t *testing.T) {
+	res, err := tau.ProfileSource(workload.KrylovFiles(), "krylov.cpp", tau.VirtualClock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := res.Runtime
+	hasEdge := func(parent, child string) bool {
+		for _, e := range rt.EdgesFrom(parent) {
+			if e.Child == child {
+				return true
+			}
+		}
+		return false
+	}
+	for _, want := range [][2]string{
+		{"<root>", "main()"},
+		{"main()", "conjugateGradient()"},
+		{"conjugateGradient()", "axpy()"},
+		{"conjugateGradient()", "dot()"},
+		{"conjugateGradient()", "applyLaplacian()"},
+		{"axpy()", "Vector::get() Vector<double>"},
+		{"dot()", "Vector::get() Vector<double>"},
+	} {
+		if !hasEdge(want[0], want[1]) {
+			var all []string
+			for _, e := range rt.Edges() {
+				all = append(all, e.Parent+" => "+e.Child)
+			}
+			t.Errorf("missing call path %s => %s; have:\n%s",
+				want[0], want[1], strings.Join(all, "\n"))
+		}
+	}
+	// axpy is called from CG 32 times; the edge must agree with the
+	// flat profile's call count.
+	for _, e := range rt.EdgesFrom("conjugateGradient()") {
+		if e.Child == "axpy()" && e.Calls != 32 {
+			t.Errorf("CG=>axpy calls = %d, want 32", e.Calls)
+		}
+	}
+	var sb strings.Builder
+	tau.WriteCallPaths(&sb, rt)
+	if !strings.Contains(sb.String(), "=> axpy()") {
+		t.Errorf("call-path report:\n%s", sb.String())
+	}
+}

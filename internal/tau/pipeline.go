@@ -1,0 +1,80 @@
+package tau
+
+import (
+	"fmt"
+	"strings"
+
+	"pdt/internal/core"
+	"pdt/internal/ductape"
+	"pdt/internal/ilanalyzer"
+	"pdt/internal/interp"
+)
+
+// Result is the outcome of a full instrument-and-profile run.
+type Result struct {
+	ExitCode     int
+	Output       string
+	Runtime      *Runtime
+	PDB          *ductape.PDB
+	Instrumented map[string]string
+}
+
+// ProfileSource runs the complete TAU pipeline of the paper's §4.1 on
+// in-memory sources: parse to a PDB, instrument the source using the
+// PDB, recompile the translated source, execute it on the interpreter,
+// and collect run-time statistics.
+func ProfileSource(files map[string]string, mainFile string, mode ClockMode) (*Result, error) {
+	// Phase 1: compile the original source and build its PDB.
+	opts := core.Options{}
+	fs := core.NewFileSet(opts)
+	for name, content := range files {
+		fs.AddVirtualFile(name, content)
+	}
+	res := core.CompileSource(fs, mainFile, files[mainFile], opts)
+	if res.HasErrors() {
+		return nil, fmt.Errorf("frontend: %v", res.Diagnostics[0])
+	}
+	db := ductape.FromRaw(ilanalyzer.Analyze(res.Unit, ilanalyzer.Options{}))
+
+	// Phase 2: the instrumentor rewrites the original source files,
+	// annotating functions with TAU measurement macros.
+	instrumented, err := Instrument(fs, db)
+	if err != nil {
+		return nil, fmt.Errorf("instrument: %w", err)
+	}
+
+	// Phase 3: compile the translated source (the "compile and link
+	// with the TAU library" step).
+	fs2 := core.NewFileSet(opts)
+	for name, content := range files {
+		if newContent, ok := instrumented[name]; ok {
+			fs2.AddVirtualFile(name, newContent)
+		} else {
+			fs2.AddVirtualFile(name, content)
+		}
+	}
+	mainSrc := files[mainFile]
+	if newContent, ok := instrumented[mainFile]; ok {
+		mainSrc = newContent
+	}
+	res2 := core.CompileSource(fs2, mainFile, mainSrc, opts)
+	if res2.HasErrors() {
+		return nil, fmt.Errorf("instrumented frontend: %v", res2.Diagnostics[0])
+	}
+
+	// Phase 4: run, collecting statistics.
+	var out strings.Builder
+	in := interp.New(res2.Unit, interp.Options{Out: &out})
+	rt := Install(in, mode)
+	code, err := in.Run()
+	if err != nil {
+		return nil, fmt.Errorf("run: %w", err)
+	}
+	return &Result{
+		ExitCode:     code,
+		Output:       out.String(),
+		Runtime:      rt,
+		PDB:          db,
+		Instrumented: instrumented,
+	}, nil
+}

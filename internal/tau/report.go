@@ -1,0 +1,56 @@
+package tau
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteReport prints the flat profile in the style of the paper's
+// Figure 7 text display: percentage of total time, exclusive and
+// inclusive counts, call counts, and the timer name (which carries the
+// template instantiation type from CT).
+func WriteReport(w io.Writer, rt *Runtime) {
+	total := rt.TotalTime()
+	unit := rt.Unit()
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 78))
+	fmt.Fprintf(w, "%6s %12s %12s %10s  %s\n", "%Time", "Exclusive", "Inclusive", "#Calls", "Name")
+	fmt.Fprintf(w, "%6s %12s %12s %10s\n", "", unit, unit, "")
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 78))
+	for _, p := range rt.Profiles() {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(p.Exclusive) / float64(total)
+		}
+		fmt.Fprintf(w, "%6.1f %12d %12d %10d  %s\n",
+			pct, p.Exclusive, p.Inclusive, p.Calls, p.Name)
+	}
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 78))
+}
+
+// WriteBars prints the overview display of Figure 7's left panel: one
+// horizontal bar per timer, scaled to the largest exclusive time.
+func WriteBars(w io.Writer, rt *Runtime, width int) {
+	if width <= 0 {
+		width = 40
+	}
+	profs := rt.Profiles()
+	var max uint64
+	for _, p := range profs {
+		if p.Exclusive > max {
+			max = p.Exclusive
+		}
+	}
+	total := rt.TotalTime()
+	for _, p := range profs {
+		n := 0
+		if max > 0 {
+			n = int(uint64(width) * p.Exclusive / max)
+		}
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(p.Exclusive) / float64(total)
+		}
+		fmt.Fprintf(w, "%-*s %5.1f%%  %s\n", width, strings.Repeat("#", n), pct, p.Name)
+	}
+}

@@ -1,0 +1,178 @@
+// Package tau is the TAU (Tuning and Analysis Utilities) analog of the
+// paper's §4.1: PDB-driven automatic source instrumentation of C++
+// code, a measurement runtime of scoped timers, and profile reports in
+// the style of Figure 7.
+//
+// The instrumentor rewrites source files, annotating functions with
+// TAU measurement macros (TAU_PROFILE). The translated source is then
+// recompiled and run on the PDT interpreter, whose intrinsics for the
+// TauProfiler constructor/destructor drive this runtime. Run-time type
+// information for template instantiations comes from the CT(obj) macro
+// (__pdt_typename), so each unique instantiation is profiled under its
+// own name — the paper's central template-profiling technique.
+package tau
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"pdt/internal/interp"
+)
+
+// ClockMode selects the time source.
+type ClockMode int
+
+const (
+	// VirtualClock uses the interpreter's deterministic step counter
+	// (the default: profiles are exactly reproducible).
+	VirtualClock ClockMode = iota
+	// WallClock uses real time in nanoseconds.
+	WallClock
+)
+
+// Profile accumulates measurements for one timer name.
+type Profile struct {
+	Name      string
+	Calls     uint64
+	Inclusive uint64
+	Exclusive uint64
+}
+
+type frame struct {
+	name      string
+	start     uint64
+	childTime uint64
+}
+
+// Runtime collects profile data for one program run.
+type Runtime struct {
+	in    *interp.Interp
+	mode  ClockMode
+	stack []frame
+	data  map[string]*Profile
+	edges map[edgeKey]*Edge
+	t0    time.Time
+}
+
+// Install attaches a fresh runtime to an interpreter: the TauProfiler
+// constructor/destructor intrinsics are registered so TAU_PROFILE
+// macros in the instrumented source drive the timers.
+func Install(in *interp.Interp, mode ClockMode) *Runtime {
+	rt := &Runtime{in: in, mode: mode, data: map[string]*Profile{}, t0: time.Now()}
+
+	in.RegisterIntrinsic("TauProfiler::TauProfiler",
+		func(_ *interp.Interp, this *interp.Object, args []interp.Value) (interp.Value, error) {
+			name, typ := "unnamed", ""
+			if len(args) > 0 {
+				name = interp.FormatValue(args[0])
+			}
+			if len(args) > 1 {
+				typ = interp.FormatValue(args[1])
+			}
+			rt.Start(timerName(name, typ))
+			return this, nil
+		})
+	in.RegisterIntrinsic("TauProfiler::~TauProfiler",
+		func(_ *interp.Interp, this *interp.Object, args []interp.Value) (interp.Value, error) {
+			rt.Stop()
+			return this, nil
+		})
+	return rt
+}
+
+// timerName renders the display name: the static name plus the
+// run-time type of the object (for member templates), e.g.
+// "push() Stack<int>".
+func timerName(name, typ string) string {
+	if typ == "" || typ == "void" {
+		return name
+	}
+	return name + " " + typ
+}
+
+func (rt *Runtime) now() uint64 {
+	if rt.mode == WallClock {
+		return uint64(time.Since(rt.t0).Nanoseconds())
+	}
+	return rt.in.Clock()
+}
+
+// Start opens a timer scope.
+func (rt *Runtime) Start(name string) {
+	rt.stack = append(rt.stack, frame{name: name, start: rt.now()})
+}
+
+// Stop closes the innermost timer scope and accumulates its times.
+func (rt *Runtime) Stop() {
+	if len(rt.stack) == 0 {
+		return
+	}
+	f := rt.stack[len(rt.stack)-1]
+	rt.stack = rt.stack[:len(rt.stack)-1]
+	incl := rt.now() - f.start
+	excl := incl
+	if f.childTime < excl {
+		excl -= f.childTime
+	} else {
+		excl = 0
+	}
+	p := rt.data[f.name]
+	if p == nil {
+		p = &Profile{Name: f.name}
+		rt.data[f.name] = p
+	}
+	p.Calls++
+	p.Inclusive += incl
+	p.Exclusive += excl
+	if len(rt.stack) > 0 {
+		parent := &rt.stack[len(rt.stack)-1]
+		parent.childTime += incl
+		rt.recordEdge(parent.name, f.name, incl)
+	} else {
+		rt.recordEdge("<root>", f.name, incl)
+	}
+}
+
+// Profiles returns the flat profile sorted by exclusive time
+// (descending), name-tiebroken for determinism.
+func (rt *Runtime) Profiles() []*Profile {
+	out := make([]*Profile, 0, len(rt.data))
+	for _, p := range rt.data {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Exclusive != out[j].Exclusive {
+			return out[i].Exclusive > out[j].Exclusive
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Lookup returns the profile for a timer name, or nil.
+func (rt *Runtime) Lookup(name string) *Profile { return rt.data[name] }
+
+// TotalTime returns the sum of exclusive times (= total profiled time).
+func (rt *Runtime) TotalTime() uint64 {
+	var total uint64
+	for _, p := range rt.data {
+		total += p.Exclusive
+	}
+	return total
+}
+
+// Depth returns the current timer nesting (for tests).
+func (rt *Runtime) Depth() int { return len(rt.stack) }
+
+// Unit returns the clock unit label for reports.
+func (rt *Runtime) Unit() string {
+	if rt.mode == WallClock {
+		return "nsec"
+	}
+	return "steps"
+}
+
+func (p *Profile) String() string {
+	return fmt.Sprintf("%s: %d calls, incl %d, excl %d", p.Name, p.Calls, p.Inclusive, p.Exclusive)
+}

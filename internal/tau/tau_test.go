@@ -1,0 +1,285 @@
+package tau_test
+
+import (
+	"strings"
+	"testing"
+
+	"pdt/internal/core"
+	"pdt/internal/ductape"
+	"pdt/internal/ilanalyzer"
+	"pdt/internal/interp"
+	"pdt/internal/tau"
+)
+
+func buildPDBAndFS(t *testing.T, files map[string]string, mainFile string) (*ductape.PDB, *core.Result, map[string]string) {
+	t.Helper()
+	opts := core.Options{}
+	fs := core.NewFileSet(opts)
+	for name, content := range files {
+		fs.AddVirtualFile(name, content)
+	}
+	res := core.CompileSource(fs, mainFile, files[mainFile], opts)
+	for _, d := range res.Diagnostics {
+		t.Fatalf("diagnostic: %v", d)
+	}
+	db := ductape.FromRaw(ilanalyzer.Analyze(res.Unit, ilanalyzer.Options{}))
+	instr, err := tau.Instrument(fs, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, res, instr
+}
+
+// TestInstrumentorSelect is experiment E7 (Figure 6): only member
+// function templates get CT(*this); free and static-member function
+// templates do not.
+func TestInstrumentorSelect(t *testing.T) {
+	src := `
+template <class T>
+class Host {
+public:
+    void member(T v) { }
+    static T maker() { T x; return x; }
+};
+template <class T> T freebie(T v) { return v; }
+int main() {
+    Host<int> h;
+    h.member(1);
+    int a = Host<int>::maker();
+    return freebie(a);
+}
+`
+	_, _, instr := buildPDBAndFS(t, map[string]string{"main.cpp": src}, "main.cpp")
+	out, ok := instr["main.cpp"]
+	if !ok {
+		t.Fatalf("main.cpp not instrumented; got %v", keys(instr))
+	}
+	if !strings.Contains(out, "#include <tau.h>") {
+		t.Error("tau.h not included")
+	}
+	// Member function template: CT(*this).
+	if !strings.Contains(out, `TAU_PROFILE("Host::member()", CT(*this), TAU_USER)`) {
+		t.Errorf("member template instrumentation wrong:\n%s", out)
+	}
+	// Static member: no CT(*this).
+	if !strings.Contains(out, `TAU_PROFILE("Host::maker()", "", TAU_USER)`) {
+		t.Errorf("static member instrumentation wrong:\n%s", out)
+	}
+	// Free function template: no CT(*this).
+	if !strings.Contains(out, `TAU_PROFILE("freebie()", "", TAU_USER)`) {
+		t.Errorf("free template instrumentation wrong:\n%s", out)
+	}
+	// main itself instrumented as a plain routine.
+	if !strings.Contains(out, `TAU_PROFILE("main()", "", TAU_USER)`) {
+		t.Errorf("main not instrumented:\n%s", out)
+	}
+	// CT(*this) must never appear on the static member or free template.
+	if n := strings.Count(out, "CT(*this)"); n != 1 {
+		t.Errorf("CT(*this) appears %d times, want 1:\n%s", n, out)
+	}
+}
+
+func keys(m map[string]string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestProfileEndToEnd runs the whole pipeline: instrument, recompile,
+// execute, and check the collected statistics — the run-time half of
+// §4.1, with CT(*this) separating instantiations.
+func TestProfileEndToEnd(t *testing.T) {
+	src := `
+template <class T>
+class Worker {
+public:
+    void spin(int n) {
+        int s = 0;
+        for (int i = 0; i < n; i++) s += i;
+    }
+};
+int main() {
+    Worker<int> wi;
+    Worker<double> wd;
+    for (int i = 0; i < 3; i++) wi.spin(50);
+    wd.spin(200);
+    return 0;
+}
+`
+	res, err := tau.ProfileSource(map[string]string{"main.cpp": src}, "main.cpp", tau.VirtualClock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("exit = %d", res.ExitCode)
+	}
+	rt := res.Runtime
+	intProf := rt.Lookup("Worker::spin() Worker<int>")
+	dblProf := rt.Lookup("Worker::spin() Worker<double>")
+	if intProf == nil || dblProf == nil {
+		var names []string
+		for _, p := range rt.Profiles() {
+			names = append(names, p.Name)
+		}
+		t.Fatalf("per-instantiation profiles missing; have %v", names)
+	}
+	if intProf.Calls != 3 {
+		t.Errorf("Worker<int>::spin calls = %d, want 3", intProf.Calls)
+	}
+	if dblProf.Calls != 1 {
+		t.Errorf("Worker<double>::spin calls = %d, want 1", dblProf.Calls)
+	}
+	// wd.spin(200) does ~4/3 of the per-call work of wi.spin(50)*3
+	// total; inclusive time of the double instantiation must exceed
+	// one int call but the 3-call total must exceed a single 50-loop.
+	if dblProf.Inclusive <= intProf.Inclusive/3 {
+		t.Errorf("timing shape wrong: int=%d dbl=%d", intProf.Inclusive, dblProf.Inclusive)
+	}
+	// main's profile includes everything.
+	mainProf := rt.Lookup("main()")
+	if mainProf == nil {
+		t.Fatal("main profile missing")
+	}
+	if mainProf.Inclusive < intProf.Inclusive+dblProf.Inclusive {
+		t.Errorf("main inclusive %d < children %d+%d",
+			mainProf.Inclusive, intProf.Inclusive, dblProf.Inclusive)
+	}
+	if mainProf.Exclusive >= mainProf.Inclusive {
+		t.Errorf("main exclusive %d should be < inclusive %d",
+			mainProf.Exclusive, mainProf.Inclusive)
+	}
+}
+
+func TestProfileDeterministic(t *testing.T) {
+	src := `
+int work(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }
+int main() { return work(100) > 0 ? 0 : 1; }
+`
+	run := func() []uint64 {
+		res, err := tau.ProfileSource(map[string]string{"m.cpp": src}, "m.cpp", tau.VirtualClock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []uint64
+		for _, p := range res.Runtime.Profiles() {
+			out = append(out, p.Inclusive, p.Exclusive, p.Calls)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different profile shapes")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic profiles: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestExceptionStopsTimer(t *testing.T) {
+	// TAU relies on scoped destruction: when an exception unwinds a
+	// function, its profiler object's destructor must still stop the
+	// timer.
+	src := `
+class Boom { };
+void explode() { throw Boom(); }
+int main() {
+    try { explode(); } catch (Boom & b) { }
+    return 0;
+}
+`
+	res, err := tau.ProfileSource(map[string]string{"m.cpp": src}, "m.cpp", tau.VirtualClock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runtime.Depth() != 0 {
+		t.Errorf("timer stack not empty after unwinding: depth=%d", res.Runtime.Depth())
+	}
+	p := res.Runtime.Lookup("explode()")
+	if p == nil || p.Calls != 1 {
+		t.Errorf("explode profile = %+v", p)
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	src := `
+int helper() { int s = 0; for (int i = 0; i < 50; i++) s += i; return s; }
+int main() { return helper() > 0 ? 0 : 1; }
+`
+	res, err := tau.ProfileSource(map[string]string{"m.cpp": src}, "m.cpp", tau.VirtualClock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	tau.WriteReport(&sb, res.Runtime)
+	out := sb.String()
+	for _, want := range []string{"%Time", "Exclusive", "Inclusive", "#Calls",
+		"Name", "helper()", "main()", "steps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	var bars strings.Builder
+	tau.WriteBars(&bars, res.Runtime, 30)
+	if !strings.Contains(bars.String(), "#") || !strings.Contains(bars.String(), "%") {
+		t.Errorf("bars output:\n%s", bars.String())
+	}
+}
+
+func TestInstrumentedProgramStillBehaves(t *testing.T) {
+	// Instrumentation must not change observable behaviour.
+	src := `
+#include <iostream>
+int fib(int n) { return n < 2 ? n : fib(n-1) + fib(n-2); }
+int main() {
+    cout << fib(10);
+    return 0;
+}
+`
+	res, err := tau.ProfileSource(map[string]string{"m.cpp": src}, "m.cpp", tau.VirtualClock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "55" {
+		t.Errorf("output = %q, want 55", res.Output)
+	}
+	p := res.Runtime.Lookup("fib(int)")
+	if p == nil || p.Calls != 177 { // fib(10) makes 177 calls
+		t.Errorf("fib profile = %+v", p)
+	}
+	if p != nil && p.Exclusive > p.Inclusive {
+		t.Error("exclusive exceeds inclusive")
+	}
+}
+
+func TestRuntimeDirectAPI(t *testing.T) {
+	// The runtime can be driven directly (without instrumentation).
+	src := `int main() { return 0; }`
+	opts := core.Options{}
+	fs := core.NewFileSet(opts)
+	res := core.CompileSource(fs, "m.cpp", src, opts)
+	if res.HasErrors() {
+		t.Fatal(res.Diagnostics)
+	}
+	in := newInterp(res)
+	rt := tau.Install(in, tau.VirtualClock)
+	rt.Start("outer")
+	rt.Start("inner")
+	rt.Stop()
+	rt.Stop()
+	inner := rt.Lookup("inner")
+	outer := rt.Lookup("outer")
+	if inner == nil || outer == nil {
+		t.Fatal("profiles missing")
+	}
+	if outer.Inclusive < inner.Inclusive {
+		t.Error("outer inclusive must cover inner")
+	}
+}
+
+func newInterp(res *core.Result) *interp.Interp {
+	return interp.New(res.Unit, interp.Options{})
+}

@@ -1,0 +1,177 @@
+// Package conv implements the pdbconv utility of Table 2: it converts
+// a program database from the compact ASCII format into a fully
+// spelled-out, human-readable report, resolving every cross-reference
+// to a name.
+package conv
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pdt/internal/ductape"
+)
+
+// Convert writes the readable form of the database to w.
+func Convert(w io.Writer, db *ductape.PDB) {
+	fmt.Fprintf(w, "Program Database (PDB 1.0) — %d items\n", len(db.Items()))
+
+	if files := db.Files(); len(files) > 0 {
+		fmt.Fprintf(w, "\nSource Files (%d)\n", len(files))
+		for _, f := range files {
+			fmt.Fprintf(w, "  [so#%d] %s", f.ID(), f.Name())
+			if f.System() {
+				fmt.Fprint(w, " (system)")
+			}
+			fmt.Fprintln(w)
+			for _, inc := range f.Includes() {
+				fmt.Fprintf(w, "      includes %s\n", inc.Name())
+			}
+		}
+	}
+
+	if tmpls := db.Templates(); len(tmpls) > 0 {
+		fmt.Fprintf(w, "\nTemplates (%d)\n", len(tmpls))
+		for _, t := range tmpls {
+			fmt.Fprintf(w, "  [te#%d] %s kind=%s at %s\n", t.ID(), t.Name(), t.Kind(), locStr(t.Location()))
+			if t.Text() != "" {
+				fmt.Fprintf(w, "      text: %s\n", truncate(t.Text(), 100))
+			}
+			if n := len(t.InstantiatedClasses()) + len(t.InstantiatedRoutines()); n > 0 {
+				var names []string
+				for _, c := range t.InstantiatedClasses() {
+					names = append(names, c.Name())
+				}
+				for _, r := range t.InstantiatedRoutines() {
+					names = append(names, r.FullName())
+				}
+				fmt.Fprintf(w, "      instantiations (%d): %s\n", n, strings.Join(names, ", "))
+			}
+		}
+	}
+
+	if classes := db.Classes(); len(classes) > 0 {
+		fmt.Fprintf(w, "\nClasses (%d)\n", len(classes))
+		for _, c := range classes {
+			fmt.Fprintf(w, "  [cl#%d] %s %s at %s", c.ID(), c.Kind(), c.FullName(), locStr(c.Location()))
+			var marks []string
+			if c.IsInstantiation() {
+				marks = append(marks, "instantiation")
+			}
+			if c.IsSpecialization() {
+				marks = append(marks, "specialization")
+			}
+			if t := c.Template(); t != nil {
+				marks = append(marks, "of template "+t.Name())
+			}
+			if len(marks) > 0 {
+				fmt.Fprintf(w, " (%s)", strings.Join(marks, ", "))
+			}
+			fmt.Fprintln(w)
+			for _, b := range c.BaseClasses() {
+				name := "<unresolved>"
+				if b.Class != nil {
+					name = b.Class.FullName()
+				}
+				virt := ""
+				if b.Virtual {
+					virt = "virtual "
+				}
+				fmt.Fprintf(w, "      base: %s%s %s\n", virt, b.Access, name)
+			}
+			for _, fr := range c.Friends() {
+				fmt.Fprintf(w, "      friend: %s\n", fr)
+			}
+			for _, m := range c.DataMembers() {
+				tn := "?"
+				if m.Type != nil {
+					tn = m.Type.Name()
+				}
+				st := ""
+				if m.Static {
+					st = "static "
+				}
+				fmt.Fprintf(w, "      member: %s %s%s : %s\n", m.Access, st, m.Name, tn)
+			}
+			for _, r := range c.Functions() {
+				fmt.Fprintf(w, "      method: %s %s\n", r.Access(), r.FullName())
+			}
+		}
+	}
+
+	if routines := db.Routines(); len(routines) > 0 {
+		fmt.Fprintf(w, "\nRoutines (%d)\n", len(routines))
+		for _, r := range routines {
+			fmt.Fprintf(w, "  [ro#%d] %s at %s\n", r.ID(), r.FullName(), locStr(r.Location()))
+			attrs := []string{"kind=" + r.Kind(), "access=" + r.Access(),
+				"linkage=" + r.Linkage(), "virtual=" + r.Virtuality()}
+			if r.IsStatic() {
+				attrs = append(attrs, "static")
+			}
+			if r.IsConst() {
+				attrs = append(attrs, "const")
+			}
+			if sig := r.Signature(); sig != nil {
+				attrs = append(attrs, "signature="+sig.Name())
+			}
+			fmt.Fprintf(w, "      %s\n", strings.Join(attrs, " "))
+			if t := r.Template(); t != nil {
+				fmt.Fprintf(w, "      instantiated from template %s (te#%d)\n", t.Name(), t.ID())
+			}
+			for _, call := range r.Callees() {
+				v := ""
+				if call.IsVirtual() {
+					v = " (virtual)"
+				}
+				fmt.Fprintf(w, "      calls %s%s at %s\n", call.Call().FullName(), v, locStr(call.Location()))
+			}
+		}
+	}
+
+	if types := db.Types(); len(types) > 0 {
+		fmt.Fprintf(w, "\nTypes (%d)\n", len(types))
+		for _, t := range types {
+			fmt.Fprintf(w, "  [ty#%d] %s kind=%s", t.ID(), t.Name(), t.Kind())
+			if ik := t.IntegerKind(); ik != "" {
+				fmt.Fprintf(w, " ikind=%s", ik)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	if nss := db.Namespaces(); len(nss) > 0 {
+		fmt.Fprintf(w, "\nNamespaces (%d)\n", len(nss))
+		for _, n := range nss {
+			if n.AliasOf() != "" {
+				fmt.Fprintf(w, "  [na#%d] %s = %s (alias)\n", n.ID(), n.Name(), n.AliasOf())
+				continue
+			}
+			fmt.Fprintf(w, "  [na#%d] %s members: %s\n", n.ID(), n.Name(),
+				strings.Join(n.Members(), ", "))
+		}
+	}
+
+	if macros := db.Macros(); len(macros) > 0 {
+		fmt.Fprintf(w, "\nMacros (%d)\n", len(macros))
+		for _, m := range macros {
+			fmt.Fprintf(w, "  [ma#%d] %s %s at %s\n", m.ID(), m.Kind(), m.Name(), locStr(m.Location()))
+			if m.Text() != "" {
+				fmt.Fprintf(w, "      %s\n", truncate(m.Text(), 100))
+			}
+		}
+	}
+}
+
+func locStr(l ductape.Location) string {
+	if !l.Valid() {
+		return "<unknown>"
+	}
+	return l.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,88 @@
+package conv_test
+
+import (
+	"strings"
+	"testing"
+
+	"pdt/internal/core"
+	"pdt/internal/ductape"
+	"pdt/internal/ilanalyzer"
+	"pdt/internal/tools/conv"
+)
+
+func buildDB(t *testing.T, src string) *ductape.PDB {
+	t.Helper()
+	opts := core.Options{}
+	fs := core.NewFileSet(opts)
+	res := core.CompileSource(fs, "main.cpp", src, opts)
+	for _, d := range res.Diagnostics {
+		t.Errorf("diagnostic: %v", d)
+	}
+	return ductape.FromRaw(ilanalyzer.Analyze(res.Unit, ilanalyzer.Options{}))
+}
+
+func TestConvertReadable(t *testing.T) {
+	db := buildDB(t, `
+#define FLAG 1
+namespace app {
+    class Engine {
+    public:
+        Engine() { }
+        virtual void run() { step(); }
+    private:
+        void step() { }
+        int cycles;
+    };
+}
+template <class T> T twice(T x) { return x + x; }
+int main() {
+    app::Engine e;
+    e.run();
+    return twice(21);
+}
+`)
+	var sb strings.Builder
+	conv.Convert(&sb, db)
+	out := sb.String()
+	for _, want := range []string{
+		"Program Database (PDB 1.0)",
+		"Source Files (",
+		"Templates (",
+		"[te#", "kind=func",
+		"instantiations (1): twice<int>",
+		"Classes (",
+		"class app::Engine",
+		"member: priv cycles : int",
+		"method: pub app::Engine::run()",
+		"Routines (",
+		"calls app::Engine::step()",
+		"kind=ctor",
+		"virtual=virt",
+		"Types (",
+		"Namespaces (",
+		"app",
+		"Macros (",
+		"def FLAG",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("readable output missing %q", want)
+		}
+	}
+}
+
+func TestConvertResolvesReferences(t *testing.T) {
+	db := buildDB(t, `
+class B { public: virtual ~B() { } };
+class D : public B { };
+`)
+	var sb strings.Builder
+	conv.Convert(&sb, db)
+	out := sb.String()
+	if !strings.Contains(out, "base: pub B") {
+		t.Errorf("base reference not resolved to a name:\n%s", out)
+	}
+	// No raw unresolved ids should leak into names.
+	if strings.Contains(out, "<unresolved>") {
+		t.Errorf("unresolved references in output:\n%s", out)
+	}
+}

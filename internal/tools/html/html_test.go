@@ -1,0 +1,112 @@
+package html_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pdt/internal/core"
+	"pdt/internal/ductape"
+	"pdt/internal/ilanalyzer"
+	"pdt/internal/tools/html"
+)
+
+func TestGenerate(t *testing.T) {
+	src := `
+template <class T> class Holder {
+public:
+    T get() const { return v; }
+private:
+    T v;
+};
+class Base { public: virtual void f() { } };
+class Derived : public Base { public: void f() { g(); } void g() { } };
+int main() {
+    Holder<int> h;
+    Derived d;
+    d.f();
+    return h.get();
+}
+`
+	opts := core.Options{}
+	fs := core.NewFileSet(opts)
+	res := core.CompileSource(fs, "main.cpp", src, opts)
+	for _, d := range res.Diagnostics {
+		t.Fatalf("diagnostic: %v", d)
+	}
+	db := ductape.FromRaw(ilanalyzer.Analyze(res.Unit, ilanalyzer.Options{}))
+
+	dir := t.TempDir()
+	loader := func(name string) (string, bool) {
+		if name == "main.cpp" {
+			return src, true
+		}
+		return "", false
+	}
+	if err := html.Generate(db, dir, loader); err != nil {
+		t.Fatal(err)
+	}
+
+	read := func(name string) string {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return string(b)
+	}
+
+	index := read("index.html")
+	if !strings.Contains(index, "Classes") || !strings.Contains(index, "<a href=\"classes.html\">") {
+		t.Error("index missing navigation or counts")
+	}
+
+	classes := read("classes.html")
+	for _, want := range []string{
+		"Holder&lt;int&gt;", "Derived",
+		"bases: pub", "derived:",
+		"instantiated from template",
+	} {
+		if !strings.Contains(classes, want) {
+			t.Errorf("classes.html missing %q", want)
+		}
+	}
+
+	routines := read("routines.html")
+	if !strings.Contains(routines, "Derived::f()") {
+		t.Error("routines.html missing Derived::f")
+	}
+	if !strings.Contains(routines, "calls:") || !strings.Contains(routines, "called by:") {
+		t.Error("routines.html missing call links")
+	}
+
+	templates := read("templates.html")
+	if !strings.Contains(templates, "Holder") || !strings.Contains(templates, "class instantiations:") {
+		t.Error("templates.html missing instantiation links")
+	}
+
+	files := read("files.html")
+	if !strings.Contains(files, "main.cpp") {
+		t.Error("files.html missing main.cpp")
+	}
+
+	// Source page exists with line anchors.
+	var srcPage string
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "src_main_cpp") {
+			srcPage = e.Name()
+		}
+	}
+	if srcPage == "" {
+		t.Fatal("source page not generated")
+	}
+	page := read(srcPage)
+	if !strings.Contains(page, `id="L3"`) {
+		t.Error("source page missing line anchors")
+	}
+	// Escaping: template angle brackets must be escaped everywhere.
+	if strings.Contains(classes, "<int>") {
+		t.Error("unescaped angle brackets in HTML")
+	}
+}

@@ -1,0 +1,35 @@
+// Package merge implements the pdbmerge utility of Table 2: merging
+// PDB files from separate compilations into one PDB file, eliminating
+// duplicate template instantiations in the process. The merge logic
+// itself lives in the DUCTAPE library (ductape.Merge); this package
+// adds file-level plumbing for the command-line tool.
+package merge
+
+import (
+	"fmt"
+	"io"
+
+	"pdt/internal/ductape"
+)
+
+// Files loads every input PDB, merges them in order, and writes the
+// result to w.
+func Files(w io.Writer, paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("pdbmerge: no input files")
+	}
+	dbs := make([]*ductape.PDB, 0, len(paths))
+	for _, p := range paths {
+		db, err := ductape.Load(p)
+		if err != nil {
+			return fmt.Errorf("pdbmerge: %s: %w", p, err)
+		}
+		dbs = append(dbs, db)
+	}
+	merged := ductape.Merge(dbs...)
+	return merged.Write(w)
+}
+
+// Merge combines already-loaded databases (API form used by tests and
+// the benchmarks).
+func Merge(dbs ...*ductape.PDB) *ductape.PDB { return ductape.Merge(dbs...) }

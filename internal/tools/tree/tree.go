@@ -1,0 +1,116 @@
+// Package tree implements the pdbtree utility of Table 2: it displays
+// the file inclusion tree, the class hierarchy, and the static call
+// graph of a program database. PrintFuncTree is a line-for-line Go
+// rendition of the paper's Figure 5 routine, including the
+// ACTIVE-flag cycle cut, the "`--> " connectors, the "(VIRTUAL)"
+// marker, and the " ..." ellipsis on back edges.
+package tree
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pdt/internal/ductape"
+)
+
+// PrintFuncTree writes the static call graph rooted at r, exactly as
+// the paper's Figure 5 does.
+func PrintFuncTree(w io.Writer, r *ductape.Routine, level int) {
+	r.Flag = ductape.Active
+	c := r.Callees()
+	for _, it := range c {
+		rr := it.Call()
+		if level != 0 || len(rr.Callees()) > 0 {
+			indent := (level - 1) * 5
+			if indent > 0 {
+				fmt.Fprint(w, strings.Repeat(" ", indent))
+			}
+			if level != 0 {
+				fmt.Fprint(w, "`--> ")
+			}
+			fmt.Fprint(w, rr.FullName())
+			if it.IsVirtual() {
+				fmt.Fprint(w, " (VIRTUAL)")
+			}
+			if rr.Flag == ductape.Active {
+				fmt.Fprintln(w, " ...")
+			} else {
+				fmt.Fprintln(w)
+				PrintFuncTree(w, rr, level+1)
+			}
+		}
+	}
+	r.Flag = ductape.Inactive
+}
+
+// PrintCallGraph prints the call tree for every root routine (main
+// first), prefixed with the root's own name.
+func PrintCallGraph(w io.Writer, db *ductape.PDB) {
+	db.ResetFlags()
+	for _, root := range db.RootRoutines() {
+		fmt.Fprintln(w, root.FullName())
+		PrintFuncTree(w, root, 1)
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintFileTree prints the source file inclusion tree.
+func PrintFileTree(w io.Writer, db *ductape.PDB) {
+	seen := map[*ductape.File]bool{}
+	var rec func(f *ductape.File, level int)
+	rec = func(f *ductape.File, level int) {
+		if level > 0 {
+			fmt.Fprint(w, strings.Repeat(" ", (level-1)*5))
+			fmt.Fprint(w, "`--> ")
+		}
+		fmt.Fprint(w, f.Name())
+		if seen[f] {
+			fmt.Fprintln(w, " ...")
+			return
+		}
+		fmt.Fprintln(w)
+		seen[f] = true
+		for _, inc := range f.Includes() {
+			rec(inc, level+1)
+		}
+		seen[f] = false
+	}
+	for _, root := range db.RootFiles() {
+		rec(root, 0)
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintClassHierarchy prints the class hierarchy, roots first, derived
+// classes indented beneath their bases.
+func PrintClassHierarchy(w io.Writer, db *ductape.PDB) {
+	seen := map[*ductape.Class]bool{}
+	var rec func(c *ductape.Class, level int)
+	rec = func(c *ductape.Class, level int) {
+		if level > 0 {
+			fmt.Fprint(w, strings.Repeat(" ", (level-1)*5))
+			fmt.Fprint(w, "`--> ")
+		}
+		fmt.Fprint(w, c.FullName())
+		if c.IsInstantiation() {
+			fmt.Fprint(w, " [instantiation]")
+		}
+		if c.IsSpecialization() {
+			fmt.Fprint(w, " [specialization]")
+		}
+		if seen[c] {
+			fmt.Fprintln(w, " ...")
+			return
+		}
+		fmt.Fprintln(w)
+		seen[c] = true
+		for _, d := range c.DerivedClasses() {
+			rec(d, level+1)
+		}
+		seen[c] = false
+	}
+	for _, root := range db.RootClasses() {
+		rec(root, 0)
+	}
+}

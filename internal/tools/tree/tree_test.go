@@ -1,0 +1,152 @@
+package tree_test
+
+import (
+	"strings"
+	"testing"
+
+	"pdt/internal/core"
+	"pdt/internal/ductape"
+	"pdt/internal/ilanalyzer"
+	"pdt/internal/tools/tree"
+)
+
+func buildDB(t *testing.T, src string, extra map[string]string) *ductape.PDB {
+	t.Helper()
+	opts := core.Options{}
+	fs := core.NewFileSet(opts)
+	for name, content := range extra {
+		fs.AddVirtualFile(name, content)
+	}
+	res := core.CompileSource(fs, "main.cpp", src, opts)
+	for _, d := range res.Diagnostics {
+		t.Errorf("diagnostic: %v", d)
+	}
+	return ductape.FromRaw(ilanalyzer.Analyze(res.Unit, ilanalyzer.Options{}))
+}
+
+// TestFuncTree is experiment E6 (Figure 5): the call graph display
+// shows nesting with "`--> " connectors, marks virtual calls, and cuts
+// cycles with "...".
+func TestFuncTree(t *testing.T) {
+	src := `
+class Base {
+public:
+    virtual int work() { return helper(); }
+    int helper() { return 1; }
+};
+int recurse(int n);
+int recurse(int n) {
+    if (n <= 0) return 0;
+    return recurse(n - 1);
+}
+int main() {
+    Base b;
+    Base *p = &b;
+    p->work();
+    return recurse(3);
+}
+`
+	db := buildDB(t, src, nil)
+	var sb strings.Builder
+	tree.PrintCallGraph(&sb, db)
+	out := sb.String()
+
+	if !strings.Contains(out, "main()") {
+		t.Errorf("missing root main: %s", out)
+	}
+	if !strings.Contains(out, "`--> Base::work() (VIRTUAL)") {
+		t.Errorf("virtual call not marked:\n%s", out)
+	}
+	// Nested callee of work at deeper indentation.
+	if !strings.Contains(out, "     `--> Base::helper()") {
+		t.Errorf("nesting broken:\n%s", out)
+	}
+	// Recursion is cut with "...".
+	if !strings.Contains(out, "recurse(int) ...") {
+		t.Errorf("cycle not cut:\n%s", out)
+	}
+}
+
+func TestFuncTreeStackExample(t *testing.T) {
+	src := `
+#include <vector>
+class Overflow { };
+template <class Object>
+class Stack {
+public:
+    bool isFull() const { return top == theArray.size() - 1; }
+    void push(const Object & x) {
+        if (isFull())
+            throw Overflow();
+        theArray[++top] = x;
+    }
+private:
+    vector<Object> theArray;
+    int top;
+};
+int main() {
+    Stack<int> s;
+    s.push(4);
+    return 0;
+}
+`
+	db := buildDB(t, src, nil)
+	var sb strings.Builder
+	tree.PrintCallGraph(&sb, db)
+	out := sb.String()
+	for _, want := range []string{
+		"main()",
+		"`--> Stack<int>::push(const int &)",
+		"`--> Stack<int>::isFull()",
+		"`--> vector<int>::size()",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("call graph missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFileTree(t *testing.T) {
+	db := buildDB(t, `#include "a.h"`+"\nint main() { return 0; }\n",
+		map[string]string{
+			"a.h": `#include "b.h"` + "\nint aa;\n",
+			"b.h": "int bb;\n",
+		})
+	var sb strings.Builder
+	tree.PrintFileTree(&sb, db)
+	out := sb.String()
+	if !strings.Contains(out, "main.cpp\n`--> a.h\n     `--> b.h") {
+		t.Errorf("file tree shape wrong:\n%s", out)
+	}
+}
+
+func TestClassHierarchy(t *testing.T) {
+	db := buildDB(t, `
+class A { };
+class B : public A { };
+class C : public B { };
+`, nil)
+	var sb strings.Builder
+	tree.PrintClassHierarchy(&sb, db)
+	out := sb.String()
+	if !strings.Contains(out, "A\n`--> B\n     `--> C") {
+		t.Errorf("hierarchy shape wrong:\n%s", out)
+	}
+}
+
+func TestClassHierarchyMarksInstantiations(t *testing.T) {
+	db := buildDB(t, `
+template <class T> class Box { };
+template <> class Box<char> { };
+int main() { Box<int> b; Box<char> c; return 0; }
+`, nil)
+	var sb strings.Builder
+	tree.PrintClassHierarchy(&sb, db)
+	out := sb.String()
+	if !strings.Contains(out, "Box<int> [instantiation]") {
+		t.Errorf("instantiation not marked:\n%s", out)
+	}
+	if !strings.Contains(out, "Box<char> [specialization]") {
+		t.Errorf("specialization not marked:\n%s", out)
+	}
+}

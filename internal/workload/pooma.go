@@ -1,0 +1,274 @@
+// Package workload provides the C++ programs used by the examples,
+// integration tests, and the benchmark harness: a mini POOMA-like
+// templated array framework with a Krylov (conjugate gradient) solver
+// — the paper's Figure 7 workload — plus synthetic translation-unit
+// generators for the performance sweeps.
+package workload
+
+// PoomaHeader is a small templated array framework in the spirit of
+// POOMA (Parallel Object-Oriented Methods and Applications): templated
+// vectors with overloaded operators and free kernel templates. It uses
+// templates "extensively to provide array-related algorithms and
+// manage allocation of system and network resources" (§4.1), scaled to
+// the PDT subset.
+const PoomaHeader = `#ifndef POOMA_MINI_H
+#define POOMA_MINI_H
+#include <cmath>
+
+// A templated field vector with heap storage.
+template <class T>
+class Vector {
+public:
+    explicit Vector(int n) : n_(n), data_(new T[n]) {
+        for (int i = 0; i < n_; i++)
+            data_[i] = 0;
+    }
+    Vector(const Vector & o) : n_(o.n_), data_(new T[o.n_]) {
+        for (int i = 0; i < n_; i++)
+            data_[i] = o.data_[i];
+    }
+    ~Vector() { delete[] data_; }
+    Vector & operator=(const Vector & o) {
+        if (this != &o) {
+            delete[] data_;
+            n_ = o.n_;
+            data_ = new T[n_];
+            for (int i = 0; i < n_; i++)
+                data_[i] = o.data_[i];
+        }
+        return *this;
+    }
+    int size() const { return n_; }
+    T & operator[](int i) { return data_[i]; }
+    T get(int i) const { return data_[i]; }
+    void set(int i, const T & v) { data_[i] = v; }
+    void fill(const T & v) {
+        for (int i = 0; i < n_; i++)
+            data_[i] = v;
+    }
+private:
+    int n_;
+    T *data_;
+};
+
+// dot product kernel.
+template <class T>
+T dot(const Vector<T> & a, const Vector<T> & b) {
+    T s = 0;
+    for (int i = 0; i < a.size(); i++)
+        s += a.get(i) * b.get(i);
+    return s;
+}
+
+// y += alpha * x
+template <class T>
+void axpy(T alpha, const Vector<T> & x, Vector<T> & y) {
+    for (int i = 0; i < y.size(); i++)
+        y.set(i, y.get(i) + alpha * x.get(i));
+}
+
+// p = r + beta * p
+template <class T>
+void updateDirection(const Vector<T> & r, T beta, Vector<T> & p) {
+    for (int i = 0; i < p.size(); i++)
+        p.set(i, r.get(i) + beta * p.get(i));
+}
+
+// y = A x for the 1-D Laplacian stencil A = tridiag(-1, 2, -1).
+template <class T>
+void applyLaplacian(const Vector<T> & x, Vector<T> & y) {
+    int n = x.size();
+    for (int i = 0; i < n; i++) {
+        T v = 2 * x.get(i);
+        if (i > 0)
+            v -= x.get(i - 1);
+        if (i < n - 1)
+            v -= x.get(i + 1);
+        y.set(i, v);
+    }
+}
+
+// Euclidean norm.
+template <class T>
+T norm2(const Vector<T> & v) {
+    return sqrt(dot(v, v));
+}
+#endif
+`
+
+// KrylovSolver is the conjugate-gradient Krylov solver over the mini
+// POOMA framework — the routines whose profile the paper's Figure 7
+// displays.
+const KrylovSolver = `#ifndef KRYLOV_H
+#define KRYLOV_H
+#include "pooma.h"
+
+// Conjugate gradient on the 1-D Laplacian; returns iteration count.
+template <class T>
+int conjugateGradient(const Vector<T> & b, Vector<T> & x, int maxIter, T tol) {
+    int n = b.size();
+    Vector<T> r(n);
+    Vector<T> p(n);
+    Vector<T> Ap(n);
+    applyLaplacian(x, Ap);
+    for (int i = 0; i < n; i++)
+        r.set(i, b.get(i) - Ap.get(i));
+    for (int i = 0; i < n; i++)
+        p.set(i, r.get(i));
+    T rr = dot(r, r);
+    int iter = 0;
+    while (iter < maxIter && rr > tol) {
+        applyLaplacian(p, Ap);
+        T alpha = rr / dot(p, Ap);
+        axpy(alpha, p, x);
+        axpy(-alpha, Ap, r);
+        T rrNew = dot(r, r);
+        T beta = rrNew / rr;
+        updateDirection(r, beta, p);
+        rr = rrNew;
+        iter++;
+    }
+    return iter;
+}
+#endif
+`
+
+// KrylovMain drives the solver on an n-point grid and prints the
+// result (deterministic output for golden tests).
+const KrylovMain = `#include "krylov.h"
+#include <iostream>
+
+int main() {
+    const int n = 32;
+    Vector<double> b(n);
+    Vector<double> x(n);
+    b.fill(1.0);
+    int iters = conjugateGradient(b, x, 200, 1e-10);
+    Vector<double> check(n);
+    applyLaplacian(x, check);
+    double residual = 0;
+    for (int i = 0; i < n; i++) {
+        double d = check.get(i) - b.get(i);
+        residual += d * d;
+    }
+    cout << "iterations " << iters << endl;
+    cout << "converged " << (residual < 1e-6) << endl;
+    return 0;
+}
+`
+
+// KrylovFiles bundles the Krylov workload as a file map for the
+// compilation pipelines.
+func KrylovFiles() map[string]string {
+	return map[string]string{
+		"pooma.h":    PoomaHeader,
+		"krylov.h":   KrylovSolver,
+		"krylov.cpp": KrylovMain,
+	}
+}
+
+// StackFigure1 is the paper's Figure 1 program, assembled the way the
+// paper's PDB excerpt shows (header including the implementation).
+const StackFigure1Header = `#ifndef STACK_AR_H
+#define STACK_AR_H
+#include <vector>
+#include "dsexceptions.h"
+
+template <class Object>
+class Stack {
+public:
+    explicit Stack(int capacity = 10);
+    bool isEmpty() const;
+    bool isFull() const;
+    const Object & top() const;
+    void makeEmpty();
+    void pop();
+    void push(const Object & x);
+    Object topAndPop();
+private:
+    vector<Object> theArray;
+    int topOfStack;
+};
+#include "StackAr.cpp"
+#endif
+`
+
+// StackFigure1Impl is the member-template implementation file.
+const StackFigure1Impl = `template <class Object>
+Stack<Object>::Stack(int capacity) : theArray(capacity), topOfStack(-1) { }
+
+template <class Object>
+bool Stack<Object>::isEmpty() const {
+    return topOfStack == -1;
+}
+
+template <class Object>
+bool Stack<Object>::isFull() const {
+    return topOfStack == theArray.size() - 1;
+}
+
+template <class Object>
+const Object & Stack<Object>::top() const {
+    if (isEmpty())
+        throw Underflow();
+    return theArray.at(topOfStack);
+}
+
+template <class Object>
+void Stack<Object>::makeEmpty() {
+    topOfStack = -1;
+}
+
+template <class Object>
+void Stack<Object>::pop() {
+    if (isEmpty())
+        throw Underflow();
+    topOfStack--;
+}
+
+template <class Object>
+void Stack<Object>::push(const Object & x) {
+    if (isFull())
+        throw Overflow();
+    theArray[++topOfStack] = x;
+}
+
+template <class Object>
+Object Stack<Object>::topAndPop() {
+    if (isEmpty())
+        throw Underflow();
+    return theArray.at(topOfStack--);
+}
+`
+
+// StackFigure1Exceptions declares the exception classes.
+const StackFigure1Exceptions = `#ifndef DSEXCEPTIONS_H
+#define DSEXCEPTIONS_H
+class Overflow { };
+class Underflow { };
+#endif
+`
+
+// StackFigure1Main is Figure 1's driver.
+const StackFigure1Main = `#include "StackAr.h"
+#include <iostream>
+
+int main() {
+    Stack<int> s;
+    for (int i = 0; i < 10; i++)
+        s.push(i);
+    while (!s.isEmpty())
+        cout << s.topAndPop() << endl;
+    return 0;
+}
+`
+
+// StackFiles bundles Figure 1 as a file map.
+func StackFiles() map[string]string {
+	return map[string]string{
+		"StackAr.h":       StackFigure1Header,
+		"StackAr.cpp":     StackFigure1Impl,
+		"dsexceptions.h":  StackFigure1Exceptions,
+		"TestStackAr.cpp": StackFigure1Main,
+	}
+}

@@ -1,0 +1,20 @@
+#include "krylov.h"
+#include <iostream>
+
+int main() {
+    const int n = 32;
+    Vector<double> b(n);
+    Vector<double> x(n);
+    b.fill(1.0);
+    int iters = conjugateGradient(b, x, 200, 1e-10);
+    Vector<double> check(n);
+    applyLaplacian(x, check);
+    double residual = 0;
+    for (int i = 0; i < n; i++) {
+        double d = check.get(i) - b.get(i);
+        residual += d * d;
+    }
+    cout << "iterations " << iters << endl;
+    cout << "converged " << (residual < 1e-6) << endl;
+    return 0;
+}

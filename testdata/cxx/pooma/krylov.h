@@ -1,0 +1,32 @@
+#ifndef KRYLOV_H
+#define KRYLOV_H
+#include "pooma.h"
+
+// Conjugate gradient on the 1-D Laplacian; returns iteration count.
+template <class T>
+int conjugateGradient(const Vector<T> & b, Vector<T> & x, int maxIter, T tol) {
+    int n = b.size();
+    Vector<T> r(n);
+    Vector<T> p(n);
+    Vector<T> Ap(n);
+    applyLaplacian(x, Ap);
+    for (int i = 0; i < n; i++)
+        r.set(i, b.get(i) - Ap.get(i));
+    for (int i = 0; i < n; i++)
+        p.set(i, r.get(i));
+    T rr = dot(r, r);
+    int iter = 0;
+    while (iter < maxIter && rr > tol) {
+        applyLaplacian(p, Ap);
+        T alpha = rr / dot(p, Ap);
+        axpy(alpha, p, x);
+        axpy(-alpha, Ap, r);
+        T rrNew = dot(r, r);
+        T beta = rrNew / rr;
+        updateDirection(r, beta, p);
+        rr = rrNew;
+        iter++;
+    }
+    return iter;
+}
+#endif

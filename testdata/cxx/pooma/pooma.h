@@ -1,0 +1,83 @@
+#ifndef POOMA_MINI_H
+#define POOMA_MINI_H
+#include <cmath>
+
+// A templated field vector with heap storage.
+template <class T>
+class Vector {
+public:
+    explicit Vector(int n) : n_(n), data_(new T[n]) {
+        for (int i = 0; i < n_; i++)
+            data_[i] = 0;
+    }
+    Vector(const Vector & o) : n_(o.n_), data_(new T[o.n_]) {
+        for (int i = 0; i < n_; i++)
+            data_[i] = o.data_[i];
+    }
+    ~Vector() { delete[] data_; }
+    Vector & operator=(const Vector & o) {
+        if (this != &o) {
+            delete[] data_;
+            n_ = o.n_;
+            data_ = new T[n_];
+            for (int i = 0; i < n_; i++)
+                data_[i] = o.data_[i];
+        }
+        return *this;
+    }
+    int size() const { return n_; }
+    T & operator[](int i) { return data_[i]; }
+    T get(int i) const { return data_[i]; }
+    void set(int i, const T & v) { data_[i] = v; }
+    void fill(const T & v) {
+        for (int i = 0; i < n_; i++)
+            data_[i] = v;
+    }
+private:
+    int n_;
+    T *data_;
+};
+
+// dot product kernel.
+template <class T>
+T dot(const Vector<T> & a, const Vector<T> & b) {
+    T s = 0;
+    for (int i = 0; i < a.size(); i++)
+        s += a.get(i) * b.get(i);
+    return s;
+}
+
+// y += alpha * x
+template <class T>
+void axpy(T alpha, const Vector<T> & x, Vector<T> & y) {
+    for (int i = 0; i < y.size(); i++)
+        y.set(i, y.get(i) + alpha * x.get(i));
+}
+
+// p = r + beta * p
+template <class T>
+void updateDirection(const Vector<T> & r, T beta, Vector<T> & p) {
+    for (int i = 0; i < p.size(); i++)
+        p.set(i, r.get(i) + beta * p.get(i));
+}
+
+// y = A x for the 1-D Laplacian stencil A = tridiag(-1, 2, -1).
+template <class T>
+void applyLaplacian(const Vector<T> & x, Vector<T> & y) {
+    int n = x.size();
+    for (int i = 0; i < n; i++) {
+        T v = 2 * x.get(i);
+        if (i > 0)
+            v -= x.get(i - 1);
+        if (i < n - 1)
+            v -= x.get(i + 1);
+        y.set(i, v);
+    }
+}
+
+// Euclidean norm.
+template <class T>
+T norm2(const Vector<T> & v) {
+    return sqrt(dot(v, v));
+}
+#endif

@@ -1,0 +1,45 @@
+template <class Object>
+Stack<Object>::Stack(int capacity) : theArray(capacity), topOfStack(-1) { }
+
+template <class Object>
+bool Stack<Object>::isEmpty() const {
+    return topOfStack == -1;
+}
+
+template <class Object>
+bool Stack<Object>::isFull() const {
+    return topOfStack == theArray.size() - 1;
+}
+
+template <class Object>
+const Object & Stack<Object>::top() const {
+    if (isEmpty())
+        throw Underflow();
+    return theArray.at(topOfStack);
+}
+
+template <class Object>
+void Stack<Object>::makeEmpty() {
+    topOfStack = -1;
+}
+
+template <class Object>
+void Stack<Object>::pop() {
+    if (isEmpty())
+        throw Underflow();
+    topOfStack--;
+}
+
+template <class Object>
+void Stack<Object>::push(const Object & x) {
+    if (isFull())
+        throw Overflow();
+    theArray[++topOfStack] = x;
+}
+
+template <class Object>
+Object Stack<Object>::topAndPop() {
+    if (isEmpty())
+        throw Underflow();
+    return theArray.at(topOfStack--);
+}

@@ -1,0 +1,22 @@
+#ifndef STACK_AR_H
+#define STACK_AR_H
+#include <vector>
+#include "dsexceptions.h"
+
+template <class Object>
+class Stack {
+public:
+    explicit Stack(int capacity = 10);
+    bool isEmpty() const;
+    bool isFull() const;
+    const Object & top() const;
+    void makeEmpty();
+    void pop();
+    void push(const Object & x);
+    Object topAndPop();
+private:
+    vector<Object> theArray;
+    int topOfStack;
+};
+#include "StackAr.cpp"
+#endif

@@ -1,0 +1,5 @@
+#ifndef DSEXCEPTIONS_H
+#define DSEXCEPTIONS_H
+class Overflow { };
+class Underflow { };
+#endif
