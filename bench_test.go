@@ -17,6 +17,7 @@ import (
 	"strings"
 	"testing"
 
+	"pdt/internal/analysis"
 	"pdt/internal/core"
 	"pdt/internal/cpp/sema"
 	"pdt/internal/ductape"
@@ -172,6 +173,52 @@ func benchmarkMerge(b *testing.B, units int) {
 func BenchmarkMerge2Units(b *testing.B)  { benchmarkMerge(b, 2) }
 func BenchmarkMerge8Units(b *testing.B)  { benchmarkMerge(b, 8) }
 func BenchmarkMerge32Units(b *testing.B) { benchmarkMerge(b, 32) }
+
+// --- B8: pdblint pass driver, serial vs parallel ----------------------------------
+
+// buildLintDB merges several workloads into one database large enough
+// that the per-pass work dominates the driver's coordination cost.
+func buildLintDB(b *testing.B) *ductape.PDB {
+	b.Helper()
+	hdr, sources := workload.GenSharedHeaderUnits(24, 8, 4)
+	dbs := make([]*ductape.PDB, 0, len(sources)+3)
+	for _, src := range sources {
+		opts := core.Options{}
+		fs := core.NewFileSet(opts)
+		fs.AddVirtualFile("shared.h", hdr)
+		res := core.CompileSource(fs, "unit.cpp", src, opts)
+		if res.HasErrors() {
+			b.Fatalf("compile: %v", res.Diagnostics[0])
+		}
+		dbs = append(dbs, ductape.FromRaw(ilanalyzer.Analyze(res.Unit, ilanalyzer.Options{})))
+	}
+	for _, w := range []struct {
+		files map[string]string
+		main  string
+	}{
+		{workload.KrylovFiles(), "krylov.cpp"},
+		{workload.StackFiles(), "TestStackAr.cpp"},
+		{map[string]string{"gen.cpp": workload.GenClasses(120, 6)}, "gen.cpp"},
+	} {
+		res := compile(b, w.files, w.main, sema.Used)
+		dbs = append(dbs, ductape.FromRaw(ilanalyzer.Analyze(res.Unit, ilanalyzer.Options{})))
+	}
+	return ductape.Merge(dbs...)
+}
+
+func benchmarkPdblint(b *testing.B, workers int) {
+	db := buildLintDB(b)
+	passes := analysis.All()
+	var n int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n = len(analysis.Run(db, passes, analysis.Options{Workers: workers}))
+	}
+	b.ReportMetric(float64(n), "findings")
+}
+
+func BenchmarkPdblintSerial(b *testing.B)   { benchmarkPdblint(b, 1) }
+func BenchmarkPdblintParallel(b *testing.B) { benchmarkPdblint(b, 0) }
 
 // --- B5: call-graph traversal -----------------------------------------------------
 

@@ -3,6 +3,8 @@
 package pdt_test
 
 import (
+	"encoding/json"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -117,6 +119,105 @@ func TestCLIPipeline(t *testing.T) {
 	}
 	if strings.Count(out, "main()\n") != 1 {
 		t.Errorf("self-merge duplicated main:\n%s", out)
+	}
+}
+
+func TestCLIPdblint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	tmp := t.TempDir()
+
+	// Parse each translation unit of the lint demo, then merge the
+	// databases so cross-TU findings (ODR conflicts, dead routines)
+	// become visible.
+	var pdbs []string
+	for _, tu := range []string{"one.cpp", "two.cpp", "main.cpp"} {
+		out := filepath.Join(tmp, tu+".pdb")
+		_, stderr, err := runTool(t, "cxxparse", "-o", out,
+			filepath.Join("testdata/cxx/lintdemo", tu))
+		if err != nil {
+			t.Fatalf("cxxparse %s: %v\n%s", tu, err, stderr)
+		}
+		pdbs = append(pdbs, out)
+	}
+	merged := filepath.Join(tmp, "lintdemo.pdb")
+	_, stderr, err := runTool(t, "pdbmerge", append([]string{"-o", merged}, pdbs...)...)
+	if err != nil {
+		t.Fatalf("pdbmerge: %v\n%s", err, stderr)
+	}
+
+	// JSON run: every analysis pass must report at least one finding,
+	// and the highest severity (the ODR error) sets exit code 2.
+	out, stderr, err := runTool(t, "pdblint", "-format=json", merged)
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+		t.Fatalf("pdblint exit = %v, want exit code 2\n%s", err, stderr)
+	}
+	var diags []map[string]any
+	if jerr := json.Unmarshal([]byte(out), &diags); jerr != nil {
+		t.Fatalf("pdblint JSON: %v\n%s", jerr, out)
+	}
+	seen := map[string]bool{}
+	for _, d := range diags {
+		seen[d["pass"].(string)] = true
+	}
+	for _, pass := range []string{"dead-routine", "include-cycle", "unused-include",
+		"hierarchy-check", "template-bloat", "odr-duplicate"} {
+		if !seen[pass] {
+			t.Errorf("no %s finding in:\n%s", pass, out)
+		}
+	}
+	for _, want := range []string{
+		"include cycle: a.h -\\u003e b.h -\\u003e a.h",
+		"routine 'deadHelper(int)' is defined but unreachable",
+		"'a.h' includes 'unused.h' but uses nothing it provides",
+		"polymorphic class 'Shape' is used as a base but its destructor is not virtual",
+		"non-virtual 'Circle::scale(int, int)' hides inherited virtual 'Shape::scale(double)'",
+		"template 'Grid' has 10 instantiations (threshold 8)",
+		"routine 'helper(int)' has 2 conflicting signatures",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pdblint missing %q", want)
+		}
+	}
+
+	// Output must be deterministic across runs.
+	out2, _, _ := runTool(t, "pdblint", "-format=json", merged)
+	if out != out2 {
+		t.Error("pdblint JSON output differs between runs")
+	}
+	serial, _, _ := runTool(t, "pdblint", "-serial", "-format=json", merged)
+	if out != serial {
+		t.Error("pdblint serial output differs from parallel")
+	}
+
+	// Pass selection restricts findings and lowers the exit code.
+	out, _, err = runTool(t, "pdblint", "-passes=include-cycle", merged)
+	if !errors.As(err, &ee) || ee.ExitCode() != 1 {
+		t.Errorf("pdblint -passes exit = %v, want exit code 1", err)
+	}
+	if !strings.Contains(out, "include cycle") || strings.Contains(out, "odr") {
+		t.Errorf("pass selection output:\n%s", out)
+	}
+	_, stderr, err = runTool(t, "pdblint", "-passes=no-such-pass", merged)
+	if !errors.As(err, &ee) || ee.ExitCode() != 3 {
+		t.Errorf("unknown pass exit = %v, want exit code 3", err)
+	}
+	if !strings.Contains(stderr, "unknown pass") {
+		t.Errorf("unknown pass stderr: %q", stderr)
+	}
+
+	// -list names every registered pass and exits cleanly.
+	out, _, err = runTool(t, "pdblint", "-list")
+	if err != nil {
+		t.Fatalf("pdblint -list: %v", err)
+	}
+	for _, pass := range []string{"pdb-integrity", "dead-routine", "include-cycle",
+		"unused-include", "hierarchy-check", "template-bloat", "odr-duplicate"} {
+		if !strings.Contains(out, pass) {
+			t.Errorf("-list missing %s:\n%s", pass, out)
+		}
 	}
 }
 

@@ -1,0 +1,90 @@
+// pdblint runs the static-analysis passes of internal/analysis over a
+// program database and reports the findings — the checker front end
+// over PDB + DUCTAPE.
+//
+// Usage:
+//
+//	pdblint [-passes=a,b] [-format=text|json] [-serial] [-template-bloat=N] file.pdb
+//	pdblint -list
+//
+// Exit codes: 0 clean (or info-only), 1 warnings, 2 errors, 3 usage or
+// I/O failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pdt/internal/analysis"
+	"pdt/internal/ductape"
+)
+
+func main() {
+	passNames := flag.String("passes", "", "comma-separated pass names (default: all)")
+	format := flag.String("format", "text", "output format: text or json")
+	serial := flag.Bool("serial", false, "run passes serially instead of in parallel")
+	bloat := flag.Int("template-bloat", analysis.DefaultTemplateBloatThreshold,
+		"instantiation-count threshold for the template-bloat pass")
+	list := flag.Bool("list", false, "list the available passes and exit")
+	flag.Parse()
+
+	if *list {
+		for _, p := range analysis.All() {
+			fmt.Printf("%-16s %s\n", p.Name(), p.Doc())
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr,
+			"usage: pdblint [-passes=a,b] [-format=text|json] [-serial] [-template-bloat=N] file.pdb")
+		os.Exit(3)
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "pdblint: unknown format %q\n", *format)
+		os.Exit(3)
+	}
+
+	var names []string
+	if *passNames != "" {
+		for _, n := range strings.Split(*passNames, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	passes, err := analysis.Select(names)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdblint: %v\n", err)
+		os.Exit(3)
+	}
+	for _, p := range passes {
+		if tb, ok := p.(*analysis.TemplateBloatPass); ok {
+			tb.Threshold = *bloat
+		}
+	}
+
+	db, err := ductape.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdblint: %v\n", err)
+		os.Exit(3)
+	}
+
+	opts := analysis.Options{}
+	if *serial {
+		opts.Workers = 1
+	}
+	diags := analysis.Run(db, passes, opts)
+
+	if *format == "json" {
+		err = analysis.WriteJSON(os.Stdout, diags)
+	} else {
+		err = analysis.WriteText(os.Stdout, diags)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdblint: %v\n", err)
+		os.Exit(3)
+	}
+	os.Exit(analysis.ExitCode(diags))
+}

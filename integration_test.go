@@ -7,14 +7,22 @@
 package pdt_test
 
 import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"pdt/internal/analysis"
 	"pdt/internal/core"
 	"pdt/internal/ductape"
 	"pdt/internal/ilanalyzer"
 	"pdt/internal/tools/tree"
+	"pdt/internal/workload"
 )
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 const matrixHeader = `#ifndef MATRIX_H
 #define MATRIX_H
@@ -193,6 +201,75 @@ func TestMultiTUMergeWorkflow(t *testing.T) {
 	}
 	if len(re.Classes()) != len(merged.Classes()) {
 		t.Error("merged database does not round-trip")
+	}
+}
+
+// compileFilesTU compiles one translation unit from a multi-file
+// workload map.
+func compileFilesTU(t *testing.T, files map[string]string, mainFile string) *ductape.PDB {
+	t.Helper()
+	opts := core.Options{}
+	fs := core.NewFileSet(opts)
+	for name, content := range files {
+		fs.AddVirtualFile(name, content)
+	}
+	res := core.CompileSource(fs, mainFile, files[mainFile], opts)
+	for _, d := range res.Diagnostics {
+		t.Fatalf("%s: %v", mainFile, d)
+	}
+	return ductape.FromRaw(ilanalyzer.Analyze(res.Unit, ilanalyzer.Options{}))
+}
+
+// TestPdblintWorkloadGolden runs the full analysis suite over a merged
+// database built from two unrelated programs (the POOMA-style Krylov
+// solver and the paper's Figure 1 stack demo) and golden-checks the
+// JSON report. Merging collapses the two main() routines — they share
+// the dedup key — so one program's call tree becomes unreachable: the
+// exact situation pdblint exists to expose after pdbmerge.
+//
+// Regenerate with: go test -run TestPdblintWorkloadGolden -update
+func TestPdblintWorkloadGolden(t *testing.T) {
+	dbKrylov := compileFilesTU(t, workload.KrylovFiles(), "krylov.cpp")
+	dbStack := compileFilesTU(t, workload.StackFiles(), "TestStackAr.cpp")
+	merged := ductape.Merge(dbKrylov, dbStack)
+
+	diags := analysis.Run(merged, analysis.All(), analysis.Options{})
+	var buf bytes.Buffer
+	if err := analysis.WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+
+	// The report must be deterministic run to run.
+	again := analysis.Run(merged, analysis.All(), analysis.Options{})
+	var buf2 bytes.Buffer
+	if err := analysis.WriteJSON(&buf2, again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("analysis report is not deterministic")
+	}
+
+	// Sanity before trusting the golden file: the collapsed main must
+	// leave dead routines behind.
+	if !strings.Contains(buf.String(), "dead-routine") {
+		t.Fatalf("no dead-routine findings in merged workload:\n%s", buf.String())
+	}
+
+	golden := filepath.Join("testdata", "golden", "pdblint_workload.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report differs from golden file %s\n--- got ---\n%s", golden, buf.String())
 	}
 }
 

@@ -1,0 +1,178 @@
+// Package analysis is a static-analysis pass framework over DUCTAPE
+// program databases — the analysis layer the paper positions PDB +
+// DUCTAPE as the substrate for. A Pass inspects one *ductape.PDB and
+// reports Diagnostics; the driver (Run) executes enabled passes
+// concurrently and returns a deterministically ordered report.
+//
+// The design follows checker frameworks such as CodeChecker: every
+// pass is identified by a stable kebab-case name, produces uniform
+// diagnostics (severity, location, message, related locations), and
+// the whole report maps onto severity-based exit codes for CI use
+// (see ExitCode). The pdblint command is the CLI front end.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pdt/internal/ductape"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+// Severity levels, ordered by increasing gravity.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// MarshalJSON renders the severity as its lowercase name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON parses a severity name.
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "info":
+		*s = Info
+	case "warning":
+		*s = Warning
+	case "error":
+		*s = Error
+	default:
+		return fmt.Errorf("unknown severity %q", name)
+	}
+	return nil
+}
+
+// Location is a plain (file name, line, column) position, detached
+// from the database so diagnostics can outlive it and serialize
+// directly. A zero Location means "whole database".
+type Location struct {
+	File string `json:"file,omitempty"`
+	Line int    `json:"line,omitempty"`
+	Col  int    `json:"col,omitempty"`
+}
+
+// Valid reports whether the location names a file.
+func (l Location) Valid() bool { return l.File != "" }
+
+func (l Location) String() string {
+	if !l.Valid() {
+		return "<pdb>"
+	}
+	if l.Line == 0 {
+		return l.File
+	}
+	return fmt.Sprintf("%s:%d:%d", l.File, l.Line, l.Col)
+}
+
+// LocationOf converts a resolved DUCTAPE location.
+func LocationOf(l ductape.Location) Location {
+	if !l.Valid() {
+		if l.File != nil {
+			return Location{File: l.File.Name()}
+		}
+		return Location{}
+	}
+	return Location{File: l.File.Name(), Line: l.Line, Col: l.Col}
+}
+
+// FileLocation names a file without a line (used for findings about
+// the file itself, such as include-graph diagnostics).
+func FileLocation(f *ductape.File) Location {
+	if f == nil {
+		return Location{}
+	}
+	return Location{File: f.Name()}
+}
+
+// Related is a secondary location attached to a diagnostic ("declared
+// here", "other definition here").
+type Related struct {
+	Message string   `json:"message"`
+	Loc     Location `json:"loc"`
+}
+
+// Diagnostic is one finding of one pass.
+type Diagnostic struct {
+	Pass     string    `json:"pass"`
+	Severity Severity  `json:"severity"`
+	Loc      Location  `json:"loc"`
+	Message  string    `json:"message"`
+	Related  []Related `json:"related,omitempty"`
+}
+
+// Pass is one static-analysis check over a program database. Run must
+// be safe to execute concurrently with other passes on the same
+// database: passes treat the PDB as read-only and must not use the
+// shared traversal Flag fields.
+type Pass interface {
+	// Name is the stable pass identifier ("dead-routine").
+	Name() string
+	// Doc is a one-line description shown by pdblint -list.
+	Doc() string
+	// Run analyzes the database and returns the findings.
+	Run(db *ductape.PDB) []Diagnostic
+}
+
+// All returns a fresh instance of every registered pass, in the
+// canonical order.
+func All() []Pass {
+	return []Pass{
+		NewIntegrityPass(),
+		NewDeadRoutinePass(),
+		NewIncludeCyclePass(),
+		NewUnusedIncludePass(),
+		NewHierarchyCheckPass(),
+		NewTemplateBloatPass(),
+		NewODRDuplicatePass(),
+	}
+}
+
+// Select resolves a list of pass names (as given to pdblint -passes)
+// into pass instances, preserving the canonical order. An empty list
+// selects every pass; unknown names are an error.
+func Select(names []string) ([]Pass, error) {
+	all := All()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := map[string]Pass{}
+	for _, p := range all {
+		byName[p.Name()] = p
+	}
+	want := map[string]bool{}
+	for _, n := range names {
+		if _, ok := byName[n]; !ok {
+			return nil, fmt.Errorf("unknown pass %q", n)
+		}
+		want[n] = true
+	}
+	var out []Pass
+	for _, p := range all {
+		if want[p.Name()] {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,334 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"pdt/internal/analysis"
+	"pdt/internal/core"
+	"pdt/internal/ductape"
+	"pdt/internal/ilanalyzer"
+	"pdt/internal/pdb"
+)
+
+// buildDB compiles a source set and wraps it in DUCTAPE; main.cpp is
+// the translation unit.
+func buildDB(t *testing.T, src string, extra map[string]string) *ductape.PDB {
+	t.Helper()
+	opts := core.Options{}
+	fs := core.NewFileSet(opts)
+	for name, content := range extra {
+		fs.AddVirtualFile(name, content)
+	}
+	res := core.CompileSource(fs, "main.cpp", src, opts)
+	for _, d := range res.Diagnostics {
+		t.Fatalf("diagnostic: %v", d)
+	}
+	return ductape.FromRaw(ilanalyzer.Analyze(res.Unit, ilanalyzer.Options{}))
+}
+
+// runPass executes a single pass by name over the database.
+func runPass(t *testing.T, db *ductape.PDB, name string) []analysis.Diagnostic {
+	t.Helper()
+	passes, err := analysis.Select([]string{name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.Run(db, passes, analysis.Options{Workers: 1})
+}
+
+// messages joins all diagnostic messages, for contains-checks.
+func messages(diags []analysis.Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(d.Message)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func TestDeadRoutinePass(t *testing.T) {
+	db := buildDB(t, `
+int usedHelper(int x) { return x + 1; }
+int deadHelper(int x) { return x * 2; }
+int deadCallsLive(int x) { return usedHelper(x); }
+int main() { return usedHelper(1); }
+`, nil)
+	diags := runPass(t, db, "dead-routine")
+	msgs := messages(diags)
+	if !strings.Contains(msgs, "'deadHelper(int)' is defined but unreachable") {
+		t.Errorf("deadHelper not reported:\n%s", msgs)
+	}
+	if !strings.Contains(msgs, "'deadCallsLive(int)'") {
+		t.Errorf("deadCallsLive not reported:\n%s", msgs)
+	}
+	if strings.Contains(msgs, "'usedHelper") || strings.Contains(msgs, "'main") {
+		t.Errorf("live routine reported:\n%s", msgs)
+	}
+}
+
+func TestDeadRoutineVirtualDispatch(t *testing.T) {
+	// area() is called virtually through the base; the derived override
+	// must count as reachable even though no call site names it.
+	db := buildDB(t, `
+class Shape {
+public:
+    Shape() { }
+    virtual ~Shape() { }
+    virtual int area() const { return 0; }
+};
+class Circle : public Shape {
+public:
+    Circle() { }
+    int area() const { return 3; }
+};
+int measure(const Shape & s) { return s.area(); }
+int main() {
+    Circle c;
+    return measure(c);
+}
+`, nil)
+	diags := runPass(t, db, "dead-routine")
+	if msgs := messages(diags); strings.Contains(msgs, "area") {
+		t.Errorf("virtual override reported dead:\n%s", msgs)
+	}
+}
+
+func TestDeadRoutineNoRoots(t *testing.T) {
+	// A pure library (no main) has no entry points; everything would be
+	// "dead", so the pass must stay silent.
+	db := buildDB(t, `
+int alpha(int x) { return x + 1; }
+int beta(int x) { return alpha(x); }
+`, nil)
+	if diags := runPass(t, db, "dead-routine"); len(diags) != 0 {
+		t.Errorf("library reported: %v", diags)
+	}
+}
+
+func TestIncludeCyclePass(t *testing.T) {
+	db := buildDB(t, `#include "a.h"
+int main() { Alpha a; a.id = 1; return a.id; }
+`, map[string]string{
+		"a.h": "#ifndef A_H\n#define A_H\n#include \"b.h\"\nstruct Alpha { int id; };\n#endif\n",
+		"b.h": "#ifndef B_H\n#define B_H\n#include \"a.h\"\nstruct Beta { int id; };\n#endif\n",
+	})
+	diags := runPass(t, db, "include-cycle")
+	if len(diags) != 1 {
+		t.Fatalf("cycle diagnostics = %d: %v", len(diags), diags)
+	}
+	if want := "include cycle: a.h -> b.h -> a.h"; diags[0].Message != want {
+		t.Errorf("message = %q, want %q", diags[0].Message, want)
+	}
+}
+
+func TestIncludeCycleCleanTree(t *testing.T) {
+	db := buildDB(t, `#include "a.h"
+int main() { Alpha a; a.id = 1; return a.id; }
+`, map[string]string{
+		"a.h": "#ifndef A_H\n#define A_H\nstruct Alpha { int id; };\n#endif\n",
+	})
+	if diags := runPass(t, db, "include-cycle"); len(diags) != 0 {
+		t.Errorf("clean tree reported: %v", diags)
+	}
+}
+
+func TestUnusedIncludePass(t *testing.T) {
+	db := buildDB(t, `#include "used.h"
+#include "unused.h"
+int main() { Alpha a; a.id = 2; return touch(a); }
+`, map[string]string{
+		"used.h":   "#ifndef USED_H\n#define USED_H\nstruct Alpha { int id; };\nint touch(Alpha & a) { return a.id; }\n#endif\n",
+		"unused.h": "#ifndef UNUSED_H\n#define UNUSED_H\nstruct Widget { int w; };\n#endif\n",
+	})
+	diags := runPass(t, db, "unused-include")
+	msgs := messages(diags)
+	if !strings.Contains(msgs, "'main.cpp' includes 'unused.h' but uses nothing it provides") {
+		t.Errorf("unused.h not reported:\n%s", msgs)
+	}
+	if strings.Contains(msgs, "'used.h' but") {
+		t.Errorf("used.h falsely reported:\n%s", msgs)
+	}
+}
+
+func TestUnusedIncludeTransitiveUse(t *testing.T) {
+	// main uses inner.h's class only through outer.h: the outer include
+	// is used (it transitively provides Inner), so nothing is reported
+	// for main.cpp.
+	db := buildDB(t, `#include "outer.h"
+int main() { Inner i; return i.touch(); }
+`, map[string]string{
+		"outer.h": "#ifndef OUTER_H\n#define OUTER_H\n#include \"inner.h\"\n#endif\n",
+		"inner.h": "#ifndef INNER_H\n#define INNER_H\nstruct Inner { int v; int touch() { v = 1; return v; } };\n#endif\n",
+	})
+	diags := runPass(t, db, "unused-include")
+	for _, d := range diags {
+		if strings.HasPrefix(d.Message, "'main.cpp'") {
+			t.Errorf("transitively used include reported: %s", d.Message)
+		}
+	}
+}
+
+func TestHierarchyCheckPass(t *testing.T) {
+	db := buildDB(t, `
+class Shape {
+public:
+    Shape() { }
+    ~Shape() { }
+    virtual int area() const { return 0; }
+    virtual void scale(double f) { }
+};
+class Circle : public Shape {
+public:
+    Circle() { }
+    int area() const { return 3; }
+    void scale(int a, int b) { }
+};
+int main() {
+    Circle c;
+    c.scale(1, 2);
+    return c.area();
+}
+`, nil)
+	diags := runPass(t, db, "hierarchy-check")
+	msgs := messages(diags)
+	if !strings.Contains(msgs, "polymorphic class 'Shape' is used as a base but its destructor is not virtual") {
+		t.Errorf("non-virtual destructor not reported:\n%s", msgs)
+	}
+	// Circle::scale(int, int) differs in arity, so the frontend keeps
+	// it non-virtual: it hides Shape::scale(double).
+	if !strings.Contains(msgs, "hides inherited virtual 'Shape::scale(double)'") {
+		t.Errorf("hidden virtual not reported:\n%s", msgs)
+	}
+	// Circle::area is an implicit-virtual override, not a hide.
+	if strings.Contains(msgs, "'Circle::area() const' hides") {
+		t.Errorf("override reported as hide:\n%s", msgs)
+	}
+}
+
+func TestHierarchyCheckVirtualDtorClean(t *testing.T) {
+	db := buildDB(t, `
+class Shape {
+public:
+    Shape() { }
+    virtual ~Shape() { }
+    virtual int area() const { return 0; }
+};
+class Circle : public Shape {
+public:
+    Circle() { }
+    int area() const { return 3; }
+};
+int main() { Circle c; return c.area(); }
+`, nil)
+	if diags := runPass(t, db, "hierarchy-check"); len(diags) != 0 {
+		t.Errorf("clean hierarchy reported: %v", messages(diags))
+	}
+}
+
+func TestTemplateBloatPass(t *testing.T) {
+	db := buildDB(t, `
+template <class T, int N>
+class Slot {
+public:
+    int cap() const { return N; }
+};
+int main() {
+    int s = 0;
+    { Slot<int, 1> a; s += a.cap(); }
+    { Slot<int, 2> a; s += a.cap(); }
+    { Slot<int, 3> a; s += a.cap(); }
+    { Slot<int, 4> a; s += a.cap(); }
+    return s;
+}
+`, nil)
+	passes := []analysis.Pass{&analysis.TemplateBloatPass{Threshold: 3}}
+	diags := analysis.Run(db, passes, analysis.Options{Workers: 1})
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "template 'Slot' has 4 instantiations (threshold 3)") {
+			found = true
+			if len(d.Related) != 4 {
+				t.Errorf("related instantiations = %d, want 4", len(d.Related))
+			}
+		}
+	}
+	if !found {
+		t.Errorf("Slot bloat not reported: %v", messages(diags))
+	}
+
+	// At the default threshold (8) the same database is clean.
+	if diags := runPass(t, db, "template-bloat"); len(diags) != 0 {
+		t.Errorf("default threshold reported: %v", messages(diags))
+	}
+}
+
+func TestODRDuplicatePass(t *testing.T) {
+	// Hand-assemble the post-merge shape of two translation units that
+	// disagree on helper's return type: same name, same parameters,
+	// different signatures.
+	dbA := buildDB(t, `
+int helper(int x) { return x + 1; }
+int useA() { return helper(1); }
+`, nil)
+	dbB := buildDB(t, `
+double helper(int x) { return x * 0.5; }
+double useB() { return helper(2); }
+`, nil)
+	merged := ductape.Merge(dbA, dbB)
+
+	diags := runPass(t, merged, "odr-duplicate")
+	msgs := messages(diags)
+	if !strings.Contains(msgs, "routine 'helper(int)' has 2 conflicting signatures") {
+		t.Errorf("conflicting signatures not reported:\n%s", msgs)
+	}
+}
+
+func TestODRDuplicateCleanOverloads(t *testing.T) {
+	// Legal overloads (distinct parameters) and const/non-const pairs
+	// must not be reported.
+	db := buildDB(t, `
+class Box {
+public:
+    Box() : v(0) { }
+    int get() { return v; }
+    int get() const { return v; }
+private:
+    int v;
+};
+int pick(int x) { return x; }
+double pick(double x) { return x; }
+int main() {
+    Box b;
+    double d = pick(2.0);
+    int r = pick(1) + b.get();
+    if (d > 0)
+        r = r + 1;
+    return r;
+}
+`, nil)
+	if diags := runPass(t, db, "odr-duplicate"); len(diags) != 0 {
+		t.Errorf("legal overloads reported: %v", messages(diags))
+	}
+}
+
+func TestIntegrityPass(t *testing.T) {
+	db := buildDB(t, `int main() { return 0; }`, nil)
+	if diags := runPass(t, db, "pdb-integrity"); len(diags) != 0 {
+		t.Errorf("valid database reported: %v", messages(diags))
+	}
+
+	// Corrupt a copy: point a call at a routine that does not exist.
+	raw := db.Raw()
+	raw.Routines[0].Calls = append(raw.Routines[0].Calls, pdb.Call{
+		Callee: pdb.Ref{Prefix: "ro", ID: 9999},
+	})
+	bad := ductape.FromRaw(raw)
+	diags := runPass(t, bad, "pdb-integrity")
+	if len(diags) == 0 {
+		t.Fatal("corrupted database not reported")
+	}
+	if diags[0].Severity != analysis.Error {
+		t.Errorf("severity = %v, want error", diags[0].Severity)
+	}
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"fmt"
+
+	"pdt/internal/ductape"
+)
+
+// deadRoutinePass reports routines with a recorded body that the
+// static call graph cannot reach from the program's entry points — the
+// def/use-style reachability query DUCT motivates over exactly the
+// call-vector data DUCTAPE exposes.
+//
+// Roots are every routine named "main" plus every extern-"C" routine
+// with a body (exported entry points a non-C++ caller may invoke).
+// Virtual dispatch is over-approximated: reaching a routine that is
+// (or is called) virtual also reaches every override of it in derived
+// classes. To stay conservative the pass never reports constructors,
+// destructors, conversion operators, or virtual routines themselves
+// (they may run implicitly or through dispatch edges the database does
+// not record), and it reports nothing when the database has no roots
+// at all (a pure library).
+type deadRoutinePass struct{}
+
+// NewDeadRoutinePass returns the call-graph reachability pass.
+func NewDeadRoutinePass() Pass { return deadRoutinePass{} }
+
+func (deadRoutinePass) Name() string { return "dead-routine" }
+
+func (deadRoutinePass) Doc() string {
+	return "routines with a body that are unreachable from main or any extern-\"C\" root"
+}
+
+func (deadRoutinePass) Run(db *ductape.PDB) []Diagnostic {
+	var roots []*ductape.Routine
+	for _, r := range db.Routines() {
+		if r.Name() == "main" || (r.Linkage() == "C" && r.HasBody()) {
+			roots = append(roots, r)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	overrides := overrideMap(db)
+	reached := map[*ductape.Routine]bool{}
+	var frontier []*ductape.Routine
+	visit := func(r *ductape.Routine) {
+		if r == nil || reached[r] {
+			return
+		}
+		reached[r] = true
+		frontier = append(frontier, r)
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	for len(frontier) > 0 {
+		r := frontier[0]
+		frontier = frontier[1:]
+		for _, call := range r.Callees() {
+			callee := call.Call()
+			visit(callee)
+			if call.IsVirtual() || callee.IsVirtual() {
+				for _, o := range overrides[callee] {
+					visit(o)
+				}
+			}
+		}
+	}
+
+	var out []Diagnostic
+	for _, r := range db.Routines() {
+		if reached[r] || !r.HasBody() || r.IsVirtual() {
+			continue
+		}
+		switch r.Kind() {
+		case "ctor", "dtor", "conv":
+			continue
+		}
+		if f := r.Location().File; f != nil && f.System() {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pass:     "dead-routine",
+			Severity: Warning,
+			Loc:      LocationOf(r.Location()),
+			Message: fmt.Sprintf("routine '%s' is defined but unreachable from any entry point",
+				r.FullName()),
+		})
+	}
+	return out
+}
+
+// overrideMap links every virtual routine to the routines overriding
+// it in transitively derived classes (same name and parameter count,
+// matching the frontend's implicit-virtual rule).
+func overrideMap(db *ductape.PDB) map[*ductape.Routine][]*ductape.Routine {
+	out := map[*ductape.Routine][]*ductape.Routine{}
+	for _, c := range db.Classes() {
+		for _, f := range c.Functions() {
+			if !f.IsVirtual() {
+				continue
+			}
+			for _, b := range c.AllBases() {
+				for _, g := range b.Functions() {
+					if g.IsVirtual() && g.Name() == f.Name() && arity(g) == arity(f) {
+						out[g] = append(out[g], f)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func arity(r *ductape.Routine) int {
+	if sig := r.Signature(); sig != nil {
+		return len(sig.ArgumentTypes())
+	}
+	return 0
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"pdt/internal/ductape"
+)
+
+// Options configures the pass driver.
+type Options struct {
+	// Workers is the number of goroutines running passes. Zero (or
+	// negative) means GOMAXPROCS; 1 forces serial execution.
+	Workers int
+}
+
+// Run executes the passes over the database and returns every
+// diagnostic in deterministic order (file, line, column, pass name,
+// message) regardless of worker count or scheduling. Passes run
+// concurrently on a worker pool; each pass is one unit of work.
+func Run(db *ductape.PDB, passes []Pass, opts Options) []Diagnostic {
+	// Force the lazily built views before fan-out so the passes only
+	// ever read the database.
+	db.Macros()
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(passes) {
+		workers = len(passes)
+	}
+
+	results := make([][]Diagnostic, len(passes))
+	if workers <= 1 {
+		for i, p := range passes {
+			results[i] = p.Run(db)
+		}
+	} else {
+		jobs := make(chan int, len(passes))
+		for i := range passes {
+			jobs <- i
+		}
+		close(jobs)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					results[i] = passes[i].Run(db)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	var out []Diagnostic
+	for _, rs := range results {
+		out = append(out, rs...)
+	}
+	Sort(out)
+	return out
+}
+
+// Sort orders diagnostics for stable presentation: by file, line,
+// column, pass name, then message.
+func Sort(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Loc.File != b.Loc.File {
+			return a.Loc.File < b.Loc.File
+		}
+		if a.Loc.Line != b.Loc.Line {
+			return a.Loc.Line < b.Loc.Line
+		}
+		if a.Loc.Col != b.Loc.Col {
+			return a.Loc.Col < b.Loc.Col
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Message < b.Message
+	})
+}
+
+// MaxSeverity returns the gravest severity present, or (Info, false)
+// for an empty report.
+func MaxSeverity(diags []Diagnostic) (Severity, bool) {
+	if len(diags) == 0 {
+		return Info, false
+	}
+	max := Info
+	for _, d := range diags {
+		if d.Severity > max {
+			max = d.Severity
+		}
+	}
+	return max, true
+}
+
+// ExitCode maps a report onto the pdblint process exit code: 0 for a
+// clean (or info-only) report, 1 when the gravest finding is a
+// warning, 2 when any error is present.
+func ExitCode(diags []Diagnostic) int {
+	max, any := MaxSeverity(diags)
+	if !any {
+		return 0
+	}
+	switch max {
+	case Error:
+		return 2
+	case Warning:
+		return 1
+	}
+	return 0
+}

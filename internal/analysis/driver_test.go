@@ -1,0 +1,181 @@
+package analysis_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pdt/internal/analysis"
+	"pdt/internal/ductape"
+)
+
+// lintFixture builds a database that triggers several passes at once:
+// a dead routine, a non-virtual destructor on a polymorphic base, a
+// hidden virtual, and an include cycle.
+func lintFixture(t *testing.T) *ductape.PDB {
+	t.Helper()
+	return buildDB(t, `#include "a.h"
+class Shape {
+public:
+    Shape() { }
+    ~Shape() { }
+    virtual void scale(double f) { }
+};
+class Circle : public Shape {
+public:
+    Circle() { }
+    void scale(int a, int b) { }
+};
+int deadHelper(int x) { return x * 2; }
+int main() {
+    Circle c;
+    c.scale(1, 2);
+    Alpha a;
+    return probe(a);
+}
+`, map[string]string{
+		"a.h": "#ifndef A_H\n#define A_H\n#include \"b.h\"\nstruct Alpha { int id; };\nint probe(Alpha & a) { a.id = 1; return a.id; }\n#endif\n",
+		"b.h": "#ifndef B_H\n#define B_H\n#include \"a.h\"\nstruct Beta { int id; };\n#endif\n",
+	})
+}
+
+func TestRunParallelMatchesSerial(t *testing.T) {
+	db := lintFixture(t)
+	serial := analysis.Run(db, analysis.All(), analysis.Options{Workers: 1})
+	if len(serial) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+	for workers := 2; workers <= 8; workers *= 2 {
+		parallel := analysis.Run(db, analysis.All(), analysis.Options{Workers: workers})
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("workers=%d diverges from serial:\n%v\nvs\n%v",
+				workers, serial, parallel)
+		}
+	}
+}
+
+func TestRunDeterministicOrder(t *testing.T) {
+	db := lintFixture(t)
+	first := analysis.Run(db, analysis.All(), analysis.Options{})
+	for i := 0; i < 5; i++ {
+		again := analysis.Run(db, analysis.All(), analysis.Options{})
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d diverged", i)
+		}
+	}
+	// Sorted by file, then line.
+	for i := 1; i < len(first); i++ {
+		a, b := first[i-1], first[i]
+		if a.Loc.File > b.Loc.File {
+			t.Errorf("unsorted: %v before %v", a.Loc, b.Loc)
+		}
+		if a.Loc.File == b.Loc.File && a.Loc.Line > b.Loc.Line {
+			t.Errorf("unsorted lines: %v before %v", a.Loc, b.Loc)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all := analysis.All()
+	if len(all) < 7 {
+		t.Fatalf("registered passes = %d, want >= 7", len(all))
+	}
+	seen := map[string]bool{}
+	for _, p := range all {
+		if p.Name() == "" || p.Doc() == "" {
+			t.Errorf("pass %T missing name or doc", p)
+		}
+		if seen[p.Name()] {
+			t.Errorf("duplicate pass name %q", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+	for _, want := range []string{"pdb-integrity", "dead-routine", "include-cycle",
+		"unused-include", "hierarchy-check", "template-bloat", "odr-duplicate"} {
+		if !seen[want] {
+			t.Errorf("pass %q not registered", want)
+		}
+	}
+
+	// Selection preserves canonical order regardless of request order.
+	sel, err := analysis.Select([]string{"odr-duplicate", "dead-routine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || sel[0].Name() != "dead-routine" || sel[1].Name() != "odr-duplicate" {
+		t.Errorf("selection = %v", []string{sel[0].Name(), sel[1].Name()})
+	}
+	if _, err := analysis.Select([]string{"no-such-pass"}); err == nil {
+		t.Error("unknown pass accepted")
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		diags []analysis.Diagnostic
+		want  int
+	}{
+		{nil, 0},
+		{[]analysis.Diagnostic{{Severity: analysis.Info}}, 0},
+		{[]analysis.Diagnostic{{Severity: analysis.Info}, {Severity: analysis.Warning}}, 1},
+		{[]analysis.Diagnostic{{Severity: analysis.Warning}, {Severity: analysis.Error}}, 2},
+	}
+	for i, c := range cases {
+		if got := analysis.ExitCode(c.diags); got != c.want {
+			t.Errorf("case %d: exit = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	diags := []analysis.Diagnostic{
+		{
+			Pass: "dead-routine", Severity: analysis.Warning,
+			Loc:     analysis.Location{File: "main.cpp", Line: 12, Col: 1},
+			Message: "routine 'deadHelper(int)' is defined but unreachable from any entry point",
+			Related: []analysis.Related{{Message: "note text",
+				Loc: analysis.Location{File: "a.h", Line: 3, Col: 1}}},
+		},
+		{Pass: "pdb-integrity", Severity: analysis.Error, Message: "dangling reference ro#9"},
+	}
+	var sb strings.Builder
+	if err := analysis.WriteText(&sb, diags); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"main.cpp:12:1: warning: routine 'deadHelper(int)' is defined but unreachable from any entry point [dead-routine]",
+		"    note: note text — a.h:3:1",
+		"<pdb>: error: dangling reference ro#9 [pdb-integrity]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	db := lintFixture(t)
+	diags := analysis.Run(db, analysis.All(), analysis.Options{})
+	var sb strings.Builder
+	if err := analysis.WriteJSON(&sb, diags); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []analysis.Diagnostic
+	if err := json.Unmarshal([]byte(sb.String()), &parsed); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if !reflect.DeepEqual(diags, parsed) {
+		t.Errorf("JSON round trip diverged:\n%v\nvs\n%v", diags, parsed)
+	}
+
+	// Empty report renders as an empty array, not null.
+	sb.Reset()
+	if err := analysis.WriteJSON(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb.String()) != "[]" {
+		t.Errorf("empty report = %q", sb.String())
+	}
+}

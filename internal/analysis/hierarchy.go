@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"pdt/internal/ductape"
+)
+
+// hierarchyCheckPass audits the class hierarchy (§3.3's third global
+// view) for two classic polymorphism hazards:
+//
+//  1. a polymorphic class used as a base whose recorded destructor is
+//     not virtual (deleting a derived object through a base pointer is
+//     undefined behaviour), and
+//  2. a derived class declaring a non-virtual member function whose
+//     name matches a virtual function inherited from a base — the
+//     declaration hides every base overload instead of overriding
+//     (same-arity redeclarations are implicitly virtual in C++ and are
+//     therefore not reported; what remains is genuine name hiding).
+type hierarchyCheckPass struct{}
+
+// NewHierarchyCheckPass returns the class-hierarchy audit pass.
+func NewHierarchyCheckPass() Pass { return hierarchyCheckPass{} }
+
+func (hierarchyCheckPass) Name() string { return "hierarchy-check" }
+
+func (hierarchyCheckPass) Doc() string {
+	return "polymorphic bases with non-virtual destructors; non-virtual functions hiding inherited virtuals"
+}
+
+func (hierarchyCheckPass) Run(db *ductape.PDB) []Diagnostic {
+	var out []Diagnostic
+	for _, c := range db.Classes() {
+		out = append(out, checkBaseDestructor(c)...)
+		out = append(out, checkHiddenVirtuals(c)...)
+	}
+	Sort(out)
+	return out
+}
+
+func checkBaseDestructor(c *ductape.Class) []Diagnostic {
+	derived := c.DerivedClasses()
+	if len(derived) == 0 || !c.IsPolymorphic() {
+		return nil
+	}
+	d := c.Destructor()
+	if d == nil || d.IsVirtual() {
+		return nil
+	}
+	diag := Diagnostic{
+		Pass:     "hierarchy-check",
+		Severity: Warning,
+		Loc:      LocationOf(d.Location()),
+		Message: fmt.Sprintf("polymorphic class '%s' is used as a base but its destructor is not virtual",
+			c.FullName()),
+	}
+	for _, dc := range sortedClasses(derived) {
+		diag.Related = append(diag.Related, Related{
+			Message: fmt.Sprintf("derived class '%s'", dc.FullName()),
+			Loc:     LocationOf(dc.Location()),
+		})
+	}
+	return []Diagnostic{diag}
+}
+
+func checkHiddenVirtuals(c *ductape.Class) []Diagnostic {
+	var out []Diagnostic
+	reported := map[*ductape.Routine]bool{}
+	for _, b := range c.AllBases() {
+		for _, g := range b.Functions() {
+			if !g.IsVirtual() || g.Kind() == "dtor" {
+				continue
+			}
+			for _, f := range c.Functions() {
+				if f.IsVirtual() || f.Kind() == "dtor" || reported[f] ||
+					f.Name() != g.Name() {
+					continue
+				}
+				reported[f] = true
+				out = append(out, Diagnostic{
+					Pass:     "hierarchy-check",
+					Severity: Warning,
+					Loc:      LocationOf(f.Location()),
+					Message: fmt.Sprintf("non-virtual '%s' hides inherited virtual '%s'",
+						f.FullName(), g.FullName()),
+					Related: []Related{{
+						Message: fmt.Sprintf("virtual '%s' declared here", g.FullName()),
+						Loc:     LocationOf(g.Location()),
+					}},
+				})
+			}
+		}
+	}
+	return out
+}
+
+func sortedClasses(cs []*ductape.Class) []*ductape.Class {
+	out := append([]*ductape.Class{}, cs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].FullName() < out[j].FullName() })
+	return out
+}

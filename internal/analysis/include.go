@@ -1,0 +1,247 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pdt/internal/ductape"
+)
+
+// includeCyclePass reports cycles in the source-file inclusion tree
+// (§3.3's first global view). Guarded headers make cycles compile, but
+// they defeat the tree structure every inclusion-based tool assumes
+// and usually indicate an interface split waiting to happen.
+type includeCyclePass struct{}
+
+// NewIncludeCyclePass returns the inclusion-graph cycle pass.
+func NewIncludeCyclePass() Pass { return includeCyclePass{} }
+
+func (includeCyclePass) Name() string { return "include-cycle" }
+
+func (includeCyclePass) Doc() string {
+	return "cycles in the file inclusion graph"
+}
+
+func (includeCyclePass) Run(db *ductape.PDB) []Diagnostic {
+	const (
+		unvisited = 0
+		onStack   = 1
+		done      = 2
+	)
+	state := map[*ductape.File]int{}
+	var stack []*ductape.File
+	seenCycles := map[string]bool{}
+	var out []Diagnostic
+
+	var dfs func(f *ductape.File)
+	dfs = func(f *ductape.File) {
+		state[f] = onStack
+		stack = append(stack, f)
+		for _, inc := range sortedFiles(f.Includes()) {
+			switch state[inc] {
+			case unvisited:
+				dfs(inc)
+			case onStack:
+				// Extract the cycle inc -> ... -> f -> inc.
+				start := 0
+				for i, s := range stack {
+					if s == inc {
+						start = i
+						break
+					}
+				}
+				cycle := append([]*ductape.File{}, stack[start:]...)
+				reportCycle(&out, seenCycles, cycle)
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[f] = done
+	}
+	for _, f := range sortedFiles(db.Files()) {
+		if state[f] == unvisited {
+			dfs(f)
+		}
+	}
+	Sort(out)
+	return out
+}
+
+// reportCycle emits one diagnostic per distinct cycle, normalized so
+// the same cycle found from different entry files is reported once,
+// anchored at its lexicographically smallest member.
+func reportCycle(out *[]Diagnostic, seen map[string]bool, cycle []*ductape.File) {
+	if len(cycle) == 0 {
+		return
+	}
+	smallest := 0
+	for i, f := range cycle {
+		if f.Name() < cycle[smallest].Name() {
+			smallest = i
+		}
+	}
+	rotated := append(append([]*ductape.File{}, cycle[smallest:]...), cycle[:smallest]...)
+	names := make([]string, 0, len(rotated)+1)
+	for _, f := range rotated {
+		names = append(names, f.Name())
+	}
+	names = append(names, rotated[0].Name())
+	key := strings.Join(names, "|")
+	if seen[key] {
+		return
+	}
+	seen[key] = true
+	*out = append(*out, Diagnostic{
+		Pass:     "include-cycle",
+		Severity: Warning,
+		Loc:      FileLocation(rotated[0]),
+		Message:  fmt.Sprintf("include cycle: %s", strings.Join(names, " -> ")),
+	})
+}
+
+// unusedIncludePass reports #include edges whose target (transitively)
+// provides nothing the including file references. References are drawn
+// from the cross-reference data the database records: call sites,
+// parent classes of out-of-line definitions, base classes, data-member
+// and signature class types, and template-origin links. Macro uses and bare
+// typedef references are not recorded in the PDB, so a header consumed
+// only through those can be a false positive; system headers and
+// system includers are never reported.
+type unusedIncludePass struct{}
+
+// NewUnusedIncludePass returns the unused-include pass.
+func NewUnusedIncludePass() Pass { return unusedIncludePass{} }
+
+func (unusedIncludePass) Name() string { return "unused-include" }
+
+func (unusedIncludePass) Doc() string {
+	return "#include edges providing nothing the including file uses"
+}
+
+func (unusedIncludePass) Run(db *ductape.PDB) []Diagnostic {
+	used := usedFiles(db)
+	reach := map[*ductape.File]map[*ductape.File]bool{}
+	var closure func(f *ductape.File) map[*ductape.File]bool
+	closure = func(f *ductape.File) map[*ductape.File]bool {
+		if r, ok := reach[f]; ok {
+			return r
+		}
+		r := map[*ductape.File]bool{f: true}
+		reach[f] = r // placed before recursion to cut include cycles
+		for _, inc := range f.Includes() {
+			for g := range closure(inc) {
+				r[g] = true
+			}
+		}
+		return r
+	}
+
+	var out []Diagnostic
+	for _, f := range sortedFiles(db.Files()) {
+		if f.System() {
+			continue
+		}
+		for _, inc := range sortedFiles(f.Includes()) {
+			if inc.System() || inc == f {
+				continue
+			}
+			provides := closure(inc)
+			usedAny := false
+			for g := range used[f] {
+				if provides[g] {
+					usedAny = true
+					break
+				}
+			}
+			if !usedAny {
+				out = append(out, Diagnostic{
+					Pass:     "unused-include",
+					Severity: Warning,
+					Loc:      FileLocation(f),
+					Message: fmt.Sprintf("'%s' includes '%s' but uses nothing it provides",
+						f.Name(), inc.Name()),
+				})
+			}
+		}
+	}
+	Sort(out)
+	return out
+}
+
+// usedFiles computes, per file, the set of files whose declarations it
+// references.
+func usedFiles(db *ductape.PDB) map[*ductape.File]map[*ductape.File]bool {
+	used := map[*ductape.File]map[*ductape.File]bool{}
+	use := func(from *ductape.File, to ductape.Location) {
+		if from == nil || to.File == nil || to.File == from {
+			return
+		}
+		if used[from] == nil {
+			used[from] = map[*ductape.File]bool{}
+		}
+		used[from][to.File] = true
+	}
+	useType := func(from *ductape.File, t *ductape.Type) {
+		// Follow the type structure to any named class it mentions.
+		seen := map[*ductape.Type]bool{}
+		for t != nil && !seen[t] {
+			seen[t] = true
+			if c := t.Class(); c != nil {
+				use(from, c.Location())
+			}
+			switch {
+			case t.Elem() != nil:
+				t = t.Elem()
+			case t.BaseType() != nil:
+				t = t.BaseType()
+			default:
+				t = nil
+			}
+		}
+	}
+
+	for _, r := range db.Routines() {
+		from := r.Location().File
+		for _, call := range r.Callees() {
+			callee := call.Call()
+			use(from, callee.Location())
+			if c := callee.ParentClass(); c != nil {
+				use(from, c.Location())
+			}
+		}
+		if c := r.ParentClass(); c != nil {
+			use(from, c.Location())
+		}
+		if te := r.Template(); te != nil {
+			use(from, te.Location())
+		}
+		if sig := r.Signature(); sig != nil {
+			useType(from, sig.ReturnType())
+			for _, a := range sig.ArgumentTypes() {
+				useType(from, a)
+			}
+		}
+	}
+	for _, c := range db.Classes() {
+		from := c.Location().File
+		for _, b := range c.BaseClasses() {
+			if b.Class != nil {
+				use(from, b.Class.Location())
+			}
+		}
+		for _, m := range c.DataMembers() {
+			useType(from, m.Type)
+		}
+		if te := c.Template(); te != nil {
+			use(from, te.Location())
+		}
+	}
+	return used
+}
+
+// sortedFiles returns a name-ordered copy, for deterministic walks.
+func sortedFiles(files []*ductape.File) []*ductape.File {
+	out := append([]*ductape.File{}, files...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}

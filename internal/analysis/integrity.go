@@ -1,0 +1,31 @@
+package analysis
+
+import "pdt/internal/ductape"
+
+// integrityPass surfaces pdb.Validate violations as diagnostics, so a
+// corrupted or hand-edited database fails loudly before the semantic
+// passes interpret it. The other passes tolerate dangling references
+// (nil pointers simply vanish from the DUCTAPE views), so integrity
+// findings explain otherwise-silent gaps in their reports.
+type integrityPass struct{}
+
+// NewIntegrityPass returns the referential-integrity pass.
+func NewIntegrityPass() Pass { return integrityPass{} }
+
+func (integrityPass) Name() string { return "pdb-integrity" }
+
+func (integrityPass) Doc() string {
+	return "referential integrity of the raw database (dangling refs, duplicate IDs, bad locations)"
+}
+
+func (integrityPass) Run(db *ductape.PDB) []Diagnostic {
+	var out []Diagnostic
+	for _, err := range db.Raw().Validate() {
+		out = append(out, Diagnostic{
+			Pass:     "pdb-integrity",
+			Severity: Error,
+			Message:  err.Error(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteText renders the report in compiler style, one finding per
+// line, with related locations as indented notes:
+//
+//	main.cpp:12:5: warning: routine 'deadHelper(int)' ... [dead-routine]
+//	    note: declared here — lint.h:3:1
+func WriteText(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintf(w, "%s: %s: %s [%s]\n",
+			d.Loc, d.Severity, d.Message, d.Pass); err != nil {
+			return err
+		}
+		for _, rel := range d.Related {
+			if _, err := fmt.Fprintf(w, "    note: %s — %s\n",
+				rel.Message, rel.Loc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the report as an indented JSON array (an empty
+// report renders as []), byte-identical across runs for the same
+// database and pass set.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	data, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", data)
+	return err
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"pdt/internal/ductape"
+)
+
+// DefaultTemplateBloatThreshold is the instantiation count above which
+// a template is reported (pdblint -template-bloat overrides it).
+const DefaultTemplateBloatThreshold = 8
+
+// TemplateBloatPass reports templates whose recorded instantiation
+// count exceeds a threshold. The paper's "used" instantiation mode
+// keeps the database down to the instantiations a program actually
+// touches, so a large count here is real fan-out — each entry is
+// another copy of the template's code in the final binary, the
+// template code bloat §2 sets out to control.
+type TemplateBloatPass struct {
+	// Threshold is the maximum tolerated instantiation count.
+	Threshold int
+}
+
+// NewTemplateBloatPass returns the pass at the default threshold.
+func NewTemplateBloatPass() Pass {
+	return &TemplateBloatPass{Threshold: DefaultTemplateBloatThreshold}
+}
+
+// Name implements Pass.
+func (*TemplateBloatPass) Name() string { return "template-bloat" }
+
+// Doc implements Pass.
+func (p *TemplateBloatPass) Doc() string {
+	return fmt.Sprintf("templates instantiated more than %d times (code-bloat fan-out)", p.Threshold)
+}
+
+// Run implements Pass.
+func (p *TemplateBloatPass) Run(db *ductape.PDB) []Diagnostic {
+	var out []Diagnostic
+	for _, t := range db.Templates() {
+		n := t.InstantiationCount()
+		if n <= p.Threshold {
+			continue
+		}
+		diag := Diagnostic{
+			Pass:     "template-bloat",
+			Severity: Warning,
+			Loc:      LocationOf(t.Location()),
+			Message: fmt.Sprintf("template '%s' has %d instantiations (threshold %d)",
+				t.Name(), n, p.Threshold),
+		}
+		for _, item := range sortedInstantiations(t) {
+			diag.Related = append(diag.Related, Related{
+				Message: fmt.Sprintf("instantiated as '%s'", item.Name()),
+				Loc:     LocationOf(item.Location()),
+			})
+		}
+		out = append(out, diag)
+	}
+	Sort(out)
+	return out
+}
+
+// sortedInstantiations lists a template's instantiations (classes then
+// routines) in deterministic name order.
+func sortedInstantiations(t *ductape.Template) []ductape.TemplateItem {
+	var items []ductape.TemplateItem
+	for _, c := range t.InstantiatedClasses() {
+		items = append(items, c)
+	}
+	for _, r := range t.InstantiatedRoutines() {
+		items = append(items, r)
+	}
+	sortTemplateItems(items)
+	return items
+}
+
+func sortTemplateItems(items []ductape.TemplateItem) {
+	sort.Slice(items, func(i, j int) bool {
+		a, b := items[i], items[j]
+		if an, bn := a.Name(), b.Name(); an != bn {
+			return an < bn
+		}
+		if ap, bp := a.Prefix(), b.Prefix(); ap != bp {
+			return ap < bp
+		}
+		return a.ID() < b.ID()
+	})
+}

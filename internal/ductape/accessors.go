@@ -1,0 +1,99 @@
+package ductape
+
+// Derived views over the class hierarchy and template instantiation
+// links, used by the pdblint passes (internal/analysis) and available
+// to any DUCTAPE client. All traversals cut inheritance cycles (which
+// Validate flags, but hand-written or merged databases may contain)
+// and return deterministic orders.
+
+// AllBases returns every transitive base class in breadth-first order,
+// nearest bases first. Unresolved base references (nil Class) are
+// skipped; cycles are cut.
+func (c *Class) AllBases() []*Class {
+	var out []*Class
+	seen := map[*Class]bool{c: true}
+	frontier := []*Class{c}
+	for len(frontier) > 0 {
+		next := frontier[0]
+		frontier = frontier[1:]
+		for _, b := range next.bases {
+			if b.Class == nil || seen[b.Class] {
+				continue
+			}
+			seen[b.Class] = true
+			out = append(out, b.Class)
+			frontier = append(frontier, b.Class)
+		}
+	}
+	return out
+}
+
+// AllDerived returns every transitive derived class in breadth-first
+// order, nearest derivations first, cutting cycles.
+func (c *Class) AllDerived() []*Class {
+	var out []*Class
+	seen := map[*Class]bool{c: true}
+	frontier := []*Class{c}
+	for len(frontier) > 0 {
+		next := frontier[0]
+		frontier = frontier[1:]
+		for _, d := range next.derived {
+			if seen[d] {
+				continue
+			}
+			seen[d] = true
+			out = append(out, d)
+			frontier = append(frontier, d)
+		}
+	}
+	return out
+}
+
+// IsPolymorphic reports whether the class declares or inherits a
+// virtual member function.
+func (c *Class) IsPolymorphic() bool {
+	for _, f := range c.funcs {
+		if f.IsVirtual() {
+			return true
+		}
+	}
+	for _, b := range c.AllBases() {
+		for _, f := range b.funcs {
+			if f.IsVirtual() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// VirtualFunctions returns the member functions recorded as virt or
+// pure, in declaration order.
+func (c *Class) VirtualFunctions() []*Routine {
+	var out []*Routine
+	for _, f := range c.funcs {
+		if f.IsVirtual() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Destructor returns the class's recorded destructor, or nil when the
+// database carries none (implicit destructors are not emitted).
+func (c *Class) Destructor() *Routine {
+	for _, f := range c.funcs {
+		if f.Kind() == "dtor" {
+			return f
+		}
+	}
+	return nil
+}
+
+// InstantiationCount returns the number of entities (classes and
+// routines) instantiated from this template — the quantity the paper's
+// instantiation mode keeps small, and the one the template-bloat pass
+// thresholds.
+func (t *Template) InstantiationCount() int {
+	return len(t.instClasses) + len(t.instRoutines)
+}

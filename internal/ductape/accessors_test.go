@@ -217,3 +217,122 @@ int main() {
 		}
 	}
 }
+
+// TestHierarchyAccessors exercises the derived hierarchy views used by
+// the pdblint passes: transitive bases/derivations, polymorphism, and
+// destructor lookup.
+func TestHierarchyAccessors(t *testing.T) {
+	db := buildDB(t, `
+class Base {
+public:
+    Base() { }
+    ~Base() { }
+    virtual int id() const { return 0; }
+};
+class Mid : public Base {
+public:
+    Mid() { }
+    int id() const { return 1; }
+};
+class Leaf : public Mid {
+public:
+    Leaf() { }
+    int id() const { return 2; }
+};
+class Plain {
+public:
+    Plain() { }
+    int tag() const { return 3; }
+};
+int main() {
+    Leaf l;
+    Plain p;
+    return l.id() + p.tag();
+}
+`, nil)
+
+	base := db.LookupClass("Base")
+	leaf := db.LookupClass("Leaf")
+	plain := db.LookupClass("Plain")
+	if base == nil || leaf == nil || plain == nil {
+		t.Fatal("classes missing")
+	}
+
+	bases := leaf.AllBases()
+	if len(bases) != 2 || bases[0].Name() != "Mid" || bases[1].Name() != "Base" {
+		t.Errorf("Leaf.AllBases() = %v", classNames(bases))
+	}
+	derived := base.AllDerived()
+	if len(derived) != 2 || derived[0].Name() != "Mid" || derived[1].Name() != "Leaf" {
+		t.Errorf("Base.AllDerived() = %v", classNames(derived))
+	}
+	if len(plain.AllBases()) != 0 || len(plain.AllDerived()) != 0 {
+		t.Error("Plain should be isolated")
+	}
+
+	// Polymorphism is declared in Base and inherited by Leaf (whose id
+	// override is implicitly virtual); Plain has no virtual functions.
+	if !base.IsPolymorphic() || !leaf.IsPolymorphic() {
+		t.Error("Base/Leaf should be polymorphic")
+	}
+	if plain.IsPolymorphic() {
+		t.Error("Plain should not be polymorphic")
+	}
+	if len(base.VirtualFunctions()) != 1 {
+		t.Errorf("Base.VirtualFunctions() = %d", len(base.VirtualFunctions()))
+	}
+
+	// Base has an explicit (non-virtual) destructor; Plain has none.
+	d := base.Destructor()
+	if d == nil || d.Kind() != "dtor" {
+		t.Fatal("Base destructor missing")
+	}
+	if d.IsVirtual() {
+		t.Error("Base destructor should be non-virtual")
+	}
+	if plain.Destructor() != nil {
+		t.Error("Plain should have no recorded destructor")
+	}
+}
+
+func classNames(cs []*ductape.Class) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Name()
+	}
+	return out
+}
+
+// TestTemplateInstantiationCount checks the count the template-bloat
+// pass thresholds: class instantiations plus member-function
+// instantiations attributed to their templates.
+func TestTemplateInstantiationCount(t *testing.T) {
+	db := buildDB(t, `
+template <class T, int N>
+class Slot {
+public:
+    int cap() const { return N; }
+};
+int main() {
+    int s = 0;
+    { Slot<int, 1> a; s += a.cap(); }
+    { Slot<int, 2> b; s += b.cap(); }
+    { Slot<int, 3> c; s += c.cap(); }
+    return s;
+}
+`, nil)
+	var slot *ductape.Template
+	for _, te := range db.Templates() {
+		if te.Name() == "Slot" && te.Kind() == ductape.TE_CLASS {
+			slot = te
+		}
+	}
+	if slot == nil {
+		t.Fatal("Slot template missing")
+	}
+	if got := slot.InstantiationCount(); got != len(slot.InstantiatedClasses()) ||
+		got != 3 {
+		t.Errorf("InstantiationCount = %d (classes %d)", got,
+			len(slot.InstantiatedClasses()))
+	}
+}

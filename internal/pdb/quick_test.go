@@ -61,7 +61,10 @@ func randPDB(r *rand.Rand) *PDB {
 	for i := 1; i <= nFiles; i++ {
 		f := &SourceFile{ID: i, Name: randWord(r) + ".h", System: r.Intn(3) == 0}
 		for j := 0; j < r.Intn(3); j++ {
-			f.Includes = append(f.Includes, Ref{Prefix: PrefixSourceFile, ID: 1 + r.Intn(nFiles)})
+			// Validate rejects self-inclusion, so draw another file.
+			if target := 1 + r.Intn(nFiles); target != i {
+				f.Includes = append(f.Includes, Ref{Prefix: PrefixSourceFile, ID: target})
+			}
 		}
 		p.Files = append(p.Files, f)
 	}
@@ -90,11 +93,16 @@ func randPDB(r *rand.Rand) *PDB {
 		p.Types = append(p.Types, ty)
 	}
 	nTempl := r.Intn(4)
+	var classTemplIDs []int
 	for i := 1; i <= nTempl; i++ {
 		kinds := []string{"class", "func", "memfunc", "statmem"}
+		kind := kinds[r.Intn(len(kinds))]
+		if kind == "class" {
+			classTemplIDs = append(classTemplIDs, i)
+		}
 		p.Templates = append(p.Templates, &Template{
 			ID: i, Name: randWord(r), Loc: randLoc(r, nFiles),
-			Kind: kinds[r.Intn(len(kinds))],
+			Kind: kind,
 			Text: "template <class T> " + randWord(r) + " {...};",
 			Pos:  randPos(r, nFiles),
 		})
@@ -104,8 +112,10 @@ func randPDB(r *rand.Rand) *PDB {
 		c := &Class{ID: i, Name: randName(r), Loc: randLoc(r, nFiles),
 			Kind: []string{"class", "struct", "union"}[r.Intn(3)],
 			Pos:  randPos(r, nFiles)}
-		if nTempl > 0 && r.Intn(2) == 0 {
-			c.Template = Ref{Prefix: PrefixTemplate, ID: 1 + r.Intn(nTempl)}
+		// Only class-kind templates may back a class instantiation.
+		if len(classTemplIDs) > 0 && r.Intn(2) == 0 {
+			c.Template = Ref{Prefix: PrefixTemplate,
+				ID: classTemplIDs[r.Intn(len(classTemplIDs))]}
 			c.Instantiation = true
 		}
 		if i > 1 && r.Intn(2) == 0 {

@@ -2,6 +2,37 @@ package pdb
 
 import "fmt"
 
+// vOwner identifies the item (and optionally the sub-record inside it)
+// a validation message is about. It stays a plain value until an error
+// is actually reported; String renders the familiar "ro#4 rcall[2]"
+// label on demand.
+type vOwner struct {
+	kind   string // item prefix: so, ty, te, cl, ro, na, ma
+	id     int
+	subrec string // "", or rcall/cbase/cfunc/yargt
+	idx    int
+	member string // member name, for "cmem" records
+	where  string // "", or pos.hb/pos.he/pos.bb/pos.be
+}
+
+func (o vOwner) sub(rec string, i int) vOwner { o.subrec, o.idx = rec, i; return o }
+func (o vOwner) mem(name string) vOwner       { o.member = name; return o }
+func (o vOwner) at(pos string) vOwner         { o.where = pos; return o }
+
+func (o vOwner) String() string {
+	s := fmt.Sprintf("%s#%d", o.kind, o.id)
+	switch {
+	case o.member != "":
+		s += " cmem " + o.member
+	case o.subrec != "":
+		s += fmt.Sprintf(" %s[%d]", o.subrec, o.idx)
+	}
+	if o.where != "" {
+		s += " " + o.where
+	}
+	return s
+}
+
 // Validate checks the database's referential integrity: every Ref
 // points at an existing item of the right kind, IDs are unique per
 // item type, and locations reference known files. It returns every
@@ -52,7 +83,10 @@ func (p *PDB) Validate() []error {
 		index("na", n.ID, namespaces)
 	}
 
-	checkRef := func(owner string, ref Ref, wantPrefix string, seen map[int]bool) {
+	// Owner labels are only rendered when a violation is reported;
+	// building them eagerly for every healthy item dominated the cost of
+	// validating large merged databases.
+	checkRef := func(owner vOwner, ref Ref, wantPrefix string, seen map[int]bool) {
 		if !ref.Valid() {
 			return
 		}
@@ -64,7 +98,7 @@ func (p *PDB) Validate() []error {
 			report("%s: dangling reference %s", owner, ref)
 		}
 	}
-	checkLoc := func(owner string, l Loc) {
+	checkLoc := func(owner vOwner, l Loc) {
 		if !l.Valid() {
 			return
 		}
@@ -73,28 +107,28 @@ func (p *PDB) Validate() []error {
 			report("%s: non-positive location %d:%d", owner, l.Line, l.Col)
 		}
 	}
-	checkPos := func(owner string, pos Pos) {
-		checkLoc(owner+" pos.hb", pos.HeaderBegin)
-		checkLoc(owner+" pos.he", pos.HeaderEnd)
-		checkLoc(owner+" pos.bb", pos.BodyBegin)
-		checkLoc(owner+" pos.be", pos.BodyEnd)
+	checkPos := func(owner vOwner, pos Pos) {
+		checkLoc(owner.at("pos.hb"), pos.HeaderBegin)
+		checkLoc(owner.at("pos.he"), pos.HeaderEnd)
+		checkLoc(owner.at("pos.bb"), pos.BodyBegin)
+		checkLoc(owner.at("pos.be"), pos.BodyEnd)
 	}
 
 	for _, f := range p.Files {
-		owner := fmt.Sprintf("so#%d", f.ID)
+		owner := vOwner{kind: "so", id: f.ID}
 		for _, inc := range f.Includes {
 			checkRef(owner, inc, PrefixSourceFile, files)
 		}
 	}
 	for _, t := range p.Templates {
-		owner := fmt.Sprintf("te#%d", t.ID)
+		owner := vOwner{kind: "te", id: t.ID}
 		checkLoc(owner, t.Loc)
 		checkRef(owner, t.Class, PrefixClass, classes)
 		checkRef(owner, t.Namespace, PrefixNamespace, namespaces)
 		checkPos(owner, t.Pos)
 	}
 	for _, r := range p.Routines {
-		owner := fmt.Sprintf("ro#%d", r.ID)
+		owner := vOwner{kind: "ro", id: r.ID}
 		checkLoc(owner, r.Loc)
 		checkRef(owner, r.Class, PrefixClass, classes)
 		checkRef(owner, r.Namespace, PrefixNamespace, namespaces)
@@ -102,51 +136,156 @@ func (p *PDB) Validate() []error {
 		checkRef(owner, r.Template, PrefixTemplate, templates)
 		checkPos(owner, r.Pos)
 		for i, c := range r.Calls {
-			callOwner := fmt.Sprintf("%s rcall[%d]", owner, i)
+			callOwner := owner.sub("rcall", i)
 			checkRef(callOwner, c.Callee, PrefixRoutine, routines)
 			checkLoc(callOwner, c.Loc)
 		}
 	}
 	for _, c := range p.Classes {
-		owner := fmt.Sprintf("cl#%d", c.ID)
+		owner := vOwner{kind: "cl", id: c.ID}
 		checkLoc(owner, c.Loc)
 		checkRef(owner, c.Parent, PrefixClass, classes)
 		checkRef(owner, c.Namespace, PrefixNamespace, namespaces)
 		checkRef(owner, c.Template, PrefixTemplate, templates)
 		checkPos(owner, c.Pos)
 		for i, b := range c.Bases {
-			baseOwner := fmt.Sprintf("%s cbase[%d]", owner, i)
+			baseOwner := owner.sub("cbase", i)
 			checkRef(baseOwner, b.Class, PrefixClass, classes)
 			checkLoc(baseOwner, b.Loc)
 		}
 		for i, fr := range c.Funcs {
-			fOwner := fmt.Sprintf("%s cfunc[%d]", owner, i)
+			fOwner := owner.sub("cfunc", i)
 			checkRef(fOwner, fr.Routine, PrefixRoutine, routines)
 			checkLoc(fOwner, fr.Loc)
 		}
 		for _, m := range c.Members {
-			mOwner := fmt.Sprintf("%s cmem %s", owner, m.Name)
+			mOwner := owner.mem(m.Name)
 			checkRef(mOwner, m.Type, PrefixType, types)
 			checkLoc(mOwner, m.Loc)
 		}
 	}
 	for _, t := range p.Types {
-		owner := fmt.Sprintf("ty#%d", t.ID)
+		owner := vOwner{kind: "ty", id: t.ID}
 		checkRef(owner, t.Elem, PrefixType, types)
 		checkRef(owner, t.Tref, PrefixType, types)
 		checkRef(owner, t.Class, PrefixClass, classes)
 		checkRef(owner, t.Ret, PrefixType, types)
 		for i, a := range t.Args {
-			checkRef(fmt.Sprintf("%s yargt[%d]", owner, i), a, PrefixType, types)
+			checkRef(owner.sub("yargt", i), a, PrefixType, types)
 		}
 	}
 	for _, n := range p.Namespaces {
-		owner := fmt.Sprintf("na#%d", n.ID)
+		owner := vOwner{kind: "na", id: n.ID}
 		checkLoc(owner, n.Loc)
 		checkRef(owner, n.Parent, PrefixNamespace, namespaces)
 	}
 	for _, m := range p.Macros {
-		checkLoc(fmt.Sprintf("ma#%d", m.ID), m.Loc)
+		checkLoc(vOwner{kind: "ma", id: m.ID}, m.Loc)
 	}
+
+	p.validateCrossRefs(report)
 	return errs
+}
+
+// validateCrossRefs checks semantic consistency between items that are
+// individually well-formed: the inclusion graph, the inheritance graph,
+// class↔routine membership, and template-kind agreement. These are the
+// invariants the analysis passes lean on, so a database that merges or
+// hand-edits its way into violating them is reported here rather than
+// silently producing nonsense downstream.
+func (p *PDB) validateCrossRefs(report func(format string, args ...interface{})) {
+	classByID := map[int]*Class{}
+	for _, c := range p.Classes {
+		classByID[c.ID] = c
+	}
+	routineByID := map[int]*Routine{}
+	for _, r := range p.Routines {
+		routineByID[r.ID] = r
+	}
+	templateByID := map[int]*Template{}
+	for _, t := range p.Templates {
+		templateByID[t.ID] = t
+	}
+
+	// A file must not include itself.
+	for _, f := range p.Files {
+		for _, inc := range f.Includes {
+			if inc.Prefix == PrefixSourceFile && inc.ID == f.ID {
+				report("so#%d: file %q includes itself", f.ID, f.Name)
+			}
+		}
+	}
+
+	// The inheritance graph must be acyclic. Colors: 0 unvisited,
+	// 1 on the current DFS path, 2 done.
+	color := map[int]int{}
+	var visit func(c *Class) bool
+	visit = func(c *Class) bool {
+		switch color[c.ID] {
+		case 1:
+			return true // back edge: cycle
+		case 2:
+			return false
+		}
+		color[c.ID] = 1
+		for _, b := range c.Bases {
+			if base, ok := classByID[b.Class.ID]; ok && b.Class.Prefix == PrefixClass {
+				if visit(base) {
+					color[c.ID] = 2
+					return true
+				}
+			}
+		}
+		color[c.ID] = 2
+		return false
+	}
+	for _, c := range p.Classes {
+		if color[c.ID] == 0 && visit(c) {
+			report("cl#%d: inheritance cycle through class %q", c.ID, c.Name)
+		}
+	}
+
+	// A routine listed as a member function of a class must agree: its
+	// own class back-reference, when set, has to point at that class.
+	for _, c := range p.Classes {
+		for i, fr := range c.Funcs {
+			r, ok := routineByID[fr.Routine.ID]
+			if !ok || fr.Routine.Prefix != PrefixRoutine {
+				continue // dangling ref already reported
+			}
+			if r.Class.Valid() && (r.Class.Prefix != PrefixClass || r.Class.ID != c.ID) {
+				report("cl#%d cfunc[%d]: routine ro#%d claims class %s, not cl#%d",
+					c.ID, i, r.ID, r.Class, c.ID)
+			}
+		}
+	}
+
+	// Template kinds must match the referencing item: classes
+	// instantiate class templates, routines instantiate function-like
+	// templates (func, memfunc, statmem).
+	for _, c := range p.Classes {
+		if t, ok := templateByID[c.Template.ID]; ok && c.Template.Prefix == PrefixTemplate {
+			if t.Kind != "" && t.Kind != "class" {
+				report("cl#%d: references %q template te#%d, want kind \"class\"",
+					c.ID, t.Kind, t.ID)
+			}
+		}
+	}
+	for _, r := range p.Routines {
+		if t, ok := templateByID[r.Template.ID]; ok && r.Template.Prefix == PrefixTemplate {
+			switch t.Kind {
+			case "", "func", "memfunc", "statmem":
+			case "class":
+				// Member functions of a class-template instantiation
+				// carry the enclosing class template as their origin.
+				if !r.Class.Valid() {
+					report("ro#%d: free routine references \"class\" template te#%d, want a function-like kind",
+						r.ID, t.ID)
+				}
+			default:
+				report("ro#%d: references %q template te#%d, want a function-like kind",
+					r.ID, t.Kind, t.ID)
+			}
+		}
+	}
 }

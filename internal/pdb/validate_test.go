@@ -69,6 +69,159 @@ func TestValidateCatchesBadLocation(t *testing.T) {
 	}
 }
 
+// Cross-reference consistency checks: each case builds a database that
+// is referentially sound item by item but semantically inconsistent.
+func TestValidateCrossRefs(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func() *PDB
+		want    string // substring of the single expected error; "" = clean
+		nErrors int
+	}{
+		{
+			name: "self include",
+			build: func() *PDB {
+				return &PDB{Files: []*SourceFile{{ID: 1, Name: "a.h",
+					Includes: []Ref{{Prefix: "so", ID: 1}}}}}
+			},
+			want: "includes itself", nErrors: 1,
+		},
+		{
+			name: "mutual includes are allowed",
+			build: func() *PDB {
+				return &PDB{Files: []*SourceFile{
+					{ID: 1, Name: "a.h", Includes: []Ref{{Prefix: "so", ID: 2}}},
+					{ID: 2, Name: "b.h", Includes: []Ref{{Prefix: "so", ID: 1}}},
+				}}
+			},
+			// An include cycle between distinct files is a lint
+			// finding, not a malformed database.
+			want: "", nErrors: 0,
+		},
+		{
+			name: "inheritance cycle",
+			build: func() *PDB {
+				return &PDB{Classes: []*Class{
+					{ID: 1, Name: "A", Kind: "class",
+						Bases: []BaseClass{{Access: "pub", Class: Ref{Prefix: "cl", ID: 2}}}},
+					{ID: 2, Name: "B", Kind: "class",
+						Bases: []BaseClass{{Access: "pub", Class: Ref{Prefix: "cl", ID: 1}}}},
+				}}
+			},
+			want: "inheritance cycle", nErrors: 1,
+		},
+		{
+			name: "self inheritance",
+			build: func() *PDB {
+				return &PDB{Classes: []*Class{{ID: 1, Name: "A", Kind: "class",
+					Bases: []BaseClass{{Access: "pub", Class: Ref{Prefix: "cl", ID: 1}}}}}}
+			},
+			want: "inheritance cycle", nErrors: 1,
+		},
+		{
+			name: "diamond inheritance is acyclic",
+			build: func() *PDB {
+				return &PDB{Classes: []*Class{
+					{ID: 1, Name: "Top", Kind: "class"},
+					{ID: 2, Name: "L", Kind: "class",
+						Bases: []BaseClass{{Access: "pub", Class: Ref{Prefix: "cl", ID: 1}}}},
+					{ID: 3, Name: "R", Kind: "class",
+						Bases: []BaseClass{{Access: "pub", Class: Ref{Prefix: "cl", ID: 1}}}},
+					{ID: 4, Name: "Bottom", Kind: "class", Bases: []BaseClass{
+						{Access: "pub", Class: Ref{Prefix: "cl", ID: 2}},
+						{Access: "pub", Class: Ref{Prefix: "cl", ID: 3}},
+					}},
+				}}
+			},
+			want: "", nErrors: 0,
+		},
+		{
+			name: "member function claiming another class",
+			build: func() *PDB {
+				return &PDB{
+					Classes: []*Class{
+						{ID: 1, Name: "A", Kind: "class",
+							Funcs: []FuncRef{{Routine: Ref{Prefix: "ro", ID: 1}}}},
+						{ID: 2, Name: "B", Kind: "class"},
+					},
+					Routines: []*Routine{{ID: 1, Name: "f", Access: "pub",
+						Class: Ref{Prefix: "cl", ID: 2}}},
+				}
+			},
+			want: "claims class", nErrors: 1,
+		},
+		{
+			name: "member function with matching back-reference",
+			build: func() *PDB {
+				return &PDB{
+					Classes: []*Class{{ID: 1, Name: "A", Kind: "class",
+						Funcs: []FuncRef{{Routine: Ref{Prefix: "ro", ID: 1}}}}},
+					Routines: []*Routine{{ID: 1, Name: "f", Access: "pub",
+						Class: Ref{Prefix: "cl", ID: 1}}},
+				}
+			},
+			want: "", nErrors: 0,
+		},
+		{
+			name: "class instantiated from function template",
+			build: func() *PDB {
+				return &PDB{
+					Templates: []*Template{{ID: 1, Name: "max", Kind: "func"}},
+					Classes: []*Class{{ID: 1, Name: "max<int>", Kind: "class",
+						Template: Ref{Prefix: "te", ID: 1}, Instantiation: true}},
+				}
+			},
+			want: `want kind "class"`, nErrors: 1,
+		},
+		{
+			name: "free routine instantiated from class template",
+			build: func() *PDB {
+				return &PDB{
+					Templates: []*Template{{ID: 1, Name: "Stack", Kind: "class"}},
+					Routines: []*Routine{{ID: 1, Name: "push", Access: "pub",
+						Template: Ref{Prefix: "te", ID: 1}}},
+				}
+			},
+			want: "function-like kind", nErrors: 1,
+		},
+		{
+			name: "member routine may carry its class template",
+			build: func() *PDB {
+				return &PDB{
+					Templates: []*Template{{ID: 1, Name: "Stack", Kind: "class"}},
+					Classes: []*Class{{ID: 1, Name: "Stack<int>", Kind: "class",
+						Template: Ref{Prefix: "te", ID: 1}, Instantiation: true}},
+					Routines: []*Routine{{ID: 1, Name: "push", Access: "pub",
+						Class: Ref{Prefix: "cl", ID: 1}, Template: Ref{Prefix: "te", ID: 1}}},
+				}
+			},
+			want: "", nErrors: 0,
+		},
+		{
+			name: "routine instantiated from memfunc template",
+			build: func() *PDB {
+				return &PDB{
+					Templates: []*Template{{ID: 1, Name: "push", Kind: "memfunc"}},
+					Routines: []*Routine{{ID: 1, Name: "push", Access: "pub",
+						Template: Ref{Prefix: "te", ID: 1}}},
+				}
+			},
+			want: "", nErrors: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := tc.build().Validate()
+			if len(errs) != tc.nErrors {
+				t.Fatalf("errors = %v, want %d", errs, tc.nErrors)
+			}
+			if tc.want != "" && !strings.Contains(errs[0].Error(), tc.want) {
+				t.Errorf("error = %q, want substring %q", errs[0], tc.want)
+			}
+		})
+	}
+}
+
 // Property: every randomly generated database (which draws references
 // only from existing ID ranges) validates cleanly, and survives the
 // write/read cycle still valid.

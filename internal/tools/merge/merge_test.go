@@ -1,0 +1,133 @@
+package merge
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pdt/internal/analysis"
+	"pdt/internal/core"
+	"pdt/internal/ductape"
+	"pdt/internal/ilanalyzer"
+)
+
+// compile turns one virtual translation unit (plus any headers) into a
+// DUCTAPE database.
+func compile(t *testing.T, name, src string, headers map[string]string) *ductape.PDB {
+	t.Helper()
+	opts := core.Options{}
+	fs := core.NewFileSet(opts)
+	for h, text := range headers {
+		fs.AddVirtualFile(h, text)
+	}
+	res := core.CompileSource(fs, name, src, opts)
+	for _, d := range res.Diagnostics {
+		t.Fatalf("compile %s: %v", name, d)
+	}
+	return ductape.FromRaw(ilanalyzer.Analyze(res.Unit, ilanalyzer.Options{}))
+}
+
+// writePDB serialises a database to a file on disk for Files().
+func writePDB(t *testing.T, dir, name string, db *ductape.PDB) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	var sb strings.Builder
+	if err := db.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFilesMergesOnDisk(t *testing.T) {
+	// Both units instantiate Box<int>; the on-disk merge must collapse
+	// the duplicates (the paper's duplicate-instantiation elimination).
+	headers := map[string]string{"s.h": "#ifndef S_H\n#define S_H\n" +
+		"template <class T> class Box { public: Box() { } T v; int get() { return 1; } };\n" +
+		"#endif\n"}
+	db1 := compile(t, "u1.cpp",
+		"#include \"s.h\"\nvoid u1() { Box<int> b; b.get(); }\n", headers)
+	db2 := compile(t, "u2.cpp",
+		"#include \"s.h\"\nvoid u2() { Box<int> b; b.get(); }\n", headers)
+
+	dir := t.TempDir()
+	var paths []string
+	for i, db := range []*ductape.PDB{db1, db2} {
+		paths = append(paths, writePDB(t, dir, []string{"u1.pdb", "u2.pdb"}[i], db))
+	}
+	var out strings.Builder
+	if err := Files(&out, paths); err != nil {
+		t.Fatalf("Files: %v", err)
+	}
+	if !strings.HasPrefix(out.String(), "<PDB 1.0>") {
+		t.Fatalf("output is not a PDB: %q", out.String()[:20])
+	}
+	merged, err := ductape.Read(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("merged output unreadable: %v", err)
+	}
+	boxes := 0
+	for _, c := range merged.Classes() {
+		if c.Name() == "Box<int>" {
+			boxes++
+		}
+	}
+	if boxes != 1 {
+		t.Errorf("Box<int> appears %d times after merge, want 1", boxes)
+	}
+	if errs := merged.Raw().Validate(); len(errs) != 0 {
+		t.Errorf("merged output invalid: %v", errs[0])
+	}
+}
+
+// Two translation units that disagree on a routine's return type: both
+// definitions must survive the merge (their signatures differ), which
+// is exactly what the odr-duplicate analysis pass then reports.
+func TestMergeKeepsConflictingSignatures(t *testing.T) {
+	db1 := compile(t, "u1.cpp", "int helper(int x) { return x + 1; }\n", nil)
+	db2 := compile(t, "u2.cpp", "double helper(int x) { return x * 0.5; }\n", nil)
+	merged := Merge(db1, db2)
+
+	var sigs []string
+	for _, r := range merged.Routines() {
+		if r.Name() == "helper" {
+			if sig := r.Signature(); sig != nil {
+				sigs = append(sigs, sig.Name())
+			}
+		}
+	}
+	if len(sigs) != 2 || sigs[0] == sigs[1] {
+		t.Fatalf("helper signatures after merge = %v, want two distinct", sigs)
+	}
+
+	diags := analysis.NewODRDuplicatePass().Run(merged)
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "helper") &&
+			strings.Contains(d.Message, "conflicting signatures") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("odr-duplicate missed the conflict: %v", diags)
+	}
+}
+
+func TestFilesErrors(t *testing.T) {
+	var out strings.Builder
+	if err := Files(&out, nil); err == nil ||
+		!strings.Contains(err.Error(), "no input files") {
+		t.Errorf("no-input error = %v", err)
+	}
+	if err := Files(&out, []string{"/nonexistent/x.pdb"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.pdb")
+	os.WriteFile(bad, []byte("not a pdb"), 0o644)
+	if err := Files(&out, []string{bad}); err == nil {
+		t.Error("malformed file accepted")
+	}
+}

@@ -1,0 +1,15 @@
+#ifndef A_H
+#define A_H
+// Includes b.h (which includes a.h back: an include cycle) and
+// unused.h (whose declarations nothing here touches).
+#include "b.h"
+#include "unused.h"
+
+class Alpha {
+public:
+    Alpha() : id(0) { }
+    int tag() const { return id; }
+private:
+    int id;
+};
+#endif

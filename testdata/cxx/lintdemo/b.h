@@ -1,0 +1,12 @@
+#ifndef B_H
+#define B_H
+#include "a.h"
+
+class Beta {
+public:
+    Beta() : id(1) { }
+    int tag() const { return id; }
+private:
+    int id;
+};
+#endif

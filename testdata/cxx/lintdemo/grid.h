@@ -1,0 +1,12 @@
+#ifndef GRID_H
+#define GRID_H
+
+template <class T, int N>
+class Grid {
+public:
+    Grid() : used(0) { }
+    int cap() const { return N; }
+private:
+    int used;
+};
+#endif

@@ -1,0 +1,36 @@
+#include "a.h"
+#include "shapes.h"
+#include "grid.h"
+
+int oneEntry();
+double twoEntry();
+
+// Never called from main: a dead routine.
+int deadHelper(int x) { return x * 7; }
+
+int gridSum() {
+    Grid<int, 1> g1;
+    Grid<int, 2> g2;
+    Grid<int, 3> g3;
+    Grid<int, 4> g4;
+    Grid<int, 5> g5;
+    Grid<int, 6> g6;
+    Grid<int, 7> g7;
+    Grid<int, 8> g8;
+    Grid<int, 9> g9;
+    Grid<int, 10> g10;
+    return g1.cap() + g2.cap() + g3.cap() + g4.cap() + g5.cap() +
+           g6.cap() + g7.cap() + g8.cap() + g9.cap() + g10.cap();
+}
+
+int main() {
+    Alpha a;
+    Circle c;
+    c.scale(3, 2);
+    double total = c.area() + twoEntry();
+    int n = a.tag() + oneEntry() + gridSum();
+    if (total > 0.0) {
+        n = n + 1;
+    }
+    return n;
+}

@@ -1,0 +1,10 @@
+#include "a.h"
+
+// Conflicts with two.cpp: same name and parameters, different return
+// type — an ODR violation across translation units.
+int helper(int x) { return x + 1; }
+
+int oneEntry() {
+    Alpha a;
+    return helper(a.tag());
+}

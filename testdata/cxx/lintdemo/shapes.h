@@ -1,0 +1,23 @@
+#ifndef SHAPES_H
+#define SHAPES_H
+
+// Polymorphic base with a non-virtual destructor.
+class Shape {
+public:
+    Shape() { }
+    ~Shape() { }
+    virtual double area() const { return 0.0; }
+    virtual void scale(double f) { }
+};
+
+class Circle : public Shape {
+public:
+    Circle() : r(1.0) { }
+    double area() const { return r * r * 3.14159; }
+    // Different arity: hides Shape::scale(double) instead of
+    // overriding it.
+    void scale(int num, int den) { r = r * num / den; }
+private:
+    double r;
+};
+#endif

@@ -1,0 +1,4 @@
+// Conflicts with one.cpp's helper(int): different return type.
+double helper(int x) { return x * 0.5; }
+
+double twoEntry() { return helper(2); }

@@ -1,0 +1,11 @@
+#ifndef UNUSED_H
+#define UNUSED_H
+
+class Widget {
+public:
+    Widget() : w(0) { }
+    int weight() const { return w; }
+private:
+    int w;
+};
+#endif
