@@ -3,39 +3,37 @@
 //
 // Usage:
 //
-//	pdbconv [-o out.txt] file.pdb
+//	pdbconv [-o out.txt] [-j N] file.pdb
+//
+// Exit codes: 0 success, 3 usage or I/O failure.
 package main
 
 import (
-	"flag"
-	"fmt"
+	"context"
+	"io"
 	"os"
 
-	"pdt/internal/ductape"
+	"pdt/internal/cliutil"
+	"pdt/internal/pdbio"
 	"pdt/internal/tools/conv"
 )
 
 func main() {
-	out := flag.String("o", "", "output file (default: stdout)")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: pdbconv [-o out.txt] file.pdb")
-		os.Exit(2)
-	}
-	db, err := ductape.Load(flag.Arg(0))
+	t := cliutil.New("pdbconv", "pdbconv [-o out.txt] [-j N] file.pdb")
+	out := t.OutFlag()
+	workers := t.WorkersFlag()
+	t.Parse(os.Args[1:], 1, 1)
+
+	db, err := pdbio.Load(context.Background(), t.Flags.Arg(0),
+		pdbio.WithWorkers(*workers))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pdbconv: %v\n", err)
-		os.Exit(1)
+		t.Fatalf("%v", err)
 	}
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pdbconv: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
+	err = t.WithOutput(*out, func(w io.Writer) error {
+		conv.Convert(w, db)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%v", err)
 	}
-	conv.Convert(w, db)
 }

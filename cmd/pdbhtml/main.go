@@ -3,38 +3,39 @@
 //
 // Usage:
 //
-//	pdbhtml [-d outdir] file.pdb
+//	pdbhtml [-d outdir] [-nosrc] [-j N] file.pdb
+//
+// Exit codes: 0 success, 3 usage or I/O failure.
 package main
 
 import (
-	"flag"
+	"context"
 	"fmt"
 	"os"
 
-	"pdt/internal/ductape"
+	"pdt/internal/cliutil"
+	"pdt/internal/pdbio"
 	"pdt/internal/tools/html"
 )
 
 func main() {
-	dir := flag.String("d", "pdbhtml-out", "output directory")
-	noSrc := flag.Bool("nosrc", false, "do not generate source listings")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: pdbhtml [-d outdir] file.pdb")
-		os.Exit(2)
-	}
-	db, err := ductape.Load(flag.Arg(0))
+	t := cliutil.New("pdbhtml", "pdbhtml [-d outdir] [-nosrc] [-j N] file.pdb")
+	dir := t.Flags.String("d", "pdbhtml-out", "output directory")
+	noSrc := t.Flags.Bool("nosrc", false, "do not generate source listings")
+	workers := t.WorkersFlag()
+	t.Parse(os.Args[1:], 1, 1)
+
+	db, err := pdbio.Load(context.Background(), t.Flags.Arg(0),
+		pdbio.WithWorkers(*workers))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pdbhtml: %v\n", err)
-		os.Exit(1)
+		t.Fatalf("%v", err)
 	}
 	loader := html.DiskLoader
 	if *noSrc {
 		loader = nil
 	}
 	if err := html.Generate(db, *dir, loader); err != nil {
-		fmt.Fprintf(os.Stderr, "pdbhtml: %v\n", err)
-		os.Exit(1)
+		t.Fatalf("%v", err)
 	}
 	fmt.Printf("pdbhtml: wrote documentation to %s/\n", *dir)
 }

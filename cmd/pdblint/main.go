@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	pdblint [-passes=a,b] [-format=text|json] [-serial] [-template-bloat=N] file.pdb
+//	pdblint [-passes=a,b] [-format=text|json] [-serial] [-j N]
+//	        [-template-bloat=N] file.pdb
 //	pdblint -list
 //
 // Exit codes: 0 clean (or info-only), 1 warnings, 2 errors, 3 usage or
@@ -12,23 +13,27 @@
 package main
 
 import (
-	"flag"
+	"context"
 	"fmt"
 	"os"
 	"strings"
 
 	"pdt/internal/analysis"
-	"pdt/internal/ductape"
+	"pdt/internal/cliutil"
+	"pdt/internal/pdbio"
 )
 
 func main() {
-	passNames := flag.String("passes", "", "comma-separated pass names (default: all)")
-	format := flag.String("format", "text", "output format: text or json")
-	serial := flag.Bool("serial", false, "run passes serially instead of in parallel")
-	bloat := flag.Int("template-bloat", analysis.DefaultTemplateBloatThreshold,
+	t := cliutil.New("pdblint",
+		"pdblint [-passes=a,b] [-format=text|json] [-serial] [-j N] [-template-bloat=N] file.pdb")
+	passNames := t.Flags.String("passes", "", "comma-separated pass names (default: all)")
+	format := t.FormatFlag("text", "json")
+	serial := t.Flags.Bool("serial", false, "run passes serially instead of in parallel")
+	workers := t.WorkersFlag()
+	bloat := t.Flags.Int("template-bloat", analysis.DefaultTemplateBloatThreshold,
 		"instantiation-count threshold for the template-bloat pass")
-	list := flag.Bool("list", false, "list the available passes and exit")
-	flag.Parse()
+	list := t.Flags.Bool("list", false, "list the available passes and exit")
+	t.Parse(os.Args[1:], 0, 1)
 
 	if *list {
 		for _, p := range analysis.All() {
@@ -36,14 +41,8 @@ func main() {
 		}
 		return
 	}
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr,
-			"usage: pdblint [-passes=a,b] [-format=text|json] [-serial] [-template-bloat=N] file.pdb")
-		os.Exit(3)
-	}
-	if *format != "text" && *format != "json" {
-		fmt.Fprintf(os.Stderr, "pdblint: unknown format %q\n", *format)
-		os.Exit(3)
+	if t.Flags.NArg() != 1 {
+		t.Usage()
 	}
 
 	var names []string
@@ -56,8 +55,7 @@ func main() {
 	}
 	passes, err := analysis.Select(names)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pdblint: %v\n", err)
-		os.Exit(3)
+		t.Fatalf("%v", err)
 	}
 	for _, p := range passes {
 		if tb, ok := p.(*analysis.TemplateBloatPass); ok {
@@ -65,10 +63,10 @@ func main() {
 		}
 	}
 
-	db, err := ductape.Load(flag.Arg(0))
+	db, err := pdbio.Load(context.Background(), t.Flags.Arg(0),
+		pdbio.WithWorkers(*workers))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pdblint: %v\n", err)
-		os.Exit(3)
+		t.Fatalf("%v", err)
 	}
 
 	opts := analysis.Options{}
@@ -83,8 +81,7 @@ func main() {
 		err = analysis.WriteText(os.Stdout, diags)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pdblint: %v\n", err)
-		os.Exit(3)
+		t.Fatalf("%v", err)
 	}
 	os.Exit(analysis.ExitCode(diags))
 }

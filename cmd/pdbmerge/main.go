@@ -1,39 +1,45 @@
 // pdbmerge merges PDB files from separate compilations into one PDB
 // file, eliminating duplicate template instantiations in the process
-// (Table 2).
+// (Table 2). Inputs are loaded concurrently and merged with a balanced
+// tree reduction; the result is identical to a sequential
+// left-to-right merge.
 //
 // Usage:
 //
-//	pdbmerge [-o out.pdb] a.pdb b.pdb ...
+//	pdbmerge [-o out.pdb] [-j N] [-strict] a.pdb b.pdb ...
+//
+// Exit codes: 0 success, 3 usage or I/O failure.
 package main
 
 import (
-	"flag"
-	"fmt"
+	"context"
+	"io"
 	"os"
+	"os/signal"
 
-	"pdt/internal/tools/merge"
+	"pdt/internal/cliutil"
+	"pdt/internal/pdbio"
 )
 
 func main() {
-	out := flag.String("o", "", "output PDB file (default: stdout)")
-	flag.Parse()
-	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: pdbmerge [-o out.pdb] a.pdb b.pdb ...")
-		os.Exit(2)
+	t := cliutil.New("pdbmerge", "pdbmerge [-o out.pdb] [-j N] [-strict] a.pdb b.pdb ...")
+	out := t.OutFlag()
+	workers := t.WorkersFlag()
+	strict := t.Flags.Bool("strict", false,
+		"validate the referential integrity of every input database")
+	t.Parse(os.Args[1:], 1, -1)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := []pdbio.Option{pdbio.WithWorkers(*workers)}
+	if *strict {
+		opts = append(opts, pdbio.WithStrictValidation())
 	}
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pdbmerge: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
-	}
-	if err := merge.Files(w, flag.Args()); err != nil {
-		fmt.Fprintf(os.Stderr, "%v\n", err)
-		os.Exit(1)
+	err := t.WithOutput(*out, func(w io.Writer) error {
+		return pdbio.MergeFiles(ctx, w, t.Flags.Args(), opts...)
+	})
+	if err != nil {
+		t.Fatalf("%v", err)
 	}
 }

@@ -3,33 +3,34 @@
 //
 // Usage:
 //
-//	pdbtree [-files] [-classes] [-calls] file.pdb
+//	pdbtree [-files] [-classes] [-calls] [-j N] file.pdb
 //
 // With no selection flags, all three trees are printed.
+// Exit codes: 0 success, 3 usage or I/O failure.
 package main
 
 import (
-	"flag"
+	"context"
 	"fmt"
 	"os"
 
-	"pdt/internal/ductape"
+	"pdt/internal/cliutil"
+	"pdt/internal/pdbio"
 	"pdt/internal/tools/tree"
 )
 
 func main() {
-	files := flag.Bool("files", false, "print the file inclusion tree")
-	classes := flag.Bool("classes", false, "print the class hierarchy")
-	calls := flag.Bool("calls", false, "print the static call graph")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: pdbtree [-files] [-classes] [-calls] file.pdb")
-		os.Exit(2)
-	}
-	db, err := ductape.Load(flag.Arg(0))
+	t := cliutil.New("pdbtree", "pdbtree [-files] [-classes] [-calls] [-j N] file.pdb")
+	files := t.Flags.Bool("files", false, "print the file inclusion tree")
+	classes := t.Flags.Bool("classes", false, "print the class hierarchy")
+	calls := t.Flags.Bool("calls", false, "print the static call graph")
+	workers := t.WorkersFlag()
+	t.Parse(os.Args[1:], 1, 1)
+
+	db, err := pdbio.Load(context.Background(), t.Flags.Arg(0),
+		pdbio.WithWorkers(*workers))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pdbtree: %v\n", err)
-		os.Exit(1)
+		t.Fatalf("%v", err)
 	}
 	all := !*files && !*classes && !*calls
 	if all || *files {

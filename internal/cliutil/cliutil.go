@@ -1,0 +1,129 @@
+// Package cliutil centralizes the flag and exit-code conventions the
+// PDB command-line tools share, so -o, -j, and -format behave
+// identically across pdbmerge, pdbconv, pdbtree, pdblint, and friends.
+//
+// The exit-code convention follows pdblint: 0 is success, codes 1 and
+// 2 are reserved for tool-specific findings severities, and 3 means a
+// usage or I/O failure.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Exit codes shared by the tools.
+const (
+	ExitOK    = 0
+	ExitUsage = 3
+)
+
+// Tool carries one command-line tool's name, usage line, flag set, and
+// exit plumbing. Stderr and Exit are swappable for tests.
+type Tool struct {
+	Name      string
+	UsageLine string
+	Flags     *flag.FlagSet
+	Stderr    io.Writer
+	Exit      func(int)
+
+	format  *string
+	allowed []string
+}
+
+// New builds a Tool around a fresh flag set.
+func New(name, usageLine string) *Tool {
+	t := &Tool{
+		Name:      name,
+		UsageLine: usageLine,
+		Flags:     flag.NewFlagSet(name, flag.ContinueOnError),
+		Stderr:    os.Stderr,
+		Exit:      os.Exit,
+	}
+	t.Flags.Usage = func() {
+		fmt.Fprintf(t.Stderr, "usage: %s\n", t.UsageLine)
+		t.Flags.PrintDefaults()
+	}
+	return t
+}
+
+// OutFlag registers the standard -o output flag.
+func (t *Tool) OutFlag() *string {
+	return t.Flags.String("o", "", "output file (default: stdout)")
+}
+
+// WorkersFlag registers the standard -j parallelism flag, consumed by
+// the pdbio load and merge paths.
+func (t *Tool) WorkersFlag() *int {
+	return t.Flags.Int("j", 0, "parallel workers (0 = one per CPU, 1 = sequential)")
+}
+
+// FormatFlag registers the standard -format flag restricted to the
+// given values; the first is the default. Parse validates the choice.
+func (t *Tool) FormatFlag(allowed ...string) *string {
+	t.allowed = allowed
+	usage := "output format: " + allowed[0]
+	for _, a := range allowed[1:] {
+		usage += " or " + a
+	}
+	t.format = t.Flags.String("format", allowed[0], usage)
+	return t.format
+}
+
+// Parse parses args, validates any -format choice, and enforces an
+// argument-count range (maxArgs < 0 means unlimited). Violations print
+// the usage line and exit with ExitUsage.
+func (t *Tool) Parse(args []string, minArgs, maxArgs int) {
+	t.Flags.SetOutput(t.Stderr)
+	if err := t.Flags.Parse(args); err != nil {
+		t.Exit(ExitUsage)
+		return
+	}
+	if t.format != nil {
+		ok := false
+		for _, a := range t.allowed {
+			ok = ok || *t.format == a
+		}
+		if !ok {
+			t.Fatalf("unknown format %q", *t.format)
+			return
+		}
+	}
+	n := t.Flags.NArg()
+	if n < minArgs || (maxArgs >= 0 && n > maxArgs) {
+		t.Usage()
+	}
+}
+
+// Usage prints the usage line and exits with ExitUsage.
+func (t *Tool) Usage() {
+	fmt.Fprintf(t.Stderr, "usage: %s\n", t.UsageLine)
+	t.Exit(ExitUsage)
+}
+
+// Fatalf reports a failure as "name: message" and exits with
+// ExitUsage, the shared usage/I-O failure code.
+func (t *Tool) Fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(t.Stderr, "%s: %s\n", t.Name, fmt.Sprintf(format, args...))
+	t.Exit(ExitUsage)
+}
+
+// WithOutput runs fn against the -o destination: stdout when path is
+// empty, otherwise a freshly created file that is closed afterwards
+// (reporting the close error, so a full disk is not silent).
+func (t *Tool) WithOutput(path string, fn func(io.Writer) error) error {
+	if path == "" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

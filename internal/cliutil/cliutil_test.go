@@ -1,0 +1,150 @@
+package cliutil
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// exitSentinel emulates os.Exit in tests: Exit records the code and
+// panics so execution stops where the real tool would terminate.
+type exitSentinel struct{ code int }
+
+// newTestTool builds a Tool whose Stderr and Exit are captured.
+func newTestTool(name, usage string) (*Tool, *strings.Builder) {
+	t := New(name, usage)
+	var stderr strings.Builder
+	t.Stderr = &stderr
+	t.Exit = func(code int) { panic(exitSentinel{code}) }
+	return t, &stderr
+}
+
+// run invokes fn and reports the exit code it terminated with, or -1
+// if it returned normally.
+func run(t *testing.T, fn func()) int {
+	t.Helper()
+	code := -1
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s, ok := r.(exitSentinel)
+				if !ok {
+					panic(r)
+				}
+				code = s.code
+			}
+		}()
+		fn()
+	}()
+	return code
+}
+
+func TestParseAcceptsValidArgs(t *testing.T) {
+	tool, _ := newTestTool("demo", "demo [-o out] file")
+	out := tool.OutFlag()
+	workers := tool.WorkersFlag()
+	code := run(t, func() {
+		tool.Parse([]string{"-o", "x.txt", "-j", "3", "input.pdb"}, 1, 1)
+	})
+	if code != -1 {
+		t.Fatalf("Parse exited with %d on valid args", code)
+	}
+	if *out != "x.txt" || *workers != 3 || tool.Flags.Arg(0) != "input.pdb" {
+		t.Errorf("flags = (%q, %d, %q)", *out, *workers, tool.Flags.Arg(0))
+	}
+}
+
+func TestParseArgCountViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		min, max int
+	}{
+		{"too-few", nil, 1, 1},
+		{"too-many", []string{"a", "b"}, 1, 1},
+	}
+	for _, tc := range cases {
+		tool, stderr := newTestTool("demo", "demo file")
+		code := run(t, func() { tool.Parse(tc.args, tc.min, tc.max) })
+		if code != ExitUsage {
+			t.Errorf("%s: exit = %d, want %d", tc.name, code, ExitUsage)
+		}
+		if !strings.Contains(stderr.String(), "usage: demo file") {
+			t.Errorf("%s: stderr %q lacks the usage line", tc.name, stderr.String())
+		}
+	}
+	// maxArgs < 0 means unlimited.
+	tool, _ := newTestTool("demo", "demo file...")
+	if code := run(t, func() { tool.Parse([]string{"a", "b", "c"}, 1, -1) }); code != -1 {
+		t.Errorf("unlimited: exit = %d, want none", code)
+	}
+}
+
+func TestParseBadFlag(t *testing.T) {
+	tool, _ := newTestTool("demo", "demo file")
+	if code := run(t, func() { tool.Parse([]string{"-nosuch"}, 0, -1) }); code != ExitUsage {
+		t.Errorf("bad flag: exit = %d, want %d", code, ExitUsage)
+	}
+}
+
+func TestFormatFlagValidation(t *testing.T) {
+	tool, _ := newTestTool("demo", "demo [-format=text|json] file")
+	format := tool.FormatFlag("text", "json")
+	if *format != "text" {
+		t.Errorf("default format = %q, want text", *format)
+	}
+	if code := run(t, func() { tool.Parse([]string{"-format=json", "f"}, 1, 1) }); code != -1 {
+		t.Fatalf("valid format rejected with exit %d", code)
+	}
+	if *format != "json" {
+		t.Errorf("format = %q, want json", *format)
+	}
+
+	tool2, stderr := newTestTool("demo", "demo [-format=text|json] file")
+	tool2.FormatFlag("text", "json")
+	if code := run(t, func() { tool2.Parse([]string{"-format=xml", "f"}, 1, 1) }); code != ExitUsage {
+		t.Errorf("bad format: exit = %d, want %d", code, ExitUsage)
+	}
+	if !strings.Contains(stderr.String(), `unknown format "xml"`) {
+		t.Errorf("stderr %q lacks the format complaint", stderr.String())
+	}
+}
+
+func TestFatalfFormat(t *testing.T) {
+	tool, stderr := newTestTool("demo", "demo")
+	code := run(t, func() { tool.Fatalf("boom %d", 7) })
+	if code != ExitUsage {
+		t.Errorf("exit = %d, want %d", code, ExitUsage)
+	}
+	if got := stderr.String(); got != "demo: boom 7\n" {
+		t.Errorf("stderr = %q", got)
+	}
+}
+
+func TestWithOutputFile(t *testing.T) {
+	tool, _ := newTestTool("demo", "demo")
+	path := filepath.Join(t.TempDir(), "out.txt")
+	err := tool.WithOutput(path, func(w io.Writer) error {
+		_, werr := io.WriteString(w, "hello\n")
+		return werr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello\n" {
+		t.Errorf("file = %q", data)
+	}
+
+	// Creation failure surfaces as the returned error, not an exit.
+	err = tool.WithOutput(filepath.Join(t.TempDir(), "no", "dir", "x"),
+		func(io.Writer) error { return nil })
+	if err == nil {
+		t.Error("uncreatable path should fail")
+	}
+}

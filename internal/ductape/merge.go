@@ -145,6 +145,10 @@ func (m *merger) add(db *PDB) {
 			m.macroKeys[key] = m.nextMacro
 			cp := *mc.raw
 			cp.ID = m.nextMacro
+			// Remap the location here (macros have no pass-2 rewrite):
+			// a stale file ref would point into the source db's ID space
+			// and corrupt the dedup key of any subsequent merge.
+			cp.Loc = remapLocFiles(cp.Loc, ids.file)
 			m.out.Macros = append(m.out.Macros, &cp)
 		}
 	}
@@ -171,22 +175,28 @@ func routineKey(r *Routine) string {
 	return owner + "|" + r.Name() + "|" + sig
 }
 
-func (m *merger) rewriteRefs(db *PDB, ids idMap) {
-	remapRef := func(ref pdb.Ref, table map[int]int) pdb.Ref {
-		if !ref.Valid() {
-			return pdb.Ref{}
-		}
-		if nid, ok := table[ref.ID]; ok {
-			return pdb.Ref{Prefix: ref.Prefix, ID: nid}
-		}
+// remapRef rewrites one reference through a per-source-db ID table.
+func remapRef(ref pdb.Ref, table map[int]int) pdb.Ref {
+	if !ref.Valid() {
 		return pdb.Ref{}
 	}
-	remapLoc := func(l pdb.Loc) pdb.Loc {
-		if !l.Valid() {
-			return pdb.Loc{}
-		}
-		return pdb.Loc{File: remapRef(l.File, ids.file), Line: l.Line, Col: l.Col}
+	if nid, ok := table[ref.ID]; ok {
+		return pdb.Ref{Prefix: ref.Prefix, ID: nid}
 	}
+	return pdb.Ref{}
+}
+
+// remapLocFiles is the file-reference rewrite shared by pass 1
+// (macros) and pass 2 (everything else).
+func remapLocFiles(l pdb.Loc, files map[int]int) pdb.Loc {
+	if !l.Valid() {
+		return pdb.Loc{}
+	}
+	return pdb.Loc{File: remapRef(l.File, files), Line: l.Line, Col: l.Col}
+}
+
+func (m *merger) rewriteRefs(db *PDB, ids idMap) {
+	remapLoc := func(l pdb.Loc) pdb.Loc { return remapLocFiles(l, ids.file) }
 	remapPos := func(p pdb.Pos) pdb.Pos {
 		return pdb.Pos{
 			HeaderBegin: remapLoc(p.HeaderBegin), HeaderEnd: remapLoc(p.HeaderEnd),

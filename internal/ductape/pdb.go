@@ -85,8 +85,11 @@ func Read(r io.Reader) (*PDB, error) {
 	return FromRaw(raw), nil
 }
 
-// Load reads a PDB from disk.
-func Load(path string) (*PDB, error) {
+// ReadFile reads a PDB from disk and builds the object graph. It is
+// the canonical single-file constructor; tools that ingest many files,
+// need cancellation, or want the chunked parallel parser should use
+// internal/pdbio instead.
+func ReadFile(path string) (*PDB, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -94,6 +97,12 @@ func Load(path string) (*PDB, error) {
 	defer f.Close()
 	return Read(f)
 }
+
+// Load reads a PDB from disk.
+//
+// Deprecated: Load is kept for compatibility; use ReadFile, or
+// pdbio.Load for the concurrent, option-driven path.
+func Load(path string) (*PDB, error) { return ReadFile(path) }
 
 // Write serializes the database.
 func (p *PDB) Write(w io.Writer) error { return p.raw.Write(w) }

@@ -1,0 +1,119 @@
+package pdb
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The block API is the substrate of internal/pdbio's chunked parallel
+// reader: SplitBlocks cuts the ASCII stream into per-item line blocks
+// (stage 1), ParseBlock turns one block into a single-item fragment on
+// a worker (stage 2), and AppendItems reassembles fragments in input
+// order (stage 3), so the combined result is identical to a sequential
+// Read of the same stream.
+
+// Line is one physical input line, kept with its 1-based number so
+// errors reported from a block still point at the original source line.
+type Line struct {
+	N    int
+	Text string // whitespace-trimmed
+}
+
+// Block is one item's worth of input: the item-head line followed by
+// the item's attribute lines.
+type Block struct {
+	Lines []Line
+}
+
+// SplitBlocks scans r, checks the <PDB> header, groups the remaining
+// non-blank lines into per-item blocks, and hands each block to emit in
+// input order. A non-nil error returned by emit stops the scan and is
+// returned verbatim. The errors SplitBlocks reports itself are exactly
+// the ones the sequential reader would report for the same stream: a
+// missing header, an attribute line before the first item, and an
+// over-long line.
+func SplitBlocks(r io.Reader, maxLineBytes int, emit func(Block) error) error {
+	sc := newLineScanner(r, maxLineBytes)
+	lineNo := 0
+	sawHeader := false
+	var cur []Line
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		b := Block{Lines: cur}
+		cur = nil
+		return emit(b)
+	}
+	for sc.Scan() {
+		lineNo++
+		trimmed := strings.TrimSpace(strings.TrimRight(sc.Text(), "\r\n"))
+		if trimmed == "" {
+			continue
+		}
+		if !sawHeader {
+			if !strings.HasPrefix(trimmed, "<PDB") {
+				return fmt.Errorf("line %d: missing <PDB> header", lineNo)
+			}
+			sawHeader = true
+			continue
+		}
+		if _, _, _, ok := parseItemHead(trimmed); ok {
+			if err := flush(); err != nil {
+				return err
+			}
+			cur = []Line{{N: lineNo, Text: trimmed}}
+			continue
+		}
+		if cur == nil {
+			attr, _, _ := strings.Cut(trimmed, " ")
+			return fmt.Errorf("line %d: attribute %q outside any item", lineNo, attr)
+		}
+		cur = append(cur, Line{N: lineNo, Text: trimmed})
+	}
+	if err := sc.Err(); err != nil {
+		return scanError(err, lineNo, maxLineBytes)
+	}
+	if !sawHeader {
+		return fmt.Errorf("empty input: missing <PDB> header")
+	}
+	return flush()
+}
+
+// ParseBlock parses one item block into a single-item PDB fragment.
+// The first line must be an item head, which SplitBlocks guarantees.
+func ParseBlock(b Block) (*PDB, error) {
+	if len(b.Lines) == 0 {
+		return nil, fmt.Errorf("empty item block")
+	}
+	frag := &PDB{}
+	ip := itemParser{out: frag}
+	head := b.Lines[0]
+	id, name, prefix, ok := parseItemHead(head.Text)
+	if !ok {
+		return nil, fmt.Errorf("line %d: block does not start with an item head: %q",
+			head.N, head.Text)
+	}
+	ip.startItem(id, name, prefix)
+	for _, ln := range b.Lines[1:] {
+		if !ip.attrLine(ln.Text) {
+			attr, _, _ := strings.Cut(ln.Text, " ")
+			return nil, fmt.Errorf("line %d: attribute %q outside any item", ln.N, attr)
+		}
+	}
+	ip.finish()
+	return frag, nil
+}
+
+// AppendItems appends every item of src to p, preserving per-kind
+// order.
+func (p *PDB) AppendItems(src *PDB) {
+	p.Files = append(p.Files, src.Files...)
+	p.Routines = append(p.Routines, src.Routines...)
+	p.Classes = append(p.Classes, src.Classes...)
+	p.Types = append(p.Types, src.Types...)
+	p.Templates = append(p.Templates, src.Templates...)
+	p.Namespaces = append(p.Namespaces, src.Namespaces...)
+	p.Macros = append(p.Macros, src.Macros...)
+}

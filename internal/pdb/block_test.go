@@ -1,0 +1,109 @@
+package pdb
+
+import (
+	"strings"
+	"testing"
+)
+
+// reassemble runs the two parallel-reader stages sequentially: split
+// into blocks, parse each, append in order.
+func reassemble(input string, maxLineBytes int) (*PDB, error) {
+	out := &PDB{}
+	err := SplitBlocks(strings.NewReader(input), maxLineBytes, func(b Block) error {
+		frag, perr := ParseBlock(b)
+		if perr != nil {
+			return perr
+		}
+		out.AppendItems(frag)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func TestSplitBlocksMatchesRead(t *testing.T) {
+	var sb strings.Builder
+	if err := samplePDB().Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	input := sb.String()
+
+	seq, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := reassemble(input, DefaultMaxLineBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w1, w2 strings.Builder
+	if err := seq.Write(&w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Write(&w2); err != nil {
+		t.Fatal(err)
+	}
+	if w1.String() != w2.String() {
+		t.Error("block reassembly differs from sequential read")
+	}
+}
+
+func TestSplitBlocksErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"ro#1 orphan\n",
+		"<PDB 1.0>\nrcall ro#1 no so#1 1 1\n",
+	}
+	for _, input := range cases {
+		_, seqErr := Read(strings.NewReader(input))
+		_, splitErr := reassemble(input, DefaultMaxLineBytes)
+		if seqErr == nil || splitErr == nil {
+			t.Fatalf("input %q: expected both paths to fail (seq %v, split %v)",
+				input, seqErr, splitErr)
+		}
+		if seqErr.Error() != splitErr.Error() {
+			t.Errorf("input %q: split error %q, sequential %q",
+				input, splitErr, seqErr)
+		}
+	}
+}
+
+// FuzzSplitBlocksMatchesRead is the block splitter's equivalence
+// oracle: for any input, splitting + per-block parsing must agree with
+// the sequential reader on both the result bytes and the error text.
+func FuzzSplitBlocksMatchesRead(f *testing.F) {
+	f.Add("<PDB 1.0>\n\nso#1 a.h\n\nro#2 f\n  loc so#1 3 1\n")
+	f.Add("")
+	f.Add("<PDB 1.0>")
+	f.Add("junk\n")
+	f.Add("<PDB 1.0>\nrcall ro#1 no so#1 1 1\n")
+	f.Add("<PDB 1.0>\nso#1 a.h\nincl so#2\nty#3 int\n  kind int\n")
+	f.Add("<PDB 1.0>\r\nso#1 a.h\r\n\r\ncl#2 C\r\n  member m pub var ty#3 so#1 1 1\r\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		const limit = 1 << 16
+		seq, seqErr := ReadLimit(strings.NewReader(input), limit)
+		par, splitErr := reassemble(input, limit)
+		if (seqErr == nil) != (splitErr == nil) {
+			t.Fatalf("error mismatch: sequential %v, split %v", seqErr, splitErr)
+		}
+		if seqErr != nil {
+			if seqErr.Error() != splitErr.Error() {
+				t.Fatalf("error text mismatch: sequential %q, split %q", seqErr, splitErr)
+			}
+			return
+		}
+		var w1, w2 strings.Builder
+		if err := seq.Write(&w1); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.Write(&w2); err != nil {
+			t.Fatal(err)
+		}
+		if w1.String() != w2.String() {
+			t.Fatalf("output mismatch for %q:\nsequential:\n%s\nsplit:\n%s",
+				input, w1.String(), w2.String())
+		}
+	})
+}

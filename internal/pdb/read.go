@@ -2,47 +2,46 @@ package pdb
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 )
 
+// DefaultMaxLineBytes is the scanner token limit of Read: attribute
+// lines carrying template texts or macro bodies can be long, but a
+// single line larger than this aborts the parse.
+const DefaultMaxLineBytes = 4 * 1024 * 1024
+
 // Read parses a PDB file from r.
-func Read(r io.Reader) (*PDB, error) {
+func Read(r io.Reader) (*PDB, error) { return ReadLimit(r, DefaultMaxLineBytes) }
+
+// ReadFile parses the PDB file at path. It is the convenience
+// constructor the command-line tools share; callers that need
+// concurrency, cancellation, or options should use internal/pdbio.
+func ReadFile(path string) (*PDB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// ReadLimit parses a PDB file from r, accepting lines up to
+// maxLineBytes long.
+func ReadLimit(r io.Reader, maxLineBytes int) (*PDB, error) {
 	p := &PDB{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	ip := itemParser{out: p}
+	sc := newLineScanner(r, maxLineBytes)
 
 	lineNo := 0
 	sawHeader := false
-
-	// current item state
-	var curFile *SourceFile
-	var curRoutine *Routine
-	var curClass *Class
-	var curType *Type
-	var curTemplate *Template
-	var curNamespace *Namespace
-	var curMacro *Macro
-	var curMember *Member // pending cmem sub-attributes
-
-	flushMember := func() {
-		if curMember != nil && curClass != nil {
-			curClass.Members = append(curClass.Members, *curMember)
-		}
-		curMember = nil
-	}
-	reset := func() {
-		flushMember()
-		curFile, curRoutine, curClass, curType = nil, nil, nil, nil
-		curTemplate, curNamespace, curMacro = nil, nil, nil
-	}
-
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimRight(sc.Text(), "\r\n")
-		trimmed := strings.TrimSpace(line)
+		trimmed := strings.TrimSpace(strings.TrimRight(sc.Text(), "\r\n"))
 		if trimmed == "" {
 			continue
 		}
@@ -53,242 +52,310 @@ func Read(r io.Reader) (*PDB, error) {
 			sawHeader = true
 			continue
 		}
-		// New item?
 		if id, name, prefix, ok := parseItemHead(trimmed); ok {
-			reset()
-			switch prefix {
-			case PrefixSourceFile:
-				curFile = &SourceFile{ID: id, Name: name}
-				p.Files = append(p.Files, curFile)
-			case PrefixRoutine:
-				curRoutine = &Routine{ID: id, Name: name}
-				p.Routines = append(p.Routines, curRoutine)
-			case PrefixClass:
-				curClass = &Class{ID: id, Name: name}
-				p.Classes = append(p.Classes, curClass)
-			case PrefixType:
-				curType = &Type{ID: id, Name: name}
-				p.Types = append(p.Types, curType)
-			case PrefixTemplate:
-				curTemplate = &Template{ID: id, Name: name}
-				p.Templates = append(p.Templates, curTemplate)
-			case PrefixNamespace:
-				curNamespace = &Namespace{ID: id, Name: name}
-				p.Namespaces = append(p.Namespaces, curNamespace)
-			case PrefixMacro:
-				curMacro = &Macro{ID: id, Name: name}
-				p.Macros = append(p.Macros, curMacro)
-			default:
-				return nil, fmt.Errorf("line %d: unknown item prefix %q", lineNo, prefix)
-			}
+			ip.startItem(id, name, prefix)
 			continue
 		}
-		// Attribute line.
-		attr, rest, _ := strings.Cut(trimmed, " ")
-		switch {
-		case curFile != nil:
-			switch attr {
-			case "sinc":
-				curFile.Includes = append(curFile.Includes, parseRef(rest))
-			case "ssys":
-				curFile.System = rest == "yes"
-			}
-		case curTemplate != nil:
-			switch attr {
-			case "tloc":
-				curTemplate.Loc = parseLoc(rest)
-			case "tkind":
-				curTemplate.Kind = rest
-			case "tclass":
-				curTemplate.Class = parseRef(rest)
-			case "tns":
-				curTemplate.Namespace = parseRef(rest)
-			case "tacs":
-				curTemplate.Access = rest
-			case "ttext":
-				curTemplate.Text = rest
-			case "tpos":
-				curTemplate.Pos = parsePos(rest)
-			}
-		case curRoutine != nil:
-			switch attr {
-			case "rloc":
-				curRoutine.Loc = parseLoc(rest)
-			case "rclass":
-				curRoutine.Class = parseRef(rest)
-			case "rns":
-				curRoutine.Namespace = parseRef(rest)
-			case "racs":
-				curRoutine.Access = rest
-			case "rsig":
-				curRoutine.Signature = parseRef(rest)
-			case "rkind":
-				curRoutine.Kind = rest
-			case "rlink":
-				curRoutine.Linkage = rest
-			case "rstore":
-				curRoutine.Storage = rest
-			case "rvirt":
-				curRoutine.Virtual = rest
-			case "rstatic":
-				curRoutine.Static = rest == "yes"
-			case "rinline":
-				curRoutine.Inline = rest == "yes"
-			case "rconst":
-				curRoutine.Const = rest == "yes"
-			case "rtempl":
-				curRoutine.Template = parseRef(rest)
-			case "rcall":
-				fields := strings.Fields(rest)
-				if len(fields) >= 5 {
-					curRoutine.Calls = append(curRoutine.Calls, Call{
-						Callee:  parseRef(fields[0]),
-						Virtual: fields[1] == "yes",
-						Loc:     parseLocFields(fields[2:5]),
-					})
-				}
-			case "rpos":
-				curRoutine.Pos = parsePos(rest)
-			}
-		case curClass != nil:
-			switch attr {
-			case "cloc":
-				flushMember()
-				curClass.Loc = parseLoc(rest)
-			case "ckind":
-				flushMember()
-				curClass.Kind = rest
-			case "cparent":
-				flushMember()
-				curClass.Parent = parseRef(rest)
-			case "cns":
-				flushMember()
-				curClass.Namespace = parseRef(rest)
-			case "cacs":
-				flushMember()
-				curClass.Access = rest
-			case "ctempl":
-				flushMember()
-				curClass.Template = parseRef(rest)
-			case "cinst":
-				flushMember()
-				curClass.Instantiation = rest == "yes"
-			case "cspec":
-				flushMember()
-				curClass.Specialization = rest == "yes"
-			case "cbase":
-				flushMember()
-				fields := strings.Fields(rest)
-				if len(fields) >= 6 {
-					curClass.Bases = append(curClass.Bases, BaseClass{
-						Access:  fields[0],
-						Virtual: fields[1] == "yes",
-						Class:   parseRef(fields[2]),
-						Loc:     parseLocFields(fields[3:6]),
-					})
-				}
-			case "cfriend":
-				flushMember()
-				curClass.Friends = append(curClass.Friends, rest)
-			case "cfunc":
-				flushMember()
-				fields := strings.Fields(rest)
-				if len(fields) >= 4 {
-					curClass.Funcs = append(curClass.Funcs, FuncRef{
-						Routine: parseRef(fields[0]),
-						Loc:     parseLocFields(fields[1:4]),
-					})
-				}
-			case "cmem":
-				flushMember()
-				curMember = &Member{Name: rest}
-			case "cmloc":
-				if curMember != nil {
-					curMember.Loc = parseLoc(rest)
-				}
-			case "cmacs":
-				if curMember != nil {
-					curMember.Access = rest
-				}
-			case "cmkind":
-				if curMember != nil {
-					curMember.Kind = rest
-				}
-			case "cmtype":
-				if curMember != nil {
-					curMember.Type = parseRef(rest)
-				}
-			case "cmstatic":
-				if curMember != nil {
-					curMember.Static = rest == "yes"
-				}
-			case "cpos":
-				flushMember()
-				curClass.Pos = parsePos(rest)
-			}
-		case curType != nil:
-			switch attr {
-			case "ykind":
-				curType.Kind = rest
-			case "yikind":
-				curType.IntKind = rest
-			case "yptr", "yref", "yelem":
-				curType.Elem = parseRef(rest)
-			case "ynelem":
-				curType.ArrayLen, _ = strconv.ParseInt(rest, 10, 64)
-			case "ytref":
-				curType.Tref = parseRef(rest)
-			case "yqual":
-				curType.Qual = strings.Fields(rest)
-			case "yclass":
-				curType.Class = parseRef(rest)
-			case "yenum":
-				curType.Enum = parseRef(rest)
-			case "yrett":
-				curType.Ret = parseRef(rest)
-			case "yargt":
-				fields := strings.Fields(rest)
-				if len(fields) >= 1 {
-					curType.Args = append(curType.Args, parseRef(fields[0]))
-				}
-				if len(fields) >= 2 && fields[1] == "T" {
-					curType.Ellipsis = true
-				}
-			case "yellip":
-				curType.Ellipsis = rest == "T"
-			}
-		case curNamespace != nil:
-			switch attr {
-			case "nloc":
-				curNamespace.Loc = parseLoc(rest)
-			case "nparent":
-				curNamespace.Parent = parseRef(rest)
-			case "nalias":
-				curNamespace.Alias = rest
-			case "nmem":
-				curNamespace.Members = append(curNamespace.Members, rest)
-			}
-		case curMacro != nil:
-			switch attr {
-			case "mloc":
-				curMacro.Loc = parseLoc(rest)
-			case "mkind":
-				curMacro.Kind = rest
-			case "mtext":
-				curMacro.Text = rest
-			}
-		default:
+		if !ip.attrLine(trimmed) {
+			attr, _, _ := strings.Cut(trimmed, " ")
 			return nil, fmt.Errorf("line %d: attribute %q outside any item", lineNo, attr)
 		}
 	}
-	reset()
+	ip.finish()
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, scanError(err, lineNo, maxLineBytes)
 	}
 	if !sawHeader {
 		return nil, fmt.Errorf("empty input: missing <PDB> header")
 	}
 	return p, nil
+}
+
+// newLineScanner builds the line scanner shared by the sequential
+// reader and the parallel block splitter.
+func newLineScanner(r io.Reader, maxLineBytes int) *bufio.Scanner {
+	if maxLineBytes <= 0 {
+		maxLineBytes = DefaultMaxLineBytes
+	}
+	initial := 64 * 1024
+	if initial > maxLineBytes {
+		initial = maxLineBytes
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, initial), maxLineBytes)
+	return sc
+}
+
+// scanError decorates scanner failures with the position they occurred
+// at: a bare bufio.ErrTooLong names no line, which makes over-long
+// attribute lines in multi-megabyte databases impossible to find.
+func scanError(err error, lastLine, maxLineBytes int) error {
+	if errors.Is(err, bufio.ErrTooLong) {
+		return fmt.Errorf("line %d: line exceeds the %d-byte limit: %w",
+			lastLine+1, maxLineBytes, err)
+	}
+	return err
+}
+
+// itemParser is the per-item state machine shared by the sequential
+// reader and the per-block parser of the parallel path: it consumes
+// item-head and attribute lines and appends finished items to out.
+type itemParser struct {
+	out *PDB
+
+	curFile      *SourceFile
+	curRoutine   *Routine
+	curClass     *Class
+	curType      *Type
+	curTemplate  *Template
+	curNamespace *Namespace
+	curMacro     *Macro
+	curMember    *Member // pending cmem sub-attributes
+}
+
+func (ip *itemParser) flushMember() {
+	if ip.curMember != nil && ip.curClass != nil {
+		ip.curClass.Members = append(ip.curClass.Members, *ip.curMember)
+	}
+	ip.curMember = nil
+}
+
+// finish flushes pending state and closes the current item.
+func (ip *itemParser) finish() {
+	ip.flushMember()
+	ip.curFile, ip.curRoutine, ip.curClass, ip.curType = nil, nil, nil, nil
+	ip.curTemplate, ip.curNamespace, ip.curMacro = nil, nil, nil
+}
+
+// startItem closes the current item and opens a new one of the given
+// kind, appending it to the output database.
+func (ip *itemParser) startItem(id int, name, prefix string) {
+	ip.finish()
+	switch prefix {
+	case PrefixSourceFile:
+		ip.curFile = &SourceFile{ID: id, Name: name}
+		ip.out.Files = append(ip.out.Files, ip.curFile)
+	case PrefixRoutine:
+		ip.curRoutine = &Routine{ID: id, Name: name}
+		ip.out.Routines = append(ip.out.Routines, ip.curRoutine)
+	case PrefixClass:
+		ip.curClass = &Class{ID: id, Name: name}
+		ip.out.Classes = append(ip.out.Classes, ip.curClass)
+	case PrefixType:
+		ip.curType = &Type{ID: id, Name: name}
+		ip.out.Types = append(ip.out.Types, ip.curType)
+	case PrefixTemplate:
+		ip.curTemplate = &Template{ID: id, Name: name}
+		ip.out.Templates = append(ip.out.Templates, ip.curTemplate)
+	case PrefixNamespace:
+		ip.curNamespace = &Namespace{ID: id, Name: name}
+		ip.out.Namespaces = append(ip.out.Namespaces, ip.curNamespace)
+	case PrefixMacro:
+		ip.curMacro = &Macro{ID: id, Name: name}
+		ip.out.Macros = append(ip.out.Macros, ip.curMacro)
+	}
+}
+
+// attrLine consumes one attribute line for the open item. It reports
+// false when no item is open (an attribute outside any item).
+func (ip *itemParser) attrLine(trimmed string) bool {
+	attr, rest, _ := strings.Cut(trimmed, " ")
+	switch {
+	case ip.curFile != nil:
+		switch attr {
+		case "sinc":
+			ip.curFile.Includes = append(ip.curFile.Includes, parseRef(rest))
+		case "ssys":
+			ip.curFile.System = rest == "yes"
+		}
+	case ip.curTemplate != nil:
+		switch attr {
+		case "tloc":
+			ip.curTemplate.Loc = parseLoc(rest)
+		case "tkind":
+			ip.curTemplate.Kind = rest
+		case "tclass":
+			ip.curTemplate.Class = parseRef(rest)
+		case "tns":
+			ip.curTemplate.Namespace = parseRef(rest)
+		case "tacs":
+			ip.curTemplate.Access = rest
+		case "ttext":
+			ip.curTemplate.Text = rest
+		case "tpos":
+			ip.curTemplate.Pos = parsePos(rest)
+		}
+	case ip.curRoutine != nil:
+		switch attr {
+		case "rloc":
+			ip.curRoutine.Loc = parseLoc(rest)
+		case "rclass":
+			ip.curRoutine.Class = parseRef(rest)
+		case "rns":
+			ip.curRoutine.Namespace = parseRef(rest)
+		case "racs":
+			ip.curRoutine.Access = rest
+		case "rsig":
+			ip.curRoutine.Signature = parseRef(rest)
+		case "rkind":
+			ip.curRoutine.Kind = rest
+		case "rlink":
+			ip.curRoutine.Linkage = rest
+		case "rstore":
+			ip.curRoutine.Storage = rest
+		case "rvirt":
+			ip.curRoutine.Virtual = rest
+		case "rstatic":
+			ip.curRoutine.Static = rest == "yes"
+		case "rinline":
+			ip.curRoutine.Inline = rest == "yes"
+		case "rconst":
+			ip.curRoutine.Const = rest == "yes"
+		case "rtempl":
+			ip.curRoutine.Template = parseRef(rest)
+		case "rcall":
+			fields := strings.Fields(rest)
+			if len(fields) >= 5 {
+				ip.curRoutine.Calls = append(ip.curRoutine.Calls, Call{
+					Callee:  parseRef(fields[0]),
+					Virtual: fields[1] == "yes",
+					Loc:     parseLocFields(fields[2:5]),
+				})
+			}
+		case "rpos":
+			ip.curRoutine.Pos = parsePos(rest)
+		}
+	case ip.curClass != nil:
+		switch attr {
+		case "cloc":
+			ip.flushMember()
+			ip.curClass.Loc = parseLoc(rest)
+		case "ckind":
+			ip.flushMember()
+			ip.curClass.Kind = rest
+		case "cparent":
+			ip.flushMember()
+			ip.curClass.Parent = parseRef(rest)
+		case "cns":
+			ip.flushMember()
+			ip.curClass.Namespace = parseRef(rest)
+		case "cacs":
+			ip.flushMember()
+			ip.curClass.Access = rest
+		case "ctempl":
+			ip.flushMember()
+			ip.curClass.Template = parseRef(rest)
+		case "cinst":
+			ip.flushMember()
+			ip.curClass.Instantiation = rest == "yes"
+		case "cspec":
+			ip.flushMember()
+			ip.curClass.Specialization = rest == "yes"
+		case "cbase":
+			ip.flushMember()
+			fields := strings.Fields(rest)
+			if len(fields) >= 6 {
+				ip.curClass.Bases = append(ip.curClass.Bases, BaseClass{
+					Access:  fields[0],
+					Virtual: fields[1] == "yes",
+					Class:   parseRef(fields[2]),
+					Loc:     parseLocFields(fields[3:6]),
+				})
+			}
+		case "cfriend":
+			ip.flushMember()
+			ip.curClass.Friends = append(ip.curClass.Friends, rest)
+		case "cfunc":
+			ip.flushMember()
+			fields := strings.Fields(rest)
+			if len(fields) >= 4 {
+				ip.curClass.Funcs = append(ip.curClass.Funcs, FuncRef{
+					Routine: parseRef(fields[0]),
+					Loc:     parseLocFields(fields[1:4]),
+				})
+			}
+		case "cmem":
+			ip.flushMember()
+			ip.curMember = &Member{Name: rest}
+		case "cmloc":
+			if ip.curMember != nil {
+				ip.curMember.Loc = parseLoc(rest)
+			}
+		case "cmacs":
+			if ip.curMember != nil {
+				ip.curMember.Access = rest
+			}
+		case "cmkind":
+			if ip.curMember != nil {
+				ip.curMember.Kind = rest
+			}
+		case "cmtype":
+			if ip.curMember != nil {
+				ip.curMember.Type = parseRef(rest)
+			}
+		case "cmstatic":
+			if ip.curMember != nil {
+				ip.curMember.Static = rest == "yes"
+			}
+		case "cpos":
+			ip.flushMember()
+			ip.curClass.Pos = parsePos(rest)
+		}
+	case ip.curType != nil:
+		switch attr {
+		case "ykind":
+			ip.curType.Kind = rest
+		case "yikind":
+			ip.curType.IntKind = rest
+		case "yptr", "yref", "yelem":
+			ip.curType.Elem = parseRef(rest)
+		case "ynelem":
+			ip.curType.ArrayLen, _ = strconv.ParseInt(rest, 10, 64)
+		case "ytref":
+			ip.curType.Tref = parseRef(rest)
+		case "yqual":
+			ip.curType.Qual = strings.Fields(rest)
+		case "yclass":
+			ip.curType.Class = parseRef(rest)
+		case "yenum":
+			ip.curType.Enum = parseRef(rest)
+		case "yrett":
+			ip.curType.Ret = parseRef(rest)
+		case "yargt":
+			fields := strings.Fields(rest)
+			if len(fields) >= 1 {
+				ip.curType.Args = append(ip.curType.Args, parseRef(fields[0]))
+			}
+			if len(fields) >= 2 && fields[1] == "T" {
+				ip.curType.Ellipsis = true
+			}
+		case "yellip":
+			ip.curType.Ellipsis = rest == "T"
+		}
+	case ip.curNamespace != nil:
+		switch attr {
+		case "nloc":
+			ip.curNamespace.Loc = parseLoc(rest)
+		case "nparent":
+			ip.curNamespace.Parent = parseRef(rest)
+		case "nalias":
+			ip.curNamespace.Alias = rest
+		case "nmem":
+			ip.curNamespace.Members = append(ip.curNamespace.Members, rest)
+		}
+	case ip.curMacro != nil:
+		switch attr {
+		case "mloc":
+			ip.curMacro.Loc = parseLoc(rest)
+		case "mkind":
+			ip.curMacro.Kind = rest
+		case "mtext":
+			ip.curMacro.Text = rest
+		}
+	default:
+		return false
+	}
+	return true
 }
 
 // parseItemHead recognizes "xx#N name..." lines.

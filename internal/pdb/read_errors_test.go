@@ -1,0 +1,73 @@
+package pdb
+
+import (
+	"bufio"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadFileRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := samplePDB().Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sample.pdb")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := p.Write(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != sb.String() {
+		t.Error("ReadFile round trip is not byte-identical")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	_, err := ReadFile(filepath.Join(t.TempDir(), "nope.pdb"))
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("err = %v, want fs.ErrNotExist", err)
+	}
+}
+
+// TestReadLimitLineNumber: an over-long line must be reported with its
+// line number and the configured limit, wrapping bufio.ErrTooLong.
+func TestReadLimitLineNumber(t *testing.T) {
+	input := "<PDB 1.0>\nso#1 a.h\nro#2 " + strings.Repeat("x", 500) + "\n"
+	_, err := ReadLimit(strings.NewReader(input), 128)
+	if err == nil {
+		t.Fatal("over-long line should fail")
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Errorf("err = %v, want wrapped bufio.ErrTooLong", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "line 3") {
+		t.Errorf("err %q does not name line 3", msg)
+	}
+	if !strings.Contains(msg, "128") {
+		t.Errorf("err %q does not name the 128-byte limit", msg)
+	}
+}
+
+// TestReadTruncatedHeader: a stream whose header was cut off must fail
+// on the first item line, naming it.
+func TestReadTruncatedHeader(t *testing.T) {
+	_, err := Read(strings.NewReader("so#1 a.h\nro#2 f\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 1: missing <PDB> header") {
+		t.Errorf("err = %v, want line-1 missing-header failure", err)
+	}
+	_, err = Read(strings.NewReader("\n\n"))
+	if err == nil || !strings.Contains(err.Error(), "missing <PDB> header") {
+		t.Errorf("blank-only input: err = %v, want missing-header failure", err)
+	}
+}

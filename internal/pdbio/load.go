@@ -1,0 +1,96 @@
+package pdbio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"pdt/internal/ductape"
+)
+
+// Load reads the PDB file at path with the chunked parallel reader and
+// builds the DUCTAPE object graph.
+func Load(ctx context.Context, path string, opts ...Option) (*ductape.PDB, error) {
+	cfg := newConfig(opts)
+	return load(ctx, path, cfg)
+}
+
+func load(ctx context.Context, path string, cfg config) (*ductape.PDB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	raw, err := readRaw(ctx, f, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.strict {
+		if verrs := raw.Validate(); len(verrs) > 0 {
+			return nil, fmt.Errorf("integrity: %w", errors.Join(verrs...))
+		}
+	}
+	return ductape.FromRaw(raw), nil
+}
+
+// LoadAll reads every path concurrently. It keeps going after a
+// failure: all inputs are attempted, and the returned error joins one
+// %w-wrapped error per failed input (check with errors.Is/As). The
+// databases come back in input order; on error the slice is nil.
+func LoadAll(ctx context.Context, paths []string, opts ...Option) ([]*ductape.PDB, error) {
+	cfg := newConfig(opts)
+	dbs := make([]*ductape.PDB, len(paths))
+	loadErrs := make([]error, len(paths))
+
+	// Cross-file parallelism comes first: with many files each is
+	// parsed inline on its worker, and only when files are fewer than
+	// workers does the leftover budget go to intra-file block parsing.
+	workers := cfg.workerCount()
+	if workers > len(paths) {
+		workers = len(paths)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	fileCfg := cfg
+	fileCfg.workers = cfg.workerCount() / workers
+
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := range paths {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				dbs[i], loadErrs[i] = load(ctx, paths[i], fileCfg)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var joined []error
+	for i, err := range loadErrs {
+		if err != nil {
+			joined = append(joined, fmt.Errorf("%s: %w", paths[i], err))
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(joined) > 0 {
+		return nil, errors.Join(joined...)
+	}
+	return dbs, nil
+}

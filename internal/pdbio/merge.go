@@ -1,0 +1,92 @@
+package pdbio
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+
+	"pdt/internal/ductape"
+)
+
+// Merge combines the databases with a balanced binary tree reduction:
+// adjacent pairs are merged concurrently, then the halved list again,
+// until one database remains. Input order is preserved at every level,
+// so the result is byte-identical to the sequential left-to-right
+// ductape.Merge over the same inputs — the dedup keys and the
+// richer-payload resolution are order-associative.
+func Merge(ctx context.Context, dbs []*ductape.PDB, opts ...Option) (*ductape.PDB, error) {
+	cfg := newConfig(opts)
+	if len(dbs) == 0 {
+		return nil, errors.New("no databases to merge")
+	}
+	if len(dbs) == 1 {
+		// Normalize like ductape.Merge: a single input is still
+		// renumbered and deduplicated.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return ductape.Merge(dbs[0]), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	workers := cfg.workerCount()
+	if workers <= 1 {
+		// One worker: the tree would serialize anyway, and its
+		// intermediate databases cost ~log2(N) times the copy work of
+		// the single-pass fold. Same bytes either way.
+		return ductape.Merge(dbs...), nil
+	}
+	cur := dbs
+	for len(cur) > 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		level := cur
+		next := make([]*ductape.PDB, (len(cur)+1)/2)
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i := 0; i+1 < len(cur); i += 2 {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				if ctx.Err() != nil {
+					return
+				}
+				next[i/2] = ductape.Merge(level[i], level[i+1])
+			}(i)
+		}
+		if len(cur)%2 == 1 {
+			// The odd database out passes through unmerged; the next
+			// level picks it up in position.
+			next[len(next)-1] = cur[len(cur)-1]
+		}
+		wg.Wait()
+		cur = next
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return cur[0], nil
+}
+
+// MergeFiles loads every input concurrently, merges the databases with
+// the tree reduction, and writes the merged database to w — the whole
+// pdbmerge pipeline behind one call.
+func MergeFiles(ctx context.Context, w io.Writer, paths []string, opts ...Option) error {
+	if len(paths) == 0 {
+		return errors.New("no input files")
+	}
+	dbs, err := LoadAll(ctx, paths, opts...)
+	if err != nil {
+		return err
+	}
+	merged, err := Merge(ctx, dbs, opts...)
+	if err != nil {
+		return err
+	}
+	return merged.Write(w)
+}

@@ -1,0 +1,78 @@
+// Package pdbio is the concurrent ingestion and merge engine for
+// program databases — the scalable front door to the paper's §3.2
+// whole-program workflow, where one PDB per compilation unit is merged
+// into a single program database. Template-heavy codebases produce
+// hundreds of large per-unit PDBs, so pdbio parallelizes both ends of
+// the pipeline:
+//
+//   - Load / LoadAll parse files with a chunked three-stage reader
+//     (split into item blocks, parse blocks on a worker pool,
+//     reassemble in input order) whose output is byte-identical to the
+//     sequential pdb.Read.
+//   - Merge combines N databases with a balanced k-way tree reduction
+//     whose leaf merges run in parallel and whose result is
+//     byte-identical to the sequential left-to-right ductape.Merge.
+//
+// All entry points take a context for cancellation and a variadic
+// option list (WithWorkers, WithStrictValidation, WithMaxLineBytes).
+// Multi-file failures use keep-going semantics: every input is
+// attempted and the returned error aggregates one %w-wrapped error per
+// failed input.
+package pdbio
+
+import (
+	"runtime"
+
+	"pdt/internal/pdb"
+)
+
+// Option configures Load, LoadAll, Read, Merge, and MergeFiles.
+type Option func(*config)
+
+type config struct {
+	workers      int
+	maxLineBytes int
+	strict       bool
+}
+
+func newConfig(opts []Option) config {
+	cfg := config{maxLineBytes: pdb.DefaultMaxLineBytes}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// workerCount resolves the configured worker count: 0 (the default)
+// means one worker per available CPU.
+func (c config) workerCount() int {
+	if c.workers > 0 {
+		return c.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// WithWorkers sets the number of concurrent workers used for block
+// parsing, multi-file loading, and leaf merges. n <= 0 selects one
+// worker per available CPU; n == 1 forces the sequential paths.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithStrictValidation makes Load and LoadAll run the referential
+// integrity checks of pdb.Validate on every database after parsing and
+// fail if any check does.
+func WithStrictValidation() Option {
+	return func(c *config) { c.strict = true }
+}
+
+// WithMaxLineBytes sets the longest input line the reader accepts.
+// Lines beyond the limit abort the parse with an error naming the
+// offending line. n <= 0 keeps the 4 MiB default.
+func WithMaxLineBytes(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.maxLineBytes = n
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package pdbio
+
+import (
+	"context"
+	"io"
+	"sync"
+
+	"pdt/internal/ductape"
+	"pdt/internal/pdb"
+)
+
+// Read parses a PDB stream with the chunked parallel reader and builds
+// the DUCTAPE object graph. The parsed database is byte-identical to
+// what the sequential pdb.Read produces for the same stream.
+func Read(ctx context.Context, r io.Reader, opts ...Option) (*ductape.PDB, error) {
+	cfg := newConfig(opts)
+	raw, err := readRaw(ctx, r, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ductape.FromRaw(raw), nil
+}
+
+// readRaw runs the three-stage pipeline: stage 1 splits the stream
+// into item blocks, stage 2 parses blocks on a worker pool, stage 3
+// reassembles the fragments in input order.
+func readRaw(ctx context.Context, r io.Reader, cfg config) (*pdb.PDB, error) {
+	workers := cfg.workerCount()
+	if workers <= 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return pdb.ReadLimit(r, cfg.maxLineBytes)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type job struct {
+		idx    int
+		blocks []pdb.Block
+	}
+	type parsed struct {
+		idx  int
+		frag *pdb.PDB
+		err  error
+	}
+	jobs := make(chan job, workers)
+	results := make(chan parsed, workers)
+
+	// Stage 1: the splitter feeds batches of blocks to the pool as it
+	// discovers them, so parsing overlaps the scan of the rest of the
+	// stream. Batching keeps the channel traffic proportional to the
+	// batch count, not the item count.
+	const blockBatch = 64
+	var splitErr error
+	go func() {
+		defer close(jobs)
+		idx := 0
+		var batch []pdb.Block
+		flush := func() error {
+			if len(batch) == 0 {
+				return nil
+			}
+			select {
+			case jobs <- job{idx, batch}:
+				idx++
+				batch = nil
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		splitErr = pdb.SplitBlocks(r, cfg.maxLineBytes, func(b pdb.Block) error {
+			batch = append(batch, b)
+			if len(batch) >= blockBatch {
+				return flush()
+			}
+			return nil
+		})
+		if splitErr == nil {
+			splitErr = flush()
+		}
+	}()
+
+	// Stage 2: the worker pool. Each worker folds its batch into one
+	// fragment.
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				frag := &pdb.PDB{}
+				var err error
+				for _, b := range jb.blocks {
+					sub, perr := pdb.ParseBlock(b)
+					if perr != nil {
+						err = perr
+						break
+					}
+					frag.AppendItems(sub)
+				}
+				select {
+				case results <- parsed{jb.idx, frag, err}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Stage 3: collect fragments by index. Block parsing cannot fail on
+	// anything SplitBlocks emits, but a worker error is still tracked
+	// and the earliest one (in input order) wins, mirroring the
+	// fail-on-first-error behavior of the sequential reader.
+	var frags []*pdb.PDB
+	firstErrIdx := -1
+	var firstErr error
+	for res := range results {
+		if res.err != nil {
+			if firstErrIdx < 0 || res.idx < firstErrIdx {
+				firstErrIdx, firstErr = res.idx, res.err
+			}
+			cancel()
+			continue
+		}
+		for res.idx >= len(frags) {
+			frags = append(frags, nil)
+		}
+		frags[res.idx] = res.frag
+	}
+	// The results channel is closed only after the workers exit, and
+	// the workers exit only after the splitter closes jobs, so reading
+	// splitErr here is ordered after its write. A block error wins over
+	// splitErr: it concerns earlier input, and the cancel it triggers
+	// may have turned splitErr into a bare context error.
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if splitErr != nil {
+		return nil, splitErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := &pdb.PDB{}
+	for _, frag := range frags {
+		out.AppendItems(frag)
+	}
+	return out, nil
+}

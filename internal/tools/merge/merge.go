@@ -1,33 +1,39 @@
 // Package merge implements the pdbmerge utility of Table 2: merging
 // PDB files from separate compilations into one PDB file, eliminating
 // duplicate template instantiations in the process. The merge logic
-// itself lives in the DUCTAPE library (ductape.Merge); this package
-// adds file-level plumbing for the command-line tool.
+// itself lives in the DUCTAPE library (ductape.Merge); the concurrent
+// loading and the balanced tree reduction over many inputs live in
+// internal/pdbio. This package keeps the historical file-level entry
+// points as thin wrappers.
 package merge
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"pdt/internal/ductape"
+	"pdt/internal/pdbio"
 )
 
-// Files loads every input PDB, merges them in order, and writes the
-// result to w.
+// Files loads every input PDB concurrently, merges them with the k-way
+// tree reduction, and writes the result to w. Every input is attempted
+// even after a failure; the error aggregates one entry per bad input.
 func Files(w io.Writer, paths []string) error {
+	return FilesContext(context.Background(), w, paths, 0)
+}
+
+// FilesContext is Files with cancellation and an explicit worker
+// count (0 = one per CPU).
+func FilesContext(ctx context.Context, w io.Writer, paths []string, workers int) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("pdbmerge: no input files")
 	}
-	dbs := make([]*ductape.PDB, 0, len(paths))
-	for _, p := range paths {
-		db, err := ductape.Load(p)
-		if err != nil {
-			return fmt.Errorf("pdbmerge: %s: %w", p, err)
-		}
-		dbs = append(dbs, db)
+	err := pdbio.MergeFiles(ctx, w, paths, pdbio.WithWorkers(workers))
+	if err != nil {
+		return fmt.Errorf("pdbmerge: %w", err)
 	}
-	merged := ductape.Merge(dbs...)
-	return merged.Write(w)
+	return nil
 }
 
 // Merge combines already-loaded databases (API form used by tests and

@@ -136,3 +136,31 @@ func GenSharedHeaderUnits(m, sharedInsts, uniqueInsts int) (string, []string) {
 	}
 	return hdr.String(), units
 }
+
+// GenMergeUnits synthesizes m translation units for the pdbio merge
+// benchmarks: all units share a header of template instantiations
+// (collapsed by the merge) and each unit additionally defines
+// localClasses unit-local classes with distinct names (so the merged
+// database keeps growing with m and every per-unit PDB is sizable).
+// It returns (header, units); the header file is named "shared.h".
+func GenMergeUnits(m, sharedInsts, localClasses int) (string, []string) {
+	hdr, units := GenSharedHeaderUnits(m, sharedInsts, 2)
+	for u := range units {
+		var sb strings.Builder
+		sb.WriteString(units[u])
+		for i := 0; i < localClasses; i++ {
+			fmt.Fprintf(&sb, "class U%dL%d {\npublic:\n", u, i)
+			fmt.Fprintf(&sb, "    U%dL%d() : n(%d) { }\n", u, i, i)
+			sb.WriteString("    int get() const { return n; }\n")
+			sb.WriteString("    int twice() const { return n * 2; }\n")
+			sb.WriteString("private:\n    int n;\n};\n")
+		}
+		fmt.Fprintf(&sb, "int local%d() {\n    int s = 0;\n", u)
+		for i := 0; i < localClasses; i++ {
+			fmt.Fprintf(&sb, "    { U%dL%d x; s += x.get() + x.twice(); }\n", u, i)
+		}
+		sb.WriteString("    return s;\n}\n")
+		units[u] = sb.String()
+	}
+	return hdr, units
+}
