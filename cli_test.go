@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"pdt/internal/obs"
 )
 
 var (
@@ -328,6 +330,213 @@ Adder_delete(a);
 	out, _, err = runTool(t, "slang", plainScript)
 	if err != nil || strings.TrimSpace(out) != "42" {
 		t.Errorf("plain slang: %v %q", err, out)
+	}
+}
+
+// metricsSnapshot decodes the JSON snapshot a tool wrote to standard
+// error under -metrics -.
+func metricsSnapshot(t *testing.T, tool, stderr string) obs.Snapshot {
+	t.Helper()
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(stderr), &snap); err != nil {
+		t.Fatalf("%s metrics JSON: %v\n%s", tool, err, stderr)
+	}
+	if snap.Tool != tool {
+		t.Errorf("snapshot tool = %q, want %q", snap.Tool, tool)
+	}
+	return snap
+}
+
+// wantSpans fails unless every named stage span appears in the
+// snapshot's span tree.
+func wantSpans(t *testing.T, tool string, snap obs.Snapshot, names ...string) {
+	t.Helper()
+	for _, name := range names {
+		if snap.Find(name) == nil {
+			t.Errorf("%s: no %q span in snapshot", tool, name)
+		}
+	}
+}
+
+// TestCLIMetrics drives every PDB tool with and without -metrics -:
+// the flag must add a parseable JSON snapshot on stderr with the
+// expected stage spans, and must leave the tool's real output
+// byte-identical.
+func TestCLIMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	tmp := t.TempDir()
+
+	// Build the lint demo's per-TU databases; they feed every tool.
+	var pdbs []string
+	for _, tu := range []string{"one.cpp", "two.cpp", "main.cpp"} {
+		out := filepath.Join(tmp, tu+".pdb")
+		_, stderr, err := runTool(t, "cxxparse", "-o", out,
+			filepath.Join("testdata/cxx/lintdemo", tu))
+		if err != nil {
+			t.Fatalf("cxxparse %s: %v\n%s", tu, err, stderr)
+		}
+		pdbs = append(pdbs, out)
+	}
+
+	// pdbmerge -j 8 -metrics -: the acceptance scenario. Split, parse,
+	// and merge stage spans with item counts, plus worker utilization.
+	plainOut := filepath.Join(tmp, "plain.pdb")
+	if _, stderr, err := runTool(t, "pdbmerge",
+		append([]string{"-j", "8", "-o", plainOut}, pdbs...)...); err != nil {
+		t.Fatalf("pdbmerge: %v\n%s", err, stderr)
+	}
+	metricsOut := filepath.Join(tmp, "metrics.pdb")
+	_, stderr, err := runTool(t, "pdbmerge",
+		append([]string{"-j", "8", "-metrics", "-", "-o", metricsOut}, pdbs...)...)
+	if err != nil {
+		t.Fatalf("pdbmerge -metrics: %v\n%s", err, stderr)
+	}
+	snap := metricsSnapshot(t, "pdbmerge", stderr)
+	wantSpans(t, "pdbmerge", snap, "load", "read", "split", "parse", "merge", "level-1", "write")
+	if sp := snap.Find("load"); sp.Items != 3 {
+		t.Errorf("load span items = %d, want 3 files", sp.Items)
+	}
+	if sp := snap.Find("split"); sp.Items <= 0 || sp.Bytes <= 0 {
+		t.Errorf("split span = %d items / %d bytes, want both > 0", sp.Items, sp.Bytes)
+	}
+	if sp := snap.Find("merge"); sp.Items != 3 {
+		t.Errorf("merge span items = %d, want 3 databases", sp.Items)
+	}
+	poolNames := map[string]bool{}
+	for _, p := range snap.Pools {
+		poolNames[p.Name] = true
+		var busy int64
+		for _, b := range p.BusyNS {
+			busy += b
+		}
+		if p.Workers <= 0 || busy <= 0 || p.Utilization <= 0 {
+			t.Errorf("pool %s: workers=%d busy=%d utilization=%f, want all > 0",
+				p.Name, p.Workers, busy, p.Utilization)
+		}
+	}
+	for _, want := range []string{"load", "merge"} {
+		if !poolNames[want] {
+			t.Errorf("no %q worker pool in %v", want, poolNames)
+		}
+	}
+	// Instrumentation must not change the merged result.
+	plain, err1 := os.ReadFile(plainOut)
+	instr, err2 := os.ReadFile(metricsOut)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("reading merged outputs: %v / %v", err1, err2)
+	}
+	if string(plain) != string(instr) {
+		t.Error("pdbmerge output differs with -metrics enabled")
+	}
+	merged := plainOut
+
+	// The read-only viewers: same stdout with and without the flag,
+	// and the read pipeline stages present in the snapshot.
+	viewers := []struct {
+		tool  string
+		args  []string
+		spans []string
+	}{
+		{"pdbconv", []string{"-j", "2"}, []string{"read", "split", "parse", "reassemble", "convert"}},
+		{"pdbtree", []string{"-calls"}, []string{"read", "split", "parse", "print"}},
+	}
+	for _, v := range viewers {
+		out1, _, err := runTool(t, v.tool, append(v.args, merged)...)
+		if err != nil {
+			t.Fatalf("%s: %v", v.tool, err)
+		}
+		out2, stderr, err := runTool(t, v.tool,
+			append(append([]string{"-metrics", "-"}, v.args...), merged)...)
+		if err != nil {
+			t.Fatalf("%s -metrics: %v\n%s", v.tool, err, stderr)
+		}
+		if out1 != out2 {
+			t.Errorf("%s stdout differs with -metrics enabled", v.tool)
+		}
+		wantSpans(t, v.tool, metricsSnapshot(t, v.tool, stderr), v.spans...)
+	}
+
+	// pdbhtml writes to a directory; stdout is just the summary line.
+	htmlDir := filepath.Join(tmp, "docs")
+	out1, _, err := runTool(t, "pdbhtml", "-d", htmlDir, merged)
+	if err != nil {
+		t.Fatalf("pdbhtml: %v", err)
+	}
+	out2, stderr, err := runTool(t, "pdbhtml", "-d", htmlDir, "-metrics", "-", merged)
+	if err != nil {
+		t.Fatalf("pdbhtml -metrics: %v\n%s", err, stderr)
+	}
+	if out1 != out2 {
+		t.Error("pdbhtml stdout differs with -metrics enabled")
+	}
+	wantSpans(t, "pdbhtml", metricsSnapshot(t, "pdbhtml", stderr), "read", "split", "parse", "generate")
+
+	// pdblint: analysis span with one child per pass and a findings
+	// counter; diagnostics (and the exit code) unchanged.
+	wantExit := func(err error, stderr string) {
+		t.Helper()
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+			t.Fatalf("pdblint exit = %v, want exit code 2\n%s", err, stderr)
+		}
+	}
+	out1, _, err = runTool(t, "pdblint", "-format=json", merged)
+	wantExit(err, "")
+	out2, stderr, err = runTool(t, "pdblint", "-format=json", "-metrics", "-", merged)
+	wantExit(err, stderr)
+	if out1 != out2 {
+		t.Error("pdblint stdout differs with -metrics enabled")
+	}
+	snap = metricsSnapshot(t, "pdblint", stderr)
+	wantSpans(t, "pdblint", snap, "read", "split", "parse", "analysis", "dead-routine", "odr-duplicate")
+	if sp := snap.Find("analysis"); len(sp.Children) == 0 {
+		t.Error("analysis span has no per-pass children")
+	}
+	if snap.Counters["analysis.findings"] <= 0 {
+		t.Errorf("analysis.findings = %d, want > 0", snap.Counters["analysis.findings"])
+	}
+
+	// taurun exports the TAU profile through the same snapshot format.
+	out1, _, err = runTool(t, "taurun", "testdata/cxx/pooma/krylov.cpp")
+	if err != nil {
+		t.Fatalf("taurun: %v", err)
+	}
+	out2, stderr, err = runTool(t, "taurun", "-metrics", "-", "testdata/cxx/pooma/krylov.cpp")
+	if err != nil {
+		t.Fatalf("taurun -metrics: %v\n%s", err, stderr)
+	}
+	if out1 != out2 {
+		t.Error("taurun stdout differs with -metrics enabled")
+	}
+	snap = metricsSnapshot(t, "taurun", stderr)
+	if sp := snap.Find("tau"); sp == nil || len(sp.Children) == 0 {
+		t.Fatalf("taurun snapshot lacks a tau span with per-timer children:\n%s", stderr)
+	}
+	if snap.Counters["tau.calls"] <= 0 {
+		t.Errorf("tau.calls = %d, want > 0", snap.Counters["tau.calls"])
+	}
+
+	// -metrics <file> writes the same snapshot to a file, and -trace
+	// renders the human-readable span tree on stderr.
+	mfile := filepath.Join(tmp, "metrics.json")
+	if _, stderr, err := runTool(t, "pdbconv", "-metrics", mfile, merged); err != nil {
+		t.Fatalf("pdbconv -metrics file: %v\n%s", err, stderr)
+	}
+	data, err := os.ReadFile(mfile)
+	if err != nil {
+		t.Fatalf("metrics file: %v", err)
+	}
+	wantSpans(t, "pdbconv", metricsSnapshot(t, "pdbconv", string(data)), "read", "convert")
+	_, stderr, err = runTool(t, "pdbconv", "-trace", merged)
+	if err != nil {
+		t.Fatalf("pdbconv -trace: %v", err)
+	}
+	for _, want := range []string{"read", "convert"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("-trace output lacks %q:\n%s", want, stderr)
+		}
 	}
 }
 

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pdbconv [-o out.txt] [-j N] file.pdb
+//	pdbconv [-o out.txt] [-j N] [-metrics file|-] [-trace] file.pdb
 //
 // Exit codes: 0 success, 3 usage or I/O failure.
 package main
@@ -19,21 +19,25 @@ import (
 )
 
 func main() {
-	t := cliutil.New("pdbconv", "pdbconv [-o out.txt] [-j N] file.pdb")
+	t := cliutil.New("pdbconv", "pdbconv [-o out.txt] [-j N] [-metrics file|-] [-trace] file.pdb")
 	out := t.OutFlag()
 	workers := t.WorkersFlag()
+	t.ObsFlags()
 	t.Parse(os.Args[1:], 1, 1)
 
 	db, err := pdbio.Load(context.Background(), t.Flags.Arg(0),
-		pdbio.WithWorkers(*workers))
+		pdbio.WithWorkers(*workers), pdbio.WithMetrics(t.Obs()))
 	if err != nil {
 		t.Fatalf("%v", err)
 	}
+	sp := t.Obs().StartSpan("convert")
 	err = t.WithOutput(*out, func(w io.Writer) error {
 		conv.Convert(w, db)
 		return nil
 	})
+	sp.End()
 	if err != nil {
 		t.Fatalf("%v", err)
 	}
+	t.FlushObs()
 }

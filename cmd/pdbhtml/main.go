@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pdbhtml [-d outdir] [-nosrc] [-j N] file.pdb
+//	pdbhtml [-d outdir] [-nosrc] [-j N] [-metrics file|-] [-trace] file.pdb
 //
 // Exit codes: 0 success, 3 usage or I/O failure.
 package main
@@ -19,14 +19,15 @@ import (
 )
 
 func main() {
-	t := cliutil.New("pdbhtml", "pdbhtml [-d outdir] [-nosrc] [-j N] file.pdb")
+	t := cliutil.New("pdbhtml", "pdbhtml [-d outdir] [-nosrc] [-j N] [-metrics file|-] [-trace] file.pdb")
 	dir := t.Flags.String("d", "pdbhtml-out", "output directory")
 	noSrc := t.Flags.Bool("nosrc", false, "do not generate source listings")
 	workers := t.WorkersFlag()
+	t.ObsFlags()
 	t.Parse(os.Args[1:], 1, 1)
 
 	db, err := pdbio.Load(context.Background(), t.Flags.Arg(0),
-		pdbio.WithWorkers(*workers))
+		pdbio.WithWorkers(*workers), pdbio.WithMetrics(t.Obs()))
 	if err != nil {
 		t.Fatalf("%v", err)
 	}
@@ -34,8 +35,11 @@ func main() {
 	if *noSrc {
 		loader = nil
 	}
+	sp := t.Obs().StartSpan("generate")
 	if err := html.Generate(db, *dir, loader); err != nil {
 		t.Fatalf("%v", err)
 	}
+	sp.End()
 	fmt.Printf("pdbhtml: wrote documentation to %s/\n", *dir)
+	t.FlushObs()
 }

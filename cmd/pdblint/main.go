@@ -5,7 +5,7 @@
 // Usage:
 //
 //	pdblint [-passes=a,b] [-format=text|json] [-serial] [-j N]
-//	        [-template-bloat=N] file.pdb
+//	        [-template-bloat=N] [-metrics file|-] [-trace] file.pdb
 //	pdblint -list
 //
 // Exit codes: 0 clean (or info-only), 1 warnings, 2 errors, 3 usage or
@@ -33,6 +33,7 @@ func main() {
 	bloat := t.Flags.Int("template-bloat", analysis.DefaultTemplateBloatThreshold,
 		"instantiation-count threshold for the template-bloat pass")
 	list := t.Flags.Bool("list", false, "list the available passes and exit")
+	t.ObsFlags()
 	t.Parse(os.Args[1:], 0, 1)
 
 	if *list {
@@ -64,12 +65,12 @@ func main() {
 	}
 
 	db, err := pdbio.Load(context.Background(), t.Flags.Arg(0),
-		pdbio.WithWorkers(*workers))
+		pdbio.WithWorkers(*workers), pdbio.WithMetrics(t.Obs()))
 	if err != nil {
 		t.Fatalf("%v", err)
 	}
 
-	opts := analysis.Options{}
+	opts := analysis.Options{Metrics: t.Obs()}
 	if *serial {
 		opts.Workers = 1
 	}
@@ -83,5 +84,6 @@ func main() {
 	if err != nil {
 		t.Fatalf("%v", err)
 	}
+	t.FlushObs()
 	os.Exit(analysis.ExitCode(diags))
 }

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	pdbmerge [-o out.pdb] [-j N] [-strict] a.pdb b.pdb ...
+//	pdbmerge [-o out.pdb] [-j N] [-strict] [-metrics file|-] [-trace] a.pdb b.pdb ...
 //
 // Exit codes: 0 success, 3 usage or I/O failure.
 package main
@@ -22,17 +22,18 @@ import (
 )
 
 func main() {
-	t := cliutil.New("pdbmerge", "pdbmerge [-o out.pdb] [-j N] [-strict] a.pdb b.pdb ...")
+	t := cliutil.New("pdbmerge", "pdbmerge [-o out.pdb] [-j N] [-strict] [-metrics file|-] [-trace] a.pdb b.pdb ...")
 	out := t.OutFlag()
 	workers := t.WorkersFlag()
 	strict := t.Flags.Bool("strict", false,
 		"validate the referential integrity of every input database")
+	t.ObsFlags()
 	t.Parse(os.Args[1:], 1, -1)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := []pdbio.Option{pdbio.WithWorkers(*workers)}
+	opts := []pdbio.Option{pdbio.WithWorkers(*workers), pdbio.WithMetrics(t.Obs())}
 	if *strict {
 		opts = append(opts, pdbio.WithStrictValidation())
 	}
@@ -42,4 +43,5 @@ func main() {
 	if err != nil {
 		t.Fatalf("%v", err)
 	}
+	t.FlushObs()
 }

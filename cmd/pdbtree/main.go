@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pdbtree [-files] [-classes] [-calls] [-j N] file.pdb
+//	pdbtree [-files] [-classes] [-calls] [-j N] [-metrics file|-] [-trace] file.pdb
 //
 // With no selection flags, all three trees are printed.
 // Exit codes: 0 success, 3 usage or I/O failure.
@@ -20,18 +20,20 @@ import (
 )
 
 func main() {
-	t := cliutil.New("pdbtree", "pdbtree [-files] [-classes] [-calls] [-j N] file.pdb")
+	t := cliutil.New("pdbtree", "pdbtree [-files] [-classes] [-calls] [-j N] [-metrics file|-] [-trace] file.pdb")
 	files := t.Flags.Bool("files", false, "print the file inclusion tree")
 	classes := t.Flags.Bool("classes", false, "print the class hierarchy")
 	calls := t.Flags.Bool("calls", false, "print the static call graph")
 	workers := t.WorkersFlag()
+	t.ObsFlags()
 	t.Parse(os.Args[1:], 1, 1)
 
 	db, err := pdbio.Load(context.Background(), t.Flags.Arg(0),
-		pdbio.WithWorkers(*workers))
+		pdbio.WithWorkers(*workers), pdbio.WithMetrics(t.Obs()))
 	if err != nil {
 		t.Fatalf("%v", err)
 	}
+	sp := t.Obs().StartSpan("print")
 	all := !*files && !*classes && !*calls
 	if all || *files {
 		fmt.Println("=== file inclusion tree ===")
@@ -46,4 +48,6 @@ func main() {
 		fmt.Println("=== static call graph ===")
 		tree.PrintCallGraph(os.Stdout, db)
 	}
+	sp.End()
+	t.FlushObs()
 }

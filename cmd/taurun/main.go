@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	taurun [-wall] [-bars] [-I dir]... file.cpp
+//	taurun [-wall] [-bars] [-I dir]... [-metrics file|-] file.cpp
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"pdt/internal/obs"
 	"pdt/internal/tau"
 )
 
@@ -31,6 +32,8 @@ func main() {
 	wall := flag.Bool("wall", false, "use wall-clock time instead of the deterministic virtual clock")
 	bars := flag.Bool("bars", false, "also print the bar-chart overview")
 	callpath := flag.Bool("callpath", false, "also print the caller/callee breakdown")
+	metrics := flag.String("metrics", "",
+		"export the profile as a JSON obs snapshot to this file (- = standard error)")
 	flag.Var(&includes, "I", "add an include search directory (repeatable)")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -88,5 +91,23 @@ func main() {
 	if *callpath {
 		fmt.Println()
 		tau.WriteCallPaths(os.Stdout, res.Runtime)
+	}
+	if *metrics != "" {
+		m := obs.New("taurun")
+		res.Runtime.ExportObs(m)
+		out := os.Stderr
+		if *metrics != "-" {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "taurun: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := m.WriteJSON(out); err != nil {
+			fmt.Fprintf(os.Stderr, "taurun: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

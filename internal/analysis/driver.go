@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"pdt/internal/ductape"
+	"pdt/internal/obs"
 )
 
 // Options configures the pass driver.
@@ -13,6 +14,10 @@ type Options struct {
 	// Workers is the number of goroutines running passes. Zero (or
 	// negative) means GOMAXPROCS; 1 forces serial execution.
 	Workers int
+	// Metrics, when non-nil, records an "analysis" stage span with one
+	// child span per pass (wall time + finding count) and per-worker
+	// busy time in the "analysis" pool.
+	Metrics *obs.Metrics
 }
 
 // Run executes the passes over the database and returns every
@@ -20,6 +25,10 @@ type Options struct {
 // message) regardless of worker count or scheduling. Passes run
 // concurrently on a worker pool; each pass is one unit of work.
 func Run(db *ductape.PDB, passes []Pass, opts Options) []Diagnostic {
+	sp := opts.Metrics.StartSpan("analysis")
+	defer sp.End()
+	sp.AddItems(int64(len(passes)))
+
 	// Force the lazily built views before fan-out so the passes only
 	// ever read the database.
 	db.Macros()
@@ -33,11 +42,21 @@ func Run(db *ductape.PDB, passes []Pass, opts Options) []Diagnostic {
 	}
 
 	results := make([][]Diagnostic, len(passes))
+	runPass := func(i int, wrk *obs.Worker) {
+		ps := sp.Start(passes[i].Name())
+		t0 := wrk.Begin()
+		diags := passes[i].Run(db)
+		wrk.End(t0, int64(len(diags)), 0)
+		ps.AddItems(int64(len(diags)))
+		ps.End()
+		results[i] = diags
+	}
 	if workers <= 1 {
-		for i, p := range passes {
-			results[i] = p.Run(db)
+		for i := range passes {
+			runPass(i, nil)
 		}
 	} else {
+		pool := opts.Metrics.Pool("analysis")
 		jobs := make(chan int, len(passes))
 		for i := range passes {
 			jobs <- i
@@ -46,12 +65,12 @@ func Run(db *ductape.PDB, passes []Pass, opts Options) []Diagnostic {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(wrk *obs.Worker) {
 				defer wg.Done()
 				for i := range jobs {
-					results[i] = passes[i].Run(db)
+					runPass(i, wrk)
 				}
-			}()
+			}(pool.Worker(w))
 		}
 		wg.Wait()
 	}
@@ -60,6 +79,7 @@ func Run(db *ductape.PDB, passes []Pass, opts Options) []Diagnostic {
 	for _, rs := range results {
 		out = append(out, rs...)
 	}
+	opts.Metrics.Counter("analysis.findings").Add(int64(len(out)))
 	Sort(out)
 	return out
 }

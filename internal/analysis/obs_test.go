@@ -1,0 +1,64 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"pdt/internal/analysis"
+	"pdt/internal/obs"
+)
+
+// TestRunRecordsMetrics: the driver must emit an "analysis" stage span
+// with one child per pass carrying that pass's finding count, a
+// findings counter, and (in parallel mode) worker busy time — and
+// instrumentation must not change the diagnostics.
+func TestRunRecordsMetrics(t *testing.T) {
+	db := lintFixture(t)
+	passes := analysis.All()
+	plain := analysis.Run(db, passes, analysis.Options{})
+
+	for _, workers := range []int{1, 4} {
+		m := obs.New("pdblint")
+		diags := analysis.Run(db, passes, analysis.Options{Workers: workers, Metrics: m})
+		if len(diags) != len(plain) {
+			t.Fatalf("workers=%d: metrics changed the report: %d vs %d findings",
+				workers, len(diags), len(plain))
+		}
+		snap := m.Snapshot()
+		sp := snap.Find("analysis")
+		if sp == nil {
+			t.Fatalf("workers=%d: no analysis span", workers)
+		}
+		if sp.Items != int64(len(passes)) || len(sp.Children) != len(passes) {
+			t.Errorf("workers=%d: analysis span = %d items %d children, want %d passes",
+				workers, sp.Items, len(sp.Children), len(passes))
+		}
+		var perPass int64
+		for _, p := range passes {
+			child := snap.Find(p.Name())
+			if child == nil {
+				t.Errorf("workers=%d: no span for pass %s", workers, p.Name())
+				continue
+			}
+			perPass += child.Items
+		}
+		if perPass != int64(len(diags)) {
+			t.Errorf("workers=%d: per-pass items sum to %d, want %d findings",
+				workers, perPass, len(diags))
+		}
+		if got := snap.Counters["analysis.findings"]; got != int64(len(diags)) {
+			t.Errorf("workers=%d: findings counter = %d, want %d", workers, got, len(diags))
+		}
+		if workers > 1 {
+			if len(snap.Pools) != 1 || snap.Pools[0].Name != "analysis" {
+				t.Fatalf("pools = %+v, want one analysis pool", snap.Pools)
+			}
+			var busy int64
+			for _, b := range snap.Pools[0].BusyNS {
+				busy += b
+			}
+			if busy <= 0 {
+				t.Error("no worker busy time recorded")
+			}
+		}
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"pdt/internal/obs"
 )
 
 // Exit codes shared by the tools.
@@ -31,6 +33,10 @@ type Tool struct {
 
 	format  *string
 	allowed []string
+
+	metricsPath *string
+	trace       *bool
+	obs         *obs.Metrics
 }
 
 // New builds a Tool around a fresh flag set.
@@ -70,6 +76,63 @@ func (t *Tool) FormatFlag(allowed ...string) *string {
 	}
 	t.format = t.Flags.String("format", allowed[0], usage)
 	return t.format
+}
+
+// ObsFlags registers the shared self-instrumentation flags: -metrics
+// writes a JSON snapshot of the run's stage spans, counters, and
+// worker-pool utilization, and -trace prints the human-readable span
+// tree. Both go to standard error when the -metrics argument is "-"
+// (or for -trace always), keeping standard output reserved for the
+// tool's own report.
+func (t *Tool) ObsFlags() {
+	t.metricsPath = t.Flags.String("metrics", "",
+		"write a JSON metrics snapshot to this file (- = standard error)")
+	t.trace = t.Flags.Bool("trace", false,
+		"print the stage-span trace to standard error on exit")
+}
+
+// Obs returns the metrics registry implied by the observability flags:
+// nil (the no-op instrument) unless -metrics or -trace was given.
+// Call after Parse.
+func (t *Tool) Obs() *obs.Metrics {
+	if t.obs == nil && t.metricsPath != nil && (*t.metricsPath != "" || *t.trace) {
+		t.obs = obs.New(t.Name)
+	}
+	return t.obs
+}
+
+// FlushObs writes the trace and metrics snapshot requested by the
+// flags. It is a no-op when neither flag was given, so tools call it
+// unconditionally before exiting.
+func (t *Tool) FlushObs() {
+	if t.Obs() == nil {
+		return
+	}
+	if *t.trace {
+		t.obs.WriteText(t.Stderr)
+	}
+	if *t.metricsPath == "" {
+		return
+	}
+	var err error
+	if *t.metricsPath == "-" {
+		err = t.obs.WriteJSON(t.Stderr)
+	} else {
+		err = func() error {
+			f, cerr := os.Create(*t.metricsPath)
+			if cerr != nil {
+				return cerr
+			}
+			if werr := t.obs.WriteJSON(f); werr != nil {
+				f.Close()
+				return werr
+			}
+			return f.Close()
+		}()
+	}
+	if err != nil {
+		t.Fatalf("writing metrics: %v", err)
+	}
 }
 
 // Parse parses args, validates any -format choice, and enforces an

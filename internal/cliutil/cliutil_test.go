@@ -123,6 +123,61 @@ func TestFatalfFormat(t *testing.T) {
 	}
 }
 
+func TestObsFlags(t *testing.T) {
+	// No flags: Obs stays nil and FlushObs writes nothing.
+	tool, stderr := newTestTool("demo", "demo file")
+	tool.ObsFlags()
+	if code := run(t, func() { tool.Parse([]string{"f"}, 1, 1) }); code != -1 {
+		t.Fatalf("Parse exited with %d", code)
+	}
+	if tool.Obs() != nil {
+		t.Error("Obs() without flags should be nil")
+	}
+	tool.FlushObs()
+	if stderr.String() != "" {
+		t.Errorf("FlushObs wrote %q with no flags set", stderr.String())
+	}
+
+	// -metrics -: a registry appears and the snapshot lands on stderr.
+	tool, stderr = newTestTool("demo", "demo file")
+	tool.ObsFlags()
+	run(t, func() { tool.Parse([]string{"-metrics", "-", "f"}, 1, 1) })
+	m := tool.Obs()
+	if m == nil {
+		t.Fatal("Obs() with -metrics should not be nil")
+	}
+	m.Counter("events").Add(2)
+	tool.FlushObs()
+	if !strings.Contains(stderr.String(), `"tool": "demo"`) ||
+		!strings.Contains(stderr.String(), `"events": 2`) {
+		t.Errorf("snapshot on stderr = %q", stderr.String())
+	}
+
+	// -metrics <file> creates the file; -trace adds the text tree.
+	tool, stderr = newTestTool("demo", "demo file")
+	tool.ObsFlags()
+	path := filepath.Join(t.TempDir(), "m.json")
+	run(t, func() { tool.Parse([]string{"-metrics", path, "-trace", "f"}, 1, 1) })
+	tool.Obs().StartSpan("work").End()
+	tool.FlushObs()
+	data, err := os.ReadFile(path)
+	if err != nil || !strings.Contains(string(data), `"name": "work"`) {
+		t.Errorf("metrics file: %v %q", err, data)
+	}
+	if !strings.Contains(stderr.String(), "work") {
+		t.Errorf("-trace output = %q", stderr.String())
+	}
+
+	// An uncreatable metrics path is an I/O failure: ExitUsage.
+	tool, _ = newTestTool("demo", "demo file")
+	tool.ObsFlags()
+	run(t, func() { tool.Parse([]string{"-metrics", filepath.Join(t.TempDir(), "no", "dir", "x"), "f"}, 1, 1) })
+	tool.Obs()
+	if code := run(t, func() { tool.FlushObs() }); code != ExitUsage {
+		t.Errorf("FlushObs on uncreatable path: exit = %d, want %d", code, ExitUsage)
+	}
+}
+
 func TestWithOutputFile(t *testing.T) {
 	tool, _ := newTestTool("demo", "demo")
 	path := filepath.Join(t.TempDir(), "out.txt")

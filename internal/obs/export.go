@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteJSON exports a snapshot of the registry as indented JSON, the
+// machine side of the -metrics flag. A nil registry writes the empty
+// snapshot so callers need not special-case the disabled path.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	snap := m.Snapshot()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// WriteText exports a human-readable snapshot: the span tree with
+// durations and item/byte totals, then the counters, gauges, and
+// worker pools. It is the display behind the -trace flag, in the
+// spirit of the paper's Figure 7 text profile.
+func (m *Metrics) WriteText(w io.Writer) error {
+	snap := m.Snapshot()
+	if snap.Tool != "" {
+		fmt.Fprintf(w, "%s: wall %s\n", snap.Tool, fmtNS(snap.WallNS))
+	}
+	for _, s := range snap.Spans {
+		writeSpanText(w, s, 1)
+	}
+	for _, k := range sortedKeys(snap.Counters) {
+		fmt.Fprintf(w, "  counter %-24s %d\n", k, snap.Counters[k])
+	}
+	for _, k := range sortedKeys(snap.Gauges) {
+		fmt.Fprintf(w, "  gauge   %-24s %d\n", k, snap.Gauges[k])
+	}
+	for _, p := range snap.Pools {
+		fmt.Fprintf(w, "  pool %s: %d workers, %.0f%% utilization, %d items",
+			p.Name, p.Workers, 100*p.Utilization, p.Items)
+		if p.Bytes > 0 {
+			fmt.Fprintf(w, ", %d bytes", p.Bytes)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func writeSpanText(w io.Writer, s SpanSnapshot, depth int) {
+	for i := 0; i < depth; i++ {
+		io.WriteString(w, "  ")
+	}
+	fmt.Fprintf(w, "%-*s %10s", 28-2*depth, s.Name, fmtNS(s.DurNS))
+	if s.Items > 0 {
+		fmt.Fprintf(w, "  %d items", s.Items)
+	}
+	if s.Bytes > 0 {
+		fmt.Fprintf(w, "  %d bytes", s.Bytes)
+	}
+	fmt.Fprintln(w)
+	for _, c := range s.Children {
+		writeSpanText(w, c, depth+1)
+	}
+}
+
+func fmtNS(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

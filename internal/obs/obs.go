@@ -1,0 +1,434 @@
+// Package obs is the toolkit's self-instrumentation layer: the paper's
+// TAU side wraps *other* programs in scoped timers and run-time
+// statistics (Figures 6-7); obs turns the same idea inward and profiles
+// the PDT pipeline itself. It provides atomic counters and gauges,
+// monotonic-clock stage spans arranged in a hierarchical span tree
+// (mirroring TAU's scoped TAU_PROFILE timers), a worker-pool
+// utilization sampler, and text/JSON snapshot exporters.
+//
+// The layer is built for a hot path that is usually *not* being
+// observed: every method is nil-safe, so a nil *Metrics (and the nil
+// *Counter, *Span, *Pool, *Worker handles it hands out) is a no-op that
+// takes no locks and never reads the clock. Call sites thread one
+// optional *Metrics through and instrument unconditionally.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is one tool run's registry of counters, gauges, spans, and
+// worker pools. The zero of its pointer type (nil) is the disabled
+// instrument: usable everywhere, records nothing.
+type Metrics struct {
+	tool  string
+	start time.Time
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	pools    map[string]*Pool
+	spans    []*Span // top-level spans in start order
+}
+
+// New returns an enabled registry stamped with the tool name it
+// reports under.
+func New(tool string) *Metrics {
+	return &Metrics{
+		tool:     tool,
+		start:    time.Now(),
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		pools:    map[string]*Pool{},
+	}
+}
+
+// Counter returns the named monotonic counter, creating it on first
+// use. Returns nil on a nil registry.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.counters[name]
+	if c == nil {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// on a nil registry.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g := m.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// StartSpan opens a top-level stage span. Returns nil on a nil
+// registry.
+func (m *Metrics) StartSpan(name string) *Span {
+	if m == nil {
+		return nil
+	}
+	s := &Span{name: name, start: time.Now()}
+	m.mu.Lock()
+	m.spans = append(m.spans, s)
+	m.mu.Unlock()
+	return s
+}
+
+// Pool returns the named worker pool, creating it on first use. Pools
+// are shared across concurrent pipeline invocations that use the same
+// stage name, so per-worker busy time aggregates over the whole run.
+// Returns nil on a nil registry.
+func (m *Metrics) Pool(name string) *Pool {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.pools[name]
+	if p == nil {
+		p = &Pool{name: name, start: time.Now()}
+		m.pools[name] = p
+	}
+	return p
+}
+
+// Counter is an atomic monotonic total. Add with negative n is ignored
+// so successive snapshots never observe a decrease.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter. No-op on nil or negative n.
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current total (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic last-value instrument.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value. No-op on nil.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the last stored value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Span is one scoped stage timer in the span tree: a name, a monotonic
+// start, an end set once by End, and atomic item/byte totals. A nil
+// span (instrumentation disabled) absorbs every call.
+type Span struct {
+	name  string
+	start time.Time
+	ended atomic.Bool
+	dur   atomic.Int64 // ns, valid once ended
+	items atomic.Int64
+	bytes atomic.Int64
+
+	mu       sync.Mutex
+	children []*Span
+}
+
+// Start opens a child span.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span. The first call wins; later calls are no-ops, so
+// a deferred End after an explicit one is harmless.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start).Nanoseconds()
+	if s.ended.CompareAndSwap(false, true) {
+		s.dur.Store(d)
+	}
+}
+
+// EndAt closes the span with an externally measured duration in
+// nanoseconds (or abstract clock units), for adapters that import
+// profile data measured by another runtime — the TAU virtual clock
+// exports its step counts through this. The first close wins, as with
+// End.
+func (s *Span) EndAt(ns int64) {
+	if s == nil {
+		return
+	}
+	if s.ended.CompareAndSwap(false, true) {
+		s.dur.Store(ns)
+	}
+}
+
+// AddItems adds to the span's processed-item total. Negative n is
+// ignored to keep snapshots monotonic.
+func (s *Span) AddItems(n int64) {
+	if s == nil || n < 0 {
+		return
+	}
+	s.items.Add(n)
+}
+
+// AddBytes adds to the span's processed-byte total.
+func (s *Span) AddBytes(n int64) {
+	if s == nil || n < 0 {
+		return
+	}
+	s.bytes.Add(n)
+}
+
+// Items returns the span's current item total (0 on nil).
+func (s *Span) Items() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.items.Load()
+}
+
+// elapsed returns the closed duration, or time-so-far for a live span.
+func (s *Span) elapsed() int64 {
+	if s.ended.Load() {
+		return s.dur.Load()
+	}
+	return time.Since(s.start).Nanoseconds()
+}
+
+// Pool tracks worker utilization for one named pool: per-worker busy
+// time plus pooled item/byte totals, sampled against the pool's wall
+// time at export.
+type Pool struct {
+	name  string
+	start time.Time
+	items atomic.Int64
+	bytes atomic.Int64
+
+	mu      sync.Mutex
+	workers []*Worker
+}
+
+// Worker returns the handle for worker index i, growing the pool as
+// needed. Returns nil on a nil pool.
+func (p *Pool) Worker(i int) *Worker {
+	if p == nil || i < 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.workers) <= i {
+		p.workers = append(p.workers, &Worker{pool: p})
+	}
+	return p.workers[i]
+}
+
+// Worker accumulates one worker's busy time. Begin/End bracket a unit
+// of work; the start time rides on the caller's stack so one handle is
+// safe to share between concurrent pipeline invocations.
+type Worker struct {
+	pool *Pool
+	busy atomic.Int64
+}
+
+// Begin marks the start of a unit of work. On a nil worker it returns
+// the zero time without reading the clock.
+func (w *Worker) Begin() time.Time {
+	if w == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// End closes the unit of work opened by Begin, crediting the elapsed
+// time to this worker and the item/byte totals to the pool.
+func (w *Worker) End(begin time.Time, items, bytes int64) {
+	if w == nil {
+		return
+	}
+	w.busy.Add(time.Since(begin).Nanoseconds())
+	if items > 0 {
+		w.pool.items.Add(items)
+	}
+	if bytes > 0 {
+		w.pool.bytes.Add(bytes)
+	}
+}
+
+// Snapshot is a point-in-time export of a registry. Totals are read
+// atomically, so successive snapshots of monotonic instruments never
+// go backwards.
+type Snapshot struct {
+	Tool     string           `json:"tool,omitempty"`
+	WallNS   int64            `json:"wall_ns"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	Spans    []SpanSnapshot   `json:"spans,omitempty"`
+	Pools    []PoolSnapshot   `json:"pools,omitempty"`
+}
+
+// SpanSnapshot is one node of the exported span tree.
+type SpanSnapshot struct {
+	Name     string         `json:"name"`
+	DurNS    int64          `json:"dur_ns"`
+	Items    int64          `json:"items,omitempty"`
+	Bytes    int64          `json:"bytes,omitempty"`
+	Children []SpanSnapshot `json:"children,omitempty"`
+}
+
+// PoolSnapshot is one worker pool's exported state. Utilization is the
+// summed busy time over workers x wall time, in [0, 1] for settled
+// pools (it can exceed 1 transiently while workers are mid-unit).
+type PoolSnapshot struct {
+	Name        string  `json:"name"`
+	Workers     int     `json:"workers"`
+	BusyNS      []int64 `json:"busy_ns"`
+	Items       int64   `json:"items"`
+	Bytes       int64   `json:"bytes,omitempty"`
+	WallNS      int64   `json:"wall_ns"`
+	Utilization float64 `json:"utilization"`
+}
+
+// Snapshot exports the current state. A nil registry exports the zero
+// snapshot.
+func (m *Metrics) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{}
+	}
+	snap := Snapshot{
+		Tool:   m.tool,
+		WallNS: time.Since(m.start).Nanoseconds(),
+	}
+	m.mu.Lock()
+	counters := make(map[string]*Counter, len(m.counters))
+	for k, v := range m.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(m.gauges))
+	for k, v := range m.gauges {
+		gauges[k] = v
+	}
+	pools := make([]*Pool, 0, len(m.pools))
+	for _, p := range m.pools {
+		pools = append(pools, p)
+	}
+	spans := append([]*Span(nil), m.spans...)
+	m.mu.Unlock()
+
+	if len(counters) > 0 {
+		snap.Counters = make(map[string]int64, len(counters))
+		for k, c := range counters {
+			snap.Counters[k] = c.Value()
+		}
+	}
+	if len(gauges) > 0 {
+		snap.Gauges = make(map[string]int64, len(gauges))
+		for k, g := range gauges {
+			snap.Gauges[k] = g.Value()
+		}
+	}
+	for _, s := range spans {
+		snap.Spans = append(snap.Spans, s.snapshot())
+	}
+	sort.Slice(pools, func(i, j int) bool { return pools[i].name < pools[j].name })
+	for _, p := range pools {
+		snap.Pools = append(snap.Pools, p.snapshot())
+	}
+	return snap
+}
+
+func (s *Span) snapshot() SpanSnapshot {
+	out := SpanSnapshot{
+		Name:  s.name,
+		DurNS: s.elapsed(),
+		Items: s.items.Load(),
+		Bytes: s.bytes.Load(),
+	}
+	s.mu.Lock()
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		out.Children = append(out.Children, c.snapshot())
+	}
+	return out
+}
+
+func (p *Pool) snapshot() PoolSnapshot {
+	p.mu.Lock()
+	workers := append([]*Worker(nil), p.workers...)
+	p.mu.Unlock()
+	out := PoolSnapshot{
+		Name:    p.name,
+		Workers: len(workers),
+		Items:   p.items.Load(),
+		Bytes:   p.bytes.Load(),
+		WallNS:  time.Since(p.start).Nanoseconds(),
+	}
+	var busyTotal int64
+	for _, w := range workers {
+		b := w.busy.Load()
+		out.BusyNS = append(out.BusyNS, b)
+		busyTotal += b
+	}
+	if out.Workers > 0 && out.WallNS > 0 {
+		out.Utilization = float64(busyTotal) / (float64(out.Workers) * float64(out.WallNS))
+	}
+	return out
+}
+
+// Find returns the first span snapshot with the given name in a
+// depth-first walk of the tree, or nil. It is the lookup used by tests
+// and exporter consumers to assert stage presence.
+func (s *Snapshot) Find(name string) *SpanSnapshot {
+	return findSpan(s.Spans, name)
+}
+
+func findSpan(spans []SpanSnapshot, name string) *SpanSnapshot {
+	for i := range spans {
+		if spans[i].Name == name {
+			return &spans[i]
+		}
+		if hit := findSpan(spans[i].Children, name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}

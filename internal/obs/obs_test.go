@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilSafety: every handle the disabled path hands out must absorb
+// every call — the guarantee that lets the pipelines instrument
+// unconditionally.
+func TestNilSafety(t *testing.T) {
+	var m *Metrics
+	c := m.Counter("x")
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter recorded a value")
+	}
+	g := m.Gauge("y")
+	g.Set(7)
+	if g.Value() != 0 {
+		t.Error("nil gauge recorded a value")
+	}
+	s := m.StartSpan("stage")
+	s.AddItems(3)
+	s.AddBytes(9)
+	child := s.Start("child")
+	child.End()
+	s.End()
+	if s.Items() != 0 {
+		t.Error("nil span recorded items")
+	}
+	p := m.Pool("pool")
+	w := p.Worker(0)
+	t0 := w.Begin()
+	if !t0.IsZero() {
+		t.Error("nil worker Begin read the clock")
+	}
+	w.End(t0, 1, 2)
+	snap := m.Snapshot()
+	if snap.Tool != "" || snap.Spans != nil || snap.Pools != nil {
+		t.Errorf("nil snapshot not empty: %+v", snap)
+	}
+	var sb strings.Builder
+	if err := m.WriteJSON(&sb); err != nil {
+		t.Errorf("nil WriteJSON: %v", err)
+	}
+	if err := m.WriteText(&sb); err != nil {
+		t.Errorf("nil WriteText: %v", err)
+	}
+}
+
+// TestCountersAndGauges: totals accumulate, negative adds are ignored
+// (monotonic guarantee), gauges keep the last value.
+func TestCountersAndGauges(t *testing.T) {
+	m := New("t")
+	c := m.Counter("items")
+	c.Add(3)
+	c.Add(4)
+	c.Add(-10)
+	if c.Value() != 7 {
+		t.Errorf("counter = %d, want 7", c.Value())
+	}
+	if m.Counter("items") != c {
+		t.Error("Counter does not memoize by name")
+	}
+	g := m.Gauge("depth")
+	g.Set(4)
+	g.Set(2)
+	if g.Value() != 2 {
+		t.Errorf("gauge = %d, want 2", g.Value())
+	}
+}
+
+// TestSpanTree: parent/child structure, durations, item counts, and
+// idempotent End survive the snapshot round trip.
+func TestSpanTree(t *testing.T) {
+	m := New("t")
+	root := m.StartSpan("read")
+	split := root.Start("split")
+	split.AddItems(10)
+	split.AddBytes(100)
+	time.Sleep(time.Millisecond)
+	split.End()
+	firstDur := split.elapsed()
+	time.Sleep(time.Millisecond)
+	split.End() // second End must not extend the duration
+	if d := split.elapsed(); d != firstDur {
+		t.Errorf("second End changed duration: %d -> %d", firstDur, d)
+	}
+	parse := root.Start("parse")
+	parse.AddItems(10)
+	parse.End()
+	root.End()
+
+	snap := m.Snapshot()
+	rs := snap.Find("read")
+	if rs == nil || len(rs.Children) != 2 {
+		t.Fatalf("read span = %+v, want 2 children", rs)
+	}
+	ss := snap.Find("split")
+	if ss == nil || ss.Items != 10 || ss.Bytes != 100 {
+		t.Fatalf("split span = %+v", ss)
+	}
+	if ss.DurNS <= 0 || rs.DurNS < ss.DurNS {
+		t.Errorf("durations: read %d, split %d", rs.DurNS, ss.DurNS)
+	}
+	if snap.Find("no-such-span") != nil {
+		t.Error("Find invented a span")
+	}
+}
+
+// TestPoolUtilization: busy time credited through Begin/End shows up
+// per worker and in the utilization ratio.
+func TestPoolUtilization(t *testing.T) {
+	m := New("t")
+	p := m.Pool("parse")
+	w0, w1 := p.Worker(0), p.Worker(1)
+	t0 := w0.Begin()
+	time.Sleep(2 * time.Millisecond)
+	w0.End(t0, 5, 50)
+	t1 := w1.Begin()
+	time.Sleep(time.Millisecond)
+	w1.End(t1, 3, 0)
+
+	snap := m.Snapshot()
+	if len(snap.Pools) != 1 {
+		t.Fatalf("pools = %+v", snap.Pools)
+	}
+	ps := snap.Pools[0]
+	if ps.Name != "parse" || ps.Workers != 2 || len(ps.BusyNS) != 2 {
+		t.Fatalf("pool snapshot = %+v", ps)
+	}
+	if ps.Items != 8 || ps.Bytes != 50 {
+		t.Errorf("pool totals = %d items %d bytes, want 8/50", ps.Items, ps.Bytes)
+	}
+	if ps.BusyNS[0] <= ps.BusyNS[1] || ps.BusyNS[1] <= 0 {
+		t.Errorf("busy = %v, want w0 > w1 > 0", ps.BusyNS)
+	}
+	if ps.Utilization <= 0 {
+		t.Errorf("utilization = %v", ps.Utilization)
+	}
+}
+
+// TestExporters: the JSON export parses back into the same structure
+// and the text export mentions every instrument.
+func TestExporters(t *testing.T) {
+	m := New("pdbdemo")
+	sp := m.StartSpan("merge")
+	sp.AddItems(4)
+	sp.End()
+	m.Counter("files.loaded").Add(12)
+	m.Gauge("workers").Set(8)
+	p := m.Pool("merge")
+	w := p.Worker(0)
+	w.End(w.Begin(), 4, 0)
+
+	var jb bytes.Buffer
+	if err := m.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(jb.Bytes(), &snap); err != nil {
+		t.Fatalf("JSON export does not parse: %v\n%s", err, jb.String())
+	}
+	if snap.Tool != "pdbdemo" || snap.Counters["files.loaded"] != 12 ||
+		snap.Gauges["workers"] != 8 || snap.Find("merge") == nil {
+		t.Errorf("round-tripped snapshot = %+v", snap)
+	}
+
+	var tb bytes.Buffer
+	if err := m.WriteText(&tb); err != nil {
+		t.Fatal(err)
+	}
+	text := tb.String()
+	for _, want := range []string{"pdbdemo", "merge", "files.loaded", "workers", "pool merge"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text export missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentStress hammers every instrument from GOMAXPROCS writer
+// goroutines while a reader continuously exports snapshots, under the
+// race detector in CI. Each snapshot's totals must be monotonically
+// non-decreasing — the atomic-read guarantee the exporter documents —
+// and the final snapshot must account for every recorded event.
+func TestConcurrentStress(t *testing.T) {
+	m := New("stress")
+	writers := runtime.GOMAXPROCS(0)
+	if writers < 2 {
+		writers = 2
+	}
+	const perWriter = 2000
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := m.Counter("events")
+			g := m.Gauge("last")
+			p := m.Pool("stress")
+			w := p.Worker(id)
+			for n := 0; n < perWriter; n++ {
+				c.Add(1)
+				g.Set(int64(n))
+				sp := m.StartSpan("stage")
+				child := sp.Start("inner")
+				child.AddItems(1)
+				child.AddBytes(2)
+				child.End()
+				sp.AddItems(1)
+				sp.End()
+				t0 := w.Begin()
+				w.End(t0, 1, 1)
+			}
+		}(i)
+	}
+
+	// The reader races the writers on purpose: snapshots taken mid-run
+	// must never observe a counter, span-item, or pool total going
+	// backwards.
+	readerDone := make(chan error, 1)
+	go func() {
+		defer close(readerDone)
+		var lastEvents, lastItems, lastPool int64
+		// Check stop only after each snapshot: on a single-CPU box the
+		// reader may first run after the writers already finished, and
+		// it must still observe the final state at least once.
+		for done := false; !done; done = stop.Load() {
+			snap := m.Snapshot()
+			events := snap.Counters["events"]
+			if events < lastEvents {
+				t.Errorf("counter went backwards: %d -> %d", lastEvents, events)
+				return
+			}
+			lastEvents = events
+			var items int64
+			for _, s := range snap.Spans {
+				items += s.Items
+			}
+			if items < lastItems {
+				t.Errorf("span items went backwards: %d -> %d", lastItems, items)
+				return
+			}
+			lastItems = items
+			for _, p := range snap.Pools {
+				if p.Items < lastPool {
+					t.Errorf("pool items went backwards: %d -> %d", lastPool, p.Items)
+					return
+				}
+				lastPool = p.Items
+			}
+		}
+	}()
+
+	wg.Wait()
+	stop.Store(true)
+	<-readerDone
+
+	want := int64(writers * perWriter)
+	final := m.Snapshot()
+	if got := final.Counters["events"]; got != want {
+		t.Errorf("final counter = %d, want %d", got, want)
+	}
+	if len(final.Spans) != int(want) {
+		t.Errorf("final span count = %d, want %d", len(final.Spans), want)
+	}
+	pool := final.Pools[0]
+	if pool.Items != want || pool.Workers != writers {
+		t.Errorf("final pool = %d items %d workers, want %d/%d",
+			pool.Items, pool.Workers, want, writers)
+	}
+	var busy int64
+	for _, b := range pool.BusyNS {
+		busy += b
+	}
+	if busy <= 0 {
+		t.Error("no busy time recorded")
+	}
+}

@@ -1,0 +1,8 @@
+package pdb
+
+import "math/rand"
+
+// RandPDB exposes the property-test generator of quick_test.go to the
+// external test package, so the fuzz corpus can seed from arbitrary
+// well-formed databases.
+func RandPDB(r *rand.Rand) *PDB { return randPDB(r) }

@@ -1,0 +1,82 @@
+package pdb_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pdt/internal/core"
+	"pdt/internal/ilanalyzer"
+	"pdt/internal/pdb"
+	"pdt/internal/workload"
+)
+
+// compileToPDBText turns one workload translation unit into PDB text,
+// for corpus seeding.
+func compileToPDBText(f *testing.F, files map[string]string, main string) string {
+	f.Helper()
+	opts := core.Options{}
+	fset := core.NewFileSet(opts)
+	for name, text := range files {
+		if name != main {
+			fset.AddVirtualFile(name, text)
+		}
+	}
+	res := core.CompileSource(fset, main, files[main], opts)
+	for _, d := range res.Diagnostics {
+		f.Fatalf("compile %s: %v", main, d)
+	}
+	return ilanalyzer.Analyze(res.Unit, ilanalyzer.Options{}).String()
+}
+
+// FuzzWriteReadRoundTrip: for any input, Read must never panic, and on
+// inputs Read accepts, Write∘Read must be a fixed point — writing the
+// parsed database and reading it back reproduces the same bytes. This
+// is the serialization invariant every other engine (pdbio's parallel
+// reader, the merge dedup keys, the golden integration tests) builds
+// on. Seeded from the golden merged database, the workload generators,
+// the property-test generator, and degenerate hand-written inputs.
+func FuzzWriteReadRoundTrip(f *testing.F) {
+	if golden, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden", "lintdemo.pdb")); err == nil {
+		f.Add(string(golden))
+	} else {
+		f.Errorf("golden seed: %v", err)
+	}
+
+	hdr, units := workload.GenMergeUnits(2, 3, 2)
+	for _, unit := range units {
+		f.Add(compileToPDBText(f, map[string]string{"shared.h": hdr, "unit.cpp": unit}, "unit.cpp"))
+	}
+	f.Add(compileToPDBText(f, map[string]string{"gen.cpp": workload.GenClasses(3, 2)}, "gen.cpp"))
+	f.Add(compileToPDBText(f, map[string]string{"gen.cpp": workload.GenDistinctInstantiations(4)}, "gen.cpp"))
+
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(pdb.RandPDB(rand.New(rand.NewSource(seed))).String())
+	}
+
+	f.Add("")
+	f.Add("<PDB 1.0>\n")
+	f.Add("<PDB 1.0>\nso#1 a.h\nro#2 f\nrcall ro#2 yes so#1 1 1\n")
+	f.Add("ro#1 orphan\n")
+	f.Add("<PDB 1.0>\nty#1 weird\nykind func\nyargt ty#1 T\nyqual const volatile\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		db, err := pdb.Read(strings.NewReader(input)) // must not panic
+		if err != nil {
+			return
+		}
+		w1 := db.String()
+		db2, err := pdb.Read(strings.NewReader(w1))
+		if err != nil {
+			t.Fatalf("written output does not parse back: %v\n%s", err, w1)
+		}
+		if w2 := db2.String(); w1 != w2 {
+			t.Fatalf("Write∘Read is not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", w1, w2)
+		}
+		if db2.ItemCount() != db.ItemCount() {
+			t.Fatalf("item count drifted: %d -> %d", db.ItemCount(), db2.ItemCount())
+		}
+	})
+}

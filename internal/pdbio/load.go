@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"pdt/internal/ductape"
+	"pdt/internal/obs"
 )
 
 // Load reads the PDB file at path with the chunked parallel reader and
@@ -28,10 +29,14 @@ func load(ctx context.Context, path string, cfg config) (*ductape.PDB, error) {
 		return nil, err
 	}
 	if cfg.strict {
-		if verrs := raw.Validate(); len(verrs) > 0 {
+		vs := cfg.startSpan("validate")
+		verrs := raw.Validate()
+		vs.End()
+		if len(verrs) > 0 {
 			return nil, fmt.Errorf("integrity: %w", errors.Join(verrs...))
 		}
 	}
+	cfg.metrics.Counter("files.loaded").Add(1)
 	return ductape.FromRaw(raw), nil
 }
 
@@ -44,6 +49,10 @@ func LoadAll(ctx context.Context, paths []string, opts ...Option) ([]*ductape.PD
 	dbs := make([]*ductape.PDB, len(paths))
 	loadErrs := make([]error, len(paths))
 
+	sp := cfg.startSpan("load")
+	defer sp.End()
+	sp.AddItems(int64(len(paths)))
+
 	// Cross-file parallelism comes first: with many files each is
 	// parsed inline on its worker, and only when files are fewer than
 	// workers does the leftover budget go to intra-file block parsing.
@@ -54,9 +63,10 @@ func LoadAll(ctx context.Context, paths []string, opts ...Option) ([]*ductape.PD
 	if workers < 1 {
 		workers = 1
 	}
-	fileCfg := cfg
+	fileCfg := cfg.under(sp)
 	fileCfg.workers = cfg.workerCount() / workers
 
+	pool := cfg.metrics.Pool("load")
 	next := make(chan int)
 	go func() {
 		defer close(next)
@@ -71,12 +81,14 @@ func LoadAll(ctx context.Context, paths []string, opts ...Option) ([]*ductape.PD
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(wrk *obs.Worker) {
 			defer wg.Done()
 			for i := range next {
+				t0 := wrk.Begin()
 				dbs[i], loadErrs[i] = load(ctx, paths[i], fileCfg)
+				wrk.End(t0, 1, 0)
 			}
-		}()
+		}(pool.Worker(w))
 	}
 	wg.Wait()
 

@@ -3,10 +3,12 @@ package pdbio
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"sync"
 
 	"pdt/internal/ductape"
+	"pdt/internal/obs"
 )
 
 // Merge combines the databases with a balanced binary tree reduction:
@@ -17,6 +19,9 @@ import (
 // richer-payload resolution are order-associative.
 func Merge(ctx context.Context, dbs []*ductape.PDB, opts ...Option) (*ductape.PDB, error) {
 	cfg := newConfig(opts)
+	sp := cfg.startSpan("merge")
+	defer sp.End()
+	sp.AddItems(int64(len(dbs)))
 	if len(dbs) == 0 {
 		return nil, errors.New("no databases to merge")
 	}
@@ -38,26 +43,46 @@ func Merge(ctx context.Context, dbs []*ductape.PDB, opts ...Option) (*ductape.PD
 		// the single-pass fold. Same bytes either way.
 		return ductape.Merge(dbs...), nil
 	}
+	pool := cfg.metrics.Pool("merge")
 	cur := dbs
-	for len(cur) > 1 {
+	for level := 1; len(cur) > 1; level++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		level := cur
+		ls := sp.Start(fmt.Sprintf("level-%d", level))
+		in := cur
 		next := make([]*ductape.PDB, (len(cur)+1)/2)
-		sem := make(chan struct{}, workers)
-		var wg sync.WaitGroup
-		for i := 0; i+1 < len(cur); i += 2 {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				if ctx.Err() != nil {
+		pairs := len(cur) / 2
+		ls.AddItems(int64(pairs))
+		lw := workers
+		if lw > pairs {
+			lw = pairs
+		}
+		// Indexed workers pull pair indices from a channel; each pair's
+		// result lands in its own slot, so scheduling never affects the
+		// output and per-worker busy time is attributable.
+		feed := make(chan int)
+		go func() {
+			defer close(feed)
+			for i := 0; i+1 < len(in); i += 2 {
+				select {
+				case feed <- i:
+				case <-ctx.Done():
 					return
 				}
-				next[i/2] = ductape.Merge(level[i], level[i+1])
-			}(i)
+			}
+		}()
+		var wg sync.WaitGroup
+		for w := 0; w < lw; w++ {
+			wg.Add(1)
+			go func(wrk *obs.Worker) {
+				defer wg.Done()
+				for i := range feed {
+					t0 := wrk.Begin()
+					next[i/2] = ductape.Merge(in[i], in[i+1])
+					wrk.End(t0, 1, 0)
+				}
+			}(pool.Worker(w))
 		}
 		if len(cur)%2 == 1 {
 			// The odd database out passes through unmerged; the next
@@ -65,6 +90,7 @@ func Merge(ctx context.Context, dbs []*ductape.PDB, opts ...Option) (*ductape.PD
 			next[len(next)-1] = cur[len(cur)-1]
 		}
 		wg.Wait()
+		ls.End()
 		cur = next
 	}
 	if err := ctx.Err(); err != nil {
@@ -88,5 +114,8 @@ func MergeFiles(ctx context.Context, w io.Writer, paths []string, opts ...Option
 	if err != nil {
 		return err
 	}
+	cfg := newConfig(opts)
+	ws := cfg.startSpan("write")
+	defer ws.End()
 	return merged.Write(w)
 }

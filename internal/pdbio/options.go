@@ -23,6 +23,7 @@ package pdbio
 import (
 	"runtime"
 
+	"pdt/internal/obs"
 	"pdt/internal/pdb"
 )
 
@@ -33,6 +34,24 @@ type config struct {
 	workers      int
 	maxLineBytes int
 	strict       bool
+	metrics      *obs.Metrics
+	parent       *obs.Span // enclosing stage span, nil at the root
+}
+
+// startSpan opens a stage span under the enclosing span when there is
+// one, else at the registry root. With metrics disabled both paths
+// return the nil no-op span.
+func (c config) startSpan(name string) *obs.Span {
+	if c.parent != nil {
+		return c.parent.Start(name)
+	}
+	return c.metrics.StartSpan(name)
+}
+
+// under returns a copy of the config whose spans nest below sp.
+func (c config) under(sp *obs.Span) config {
+	c.parent = sp
+	return c
 }
 
 func newConfig(opts []Option) config {
@@ -64,6 +83,14 @@ func WithWorkers(n int) Option {
 // fail if any check does.
 func WithStrictValidation() Option {
 	return func(c *config) { c.strict = true }
+}
+
+// WithMetrics routes stage spans, item/byte counts, and worker-pool
+// utilization samples into m as the pipelines run. A nil m (the
+// default) disables instrumentation entirely: the hot paths take no
+// locks and never read the clock.
+func WithMetrics(m *obs.Metrics) Option {
+	return func(c *config) { c.metrics = m }
 }
 
 // WithMaxLineBytes sets the longest input line the reader accepts.

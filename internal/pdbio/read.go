@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"pdt/internal/ductape"
+	"pdt/internal/obs"
 	"pdt/internal/pdb"
 )
 
@@ -21,6 +22,16 @@ func Read(ctx context.Context, r io.Reader, opts ...Option) (*ductape.PDB, error
 	return ductape.FromRaw(raw), nil
 }
 
+// blockSize sums the line bytes of a block, for the split stage's byte
+// accounting. Called only when metrics are enabled.
+func blockSize(b pdb.Block) int64 {
+	var n int64
+	for _, ln := range b.Lines {
+		n += int64(len(ln.Text)) + 1
+	}
+	return n
+}
+
 // readRaw runs the three-stage pipeline: stage 1 splits the stream
 // into item blocks, stage 2 parses blocks on a worker pool, stage 3
 // reassembles the fragments in input order.
@@ -30,8 +41,14 @@ func readRaw(ctx context.Context, r io.Reader, cfg config) (*pdb.PDB, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		return pdb.ReadLimit(r, cfg.maxLineBytes)
+		if cfg.metrics == nil {
+			return pdb.ReadLimit(r, cfg.maxLineBytes)
+		}
+		return readSeqInstrumented(r, cfg)
 	}
+
+	sp := cfg.startSpan("read")
+	defer sp.End()
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -53,9 +70,11 @@ func readRaw(ctx context.Context, r io.Reader, cfg config) (*pdb.PDB, error) {
 	// stream. Batching keeps the channel traffic proportional to the
 	// batch count, not the item count.
 	const blockBatch = 64
+	split := sp.Start("split")
 	var splitErr error
 	go func() {
 		defer close(jobs)
+		defer split.End()
 		idx := 0
 		var batch []pdb.Block
 		flush := func() error {
@@ -72,6 +91,10 @@ func readRaw(ctx context.Context, r io.Reader, cfg config) (*pdb.PDB, error) {
 			}
 		}
 		splitErr = pdb.SplitBlocks(r, cfg.maxLineBytes, func(b pdb.Block) error {
+			if cfg.metrics != nil {
+				split.AddItems(1)
+				split.AddBytes(blockSize(b))
+			}
 			batch = append(batch, b)
 			if len(batch) >= blockBatch {
 				return flush()
@@ -84,13 +107,17 @@ func readRaw(ctx context.Context, r io.Reader, cfg config) (*pdb.PDB, error) {
 	}()
 
 	// Stage 2: the worker pool. Each worker folds its batch into one
-	// fragment.
+	// fragment, crediting its busy time to the shared "parse" pool so
+	// utilization aggregates across concurrent loads.
+	parse := sp.Start("parse")
+	pool := cfg.metrics.Pool("parse")
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(wrk *obs.Worker) {
 			defer wg.Done()
 			for jb := range jobs {
+				t0 := wrk.Begin()
 				frag := &pdb.PDB{}
 				var err error
 				for _, b := range jb.blocks {
@@ -101,16 +128,22 @@ func readRaw(ctx context.Context, r io.Reader, cfg config) (*pdb.PDB, error) {
 					}
 					frag.AppendItems(sub)
 				}
+				if cfg.metrics != nil {
+					n := int64(frag.ItemCount())
+					parse.AddItems(n)
+					wrk.End(t0, n, 0)
+				}
 				select {
 				case results <- parsed{jb.idx, frag, err}:
 				case <-ctx.Done():
 					return
 				}
 			}
-		}()
+		}(pool.Worker(i))
 	}
 	go func() {
 		wg.Wait()
+		parse.End()
 		close(results)
 	}()
 
@@ -148,9 +181,43 @@ func readRaw(ctx context.Context, r io.Reader, cfg config) (*pdb.PDB, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	reasm := sp.Start("reassemble")
 	out := &pdb.PDB{}
 	for _, frag := range frags {
 		out.AppendItems(frag)
+	}
+	reasm.AddItems(int64(len(frags)))
+	reasm.End()
+	return out, nil
+}
+
+// readSeqInstrumented is the one-worker read with metrics enabled: it
+// runs the same split/parse stages as the parallel path, inline, so
+// the stage spans exist at every worker count. The block path is
+// byte-equivalent to pdb.ReadLimit (the invariant the pdbio
+// equivalence tests and fuzz target pin down), so the parsed database
+// and the error behavior are unchanged.
+func readSeqInstrumented(r io.Reader, cfg config) (*pdb.PDB, error) {
+	sp := cfg.startSpan("read")
+	defer sp.End()
+	split := sp.Start("split")
+	parse := sp.Start("parse")
+	defer parse.End()
+	defer split.End()
+	out := &pdb.PDB{}
+	err := pdb.SplitBlocks(r, cfg.maxLineBytes, func(b pdb.Block) error {
+		split.AddItems(1)
+		split.AddBytes(blockSize(b))
+		frag, perr := pdb.ParseBlock(b)
+		if perr != nil {
+			return perr
+		}
+		parse.AddItems(int64(frag.ItemCount()))
+		out.AppendItems(frag)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

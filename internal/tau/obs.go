@@ -1,0 +1,36 @@
+package tau
+
+import (
+	"pdt/internal/obs"
+)
+
+// ExportObs publishes the runtime's profile data through the shared
+// obs exporter, so a TAU profile and the pipeline's own stage metrics
+// travel in one snapshot: a "tau" stage span whose duration is the
+// total profiled time, with one child span per timer carrying the
+// timer's exclusive time as its duration and its call count as its
+// item count. Timer names keep the CT(obj) run-time type, so each
+// template instantiation exports under its own name. Durations are in
+// the runtime's clock unit (the "tau.unit.nanoseconds" gauge is 1 for
+// wall-clock runs, 0 for virtual-clock step counts).
+func (rt *Runtime) ExportObs(m *obs.Metrics) {
+	if rt == nil || m == nil {
+		return
+	}
+	sp := m.StartSpan("tau")
+	var calls uint64
+	for _, p := range rt.Profiles() {
+		cs := sp.Start(p.Name)
+		cs.AddItems(int64(p.Calls))
+		cs.EndAt(int64(p.Exclusive))
+		calls += p.Calls
+	}
+	sp.AddItems(int64(len(rt.data)))
+	sp.EndAt(int64(rt.TotalTime()))
+	m.Counter("tau.calls").Add(int64(calls))
+	unit := int64(0)
+	if rt.mode == WallClock {
+		unit = 1
+	}
+	m.Gauge("tau.unit.nanoseconds").Set(unit)
+}

@@ -1,0 +1,51 @@
+package tau
+
+import (
+	"testing"
+
+	"pdt/internal/obs"
+)
+
+// TestExportObs: TAU profile data must surface through the shared obs
+// exporter — a "tau" span whose children carry each timer's exclusive
+// time and call count, keyed by the CT-decorated timer name.
+func TestExportObs(t *testing.T) {
+	rt := &Runtime{mode: VirtualClock, data: map[string]*Profile{
+		"push() Stack<int>":    {Name: "push() Stack<int>", Calls: 24, Inclusive: 120, Exclusive: 80},
+		"push() Stack<double>": {Name: "push() Stack<double>", Calls: 8, Inclusive: 60, Exclusive: 60},
+	}}
+	m := obs.New("taurun")
+	rt.ExportObs(m)
+
+	snap := m.Snapshot()
+	sp := snap.Find("tau")
+	if sp == nil {
+		t.Fatal("no tau span")
+	}
+	if sp.Items != 2 || len(sp.Children) != 2 {
+		t.Fatalf("tau span = %d items, %d children, want 2/2", sp.Items, len(sp.Children))
+	}
+	if sp.DurNS != int64(rt.TotalTime()) {
+		t.Errorf("tau span dur = %d, want total %d", sp.DurNS, rt.TotalTime())
+	}
+	intProf := snap.Find("push() Stack<int>")
+	if intProf == nil || intProf.Items != 24 || intProf.DurNS != 80 {
+		t.Errorf("Stack<int> timer = %+v, want 24 calls / 80 excl", intProf)
+	}
+	// Profiles sort by exclusive time descending, so the int
+	// instantiation leads.
+	if sp.Children[0].Name != "push() Stack<int>" {
+		t.Errorf("first child = %q, want the hottest timer", sp.Children[0].Name)
+	}
+	if snap.Counters["tau.calls"] != 32 {
+		t.Errorf("tau.calls = %d, want 32", snap.Counters["tau.calls"])
+	}
+	if snap.Gauges["tau.unit.nanoseconds"] != 0 {
+		t.Error("virtual clock should export unit gauge 0")
+	}
+
+	// Nil registry and nil runtime are both no-ops.
+	rt.ExportObs(nil)
+	var nilRT *Runtime
+	nilRT.ExportObs(m)
+}
