@@ -84,17 +84,24 @@ func main() {
 			st.BodiesAnalyzed, st.Types, db.ItemCount())
 	}
 
-	w := os.Stdout
-	if *out != "" {
+	// The close error matters as much as the write error: a full disk
+	// surfaces on Close, and swallowing it would exit 0 with a
+	// truncated PDB.
+	err = func() error {
+		if *out == "" {
+			return db.Write(os.Stdout)
+		}
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cxxparse: %v\n", err)
-			os.Exit(1)
+			return err
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := db.Write(w); err != nil {
+		if err := db.Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}()
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "cxxparse: %v\n", err)
 		os.Exit(1)
 	}

@@ -3,9 +3,11 @@
 //
 // Usage:
 //
-//	pdbconv [-o out.txt] [-j N] [-metrics file|-] [-trace] file.pdb
+//	pdbconv [-o out.txt] [-j N] [-lenient] [-quarantine dir] [-retry N]
+//	        [-metrics file|-] [-trace] file.pdb
 //
-// Exit codes: 0 success, 3 usage or I/O failure.
+// Exit codes: 0 success, 3 usage or I/O failure, 4 completed but
+// -lenient recovered past malformed input.
 package main
 
 import (
@@ -19,14 +21,16 @@ import (
 )
 
 func main() {
-	t := cliutil.New("pdbconv", "pdbconv [-o out.txt] [-j N] [-metrics file|-] [-trace] file.pdb")
+	t := cliutil.New("pdbconv", "pdbconv [-o out.txt] [-j N] [-lenient] [-quarantine dir] [-retry N] [-metrics file|-] [-trace] file.pdb")
 	out := t.OutFlag()
 	workers := t.WorkersFlag()
+	res := t.ResilienceFlags()
 	t.ObsFlags()
 	t.Parse(os.Args[1:], 1, 1)
 
-	db, err := pdbio.Load(context.Background(), t.Flags.Arg(0),
-		pdbio.WithWorkers(*workers), pdbio.WithMetrics(t.Obs()))
+	opts := append([]pdbio.Option{pdbio.WithWorkers(*workers), pdbio.WithMetrics(t.Obs())},
+		res.Options()...)
+	db, err := pdbio.Load(context.Background(), t.Flags.Arg(0), opts...)
 	if err != nil {
 		t.Fatalf("%v", err)
 	}
@@ -40,4 +44,5 @@ func main() {
 		t.Fatalf("%v", err)
 	}
 	t.FlushObs()
+	t.Exit(res.Exit(cliutil.ExitOK))
 }

@@ -3,9 +3,11 @@
 //
 // Usage:
 //
-//	pdbhtml [-d outdir] [-nosrc] [-j N] [-metrics file|-] [-trace] file.pdb
+//	pdbhtml [-d outdir] [-nosrc] [-j N] [-lenient] [-quarantine dir]
+//	        [-retry N] [-metrics file|-] [-trace] file.pdb
 //
-// Exit codes: 0 success, 3 usage or I/O failure.
+// Exit codes: 0 success, 3 usage or I/O failure, 4 completed but
+// -lenient recovered past malformed input.
 package main
 
 import (
@@ -23,11 +25,13 @@ func main() {
 	dir := t.Flags.String("d", "pdbhtml-out", "output directory")
 	noSrc := t.Flags.Bool("nosrc", false, "do not generate source listings")
 	workers := t.WorkersFlag()
+	res := t.ResilienceFlags()
 	t.ObsFlags()
 	t.Parse(os.Args[1:], 1, 1)
 
-	db, err := pdbio.Load(context.Background(), t.Flags.Arg(0),
-		pdbio.WithWorkers(*workers), pdbio.WithMetrics(t.Obs()))
+	opts := append([]pdbio.Option{pdbio.WithWorkers(*workers), pdbio.WithMetrics(t.Obs())},
+		res.Options()...)
+	db, err := pdbio.Load(context.Background(), t.Flags.Arg(0), opts...)
 	if err != nil {
 		t.Fatalf("%v", err)
 	}
@@ -42,4 +46,5 @@ func main() {
 	sp.End()
 	fmt.Printf("pdbhtml: wrote documentation to %s/\n", *dir)
 	t.FlushObs()
+	t.Exit(res.Exit(cliutil.ExitOK))
 }

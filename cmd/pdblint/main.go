@@ -5,11 +5,14 @@
 // Usage:
 //
 //	pdblint [-passes=a,b] [-format=text|json] [-serial] [-j N]
-//	        [-template-bloat=N] [-metrics file|-] [-trace] file.pdb
+//	        [-template-bloat=N] [-lenient] [-quarantine dir] [-retry N]
+//	        [-metrics file|-] [-trace] file.pdb
 //	pdblint -list
 //
 // Exit codes: 0 clean (or info-only), 1 warnings, 2 errors, 3 usage or
-// I/O failure.
+// I/O failure, 4 clean findings but -lenient recovered past malformed
+// input (findings codes win over 4; the pdb-recovery pass reports the
+// recovered spans as warnings, so a recovering run normally exits 1).
 package main
 
 import (
@@ -33,6 +36,7 @@ func main() {
 	bloat := t.Flags.Int("template-bloat", analysis.DefaultTemplateBloatThreshold,
 		"instantiation-count threshold for the template-bloat pass")
 	list := t.Flags.Bool("list", false, "list the available passes and exit")
+	res := t.ResilienceFlags()
 	t.ObsFlags()
 	t.Parse(os.Args[1:], 0, 1)
 
@@ -64,8 +68,9 @@ func main() {
 		}
 	}
 
-	db, err := pdbio.Load(context.Background(), t.Flags.Arg(0),
-		pdbio.WithWorkers(*workers), pdbio.WithMetrics(t.Obs()))
+	loadOpts := append([]pdbio.Option{pdbio.WithWorkers(*workers), pdbio.WithMetrics(t.Obs())},
+		res.Options()...)
+	db, err := pdbio.Load(context.Background(), t.Flags.Arg(0), loadOpts...)
 	if err != nil {
 		t.Fatalf("%v", err)
 	}
@@ -85,5 +90,5 @@ func main() {
 		t.Fatalf("%v", err)
 	}
 	t.FlushObs()
-	os.Exit(analysis.ExitCode(diags))
+	t.Exit(res.Exit(analysis.ExitCode(diags)))
 }

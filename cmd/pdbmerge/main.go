@@ -6,9 +6,11 @@
 //
 // Usage:
 //
-//	pdbmerge [-o out.pdb] [-j N] [-strict] [-metrics file|-] [-trace] a.pdb b.pdb ...
+//	pdbmerge [-o out.pdb] [-j N] [-strict] [-lenient] [-quarantine dir]
+//	         [-retry N] [-metrics file|-] [-trace] a.pdb b.pdb ...
 //
-// Exit codes: 0 success, 3 usage or I/O failure.
+// Exit codes: 0 success, 3 usage or I/O failure, 4 completed but
+// -lenient recovered past malformed input.
 package main
 
 import (
@@ -22,11 +24,12 @@ import (
 )
 
 func main() {
-	t := cliutil.New("pdbmerge", "pdbmerge [-o out.pdb] [-j N] [-strict] [-metrics file|-] [-trace] a.pdb b.pdb ...")
+	t := cliutil.New("pdbmerge", "pdbmerge [-o out.pdb] [-j N] [-strict] [-lenient] [-quarantine dir] [-retry N] [-metrics file|-] [-trace] a.pdb b.pdb ...")
 	out := t.OutFlag()
 	workers := t.WorkersFlag()
 	strict := t.Flags.Bool("strict", false,
 		"validate the referential integrity of every input database")
+	res := t.ResilienceFlags()
 	t.ObsFlags()
 	t.Parse(os.Args[1:], 1, -1)
 
@@ -37,6 +40,7 @@ func main() {
 	if *strict {
 		opts = append(opts, pdbio.WithStrictValidation())
 	}
+	opts = append(opts, res.Options()...)
 	err := t.WithOutput(*out, func(w io.Writer) error {
 		return pdbio.MergeFiles(ctx, w, t.Flags.Args(), opts...)
 	})
@@ -44,4 +48,5 @@ func main() {
 		t.Fatalf("%v", err)
 	}
 	t.FlushObs()
+	t.Exit(res.Exit(cliutil.ExitOK))
 }

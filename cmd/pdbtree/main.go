@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	pdbtree [-files] [-classes] [-calls] [-j N] [-metrics file|-] [-trace] file.pdb
+//	pdbtree [-files] [-classes] [-calls] [-j N] [-lenient] [-quarantine dir]
+//	        [-retry N] [-metrics file|-] [-trace] file.pdb
 //
 // With no selection flags, all three trees are printed.
-// Exit codes: 0 success, 3 usage or I/O failure.
+// Exit codes: 0 success, 3 usage or I/O failure, 4 completed but
+// -lenient recovered past malformed input.
 package main
 
 import (
@@ -25,11 +27,13 @@ func main() {
 	classes := t.Flags.Bool("classes", false, "print the class hierarchy")
 	calls := t.Flags.Bool("calls", false, "print the static call graph")
 	workers := t.WorkersFlag()
+	res := t.ResilienceFlags()
 	t.ObsFlags()
 	t.Parse(os.Args[1:], 1, 1)
 
-	db, err := pdbio.Load(context.Background(), t.Flags.Arg(0),
-		pdbio.WithWorkers(*workers), pdbio.WithMetrics(t.Obs()))
+	opts := append([]pdbio.Option{pdbio.WithWorkers(*workers), pdbio.WithMetrics(t.Obs())},
+		res.Options()...)
+	db, err := pdbio.Load(context.Background(), t.Flags.Arg(0), opts...)
 	if err != nil {
 		t.Fatalf("%v", err)
 	}
@@ -50,4 +54,5 @@ func main() {
 	}
 	sp.End()
 	t.FlushObs()
+	t.Exit(res.Exit(cliutil.ExitOK))
 }

@@ -95,17 +95,23 @@ func main() {
 	if *metrics != "" {
 		m := obs.New("taurun")
 		res.Runtime.ExportObs(m)
-		out := os.Stderr
-		if *metrics != "-" {
+		// Close errors count: a full disk surfaces on Close, and
+		// swallowing it would exit 0 with a truncated snapshot.
+		err := func() error {
+			if *metrics == "-" {
+				return m.WriteJSON(os.Stderr)
+			}
 			f, err := os.Create(*metrics)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "taurun: %v\n", err)
-				os.Exit(1)
+				return err
 			}
-			defer f.Close()
-			out = f
-		}
-		if err := m.WriteJSON(out); err != nil {
+			if err := m.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "taurun: %v\n", err)
 			os.Exit(1)
 		}

@@ -140,6 +140,7 @@ type Pass interface {
 func All() []Pass {
 	return []Pass{
 		NewIntegrityPass(),
+		NewRecoveryPass(),
 		NewDeadRoutinePass(),
 		NewIncludeCyclePass(),
 		NewUnusedIncludePass(),

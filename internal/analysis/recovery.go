@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"pdt/internal/ductape"
+)
+
+// recoveryPass surfaces the diagnostics of a lenient (recovering) load
+// as analysis findings, so a database that was ingested past corruption
+// says so in the same report as the semantic passes — the CodeChecker
+// discipline of degrading loudly instead of silently. On a strictly
+// loaded database it reports nothing.
+type recoveryPass struct{}
+
+// NewRecoveryPass returns the ingestion-recovery pass.
+func NewRecoveryPass() Pass { return recoveryPass{} }
+
+func (recoveryPass) Name() string { return "pdb-recovery" }
+
+func (recoveryPass) Doc() string {
+	return "spans the lenient reader skipped while ingesting this database (recovered corruption)"
+}
+
+func (recoveryPass) Run(db *ductape.PDB) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range db.Raw().Recovered {
+		msg := d.Cause
+		if d.Tag != "" && !strings.Contains(msg, d.Tag) {
+			msg = fmt.Sprintf("%s (item %s)", msg, d.Tag)
+		}
+		if n := len(d.Skipped); n > 0 {
+			msg = fmt.Sprintf("%s; %d line(s) dropped", msg, n)
+		}
+		out = append(out, Diagnostic{
+			Pass:     "pdb-recovery",
+			Severity: Warning,
+			Loc:      Location{File: d.File, Line: d.StartLine},
+			Message:  msg,
+		})
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"pdt/internal/ductape"
+	"pdt/internal/pdb"
+)
+
+func TestRecoveryPass(t *testing.T) {
+	raw := &pdb.PDB{
+		Files: []*pdb.SourceFile{{ID: 1, Name: "a.cpp"}},
+		Recovered: []pdb.Diagnostic{
+			{File: "unit.pdb", StartLine: 10, EndLine: 12, Tag: "ro#7",
+				Cause:   "line exceeds the 4096-byte limit",
+				Skipped: []string{"rlocc so#1 3 4", "junk"}},
+			{File: "unit.pdb", StartLine: 30, EndLine: 30,
+				Cause: "attribute \"cloc\" outside any item"},
+		},
+	}
+	diags := NewRecoveryPass().Run(ductape.FromRaw(raw))
+	if len(diags) != 2 {
+		t.Fatalf("diags = %v, want 2", diags)
+	}
+	d := diags[0]
+	if d.Pass != "pdb-recovery" || d.Severity != Warning {
+		t.Errorf("diag = %+v, want a pdb-recovery warning", d)
+	}
+	if d.Loc.File != "unit.pdb" || d.Loc.Line != 10 {
+		t.Errorf("loc = %v, want unit.pdb:10", d.Loc)
+	}
+	if !strings.Contains(d.Message, "item ro#7") || !strings.Contains(d.Message, "2 line(s) dropped") {
+		t.Errorf("message = %q, want the tag and drop count named", d.Message)
+	}
+	if strings.Contains(diags[1].Message, "item ") {
+		t.Errorf("tagless diag message = %q, must not invent a tag", diags[1].Message)
+	}
+}
+
+func TestRecoveryPassSilentOnStrictLoad(t *testing.T) {
+	raw := &pdb.PDB{Files: []*pdb.SourceFile{{ID: 1, Name: "a.cpp"}}}
+	if diags := NewRecoveryPass().Run(ductape.FromRaw(raw)); len(diags) != 0 {
+		t.Errorf("strictly loaded db produced %v", diags)
+	}
+}

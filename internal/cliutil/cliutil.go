@@ -1,10 +1,13 @@
 // Package cliutil centralizes the flag and exit-code conventions the
-// PDB command-line tools share, so -o, -j, and -format behave
-// identically across pdbmerge, pdbconv, pdbtree, pdblint, and friends.
+// PDB command-line tools share, so -o, -j, -format, and the resilient
+// ingestion flags (-lenient, -quarantine, -retry) behave identically
+// across pdbmerge, pdbconv, pdbtree, pdblint, and friends.
 //
 // The exit-code convention follows pdblint: 0 is success, codes 1 and
-// 2 are reserved for tool-specific findings severities, and 3 means a
-// usage or I/O failure.
+// 2 are reserved for tool-specific findings severities, 3 means a
+// usage or I/O failure, and 4 means the run completed but the lenient
+// reader recovered past malformed input (success with caveats — the
+// output omits whatever was skipped).
 package cliutil
 
 import (
@@ -12,14 +15,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"pdt/internal/obs"
+	"pdt/internal/pdbio"
 )
 
 // Exit codes shared by the tools.
 const (
-	ExitOK    = 0
-	ExitUsage = 3
+	ExitOK        = 0
+	ExitUsage     = 3
+	ExitRecovered = 4 // completed, but lenient ingestion recovered past damage
 )
 
 // Tool carries one command-line tool's name, usage line, flag set, and
@@ -173,6 +179,12 @@ func (t *Tool) Fatalf(format string, args ...interface{}) {
 	t.Exit(ExitUsage)
 }
 
+// Create is the file-creation seam WithOutput uses; tests override it
+// to exercise write/close failure paths. The default is os.Create.
+var Create = func(path string) (io.WriteCloser, error) {
+	return os.Create(path)
+}
+
 // WithOutput runs fn against the -o destination: stdout when path is
 // empty, otherwise a freshly created file that is closed afterwards
 // (reporting the close error, so a full disk is not silent).
@@ -180,7 +192,7 @@ func (t *Tool) WithOutput(path string, fn func(io.Writer) error) error {
 	if path == "" {
 		return fn(os.Stdout)
 	}
-	f, err := os.Create(path)
+	f, err := Create(path)
 	if err != nil {
 		return err
 	}
@@ -189,4 +201,65 @@ func (t *Tool) WithOutput(path string, fn func(io.Writer) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+// Resilience carries the shared resilient-ingestion flags (-lenient,
+// -quarantine, -retry, -retry-backoff) and the stats they feed, so
+// every tool wires them identically: register with ResilienceFlags,
+// pass Options() to the pdbio load, and route the final status through
+// Exit to report "completed with recoveries" as ExitRecovered.
+type Resilience struct {
+	lenient    *bool
+	quarantine *string
+	retries    *int
+	backoff    *time.Duration
+	stats      pdbio.Stats
+}
+
+// ResilienceFlags registers the resilient-ingestion flags on the tool.
+func (t *Tool) ResilienceFlags() *Resilience {
+	r := &Resilience{}
+	r.lenient = t.Flags.Bool("lenient", false,
+		"recover past malformed item blocks instead of failing (exit 4 when anything was skipped)")
+	r.quarantine = t.Flags.String("quarantine", "",
+		"with -lenient, dump skipped spans into this directory")
+	r.retries = t.Flags.Int("retry", 0,
+		"retry transient I/O failures up to this many extra attempts per file")
+	r.backoff = t.Flags.Duration("retry-backoff", 50*time.Millisecond,
+		"initial sleep between retries (doubles each attempt)")
+	return r
+}
+
+// Lenient reports whether -lenient was given. Call after Parse.
+func (r *Resilience) Lenient() bool { return *r.lenient }
+
+// Stats exposes the resilience counters the loads accumulate.
+func (r *Resilience) Stats() *pdbio.Stats { return &r.stats }
+
+// Options translates the parsed flags into pdbio load options. The
+// returned slice always wires the shared Stats, so Exit sees what the
+// loads recovered. Call after Parse.
+func (r *Resilience) Options() []pdbio.Option {
+	opts := []pdbio.Option{pdbio.WithStats(&r.stats)}
+	if *r.lenient {
+		opts = append(opts, pdbio.WithLenient())
+	}
+	if *r.quarantine != "" {
+		opts = append(opts, pdbio.WithQuarantine(*r.quarantine))
+	}
+	if *r.retries > 0 {
+		opts = append(opts, pdbio.WithRetry(*r.retries, *r.backoff))
+	}
+	return opts
+}
+
+// Exit folds the recovery status into a tool's exit code: a clean run
+// (base ExitOK) that recovered past damage becomes ExitRecovered, and
+// any other base code — findings severities, usage failures — wins
+// unchanged.
+func (r *Resilience) Exit(base int) int {
+	if base == ExitOK && r.stats.Recovered.Load() > 0 {
+		return ExitRecovered
+	}
+	return base
 }

@@ -1,0 +1,118 @@
+package cliutil
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestResilienceFlagsDefaults(t *testing.T) {
+	tool, _ := newTestTool("demo", "demo file")
+	res := tool.ResilienceFlags()
+	code := run(t, func() { tool.Parse([]string{"input.pdb"}, 1, 1) })
+	if code != -1 {
+		t.Fatalf("Parse exited with %d", code)
+	}
+	if res.Lenient() {
+		t.Error("lenient defaults on")
+	}
+	// Only the stats wiring by default: no lenient/quarantine/retry.
+	if got := len(res.Options()); got != 1 {
+		t.Errorf("default Options() = %d options, want just WithStats", got)
+	}
+	if res.Exit(ExitOK) != ExitOK {
+		t.Error("clean run with no recoveries must exit 0")
+	}
+}
+
+func TestResilienceFlagsParse(t *testing.T) {
+	tool, _ := newTestTool("demo", "demo file")
+	res := tool.ResilienceFlags()
+	code := run(t, func() {
+		tool.Parse([]string{"-lenient", "-quarantine", "qdir",
+			"-retry", "2", "-retry-backoff", "10ms", "input.pdb"}, 1, 1)
+	})
+	if code != -1 {
+		t.Fatalf("Parse exited with %d", code)
+	}
+	if !res.Lenient() {
+		t.Error("-lenient not reflected")
+	}
+	if *res.backoff != 10*time.Millisecond {
+		t.Errorf("backoff = %v", *res.backoff)
+	}
+	// Stats + lenient + quarantine + retry.
+	if got := len(res.Options()); got != 4 {
+		t.Errorf("Options() = %d options, want 4", got)
+	}
+}
+
+func TestResilienceExit(t *testing.T) {
+	tool, _ := newTestTool("demo", "demo file")
+	res := tool.ResilienceFlags()
+	run(t, func() { tool.Parse([]string{"-lenient", "input.pdb"}, 1, 1) })
+
+	res.Stats().Recovered.Add(3)
+	if got := res.Exit(ExitOK); got != ExitRecovered {
+		t.Errorf("Exit(0) with recoveries = %d, want %d", got, ExitRecovered)
+	}
+	// Findings and failure codes always win over the recovery marker.
+	for _, base := range []int{1, 2, ExitUsage} {
+		if got := res.Exit(base); got != base {
+			t.Errorf("Exit(%d) with recoveries = %d, want the base code", base, got)
+		}
+	}
+}
+
+// failingWriteCloser reports an error on Close — the full-disk failure
+// mode that only surfaces when buffers flush.
+type failingWriteCloser struct {
+	closeErr error
+	writeErr error
+}
+
+func (f *failingWriteCloser) Write(p []byte) (int, error) {
+	if f.writeErr != nil {
+		return 0, f.writeErr
+	}
+	return len(p), nil
+}
+
+func (f *failingWriteCloser) Close() error { return f.closeErr }
+
+func TestWithOutputPropagatesCloseError(t *testing.T) {
+	closeErr := errors.New("disk full on close")
+	orig := Create
+	Create = func(path string) (io.WriteCloser, error) {
+		return &failingWriteCloser{closeErr: closeErr}, nil
+	}
+	defer func() { Create = orig }()
+
+	tool, _ := newTestTool("demo", "demo")
+	err := tool.WithOutput("out.pdb", func(w io.Writer) error {
+		_, werr := w.Write([]byte("payload"))
+		return werr
+	})
+	if !errors.Is(err, closeErr) {
+		t.Errorf("WithOutput swallowed the close error: %v", err)
+	}
+}
+
+func TestWithOutputWriteErrorWinsOverClose(t *testing.T) {
+	writeErr := errors.New("write failed")
+	orig := Create
+	Create = func(path string) (io.WriteCloser, error) {
+		return &failingWriteCloser{writeErr: writeErr, closeErr: errors.New("close also failed")}, nil
+	}
+	defer func() { Create = orig }()
+
+	tool, _ := newTestTool("demo", "demo")
+	err := tool.WithOutput("out.pdb", func(w io.Writer) error {
+		_, werr := w.Write([]byte("payload"))
+		return werr
+	})
+	if !errors.Is(err, writeErr) {
+		t.Errorf("err = %v, want the write error", err)
+	}
+}

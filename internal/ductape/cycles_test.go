@@ -1,0 +1,130 @@
+package ductape_test
+
+import (
+	"strings"
+	"testing"
+
+	"pdt/internal/ductape"
+	"pdt/internal/pdb"
+)
+
+// cyclicRaw builds a raw database with an inheritance cycle A -> B ->
+// C -> A, an unresolved base on B (cl#99 exists nowhere), and a
+// virtual function on C — the pathological shape merged or
+// hand-written databases can take, which the accessors must survive.
+func cyclicRaw() *pdb.PDB {
+	clRef := func(id int) pdb.Ref { return pdb.Ref{Prefix: pdb.PrefixClass, ID: id} }
+	base := func(id int) pdb.BaseClass {
+		return pdb.BaseClass{Access: "pub", Class: clRef(id)}
+	}
+	return &pdb.PDB{
+		Routines: []*pdb.Routine{
+			{ID: 1, Name: "spin", Access: "pub", Virtual: "virt", Kind: "fun",
+				Class: clRef(3)},
+		},
+		Classes: []*pdb.Class{
+			{ID: 1, Name: "A", Kind: "class", Bases: []pdb.BaseClass{base(2)}},
+			{ID: 2, Name: "B", Kind: "class", Bases: []pdb.BaseClass{base(3), base(99)}},
+			{ID: 3, Name: "C", Kind: "class", Bases: []pdb.BaseClass{base(1)},
+				Funcs: []pdb.FuncRef{{Routine: pdb.Ref{Prefix: pdb.PrefixRoutine, ID: 1}}}},
+		},
+	}
+}
+
+func baseNames(c *ductape.Class) string {
+	var names []string
+	for _, b := range c.AllBases() {
+		names = append(names, b.Name())
+	}
+	return strings.Join(names, ",")
+}
+
+// TestAllBasesCycleWithNilBases: AllBases on a cyclic hierarchy with
+// unresolved (nil) bases must terminate, skip the nil, cut the cycle,
+// and return the same order every call.
+func TestAllBasesCycleWithNilBases(t *testing.T) {
+	db := ductape.FromRaw(cyclicRaw())
+	classes := db.Classes()
+	if len(classes) != 3 {
+		t.Fatalf("classes = %d, want 3", len(classes))
+	}
+	byName := map[string]*ductape.Class{}
+	for _, c := range classes {
+		byName[c.Name()] = c
+	}
+
+	want := map[string]string{
+		"A": "B,C", // A -> B -> (C, nil#99); C -> A is the cut edge
+		"B": "C,A",
+		"C": "A,B",
+	}
+	for name, c := range byName {
+		got := baseNames(c)
+		if got != want[name] {
+			t.Errorf("AllBases(%s) = %q, want %q", name, got, want[name])
+		}
+		// Determinism across repeated traversals of the same graph.
+		for i := 0; i < 5; i++ {
+			if again := baseNames(c); again != got {
+				t.Fatalf("AllBases(%s) nondeterministic: %q then %q", name, got, again)
+			}
+		}
+	}
+
+	// The unresolved base is visible in the direct view as a nil Class.
+	var sawNil bool
+	for _, b := range byName["B"].BaseClasses() {
+		sawNil = sawNil || b.Class == nil
+	}
+	if !sawNil {
+		t.Error("unresolved base cl#99 not surfaced as a nil Class in BaseClasses")
+	}
+}
+
+// TestIsPolymorphicCycle: the virtual function on C must make the
+// whole cycle polymorphic — including via the inherited-through-cycle
+// paths — without looping forever.
+func TestIsPolymorphicCycle(t *testing.T) {
+	db := ductape.FromRaw(cyclicRaw())
+	for _, c := range db.Classes() {
+		if !c.IsPolymorphic() {
+			t.Errorf("%s.IsPolymorphic() = false inside a cycle containing a virtual function", c.Name())
+		}
+	}
+}
+
+// TestAllDerivedCycle: the reverse traversal shares the cycle-cutting
+// discipline.
+func TestAllDerivedCycle(t *testing.T) {
+	db := ductape.FromRaw(cyclicRaw())
+	for _, c := range db.Classes() {
+		if got := len(c.AllDerived()); got != 2 {
+			t.Errorf("AllDerived(%s) = %d classes, want the 2 others", c.Name(), got)
+		}
+	}
+}
+
+// TestAllBasesCycleAfterMerge: merging two databases that each carry
+// the cycle must keep the traversals terminating and deterministic on
+// the merged graph.
+func TestAllBasesCycleAfterMerge(t *testing.T) {
+	a := ductape.FromRaw(cyclicRaw())
+	b := ductape.FromRaw(cyclicRaw())
+	merged := ductape.Merge(a, b)
+
+	var first string
+	for i := 0; i < 3; i++ {
+		var sb strings.Builder
+		for _, c := range merged.Classes() {
+			sb.WriteString(c.Name() + ":" + baseNames(c) + ";")
+			if !c.IsPolymorphic() {
+				t.Errorf("merged %s.IsPolymorphic() = false", c.Name())
+			}
+		}
+		if i == 0 {
+			first = sb.String()
+		} else if sb.String() != first {
+			t.Fatalf("merged traversal nondeterministic: %q then %q", first, sb.String())
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package faultio provides deterministic, seed-driven fault injection
+// for I/O paths: io.Reader and fs.FS wrappers that deliver short reads,
+// mid-stream errors, truncation, and byte corruption on schedule. It is
+// the test harness behind the resilient-ingestion work: the lenient PDB
+// reader and the pdbio retry/quarantine options are proven against
+// corpora damaged by these wrappers, under fixed seeds so every failure
+// reproduces bit-for-bit.
+//
+// The package is production-shaped test infrastructure: it has no
+// dependency on the PDB layers, injects faults only where a Plan says
+// to, and its injected errors satisfy the Temporary() convention that
+// retry layers (internal/pdbio's WithRetry) classify on.
+package faultio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"sync"
+)
+
+// ErrInjected is the sentinel all injected faults match via errors.Is,
+// so tests can tell a scheduled fault from a genuine I/O failure.
+var ErrInjected = errors.New("faultio: injected fault")
+
+// InjectedError is the concrete error delivered by a scheduled
+// mid-stream fault. It reports Temporary() == true — the same
+// convention net.Error uses for transient failures — so retry layers
+// treat it as retryable.
+type InjectedError struct {
+	Op  string // "read" or "open"
+	Off int64  // stream offset (reads) or attempt number (opens)
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultio: injected %s fault at %d", e.Op, e.Off)
+}
+
+// Temporary marks the fault as transient for retry classification.
+func (e *InjectedError) Temporary() bool { return true }
+
+// Is matches the ErrInjected sentinel.
+func (e *InjectedError) Is(target error) bool { return target == ErrInjected }
+
+// Plan is one reader's deterministic fault schedule. The zero Plan
+// injects nothing; NewPlan derives a randomized one from a seed.
+type Plan struct {
+	// ShortReads caps every Read at 1..7 bytes (sized by the reader's
+	// seed-driven rng), exercising partial-read handling.
+	ShortReads bool
+	// FailAfter injects an InjectedError once the stream has delivered
+	// this many bytes. <=0 disables, keeping the zero Plan clean.
+	FailAfter int64
+	// TruncateAfter delivers a clean io.EOF once the stream has
+	// delivered this many bytes — a torn write, not an error. <=0
+	// disables, keeping the zero Plan clean.
+	TruncateAfter int64
+	// Corrupt XORs the byte at each stream offset with the given
+	// non-zero mask as it passes through.
+	Corrupt map[int64]byte
+}
+
+// NewPlan derives a deterministic fault plan for a stream of the given
+// size from seed. Roughly one in three plans truncates, one in three
+// fails mid-stream, and all corrupt a sprinkling of bytes; short reads
+// are always on so buffer boundaries move with the seed.
+func NewPlan(seed, size int64) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := Plan{ShortReads: true}
+	if size <= 0 {
+		return p
+	}
+	switch rng.Intn(3) {
+	case 0:
+		p.TruncateAfter = 1 + rng.Int63n(size)
+	case 1:
+		p.FailAfter = 1 + rng.Int63n(size)
+	}
+	n := 1 + rng.Intn(8)
+	p.Corrupt = make(map[int64]byte, n)
+	for i := 0; i < n; i++ {
+		mask := byte(1 + rng.Intn(255))
+		p.Corrupt[rng.Int63n(size)] = mask
+	}
+	return p
+}
+
+// Reader wraps r and applies the plan's faults in stream order. The
+// seed drives only the short-read sizes; all fault positions come from
+// the plan, so two readers with the same plan and seed behave
+// identically.
+type Reader struct {
+	r    io.Reader
+	plan Plan
+	rng  *rand.Rand
+	off  int64
+	done bool // a fault already fired; subsequent reads repeat it
+	err  error
+}
+
+// NewReader builds a fault-injecting reader over r.
+func NewReader(r io.Reader, plan Plan, seed int64) *Reader {
+	return &Reader{r: r, plan: plan, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (f *Reader) Read(p []byte) (int, error) {
+	if f.done {
+		return 0, f.err
+	}
+	if len(p) == 0 {
+		return f.r.Read(p)
+	}
+	limit := int64(len(p))
+	if f.plan.ShortReads {
+		if max := int64(1 + f.rng.Intn(7)); max < limit {
+			limit = max
+		}
+	}
+	if f.plan.TruncateAfter > 0 {
+		if rem := f.plan.TruncateAfter - f.off; rem < limit {
+			limit = rem
+		}
+	}
+	if f.plan.FailAfter > 0 {
+		if rem := f.plan.FailAfter - f.off; rem < limit {
+			limit = rem
+		}
+	}
+	if limit <= 0 {
+		f.done = true
+		if f.plan.FailAfter > 0 && f.off >= f.plan.FailAfter {
+			f.err = &InjectedError{Op: "read", Off: f.off}
+		} else {
+			f.err = io.EOF
+		}
+		return 0, f.err
+	}
+	n, err := f.r.Read(p[:limit])
+	for i := 0; i < n; i++ {
+		if mask, ok := f.plan.Corrupt[f.off+int64(i)]; ok {
+			p[i] ^= mask
+		}
+	}
+	f.off += int64(n)
+	return n, err
+}
+
+// FS wraps a base filesystem and injects faults per open: failed opens
+// for the first attempts of a path, and fault-injecting readers on the
+// files it does hand out. Attempt counting is per path and concurrency
+// safe, so retry loops observe a deterministic fail-then-succeed
+// sequence.
+type FS struct {
+	base fs.FS
+	// PlanFor decides the faults for one open: attempt is 0-based per
+	// path. Return openErr non-nil to fail the open itself; otherwise
+	// the returned plan (zero Plan = clean) wraps the file's reads. A
+	// nil PlanFor makes the filesystem transparent.
+	planFor func(name string, attempt int) (Plan, error)
+
+	mu    sync.Mutex
+	opens map[string]int
+}
+
+// NewFS builds a fault-injecting filesystem over base. planFor may be
+// nil for a transparent wrapper.
+func NewFS(base fs.FS, planFor func(name string, attempt int) (Plan, error)) *FS {
+	return &FS{base: base, planFor: planFor, opens: map[string]int{}}
+}
+
+// FailOpens returns a planFor that fails the first n opens of every
+// path with an InjectedError and serves clean files afterwards.
+func FailOpens(n int) func(string, int) (Plan, error) {
+	return func(name string, attempt int) (Plan, error) {
+		if attempt < n {
+			return Plan{}, &InjectedError{Op: "open", Off: int64(attempt)}
+		}
+		return Plan{}, nil
+	}
+}
+
+// OpenCount reports how many opens the path has seen.
+func (f *FS) OpenCount(name string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.opens[name]
+}
+
+// Open implements fs.FS.
+func (f *FS) Open(name string) (fs.File, error) {
+	f.mu.Lock()
+	attempt := f.opens[name]
+	f.opens[name] = attempt + 1
+	f.mu.Unlock()
+
+	var plan Plan
+	if f.planFor != nil {
+		var err error
+		plan, err = f.planFor(name, attempt)
+		if err != nil {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+		}
+	}
+	file, err := f.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, r: NewReader(file, plan, int64(attempt)+1)}, nil
+}
+
+// faultFile routes Read through the fault-injecting reader while
+// delegating Stat and Close to the real file.
+type faultFile struct {
+	fs.File
+	r *Reader
+}
+
+func (f *faultFile) Read(p []byte) (int, error) { return f.r.Read(p) }
+
+// CorruptBytes XORs n bytes of data at seed-driven offsets with
+// seed-driven non-zero masks, returning a corrupted copy and the sorted
+// offsets touched. It never writes a zero mask, so every listed offset
+// really differs from the original.
+func CorruptBytes(data []byte, seed int64, n int) ([]byte, []int64) {
+	out := make([]byte, len(data))
+	copy(out, data)
+	if len(out) == 0 || n <= 0 {
+		return out, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	touched := map[int64]bool{}
+	for i := 0; i < n; i++ {
+		off := rng.Int63n(int64(len(out)))
+		out[off] ^= byte(1 + rng.Intn(255))
+		touched[off] = true
+	}
+	offs := make([]int64, 0, len(touched))
+	for off := range touched {
+		offs = append(offs, off)
+	}
+	for i := 1; i < len(offs); i++ { // insertion sort: n is tiny
+		for j := i; j > 0 && offs[j] < offs[j-1]; j-- {
+			offs[j], offs[j-1] = offs[j-1], offs[j]
+		}
+	}
+	return out, offs
+}

@@ -3,6 +3,8 @@ package pdb
 import (
 	"strings"
 	"testing"
+
+	"pdt/internal/faultio"
 )
 
 // reassemble runs the two parallel-reader stages sequentially: split
@@ -81,6 +83,13 @@ func FuzzSplitBlocksMatchesRead(f *testing.F) {
 	f.Add("<PDB 1.0>\nrcall ro#1 no so#1 1 1\n")
 	f.Add("<PDB 1.0>\nso#1 a.h\nincl so#2\nty#3 int\n  kind int\n")
 	f.Add("<PDB 1.0>\r\nso#1 a.h\r\n\r\ncl#2 C\r\n  member m pub var ty#3 so#1 1 1\r\n")
+	// Corrupted-block seeds (deterministic faultio damage over a clean
+	// database) so the equivalence oracle covers recovery-shaped inputs.
+	clean := "<PDB 1.0>\n\nso#1 a.h\nsinc so#2\n\nso#2 b.h\n\ncl#1 C\ncloc so#1 3 7\nckind class\n\nro#1 f\nrloc so#1 9 1\n"
+	for seed := int64(1); seed <= 3; seed++ {
+		corrupted, _ := faultio.CorruptBytes([]byte(clean), seed, 4)
+		f.Add(string(corrupted))
+	}
 	f.Fuzz(func(t *testing.T, input string) {
 		const limit = 1 << 16
 		seq, seqErr := ReadLimit(strings.NewReader(input), limit)

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"pdt/internal/core"
+	"pdt/internal/faultio"
 	"pdt/internal/ilanalyzer"
 	"pdt/internal/pdb"
 	"pdt/internal/workload"
@@ -62,10 +63,31 @@ func FuzzWriteReadRoundTrip(f *testing.F) {
 	f.Add("ro#1 orphan\n")
 	f.Add("<PDB 1.0>\nty#1 weird\nykind func\nyargt ty#1 T\nyqual const volatile\n")
 
+	// Corrupted-block seeds: well-formed databases damaged at
+	// deterministic offsets, steering the fuzzer toward the recovery
+	// paths of the lenient reader.
+	clean := pdb.RandPDB(rand.New(rand.NewSource(99))).String()
+	for seed := int64(1); seed <= 4; seed++ {
+		corrupted, _ := faultio.CorruptBytes([]byte(clean), seed, 1+int(seed)*3)
+		f.Add(string(corrupted))
+	}
+
 	f.Fuzz(func(t *testing.T, input string) {
+		// The lenient reader must never panic and never report format
+		// damage as an error; and when it saw nothing wrong, it must
+		// agree with the strict reader byte for byte.
+		ldb, diags, lerr := pdb.ReadLenient(strings.NewReader(input), pdb.DefaultMaxLineBytes, "")
+		if lerr != nil {
+			t.Fatalf("ReadLenient returned a non-I/O error: %v", lerr)
+		}
+
 		db, err := pdb.Read(strings.NewReader(input)) // must not panic
 		if err != nil {
 			return
+		}
+		if len(diags) == 0 && ldb.String() != db.String() {
+			t.Fatalf("diagnostic-free lenient parse differs from strict:\n--- lenient ---\n%s\n--- strict ---\n%s",
+				ldb.String(), db.String())
 		}
 		w1 := db.String()
 		db2, err := pdb.Read(strings.NewReader(w1))

@@ -1,0 +1,267 @@
+package pdb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file is the recovering (lenient) parse mode: where the strict
+// reader of read.go aborts on the first malformed input, the lenient
+// reader skips the damaged span, records a structured Diagnostic, and
+// keeps parsing — the discipline a production-scale ingest needs when
+// truncated writes, partial reads, and hand-edited databases are
+// routine. Strict mode is untouched: Read/ReadLimit and SplitBlocks
+// behave byte-for-byte as before, and the lenient path is a separate
+// entry point callers opt into (internal/pdbio's WithLenient).
+
+// Diagnostic describes one recovered-from defect in a PDB stream: the
+// input it came from, the 1-based line span that was skipped, the tag
+// of the item block involved ("ro#7", "" when no item was open), and
+// the cause. Skipped raw lines are retained so callers can quarantine
+// them for post-mortem without rereading the input.
+type Diagnostic struct {
+	File      string   // input path; "" for anonymous streams
+	StartLine int      // first line of the skipped span (1-based)
+	EndLine   int      // last line of the skipped span
+	Tag       string   // item tag of the enclosing/afflicted block
+	Cause     string   // what was wrong
+	Skipped   []string // raw text of the skipped lines
+}
+
+func (d Diagnostic) String() string {
+	file := d.File
+	if file == "" {
+		file = "<stream>"
+	}
+	span := fmt.Sprintf("%d", d.StartLine)
+	if d.EndLine > d.StartLine {
+		span = fmt.Sprintf("%d-%d", d.StartLine, d.EndLine)
+	}
+	if d.Tag != "" {
+		return fmt.Sprintf("%s:%s: [%s] %s", file, span, d.Tag, d.Cause)
+	}
+	return fmt.Sprintf("%s:%s: %s", file, span, d.Cause)
+}
+
+// knownAttrs lists, per item prefix, the attribute keywords the parser
+// understands. The lenient reader treats anything else inside an item
+// block as evidence of corruption; the strict reader keeps its historic
+// behavior of silently ignoring unknown keywords.
+var knownAttrs = map[string]map[string]bool{
+	PrefixSourceFile: attrSet("sinc", "ssys"),
+	PrefixTemplate:   attrSet("tloc", "tkind", "tclass", "tns", "tacs", "ttext", "tpos"),
+	PrefixRoutine: attrSet("rloc", "rclass", "rns", "racs", "rsig", "rkind", "rlink",
+		"rstore", "rvirt", "rstatic", "rinline", "rconst", "rtempl", "rcall", "rpos"),
+	PrefixClass: attrSet("cloc", "ckind", "cparent", "cns", "cacs", "ctempl", "cinst",
+		"cspec", "cbase", "cfriend", "cfunc", "cmem", "cmloc", "cmacs", "cmkind",
+		"cmtype", "cmstatic", "cpos"),
+	PrefixType: attrSet("ykind", "yikind", "yptr", "yref", "yelem", "ynelem", "ytref",
+		"yqual", "yclass", "yenum", "yrett", "yargt", "yellip"),
+	PrefixNamespace: attrSet("nloc", "nparent", "nalias", "nmem"),
+	PrefixMacro:     attrSet("mloc", "mkind", "mtext"),
+}
+
+func attrSet(keys ...string) map[string]bool {
+	m := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		m[k] = true
+	}
+	return m
+}
+
+// maxSkippedLineBytes bounds how much of one damaged line a Diagnostic
+// retains for quarantine; the tail of a multi-megabyte line adds no
+// forensic value.
+const maxSkippedLineBytes = 4096
+
+// ReadLenient parses a PDB stream in recovering mode. Malformed spans —
+// a damaged header, over-long lines, corrupted item heads, unknown
+// attribute keywords, attributes outside any item — are skipped with
+// one Diagnostic per span instead of aborting the parse. The returned
+// error is reserved for real I/O failures from r; format damage never
+// produces one. file names the input in diagnostics, which are also
+// attached to the returned database as PDB.Recovered.
+//
+// Recovery discipline: a malformed line closes the item block it
+// appears in (attributes parsed so far are kept) and parsing skips to
+// the next well-formed item head. An item whose block the damage never
+// touched is therefore always preserved intact — the invariant the
+// fault-injection property tests pin down.
+func ReadLenient(r io.Reader, maxLineBytes int, file string) (*PDB, []Diagnostic, error) {
+	p := &PDB{}
+	ip := itemParser{out: p}
+	sc := newLenientLineScanner(r, maxLineBytes)
+
+	var diags []Diagnostic
+	sawHeader := false
+	skipping := false // dropping lines until the next well-formed item head
+	curTag := ""      // tag of the open item block, "" when none
+	var pending *Diagnostic
+
+	flushDiag := func() {
+		if pending != nil {
+			diags = append(diags, *pending)
+			pending = nil
+		}
+	}
+	clip := func(raw string) string {
+		if len(raw) > maxSkippedLineBytes {
+			return raw[:maxSkippedLineBytes] + "..."
+		}
+		return raw
+	}
+	// malformed opens a skip span at lineNo: the open item is closed
+	// (keeping its attributes so far) and lines are dropped until the
+	// next well-formed item head.
+	malformed := func(lineNo int, raw, cause string) {
+		flushDiag()
+		pending = &Diagnostic{File: file, StartLine: lineNo, EndLine: lineNo,
+			Tag: curTag, Cause: cause, Skipped: []string{clip(raw)}}
+		ip.finish()
+		curTag = ""
+		skipping = true
+	}
+
+	lineNo := 0
+	for sc.scan() {
+		lineNo++
+		if sc.truncated {
+			malformed(lineNo, sc.text,
+				fmt.Sprintf("line exceeds the %d-byte limit", sc.max))
+			continue
+		}
+		trimmed := strings.TrimSpace(strings.TrimRight(sc.text, "\r\n"))
+		if trimmed == "" {
+			continue
+		}
+		if !sawHeader {
+			sawHeader = true
+			if strings.HasPrefix(trimmed, "<PDB") {
+				continue
+			}
+			diags = append(diags, Diagnostic{File: file, StartLine: lineNo,
+				EndLine: lineNo, Cause: "missing or damaged <PDB> header"})
+			// Fall through: the line itself may be a usable item head.
+		}
+		if id, name, prefix, ok := parseItemHead(trimmed); ok {
+			flushDiag()
+			skipping = false
+			ip.startItem(id, name, prefix)
+			curTag = fmt.Sprintf("%s#%d", prefix, id)
+			continue
+		}
+		if skipping {
+			// Extend the open skip span through this line.
+			pending.EndLine = lineNo
+			pending.Skipped = append(pending.Skipped, clip(trimmed))
+			continue
+		}
+		attr, _, _ := strings.Cut(trimmed, " ")
+		switch {
+		case strings.Index(attr, "#") == 2:
+			// Head-shaped but unparseable: a corrupted item head. The
+			// attribute lines that follow belong to an item we cannot
+			// identify, so they are skipped with it.
+			malformed(lineNo, trimmed, fmt.Sprintf("malformed item head %q", attr))
+		case curTag == "":
+			malformed(lineNo, trimmed, fmt.Sprintf("attribute %q outside any item", attr))
+		case !knownAttrs[curTag[:2]][attr]:
+			malformed(lineNo, trimmed, fmt.Sprintf("unknown attribute %q for %s", attr, curTag))
+		default:
+			ip.attrLine(trimmed)
+		}
+	}
+	ip.finish()
+	flushDiag()
+	if err := sc.err; err != nil {
+		return nil, diags, err
+	}
+	if !sawHeader {
+		diags = append(diags, Diagnostic{File: file, StartLine: 1, EndLine: 1,
+			Cause: "empty input: missing <PDB> header"})
+	}
+	p.Recovered = diags
+	return p, diags, nil
+}
+
+// lenientLineScanner reads physical lines like the strict scanner but
+// survives over-long lines: instead of bufio.ErrTooLong poisoning the
+// whole stream, the oversized remainder is discarded in place (memory
+// stays bounded by the line limit, not the line length) and the line is
+// delivered with truncated set, so the caller can diagnose it and keep
+// going.
+type lenientLineScanner struct {
+	br        *bufio.Reader
+	max       int
+	text      string
+	truncated bool
+	err       error
+	done      bool
+}
+
+func newLenientLineScanner(r io.Reader, maxLineBytes int) *lenientLineScanner {
+	if maxLineBytes <= 0 {
+		maxLineBytes = DefaultMaxLineBytes
+	}
+	size := 64 * 1024
+	if size > maxLineBytes {
+		size = maxLineBytes
+	}
+	if size < 16 {
+		size = 16
+	}
+	return &lenientLineScanner{br: bufio.NewReaderSize(r, size), max: maxLineBytes}
+}
+
+// scan advances to the next line, reporting false at end of stream or
+// on a read error (check err afterwards; io.EOF is not an error).
+func (s *lenientLineScanner) scan() bool {
+	if s.done {
+		return false
+	}
+	s.text, s.truncated = "", false
+	var sb strings.Builder
+	overflow := false
+	for {
+		chunk, err := s.br.ReadSlice('\n')
+		if room := s.max + 1 - sb.Len(); room > 0 {
+			if room > len(chunk) {
+				room = len(chunk)
+			}
+			sb.Write(chunk[:room])
+		} else {
+			overflow = true
+		}
+		switch err {
+		case nil:
+			// Newline found: the line is complete.
+		case bufio.ErrBufferFull:
+			continue // still the same line: keep draining
+		case io.EOF:
+			s.done = true
+			if sb.Len() == 0 {
+				return false
+			}
+		default:
+			s.done = true
+			s.err = err
+			// A partial line before the error is still delivered; the
+			// caller sees the error after the final scan.
+			if sb.Len() == 0 {
+				return false
+			}
+		}
+		line := strings.TrimSuffix(sb.String(), "\n")
+		if overflow || len(line) > s.max {
+			if len(line) > s.max {
+				line = line[:s.max]
+			}
+			s.text, s.truncated = line, true
+		} else {
+			s.text = line
+		}
+		return true
+	}
+}

@@ -1,0 +1,235 @@
+package pdb
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// lenientSample is a small well-formed database used as the clean
+// baseline for the recovery tests.
+const lenientSample = `<PDB 1.0>
+
+so#1 main.cpp
+sinc so#2
+
+so#2 util.h
+
+cl#1 Widget
+cloc so#1 3 7
+ckind class
+
+ro#1 spin
+rloc so#1 10 5
+rclass cl#1
+racs pub
+
+ty#1 int
+ykind int
+yikind int
+`
+
+func TestReadLenientCleanMatchesStrict(t *testing.T) {
+	strict, err := Read(strings.NewReader(lenientSample))
+	if err != nil {
+		t.Fatalf("strict Read: %v", err)
+	}
+	got, diags, err := ReadLenient(strings.NewReader(lenientSample), DefaultMaxLineBytes, "sample.pdb")
+	if err != nil {
+		t.Fatalf("ReadLenient: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("clean input produced diagnostics: %v", diags)
+	}
+	if got.String() != strict.String() {
+		t.Errorf("lenient parse of clean input differs from strict:\nlenient:\n%s\nstrict:\n%s",
+			got.String(), strict.String())
+	}
+}
+
+func TestReadLenientCorruptedHead(t *testing.T) {
+	in := `<PDB 1.0>
+
+so#1 main.cpp
+
+cl#x Widget
+cloc so#1 3 7
+ckind class
+
+ro#1 spin
+rloc so#1 10 5
+`
+	db, diags, err := ReadLenient(strings.NewReader(in), DefaultMaxLineBytes, "f.pdb")
+	if err != nil {
+		t.Fatalf("ReadLenient: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want exactly one", diags)
+	}
+	d := diags[0]
+	if d.File != "f.pdb" || d.StartLine != 5 || d.EndLine != 7 {
+		t.Errorf("span = %s:%d-%d, want f.pdb:5-7", d.File, d.StartLine, d.EndLine)
+	}
+	if !strings.Contains(d.Cause, "malformed item head") {
+		t.Errorf("cause = %q, want malformed item head", d.Cause)
+	}
+	if len(d.Skipped) != 3 {
+		t.Errorf("skipped %d lines, want 3 (head + 2 attrs): %q", len(d.Skipped), d.Skipped)
+	}
+	// The undamaged neighbors survive intact.
+	if len(db.Files) != 1 || db.Files[0].Name != "main.cpp" {
+		t.Errorf("file item lost: %+v", db.Files)
+	}
+	if len(db.Routines) != 1 || db.Routines[0].Name != "spin" || !db.Routines[0].Loc.Valid() {
+		t.Errorf("routine after the damage lost or incomplete: %+v", db.Routines)
+	}
+	if len(db.Classes) != 0 {
+		t.Errorf("corrupted class should have been dropped, got %+v", db.Classes)
+	}
+	if len(db.Recovered) != 1 {
+		t.Errorf("PDB.Recovered = %v, want the diagnostic attached", db.Recovered)
+	}
+}
+
+func TestReadLenientUnknownAttrKeepsParsedPrefix(t *testing.T) {
+	in := `<PDB 1.0>
+
+cl#1 Widget
+cloc so#1 3 7
+cXXX garbage here
+ckind class
+
+cl#2 Gadget
+ckind struct
+`
+	db, diags, err := ReadLenient(strings.NewReader(in), DefaultMaxLineBytes, "")
+	if err != nil {
+		t.Fatalf("ReadLenient: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want one", diags)
+	}
+	if d := diags[0]; d.Tag != "cl#1" || !strings.Contains(d.Cause, `unknown attribute "cXXX"`) {
+		t.Errorf("diag = %+v, want unknown-attribute on cl#1", d)
+	}
+	// cl#1 keeps the attributes parsed before the damage, loses the rest
+	// of its block; cl#2 is untouched.
+	if len(db.Classes) != 2 {
+		t.Fatalf("classes = %+v, want 2", db.Classes)
+	}
+	if c := db.Classes[0]; c.Name != "Widget" || !c.Loc.Valid() || c.Kind != "" {
+		t.Errorf("damaged class = %+v, want cloc kept and ckind (after damage) dropped", c)
+	}
+	if c := db.Classes[1]; c.Name != "Gadget" || c.Kind != "struct" {
+		t.Errorf("clean class = %+v, want intact", c)
+	}
+}
+
+func TestReadLenientAttrOutsideItem(t *testing.T) {
+	in := `<PDB 1.0>
+
+cloc so#1 3 7
+
+so#1 main.cpp
+`
+	db, diags, err := ReadLenient(strings.NewReader(in), DefaultMaxLineBytes, "")
+	if err != nil {
+		t.Fatalf("ReadLenient: %v", err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Cause, "outside any item") {
+		t.Fatalf("diagnostics = %v, want one outside-any-item", diags)
+	}
+	if len(db.Files) != 1 {
+		t.Errorf("files = %+v, want the later item preserved", db.Files)
+	}
+}
+
+func TestReadLenientMissingHeader(t *testing.T) {
+	in := "so#1 main.cpp\n\ncl#1 Widget\nckind class\n"
+	db, diags, err := ReadLenient(strings.NewReader(in), DefaultMaxLineBytes, "")
+	if err != nil {
+		t.Fatalf("ReadLenient: %v", err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Cause, "header") {
+		t.Fatalf("diagnostics = %v, want one header diagnostic", diags)
+	}
+	// The headerless first line is still consumed as the item it is.
+	if len(db.Files) != 1 || len(db.Classes) != 1 {
+		t.Errorf("items = %d files %d classes, want 1+1", len(db.Files), len(db.Classes))
+	}
+}
+
+func TestReadLenientEmptyInput(t *testing.T) {
+	db, diags, err := ReadLenient(strings.NewReader(""), DefaultMaxLineBytes, "")
+	if err != nil {
+		t.Fatalf("ReadLenient: %v", err)
+	}
+	if db.ItemCount() != 0 {
+		t.Errorf("items = %d, want 0", db.ItemCount())
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Cause, "header") {
+		t.Errorf("diagnostics = %v, want the missing-header diagnostic", diags)
+	}
+}
+
+func TestReadLenientOverlongLine(t *testing.T) {
+	long := strings.Repeat("x", 200)
+	in := "<PDB 1.0>\n\nso#1 main.cpp\n\ncl#1 " + long + "\nckind class\n\nso#2 util.h\n"
+	db, diags, err := ReadLenient(strings.NewReader(in), 64, "")
+	if err != nil {
+		t.Fatalf("ReadLenient: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want one", diags)
+	}
+	if !strings.Contains(diags[0].Cause, "64-byte limit") {
+		t.Errorf("cause = %q, want the line limit named", diags[0].Cause)
+	}
+	if len(db.Files) != 2 {
+		t.Errorf("files = %+v, want both preserved", db.Files)
+	}
+	if len(db.Classes) != 0 {
+		t.Errorf("classes = %+v, want the over-long item dropped", db.Classes)
+	}
+	// Strict mode still rejects the same input outright.
+	if _, err := ReadLimit(strings.NewReader(in), 64); err == nil {
+		t.Error("strict ReadLimit accepted an over-long line")
+	}
+}
+
+type failAfterReader struct {
+	r    *strings.Reader
+	n    int
+	read int
+}
+
+func (f *failAfterReader) Read(p []byte) (int, error) {
+	if f.read >= f.n {
+		return 0, errors.New("disk on fire")
+	}
+	if len(p) > f.n-f.read {
+		p = p[:f.n-f.read]
+	}
+	n, err := f.r.Read(p)
+	f.read += n
+	return n, err
+}
+
+func TestReadLenientIOErrorSurfaces(t *testing.T) {
+	r := &failAfterReader{r: strings.NewReader(lenientSample), n: 40}
+	_, _, err := ReadLenient(r, DefaultMaxLineBytes, "")
+	if err == nil || !strings.Contains(err.Error(), "disk on fire") {
+		t.Fatalf("err = %v, want the I/O failure surfaced", err)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{File: "a.pdb", StartLine: 3, EndLine: 5, Tag: "ro#7", Cause: "boom"}
+	if got, want := d.String(), "a.pdb:3-5: [ro#7] boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	d = Diagnostic{StartLine: 2, EndLine: 2, Cause: "boom"}
+	if got, want := d.String(), "<stream>:2: boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

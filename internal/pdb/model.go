@@ -231,6 +231,12 @@ type PDB struct {
 	Templates  []*Template
 	Namespaces []*Namespace
 	Macros     []*Macro
+
+	// Recovered carries the diagnostics of a lenient (recovering) parse
+	// — the malformed spans ReadLenient skipped to keep going. It is
+	// not part of the serialized format: Write ignores it, and strict
+	// reads leave it empty.
+	Recovered []Diagnostic
 }
 
 // FileByID returns the source file with the given ID, or nil.

@@ -59,6 +59,48 @@ func TestReadLimitLineNumber(t *testing.T) {
 	}
 }
 
+// TestReadLimitLineNumberFinalLine: ErrTooLong on the very last line —
+// with and without a trailing newline — must still name that line, not
+// a neighbor. The no-trailing-newline case is the regression trap: the
+// scanner hits the limit before any final-token bookkeeping runs.
+func TestReadLimitLineNumberFinalLine(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  string
+	}{
+		{"final line without newline", "<PDB 1.0>\nso#1 a.h\nro#2 " + strings.Repeat("x", 500), "line 3"},
+		{"final line with newline", "<PDB 1.0>\nso#1 a.h\nro#2 " + strings.Repeat("x", 500) + "\n", "line 3"},
+		{"first line", strings.Repeat("x", 500), "line 1"},
+		{"mid-stream", "<PDB 1.0>\nro#2 " + strings.Repeat("x", 500) + "\nso#1 a.h\n", "line 2"},
+		{"after blank lines", "<PDB 1.0>\n\n\n\nro#2 " + strings.Repeat("x", 500), "line 5"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadLimit(strings.NewReader(tc.input), 128)
+			if !errors.Is(err, bufio.ErrTooLong) {
+				t.Fatalf("err = %v, want wrapped bufio.ErrTooLong", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err %q does not name %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSplitBlocksLineNumberFinalLine: the parallel splitter shares the
+// line-numbering discipline of the sequential reader.
+func TestSplitBlocksLineNumberFinalLine(t *testing.T) {
+	input := "<PDB 1.0>\nso#1 a.h\nro#2 " + strings.Repeat("x", 500)
+	err := SplitBlocks(strings.NewReader(input), 128, func(Block) error { return nil })
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("err = %v, want wrapped bufio.ErrTooLong", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("err %q does not name line 3", err)
+	}
+}
+
 // TestReadTruncatedHeader: a stream whose header was cut off must fail
 // on the first item line, naming it.
 func TestReadTruncatedHeader(t *testing.T) {

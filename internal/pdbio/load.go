@@ -4,27 +4,82 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	"pdt/internal/ductape"
 	"pdt/internal/obs"
+	"pdt/internal/pdb"
 )
 
 // Load reads the PDB file at path with the chunked parallel reader and
-// builds the DUCTAPE object graph.
+// builds the DUCTAPE object graph. With WithLenient it recovers past
+// malformed spans instead of failing; with WithRetry it retries
+// transient I/O errors.
 func Load(ctx context.Context, path string, opts ...Option) (*ductape.PDB, error) {
 	cfg := newConfig(opts)
 	return load(ctx, path, cfg)
 }
 
+// load runs loadOnce under the configured retry policy: transient I/O
+// failures are retried with doubling backoff, everything else (parse
+// errors, cancellation) returns immediately.
 func load(ctx context.Context, path string, cfg config) (*ductape.PDB, error) {
-	f, err := os.Open(path)
+	backoff := cfg.backoff
+	for attempt := 0; ; attempt++ {
+		db, err := loadOnce(ctx, path, cfg)
+		if err == nil || attempt >= cfg.retries || !retryable(err) || ctx.Err() != nil {
+			return db, err
+		}
+		cfg.metrics.Counter("load.retries").Add(1)
+		if cfg.stats != nil {
+			cfg.stats.Retries.Add(1)
+		}
+		if backoff > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+			backoff *= 2
+		}
+	}
+}
+
+// retryable classifies an error as a transient I/O failure worth
+// retrying: it reports Temporary() == true (the net.Error convention,
+// followed by faultio's injected errors), or wraps one of the classic
+// transient read failures. Format/parse errors never match.
+func retryable(err error) bool {
+	var te interface{ Temporary() bool }
+	if errors.As(err, &te) {
+		return te.Temporary()
+	}
+	return errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, syscall.EIO)
+}
+
+func loadOnce(ctx context.Context, path string, cfg config) (*ductape.PDB, error) {
+	f, err := cfg.open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	raw, err := readRaw(ctx, f, cfg)
+	var raw *pdb.PDB
+	if cfg.lenient {
+		raw, err = cfg.readLenient(ctx, f, path)
+	} else {
+		raw, err = readRaw(ctx, f, cfg)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -40,10 +95,76 @@ func load(ctx context.Context, path string, cfg config) (*ductape.PDB, error) {
 	return ductape.FromRaw(raw), nil
 }
 
+// open resolves the configured filesystem: the OS by default, or the
+// WithFS override (the fault-injection seam).
+func (c config) open(path string) (io.ReadCloser, error) {
+	if c.fsys != nil {
+		return c.fsys.Open(path)
+	}
+	return os.Open(path)
+}
+
+// readLenient is the recovering per-file parse: pdb.ReadLenient plus
+// the resilience accounting (stats, metrics counters) and the optional
+// quarantine dump of every skipped span.
+func (c config) readLenient(ctx context.Context, r io.Reader, path string) (*pdb.PDB, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sp := c.startSpan("read")
+	defer sp.End()
+	raw, diags, err := pdb.ReadLenient(r, c.maxLineBytes, path)
+	if err != nil {
+		return nil, err
+	}
+	if len(diags) > 0 {
+		var dropped int64
+		for _, d := range diags {
+			dropped += int64(len(d.Skipped))
+		}
+		c.metrics.Counter("load.recovered").Add(int64(len(diags)))
+		c.metrics.Counter("load.dropped_lines").Add(dropped)
+		if c.stats != nil {
+			c.stats.Recovered.Add(int64(len(diags)))
+			c.stats.DroppedLines.Add(dropped)
+		}
+		if c.quarantine != "" {
+			if qerr := writeQuarantine(c.quarantine, path, diags); qerr != nil {
+				return nil, fmt.Errorf("quarantine: %w", qerr)
+			}
+		}
+	}
+	sp.AddItems(int64(raw.ItemCount()))
+	return raw, nil
+}
+
+// writeQuarantine dumps each skipped span to its own file in dir,
+// headed by the diagnostic it was recorded under.
+func writeQuarantine(dir, path string, diags []pdb.Diagnostic) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, d := range diags {
+		if len(d.Skipped) == 0 {
+			continue
+		}
+		name := fmt.Sprintf("%s.%d-%d.skipped", filepath.Base(path), d.StartLine, d.EndLine)
+		content := "# " + d.String() + "\n" + strings.Join(d.Skipped, "\n") + "\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // LoadAll reads every path concurrently. It keeps going after a
 // failure: all inputs are attempted, and the returned error joins one
-// %w-wrapped error per failed input (check with errors.Is/As). The
-// databases come back in input order; on error the slice is nil.
+// %w-wrapped error per failed input (check with errors.Is/As).
+// Cancellation is the exception to the joining: when the context is
+// canceled the cancellation itself is returned (errors.Is
+// context.Canceled / DeadlineExceeded), never folded into the per-file
+// join as N spurious file errors. The databases come back in input
+// order; on error the slice is nil.
 func LoadAll(ctx context.Context, paths []string, opts ...Option) ([]*ductape.PDB, error) {
 	cfg := newConfig(opts)
 	dbs := make([]*ductape.PDB, len(paths))
@@ -92,14 +213,27 @@ func LoadAll(ctx context.Context, paths []string, opts ...Option) ([]*ductape.PD
 	}
 	wg.Wait()
 
+	// Cancellation surfaces as cancellation, exactly once: per-file
+	// context errors are excluded from the join so a canceled 1000-file
+	// load does not read as 1000 file failures.
 	var joined []error
+	var canceled error
 	for i, err := range loadErrs {
-		if err != nil {
+		switch {
+		case err == nil:
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			canceled = err
+		default:
 			joined = append(joined, fmt.Errorf("%s: %w", paths[i], err))
 		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if canceled != nil {
+		// A per-file cancellation without a canceled parent context
+		// (e.g. an internal reader race) must still read as one.
+		return nil, canceled
 	}
 	if len(joined) > 0 {
 		return nil, errors.Join(joined...)

@@ -21,7 +21,10 @@
 package pdbio
 
 import (
+	"io/fs"
 	"runtime"
+	"sync/atomic"
+	"time"
 
 	"pdt/internal/obs"
 	"pdt/internal/pdb"
@@ -36,6 +39,27 @@ type config struct {
 	strict       bool
 	metrics      *obs.Metrics
 	parent       *obs.Span // enclosing stage span, nil at the root
+
+	// Resilient-ingestion knobs (see also internal/pdb's lenient mode).
+	lenient    bool
+	quarantine string
+	retries    int
+	backoff    time.Duration
+	fsys       fs.FS
+	stats      *Stats
+}
+
+// Stats accumulates the resilience counters of one or more Load calls:
+// how many malformed spans the lenient reader recovered past, how many
+// raw lines those spans dropped, and how many retry attempts transient
+// I/O errors cost. All fields are atomics, so one Stats may be shared
+// across a concurrent LoadAll. The same counts flow into the metrics
+// registry (WithMetrics) as load.recovered, load.dropped_lines, and
+// load.retries.
+type Stats struct {
+	Recovered    atomic.Int64 // malformed spans skipped and recovered past
+	DroppedLines atomic.Int64 // raw lines discarded inside those spans
+	Retries      atomic.Int64 // extra attempts made by WithRetry
 }
 
 // startSpan opens a stage span under the enclosing span when there is
@@ -95,11 +119,62 @@ func WithMetrics(m *obs.Metrics) Option {
 
 // WithMaxLineBytes sets the longest input line the reader accepts.
 // Lines beyond the limit abort the parse with an error naming the
-// offending line. n <= 0 keeps the 4 MiB default.
+// offending line (strict mode) or are skipped with a diagnostic
+// (lenient mode). n <= 0 keeps the 4 MiB default.
 func WithMaxLineBytes(n int) Option {
 	return func(c *config) {
 		if n > 0 {
 			c.maxLineBytes = n
 		}
 	}
+}
+
+// WithLenient switches Load and LoadAll into the recovering parse mode
+// of pdb.ReadLenient: malformed item blocks are skipped with structured
+// diagnostics instead of aborting the load, and the diagnostics ride on
+// the database (ductape's Raw().Recovered) for the analysis layer.
+// Recovered/dropped counts flow into WithStats and the metrics
+// registry. Lenient files are parsed with the sequential recovering
+// reader — cross-file parallelism in LoadAll is unaffected, but the
+// intra-file block pipeline only runs in strict mode, where damaged
+// input aborts anyway.
+func WithLenient() Option {
+	return func(c *config) { c.lenient = true }
+}
+
+// WithQuarantine makes lenient loads dump every skipped span into dir
+// (one file per span, named <input>.<start>-<end>.skipped) for
+// post-mortem inspection. The dir is created on first use. Implies
+// nothing in strict mode.
+func WithQuarantine(dir string) Option {
+	return func(c *config) { c.quarantine = dir }
+}
+
+// WithRetry makes Load and LoadAll retry transient I/O failures —
+// errors reporting Temporary() == true (the net.Error convention, which
+// injected faults from internal/faultio follow) or wrapping
+// io.ErrUnexpectedEOF / EINTR / EAGAIN / EIO — up to n extra attempts
+// per file, sleeping backoff before the first retry and doubling it
+// each attempt. Parse failures are never retried.
+func WithRetry(n int, backoff time.Duration) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.retries = n
+			c.backoff = backoff
+		}
+	}
+}
+
+// WithFS reroutes Load and LoadAll file opens through fsys instead of
+// the OS filesystem — the seam the fault-injection harness
+// (internal/faultio) plugs into, and the hook for future non-POSIX
+// backends. Paths must be valid fs.FS paths.
+func WithFS(fsys fs.FS) Option {
+	return func(c *config) { c.fsys = fsys }
+}
+
+// WithStats accumulates resilience counters (recoveries, dropped lines,
+// retries) into s as loads run. A nil s disables the accounting.
+func WithStats(s *Stats) Option {
+	return func(c *config) { c.stats = s }
 }

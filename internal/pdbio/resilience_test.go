@@ -1,0 +1,386 @@
+package pdbio_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/fstest"
+
+	"pdt/internal/faultio"
+	"pdt/internal/obs"
+	"pdt/internal/pdb"
+	"pdt/internal/pdbio"
+)
+
+// writeTemp writes text as a file in a fresh temp dir and returns the
+// path.
+func writeTemp(tb testing.TB, name, text string) string {
+	tb.Helper()
+	path := filepath.Join(tb.TempDir(), name)
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		tb.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadLenientCleanMatchesStrict(t *testing.T) {
+	ctx := context.Background()
+	for _, entry := range corpus(t) {
+		text := pdbText(t, entry.db)
+		path := writeTemp(t, "clean.pdb", text)
+
+		strict, err := pdbio.Load(ctx, path)
+		if err != nil {
+			t.Fatalf("%s: strict load: %v", entry.name, err)
+		}
+		var stats pdbio.Stats
+		lenient, err := pdbio.Load(ctx, path, pdbio.WithLenient(), pdbio.WithStats(&stats))
+		if err != nil {
+			t.Fatalf("%s: lenient load: %v", entry.name, err)
+		}
+		if got, want := pdbText(t, lenient), pdbText(t, strict); got != want {
+			t.Errorf("%s: lenient load of clean input differs from strict", entry.name)
+		}
+		if n := stats.Recovered.Load(); n != 0 {
+			t.Errorf("%s: clean input recorded %d recoveries", entry.name, n)
+		}
+	}
+}
+
+// textBlock is one item block of a serialized PDB: its 1-based line
+// span (including the separator lines around it, which damage can merge
+// into a neighbor) and the head's tag and name.
+type textBlock struct {
+	startLine, endLine int
+	tag, name          string
+}
+
+// splitTextBlocks scans a serialized PDB into item blocks with line
+// spans, plus a lineOf index mapping byte offsets to 1-based lines.
+func splitTextBlocks(text string) (blocks []textBlock, lineOf func(off int64) int) {
+	lines := strings.SplitAfter(text, "\n")
+	starts := make([]int64, len(lines))
+	var off int64
+	for i, l := range lines {
+		starts[i] = off
+		off += int64(len(l))
+	}
+	lineOf = func(o int64) int {
+		lo, hi := 0, len(starts)-1
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if starts[mid] <= o {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		return lo + 1
+	}
+	open := -1
+	for i, l := range lines {
+		trimmed := strings.TrimSpace(l)
+		if trimmed == "" {
+			if open >= 0 {
+				blocks[len(blocks)-1].endLine = i // previous line, 1-based
+				open = -1
+			}
+			continue
+		}
+		if open < 0 {
+			head, rest, _ := strings.Cut(trimmed, " ")
+			if strings.Index(head, "#") == 2 {
+				blocks = append(blocks, textBlock{startLine: i + 1, endLine: i + 1, tag: head, name: rest})
+				open = len(blocks) - 1
+			}
+			// Header or stray text: not a block; attr lines that follow
+			// without a head stay unattributed.
+			continue
+		}
+		blocks[len(blocks)-1].endLine = i + 1
+	}
+	return blocks, lineOf
+}
+
+// itemNames maps "xx#N" tags to the names carried under that tag. A
+// corrupted head elsewhere in the stream can collide with a clean
+// item's ID, so one tag may map to several names — the invariant only
+// demands the clean item's name be among them.
+func itemNames(p *pdb.PDB) map[string][]string {
+	m := map[string][]string{}
+	add := func(prefix string, id int, name string) {
+		tag := fmt.Sprintf("%s#%d", prefix, id)
+		m[tag] = append(m[tag], name)
+	}
+	for _, f := range p.Files {
+		add(pdb.PrefixSourceFile, f.ID, f.Name)
+	}
+	for _, r := range p.Routines {
+		add(pdb.PrefixRoutine, r.ID, r.Name)
+	}
+	for _, c := range p.Classes {
+		add(pdb.PrefixClass, c.ID, c.Name)
+	}
+	for _, y := range p.Types {
+		add(pdb.PrefixType, y.ID, y.Name)
+	}
+	for _, te := range p.Templates {
+		add(pdb.PrefixTemplate, te.ID, te.Name)
+	}
+	for _, n := range p.Namespaces {
+		add(pdb.PrefixNamespace, n.ID, n.Name)
+	}
+	for _, ma := range p.Macros {
+		add(pdb.PrefixMacro, ma.ID, ma.Name)
+	}
+	return m
+}
+
+// TestLoadLenientCorruptedCorpusProperty is the fault-injection
+// property test of the resilient-ingestion work: for every corpus
+// database and a spread of fixed seeds, corrupt random bytes of the
+// serialized text and load it leniently. The load must never panic and
+// never fail on format damage, and — the stronger invariant — every
+// item whose block the corruption did not touch must survive with its
+// identity intact: recovery skips damage, it does not eat neighbors.
+func TestLoadLenientCorruptedCorpusProperty(t *testing.T) {
+	ctx := context.Background()
+	entries := corpus(t)
+	for _, entry := range entries {
+		text := pdbText(t, entry.db)
+		blocks, lineOf := splitTextBlocks(text)
+		for seed := int64(1); seed <= 8; seed++ {
+			// Damage scales with the corpus: roughly one corruption per
+			// ten blocks, at least two.
+			n := len(blocks)/10 + 2
+			corrupted, offs := faultio.CorruptBytes([]byte(text), seed, n)
+
+			// A corrupted offset damages its line; corrupting a newline
+			// merges two lines, so the following line is damaged too. A
+			// block is touched when the damage reaches one line around
+			// its span (separator damage can merge neighbors).
+			damaged := map[int]bool{}
+			for _, off := range offs {
+				line := lineOf(off)
+				damaged[line] = true
+				if text[off] == '\n' {
+					damaged[line+1] = true
+				}
+			}
+			touched := func(b textBlock) bool {
+				for l := b.startLine - 1; l <= b.endLine+1; l++ {
+					if damaged[l] {
+						return true
+					}
+				}
+				return false
+			}
+
+			path := writeTemp(t, "corrupt.pdb", string(corrupted))
+			var stats pdbio.Stats
+			db, err := pdbio.Load(ctx, path, pdbio.WithLenient(), pdbio.WithStats(&stats))
+			if err != nil {
+				t.Fatalf("%s seed %d: lenient load failed on format damage: %v", entry.name, seed, err)
+			}
+			got := itemNames(db.Raw())
+			for _, b := range blocks {
+				if touched(b) {
+					continue
+				}
+				found := false
+				for _, name := range got[b.tag] {
+					found = found || name == b.name
+				}
+				if !found {
+					t.Errorf("%s seed %d: untouched item %s %q silently dropped (corrupted offsets %v, got %v)",
+						entry.name, seed, b.tag, b.name, offs, got[b.tag])
+				}
+			}
+		}
+	}
+}
+
+func TestLoadLenientQuarantine(t *testing.T) {
+	ctx := context.Background()
+	in := `<PDB 1.0>
+
+so#1 main.cpp
+
+cl#x Widget
+cloc so#1 3 7
+
+so#2 util.h
+`
+	path := writeTemp(t, "damaged.pdb", in)
+	qdir := filepath.Join(t.TempDir(), "quarantine")
+	var stats pdbio.Stats
+	db, err := pdbio.Load(ctx, path, pdbio.WithLenient(),
+		pdbio.WithQuarantine(qdir), pdbio.WithStats(&stats))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got := len(db.Raw().Files); got != 2 {
+		t.Errorf("files = %d, want both preserved", got)
+	}
+	if stats.Recovered.Load() != 1 || stats.DroppedLines.Load() != 2 {
+		t.Errorf("stats = %d recovered / %d dropped, want 1/2",
+			stats.Recovered.Load(), stats.DroppedLines.Load())
+	}
+	matches, err := filepath.Glob(filepath.Join(qdir, "damaged.pdb.*.skipped"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("quarantine files = %v (%v), want one", matches, err)
+	}
+	content, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(content), "# ") ||
+		!strings.Contains(string(content), "cl#x Widget") {
+		t.Errorf("quarantine content = %q, want the diagnostic header and the skipped lines", content)
+	}
+}
+
+func TestLoadRetrySucceedsAfterTransientFaults(t *testing.T) {
+	ctx := context.Background()
+	text := pdbText(t, corpus(t)[0].db)
+	base := fstest.MapFS{"unit.pdb": &fstest.MapFile{Data: []byte(text)}}
+	fsys := faultio.NewFS(base, faultio.FailOpens(2))
+
+	var stats pdbio.Stats
+	m := obs.New("test")
+	db, err := pdbio.Load(ctx, "unit.pdb",
+		pdbio.WithFS(fsys), pdbio.WithRetry(3, 0), pdbio.WithStats(&stats), pdbio.WithMetrics(m))
+	if err != nil {
+		t.Fatalf("Load with retry: %v", err)
+	}
+	if got := pdbText(t, db); got != text {
+		t.Error("retried load returned different bytes")
+	}
+	if n := stats.Retries.Load(); n != 2 {
+		t.Errorf("stats.Retries = %d, want 2", n)
+	}
+	if n := fsys.OpenCount("unit.pdb"); n != 3 {
+		t.Errorf("opens = %d, want 3", n)
+	}
+	if snap := m.Snapshot(); snap.Counters["load.retries"] != 2 {
+		t.Errorf("load.retries counter = %d, want 2", snap.Counters["load.retries"])
+	}
+}
+
+func TestLoadRetryBudgetExhausted(t *testing.T) {
+	ctx := context.Background()
+	base := fstest.MapFS{"unit.pdb": &fstest.MapFile{Data: []byte("<PDB 1.0>\n")}}
+	fsys := faultio.NewFS(base, faultio.FailOpens(5))
+
+	_, err := pdbio.Load(ctx, "unit.pdb", pdbio.WithFS(fsys), pdbio.WithRetry(2, 0))
+	if !errors.Is(err, faultio.ErrInjected) {
+		t.Fatalf("err = %v, want the injected fault after the retry budget", err)
+	}
+	if n := fsys.OpenCount("unit.pdb"); n != 3 {
+		t.Errorf("opens = %d, want 1 + 2 retries", n)
+	}
+}
+
+func TestLoadParseErrorsNotRetried(t *testing.T) {
+	ctx := context.Background()
+	path := writeTemp(t, "bad.pdb", "<PDB 1.0>\n\nbogus line here\n")
+	var stats pdbio.Stats
+	_, err := pdbio.Load(ctx, path, pdbio.WithRetry(3, 0), pdbio.WithStats(&stats))
+	if err == nil {
+		t.Fatal("strict load of damaged input succeeded")
+	}
+	if n := stats.Retries.Load(); n != 0 {
+		t.Errorf("parse error cost %d retries, want 0", n)
+	}
+}
+
+// TestLoadAllCancellationSurfacesAsCancellation pins the keep-going
+// contract of LoadAll: cancellation is returned as the cancellation it
+// is, not folded into the per-file errors.Join as N spurious file
+// failures.
+func TestLoadAllCancellationSurfacesAsCancellation(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	for i := 0; i < 6; i++ {
+		p := filepath.Join(dir, fmt.Sprintf("u%d.pdb", i))
+		if err := os.WriteFile(p, []byte("<PDB 1.0>\n\nso#1 main.cpp\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := pdbio.LoadAll(ctx, paths)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want errors.Is(context.Canceled)", err)
+	}
+	if n := strings.Count(err.Error(), "context canceled"); n != 1 {
+		t.Errorf("error mentions cancellation %d times, want once: %q", n, err)
+	}
+}
+
+// cancelFS fails one path with context.Canceled to model a per-file
+// cancellation that the parent context never saw.
+type cancelFS struct {
+	base     fstest.MapFS
+	poisoned string
+}
+
+func (c cancelFS) Open(name string) (fs.File, error) {
+	if name == c.poisoned {
+		return nil, context.Canceled
+	}
+	return c.base.Open(name)
+}
+
+func TestLoadAllPerFileCancellationNotJoined(t *testing.T) {
+	base := fstest.MapFS{
+		"a.pdb": &fstest.MapFile{Data: []byte("<PDB 1.0>\n\nso#1 a.cpp\n")},
+		"b.pdb": &fstest.MapFile{Data: []byte("<PDB 1.0>\n\nso#1 b.cpp\n")},
+	}
+	fsys := cancelFS{base: base, poisoned: "b.pdb"}
+	_, err := pdbio.LoadAll(context.Background(), []string{"a.pdb", "b.pdb"}, pdbio.WithFS(fsys))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want errors.Is(context.Canceled)", err)
+	}
+	if strings.Contains(err.Error(), "b.pdb") {
+		t.Errorf("cancellation folded into the per-file join: %q", err)
+	}
+}
+
+// TestLoadAllLenientKeepGoing mixes clean and damaged inputs: lenient
+// keep-going loads everything, strict reports only the damaged file.
+func TestLoadAllLenientKeepGoing(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "clean.pdb")
+	damaged := filepath.Join(dir, "damaged.pdb")
+	// The junk line sits before any item head: that is the damage the
+	// strict reader rejects ("attribute outside any item") while the
+	// lenient reader records and skips.
+	os.WriteFile(clean, []byte("<PDB 1.0>\n\nso#1 a.cpp\n"), 0o644)
+	os.WriteFile(damaged, []byte("<PDB 1.0>\n\nbogus junk\n\nso#1 b.cpp\n\nso#2 c.h\n"), 0o644)
+
+	_, err := pdbio.LoadAll(ctx, []string{clean, damaged})
+	if err == nil || !strings.Contains(err.Error(), "damaged.pdb") || strings.Contains(err.Error(), "clean.pdb") {
+		t.Fatalf("strict err = %v, want only the damaged file reported", err)
+	}
+
+	var stats pdbio.Stats
+	dbs, err := pdbio.LoadAll(ctx, []string{clean, damaged},
+		pdbio.WithLenient(), pdbio.WithStats(&stats))
+	if err != nil {
+		t.Fatalf("lenient LoadAll: %v", err)
+	}
+	if len(dbs) != 2 || len(dbs[1].Raw().Files) != 2 {
+		t.Errorf("lenient load lost items: %d dbs", len(dbs))
+	}
+	if stats.Recovered.Load() == 0 {
+		t.Error("no recoveries recorded for the damaged input")
+	}
+}
