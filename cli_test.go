@@ -5,6 +5,7 @@ package pdt_test
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 	"sync"
 	"testing"
 
+	"pdt/internal/durable"
 	"pdt/internal/obs"
 )
 
@@ -675,5 +677,101 @@ func TestCLIResilientIngestion(t *testing.T) {
 	}
 	if !strings.Contains(out, "pdb-recovery") {
 		t.Errorf("pdblint output lacks pdb-recovery findings:\n%s", out)
+	}
+}
+
+// TestCLICrashConsistentMerge drives the crash-consistency surface of
+// pdbmerge end to end: checkpointed merge, resume with reuse visible
+// in -metrics, flag validation, and the output/journal locks with
+// their distinct exit code.
+func TestCLICrashConsistentMerge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	tmp := t.TempDir()
+
+	var inputs []string
+	for i := 0; i < 4; i++ {
+		p := filepath.Join(tmp, fmt.Sprintf("in%d.pdb", i))
+		text := fmt.Sprintf("<PDB 1.0>\n\nso#1 common.h\n\nso#2 unit%d.cpp\nsinc 1\n\nro#3 f%d\nrloc so#2 1 1\nracs NA\nrkind fun\nrlink C++\n", i, i)
+		if err := os.WriteFile(p, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		inputs = append(inputs, p)
+	}
+	ck := filepath.Join(tmp, "ck")
+
+	// A checkpointed merge journals one entry per reduction unit.
+	out1 := filepath.Join(tmp, "out1.pdb")
+	if _, stderr, err := runTool(t, "pdbmerge",
+		append([]string{"-checkpoint-dir", ck, "-o", out1}, inputs...)...); err != nil {
+		t.Fatalf("pdbmerge -checkpoint-dir: %v\n%s", err, stderr)
+	}
+	ckpts, err := filepath.Glob(filepath.Join(ck, "*.ckpt"))
+	if err != nil || len(ckpts) != 3 {
+		t.Fatalf("journal entries = %v (%v), want 3 for 4 inputs", ckpts, err)
+	}
+
+	// Resume: byte-identical output, and the reuse is observable in
+	// the -metrics snapshot (the PR's acceptance signal).
+	out2 := filepath.Join(tmp, "out2.pdb")
+	_, stderr, err := runTool(t, "pdbmerge",
+		append([]string{"-checkpoint-dir", ck, "-resume", "-metrics", "-", "-o", out2}, inputs...)...)
+	if err != nil {
+		t.Fatalf("pdbmerge -resume: %v\n%s", err, stderr)
+	}
+	snap := metricsSnapshot(t, "pdbmerge", stderr)
+	if got := snap.Counters["checkpoint.reused"]; got != 3 {
+		t.Errorf("checkpoint.reused = %d, want 3", got)
+	}
+	if got := snap.Counters["checkpoint.written"]; got != 0 {
+		t.Errorf("checkpoint.written = %d on a full resume, want 0", got)
+	}
+	wantSpans(t, "pdbmerge", snap, "write", "durable")
+	a, err1 := os.ReadFile(out1)
+	b, err2 := os.ReadFile(out2)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("reading outputs: %v / %v", err1, err2)
+	}
+	if string(a) != string(b) {
+		t.Error("resumed merge differs from the original run")
+	}
+
+	// -resume without -checkpoint-dir is a usage error.
+	var ee *exec.ExitError
+	if _, _, err := runTool(t, "pdbmerge",
+		append([]string{"-resume", "-o", filepath.Join(tmp, "x.pdb")}, inputs...)...); !errors.As(err, &ee) || ee.ExitCode() != 3 {
+		t.Fatalf("pdbmerge -resume without -checkpoint-dir: err = %v, want exit 3", err)
+	}
+
+	// While another process holds the output lock, a second pdbmerge
+	// must fail fast with the dedicated exit code, touching nothing.
+	out3 := filepath.Join(tmp, "out3.pdb")
+	lock, err := durable.AcquireLock(out3 + ".lock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lock.Release()
+	_, stderr, err = runTool(t, "pdbmerge", append([]string{"-o", out3}, inputs...)...)
+	if !errors.As(err, &ee) || ee.ExitCode() != 5 {
+		t.Fatalf("pdbmerge under held lock: err = %v, want exit 5\n%s", err, stderr)
+	}
+	if !strings.Contains(stderr, "lock") {
+		t.Errorf("lock refusal stderr does not mention the lock: %q", stderr)
+	}
+	if _, err := os.Lstat(out3); !os.IsNotExist(err) {
+		t.Error("locked-out run still produced output")
+	}
+
+	// The checkpoint journal is guarded the same way.
+	jlock, err := durable.AcquireLock(ck + ".lock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jlock.Release()
+	_, _, err = runTool(t, "pdbmerge",
+		append([]string{"-checkpoint-dir", ck, "-o", filepath.Join(tmp, "out4.pdb")}, inputs...)...)
+	if !errors.As(err, &ee) || ee.ExitCode() != 5 {
+		t.Fatalf("pdbmerge under held journal lock: err = %v, want exit 5", err)
 	}
 }

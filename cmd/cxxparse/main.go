@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"pdt/internal/cliutil"
 	"pdt/internal/core"
 	"pdt/internal/cpp/sema"
 	"pdt/internal/ilanalyzer"
@@ -84,24 +85,11 @@ func main() {
 			st.BodiesAnalyzed, st.Types, db.ItemCount())
 	}
 
-	// The close error matters as much as the write error: a full disk
-	// surfaces on Close, and swallowing it would exit 0 with a
-	// truncated PDB.
-	err = func() error {
-		if *out == "" {
-			return db.Write(os.Stdout)
-		}
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		if err := db.Write(f); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
-	}()
-	if err != nil {
+	// Output goes through the shared cliutil.Create seam (by default a
+	// crash-consistent durable write): a full disk surfaces on commit
+	// instead of exiting 0 with a truncated PDB, and a killed run
+	// never leaves a torn file at -o.
+	if err := cliutil.WriteOutput(*out, db.Write); err != nil {
 		fmt.Fprintf(os.Stderr, "cxxparse: %v\n", err)
 		os.Exit(1)
 	}

@@ -16,6 +16,7 @@ import (
 
 	"pdt/internal/core"
 	"pdt/internal/ductape"
+	"pdt/internal/durable"
 	"pdt/internal/ilanalyzer"
 	"pdt/internal/siloon"
 )
@@ -85,11 +86,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "siloongen: %v\n", err)
 		os.Exit(1)
 	}
-	if err := os.WriteFile(filepath.Join(*dir, "bindings.slang"), []byte(b.WrapperScript), 0o644); err != nil {
+	// Atomic durable writes: a killed run leaves each generated file
+	// either absent, its previous content, or complete — never torn.
+	if err := durable.WriteFile(filepath.Join(*dir, "bindings.slang"), []byte(b.WrapperScript), 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "siloongen: %v\n", err)
 		os.Exit(1)
 	}
-	if err := os.WriteFile(filepath.Join(*dir, "glue.cpp"), []byte(b.GlueSource), 0o644); err != nil {
+	if err := durable.WriteFile(filepath.Join(*dir, "glue.cpp"), []byte(b.GlueSource), 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "siloongen: %v\n", err)
 		os.Exit(1)
 	}

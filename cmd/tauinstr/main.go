@@ -16,6 +16,7 @@ import (
 
 	"pdt/internal/core"
 	"pdt/internal/ductape"
+	"pdt/internal/durable"
 	"pdt/internal/ilanalyzer"
 	"pdt/internal/tau"
 )
@@ -62,8 +63,10 @@ func main() {
 		os.Exit(1)
 	}
 	for name, content := range edited {
+		// Atomic durable writes: a killed run leaves each translated
+		// source either absent or complete, never torn.
 		outPath := filepath.Join(*dir, filepath.Base(name))
-		if err := os.WriteFile(outPath, []byte(content), 0o644); err != nil {
+		if err := durable.WriteFile(outPath, []byte(content), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "tauinstr: %v\n", err)
 			os.Exit(1)
 		}

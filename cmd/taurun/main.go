@@ -14,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"pdt/internal/cliutil"
 	"pdt/internal/obs"
 	"pdt/internal/tau"
 )
@@ -95,21 +96,15 @@ func main() {
 	if *metrics != "" {
 		m := obs.New("taurun")
 		res.Runtime.ExportObs(m)
-		// Close errors count: a full disk surfaces on Close, and
-		// swallowing it would exit 0 with a truncated snapshot.
+		// The snapshot goes through the shared cliutil.Create seam (a
+		// crash-consistent durable write by default): a full disk
+		// surfaces on commit instead of exiting 0 with a truncated
+		// snapshot, and the write/close failure tests cover it.
 		err := func() error {
 			if *metrics == "-" {
 				return m.WriteJSON(os.Stderr)
 			}
-			f, err := os.Create(*metrics)
-			if err != nil {
-				return err
-			}
-			if err := m.WriteJSON(f); err != nil {
-				f.Close()
-				return err
-			}
-			return f.Close()
+			return cliutil.WriteOutput(*metrics, m.WriteJSON)
 		}()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "taurun: %v\n", err)

@@ -5,9 +5,10 @@
 //
 // The exit-code convention follows pdblint: 0 is success, codes 1 and
 // 2 are reserved for tool-specific findings severities, 3 means a
-// usage or I/O failure, and 4 means the run completed but the lenient
+// usage or I/O failure, 4 means the run completed but the lenient
 // reader recovered past malformed input (success with caveats — the
-// output omits whatever was skipped).
+// output omits whatever was skipped), and 5 means another process
+// holds the output lock (nothing was written; retry when it exits).
 package cliutil
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 	"time"
 
+	"pdt/internal/durable"
 	"pdt/internal/obs"
 	"pdt/internal/pdbio"
 )
@@ -26,6 +28,7 @@ const (
 	ExitOK        = 0
 	ExitUsage     = 3
 	ExitRecovered = 4 // completed, but lenient ingestion recovered past damage
+	ExitLocked    = 5 // another process holds the output lock; nothing was written
 )
 
 // Tool carries one command-line tool's name, usage line, flag set, and
@@ -124,17 +127,7 @@ func (t *Tool) FlushObs() {
 	if *t.metricsPath == "-" {
 		err = t.obs.WriteJSON(t.Stderr)
 	} else {
-		err = func() error {
-			f, cerr := os.Create(*t.metricsPath)
-			if cerr != nil {
-				return cerr
-			}
-			if werr := t.obs.WriteJSON(f); werr != nil {
-				f.Close()
-				return werr
-			}
-			return f.Close()
-		}()
+		err = WriteOutput(*t.metricsPath, t.obs.WriteJSON)
 	}
 	if err != nil {
 		t.Fatalf("writing metrics: %v", err)
@@ -179,16 +172,30 @@ func (t *Tool) Fatalf(format string, args ...interface{}) {
 	t.Exit(ExitUsage)
 }
 
-// Create is the file-creation seam WithOutput uses; tests override it
-// to exercise write/close failure paths. The default is os.Create.
+// Create is the file-creation seam WithOutput and WriteOutput use;
+// tests override it to exercise write/close failure paths. The
+// default is a crash-consistent durable.Create: bytes are staged to a
+// same-directory temp file and only an error-free Close publishes
+// them (fsync, atomic rename, directory fsync), so a crash or full
+// disk never leaves a torn file at the final path.
 var Create = func(path string) (io.WriteCloser, error) {
-	return os.Create(path)
+	return durable.Create(path)
 }
 
 // WithOutput runs fn against the -o destination: stdout when path is
-// empty, otherwise a freshly created file that is closed afterwards
-// (reporting the close error, so a full disk is not silent).
+// empty, otherwise a crash-consistently created file (see Create)
+// that is committed afterwards — reporting the commit error, so a
+// full disk is not silent, and aborting the staged bytes when fn
+// fails so existing output is never disturbed.
 func (t *Tool) WithOutput(path string, fn func(io.Writer) error) error {
+	return WriteOutput(path, fn)
+}
+
+// WriteOutput is the package-level form of Tool.WithOutput for tools
+// that don't build a Tool (cxxparse, taurun): fn writes to stdout
+// when path is empty, else through the Create seam with
+// commit-on-success / abort-on-error semantics.
+func WriteOutput(path string, fn func(io.Writer) error) error {
 	if path == "" {
 		return fn(os.Stdout)
 	}
@@ -197,7 +204,14 @@ func (t *Tool) WithOutput(path string, fn func(io.Writer) error) error {
 		return err
 	}
 	if err := fn(f); err != nil {
-		f.Close()
+		// Prefer a clean abort (durable writers discard their staging
+		// file and leave the target untouched); close is the fallback
+		// for seam overrides that are plain files.
+		if a, ok := f.(interface{ Abort() error }); ok {
+			a.Abort()
+		} else {
+			f.Close()
+		}
 		return err
 	}
 	return f.Close()

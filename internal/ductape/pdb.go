@@ -5,6 +5,7 @@ import (
 	"os"
 	"sort"
 
+	"pdt/internal/durable"
 	"pdt/internal/pdb"
 )
 
@@ -107,14 +108,21 @@ func Load(path string) (*PDB, error) { return ReadFile(path) }
 // Write serializes the database.
 func (p *PDB) Write(w io.Writer) error { return p.raw.Write(w) }
 
-// Save writes the database to disk.
+// Save writes the database to disk atomically and durably: the bytes
+// are staged to a same-directory temp file and renamed over path only
+// on an error-free commit, so a crash or full disk never leaves a
+// torn database — path holds the old bytes or the new, never a
+// prefix.
 func (p *PDB) Save(path string) error {
-	f, err := os.Create(path)
+	w, err := durable.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return p.Write(f)
+	if err := p.Write(w); err != nil {
+		w.Abort()
+		return err
+	}
+	return w.Close()
 }
 
 // Raw returns the underlying document model.

@@ -1,0 +1,267 @@
+package durable
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// listDir returns the names in dir, for leftover-staging-file checks.
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+
+	if err := WriteFile(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "first" {
+		t.Errorf("content = %q, want %q", got, "first")
+	}
+	if err := WriteFile(path, []byte("second"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second" {
+		t.Errorf("content after replace = %q, want %q", got, "second")
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Errorf("staging files left behind: %v", names)
+	}
+}
+
+func TestWriterCommitAndAbort(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Abort: the target keeps its old bytes and the staging file is gone.
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("partial new conte")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "old" {
+		t.Errorf("after abort: content = %q, want old bytes", got)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Errorf("after abort: staging files left behind: %v", names)
+	}
+	// Abort after Abort (and Close after Abort) are no-ops.
+	if err := w.Abort(); err != nil {
+		t.Errorf("second abort: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("close after abort: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "old" {
+		t.Errorf("close after abort touched the target: %q", got)
+	}
+
+	// Commit: the target atomically becomes the new bytes.
+	w, err = Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "new" {
+		t.Errorf("after commit: content = %q, want %q", got, "new")
+	}
+	// Abort after a successful Close must not disturb the target.
+	if err := w.Abort(); err != nil {
+		t.Errorf("abort after close: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "new" {
+		t.Errorf("abort after close touched the target: %q", got)
+	}
+}
+
+func TestCreateFailsWithoutDirectory(t *testing.T) {
+	_, err := Create(filepath.Join(t.TempDir(), "missing", "out.txt"))
+	if err == nil {
+		t.Fatal("Create in a missing directory succeeded")
+	}
+}
+
+func TestLockExcludesSecondAcquirer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.lock")
+	l1, err := AcquireLock(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AcquireLock(path); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second acquire: err = %v, want ErrLocked", err)
+	}
+	if err := l1.Release(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := AcquireLock(path)
+	if err != nil {
+		t.Fatalf("reacquire after release: %v", err)
+	}
+	defer l2.Release()
+	// Release is idempotent.
+	if err := l1.Release(); err != nil {
+		t.Errorf("double release: %v", err)
+	}
+}
+
+// TestLockMutualExclusionRace drives N goroutines through
+// acquire/critical-section/release and checks (under -race) that the
+// lock admits exactly one holder at a time.
+func TestLockMutualExclusionRace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.lock")
+	var inside, acquired int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l, err := AcquireLock(path)
+				if err != nil {
+					if !errors.Is(err, ErrLocked) {
+						t.Errorf("acquire: %v", err)
+					}
+					continue
+				}
+				mu.Lock()
+				inside++
+				if inside != 1 {
+					t.Errorf("%d holders inside the critical section", inside)
+				}
+				acquired++
+				inside--
+				mu.Unlock()
+				if err := l.Release(); err != nil {
+					t.Errorf("release: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if acquired == 0 {
+		t.Error("no goroutine ever acquired the lock")
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	j, err := OpenJournal(nil, filepath.Join(t.TempDir(), "ck"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("<PDB 1.0>\nso#1 a.h\n")
+	key := KeyOf("v1", Sum(payload))
+	if _, ok, invalid := j.Load(key); ok || invalid {
+		t.Fatalf("load before store: ok=%v invalid=%v, want miss", ok, invalid)
+	}
+	if err := j.Store(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, invalid := j.Load(key)
+	if !ok || invalid {
+		t.Fatalf("load after store: ok=%v invalid=%v", ok, invalid)
+	}
+	if string(got) != string(payload) {
+		t.Errorf("payload = %q, want %q", got, payload)
+	}
+	if err := j.Remove(key); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := j.Load(key); ok {
+		t.Error("load after remove: hit")
+	}
+	if err := j.Remove(key); err != nil {
+		t.Errorf("remove of a missing entry: %v", err)
+	}
+}
+
+// TestJournalInvalidation: every way an entry can be stale — torn
+// payload, flipped byte, renamed key, foreign content — must read as
+// invalid, never as a hit.
+func TestJournalInvalidation(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ck")
+	j, err := OpenJournal(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("payload bytes here")
+	key := KeyOf("unit", Sum(payload))
+	if err := j.Store(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+".ckpt")
+	stored, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tamper := map[string][]byte{
+		"truncated":    stored[:len(stored)-3],
+		"flipped-byte": append(append([]byte{}, stored[:len(stored)-1]...), stored[len(stored)-1]^0x20),
+		"no-header":    []byte("not a checkpoint at all"),
+		"empty":        {},
+	}
+	for name, bad := range tamper {
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, invalid := j.Load(key); ok || !invalid {
+			t.Errorf("%s: ok=%v invalid=%v, want invalidated", name, ok, invalid)
+		}
+	}
+
+	// A valid entry renamed under another key must not be reused: the
+	// key inside the file disagrees with the requested one.
+	if err := j.Store(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	otherKey := KeyOf("other-unit")
+	if err := os.Rename(path, filepath.Join(dir, otherKey+".ckpt")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, invalid := j.Load(otherKey); ok || !invalid {
+		t.Errorf("renamed entry: ok=%v invalid=%v, want invalidated", ok, invalid)
+	}
+}
+
+// TestKeyOfFraming: part boundaries must matter, or distinct input
+// lists would collide by concatenation.
+func TestKeyOfFraming(t *testing.T) {
+	if KeyOf("ab", "c") == KeyOf("a", "bc") {
+		t.Error(`KeyOf("ab","c") == KeyOf("a","bc")`)
+	}
+	if KeyOf("a", "b") == KeyOf("a", "b", "") {
+		t.Error("trailing empty part does not change the key")
+	}
+	if !strings.EqualFold(KeyOf("x"), KeyOf("x")) {
+		t.Error("KeyOf is not deterministic")
+	}
+}

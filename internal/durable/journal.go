@@ -1,0 +1,118 @@
+package durable
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Journal is a content-addressed checkpoint store: each entry is an
+// opaque payload filed under a caller-derived key (for pdbio.Merge,
+// the hash of a merge unit's inputs and options). Entries are written
+// atomically and self-verify on load — the file carries its own key
+// and a checksum of its payload, so a stale, torn, or tampered
+// checkpoint is detected by hash mismatch and reported as invalid
+// rather than silently reused. That is the whole resume contract: a
+// key can only ever name one byte string, so reusing a verified entry
+// is proven equivalent to recomputing it.
+type Journal struct {
+	fsys FS
+	dir  string
+}
+
+// journalHeader is the first line of every checkpoint file. The key is
+// repeated inside the file so a renamed or copied checkpoint cannot
+// masquerade as another unit's result.
+const journalMagic = "#pdt-checkpoint v1"
+
+// OpenJournal opens (creating if needed) the checkpoint directory.
+// Writes go through fsys — the kill-point seam — while loads read the
+// real filesystem directly.
+func OpenJournal(fsys FS, dir string) (*Journal, error) {
+	if fsys == nil {
+		fsys = OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: journal %s: %w", dir, err)
+	}
+	return &Journal{fsys: fsys, dir: dir}, nil
+}
+
+// Dir reports the journal's directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Sum returns the hex SHA-256 of data — the leaf hash for
+// content-addressed keys.
+func Sum(data []byte) string {
+	h := sha256.Sum256(data)
+	return hex.EncodeToString(h[:])
+}
+
+// KeyOf derives a checkpoint key from its labeled parts (child hashes,
+// option fingerprints). Parts are length-prefix framed before hashing
+// so no two distinct part lists collide by concatenation.
+func KeyOf(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d:", len(p))
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (j *Journal) path(key string) string {
+	return filepath.Join(j.dir, key+".ckpt")
+}
+
+// Store files payload under key, atomically and durably. Concurrent
+// stores of the same key are safe: each stages to its own temp file
+// and the atomic rename makes one complete entry win.
+func (j *Journal) Store(key string, payload []byte) error {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s key=%s sum=%s len=%d\n", journalMagic, key, Sum(payload), len(payload))
+	buf.Write(payload)
+	return WriteFileFS(j.fsys, j.path(key), buf.Bytes(), 0o644)
+}
+
+// Load fetches the payload stored under key. ok reports a verified
+// hit. invalid reports an entry that exists but failed verification —
+// wrong magic, key mismatch, checksum mismatch, or truncation — which
+// the caller should count (checkpoint.invalidated) and overwrite;
+// Load never returns such bytes.
+func (j *Journal) Load(key string) (payload []byte, ok, invalid bool) {
+	data, err := os.ReadFile(j.path(key))
+	if err != nil {
+		return nil, false, false
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, false, true
+	}
+	header, body := string(data[:nl]), data[nl+1:]
+	var gotKey, gotSum string
+	var gotLen int
+	rest, found := strings.CutPrefix(header, journalMagic+" ")
+	if !found {
+		return nil, false, true
+	}
+	if _, err := fmt.Sscanf(rest, "key=%s sum=%s len=%d", &gotKey, &gotSum, &gotLen); err != nil {
+		return nil, false, true
+	}
+	if gotKey != key || gotLen != len(body) || gotSum != Sum(body) {
+		return nil, false, true
+	}
+	return body, true, false
+}
+
+// Remove deletes the entry stored under key, if any.
+func (j *Journal) Remove(key string) error {
+	err := j.fsys.Remove(j.path(key))
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}

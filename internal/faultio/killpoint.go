@@ -1,0 +1,214 @@
+package faultio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"sync"
+
+	"pdt/internal/durable"
+)
+
+// ErrKilled is the sentinel every kill-point fault matches via
+// errors.Is. Unlike ErrInjected faults it does NOT report
+// Temporary(): it simulates the process dying mid-write (kill -9,
+// power cut), which no retry loop survives.
+var ErrKilled = errors.New("faultio: killed at write site")
+
+// KilledError is the concrete error a crash site delivers. Site is
+// the global write-site index at which the process "died".
+type KilledError struct {
+	Op   string // the operation that was cut: "write", "sync", "rename", ...
+	Site int64
+}
+
+func (e *KilledError) Error() string {
+	return fmt.Sprintf("faultio: killed during %s at write site %d", e.Op, e.Site)
+}
+
+// Is matches the ErrKilled sentinel.
+func (e *KilledError) Is(target error) bool { return target == ErrKilled }
+
+// CrashWriter wraps w and cuts the stream after budget bytes: the
+// prefix up to the budget is written through, then every Write fails
+// with a KilledError — the shape of a torn in-place write. budget < 0
+// never kills.
+type CrashWriter struct {
+	w      io.Writer
+	budget int64
+	off    int64
+	killed bool
+}
+
+// NewCrashWriter builds a crashing writer over w.
+func NewCrashWriter(w io.Writer, budget int64) *CrashWriter {
+	return &CrashWriter{w: w, budget: budget}
+}
+
+// Killed reports whether the kill point has fired.
+func (c *CrashWriter) Killed() bool { return c.killed }
+
+func (c *CrashWriter) Write(p []byte) (int, error) {
+	if c.killed {
+		return 0, &KilledError{Op: "write", Site: c.off}
+	}
+	allowed := int64(len(p))
+	if c.budget >= 0 {
+		if rem := c.budget - c.off; rem < allowed {
+			allowed = rem
+			c.killed = true
+		}
+	}
+	n, err := c.w.Write(p[:allowed])
+	c.off += int64(n)
+	if err != nil {
+		return n, err
+	}
+	if c.killed {
+		return n, &KilledError{Op: "write", Site: c.off}
+	}
+	return n, nil
+}
+
+// CrashFS implements the durable.FS write seam over a base filesystem
+// and deterministically cuts the process's write stream at a chosen
+// site. Every mutating operation — open, sync, close, rename, remove,
+// mkdir — consumes one site; every byte written consumes one more, so
+// a kill can land inside a write and leave a genuinely torn staging
+// file. Once the kill fires, every subsequent operation fails too (a
+// dead process issues no more I/O), which is what lets a property
+// test iterate the budget over [0, Sites()) and assert the final path
+// is never torn at any crash site.
+type CrashFS struct {
+	base durable.FS
+
+	mu     sync.Mutex
+	budget int64 // sites allowed before the kill; < 0 = never kill
+	used   int64
+	killed bool
+}
+
+// NewCrashFS builds a crashing filesystem over base (nil = the real
+// filesystem) that kills at write site budget. budget < 0 disables
+// the kill — a probe run that only counts sites.
+func NewCrashFS(base durable.FS, budget int64) *CrashFS {
+	if base == nil {
+		base = durable.OS
+	}
+	return &CrashFS{base: base, budget: budget}
+}
+
+// Sites reports how many write sites the run has consumed so far; a
+// probe run's final value bounds the kill points worth testing.
+func (c *CrashFS) Sites() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Killed reports whether the kill point has fired.
+func (c *CrashFS) Killed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.killed
+}
+
+// spend consumes up to n sites, returning how many were granted and
+// whether the process is (now) dead. Once dead, nothing is granted.
+func (c *CrashFS) spend(n int64) (granted int64, dead bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.killed {
+		return 0, true
+	}
+	if c.budget < 0 {
+		c.used += n
+		return n, false
+	}
+	if rem := c.budget - c.used; rem < n {
+		c.used = c.budget
+		c.killed = true
+		return rem, true
+	}
+	c.used += n
+	return n, false
+}
+
+// op spends one site for a whole-operation crash point.
+func (c *CrashFS) op(name string) error {
+	if _, dead := c.spend(1); dead {
+		return &KilledError{Op: name, Site: c.Sites()}
+	}
+	return nil
+}
+
+// OpenFile implements durable.FS.
+func (c *CrashFS) OpenFile(name string, flag int, perm fs.FileMode) (durable.File, error) {
+	if err := c.op("open"); err != nil {
+		return nil, err
+	}
+	f, err := c.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{fs: c, f: f}, nil
+}
+
+// Rename implements durable.FS.
+func (c *CrashFS) Rename(oldpath, newpath string) error {
+	if err := c.op("rename"); err != nil {
+		return err
+	}
+	return c.base.Rename(oldpath, newpath)
+}
+
+// Remove implements durable.FS.
+func (c *CrashFS) Remove(name string) error {
+	if err := c.op("remove"); err != nil {
+		return err
+	}
+	return c.base.Remove(name)
+}
+
+// MkdirAll implements durable.FS.
+func (c *CrashFS) MkdirAll(path string, perm fs.FileMode) error {
+	if err := c.op("mkdir"); err != nil {
+		return err
+	}
+	return c.base.MkdirAll(path, perm)
+}
+
+// crashFile charges one site per byte written and one per sync/close,
+// writing through the granted prefix so a mid-write kill leaves a
+// torn staging file behind.
+type crashFile struct {
+	fs *CrashFS
+	f  durable.File
+}
+
+func (c *crashFile) Write(p []byte) (int, error) {
+	granted, dead := c.fs.spend(int64(len(p)))
+	n, err := c.f.Write(p[:granted])
+	if err != nil {
+		return n, err
+	}
+	if dead {
+		return n, &KilledError{Op: "write", Site: c.fs.Sites()}
+	}
+	return n, nil
+}
+
+func (c *crashFile) Sync() error {
+	if err := c.fs.op("sync"); err != nil {
+		return err
+	}
+	return c.f.Sync()
+}
+
+func (c *crashFile) Close() error {
+	// Closing is not a crash site of its own (a dead process's
+	// descriptors close anyway), but a dead filesystem still closes
+	// the real file so probe runs don't leak descriptors.
+	return c.f.Close()
+}

@@ -1,0 +1,157 @@
+package faultio_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pdt/internal/durable"
+	"pdt/internal/faultio"
+)
+
+func TestCrashWriterCutsAtBudget(t *testing.T) {
+	var sink bytes.Buffer
+	w := faultio.NewCrashWriter(&sink, 10)
+	n, err := w.Write([]byte("0123456"))
+	if n != 7 || err != nil {
+		t.Fatalf("first write = %d, %v", n, err)
+	}
+	n, err = w.Write([]byte("789abcdef"))
+	if n != 3 || !errors.Is(err, faultio.ErrKilled) {
+		t.Fatalf("killing write = %d, %v; want 3 bytes then ErrKilled", n, err)
+	}
+	if !w.Killed() {
+		t.Error("Killed() = false after the kill")
+	}
+	if sink.String() != "0123456789" {
+		t.Errorf("underlying stream = %q, want exactly the 10-byte prefix", sink.String())
+	}
+	// A dead process writes nothing more.
+	if n, err := w.Write([]byte("x")); n != 0 || !errors.Is(err, faultio.ErrKilled) {
+		t.Errorf("write after kill = %d, %v", n, err)
+	}
+	if sink.Len() != 10 {
+		t.Errorf("stream grew after the kill: %d bytes", sink.Len())
+	}
+}
+
+func TestCrashWriterNeverKillsWithNegativeBudget(t *testing.T) {
+	var sink bytes.Buffer
+	w := faultio.NewCrashWriter(&sink, -1)
+	for i := 0; i < 100; i++ {
+		if _, err := w.Write([]byte("payload")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if w.Killed() {
+		t.Error("probe writer reported killed")
+	}
+}
+
+// TestCrashFSProbeCountsSites: a probe run (budget < 0) consumes but
+// never kills, and two identical runs consume identically — the
+// determinism the kill-point sweep depends on.
+func TestCrashFSProbeCountsSites(t *testing.T) {
+	run := func(budget int64, dir string) (int64, error) {
+		cfs := faultio.NewCrashFS(nil, budget)
+		err := durable.WriteFileFS(cfs, filepath.Join(dir, "out.txt"), []byte("hello, crash"), 0o644)
+		return cfs.Sites(), err
+	}
+	sites1, err := run(-1, t.TempDir())
+	if err != nil {
+		t.Fatalf("probe run failed: %v", err)
+	}
+	sites2, err := run(-1, t.TempDir())
+	if err != nil || sites1 != sites2 {
+		t.Fatalf("probe runs disagree: %d vs %d (%v)", sites1, sites2, err)
+	}
+	if sites1 < int64(len("hello, crash")) {
+		t.Fatalf("sites = %d, want at least one per byte", sites1)
+	}
+}
+
+// TestCrashFSDeadAfterKill: once the kill fires, every subsequent
+// operation fails — a dead process issues no more I/O.
+func TestCrashFSDeadAfterKill(t *testing.T) {
+	dir := t.TempDir()
+	cfs := faultio.NewCrashFS(nil, 0) // dies before its first operation
+	if err := durable.WriteFileFS(cfs, filepath.Join(dir, "a"), []byte("x"), 0o644); !errors.Is(err, faultio.ErrKilled) {
+		t.Fatalf("first op: %v, want ErrKilled", err)
+	}
+	if !cfs.Killed() {
+		t.Fatal("Killed() = false")
+	}
+	if err := cfs.Rename("a", "b"); !errors.Is(err, faultio.ErrKilled) {
+		t.Errorf("rename after death: %v", err)
+	}
+	if err := cfs.MkdirAll(filepath.Join(dir, "d"), 0o755); !errors.Is(err, faultio.ErrKilled) {
+		t.Errorf("mkdir after death: %v", err)
+	}
+	if _, err := cfs.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, faultio.ErrKilled) {
+		t.Errorf("open after death: %v", err)
+	}
+}
+
+// TestKilledErrorIsNotTemporary: kill-point faults must never look
+// retryable — no retry loop survives a dead process.
+func TestKilledErrorIsNotTemporary(t *testing.T) {
+	err := error(&faultio.KilledError{Op: "write", Site: 3})
+	var te interface{ Temporary() bool }
+	if errors.As(err, &te) {
+		t.Error("KilledError advertises Temporary(); kill-points must not be retryable")
+	}
+	if !errors.Is(err, faultio.ErrKilled) {
+		t.Error("KilledError does not match ErrKilled")
+	}
+	if errors.Is(err, faultio.ErrInjected) {
+		t.Error("KilledError matches ErrInjected; the sentinels must stay distinct")
+	}
+}
+
+// TestWriteFileNeverTornAtAnyKillPoint is the core never-torn
+// property at the primitive level: kill durable.WriteFile at every
+// write site and check the target always holds nothing, the old
+// bytes, or the complete new bytes.
+func TestWriteFileNeverTornAtAnyKillPoint(t *testing.T) {
+	const oldContent = "the old complete content"
+	const newContent = "the new complete content, somewhat longer than before"
+
+	probe := faultio.NewCrashFS(nil, -1)
+	dir := t.TempDir()
+	if err := durable.WriteFileFS(probe, filepath.Join(dir, "probe.txt"), []byte(newContent), 0o644); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	sites := probe.Sites()
+
+	for _, preExisting := range []bool{false, true} {
+		for k := int64(0); k <= sites; k++ {
+			dir := t.TempDir()
+			target := filepath.Join(dir, "out.txt")
+			if preExisting {
+				if err := os.WriteFile(target, []byte(oldContent), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cfs := faultio.NewCrashFS(nil, k)
+			err := durable.WriteFileFS(cfs, target, []byte(newContent), 0o644)
+			if k < sites && !errors.Is(err, faultio.ErrKilled) {
+				t.Fatalf("k=%d pre=%v: err = %v, want ErrKilled", k, preExisting, err)
+			}
+			got, rerr := os.ReadFile(target)
+			switch {
+			case rerr != nil && os.IsNotExist(rerr) && !preExisting:
+				// absent: fine for a fresh target
+			case rerr != nil:
+				t.Fatalf("k=%d pre=%v: reading target: %v", k, preExisting, rerr)
+			case string(got) == oldContent && preExisting:
+				// old bytes intact: fine
+			case string(got) == newContent:
+				// complete new bytes: fine
+			default:
+				t.Fatalf("k=%d pre=%v: TORN OUTPUT %q", k, preExisting, got)
+			}
+		}
+	}
+}

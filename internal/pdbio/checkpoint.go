@@ -1,0 +1,224 @@
+package pdbio
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+
+	"pdt/internal/ductape"
+	"pdt/internal/durable"
+	"pdt/internal/obs"
+	"pdt/internal/pdb"
+)
+
+// mergeFingerprint pins the checkpoint key space: it enters every
+// unit key, so a format or version change invalidates old journals
+// wholesale instead of reusing entries produced under different merge
+// semantics. Today no merge option changes the output bytes (the
+// reduction is order-associative at every worker count), so the
+// fingerprint is the only "options" component.
+const mergeFingerprint = "pdt-merge-v1 pdb=" + pdb.Version
+
+// mergeUnit is one node of the reduction tree: a database plus the
+// content-derived key that names it in the checkpoint journal. Leaves
+// are keyed by the hash of their serialized bytes; internal units by
+// the hash of their children's keys and the fingerprint, so the key
+// of every unit pins the exact inputs that produced it.
+type mergeUnit struct {
+	db  *ductape.PDB
+	key string
+}
+
+// mergeCheckpointed is the journaling tree reduction behind
+// WithCheckpoint: identical pairing and bytes to the plain Merge tree,
+// but every completed pair-merge is stored in the journal, and — when
+// resuming — verified entries are loaded instead of recomputed. The
+// tree runs even at one worker so the journaled units are the same at
+// every -j.
+func mergeCheckpointed(ctx context.Context, dbs []*ductape.PDB, cfg config, sp *obs.Span) (*ductape.PDB, error) {
+	j, err := durable.OpenJournal(cfg.durableFS(), cfg.ckptDir)
+	if err != nil {
+		return nil, err
+	}
+
+	// Leaf keys: hash each input's serialization in parallel. The hash
+	// streams through the writer, so no input is buffered twice.
+	units := make([]mergeUnit, len(dbs))
+	hashErrs := make([]error, len(dbs))
+	hs := sp.Start("hash")
+	hs.AddItems(int64(len(dbs)))
+	workers := cfg.workerCount()
+	if workers > len(dbs) {
+		workers = len(dbs)
+	}
+	var wg sync.WaitGroup
+	feed := make(chan int)
+	go func() {
+		defer close(feed)
+		for i := range dbs {
+			select {
+			case feed <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				h := sha256.New()
+				if err := dbs[i].Write(h); err != nil {
+					hashErrs[i] = err
+					continue
+				}
+				units[i] = mergeUnit{db: dbs[i], key: hex.EncodeToString(h.Sum(nil))}
+			}
+		}()
+	}
+	wg.Wait()
+	hs.End()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := errors.Join(hashErrs...); err != nil {
+		return nil, fmt.Errorf("hashing inputs: %w", err)
+	}
+
+	pool := cfg.metrics.Pool("merge")
+	for level := 1; len(units) > 1; level++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ls := sp.Start(fmt.Sprintf("level-%d", level))
+		in := units
+		next := make([]mergeUnit, (len(in)+1)/2)
+		pairErrs := make([]error, len(in)/2)
+		pairs := len(in) / 2
+		ls.AddItems(int64(pairs))
+		lw := workers
+		if lw > pairs {
+			lw = pairs
+		}
+		if lw < 1 {
+			lw = 1
+		}
+		pairFeed := make(chan int)
+		go func() {
+			defer close(pairFeed)
+			for p := 0; p < pairs; p++ {
+				select {
+				case pairFeed <- p:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		var lwg sync.WaitGroup
+		for w := 0; w < lw; w++ {
+			lwg.Add(1)
+			go func(wrk *obs.Worker) {
+				defer lwg.Done()
+				for p := range pairFeed {
+					t0 := wrk.Begin()
+					next[p], pairErrs[p] = cfg.mergeUnitPair(j, in[2*p], in[2*p+1])
+					wrk.End(t0, 1, 0)
+				}
+			}(pool.Worker(w))
+		}
+		if len(in)%2 == 1 {
+			// The odd unit out passes through with its key unchanged;
+			// the next level pairs it in position.
+			next[len(next)-1] = in[len(in)-1]
+		}
+		lwg.Wait()
+		ls.End()
+		if err := errors.Join(pairErrs...); err != nil {
+			return nil, err
+		}
+		units = next
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return units[0].db, nil
+}
+
+// mergeUnitPair resolves one reduction unit: reuse the journaled
+// result when resuming and the entry verifies, else merge the pair
+// and journal the result atomically. A stored entry that exists but
+// fails verification — torn, tampered, or from a different format —
+// is counted as invalidated and overwritten; its bytes are never
+// used.
+func (c config) mergeUnitPair(j *durable.Journal, a, b mergeUnit) (mergeUnit, error) {
+	key := durable.KeyOf(mergeFingerprint, a.key, b.key)
+	if c.resume {
+		payload, ok, invalid := j.Load(key)
+		if ok {
+			db, err := ductape.Read(bytes.NewReader(payload))
+			if err == nil {
+				c.metrics.Counter("checkpoint.reused").Add(1)
+				return mergeUnit{db: db, key: key}, nil
+			}
+			// The checksum held but the payload no longer parses —
+			// format drift. Treat exactly like a hash mismatch.
+			invalid = true
+		}
+		if invalid {
+			c.metrics.Counter("checkpoint.invalidated").Add(1)
+		}
+	}
+	merged := ductape.Merge(a.db, b.db)
+	var buf bytes.Buffer
+	if err := merged.Write(&buf); err != nil {
+		return mergeUnit{}, err
+	}
+	if err := j.Store(key, buf.Bytes()); err != nil {
+		return mergeUnit{}, fmt.Errorf("checkpoint: %w", err)
+	}
+	c.metrics.Counter("checkpoint.written").Add(1)
+	return mergeUnit{db: merged, key: key}, nil
+}
+
+// MergeToFile runs the whole pdbmerge pipeline with crash-consistent
+// output: load every input concurrently, merge them (journaling
+// checkpoints when WithCheckpoint is configured), and atomically
+// replace path with the result — staged to a same-directory temp
+// file, fsynced, renamed over the target, directory fsynced. At every
+// write site a crash leaves path holding nothing, the previous bytes,
+// or the complete new bytes, never a prefix; the kill-point property
+// tests iterate a CrashFS over every site to prove it.
+func MergeToFile(ctx context.Context, path string, inputs []string, opts ...Option) error {
+	if len(inputs) == 0 {
+		return errors.New("no input files")
+	}
+	dbs, err := LoadAll(ctx, inputs, opts...)
+	if err != nil {
+		return err
+	}
+	merged, err := Merge(ctx, dbs, opts...)
+	if err != nil {
+		return err
+	}
+	cfg := newConfig(opts)
+	ws := cfg.startSpan("write")
+	defer ws.End()
+	w, err := durable.CreateFS(cfg.durableFS(), path)
+	if err != nil {
+		return err
+	}
+	if err := merged.Write(w); err != nil {
+		w.Abort()
+		return err
+	}
+	// The durable child span isolates the crash-consistency cost —
+	// fsync, atomic rename, directory fsync — from the serialization.
+	ds := ws.Start("durable")
+	defer ds.End()
+	return w.Close()
+}

@@ -1,0 +1,210 @@
+package pdbio_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pdt/internal/obs"
+	"pdt/internal/pdbio"
+)
+
+// tinyInput returns the text of a minimal program database: a shared
+// header (so merges dedup something) plus one unit-local file and
+// routine. Small inputs keep the kill-point sweeps cheap — every byte
+// written is a crash site.
+func tinyInput(i int) string {
+	return fmt.Sprintf("<PDB 1.0>\n\nso#1 common.h\n\nso#2 unit%d.cpp\nsinc 1\n\nro#3 f%d\nrloc so#2 1 1\nracs NA\nrkind fun\nrlink C++\n", i, i)
+}
+
+// writeTinyInputs materializes n tiny databases on disk.
+func writeTinyInputs(t *testing.T, dir string, n int) []string {
+	t.Helper()
+	paths := make([]string, n)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("in%d.pdb", i))
+		if err := os.WriteFile(paths[i], []byte(tinyInput(i)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return paths
+}
+
+// goldenMerge is the uninterrupted, uncheckpointed reference output.
+func goldenMerge(t *testing.T, paths []string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := pdbio.MergeFiles(context.Background(), &buf, paths); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func countCheckpoints(t *testing.T, dir string) int {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(matches)
+}
+
+// TestCheckpointMergeMatchesPlain: journaling must not change a
+// single output byte, at any worker count, and must leave one
+// checkpoint per completed reduction unit.
+func TestCheckpointMergeMatchesPlain(t *testing.T) {
+	tmp := t.TempDir()
+	paths := writeTinyInputs(t, tmp, 5)
+	want := goldenMerge(t, paths)
+
+	for _, workers := range []int{1, 2, 8} {
+		ck := filepath.Join(tmp, fmt.Sprintf("ck-j%d", workers))
+		m := obs.New("test")
+		var buf bytes.Buffer
+		err := pdbio.MergeFiles(context.Background(), &buf, paths,
+			pdbio.WithWorkers(workers), pdbio.WithCheckpoint(ck, false), pdbio.WithMetrics(m))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("workers=%d: checkpointed merge differs from plain merge", workers)
+		}
+		// 5 leaves reduce over 4 pair merges (2+1+1), regardless of -j.
+		if n := countCheckpoints(t, ck); n != 4 {
+			t.Errorf("workers=%d: %d checkpoints journaled, want 4", workers, n)
+		}
+		snap := m.Snapshot()
+		if got := snap.Counters["checkpoint.written"]; got != 4 {
+			t.Errorf("workers=%d: checkpoint.written = %d, want 4", workers, got)
+		}
+		if got := snap.Counters["checkpoint.reused"]; got != 0 {
+			t.Errorf("workers=%d: checkpoint.reused = %d on a fresh run", workers, got)
+		}
+	}
+}
+
+// TestResumeReusesEveryCheckpoint: a second run over the same inputs
+// with -resume semantics must recompute nothing and still produce the
+// same bytes — including when the worker count changes between runs,
+// since the reduction tree's shape depends only on the input count.
+func TestResumeReusesEveryCheckpoint(t *testing.T) {
+	tmp := t.TempDir()
+	paths := writeTinyInputs(t, tmp, 6)
+	want := goldenMerge(t, paths)
+	ck := filepath.Join(tmp, "ck")
+
+	if err := pdbio.MergeFiles(context.Background(), &bytes.Buffer{}, paths,
+		pdbio.WithWorkers(4), pdbio.WithCheckpoint(ck, false)); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		m := obs.New("test")
+		var buf bytes.Buffer
+		err := pdbio.MergeFiles(context.Background(), &buf, paths,
+			pdbio.WithWorkers(workers), pdbio.WithCheckpoint(ck, true), pdbio.WithMetrics(m))
+		if err != nil {
+			t.Fatalf("resume workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("resume workers=%d: output differs from uninterrupted run", workers)
+		}
+		snap := m.Snapshot()
+		// 6 leaves → 5 pair merges, all journaled by the first run.
+		if got := snap.Counters["checkpoint.reused"]; got != 5 {
+			t.Errorf("resume workers=%d: checkpoint.reused = %d, want 5", workers, got)
+		}
+		if got := snap.Counters["checkpoint.written"]; got != 0 {
+			t.Errorf("resume workers=%d: checkpoint.written = %d, want 0", workers, got)
+		}
+	}
+}
+
+// TestResumeInvalidatesTamperedCheckpoints: flipping one byte in a
+// journaled entry must invalidate it (hash mismatch), recompute that
+// unit, and still converge on the uninterrupted bytes.
+func TestResumeInvalidatesTamperedCheckpoints(t *testing.T) {
+	tmp := t.TempDir()
+	paths := writeTinyInputs(t, tmp, 4)
+	want := goldenMerge(t, paths)
+	ck := filepath.Join(tmp, "ck")
+	if err := pdbio.MergeFiles(context.Background(), &bytes.Buffer{}, paths,
+		pdbio.WithCheckpoint(ck, false)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(ck, "*.ckpt"))
+	if err != nil || len(entries) != 3 {
+		t.Fatalf("checkpoints = %v (%v), want 3", entries, err)
+	}
+	data, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x01
+	if err := os.WriteFile(entries[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m := obs.New("test")
+	var buf bytes.Buffer
+	err = pdbio.MergeFiles(context.Background(), &buf, paths,
+		pdbio.WithCheckpoint(ck, true), pdbio.WithMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Error("output differs after invalidating a tampered checkpoint")
+	}
+	snap := m.Snapshot()
+	if got := snap.Counters["checkpoint.invalidated"]; got < 1 {
+		t.Errorf("checkpoint.invalidated = %d, want >= 1", got)
+	}
+	if got := snap.Counters["checkpoint.reused"]; got < 1 {
+		t.Errorf("checkpoint.reused = %d, want >= 1 (the untampered entries)", got)
+	}
+	if got := snap.Counters["checkpoint.written"]; got < 1 {
+		t.Errorf("checkpoint.written = %d, want >= 1 (the recomputed unit)", got)
+	}
+	// The tampered entry was overwritten with a fresh, valid one: a
+	// second resume reuses everything.
+	m2 := obs.New("test")
+	if err := pdbio.MergeFiles(context.Background(), &bytes.Buffer{}, paths,
+		pdbio.WithCheckpoint(ck, true), pdbio.WithMetrics(m2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.Snapshot().Counters["checkpoint.invalidated"]; got != 0 {
+		t.Errorf("second resume still invalidates %d entries", got)
+	}
+}
+
+// TestFreshRunIgnoresExistingJournal: without resume, stale entries
+// are neither trusted nor counted — the run recomputes and overwrites.
+func TestFreshRunIgnoresExistingJournal(t *testing.T) {
+	tmp := t.TempDir()
+	paths := writeTinyInputs(t, tmp, 4)
+	want := goldenMerge(t, paths)
+	ck := filepath.Join(tmp, "ck")
+	if err := pdbio.MergeFiles(context.Background(), &bytes.Buffer{}, paths,
+		pdbio.WithCheckpoint(ck, false)); err != nil {
+		t.Fatal(err)
+	}
+	m := obs.New("test")
+	var buf bytes.Buffer
+	if err := pdbio.MergeFiles(context.Background(), &buf, paths,
+		pdbio.WithCheckpoint(ck, false), pdbio.WithMetrics(m)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Error("fresh run over an existing journal differs")
+	}
+	snap := m.Snapshot()
+	if got := snap.Counters["checkpoint.reused"]; got != 0 {
+		t.Errorf("checkpoint.reused = %d without -resume", got)
+	}
+	if got := snap.Counters["checkpoint.written"]; got != 3 {
+		t.Errorf("checkpoint.written = %d, want 3", got)
+	}
+}

@@ -1,0 +1,282 @@
+package pdbio_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"pdt/internal/faultio"
+	"pdt/internal/obs"
+	"pdt/internal/pdbio"
+)
+
+// killpointSeed honors PDT_KILLPOINT_SEED so CI can sweep different
+// random kill offsets across runs while any failure stays reproducible
+// from the logged seed.
+func killpointSeed(t *testing.T) int64 {
+	t.Helper()
+	if s := os.Getenv("PDT_KILLPOINT_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("PDT_KILLPOINT_SEED=%q: %v", s, err)
+		}
+		return v
+	}
+	return 1
+}
+
+// saveKillpointArtifacts copies the checkpoint directory of a failing
+// kill-point iteration into PDT_KILLPOINT_ARTIFACTS (when set) so CI
+// can upload the journal that reproduces the failure.
+func saveKillpointArtifacts(t *testing.T, ck string, k int64) {
+	t.Helper()
+	root := os.Getenv("PDT_KILLPOINT_ARTIFACTS")
+	if root == "" {
+		return
+	}
+	dst := filepath.Join(root, fmt.Sprintf("%s-k%d", filepath.Base(t.Name()), k))
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Logf("artifacts: %v", err)
+		return
+	}
+	entries, err := os.ReadDir(ck)
+	if err != nil {
+		t.Logf("artifacts: %v", err)
+		return
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(ck, e.Name()))
+		if err == nil {
+			err = os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644)
+		}
+		if err != nil {
+			t.Logf("artifacts: %v", err)
+		}
+	}
+	t.Logf("kill-point artifacts saved to %s", dst)
+}
+
+// checkTargetIntact asserts the never-torn invariant on the output
+// path: after a kill it must hold nothing, the pre-existing bytes, or
+// the complete merged bytes — never a prefix or a mix.
+func checkTargetIntact(target string, preExisting bool, old, golden []byte) error {
+	got, err := os.ReadFile(target)
+	switch {
+	case err != nil && os.IsNotExist(err) && !preExisting:
+		return nil
+	case err != nil && os.IsNotExist(err) && preExisting:
+		return errors.New("pre-existing output vanished")
+	case err != nil:
+		return err
+	case preExisting && bytes.Equal(got, old):
+		return nil
+	case bytes.Equal(got, golden):
+		return nil
+	default:
+		return fmt.Errorf("TORN OUTPUT: %d bytes, want absent, %d old bytes, or %d merged bytes", len(got), len(old), len(golden))
+	}
+}
+
+// TestMergeToFileNeverTornAtAnyKillPoint is the acceptance property of
+// the PR: probe the full pdbmerge pipeline to count its write sites,
+// then kill it at every single one and assert (a) the output path is
+// never torn, and (b) a -resume run afterwards produces bytes
+// identical to the uninterrupted run, reusing journaled checkpoints
+// whenever the kill left any behind.
+func TestMergeToFileNeverTornAtAnyKillPoint(t *testing.T) {
+	base := t.TempDir()
+	paths := writeTinyInputs(t, base, 3)
+	ctx := context.Background()
+
+	goldenPath := filepath.Join(base, "golden.pdb")
+	if err := pdbio.MergeToFile(ctx, goldenPath, paths); err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Probe run: an unlimited budget counts the sites without killing.
+	// Worker count 1 keeps site consumption deterministic so the sweep
+	// below visits every site exactly once.
+	probe := faultio.NewCrashFS(nil, -1)
+	if err := pdbio.MergeToFile(ctx, filepath.Join(base, "probe.pdb"), paths,
+		pdbio.WithWorkers(1), pdbio.WithWriteFS(probe),
+		pdbio.WithCheckpoint(filepath.Join(base, "ck-probe"), false)); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	sites := probe.Sites()
+	if sites < int64(len(golden)) {
+		t.Fatalf("probe counted %d sites for a %d-byte output", sites, len(golden))
+	}
+	t.Logf("sweeping %d kill sites", sites)
+
+	old := []byte("pre-existing output from an earlier run\n")
+	for k := int64(0); k <= sites; k++ {
+		dir := filepath.Join(base, fmt.Sprintf("k%d", k))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		target := filepath.Join(dir, "out.pdb")
+		ck := filepath.Join(dir, "ck")
+		preExisting := k%2 == 1
+		if preExisting {
+			if err := os.WriteFile(target, old, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		cfs := faultio.NewCrashFS(nil, k)
+		err := pdbio.MergeToFile(ctx, target, paths,
+			pdbio.WithWorkers(1), pdbio.WithWriteFS(cfs),
+			pdbio.WithCheckpoint(ck, false))
+		if k < sites && !errors.Is(err, faultio.ErrKilled) {
+			saveKillpointArtifacts(t, ck, k)
+			t.Fatalf("k=%d: err = %v, want ErrKilled", k, err)
+		}
+		if err := checkTargetIntact(target, preExisting, old, golden); err != nil {
+			saveKillpointArtifacts(t, ck, k)
+			t.Fatalf("k=%d: %v", k, err)
+		}
+
+		// Resume: pick up whatever the killed run journaled and finish.
+		survived := countCheckpoints(t, ck)
+		m := obs.New("test")
+		if err := pdbio.MergeToFile(ctx, target, paths,
+			pdbio.WithWorkers(1), pdbio.WithCheckpoint(ck, true), pdbio.WithMetrics(m)); err != nil {
+			saveKillpointArtifacts(t, ck, k)
+			t.Fatalf("k=%d: resume: %v", k, err)
+		}
+		got, err := os.ReadFile(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, golden) {
+			saveKillpointArtifacts(t, ck, k)
+			t.Fatalf("k=%d: resumed output differs from uninterrupted run", k)
+		}
+		snap := m.Snapshot()
+		if survived > 0 && snap.Counters["checkpoint.reused"] < 1 {
+			saveKillpointArtifacts(t, ck, k)
+			t.Fatalf("k=%d: %d checkpoints survived the kill but resume reused none", k, survived)
+		}
+		// Checkpoint stores are themselves atomic, so a kill can never
+		// leave a torn entry for resume to trip over.
+		if got := snap.Counters["checkpoint.invalidated"]; got != 0 {
+			saveKillpointArtifacts(t, ck, k)
+			t.Fatalf("k=%d: resume invalidated %d journal entries after a clean kill", k, got)
+		}
+
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMergeToFileKillPointConcurrent re-checks the never-torn and
+// resume-equivalence properties with a concurrent merge, where the
+// kill lands nondeterministically between workers. The sampled kill
+// budgets come from PDT_KILLPOINT_SEED so CI shuffles coverage.
+func TestMergeToFileKillPointConcurrent(t *testing.T) {
+	base := t.TempDir()
+	paths := writeTinyInputs(t, base, 6)
+	ctx := context.Background()
+
+	goldenPath := filepath.Join(base, "golden.pdb")
+	if err := pdbio.MergeToFile(ctx, goldenPath, paths); err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probe := faultio.NewCrashFS(nil, -1)
+	if err := pdbio.MergeToFile(ctx, filepath.Join(base, "probe.pdb"), paths,
+		pdbio.WithWorkers(4), pdbio.WithWriteFS(probe),
+		pdbio.WithCheckpoint(filepath.Join(base, "ck-probe"), false)); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	sites := probe.Sites()
+
+	seed := killpointSeed(t)
+	t.Logf("seed=%d sites=%d", seed, sites)
+	rng := rand.New(rand.NewSource(seed))
+	old := []byte("stale bytes\n")
+	for i := 0; i < 16; i++ {
+		k := rng.Int63n(sites)
+		dir := filepath.Join(base, fmt.Sprintf("i%d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		target := filepath.Join(dir, "out.pdb")
+		ck := filepath.Join(dir, "ck")
+		preExisting := i%2 == 1
+		if preExisting {
+			if err := os.WriteFile(target, old, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		cfs := faultio.NewCrashFS(nil, k)
+		err := pdbio.MergeToFile(ctx, target, paths,
+			pdbio.WithWorkers(4), pdbio.WithWriteFS(cfs),
+			pdbio.WithCheckpoint(ck, false))
+		// The total operation count is worker-independent, so a budget
+		// under the probed site count always kills.
+		if !errors.Is(err, faultio.ErrKilled) {
+			saveKillpointArtifacts(t, ck, k)
+			t.Fatalf("seed=%d k=%d: err = %v, want ErrKilled", seed, k, err)
+		}
+		if err := checkTargetIntact(target, preExisting, old, golden); err != nil {
+			saveKillpointArtifacts(t, ck, k)
+			t.Fatalf("seed=%d k=%d: %v", seed, k, err)
+		}
+
+		if err := pdbio.MergeToFile(ctx, target, paths,
+			pdbio.WithWorkers(4), pdbio.WithCheckpoint(ck, true)); err != nil {
+			saveKillpointArtifacts(t, ck, k)
+			t.Fatalf("seed=%d k=%d: resume: %v", seed, k, err)
+		}
+		got, err := os.ReadFile(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, golden) {
+			saveKillpointArtifacts(t, ck, k)
+			t.Fatalf("seed=%d k=%d: resumed output differs from uninterrupted run", seed, k)
+		}
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMergeToFileAbortsOnWriteError: a failure while serializing the
+// merged database must abort the staged file and leave a pre-existing
+// target untouched.
+func TestMergeToFileAbortsOnWriteError(t *testing.T) {
+	base := t.TempDir()
+	paths := writeTinyInputs(t, base, 2)
+	target := filepath.Join(base, "out.pdb")
+	if err := os.WriteFile(target, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A zero budget kills the very first filesystem operation — the
+	// staging-file open — before a single output byte is at risk.
+	cfs := faultio.NewCrashFS(nil, 0)
+	err := pdbio.MergeToFile(context.Background(), target, paths, pdbio.WithWriteFS(cfs))
+	if !errors.Is(err, faultio.ErrKilled) {
+		t.Fatalf("err = %v, want ErrKilled", err)
+	}
+	if got, _ := os.ReadFile(target); string(got) != "old" {
+		t.Errorf("target = %q, want old bytes", got)
+	}
+}

@@ -2,6 +2,8 @@ package pdbio
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -13,6 +15,7 @@ import (
 	"time"
 
 	"pdt/internal/ductape"
+	"pdt/internal/durable"
 	"pdt/internal/obs"
 	"pdt/internal/pdb"
 )
@@ -139,7 +142,13 @@ func (c config) readLenient(ctx context.Context, r io.Reader, path string) (*pdb
 }
 
 // writeQuarantine dumps each skipped span to its own file in dir,
-// headed by the diagnostic it was recorded under.
+// headed by the diagnostic it was recorded under. File names are
+// content-addressed — <base>.<start>-<end>.<hash>.skipped, where the
+// hash covers the input path and the dump bytes — so same-named spans
+// from different inputs never silently overwrite each other, and the
+// writes are atomic (durable.WriteFile) so a crash never leaves a
+// torn dump. Identical spans from identical inputs coalesce onto one
+// file, which holds the same bytes either way.
 func writeQuarantine(dir, path string, diags []pdb.Diagnostic) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -148,9 +157,11 @@ func writeQuarantine(dir, path string, diags []pdb.Diagnostic) error {
 		if len(d.Skipped) == 0 {
 			continue
 		}
-		name := fmt.Sprintf("%s.%d-%d.skipped", filepath.Base(path), d.StartLine, d.EndLine)
 		content := "# " + d.String() + "\n" + strings.Join(d.Skipped, "\n") + "\n"
-		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		sum := sha256.Sum256([]byte(path + "\x00" + content))
+		name := fmt.Sprintf("%s.%d-%d.%s.skipped", filepath.Base(path),
+			d.StartLine, d.EndLine, hex.EncodeToString(sum[:6]))
+		if err := durable.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
 			return err
 		}
 	}

@@ -36,6 +36,12 @@ func Merge(ctx context.Context, dbs []*ductape.PDB, opts ...Option) (*ductape.PD
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if cfg.ckptDir != "" {
+		// Journaling forces the tree path even at one worker, so the
+		// checkpointed units are identical at every worker count and a
+		// -j 1 resume can reuse a -j 8 run's journal.
+		return mergeCheckpointed(ctx, dbs, cfg, sp)
+	}
 	workers := cfg.workerCount()
 	if workers <= 1 {
 		// One worker: the tree would serialize anyway, and its

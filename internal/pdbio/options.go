@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pdt/internal/durable"
 	"pdt/internal/obs"
 	"pdt/internal/pdb"
 )
@@ -47,6 +48,21 @@ type config struct {
 	backoff    time.Duration
 	fsys       fs.FS
 	stats      *Stats
+
+	// Crash-consistency knobs (internal/durable).
+	ckptDir string
+	resume  bool
+	writeFS durable.FS
+}
+
+// durableFS resolves the filesystem all durable writes go through:
+// the real one by default, or the WithWriteFS override (the
+// kill-point seam internal/faultio's CrashFS plugs into).
+func (c config) durableFS() durable.FS {
+	if c.writeFS != nil {
+		return c.writeFS
+	}
+	return durable.OS
 }
 
 // Stats accumulates the resilience counters of one or more Load calls:
@@ -177,4 +193,31 @@ func WithFS(fsys fs.FS) Option {
 // retries) into s as loads run. A nil s disables the accounting.
 func WithStats(s *Stats) Option {
 	return func(c *config) { c.stats = s }
+}
+
+// WithCheckpoint makes Merge journal every completed tree-reduction
+// unit into dir as a crash-safe checkpoint (internal/durable.Journal):
+// each unit is written atomically under a content hash of its inputs
+// and the merge options. With resume, a restarted merge loads
+// verified checkpoints instead of recomputing their units — proven
+// byte-identical to an uninterrupted run, since a key can only name
+// one byte string and stale or torn entries are invalidated by hash
+// mismatch. Progress is visible in the metrics registry as
+// checkpoint.written / checkpoint.reused / checkpoint.invalidated.
+// Checkpointing forces the tree-reduction path even at one worker, so
+// the journaled units are identical at every -j.
+func WithCheckpoint(dir string, resume bool) Option {
+	return func(c *config) {
+		c.ckptDir = dir
+		c.resume = resume
+	}
+}
+
+// WithWriteFS reroutes all durable writes — checkpoints and
+// MergeToFile's final output — through fsys instead of the real
+// filesystem. It is the kill-point seam: internal/faultio's CrashFS
+// implements durable.FS to cut the write stream at a chosen byte or
+// operation.
+func WithWriteFS(fsys durable.FS) Option {
+	return func(c *config) { c.writeFS = fsys }
 }

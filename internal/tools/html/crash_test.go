@@ -1,0 +1,120 @@
+package html
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pdt/internal/ductape"
+)
+
+const tinySite = "<PDB 1.0>\n\nso#1 common.h\n\nso#2 unit0.cpp\nsinc 1\n\nro#3 f0\nrloc so#2 1 1\nracs NA\nrkind fun\nrlink C++\n"
+
+func tinyDB(t *testing.T) *ductape.PDB {
+	t.Helper()
+	db, err := ductape.Read(strings.NewReader(tinySite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func mustRead(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestGenerateReplacesStaleSite: regeneration swaps the whole site,
+// so pages from a previous run that no longer exist disappear instead
+// of lingering as stale documentation.
+func TestGenerateReplacesStaleSite(t *testing.T) {
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "site")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "src_removed_cpp.html")
+	if err := os.WriteFile(stale, []byte("stale page"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := Generate(tinyDB(t), dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Lstat(stale); !os.IsNotExist(err) {
+		t.Error("stale page survived regeneration")
+	}
+	if got := mustRead(t, filepath.Join(dir, "index.html")); !strings.Contains(got, "Program Database") {
+		t.Error("index.html missing after regeneration")
+	}
+	// The staging and aside directories must both be gone.
+	entries, err := os.ReadDir(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "site" {
+			t.Errorf("leftover in parent: %s", e.Name())
+		}
+	}
+}
+
+// TestGeneratePerPageFailuresJoinAndPreserveTarget: page failures are
+// collected — every page is still attempted — and a failed generation
+// never touches the previously installed site.
+func TestGeneratePerPageFailuresJoinAndPreserveTarget(t *testing.T) {
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "site")
+	if err := Generate(tinyDB(t), dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	before := mustRead(t, filepath.Join(dir, "index.html"))
+
+	orig := createFile
+	defer func() { createFile = orig }()
+	var attempted []string
+	createFile = func(path string) (io.WriteCloser, error) {
+		base := filepath.Base(path)
+		attempted = append(attempted, base)
+		if base == "classes.html" || base == "routines.html" {
+			return nil, fmt.Errorf("injected failure for %s", base)
+		}
+		return orig(path)
+	}
+
+	err := Generate(tinyDB(t), dir, nil)
+	if err == nil {
+		t.Fatal("Generate succeeded with two failing pages")
+	}
+	for _, want := range []string{"classes.html", "routines.html"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error does not name %s: %v", want, err)
+		}
+	}
+	// The failure on classes.html did not stop the later pages.
+	joined := strings.Join(attempted, " ")
+	for _, want := range []string{"templates.html", "files.html"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("%s was never attempted after the first failure", want)
+		}
+	}
+	if after := mustRead(t, filepath.Join(dir, "index.html")); after != before {
+		t.Error("failed generation modified the installed site")
+	}
+	entries, err := os.ReadDir(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "site" {
+			t.Errorf("failed generation left staging debris: %s", e.Name())
+		}
+	}
+}
