@@ -1,0 +1,119 @@
+// Benchmark snapshot for the query/incremental-lint subsystem.
+//
+// TestBenchSnapshotPdbquery is gated on PDT_BENCH_SNAPSHOT: when the
+// variable names an output path, the test times graph construction,
+// an affected-set query, and a full versus warm-incremental lint run
+// over a generated many-unit corpus, and writes the measurements as
+// JSON. CI runs it on every push and uploads the artifact; the
+// committed BENCH_pdbquery.json is the documented baseline.
+package pdt_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"pdt/internal/analysis"
+	"pdt/internal/ductape"
+	"pdt/internal/durable"
+	"pdt/internal/query"
+	"pdt/internal/workload"
+)
+
+// benchCorpus compiles and merges the benchmark corpus: a layered
+// header library (deep include chain, deep virtual hierarchies — the
+// expensive case for the include-closure and override analyses) plus
+// a set of GenMergeUnits units with distinct per-unit file names.
+func benchCorpus(t *testing.T, depth, width, methods, units int) *ductape.PDB {
+	t.Helper()
+	lib, main := workload.GenLayeredLib(depth, width, methods)
+	merged := compileFilesTU(t, lib, main)
+	hdr, srcs := workload.GenMergeUnits(units, 8, 4)
+	for u, src := range srcs {
+		name := fmt.Sprintf("unit%d.cpp", u)
+		db := compileFilesTU(t, map[string]string{"shared.h": hdr, name: src}, name)
+		merged = ductape.Merge(merged, db)
+	}
+	return merged
+}
+
+// timeMin reports the fastest of n runs of fn, in float milliseconds —
+// the min is the least noisy estimator on a shared CI runner.
+func timeMin(n int, fn func()) float64 {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / 1e6
+}
+
+func TestBenchSnapshotPdbquery(t *testing.T) {
+	out := os.Getenv("PDT_BENCH_SNAPSHOT")
+	if out == "" {
+		t.Skip("set PDT_BENCH_SNAPSHOT=<path> to write the benchmark snapshot")
+	}
+
+	db := benchCorpus(t, 48, 4, 8, 8)
+	passes := analysis.All()
+
+	var g *query.Graph
+	graphMS := timeMin(5, func() { g = query.New(db) })
+	affectedMS := timeMin(5, func() { g.Affected([]string{"unit0.cpp"}) })
+	affected := g.Affected([]string{"unit0.cpp"})
+
+	fullMS := timeMin(5, func() { analysis.Run(db, passes, analysis.Options{}) })
+
+	journal, err := durable.OpenJournal(durable.OS, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold run populates the findings DB; the warm runs splice
+	// everything from cache.
+	if _, err := analysis.RunIncremental(db, passes,
+		analysis.IncrementalOptions{Journal: journal}); err != nil {
+		t.Fatal(err)
+	}
+	var warm *analysis.IncrementalResult
+	warmMS := timeMin(5, func() {
+		warm, err = analysis.RunIncremental(db, passes, analysis.IncrementalOptions{
+			Journal: journal, Graph: g, Changed: []string{"unit0.cpp"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if len(warm.Reused) != len(passes) {
+		t.Fatalf("warm run reused %d of %d passes", len(warm.Reused), len(passes))
+	}
+
+	snap := map[string]any{
+		"generated_by":             "TestBenchSnapshotPdbquery",
+		"corpus":                   map[string]int{"layer_depth": 48, "layer_width": 4, "layer_methods": 8, "merge_units": 8},
+		"graph_nodes":              g.Len(),
+		"graph_edges":              g.EdgeCount(),
+		"affected_units":           len(affected.Units()),
+		"graph_build_ms":           graphMS,
+		"affected_query_ms":        affectedMS,
+		"lint_full_ms":             fullMS,
+		"lint_incremental_warm_ms": warmMS,
+		"incremental_speedup":      fullMS / warmMS,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("graph %.2fms affected %.2fms full %.2fms warm-incremental %.2fms",
+		graphMS, affectedMS, fullMS, warmMS)
+	if warmMS >= fullMS {
+		t.Errorf("warm incremental (%.2fms) is not faster than a full run (%.2fms)",
+			warmMS, fullMS)
+	}
+}

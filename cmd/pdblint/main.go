@@ -6,8 +6,16 @@
 //
 //	pdblint [-passes=a,b] [-format=text|json] [-serial] [-j N]
 //	        [-template-bloat=N] [-lenient] [-quarantine dir] [-retry N]
+//	        [-changed a.cc,b.h] [-findings-db dir]
 //	        [-metrics file|-] [-trace] file.pdb
 //	pdblint -list
+//
+// With -findings-db the run is incremental: each pass's findings are
+// cached in the directory keyed by the content of its declared inputs,
+// and passes whose inputs are unchanged splice their cached findings
+// instead of re-running. The report is byte-identical to a full run.
+// -changed names the files a diff touched; it shapes the affected-set
+// metrics but never correctness (reuse is content-addressed).
 //
 // Exit codes: 0 clean (or info-only), 1 warnings, 2 errors, 3 usage or
 // I/O failure, 4 clean findings but -lenient recovered past malformed
@@ -23,12 +31,13 @@ import (
 
 	"pdt/internal/analysis"
 	"pdt/internal/cliutil"
+	"pdt/internal/durable"
 	"pdt/internal/pdbio"
 )
 
 func main() {
 	t := cliutil.New("pdblint",
-		"pdblint [-passes=a,b] [-format=text|json] [-serial] [-j N] [-template-bloat=N] file.pdb")
+		"pdblint [-passes=a,b] [-format=text|json] [-serial] [-j N] [-template-bloat=N] [-changed a.cc,b.h] [-findings-db dir] file.pdb")
 	passNames := t.Flags.String("passes", "", "comma-separated pass names (default: all)")
 	format := t.FormatFlag("text", "json")
 	serial := t.Flags.Bool("serial", false, "run passes serially instead of in parallel")
@@ -37,6 +46,7 @@ func main() {
 		"instantiation-count threshold for the template-bloat pass")
 	list := t.Flags.Bool("list", false, "list the available passes and exit")
 	res := t.ResilienceFlags()
+	inc := t.IncrementalFlags()
 	t.ObsFlags()
 	t.Parse(os.Args[1:], 0, 1)
 
@@ -79,7 +89,24 @@ func main() {
 	if *serial {
 		opts.Workers = 1
 	}
-	diags := analysis.Run(db, passes, opts)
+	var diags []analysis.Diagnostic
+	if inc.Enabled() {
+		journal, jerr := durable.OpenJournal(durable.OS, inc.Dir())
+		if jerr != nil {
+			t.Fatalf("findings db: %v", jerr)
+		}
+		r, rerr := analysis.RunIncremental(db, passes, analysis.IncrementalOptions{
+			Options: opts,
+			Journal: journal,
+			Changed: inc.Changed(),
+		})
+		if rerr != nil {
+			t.Fatalf("%v", rerr)
+		}
+		diags = r.Diags
+	} else {
+		diags = analysis.Run(db, passes, opts)
+	}
 
 	if *format == "json" {
 		err = analysis.WriteJSON(os.Stdout, diags)

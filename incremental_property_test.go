@@ -1,0 +1,190 @@
+// Property test for the incremental lint pipeline: over randomized
+// generated corpora and random single-file diffs, the incremental run
+// must be byte-identical to a full run, and the affected set must be a
+// superset of the units whose findings actually changed.
+package pdt_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pdt/internal/analysis"
+	"pdt/internal/ductape"
+	"pdt/internal/durable"
+	"pdt/internal/query"
+	"pdt/internal/workload"
+)
+
+// corpusSources builds the per-unit virtual file sets of one trial
+// corpus: GenMergeUnits units sharing "shared.h" plus one standalone
+// unit with no shared include, so affected sets have a second
+// connected component to (correctly) exclude.
+func corpusSources(trial int64) (map[string]map[string]string, string) {
+	hdr, units := workload.GenMergeUnits(3, 3, 2)
+	sources := map[string]map[string]string{}
+	for u, unit := range units {
+		name := fmt.Sprintf("unit%d.cpp", u)
+		sources[name] = map[string]string{"shared.h": hdr, name: unit}
+	}
+	iso := fmt.Sprintf("int isolated%d() { return %d; }\n", trial, trial)
+	sources["iso.cpp"] = map[string]string{"iso.cpp": iso}
+	return sources, hdr
+}
+
+// compileCorpus compiles and merges every unit, in sorted unit order.
+func compileCorpus(t *testing.T, sources map[string]map[string]string) *ductape.PDB {
+	t.Helper()
+	var names []string
+	for name := range sources {
+		names = append(names, name)
+	}
+	// Sorted for a deterministic merge order.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	var merged *ductape.PDB
+	for _, name := range names {
+		db := compileFilesTU(t, sources[name], name)
+		if merged == nil {
+			merged = db
+		} else {
+			merged = ductape.Merge(merged, db)
+		}
+	}
+	return merged
+}
+
+// mutate applies a random single-file diff to one unit and returns the
+// changed file's name.
+func mutate(r *rand.Rand, sources map[string]map[string]string, trial int64) string {
+	victims := []string{"unit0.cpp", "unit1.cpp", "unit2.cpp", "iso.cpp"}
+	name := victims[r.Intn(len(victims))]
+	src := sources[name][name]
+	switch r.Intn(3) {
+	case 0: // new routine
+		src += fmt.Sprintf("int extra_%d_%d() { return %d; }\n", trial, r.Intn(100), r.Intn(9))
+	case 1: // new class with methods
+		src += fmt.Sprintf("class Mut%d {\npublic:\n    int f() const { return %d; }\n};\n",
+			trial, r.Intn(9))
+	default: // reshape: append a multi-line routine so extents differ
+		src += fmt.Sprintf("int reshaped_%d() {\n    int s = %d;\n    return s;\n}\n",
+			trial, r.Intn(9))
+	}
+	sources[name][name] = src
+	return name
+}
+
+func reportJSON(t *testing.T, diags []analysis.Diagnostic) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := analysis.WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// findingsByUnit groups a report by the file its findings anchor to.
+// Database-level findings (no file) group under "".
+func findingsByUnit(diags []analysis.Diagnostic) map[string][]analysis.Diagnostic {
+	out := map[string][]analysis.Diagnostic{}
+	for _, d := range diags {
+		out[d.Loc.File] = append(out[d.Loc.File], d)
+	}
+	return out
+}
+
+func TestIncrementalLintProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	const trials = 5
+	for trial := int64(0); trial < trials; trial++ {
+		r := rand.New(rand.NewSource(trial))
+
+		sources, _ := corpusSources(trial)
+		base := compileCorpus(t, sources)
+		journal, err := durable.OpenJournal(durable.OS, t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Warm the findings DB on the base corpus; the warm report must
+		// already match a full run byte for byte.
+		fullBase := analysis.Run(base, analysis.All(), analysis.Options{})
+		warm, err := analysis.RunIncremental(base, analysis.All(),
+			analysis.IncrementalOptions{Journal: journal})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(reportJSON(t, warm.Diags), reportJSON(t, fullBase)) {
+			t.Fatalf("trial %d: cold incremental diverges from full run", trial)
+		}
+
+		// One random single-file diff, then recompile the whole corpus.
+		changed := mutate(r, sources, trial)
+		next := compileCorpus(t, sources)
+
+		fullNext := analysis.Run(next, analysis.All(), analysis.Options{})
+		inc, err := analysis.RunIncremental(next, analysis.All(),
+			analysis.IncrementalOptions{Journal: journal, Changed: []string{changed}})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Byte identity against the full run.
+		if !bytes.Equal(reportJSON(t, inc.Diags), reportJSON(t, fullNext)) {
+			t.Errorf("trial %d (changed %s): incremental report diverges from full run",
+				trial, changed)
+		}
+
+		// The mutations never touch the include graph, so the file-only
+		// passes must have been spliced from cache.
+		reused := map[string]bool{}
+		for _, name := range inc.Reused {
+			reused[name] = true
+		}
+		if !reused["include-cycle"] || !reused["pdb-recovery"] {
+			t.Errorf("trial %d: include-cycle/pdb-recovery not reused after a %s-only diff (reused=%v)",
+				trial, changed, inc.Reused)
+		}
+
+		// Soundness: every unit whose findings actually changed is in
+		// the affected set of the changed-file list.
+		affected := query.New(next).Affected([]string{changed})
+		before, after := findingsByUnit(fullBase), findingsByUnit(fullNext)
+		for unit := range after {
+			if unit == "" || reflect.DeepEqual(before[unit], after[unit]) {
+				continue
+			}
+			if !affected.ContainsUnit(unit) {
+				t.Errorf("trial %d: findings in %q changed but the unit is not in Affected(%s) = %v",
+					trial, unit, changed, affected.Units())
+			}
+		}
+		for unit := range before {
+			if unit == "" {
+				continue
+			}
+			if _, still := after[unit]; !still && !affected.ContainsUnit(unit) {
+				t.Errorf("trial %d: findings in %q vanished but the unit is not in Affected(%s)",
+					trial, unit, changed)
+			}
+		}
+
+		// The standalone component must stay out of the affected set
+		// when the diff is on the shared side, and vice versa.
+		if changed != "iso.cpp" && affected.ContainsUnit("iso.cpp") {
+			t.Errorf("trial %d: iso.cpp affected by a diff in %s", trial, changed)
+		}
+		if changed == "iso.cpp" && affected.ContainsUnit("unit0.cpp") {
+			t.Errorf("trial %d: unit0.cpp affected by a diff in iso.cpp", trial)
+		}
+	}
+}

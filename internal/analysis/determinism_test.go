@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pdt/internal/ductape"
+	"pdt/internal/pdb"
+)
+
+// odrFixture builds a database with many duplicate-definition groups —
+// the shape that exercises duplicateClasses' group iteration, which
+// must not depend on Go's map iteration order.
+func odrFixture() *ductape.PDB {
+	raw := &pdb.PDB{
+		Files: []*pdb.SourceFile{
+			{ID: 1, Name: "a.cc"},
+			{ID: 2, Name: "b.cc"},
+		},
+	}
+	id := 10
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("Dup%d", i)
+		for f := 1; f <= 2; f++ {
+			raw.Classes = append(raw.Classes, &pdb.Class{
+				ID: id, Name: name,
+				Loc: pdb.Loc{File: pdb.Ref{Prefix: "so", ID: f}, Line: i + 1, Col: 1},
+			})
+			id++
+		}
+	}
+	return ductape.FromRaw(raw)
+}
+
+// TestPassOutputsDeterministic pins the per-pass determinism contract
+// the incremental driver's cache relies on: a pass run repeatedly over
+// one database returns the exact same diagnostics in the exact same
+// order, with no dependence on map iteration.
+func TestPassOutputsDeterministic(t *testing.T) {
+	dbs := map[string]*ductape.PDB{"odr": odrFixture()}
+	for name, db := range dbs {
+		for _, p := range All() {
+			base := p.Run(db)
+			for i := 0; i < 20; i++ {
+				if got := p.Run(db); !reflect.DeepEqual(got, base) {
+					t.Fatalf("%s/%s: run %d diverged:\n%v\nvs\n%v",
+						name, p.Name(), i, got, base)
+				}
+			}
+		}
+	}
+}
+
+func TestDuplicateClassesSortedGroups(t *testing.T) {
+	db := odrFixture()
+	diags := duplicateClasses(db)
+	if len(diags) != 8 {
+		t.Fatalf("got %d duplicate groups, want 8", len(diags))
+	}
+	for i := 1; i < len(diags); i++ {
+		if diags[i-1].Message > diags[i].Message {
+			t.Errorf("group order not sorted: %q after %q",
+				diags[i].Message, diags[i-1].Message)
+		}
+	}
+}

@@ -25,6 +25,20 @@ type Options struct {
 // message) regardless of worker count or scheduling. Passes run
 // concurrently on a worker pool; each pass is one unit of work.
 func Run(db *ductape.PDB, passes []Pass, opts Options) []Diagnostic {
+	results := runPasses(db, passes, opts)
+	var out []Diagnostic
+	for _, rs := range results {
+		out = append(out, rs...)
+	}
+	opts.Metrics.Counter("analysis.findings").Add(int64(len(out)))
+	Sort(out)
+	return out
+}
+
+// runPasses executes the passes on the worker pool and returns the
+// per-pass finding lists, indexed like passes. This is the shared
+// execution core of Run and RunIncremental.
+func runPasses(db *ductape.PDB, passes []Pass, opts Options) [][]Diagnostic {
 	sp := opts.Metrics.StartSpan("analysis")
 	defer sp.End()
 	sp.AddItems(int64(len(passes)))
@@ -74,14 +88,7 @@ func Run(db *ductape.PDB, passes []Pass, opts Options) []Diagnostic {
 		}
 		wg.Wait()
 	}
-
-	var out []Diagnostic
-	for _, rs := range results {
-		out = append(out, rs...)
-	}
-	opts.Metrics.Counter("analysis.findings").Add(int64(len(out)))
-	Sort(out)
-	return out
+	return results
 }
 
 // Sort orders diagnostics for stable presentation: by file, line,

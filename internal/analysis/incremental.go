@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pdt/internal/ductape"
+	"pdt/internal/durable"
+	"pdt/internal/query"
+)
+
+// FindingsVersion salts every incremental cache key; bump it whenever
+// the diagnostic encoding, the fingerprint scheme, or any pass's
+// semantics change in a way old cached findings would misrepresent.
+const FindingsVersion = "pdblint-findings v1"
+
+// IncrementalOptions configures RunIncremental.
+type IncrementalOptions struct {
+	Options
+
+	// Journal is the content-addressed findings database. Required.
+	Journal *durable.Journal
+	// Graph is the dependency graph of the database; built on demand
+	// when nil.
+	Graph *query.Graph
+	// Changed is the changed-file list driving the affected-set report.
+	// It does not gate reuse — reuse is decided by exact content
+	// fingerprints — but it is what the tool reports as invalidated.
+	Changed []string
+}
+
+// IncrementalResult is the outcome of an incremental run.
+type IncrementalResult struct {
+	// Diags is the full report, byte-identical to what a non-incremental
+	// Run over the same database and passes produces.
+	Diags []Diagnostic
+	// Reused and Reran name the passes whose findings were spliced from
+	// the journal and those that executed, in canonical pass order.
+	Reused []string
+	Reran  []string
+	// Affected is the transitive invalidation set of Changed (nil when
+	// no changed files were given).
+	Affected *query.AffectedSet
+}
+
+// RunIncremental is the incremental variant of Run: each pass's cache
+// key is built from the content digests of its declared input sections
+// (see InputDeclarer), and passes whose key hits the findings journal
+// are spliced from cache instead of executing. Because keys are
+// content-addressed and passes are deterministic, the spliced report
+// is byte-identical to a full run; the changed-file list only shapes
+// the Affected report and metrics, never correctness.
+func RunIncremental(db *ductape.PDB, passes []Pass, opts IncrementalOptions) (*IncrementalResult, error) {
+	if opts.Journal == nil {
+		return nil, fmt.Errorf("incremental run requires a findings journal")
+	}
+	sp := opts.Metrics.StartSpan("incremental")
+	defer sp.End()
+
+	g := opts.Graph
+	if g == nil {
+		gs := sp.Start("graph.build")
+		g = query.New(db)
+		gs.AddItems(int64(g.Len()))
+		gs.End()
+	}
+
+	fs := sp.Start("fingerprint")
+	fp := query.Fingerprint(db)
+	fs.AddItems(int64(len(fp.Units())))
+	fs.End()
+
+	res := &IncrementalResult{}
+	if len(opts.Changed) > 0 {
+		as := sp.Start("affected")
+		res.Affected = g.Affected(opts.Changed)
+		as.AddItems(int64(res.Affected.Len()))
+		as.End()
+		opts.Metrics.Counter("lint.affected_units").Add(int64(len(res.Affected.Units())))
+	}
+
+	keys := make([]string, len(passes))
+	cached := make([][]Diagnostic, len(passes))
+	var stale []Pass
+	var staleIdx []int
+	for i, p := range passes {
+		keys[i] = passKey(p, fp)
+		payload, ok, invalid := opts.Journal.Load(keys[i])
+		if invalid {
+			opts.Metrics.Counter("findings.invalidated").Add(1)
+			_ = opts.Journal.Remove(keys[i])
+		}
+		if ok {
+			var diags []Diagnostic
+			if err := json.Unmarshal(payload, &diags); err == nil {
+				cached[i] = diags
+				res.Reused = append(res.Reused, p.Name())
+				continue
+			}
+			// A payload that passed the checksum but does not decode is
+			// from a foreign writer; drop it and re-run.
+			opts.Metrics.Counter("findings.invalidated").Add(1)
+			_ = opts.Journal.Remove(keys[i])
+		}
+		stale = append(stale, p)
+		staleIdx = append(staleIdx, i)
+		res.Reran = append(res.Reran, p.Name())
+	}
+	opts.Metrics.Counter("lint.reused").Add(int64(len(res.Reused)))
+	opts.Metrics.Counter("lint.reran").Add(int64(len(res.Reran)))
+
+	fresh := runPasses(db, stale, opts.Options)
+	for k, i := range staleIdx {
+		// Store per-pass findings pre-sorted; Sort is stable and keys on
+		// (loc, pass, message), so sorting per pass first cannot change
+		// the final spliced order.
+		diags := fresh[k]
+		Sort(diags)
+		cached[i] = diags
+		payload, err := json.Marshal(diags)
+		if err != nil {
+			return nil, fmt.Errorf("encode %s findings: %w", passes[i].Name(), err)
+		}
+		if err := opts.Journal.Store(keys[i], payload); err != nil {
+			return nil, fmt.Errorf("store %s findings: %w", passes[i].Name(), err)
+		}
+		opts.Metrics.Counter("findings.stored").Add(1)
+	}
+
+	for _, diags := range cached {
+		res.Diags = append(res.Diags, diags...)
+	}
+	opts.Metrics.Counter("analysis.findings").Add(int64(len(res.Diags)))
+	Sort(res.Diags)
+	return res, nil
+}
+
+// passKey derives the content-addressed cache key of one pass: the
+// cache format version, the pass identity and configuration, and the
+// digest of every declared input section. Two databases with equal
+// declared-section content yield the same key, however they were
+// produced.
+func passKey(p Pass, fp *query.Fingerprints) string {
+	parts := []string{FindingsVersion, p.Name(), ConfigOf(p)}
+	for _, sec := range InputsOf(p) {
+		parts = append(parts, string(sec), fp.SectionDigest(sec))
+	}
+	return durable.KeyOf(parts...)
+}

@@ -1,0 +1,163 @@
+package analysis_test
+
+import (
+	"reflect"
+	"testing"
+
+	"pdt/internal/analysis"
+	"pdt/internal/durable"
+	"pdt/internal/query"
+)
+
+func openJournal(t *testing.T) *durable.Journal {
+	t.Helper()
+	j, err := durable.OpenJournal(durable.OS, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestIncrementalColdThenWarm(t *testing.T) {
+	db := lintFixture(t)
+	j := openJournal(t)
+	full := analysis.Run(db, analysis.All(), analysis.Options{})
+
+	cold, err := analysis.RunIncremental(db, analysis.All(),
+		analysis.IncrementalOptions{Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.Reused) != 0 || len(cold.Reran) != len(analysis.All()) {
+		t.Errorf("cold run: reused=%v reran=%v", cold.Reused, cold.Reran)
+	}
+	if !reflect.DeepEqual(cold.Diags, full) {
+		t.Errorf("cold incremental diverges from full run:\n%v\nvs\n%v", cold.Diags, full)
+	}
+
+	warm, err := analysis.RunIncremental(db, analysis.All(),
+		analysis.IncrementalOptions{Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Reran) != 0 || len(warm.Reused) != len(analysis.All()) {
+		t.Errorf("warm run: reused=%v reran=%v", warm.Reused, warm.Reran)
+	}
+	if !reflect.DeepEqual(warm.Diags, full) {
+		t.Errorf("warm incremental diverges from full run:\n%v\nvs\n%v", warm.Diags, full)
+	}
+}
+
+func TestIncrementalRoutineDiffSkipsFileOnlyPasses(t *testing.T) {
+	j := openJournal(t)
+	db1 := lintFixture(t)
+	if _, err := analysis.RunIncremental(db1, analysis.All(),
+		analysis.IncrementalOptions{Journal: j}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same file set, one routine body reshaped (its recorded extent
+	// changes): the include graph (files section) is untouched, so
+	// include-cycle must be reused while the routine-reading passes
+	// re-run.
+	db2 := buildDB(t, `#include "a.h"
+class Shape {
+public:
+    Shape() { }
+    ~Shape() { }
+    virtual void scale(double f) { }
+};
+class Circle : public Shape {
+public:
+    Circle() { }
+    void scale(int a, int b) { }
+};
+int deadHelper(int x) {
+    return x * 2;
+}
+int main() {
+    Circle c;
+    c.scale(1, 2);
+    Alpha a;
+    return probe(a);
+}
+`, map[string]string{
+		"a.h": "#ifndef A_H\n#define A_H\n#include \"b.h\"\nstruct Alpha { int id; };\nint probe(Alpha & a) { a.id = 1; return a.id; }\n#endif\n",
+		"b.h": "#ifndef B_H\n#define B_H\n#include \"a.h\"\nstruct Beta { int id; };\n#endif\n",
+	})
+
+	res, err := analysis.RunIncremental(db2, analysis.All(),
+		analysis.IncrementalOptions{Journal: j, Changed: []string{"main.cpp"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused := map[string]bool{}
+	for _, name := range res.Reused {
+		reused[name] = true
+	}
+	if !reused["include-cycle"] {
+		t.Errorf("include-cycle not reused on a routine-only diff (reused=%v)", res.Reused)
+	}
+	if !reused["pdb-recovery"] {
+		t.Errorf("pdb-recovery not reused on a routine-only diff (reused=%v)", res.Reused)
+	}
+	if reused["dead-routine"] {
+		t.Errorf("dead-routine reused although a routine changed (reused=%v)", res.Reused)
+	}
+	full := analysis.Run(db2, analysis.All(), analysis.Options{})
+	if !reflect.DeepEqual(res.Diags, full) {
+		t.Errorf("incremental diverges from full run:\n%v\nvs\n%v", res.Diags, full)
+	}
+	if res.Affected == nil || !res.Affected.ContainsUnit("main.cpp") {
+		t.Errorf("affected set misses main.cpp: %v", res.Affected.Units())
+	}
+}
+
+func TestIncrementalConfigChangeInvalidates(t *testing.T) {
+	db := lintFixture(t)
+	j := openJournal(t)
+	loose := []analysis.Pass{&analysis.TemplateBloatPass{Threshold: 100}}
+	tight := []analysis.Pass{&analysis.TemplateBloatPass{Threshold: 1}}
+
+	if _, err := analysis.RunIncremental(db, loose,
+		analysis.IncrementalOptions{Journal: j}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.RunIncremental(db, tight,
+		analysis.IncrementalOptions{Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reused) != 0 {
+		t.Errorf("threshold change reused cached findings: %v", res.Reused)
+	}
+}
+
+func TestIncrementalRequiresJournal(t *testing.T) {
+	db := lintFixture(t)
+	if _, err := analysis.RunIncremental(db, analysis.All(),
+		analysis.IncrementalOptions{}); err == nil {
+		t.Error("nil journal accepted")
+	}
+}
+
+func TestInputDeclarations(t *testing.T) {
+	// Every registered pass declares its inputs (no pass silently falls
+	// back to "everything" — the fallback is for external passes).
+	for _, p := range analysis.All() {
+		if _, ok := p.(analysis.InputDeclarer); !ok {
+			t.Errorf("pass %s does not declare inputs", p.Name())
+		}
+		secs := analysis.InputsOf(p)
+		if len(secs) == 0 {
+			t.Errorf("pass %s declares no input sections", p.Name())
+		}
+		seen := map[query.Section]bool{}
+		for _, s := range secs {
+			if seen[s] {
+				t.Errorf("pass %s declares %s twice", p.Name(), s)
+			}
+			seen[s] = true
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"fmt"
+
+	"pdt/internal/query"
+)
+
+// InputDeclarer is the optional Pass extension consumed by the
+// incremental driver: a pass declares which fingerprint sections of
+// the database (see query.Section) its findings can depend on. The
+// incremental cache key of a pass is built only from the digests of
+// its declared sections, so a change that leaves those sections
+// untouched reuses the pass's cached findings.
+//
+// Declarations must be sound: every database facet the pass reads has
+// to be covered. Passes that do not implement the interface are
+// treated as reading everything (InputsOf falls back to all sections),
+// which is always correct and never incremental.
+type InputDeclarer interface {
+	Inputs() []query.Section
+}
+
+// ConfigFingerprinter is the optional Pass extension for passes whose
+// findings depend on configuration beyond the database (thresholds,
+// modes). The string becomes part of the incremental cache key, so
+// changing the configuration invalidates the cached findings.
+type ConfigFingerprinter interface {
+	ConfigFingerprint() string
+}
+
+// InputsOf returns the declared input sections of a pass, falling back
+// to every section for passes that declare nothing.
+func InputsOf(p Pass) []query.Section {
+	if d, ok := p.(InputDeclarer); ok {
+		return d.Inputs()
+	}
+	return query.Sections()
+}
+
+// ConfigOf returns the pass's configuration fingerprint, or "".
+func ConfigOf(p Pass) string {
+	if c, ok := p.(ConfigFingerprinter); ok {
+		return c.ConfigFingerprint()
+	}
+	return ""
+}
+
+// pdb-integrity cross-checks every item table against every other, so
+// it reads the whole database.
+func (integrityPass) Inputs() []query.Section { return query.Sections() }
+
+// pdb-recovery only replays the reader's recovery log.
+func (recoveryPass) Inputs() []query.Section {
+	return []query.Section{query.SecRecovered}
+}
+
+// dead-routine walks the call graph from the roots: routines and their
+// calls, the classes that make members special (vtables, ctors), and
+// the files that decide translation-unit roots.
+func (deadRoutinePass) Inputs() []query.Section {
+	return []query.Section{query.SecFiles, query.SecRoutines, query.SecClasses}
+}
+
+// include-cycle sees only the file include graph.
+func (includeCyclePass) Inputs() []query.Section {
+	return []query.Section{query.SecFiles}
+}
+
+// unused-include relates the include graph to where entities are
+// defined and referenced.
+func (unusedIncludePass) Inputs() []query.Section {
+	return []query.Section{
+		query.SecFiles, query.SecRoutines, query.SecClasses, query.SecTypes,
+	}
+}
+
+// hierarchy-check reads class hierarchies and their member functions.
+func (hierarchyCheckPass) Inputs() []query.Section {
+	return []query.Section{query.SecClasses, query.SecRoutines}
+}
+
+// template-bloat counts instantiations of templates across classes and
+// routines.
+func (p *TemplateBloatPass) Inputs() []query.Section {
+	return []query.Section{query.SecTemplates, query.SecClasses, query.SecRoutines}
+}
+
+// ConfigFingerprint keys the cache on the bloat threshold.
+func (p *TemplateBloatPass) ConfigFingerprint() string {
+	return fmt.Sprintf("threshold=%d", p.Threshold)
+}
+
+// odr-duplicate groups routine, class, and type definitions by
+// qualified name (namespaces contribute to the names).
+func (odrDuplicatePass) Inputs() []query.Section {
+	return []query.Section{
+		query.SecRoutines, query.SecClasses, query.SecTypes, query.SecNamespaces,
+	}
+}

@@ -42,8 +42,17 @@ func duplicateClasses(db *ductape.PDB) []Diagnostic {
 	for _, c := range db.Classes() {
 		groups[c.FullName()] = append(groups[c.FullName()], c)
 	}
+	// Iterate groups by sorted name: the final Sort orders the report,
+	// but building it deterministically keeps every intermediate state
+	// (and any future tie) independent of Go's map iteration order.
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var out []Diagnostic
-	for name, cs := range groups {
+	for _, name := range names {
+		cs := groups[name]
 		if len(cs) < 2 {
 			continue
 		}
@@ -130,7 +139,7 @@ func conflictingRoutines(db *ductape.PDB) []Diagnostic {
 				Pass:     "odr-duplicate",
 				Severity: Error,
 				Loc:      LocationOf(first.Location()),
-				Message: fmt.Sprintf("routine '%s' is defined %d times", first.FullName(), bodies),
+				Message:  fmt.Sprintf("routine '%s' is defined %d times", first.FullName(), bodies),
 			}
 			for _, r := range rs[1:] {
 				if !r.HasBody() {

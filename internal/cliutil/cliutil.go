@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"pdt/internal/durable"
@@ -265,6 +266,43 @@ func (r *Resilience) Options() []pdbio.Option {
 		opts = append(opts, pdbio.WithRetry(*r.retries, *r.backoff))
 	}
 	return opts
+}
+
+// Incremental carries the shared incremental-analysis flags: -changed
+// names the files a diff touched, -findings-db points at the
+// content-addressed findings cache directory. pdblint uses both to
+// splice cached findings; pdbquery accepts -changed for its affected
+// query. Registered together so the two tools spell them identically.
+type Incremental struct {
+	changed    *string
+	findingsDB *string
+}
+
+// IncrementalFlags registers -changed and -findings-db on the tool.
+func (t *Tool) IncrementalFlags() *Incremental {
+	i := &Incremental{}
+	i.changed = t.Flags.String("changed", "",
+		"comma-separated changed source files (reported as the affected set)")
+	i.findingsDB = t.Flags.String("findings-db", "",
+		"findings cache directory; when set, runs incrementally against it")
+	return i
+}
+
+// Enabled reports whether -findings-db was given. Call after Parse.
+func (i *Incremental) Enabled() bool { return *i.findingsDB != "" }
+
+// Dir returns the -findings-db directory.
+func (i *Incremental) Dir() string { return *i.findingsDB }
+
+// Changed returns the parsed -changed list (empty-element tolerant).
+func (i *Incremental) Changed() []string {
+	var out []string
+	for _, f := range strings.Split(*i.changed, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // Exit folds the recovery status into a tool's exit code: a clean run

@@ -58,8 +58,8 @@ func TestParseAcceptsValidArgs(t *testing.T) {
 
 func TestParseArgCountViolations(t *testing.T) {
 	cases := []struct {
-		name    string
-		args    []string
+		name     string
+		args     []string
 		min, max int
 	}{
 		{"too-few", nil, 1, 1},

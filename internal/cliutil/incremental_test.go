@@ -1,0 +1,39 @@
+package cliutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestIncrementalFlagsDefaults(t *testing.T) {
+	tool, _ := newTestTool("demo", "demo file")
+	inc := tool.IncrementalFlags()
+	code := run(t, func() { tool.Parse([]string{"input.pdb"}, 1, 1) })
+	if code != -1 {
+		t.Fatalf("Parse exited with %d", code)
+	}
+	if inc.Enabled() {
+		t.Error("incremental mode defaults on")
+	}
+	if got := inc.Changed(); len(got) != 0 {
+		t.Errorf("default Changed() = %v", got)
+	}
+}
+
+func TestIncrementalFlagsParse(t *testing.T) {
+	tool, _ := newTestTool("demo", "demo file")
+	inc := tool.IncrementalFlags()
+	code := run(t, func() {
+		tool.Parse([]string{"-changed", "a.cc, b.h,,c.h ", "-findings-db", "cache",
+			"input.pdb"}, 1, 1)
+	})
+	if code != -1 {
+		t.Fatalf("Parse exited with %d", code)
+	}
+	if !inc.Enabled() || inc.Dir() != "cache" {
+		t.Errorf("findings db = enabled=%v dir=%q", inc.Enabled(), inc.Dir())
+	}
+	if got := inc.Changed(); !reflect.DeepEqual(got, []string{"a.cc", "b.h", "c.h"}) {
+		t.Errorf("Changed() = %v", got)
+	}
+}

@@ -272,6 +272,9 @@ func (r *Routine) IsStatic() bool { return r.raw.Static }
 // IsConst reports a const member function.
 func (r *Routine) IsConst() bool { return r.raw.Const }
 
+// IsInline reports a routine recorded as inline.
+func (r *Routine) IsInline() bool { return r.raw.Inline }
+
 // HasBody reports whether the routine has a recorded definition.
 func (r *Routine) HasBody() bool { return r.pos.bb.Valid() }
 

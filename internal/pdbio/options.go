@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pdt/internal/ductape"
 	"pdt/internal/durable"
 	"pdt/internal/obs"
 	"pdt/internal/pdb"
@@ -53,6 +54,9 @@ type config struct {
 	ckptDir string
 	resume  bool
 	writeFS durable.FS
+
+	// Post-load hooks, run on every successfully built object graph.
+	postLoad []func(*ductape.PDB)
 }
 
 // durableFS resolves the filesystem all durable writes go through:
@@ -123,6 +127,16 @@ func WithWorkers(n int) Option {
 // fail if any check does.
 func WithStrictValidation() Option {
 	return func(c *config) { c.strict = true }
+}
+
+// WithPostLoad registers a hook run on every successfully loaded
+// object graph before Load/LoadAll return it — the seam consumers use
+// to build derived views (dependency graphs, fingerprints) inside the
+// load stage's instrumentation instead of after it. Hooks run in
+// registration order; for LoadAll they run per file on the loading
+// worker, so they must not share mutable state without locking.
+func WithPostLoad(hook func(*ductape.PDB)) Option {
+	return func(c *config) { c.postLoad = append(c.postLoad, hook) }
 }
 
 // WithMetrics routes stage spans, item/byte counts, and worker-pool

@@ -1,0 +1,74 @@
+package pdbio_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"pdt/internal/ductape"
+	"pdt/internal/pdbio"
+	"pdt/internal/workload"
+)
+
+// savePDB writes a database to a temp file and returns its path.
+func savePDB(t *testing.T, db *ductape.PDB) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "db.pdb")
+	var sb strings.Builder
+	if err := db.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadRunsPostLoadHooks(t *testing.T) {
+	path := savePDB(t, compileUnit(t, workload.StackFiles(), "TestStackAr.cpp"))
+
+	var order []string
+	var hooked *ductape.PDB
+	db, err := pdbio.Load(context.Background(), path,
+		pdbio.WithPostLoad(func(d *ductape.PDB) { order = append(order, "first"); hooked = d }),
+		pdbio.WithPostLoad(func(d *ductape.PDB) { order = append(order, "second") }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Errorf("hook order = %v", order)
+	}
+	if hooked != db {
+		t.Error("hook saw a different database than Load returned")
+	}
+}
+
+func TestLoadAllRunsPostLoadPerFile(t *testing.T) {
+	paths := []string{
+		savePDB(t, compileUnit(t, workload.StackFiles(), "TestStackAr.cpp")),
+		savePDB(t, compileUnit(t, workload.KrylovFiles(), "krylov.cpp")),
+	}
+	var mu sync.Mutex
+	seen := map[*ductape.PDB]bool{}
+	dbs, err := pdbio.LoadAll(context.Background(), paths,
+		pdbio.WithPostLoad(func(d *ductape.PDB) {
+			mu.Lock()
+			seen[d] = true
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(paths) {
+		t.Errorf("hook ran for %d databases, want %d", len(seen), len(paths))
+	}
+	for _, db := range dbs {
+		if !seen[db] {
+			t.Error("a returned database was not seen by the hook")
+		}
+	}
+}

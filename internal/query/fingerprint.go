@@ -1,0 +1,568 @@
+package query
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"pdt/internal/ductape"
+)
+
+// Section names one per-unit slice of the database content — the
+// granularity at which analysis passes declare their inputs and at
+// which the incremental lint driver fingerprints the database. A
+// pass whose declared sections are fingerprint-identical between two
+// databases is guaranteed (by determinism of the passes) to produce
+// identical findings on both.
+type Section string
+
+// Sections, in canonical order.
+const (
+	SecFiles      Section = "files"
+	SecRoutines   Section = "routines"
+	SecClasses    Section = "classes"
+	SecTypes      Section = "types"
+	SecTemplates  Section = "templates"
+	SecNamespaces Section = "namespaces"
+	SecMacros     Section = "macros"
+	SecRecovered  Section = "recovered"
+)
+
+// Sections lists every section in canonical order.
+func Sections() []Section {
+	return []Section{SecFiles, SecRoutines, SecClasses, SecTypes,
+		SecTemplates, SecNamespaces, SecMacros, SecRecovered}
+}
+
+// PseudoUnit is the unit that holds location-less items (types, and
+// any entity the frontend recorded without a position).
+const PseudoUnit = "<none>"
+
+// Fingerprints carries the content fingerprint of every (unit,
+// section) slice of one database. Fingerprints are content-addressed
+// and identity-free: items are serialized with every cross-reference
+// resolved to a canonical name instead of a numeric ID, so two
+// databases that differ only in item numbering (as merge outputs of
+// reordered inputs do) fingerprint identically.
+type Fingerprints struct {
+	byUnit map[string]map[Section]string
+	units  []string
+}
+
+// recEntry is one canonical record, tagged with the unit and section
+// it fingerprints into.
+type recEntry struct {
+	unit   string
+	sec    Section
+	record string
+}
+
+// parallelDo runs fn(i) for every i in [0, n) across a small worker
+// pool. Record construction and group hashing are per-item pure, so
+// items are handed out in chunks through one atomic cursor.
+func parallelDo(n int, fn func(i int)) {
+	const chunk = 32
+	workers := runtime.GOMAXPROCS(0)
+	if workers > (n+chunk-1)/chunk {
+		workers = (n + chunk - 1) / chunk
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(atomic.AddInt64(&cursor, chunk)) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Fingerprint computes the per-unit, per-section fingerprints of db.
+// Building the canonical records is the dominant cost on large merged
+// databases, so records (and the per-group digests) are computed in
+// parallel; grouping stays sequential and the result is independent
+// of scheduling.
+func Fingerprint(db *ductape.PDB) *Fingerprints {
+	files := db.Files()
+	routines := db.Routines()
+	classes := db.Classes()
+	types := db.Types()
+	templates := db.Templates()
+	namespaces := db.Namespaces()
+	macros := db.Macros()
+	recovered := db.Raw().Recovered
+
+	total := len(files) + len(routines) + len(classes) + len(types) +
+		len(templates) + len(namespaces) + len(macros) + len(recovered)
+	entries := make([]recEntry, total)
+	build := func(g int) {
+		i := g
+		switch {
+		case i < len(files):
+			f := files[i]
+			entries[g] = recEntry{f.Name(), SecFiles, fileRecord(f)}
+			return
+		}
+		i -= len(files)
+		if i < len(routines) {
+			r := routines[i]
+			entries[g] = recEntry{unitOfLoc(r.Location()), SecRoutines, routineRecord(r)}
+			return
+		}
+		i -= len(routines)
+		if i < len(classes) {
+			c := classes[i]
+			entries[g] = recEntry{unitOfLoc(c.Location()), SecClasses, classRecord(c)}
+			return
+		}
+		i -= len(classes)
+		if i < len(types) {
+			entries[g] = recEntry{"", SecTypes, typeRecord(types[i])}
+			return
+		}
+		i -= len(types)
+		if i < len(templates) {
+			t := templates[i]
+			entries[g] = recEntry{unitOfLoc(t.Location()), SecTemplates, templateRecord(t)}
+			return
+		}
+		i -= len(templates)
+		if i < len(namespaces) {
+			n := namespaces[i]
+			entries[g] = recEntry{unitOfLoc(n.Location()), SecNamespaces, namespaceRecord(n)}
+			return
+		}
+		i -= len(namespaces)
+		if i < len(macros) {
+			m := macros[i]
+			entries[g] = recEntry{unitOfLoc(m.Location()), SecMacros, macroRecord(m)}
+			return
+		}
+		i -= len(macros)
+		d := recovered[i]
+		entries[g] = recEntry{d.File, SecRecovered, fmt.Sprintf("recovered %s %d-%d %s %s %d",
+			d.File, d.StartLine, d.EndLine, d.Tag, d.Cause, len(d.Skipped))}
+	}
+	parallelDo(total, build)
+
+	records := map[string]map[Section][]string{}
+	for _, e := range entries {
+		unit := e.unit
+		if unit == "" {
+			unit = PseudoUnit
+		}
+		m := records[unit]
+		if m == nil {
+			m = map[Section][]string{}
+			records[unit] = m
+		}
+		m[e.sec] = append(m[e.sec], e.record)
+	}
+
+	type group struct {
+		unit string
+		sec  Section
+		recs []string
+		hash string
+	}
+	var groups []group
+	for unit, secs := range records {
+		for sec, recs := range secs {
+			groups = append(groups, group{unit: unit, sec: sec, recs: recs})
+		}
+	}
+	parallelDo(len(groups), func(i int) {
+		g := &groups[i]
+		sort.Strings(g.recs)
+		h := sha256.New()
+		var lenBuf [20]byte
+		for _, r := range g.recs {
+			h.Write(strconv.AppendInt(lenBuf[:0], int64(len(r)), 10))
+			h.Write([]byte{':'})
+			h.Write([]byte(r))
+		}
+		g.hash = hex.EncodeToString(h.Sum(nil))
+	})
+
+	fp := &Fingerprints{byUnit: map[string]map[Section]string{}}
+	for _, g := range groups {
+		m := fp.byUnit[g.unit]
+		if m == nil {
+			m = map[Section]string{}
+			fp.byUnit[g.unit] = m
+			fp.units = append(fp.units, g.unit)
+		}
+		m[g.sec] = g.hash
+	}
+	sort.Strings(fp.units)
+	return fp
+}
+
+// Units returns every unit name (including PseudoUnit if present),
+// sorted.
+func (f *Fingerprints) Units() []string { return f.units }
+
+// Unit returns the section fingerprints of one unit (nil if the unit
+// holds nothing).
+func (f *Fingerprints) Unit(unit string) map[Section]string { return f.byUnit[unit] }
+
+// SectionDigest folds one section's per-unit fingerprints into a
+// single digest over (unit, fingerprint) pairs in unit order — the
+// digest a pass key embeds per declared section. Units without
+// content in the section contribute nothing, so adding an unrelated
+// empty unit does not invalidate.
+func (f *Fingerprints) SectionDigest(sec Section) string {
+	h := sha256.New()
+	for _, unit := range f.units {
+		if d, ok := f.byUnit[unit][sec]; ok {
+			fmt.Fprintf(h, "%d:%s%d:%s", len(unit), unit, len(d), d)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ChangedUnits returns the units whose fingerprints differ between f
+// and old (in any section), including units present on only one side.
+// Sorted.
+func (f *Fingerprints) ChangedUnits(old *Fingerprints) []string {
+	seen := map[string]bool{}
+	var out []string
+	mark := func(unit string) {
+		if !seen[unit] {
+			seen[unit] = true
+			out = append(out, unit)
+		}
+	}
+	for unit, secs := range f.byUnit {
+		oldSecs := old.byUnit[unit]
+		if len(oldSecs) != len(secs) {
+			mark(unit)
+			continue
+		}
+		for sec, d := range secs {
+			if oldSecs[sec] != d {
+				mark(unit)
+				break
+			}
+		}
+	}
+	for unit := range old.byUnit {
+		if _, ok := f.byUnit[unit]; !ok {
+			mark(unit)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- canonical, identity-free item records ----------------------------------
+
+func unitOfLoc(l ductape.Location) string {
+	if l.File == nil {
+		return ""
+	}
+	return l.File.Name()
+}
+
+func locRef(l ductape.Location) string {
+	if !l.Valid() {
+		if l.File != nil {
+			return l.File.Name()
+		}
+		return "-"
+	}
+	var b []byte
+	b = append(b, l.File.Name()...)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(l.Line), 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(l.Col), 10)
+	return string(b)
+}
+
+// appendLoc writes locRef(l) into sb without the intermediate string.
+func appendLoc(sb *strings.Builder, l ductape.Location) {
+	if !l.Valid() {
+		if l.File != nil {
+			sb.WriteString(l.File.Name())
+		} else {
+			sb.WriteByte('-')
+		}
+		return
+	}
+	sb.WriteString(l.File.Name())
+	sb.WriteByte(':')
+	sb.WriteString(strconv.Itoa(l.Line))
+	sb.WriteByte(':')
+	sb.WriteString(strconv.Itoa(l.Col))
+}
+
+// appendBool writes " name=true/false" into sb.
+func appendBool(sb *strings.Builder, name string, v bool) {
+	sb.WriteByte(' ')
+	sb.WriteString(name)
+	sb.WriteByte('=')
+	sb.WriteString(strconv.FormatBool(v))
+}
+
+// appendField writes " name=value" into sb.
+func appendField(sb *strings.Builder, name, value string) {
+	sb.WriteByte(' ')
+	sb.WriteString(name)
+	sb.WriteByte('=')
+	sb.WriteString(value)
+}
+
+// appendList writes " name=[a;b;...]" into sb, sorting parts first.
+func appendList(sb *strings.Builder, name string, parts []string) {
+	sort.Strings(parts)
+	sb.WriteByte(' ')
+	sb.WriteString(name)
+	sb.WriteString("=[")
+	for i, p := range parts {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteString(p)
+	}
+	sb.WriteByte(']')
+}
+
+func fileRef(f *ductape.File) string {
+	if f == nil {
+		return "-"
+	}
+	return f.Name()
+}
+
+func classRef(c *ductape.Class) string {
+	if c == nil {
+		return "-"
+	}
+	return c.FullName() + "@" + locRef(c.Location())
+}
+
+func routineRef(r *ductape.Routine) string {
+	if r == nil {
+		return "-"
+	}
+	return r.FullName() + "@" + locRef(r.Location())
+}
+
+func templateRef(t *ductape.Template) string {
+	if t == nil {
+		return "-"
+	}
+	return t.Name() + "@" + locRef(t.Location())
+}
+
+func typeRef(t *ductape.Type) string {
+	if t == nil {
+		return "-"
+	}
+	return t.Name()
+}
+
+func namespaceRef(n *ductape.Namespace) string {
+	if n == nil {
+		return "-"
+	}
+	return namespaceFullName(n)
+}
+
+func namespaceFullName(n *ductape.Namespace) string {
+	if p := n.ParentNamespace(); p != nil {
+		return namespaceFullName(p) + "::" + n.Name()
+	}
+	return n.Name()
+}
+
+func posRecord(hb, he, bb, be ductape.Location) string {
+	var sb strings.Builder
+	appendPos(&sb, hb, he, bb, be)
+	return sb.String()
+}
+
+func appendPos(sb *strings.Builder, hb, he, bb, be ductape.Location) {
+	appendLoc(sb, hb)
+	sb.WriteByte('|')
+	appendLoc(sb, he)
+	sb.WriteByte('|')
+	appendLoc(sb, bb)
+	sb.WriteByte('|')
+	appendLoc(sb, be)
+}
+
+func fileRecord(f *ductape.File) string {
+	incs := make([]string, 0, len(f.Includes()))
+	for _, inc := range f.Includes() {
+		incs = append(incs, inc.Name())
+	}
+	sort.Strings(incs)
+	return fmt.Sprintf("so %s sys=%v inc=[%s]", f.Name(), f.System(), strings.Join(incs, ","))
+}
+
+func routineRecord(r *ductape.Routine) string {
+	var sb strings.Builder
+	sb.Grow(256)
+	sb.WriteString("ro ")
+	sb.WriteString(r.FullName())
+	sb.WriteString(" loc=")
+	appendLoc(&sb, r.Location())
+	appendField(&sb, "acs", r.Access())
+	appendField(&sb, "kind", r.Kind())
+	appendField(&sb, "link", r.Linkage())
+	appendField(&sb, "store", r.Storage())
+	appendField(&sb, "virt", r.Virtuality())
+	appendBool(&sb, "static", r.IsStatic())
+	appendBool(&sb, "inline", r.IsInline())
+	appendBool(&sb, "const", r.IsConst())
+	appendBool(&sb, "body", r.HasBody())
+	if sig := r.Signature(); sig != nil {
+		appendField(&sb, "sig", sig.Name())
+		appendField(&sb, "args", strconv.Itoa(len(sig.ArgumentTypes())))
+	}
+	if te := r.Template(); te != nil {
+		appendField(&sb, "templ", templateRef(te))
+	}
+	calls := make([]string, 0, len(r.Callees()))
+	for _, c := range r.Callees() {
+		var cb strings.Builder
+		cb.Grow(64)
+		cb.WriteString(routineRef(c.Call()))
+		appendBool(&cb, "virt", c.IsVirtual())
+		cb.WriteString(" at=")
+		appendLoc(&cb, c.Location())
+		calls = append(calls, cb.String())
+	}
+	appendList(&sb, "calls", calls)
+	sb.WriteString(" pos=")
+	appendPos(&sb, r.HeaderBegin(), r.HeaderEnd(), r.BodyBegin(), r.BodyEnd())
+	return sb.String()
+}
+
+func classRecord(c *ductape.Class) string {
+	var sb strings.Builder
+	sb.Grow(256)
+	sb.WriteString("cl ")
+	sb.WriteString(c.FullName())
+	sb.WriteString(" loc=")
+	appendLoc(&sb, c.Location())
+	appendField(&sb, "kind", c.Kind())
+	appendField(&sb, "acs", c.Access())
+	appendBool(&sb, "inst", c.IsInstantiation())
+	appendBool(&sb, "spec", c.IsSpecialization())
+	if te := c.Template(); te != nil {
+		appendField(&sb, "templ", templateRef(te))
+	}
+	bases := make([]string, 0, len(c.BaseClasses()))
+	for _, b := range c.BaseClasses() {
+		var bb strings.Builder
+		bb.WriteString(classRef(b.Class))
+		appendField(&bb, "acs", b.Access)
+		appendBool(&bb, "virt", b.Virtual)
+		bases = append(bases, bb.String())
+	}
+	appendList(&sb, "bases", bases)
+	appendList(&sb, "friends", append([]string(nil), c.Friends()...))
+	funcs := make([]string, 0, len(c.Functions()))
+	for _, fn := range c.Functions() {
+		funcs = append(funcs, routineRef(fn))
+	}
+	appendList(&sb, "funcs", funcs)
+	members := make([]string, 0, len(c.DataMembers()))
+	for _, m := range c.DataMembers() {
+		var mb strings.Builder
+		mb.WriteString(m.Name)
+		appendField(&mb, "type", typeRef(m.Type))
+		appendField(&mb, "acs", m.Access)
+		appendField(&mb, "kind", m.Kind)
+		appendBool(&mb, "static", m.Static)
+		members = append(members, mb.String())
+	}
+	appendList(&sb, "members", members)
+	sb.WriteString(" pos=")
+	appendPos(&sb, c.HeaderBegin(), c.HeaderEnd(), c.BodyBegin(), c.BodyEnd())
+	return sb.String()
+}
+
+func typeRecord(t *ductape.Type) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ty %s kind=%s ikind=%s", t.Name(), t.Kind(), t.IntegerKind())
+	if e := t.Elem(); e != nil {
+		fmt.Fprintf(&sb, " elem=%s", typeRef(e))
+	}
+	if b := t.BaseType(); b != nil {
+		fmt.Fprintf(&sb, " tref=%s", typeRef(b))
+	}
+	if q := t.Qualifiers(); len(q) > 0 {
+		fmt.Fprintf(&sb, " qual=%s", strings.Join(q, " "))
+	}
+	if c := t.Class(); c != nil {
+		fmt.Fprintf(&sb, " class=%s", classRef(c))
+	}
+	if rt := t.ReturnType(); rt != nil {
+		fmt.Fprintf(&sb, " ret=%s", typeRef(rt))
+	}
+	args := t.ArgumentTypes()
+	if len(args) > 0 || t.HasEllipsis() {
+		parts := make([]string, 0, len(args))
+		for _, a := range args {
+			parts = append(parts, typeRef(a))
+		}
+		fmt.Fprintf(&sb, " args=[%s] ellipsis=%v", strings.Join(parts, ","), t.HasEllipsis())
+	}
+	if t.Kind() == "array" {
+		fmt.Fprintf(&sb, " n=%d", t.ArrayLength())
+	}
+	return sb.String()
+}
+
+func templateRecord(t *ductape.Template) string {
+	parent := "-"
+	if c := t.ParentClass(); c != nil {
+		parent = "cl:" + classRef(c)
+	} else if n := t.ParentNamespace(); n != nil {
+		parent = "na:" + namespaceRef(n)
+	}
+	return fmt.Sprintf("te %s loc=%s kind=%s acs=%s parent=%s text=%s pos=%s",
+		t.Name(), locRef(t.Location()), t.Kind(), t.Access(), parent, t.Text(),
+		posRecord(t.HeaderBegin(), t.HeaderEnd(), t.BodyBegin(), t.BodyEnd()))
+}
+
+func namespaceRecord(n *ductape.Namespace) string {
+	members := append([]string(nil), n.Members()...)
+	sort.Strings(members)
+	return fmt.Sprintf("na %s loc=%s alias=%s members=[%s]",
+		namespaceRef(n), locRef(n.Location()), n.AliasOf(), strings.Join(members, ";"))
+}
+
+func macroRecord(m *ductape.Macro) string {
+	return fmt.Sprintf("ma %s loc=%s kind=%s text=%s",
+		m.Name(), locRef(m.Location()), m.Kind(), m.Text())
+}

@@ -1,0 +1,134 @@
+package query
+
+import "sort"
+
+// Deps returns every node the start nodes transitively depend on —
+// the forward closure over outgoing edges, excluding the start nodes
+// themselves. maxDepth bounds the walk (0 or negative = unbounded;
+// 1 = direct dependencies only). Results are sorted by node key.
+func (g *Graph) Deps(start []*Node, maxDepth int) []*Node {
+	return g.closure(start, maxDepth, func(n *Node) []edge { return n.out })
+}
+
+// RevDeps returns every node that transitively depends on the start
+// nodes — the reverse closure over incoming edges, excluding the start
+// nodes themselves. maxDepth bounds the walk as in Deps.
+func (g *Graph) RevDeps(start []*Node, maxDepth int) []*Node {
+	return g.closure(start, maxDepth, func(n *Node) []edge { return n.in })
+}
+
+// WhatInputs returns every file for which any of the given files is a
+// transitive input: the reverse dependency closure of the file nodes,
+// filtered to file nodes. It answers "which translation units and
+// headers would have to be revisited if these files changed" — the
+// file-to-file projection of RevDeps.
+func (g *Graph) WhatInputs(files []*Node) []*Node {
+	var out []*Node
+	for _, n := range g.RevDeps(files, 0) {
+		if n.Kind == KindFile {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Reaches reports whether from transitively depends on to.
+func (g *Graph) Reaches(from, to *Node) bool {
+	return g.SomePath(from, to) != nil
+}
+
+// SomePath returns one shortest dependency chain from -> ... -> to as
+// a list of traversed edges, nil if none exists, and an empty slice
+// when from == to. Among equally short paths the lexicographically
+// smallest (by node key at each hop) is returned, so the answer is
+// deterministic.
+func (g *Graph) SomePath(from, to *Node) []Edge {
+	if from == nil || to == nil {
+		return nil
+	}
+	if from == to {
+		return []Edge{}
+	}
+	// BFS with sorted expansion: the first discovery of each node is
+	// via the smallest-key predecessor at the shallowest depth.
+	type hop struct {
+		prev *Node
+		via  EdgeKind
+	}
+	visited := map[*Node]hop{from: {}}
+	frontier := []*Node{from}
+	for len(frontier) > 0 && visited[to] == (hop{}) {
+		var next []*Node
+		for _, n := range frontier {
+			for _, e := range sortedEdges(n.out) {
+				if _, seen := visited[e.to]; seen {
+					continue
+				}
+				visited[e.to] = hop{prev: n, via: e.kind}
+				next = append(next, e.to)
+			}
+		}
+		sortNodes(next)
+		frontier = next
+	}
+	end, ok := visited[to]
+	if !ok || end.prev == nil {
+		return nil
+	}
+	var rev []Edge
+	for n := to; n != from; {
+		h := visited[n]
+		rev = append(rev, Edge{Kind: h.via, From: h.prev.Key(), To: n.Key()})
+		n = h.prev
+	}
+	out := make([]Edge, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+// closure walks BFS over next(n), excluding the start set from the
+// result, bounded by maxDepth levels.
+func (g *Graph) closure(start []*Node, maxDepth int, next func(*Node) []edge) []*Node {
+	seen := map[*Node]bool{}
+	for _, n := range start {
+		if n != nil {
+			seen[n] = true
+		}
+	}
+	frontier := append([]*Node(nil), start...)
+	var out []*Node
+	for depth := 0; len(frontier) > 0 && (maxDepth <= 0 || depth < maxDepth); depth++ {
+		var nf []*Node
+		for _, n := range frontier {
+			if n == nil {
+				continue
+			}
+			for _, e := range next(n) {
+				if seen[e.to] {
+					continue
+				}
+				seen[e.to] = true
+				out = append(out, e.to)
+				nf = append(nf, e.to)
+			}
+		}
+		frontier = nf
+	}
+	sortNodes(out)
+	return out
+}
+
+// sortedEdges orders edges by target key (then edge kind), for
+// deterministic traversal.
+func sortedEdges(es []edge) []edge {
+	out := append([]edge(nil), es...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].to.Key() != out[j].to.Key() {
+			return out[i].to.Key() < out[j].to.Key()
+		}
+		return out[i].kind < out[j].kind
+	})
+	return out
+}

@@ -1,0 +1,301 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"pdt/internal/ductape"
+	"pdt/internal/pdb"
+)
+
+// testDB builds a small raw database with a known shape:
+//
+//	files:    main.cc -> a.h -> b.h   (includes)
+//	          lib.cc  -> b.h
+//	classes:  Base (a.h), Derived (main.cc) : Base
+//	template: Box (b.h) instantiating class Box<int> (b.h)
+//	routines: main (main.cc) calls helper (a.h); helper calls boxed (b.h);
+//	          orphan (lib.cc) calls nothing
+func testDB(t *testing.T) *ductape.PDB {
+	t.Helper()
+	return ductape.FromRaw(testRaw(0))
+}
+
+// testRaw builds the raw database with all item IDs shifted by delta —
+// the same program under a different numbering.
+func testRaw(delta int) *pdb.PDB {
+	id := func(n int) int { return n + delta }
+	fref := func(n int) pdb.Ref { return pdb.Ref{Prefix: "so", ID: id(n)} }
+	loc := func(file, line int) pdb.Loc { return pdb.Loc{File: fref(file), Line: line, Col: 1} }
+	return &pdb.PDB{
+		Files: []*pdb.SourceFile{
+			{ID: id(1), Name: "main.cc", Includes: []pdb.Ref{fref(2)}},
+			{ID: id(2), Name: "a.h", Includes: []pdb.Ref{fref(3)}},
+			{ID: id(3), Name: "b.h"},
+			{ID: id(4), Name: "lib.cc", Includes: []pdb.Ref{fref(3)}},
+		},
+		Classes: []*pdb.Class{
+			{ID: id(10), Name: "Base", Loc: loc(2, 1)},
+			{ID: id(11), Name: "Derived", Loc: loc(1, 5),
+				Bases: []pdb.BaseClass{{Access: "pub", Class: pdb.Ref{Prefix: "cl", ID: id(10)}}}},
+			{ID: id(12), Name: "Box<int>", Loc: loc(3, 4),
+				Template: pdb.Ref{Prefix: "te", ID: id(20)}, Instantiation: true},
+		},
+		Templates: []*pdb.Template{
+			{ID: id(20), Name: "Box", Loc: loc(3, 1), Kind: "class"},
+		},
+		Routines: []*pdb.Routine{
+			{ID: id(30), Name: "main", Loc: loc(1, 10),
+				Pos:   pdb.Pos{BodyBegin: loc(1, 10), BodyEnd: loc(1, 12)},
+				Calls: []pdb.Call{{Callee: pdb.Ref{Prefix: "ro", ID: id(31)}, Loc: loc(1, 11)}}},
+			{ID: id(31), Name: "helper", Loc: loc(2, 10),
+				Pos:   pdb.Pos{BodyBegin: loc(2, 10), BodyEnd: loc(2, 12)},
+				Calls: []pdb.Call{{Callee: pdb.Ref{Prefix: "ro", ID: id(32)}, Loc: loc(2, 11)}}},
+			{ID: id(32), Name: "boxed", Loc: loc(3, 10),
+				Pos: pdb.Pos{BodyBegin: loc(3, 10), BodyEnd: loc(3, 12)}},
+			{ID: id(33), Name: "orphan", Loc: loc(4, 2),
+				Pos: pdb.Pos{BodyBegin: loc(4, 2), BodyEnd: loc(4, 4)}},
+		},
+	}
+}
+
+func keys(ns []*Node) []string {
+	out := make([]string, 0, len(ns))
+	for _, n := range ns {
+		out = append(out, n.Key())
+	}
+	return out
+}
+
+func one(t *testing.T, g *Graph, spec string) *Node {
+	t.Helper()
+	ns := g.Lookup(spec)
+	if len(ns) != 1 {
+		t.Fatalf("Lookup(%q) = %v, want exactly one node", spec, keys(ns))
+	}
+	return ns[0]
+}
+
+func TestDepsAndRevDeps(t *testing.T) {
+	g := New(testDB(t))
+
+	mainCC := one(t, g, "file:main.cc")
+	deps := keys(g.Deps([]*Node{mainCC}, 0))
+	want := []string{"file:a.h", "file:b.h"}
+	if !reflect.DeepEqual(deps, want) {
+		t.Errorf("Deps(main.cc) = %v, want %v", deps, want)
+	}
+
+	// Depth-limited: only the direct include.
+	deps1 := keys(g.Deps([]*Node{mainCC}, 1))
+	if !reflect.DeepEqual(deps1, []string{"file:a.h"}) {
+		t.Errorf("Deps(main.cc, depth 1) = %v", deps1)
+	}
+
+	bh := one(t, g, "file:b.h")
+	rev := keys(g.RevDeps([]*Node{bh}, 0))
+	// Every includer of b.h, everything defined in b.h, and the
+	// entities defined in (and callers into) those files.
+	wantRev := []string{
+		"class:Base", "class:Box<int>", "class:Derived",
+		"file:a.h", "file:lib.cc", "file:main.cc",
+		"routine:boxed()", "routine:helper()", "routine:main()",
+		"routine:orphan()", "template:Box",
+	}
+	if !reflect.DeepEqual(rev, wantRev) {
+		t.Errorf("RevDeps(b.h) = %v, want %v", rev, wantRev)
+	}
+}
+
+func TestEntityEdges(t *testing.T) {
+	g := New(testDB(t))
+
+	derived := one(t, g, "class:Derived")
+	deps := keys(g.Deps([]*Node{derived}, 1))
+	want := []string{"class:Base", "file:main.cc"}
+	if !reflect.DeepEqual(deps, want) {
+		t.Errorf("Deps(Derived, 1) = %v, want %v", deps, want)
+	}
+
+	box := one(t, g, "class:Box<int>")
+	deps = keys(g.Deps([]*Node{box}, 1))
+	want = []string{"file:b.h", "template:Box"}
+	if !reflect.DeepEqual(deps, want) {
+		t.Errorf("Deps(Box<int>, 1) = %v, want %v", deps, want)
+	}
+
+	mainRo := one(t, g, "routine:main()")
+	deps = keys(g.Deps([]*Node{mainRo}, 0))
+	want = []string{"file:a.h", "file:b.h", "file:main.cc", "routine:boxed()", "routine:helper()"}
+	if !reflect.DeepEqual(deps, want) {
+		t.Errorf("Deps(main, 0) = %v, want %v", deps, want)
+	}
+}
+
+func TestSomePathAndReaches(t *testing.T) {
+	g := New(testDB(t))
+	from := one(t, g, "routine:main()")
+	to := one(t, g, "file:b.h")
+
+	path := g.SomePath(from, to)
+	if path == nil {
+		t.Fatal("no path from main to b.h")
+	}
+	// Shortest path: main -call-> helper -define-> a.h -include-> b.h is
+	// length 3; main -define-> main.cc -include-> a.h -include-> b.h is
+	// also 3; the lexicographically smallest first hop wins ("file:main.cc"
+	// < "routine:helper()").
+	if len(path) != 3 {
+		t.Fatalf("path length %d: %v", len(path), path)
+	}
+	if path[0].To != "file:main.cc" || path[len(path)-1].To != "file:b.h" {
+		t.Errorf("unexpected path %v", path)
+	}
+	if !g.Reaches(from, to) {
+		t.Error("Reaches(main, b.h) = false")
+	}
+	if g.Reaches(to, from) {
+		t.Error("Reaches(b.h, main) = true, want false")
+	}
+	if g.SomePath(to, from) != nil {
+		t.Error("SomePath(b.h, main) found a path")
+	}
+	if p := g.SomePath(from, from); p == nil || len(p) != 0 {
+		t.Errorf("SomePath(x, x) = %v, want empty path", p)
+	}
+
+	// Determinism: same path every time.
+	for i := 0; i < 10; i++ {
+		if !reflect.DeepEqual(g.SomePath(from, to), path) {
+			t.Fatal("SomePath is not deterministic")
+		}
+	}
+}
+
+func TestWhatInputs(t *testing.T) {
+	g := New(testDB(t))
+	ah := one(t, g, "file:a.h")
+	got := keys(g.WhatInputs([]*Node{ah}))
+	// Every file that (transitively) takes a.h as input — the reverse
+	// closure projected to file nodes; entities along the way (Base,
+	// helper, their dependents) are traversed but not reported.
+	want := []string{"file:main.cc"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("WhatInputs(a.h) = %v, want %v", got, want)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	g := New(testDB(t))
+	if n := one(t, g, "b.h"); n.Kind != KindFile {
+		t.Errorf("bare lookup b.h = %v", n)
+	}
+	if ns := g.Lookup("no-such-node"); len(ns) != 0 {
+		t.Errorf("Lookup(no-such-node) = %v", keys(ns))
+	}
+	// Base-name lookup for files with directory components is covered
+	// by matchesBase; plain names match exactly.
+	if n := one(t, g, "class:Derived"); n.Name != "Derived" {
+		t.Errorf("Lookup(class:Derived) = %v", n)
+	}
+}
+
+func TestAffectedClosure(t *testing.T) {
+	g := New(testDB(t))
+
+	// Changing b.h invalidates every includer and everything linked to
+	// the entities involved.
+	aff := g.Affected([]string{"b.h"})
+	for _, unit := range []string{"b.h", "a.h", "main.cc", "lib.cc"} {
+		if !aff.ContainsUnit(unit) {
+			t.Errorf("Affected(b.h) misses unit %s (got %v)", unit, aff.Units())
+		}
+	}
+
+	// Changing lib.cc: orphan has no links beyond its file, and lib.cc
+	// only includes b.h — the a-side entities join only through b.h's
+	// include neighborhood.
+	aff = g.Affected([]string{"lib.cc"})
+	if !aff.ContainsUnit("lib.cc") || !aff.ContainsUnit("b.h") {
+		t.Errorf("Affected(lib.cc) = %v", aff.Units())
+	}
+
+	// Unknown files affect nothing.
+	if n := g.Affected([]string{"ghost.cc"}).Len(); n != 0 {
+		t.Errorf("Affected(ghost.cc) has %d nodes", n)
+	}
+
+	// Affected output is deterministic.
+	a1 := g.Affected([]string{"b.h"}).Nodes()
+	a2 := g.Affected([]string{"b.h"}).Nodes()
+	if !reflect.DeepEqual(keys(a1), keys(a2)) {
+		t.Error("Affected is not deterministic")
+	}
+}
+
+func TestFingerprintStableAcrossRenumbering(t *testing.T) {
+	fp1 := Fingerprint(ductape.FromRaw(testRaw(0)))
+	fp2 := Fingerprint(ductape.FromRaw(testRaw(1000)))
+
+	if !reflect.DeepEqual(fp1.Units(), fp2.Units()) {
+		t.Fatalf("units differ: %v vs %v", fp1.Units(), fp2.Units())
+	}
+	for _, unit := range fp1.Units() {
+		if !reflect.DeepEqual(fp1.Unit(unit), fp2.Unit(unit)) {
+			t.Errorf("unit %s fingerprints differ under renumbering:\n%v\n%v",
+				unit, fp1.Unit(unit), fp2.Unit(unit))
+		}
+	}
+	for _, sec := range Sections() {
+		if fp1.SectionDigest(sec) != fp2.SectionDigest(sec) {
+			t.Errorf("section %s digest differs under renumbering", sec)
+		}
+	}
+	if ch := fp1.ChangedUnits(fp2); len(ch) != 0 {
+		t.Errorf("ChangedUnits across renumbering = %v, want none", ch)
+	}
+}
+
+func TestFingerprintDetectsChange(t *testing.T) {
+	raw := testRaw(0)
+	fpOld := Fingerprint(ductape.FromRaw(raw))
+
+	// Add a call to orphan (in lib.cc): only lib.cc's routine section
+	// may change.
+	raw2 := testRaw(0)
+	raw2.Routines[3].Calls = []pdb.Call{{Callee: pdb.Ref{Prefix: "ro", ID: 32},
+		Loc: pdb.Loc{File: pdb.Ref{Prefix: "so", ID: 4}, Line: 3, Col: 1}}}
+	fpNew := Fingerprint(ductape.FromRaw(raw2))
+
+	ch := fpNew.ChangedUnits(fpOld)
+	if !reflect.DeepEqual(ch, []string{"lib.cc"}) {
+		t.Fatalf("ChangedUnits = %v, want [lib.cc]", ch)
+	}
+	if fpOld.Unit("lib.cc")[SecRoutines] == fpNew.Unit("lib.cc")[SecRoutines] {
+		t.Error("routine section of lib.cc did not change")
+	}
+	if fpOld.Unit("lib.cc")[SecFiles] != fpNew.Unit("lib.cc")[SecFiles] {
+		t.Error("file section of lib.cc changed unexpectedly")
+	}
+	if fpOld.SectionDigest(SecFiles) != fpNew.SectionDigest(SecFiles) {
+		t.Error("global files digest changed on a call-only diff")
+	}
+	if fpOld.SectionDigest(SecRoutines) == fpNew.SectionDigest(SecRoutines) {
+		t.Error("global routines digest did not change")
+	}
+}
+
+func TestDuplicateEntityNamesStayDistinct(t *testing.T) {
+	raw := testRaw(0)
+	// A second class named Base at a different location (an ODR clash).
+	raw.Classes = append(raw.Classes, &pdb.Class{ID: 99, Name: "Base",
+		Loc: pdb.Loc{File: pdb.Ref{Prefix: "so", ID: 3}, Line: 7, Col: 1}})
+	g := New(ductape.FromRaw(raw))
+	ns := g.Lookup("Base")
+	if len(ns) != 2 {
+		t.Fatalf("expected 2 Base nodes, got %v", keys(ns))
+	}
+	if ns[0].Key() == ns[1].Key() {
+		t.Error("duplicate classes share a node key")
+	}
+}

@@ -109,6 +109,53 @@ func GenCallChain(depth, fanout int) string {
 	return sb.String()
 }
 
+// GenLayeredLib synthesizes a layered header library: depth headers
+// layer0.h .. layer<depth-1>.h form a linear include chain, and each
+// layer defines width classes inheriting from the same-index class one
+// layer down, overriding its virtual methods. The returned app
+// translation unit includes only the top layer and exercises the top
+// classes from main. The shape — deep include closures and deep
+// virtual hierarchies — is the expensive case for include-closure and
+// override analysis, and mirrors layered template libraries.
+// It returns the file set (including "app.cpp") and the main file
+// name.
+func GenLayeredLib(depth, width, methods int) (map[string]string, string) {
+	files := make(map[string]string, depth+1)
+	for d := 0; d < depth; d++ {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "#ifndef LAYER%d_H\n#define LAYER%d_H\n", d, d)
+		if d > 0 {
+			fmt.Fprintf(&sb, "#include \"layer%d.h\"\n", d-1)
+		}
+		for w := 0; w < width; w++ {
+			if d == 0 {
+				fmt.Fprintf(&sb, "class L0C%d {\npublic:\n    virtual ~L0C%d() { }\n", w, w)
+			} else {
+				fmt.Fprintf(&sb, "class L%dC%d : public L%dC%d {\npublic:\n", d, w, d-1, w)
+			}
+			for m := 0; m < methods; m++ {
+				fmt.Fprintf(&sb, "    virtual int op%d(int x) { return x + %d; }\n", m, d+m)
+			}
+			sb.WriteString("};\n")
+		}
+		sb.WriteString("#endif\n")
+		files[fmt.Sprintf("layer%d.h", d)] = sb.String()
+	}
+	var app strings.Builder
+	fmt.Fprintf(&app, "#include \"layer%d.h\"\n", depth-1)
+	app.WriteString("int main() {\n    int s = 0;\n")
+	for w := 0; w < width; w++ {
+		fmt.Fprintf(&app, "    { L%dC%d o;", depth-1, w)
+		for m := 0; m < methods; m++ {
+			fmt.Fprintf(&app, " s += o.op%d(%d);", m, m)
+		}
+		app.WriteString(" }\n")
+	}
+	app.WriteString("    return s;\n}\n")
+	files["app.cpp"] = app.String()
+	return files, "app.cpp"
+}
+
 // GenSharedHeaderUnits synthesizes m translation units all including
 // one header that defines a class template, each unit instantiating
 // the same and some distinct instantiations — the pdbmerge workload

@@ -140,3 +140,27 @@ func TestGenManyTemplatesRuns(t *testing.T) {
 		t.Errorf("code = %d, want 28", code)
 	}
 }
+
+func TestGenLayeredLibRuns(t *testing.T) {
+	files, main := workload.GenLayeredLib(4, 2, 3)
+	if len(files) != 5 {
+		t.Fatalf("got %d files, want 4 layers + app", len(files))
+	}
+	// Every layer except the bottom includes the one below it.
+	if !strings.Contains(files["layer3.h"], `#include "layer2.h"`) ||
+		strings.Contains(files["layer0.h"], "#include") {
+		t.Error("layer include chain malformed")
+	}
+	// The top-layer overrides shadow the lower layers, so main sums
+	// op_m(m) = m + (depth-1) + m over width copies.
+	want := 0
+	for w := 0; w < 2; w++ {
+		for m := 0; m < 3; m++ {
+			want += m + 3 + m
+		}
+	}
+	code, _ := compileAndRun(t, files, main)
+	if code != want {
+		t.Errorf("exit code = %d, want %d", code, want)
+	}
+}

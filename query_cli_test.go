@@ -1,0 +1,184 @@
+// Golden integration tests for pdbquery over the merged two-program
+// workload (Krylov solver + Figure 1 stack demo): the query answers in
+// both formats are pinned byte-for-byte and must be deterministic.
+package pdt_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pdt/internal/ductape"
+	"pdt/internal/workload"
+)
+
+// TestCLIPdbqueryGolden drives every pdbquery command over the merged
+// workload database and golden-checks text and JSON output.
+//
+// Regenerate with: go test -run TestCLIPdbqueryGolden -update
+func TestCLIPdbqueryGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	dbKrylov := compileFilesTU(t, workload.KrylovFiles(), "krylov.cpp")
+	dbStack := compileFilesTU(t, workload.StackFiles(), "TestStackAr.cpp")
+	merged := ductape.Merge(dbKrylov, dbStack)
+	path := filepath.Join(t.TempDir(), "workload.pdb")
+	if err := merged.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"nodes_text", []string{path, "nodes"}},
+		{"deps_krylov_text", []string{path, "deps", "file:krylov.cpp"}},
+		{"deps_krylov_json", []string{"-format=json", path, "deps", "file:krylov.cpp"}},
+		{"deps_depth1_text", []string{"-depth", "1", path, "deps", "file:krylov.cpp"}},
+		{"revdeps_pooma_text", []string{path, "revdeps", "pooma.h"}},
+		{"revdeps_pooma_json", []string{"-format=json", path, "revdeps", "pooma.h"}},
+		{"somepath_text", []string{path, "somepath", "file:krylov.cpp", "file:pooma.h"}},
+		{"somepath_json", []string{"-format=json", path, "somepath", "file:krylov.cpp", "file:pooma.h"}},
+		{"reaches_text", []string{path, "reaches", "file:krylov.cpp", "file:pooma.h"}},
+		{"whatinputs_stackar_text", []string{path, "whatinputs", "StackAr.h"}},
+		{"affected_stackar_text", []string{path, "affected", "StackAr.h"}},
+		{"affected_stackar_json", []string{"-format=json", path, "affected", "StackAr.h"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out, stderr, err := runTool(t, "pdbquery", c.args...)
+			if err != nil {
+				t.Fatalf("pdbquery %v: %v\n%s", c.args, err, stderr)
+			}
+			again, _, err := runTool(t, "pdbquery", c.args...)
+			if err != nil || out != again {
+				t.Errorf("pdbquery %v is not deterministic (err=%v)", c.args, err)
+			}
+
+			golden := filepath.Join("testdata", "golden", "pdbquery", c.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("golden file missing (run with -update): %v", err)
+			}
+			if !bytes.Equal([]byte(out), want) {
+				t.Errorf("output differs from %s\n--- got ---\n%s--- want ---\n%s",
+					golden, out, want)
+			}
+		})
+	}
+}
+
+// TestCLIPdbqueryErrors covers the failure surface: unknown commands
+// and nodes are usage errors, and an unreachable pair exits 1.
+func TestCLIPdbqueryErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	db := compileFilesTU(t, workload.KrylovFiles(), "krylov.cpp")
+	path := filepath.Join(t.TempDir(), "krylov.pdb")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	var ee *exec.ExitError
+	if _, stderr, err := runTool(t, "pdbquery", path, "frobnicate"); !errors.As(err, &ee) || ee.ExitCode() != 3 {
+		t.Errorf("unknown command: err = %v, want exit 3\n%s", err, stderr)
+	}
+	if _, stderr, err := runTool(t, "pdbquery", path, "deps", "no-such-node"); !errors.As(err, &ee) || ee.ExitCode() != 3 {
+		t.Errorf("unknown node: err = %v, want exit 3\n%s", err, stderr)
+	}
+	// pooma.h is a leaf: it cannot reach krylov.cpp.
+	out, _, err := runTool(t, "pdbquery", path, "reaches", "file:pooma.h", "file:krylov.cpp")
+	if !errors.As(err, &ee) || ee.ExitCode() != 1 {
+		t.Errorf("unreachable pair: err = %v, want exit 1", err)
+	}
+	if strings.TrimSpace(out) != "false" {
+		t.Errorf("reaches output = %q, want false", out)
+	}
+	out, _, err = runTool(t, "pdbquery", path, "somepath", "file:pooma.h", "file:krylov.cpp")
+	if !errors.As(err, &ee) || ee.ExitCode() != 1 {
+		t.Errorf("somepath with no path: err = %v, want exit 1", err)
+	}
+	if strings.TrimSpace(out) != "no path" {
+		t.Errorf("somepath output = %q, want 'no path'", out)
+	}
+}
+
+// TestCLIPdblintIncremental pins the acceptance contract for the
+// findings DB: a warm `pdblint -changed -findings-db` run is
+// byte-identical to a full run and its metrics show cached findings
+// being spliced in (lint.reused > 0).
+func TestCLIPdblintIncremental(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	dbKrylov := compileFilesTU(t, workload.KrylovFiles(), "krylov.cpp")
+	dbStack := compileFilesTU(t, workload.StackFiles(), "TestStackAr.cpp")
+	merged := ductape.Merge(dbKrylov, dbStack)
+	path := filepath.Join(t.TempDir(), "workload.pdb")
+	if err := merged.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	fdb := filepath.Join(t.TempDir(), "findings")
+
+	// The merged workload has real findings, so every variant exits
+	// with the findings code (1 warnings / 2 errors) — never 0 or a
+	// usage/IO failure.
+	wantFindings := func(err error, stderr string) {
+		t.Helper()
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) || ee.ExitCode() > 2 {
+			t.Fatalf("pdblint exit = %v, want findings exit\n%s", err, stderr)
+		}
+	}
+
+	full, stderr, err := runTool(t, "pdblint", path)
+	wantFindings(err, stderr)
+
+	// Cold incremental run: nothing cached yet, every pass runs, and
+	// the report already matches the full run byte for byte.
+	cold, stderr, err := runTool(t, "pdblint", "-findings-db", fdb, "-metrics", "-", path)
+	wantFindings(err, stderr)
+	if cold != full {
+		t.Error("cold incremental output differs from full run")
+	}
+	snap := metricsSnapshot(t, "pdblint", stderr)
+	if snap.Counters["lint.reran"] == 0 || snap.Counters["lint.reused"] != 0 {
+		t.Errorf("cold run: reran=%d reused=%d, want all reran",
+			snap.Counters["lint.reran"], snap.Counters["lint.reused"])
+	}
+	if snap.Counters["findings.stored"] == 0 {
+		t.Error("cold run stored no findings")
+	}
+
+	// Warm run against the unchanged database: every pass is spliced
+	// from the findings DB and the bytes still match the full run.
+	warm, stderr, err := runTool(t, "pdblint",
+		"-findings-db", fdb, "-changed", "krylov.cpp", "-metrics", "-", path)
+	wantFindings(err, stderr)
+	if warm != full {
+		t.Error("warm incremental output differs from full run")
+	}
+	snap = metricsSnapshot(t, "pdblint", stderr)
+	if snap.Counters["lint.reused"] == 0 || snap.Counters["lint.reran"] != 0 {
+		t.Errorf("warm run: reused=%d reran=%d, want all reused",
+			snap.Counters["lint.reused"], snap.Counters["lint.reran"])
+	}
+	if snap.Counters["lint.affected_units"] == 0 {
+		t.Error("warm run with -changed reported no affected units")
+	}
+	wantSpans(t, "pdblint", snap, "incremental", "fingerprint", "affected")
+}
