@@ -1,0 +1,119 @@
+// Benchmark snapshot for the pdbd daemon's result cache.
+//
+// TestBenchSnapshotPdbd is gated on PDT_BENCH_SNAPSHOT_PDBD: when the
+// variable names an output path, the test boots a daemon over the
+// generated many-unit corpus, times cold (computed) versus warm
+// (cached) requests for the expensive endpoints, and writes the
+// measurements as JSON. CI runs it on every push and uploads the
+// artifact; the committed BENCH_pdbd.json is the documented baseline.
+// The acceptance contract is asserted here: a warm cached query must
+// show cache hits and be at least 10x faster than its cold compute.
+package pdt_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pdt/internal/obs"
+	"pdt/internal/pdbd"
+)
+
+func TestBenchSnapshotPdbd(t *testing.T) {
+	out := os.Getenv("PDT_BENCH_SNAPSHOT_PDBD")
+	if out == "" {
+		t.Skip("set PDT_BENCH_SNAPSHOT_PDBD=<path> to write the benchmark snapshot")
+	}
+
+	db := benchCorpus(t, 48, 4, 8, 8)
+	path := filepath.Join(t.TempDir(), "bench.pdb")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	m := obs.New("pdbd")
+	srv, err := pdbd.New(context.Background(), pdbd.Config{
+		Paths:    []string{path},
+		CacheDir: filepath.Join(t.TempDir(), "cache"),
+		Metrics:  m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	fetch := func(url string) (string, time.Duration) {
+		start := time.Now()
+		resp, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		elapsed := time.Since(start)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d, %v\n%s", url, resp.StatusCode, err, body)
+		}
+		return resp.Header.Get("X-Pdbd-Cache"), elapsed
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+	endpoints := map[string]string{
+		"lint":     "/v1/lint",
+		"deps":     "/v1/query/deps?node=file:unit0.cpp",
+		"affected": "/v1/query/affected?file=file:unit0.cpp&format=json",
+		"tree":     "/v1/tree",
+	}
+	snap := map[string]any{
+		"generated_by": "TestBenchSnapshotPdbd",
+		"corpus":       map[string]int{"layer_depth": 48, "layer_width": 4, "layer_methods": 8, "merge_units": 8},
+	}
+	for name, url := range endpoints {
+		tier, cold := fetch(url)
+		if tier != "miss" {
+			t.Errorf("%s: first request tier = %q, want miss", name, tier)
+		}
+		// Fastest of five warm requests, as the least noisy estimator.
+		var warm time.Duration
+		for i := 0; i < 5; i++ {
+			tier, d := fetch(url)
+			if tier != "mem" {
+				t.Errorf("%s: warm request tier = %q, want mem", name, tier)
+			}
+			if i == 0 || d < warm {
+				warm = d
+			}
+		}
+		speedup := float64(cold) / float64(warm)
+		snap[name+"_cold_ms"] = ms(cold)
+		snap[name+"_warm_ms"] = ms(warm)
+		snap[name+"_speedup"] = speedup
+		t.Logf("%s: cold %.2fms warm %.3fms (%.0fx)", name, ms(cold), ms(warm), speedup)
+		if name == "lint" && speedup < 10 {
+			t.Errorf("%s: warm/cold speedup %.1fx, want >= 10x", name, speedup)
+		}
+	}
+
+	counters := m.Snapshot().Counters
+	snap["cache_mem_hits"] = counters["cache.mem.hits"]
+	snap["cache_mem_misses"] = counters["cache.mem.misses"]
+	snap["cache_coalesced"] = counters["cache.coalesced"]
+	if counters["cache.mem.hits"] == 0 {
+		t.Error("warm requests recorded no cache hits")
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

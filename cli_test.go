@@ -158,12 +158,18 @@ func TestCLIPdblint(t *testing.T) {
 	if !errors.As(err, &ee) || ee.ExitCode() != 2 {
 		t.Fatalf("pdblint exit = %v, want exit code 2\n%s", err, stderr)
 	}
-	var diags []map[string]any
-	if jerr := json.Unmarshal([]byte(out), &diags); jerr != nil {
+	var report struct {
+		SchemaVersion int              `json:"schema_version"`
+		Findings      []map[string]any `json:"findings"`
+	}
+	if jerr := json.Unmarshal([]byte(out), &report); jerr != nil {
 		t.Fatalf("pdblint JSON: %v\n%s", jerr, out)
 	}
+	if report.SchemaVersion != 1 {
+		t.Errorf("pdblint schema_version = %d, want 1", report.SchemaVersion)
+	}
 	seen := map[string]bool{}
-	for _, d := range diags {
+	for _, d := range report.Findings {
 		seen[d["pass"].(string)] = true
 	}
 	for _, pass := range []string{"dead-routine", "include-cycle", "unused-include",

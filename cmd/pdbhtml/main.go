@@ -1,5 +1,6 @@
 // pdbhtml automatically creates web-based documentation that enables
-// navigation of code via HTML links (Table 2).
+// navigation of code via HTML links (Table 2), through the shared
+// corpus API (internal/corpus) the pdbd daemon also serves.
 //
 // Usage:
 //
@@ -16,35 +17,28 @@ import (
 	"os"
 
 	"pdt/internal/cliutil"
-	"pdt/internal/pdbio"
-	"pdt/internal/tools/html"
+	"pdt/internal/corpus"
 )
 
 func main() {
 	t := cliutil.New("pdbhtml", "pdbhtml [-d outdir] [-nosrc] [-j N] [-metrics file|-] [-trace] file.pdb")
 	dir := t.Flags.String("d", "pdbhtml-out", "output directory")
 	noSrc := t.Flags.Bool("nosrc", false, "do not generate source listings")
-	workers := t.WorkersFlag()
-	res := t.ResilienceFlags()
+	cf := t.CorpusFlags()
 	t.ObsFlags()
 	t.Parse(os.Args[1:], 1, 1)
 
-	opts := append([]pdbio.Option{pdbio.WithWorkers(*workers), pdbio.WithMetrics(t.Obs())},
-		res.Options()...)
-	db, err := pdbio.Load(context.Background(), t.Flags.Arg(0), opts...)
+	c, err := corpus.Open(context.Background(), []string{t.Flags.Arg(0)}, cf.Options())
 	if err != nil {
 		t.Fatalf("%v", err)
 	}
-	loader := html.DiskLoader
-	if *noSrc {
-		loader = nil
-	}
 	sp := t.Obs().StartSpan("generate")
-	if err := html.Generate(db, *dir, loader); err != nil {
+	err = c.GenerateHTML(*dir, !*noSrc)
+	sp.End()
+	if err != nil {
 		t.Fatalf("%v", err)
 	}
-	sp.End()
 	fmt.Printf("pdbhtml: wrote documentation to %s/\n", *dir)
 	t.FlushObs()
-	t.Exit(res.Exit(cliutil.ExitOK))
+	t.Exit(cf.Exit(cliutil.ExitOK))
 }

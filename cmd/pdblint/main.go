@@ -1,6 +1,7 @@
 // pdblint runs the static-analysis passes of internal/analysis over a
 // program database and reports the findings — the checker front end
-// over PDB + DUCTAPE.
+// over PDB + DUCTAPE, through the shared corpus API (internal/corpus)
+// the pdbd daemon also serves.
 //
 // Usage:
 //
@@ -31,8 +32,7 @@ import (
 
 	"pdt/internal/analysis"
 	"pdt/internal/cliutil"
-	"pdt/internal/durable"
-	"pdt/internal/pdbio"
+	"pdt/internal/corpus"
 )
 
 func main() {
@@ -41,11 +41,10 @@ func main() {
 	passNames := t.Flags.String("passes", "", "comma-separated pass names (default: all)")
 	format := t.FormatFlag("text", "json")
 	serial := t.Flags.Bool("serial", false, "run passes serially instead of in parallel")
-	workers := t.WorkersFlag()
 	bloat := t.Flags.Int("template-bloat", analysis.DefaultTemplateBloatThreshold,
 		"instantiation-count threshold for the template-bloat pass")
 	list := t.Flags.Bool("list", false, "list the available passes and exit")
-	res := t.ResilienceFlags()
+	cf := t.CorpusFlags()
 	inc := t.IncrementalFlags()
 	t.ObsFlags()
 	t.Parse(os.Args[1:], 0, 1)
@@ -68,54 +67,26 @@ func main() {
 			}
 		}
 	}
-	passes, err := analysis.Select(names)
-	if err != nil {
-		t.Fatalf("%v", err)
-	}
-	for _, p := range passes {
-		if tb, ok := p.(*analysis.TemplateBloatPass); ok {
-			tb.Threshold = *bloat
-		}
-	}
 
-	loadOpts := append([]pdbio.Option{pdbio.WithWorkers(*workers), pdbio.WithMetrics(t.Obs())},
-		res.Options()...)
-	db, err := pdbio.Load(context.Background(), t.Flags.Arg(0), loadOpts...)
+	ctx := context.Background()
+	c, err := corpus.Open(ctx, []string{t.Flags.Arg(0)}, cf.Options())
 	if err != nil {
 		t.Fatalf("%v", err)
 	}
 
-	opts := analysis.Options{Metrics: t.Obs()}
-	if *serial {
-		opts.Workers = 1
-	}
-	var diags []analysis.Diagnostic
-	if inc.Enabled() {
-		journal, jerr := durable.OpenJournal(durable.OS, inc.Dir())
-		if jerr != nil {
-			t.Fatalf("findings db: %v", jerr)
-		}
-		r, rerr := analysis.RunIncremental(db, passes, analysis.IncrementalOptions{
-			Options: opts,
-			Journal: journal,
-			Changed: inc.Changed(),
-		})
-		if rerr != nil {
-			t.Fatalf("%v", rerr)
-		}
-		diags = r.Diags
-	} else {
-		diags = analysis.Run(db, passes, opts)
-	}
-
-	if *format == "json" {
-		err = analysis.WriteJSON(os.Stdout, diags)
-	} else {
-		err = analysis.WriteText(os.Stdout, diags)
-	}
+	res, err := c.Lint(ctx, corpus.LintRequest{
+		Passes:        names,
+		TemplateBloat: *bloat,
+		Serial:        *serial,
+		FindingsDB:    inc.Dir(),
+		Changed:       inc.Changed(),
+	})
 	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if err := res.Write(os.Stdout, *format); err != nil {
 		t.Fatalf("%v", err)
 	}
 	t.FlushObs()
-	t.Exit(res.Exit(analysis.ExitCode(diags)))
+	t.Exit(cf.Exit(res.ExitCode()))
 }

@@ -1,7 +1,8 @@
 // pdbquery runs dependency-graph queries over a program database —
 // the PDB seen as a graph of files, classes, templates, and routines
 // connected by include, inherit, instantiate, call, and definition
-// edges (internal/query).
+// edges (internal/query), through the shared corpus API
+// (internal/corpus) the pdbd daemon also serves.
 //
 // Usage:
 //
@@ -11,6 +12,7 @@
 // Commands:
 //
 //	nodes                    list every graph node
+//	lookup <spec> ...        list the nodes matching the specs
 //	deps <node> ...          transitive dependencies of the nodes
 //	revdeps <node> ...       transitive dependents of the nodes
 //	somepath <from> <to>     one shortest dependency chain
@@ -29,218 +31,38 @@ package main
 
 import (
 	"context"
-	"encoding/json"
-	"fmt"
-	"io"
 	"os"
-	"strings"
 
 	"pdt/internal/cliutil"
-	"pdt/internal/ductape"
-	"pdt/internal/pdbio"
-	"pdt/internal/query"
+	"pdt/internal/corpus"
 )
-
-// ExitNoPath is the pdbquery-specific finding code: the somepath or
-// reaches query completed but found no connection.
-const ExitNoPath = 1
 
 func main() {
 	t := cliutil.New("pdbquery",
 		"pdbquery [-format=text|json] [-depth N] file.pdb command [arg ...]")
 	format := t.FormatFlag("text", "json")
 	depth := t.Flags.Int("depth", 0, "bound deps/revdeps to this many hops (0 = unbounded)")
-	workers := t.WorkersFlag()
-	res := t.ResilienceFlags()
+	cf := t.CorpusFlags()
 	t.ObsFlags()
 	t.Parse(os.Args[1:], 2, -1)
 
-	loadOpts := append([]pdbio.Option{pdbio.WithWorkers(*workers), pdbio.WithMetrics(t.Obs())},
-		res.Options()...)
-
-	var g *query.Graph
-	loadOpts = append(loadOpts, pdbio.WithPostLoad(func(db *ductape.PDB) {
-		sp := t.Obs().StartSpan("graph.build")
-		g = query.New(db)
-		sp.AddItems(int64(g.Len()))
-		sp.End()
-	}))
-	if _, err := pdbio.Load(context.Background(), t.Flags.Arg(0), loadOpts...); err != nil {
-		t.Fatalf("%v", err)
-	}
-	t.Obs().Counter("query.nodes").Add(int64(g.Len()))
-	t.Obs().Counter("query.edges").Add(int64(g.EdgeCount()))
-
-	cmd, args := t.Flags.Arg(1), t.Flags.Args()[2:]
-	code := cliutil.ExitOK
-	var err error
-	switch cmd {
-	case "nodes":
-		if len(args) != 0 {
-			t.Usage()
-		}
-		err = writeNodes(os.Stdout, *format, g.Nodes())
-	case "deps":
-		err = writeNodes(os.Stdout, *format, g.Deps(resolveAll(t, g, args), *depth))
-	case "revdeps":
-		err = writeNodes(os.Stdout, *format, g.RevDeps(resolveAll(t, g, args), *depth))
-	case "whatinputs":
-		err = writeNodes(os.Stdout, *format, g.WhatInputs(resolveFiles(t, g, args)))
-	case "somepath", "reaches":
-		if len(args) != 2 {
-			t.Usage()
-		}
-		from, to := resolveOne(t, g, args[0]), resolveOne(t, g, args[1])
-		path := g.SomePath(from, to)
-		if path == nil {
-			code = ExitNoPath
-		}
-		if cmd == "reaches" {
-			err = writeBool(os.Stdout, *format, path != nil)
-		} else {
-			err = writePath(os.Stdout, *format, path)
-		}
-	case "affected":
-		if len(args) == 0 {
-			t.Usage()
-		}
-		set := g.Affected(args)
-		t.Obs().Counter("query.affected_units").Add(int64(len(set.Units())))
-		err = writeAffected(os.Stdout, *format, set)
-	default:
-		t.Fatalf("unknown command %q", cmd)
-	}
+	ctx := context.Background()
+	c, err := corpus.Open(ctx, []string{t.Flags.Arg(0)}, cf.Options())
 	if err != nil {
 		t.Fatalf("%v", err)
 	}
+
+	res, err := c.Query(ctx, corpus.QueryRequest{
+		Command: t.Flags.Arg(1),
+		Args:    t.Flags.Args()[2:],
+		Depth:   *depth,
+	})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if err := res.Write(os.Stdout, *format); err != nil {
+		t.Fatalf("%v", err)
+	}
 	t.FlushObs()
-	t.Exit(res.Exit(code))
-}
-
-// resolveAll resolves every spec, requiring at least one node each;
-// ambiguous specs contribute all their matches.
-func resolveAll(t *cliutil.Tool, g *query.Graph, specs []string) []*query.Node {
-	if len(specs) == 0 {
-		t.Usage()
-	}
-	var out []*query.Node
-	for _, spec := range specs {
-		ns := g.Lookup(spec)
-		if len(ns) == 0 {
-			t.Fatalf("no node matches %q", spec)
-		}
-		out = append(out, ns...)
-	}
-	return out
-}
-
-// resolveFiles is resolveAll restricted to file nodes.
-func resolveFiles(t *cliutil.Tool, g *query.Graph, specs []string) []*query.Node {
-	nodes := resolveAll(t, g, specs)
-	for _, n := range nodes {
-		if n.Kind != query.KindFile {
-			t.Fatalf("whatinputs takes files, %q is a %s", n.Name, n.Kind)
-		}
-	}
-	return nodes
-}
-
-// resolveOne resolves a spec that must name exactly one node.
-func resolveOne(t *cliutil.Tool, g *query.Graph, spec string) *query.Node {
-	ns := g.Lookup(spec)
-	switch len(ns) {
-	case 1:
-		return ns[0]
-	case 0:
-		t.Fatalf("no node matches %q", spec)
-	default:
-		var keys []string
-		for _, n := range ns {
-			keys = append(keys, n.Key())
-		}
-		t.Fatalf("%q is ambiguous: %s", spec, strings.Join(keys, ", "))
-	}
-	return nil
-}
-
-type nodeJSON struct {
-	Kind string `json:"kind"`
-	Name string `json:"name"`
-}
-
-func marshalNodes(ns []*query.Node) []nodeJSON {
-	out := make([]nodeJSON, 0, len(ns))
-	for _, n := range ns {
-		out = append(out, nodeJSON{Kind: string(n.Kind), Name: n.Name})
-	}
-	return out
-}
-
-func writeJSON(w io.Writer, v any) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(v)
-}
-
-func writeNodes(w io.Writer, format string, ns []*query.Node) error {
-	if format == "json" {
-		return writeJSON(w, marshalNodes(ns))
-	}
-	for _, n := range ns {
-		if _, err := fmt.Fprintln(w, n.Key()); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func writeBool(w io.Writer, format string, v bool) error {
-	if format == "json" {
-		return writeJSON(w, map[string]bool{"reaches": v})
-	}
-	_, err := fmt.Fprintln(w, v)
-	return err
-}
-
-func writePath(w io.Writer, format string, path []query.Edge) error {
-	if format == "json" {
-		if path == nil {
-			path = []query.Edge{}
-		}
-		return writeJSON(w, path)
-	}
-	if path == nil {
-		_, err := fmt.Fprintln(w, "no path")
-		return err
-	}
-	for i, e := range path {
-		if i == 0 {
-			if _, err := fmt.Fprintln(w, e.From); err != nil {
-				return err
-			}
-		}
-		if _, err := fmt.Fprintf(w, "  -%s-> %s\n", e.Kind, e.To); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func writeAffected(w io.Writer, format string, set *query.AffectedSet) error {
-	if format == "json" {
-		units := set.Units()
-		if units == nil {
-			units = []string{}
-		}
-		return writeJSON(w, struct {
-			Units []string   `json:"units"`
-			Nodes []nodeJSON `json:"nodes"`
-		}{Units: units, Nodes: marshalNodes(set.Nodes())})
-	}
-	for _, n := range set.Nodes() {
-		if _, err := fmt.Fprintln(w, n.Key()); err != nil {
-			return err
-		}
-	}
-	return nil
+	t.Exit(cf.Exit(res.ExitCode()))
 }

@@ -1,5 +1,6 @@
 // pdbtree displays file inclusion, class hierarchy, and call graph
-// trees of a program database (Table 2, Figure 5).
+// trees of a program database (Table 2, Figure 5), through the shared
+// corpus API (internal/corpus) the pdbd daemon also serves.
 //
 // Usage:
 //
@@ -13,12 +14,10 @@ package main
 
 import (
 	"context"
-	"fmt"
 	"os"
 
 	"pdt/internal/cliutil"
-	"pdt/internal/pdbio"
-	"pdt/internal/tools/tree"
+	"pdt/internal/corpus"
 )
 
 func main() {
@@ -26,33 +25,20 @@ func main() {
 	files := t.Flags.Bool("files", false, "print the file inclusion tree")
 	classes := t.Flags.Bool("classes", false, "print the class hierarchy")
 	calls := t.Flags.Bool("calls", false, "print the static call graph")
-	workers := t.WorkersFlag()
-	res := t.ResilienceFlags()
+	cf := t.CorpusFlags()
 	t.ObsFlags()
 	t.Parse(os.Args[1:], 1, 1)
 
-	opts := append([]pdbio.Option{pdbio.WithWorkers(*workers), pdbio.WithMetrics(t.Obs())},
-		res.Options()...)
-	db, err := pdbio.Load(context.Background(), t.Flags.Arg(0), opts...)
+	c, err := corpus.Open(context.Background(), []string{t.Flags.Arg(0)}, cf.Options())
 	if err != nil {
 		t.Fatalf("%v", err)
 	}
 	sp := t.Obs().StartSpan("print")
-	all := !*files && !*classes && !*calls
-	if all || *files {
-		fmt.Println("=== file inclusion tree ===")
-		tree.PrintFileTree(os.Stdout, db)
-	}
-	if all || *classes {
-		fmt.Println("=== class hierarchy ===")
-		tree.PrintClassHierarchy(os.Stdout, db)
-		fmt.Println()
-	}
-	if all || *calls {
-		fmt.Println("=== static call graph ===")
-		tree.PrintCallGraph(os.Stdout, db)
-	}
+	err = c.WriteTree(os.Stdout, corpus.TreeRequest{Files: *files, Classes: *classes, Calls: *calls})
 	sp.End()
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
 	t.FlushObs()
-	t.Exit(res.Exit(cliutil.ExitOK))
+	t.Exit(cf.Exit(cliutil.ExitOK))
 }

@@ -8,6 +8,7 @@ import (
 
 	"pdt/internal/analysis"
 	"pdt/internal/ductape"
+	"pdt/internal/schema"
 )
 
 // lintFixture builds a database that triggers several passes at once:
@@ -162,20 +163,27 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 	if err := analysis.WriteJSON(&sb, diags); err != nil {
 		t.Fatal(err)
 	}
-	var parsed []analysis.Diagnostic
+	var parsed analysis.Report
 	if err := json.Unmarshal([]byte(sb.String()), &parsed); err != nil {
 		t.Fatalf("output is not JSON: %v", err)
 	}
-	if !reflect.DeepEqual(diags, parsed) {
-		t.Errorf("JSON round trip diverged:\n%v\nvs\n%v", diags, parsed)
+	if parsed.SchemaVersion != schema.Version {
+		t.Errorf("schema_version = %d, want %d", parsed.SchemaVersion, schema.Version)
+	}
+	if !reflect.DeepEqual(diags, parsed.Findings) {
+		t.Errorf("JSON round trip diverged:\n%v\nvs\n%v", diags, parsed.Findings)
 	}
 
-	// Empty report renders as an empty array, not null.
+	// Empty report renders as an empty findings array, not null.
 	sb.Reset()
 	if err := analysis.WriteJSON(&sb, nil); err != nil {
 		t.Fatal(err)
 	}
-	if strings.TrimSpace(sb.String()) != "[]" {
+	var empty analysis.Report
+	if err := json.Unmarshal([]byte(sb.String()), &empty); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Findings == nil || len(empty.Findings) != 0 {
 		t.Errorf("empty report = %q", sb.String())
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"pdt/internal/schema"
 )
 
 // WriteText renders the report in compiler style, one finding per
@@ -27,14 +29,22 @@ func WriteText(w io.Writer, diags []Diagnostic) error {
 	return nil
 }
 
-// WriteJSON renders the report as an indented JSON array (an empty
-// report renders as []), byte-identical across runs for the same
-// database and pass set.
+// Report is the versioned JSON shape of one findings report: the
+// shared schema_version stamp and the findings array (empty, never
+// null, for a clean run). CLI consumers and pdbd HTTP clients decode
+// the same object.
+type Report struct {
+	SchemaVersion int          `json:"schema_version"`
+	Findings      []Diagnostic `json:"findings"`
+}
+
+// WriteJSON renders the report as an indented, versioned JSON object,
+// byte-identical across runs for the same database and pass set.
 func WriteJSON(w io.Writer, diags []Diagnostic) error {
 	if diags == nil {
 		diags = []Diagnostic{}
 	}
-	data, err := json.MarshalIndent(diags, "", "  ")
+	data, err := json.MarshalIndent(Report{SchemaVersion: schema.Version, Findings: diags}, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"pdt/internal/corpus"
 	"pdt/internal/durable"
 	"pdt/internal/obs"
 	"pdt/internal/pdbio"
@@ -71,9 +72,12 @@ func (t *Tool) OutFlag() *string {
 }
 
 // WorkersFlag registers the standard -j parallelism flag, consumed by
-// the pdbio load and merge paths.
+// the pdbio load and merge paths. -workers is the spelled-out alias
+// (both names bind one value; the last one parsed wins).
 func (t *Tool) WorkersFlag() *int {
-	return t.Flags.Int("j", 0, "parallel workers (0 = one per CPU, 1 = sequential)")
+	n := t.Flags.Int("j", 0, "parallel workers (0 = one per CPU, 1 = sequential)")
+	t.Flags.IntVar(n, "workers", 0, "alias for -j")
+	return n
 }
 
 // FormatFlag registers the standard -format flag restricted to the
@@ -315,3 +319,82 @@ func (r *Resilience) Exit(base int) int {
 	}
 	return base
 }
+
+// CorpusFlags bundles the corpus-loading flag groups every PDB-reading
+// tool shares — workers (-j/-workers) and the resilience group — into
+// one registration whose parsed values map 1:1 onto corpus.Options.
+// This is the single spelling point: a flag spelled here is spelled
+// identically on every tool and on the pdbd daemon config.
+type CorpusFlags struct {
+	tool    *Tool
+	workers *int
+	strict  *bool
+	ckpt    *string
+	resume  *bool
+	res     *Resilience
+}
+
+// CorpusFlags registers the shared corpus-loading flags on the tool:
+// -j/-workers plus the resilience group (-lenient, -quarantine,
+// -retry, -retry-backoff).
+func (t *Tool) CorpusFlags() *CorpusFlags {
+	return &CorpusFlags{
+		tool:    t,
+		workers: t.WorkersFlag(),
+		res:     t.ResilienceFlags(),
+	}
+}
+
+// WithStrict additionally registers -strict (input validation) for
+// tools that expose it.
+func (c *CorpusFlags) WithStrict() *CorpusFlags {
+	c.strict = c.tool.Flags.Bool("strict", false,
+		"validate the referential integrity of every input database")
+	return c
+}
+
+// WithCheckpoint additionally registers -checkpoint-dir and -resume
+// (merge journal reuse) for tools that expose them.
+func (c *CorpusFlags) WithCheckpoint() *CorpusFlags {
+	c.ckpt = c.tool.Flags.String("checkpoint-dir", "",
+		"journal every completed merge unit into this directory (crash-safe, content-addressed)")
+	c.resume = c.tool.Flags.Bool("resume", false,
+		"with -checkpoint-dir, reuse journaled units from an interrupted run instead of recomputing them")
+	return c
+}
+
+// Options translates the parsed flags into a corpus.Options, wiring in
+// the tool's metrics registry and the shared resilience stats. Call
+// after Parse.
+func (c *CorpusFlags) Options() corpus.Options {
+	o := corpus.Options{
+		Workers: *c.workers,
+		Metrics: c.tool.Obs(),
+		Stats:   c.res.Stats(),
+	}
+	if c.strict != nil {
+		o.Strict = *c.strict
+	}
+	if c.ckpt != nil {
+		o.CheckpointDir = *c.ckpt
+		o.Resume = *c.resume
+	}
+	if *c.res.lenient {
+		o.Lenient = true
+	}
+	if *c.res.quarantine != "" {
+		o.Quarantine = *c.res.quarantine
+	}
+	if *c.res.retries > 0 {
+		o.Retries = *c.res.retries
+		o.RetryBackoff = *c.res.backoff
+	}
+	return o
+}
+
+// Resilience exposes the embedded resilience flag group (for Exit).
+func (c *CorpusFlags) Resilience() *Resilience { return c.res }
+
+// Exit folds the recovery status into the tool's exit code, as
+// Resilience.Exit does.
+func (c *CorpusFlags) Exit(base int) int { return c.res.Exit(base) }

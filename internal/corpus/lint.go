@@ -1,0 +1,97 @@
+package corpus
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"pdt/internal/analysis"
+	"pdt/internal/durable"
+)
+
+// LintRequest selects and configures one analysis run over the corpus.
+type LintRequest struct {
+	// Passes names the passes to run (empty = all), as -passes does.
+	Passes []string
+	// TemplateBloat overrides the template-bloat threshold (<= 0 keeps
+	// the pass default), as -template-bloat does.
+	TemplateBloat int
+	// Serial forces the passes to run one at a time, as -serial does.
+	Serial bool
+	// FindingsDB switches the run incremental against this findings
+	// cache directory, as -findings-db does.
+	FindingsDB string
+	// Changed names the files a diff touched, as -changed does. It
+	// shapes the affected-set report of an incremental run, never
+	// correctness.
+	Changed []string
+}
+
+// LintResult carries the findings of one run plus the incremental
+// accounting when a findings DB was used.
+type LintResult struct {
+	Diags       []analysis.Diagnostic
+	Incremental *analysis.IncrementalResult // nil for a full run
+}
+
+// Lint runs the analysis passes over the corpus — incrementally,
+// splicing cached findings from the FindingsDB journal, when one is
+// configured. The report is byte-identical either way.
+func (c *Corpus) Lint(ctx context.Context, req LintRequest) (*LintResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	passes, err := analysis.Select(req.Passes)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if req.TemplateBloat > 0 {
+		for _, p := range passes {
+			if tb, ok := p.(*analysis.TemplateBloatPass); ok {
+				tb.Threshold = req.TemplateBloat
+			}
+		}
+	}
+	opts := analysis.Options{Metrics: c.opts.Metrics}
+	if req.Serial {
+		opts.Workers = 1
+	}
+	res := &LintResult{}
+	if req.FindingsDB != "" {
+		journal, jerr := durable.OpenJournal(durable.OS, req.FindingsDB)
+		if jerr != nil {
+			return nil, fmt.Errorf("findings db: %w", jerr)
+		}
+		g, gerr := c.Graph(ctx)
+		if gerr != nil {
+			return nil, gerr
+		}
+		r, rerr := analysis.RunIncremental(c.db, passes, analysis.IncrementalOptions{
+			Options: opts,
+			Journal: journal,
+			Graph:   g,
+			Changed: req.Changed,
+		})
+		if rerr != nil {
+			return nil, rerr
+		}
+		res.Diags = r.Diags
+		res.Incremental = r
+	} else {
+		res.Diags = analysis.Run(c.db, passes, opts)
+	}
+	return res, nil
+}
+
+// ExitCode folds the findings severities into the pdblint exit code.
+func (r *LintResult) ExitCode() int { return analysis.ExitCode(r.Diags) }
+
+// Write renders the findings report in the requested format ("text" or
+// "json") — the renderer both pdblint and the pdbd /v1/lint endpoint
+// use.
+func (r *LintResult) Write(w io.Writer, format string) error {
+	if format == "json" {
+		return analysis.WriteJSON(w, r.Diags)
+	}
+	return analysis.WriteText(w, r.Diags)
+}

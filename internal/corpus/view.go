@@ -1,0 +1,79 @@
+package corpus
+
+import (
+	"fmt"
+	"io"
+
+	"pdt/internal/tools/html"
+	"pdt/internal/tools/tree"
+)
+
+// TreeRequest selects which trees WriteTree prints. The zero value
+// (nothing selected) means all three, matching pdbtree's flag
+// semantics.
+type TreeRequest struct {
+	Files   bool // -files: file inclusion tree
+	Classes bool // -classes: class hierarchy
+	Calls   bool // -calls: static call graph
+}
+
+// WriteTree renders the selected trees exactly as pdbtree prints them
+// — headers, ordering, and blank lines included — so the pdbd /v1/tree
+// endpoint and the CLI produce identical bytes.
+func (c *Corpus) WriteTree(w io.Writer, req TreeRequest) error {
+	all := !req.Files && !req.Classes && !req.Calls
+	if all || req.Files {
+		if _, err := fmt.Fprintln(w, "=== file inclusion tree ==="); err != nil {
+			return err
+		}
+		tree.PrintFileTree(w, c.db)
+	}
+	if all || req.Classes {
+		if _, err := fmt.Fprintln(w, "=== class hierarchy ==="); err != nil {
+			return err
+		}
+		tree.PrintClassHierarchy(w, c.db)
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	if all || req.Calls {
+		if _, err := fmt.Fprintln(w, "=== static call graph ==="); err != nil {
+			return err
+		}
+		tree.PrintCallGraph(w, c.db)
+	}
+	return nil
+}
+
+// htmlLoader resolves the corpus's source loader: the disk loader when
+// source listings are wanted, nil otherwise.
+func htmlLoader(withSource bool) html.SourceLoader {
+	if withSource {
+		return html.DiskLoader
+	}
+	return nil
+}
+
+// HTMLPageNames lists every page of the documentation site, in
+// generation order.
+func (c *Corpus) HTMLPageNames(withSource bool) []string {
+	return html.PageNames(c.db, htmlLoader(withSource))
+}
+
+// HTMLPage renders one named documentation page, byte-identical to the
+// file pdbhtml writes under the same name; unknown names return
+// ErrNotFound.
+func (c *Corpus) HTMLPage(name string, withSource bool) ([]byte, error) {
+	content, ok := html.Page(c.db, name, htmlLoader(withSource))
+	if !ok {
+		return nil, fmt.Errorf("%w: no page %q", ErrNotFound, name)
+	}
+	return content, nil
+}
+
+// GenerateHTML writes the whole documentation site into dir, exactly
+// as pdbhtml does.
+func (c *Corpus) GenerateHTML(dir string, withSource bool) error {
+	return html.Generate(c.db, dir, htmlLoader(withSource))
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -106,6 +107,23 @@ func (j *Journal) Load(key string) (payload []byte, ok, invalid bool) {
 		return nil, false, true
 	}
 	return body, true, false
+}
+
+// Keys lists every key with an entry in the journal, sorted. Entries
+// are not verified — Load still decides whether each one is usable.
+func (j *Journal) Keys() ([]string, error) {
+	names, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: journal %s: %w", j.dir, err)
+	}
+	var keys []string
+	for _, de := range names {
+		if name, ok := strings.CutSuffix(de.Name(), ".ckpt"); ok && !de.IsDir() {
+			keys = append(keys, name)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
 }
 
 // Remove deletes the entry stored under key, if any.

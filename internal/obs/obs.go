@@ -18,6 +18,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pdt/internal/schema"
 )
 
 // Metrics is one tool run's registry of counters, gauges, spans, and
@@ -295,14 +297,16 @@ func (w *Worker) End(begin time.Time, items, bytes int64) {
 
 // Snapshot is a point-in-time export of a registry. Totals are read
 // atomically, so successive snapshots of monotonic instruments never
-// go backwards.
+// go backwards. SchemaVersion carries the shared output-schema version
+// (internal/schema) every snapshot is stamped with.
 type Snapshot struct {
-	Tool     string           `json:"tool,omitempty"`
-	WallNS   int64            `json:"wall_ns"`
-	Counters map[string]int64 `json:"counters,omitempty"`
-	Gauges   map[string]int64 `json:"gauges,omitempty"`
-	Spans    []SpanSnapshot   `json:"spans,omitempty"`
-	Pools    []PoolSnapshot   `json:"pools,omitempty"`
+	SchemaVersion int              `json:"schema_version"`
+	Tool          string           `json:"tool,omitempty"`
+	WallNS        int64            `json:"wall_ns"`
+	Counters      map[string]int64 `json:"counters,omitempty"`
+	Gauges        map[string]int64 `json:"gauges,omitempty"`
+	Spans         []SpanSnapshot   `json:"spans,omitempty"`
+	Pools         []PoolSnapshot   `json:"pools,omitempty"`
 }
 
 // SpanSnapshot is one node of the exported span tree.
@@ -331,11 +335,12 @@ type PoolSnapshot struct {
 // snapshot.
 func (m *Metrics) Snapshot() Snapshot {
 	if m == nil {
-		return Snapshot{}
+		return Snapshot{SchemaVersion: schema.Version}
 	}
 	snap := Snapshot{
-		Tool:   m.tool,
-		WallNS: time.Since(m.start).Nanoseconds(),
+		SchemaVersion: schema.Version,
+		Tool:          m.tool,
+		WallNS:        time.Since(m.start).Nanoseconds(),
 	}
 	m.mu.Lock()
 	counters := make(map[string]*Counter, len(m.counters))

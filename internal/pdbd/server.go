@@ -1,0 +1,521 @@
+// Package pdbd is the resident PDB service: it loads (and, for many
+// inputs, merges) a program-database corpus once, keeps it hot, and
+// answers the same questions the command-line tools answer — graph
+// queries, lint findings, hierarchy trees, HTML documentation pages —
+// over versioned HTTP/JSON endpoints for many concurrent clients.
+//
+// The daemon is a thin shell over internal/corpus, exactly like the
+// CLIs, so an endpoint response body is byte-identical to the
+// corresponding command-line invocation by construction: both sides
+// call the same renderers.
+//
+// Responses flow through a two-tier content-addressed result cache
+// (see cache): a sharded in-memory LRU in front of an optional
+// on-disk durable journal, with single-flight coalescing of concurrent
+// misses. Keys embed the corpus content fingerprint, so a reload
+// (SIGHUP or POST /v1/reload) re-fingerprints the corpus, drops only
+// the entries the change could affect, and carries the rest forward.
+package pdbd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"pdt/internal/corpus"
+	"pdt/internal/durable"
+	"pdt/internal/obs"
+	"pdt/internal/query"
+	"pdt/internal/schema"
+)
+
+// Config configures one daemon instance. Corpus holds the same
+// options the CLI flags set (cliutil.CorpusFlags maps them 1:1), so
+// "the daemon opened the corpus the same way" is a config equality.
+type Config struct {
+	// Paths are the input databases; several are merged as pdbmerge
+	// would (reusing Corpus.CheckpointDir journals when set).
+	Paths []string
+	// Corpus is the shared load configuration.
+	Corpus corpus.Options
+	// CacheDir enables the disk cache tier: responses are journaled in
+	// CacheDir/responses and lint findings in CacheDir/findings. Empty
+	// keeps both caches memory-only (and /v1/lint non-incremental).
+	CacheDir string
+	// MemEntries bounds the in-memory response cache (0 = 4096).
+	MemEntries int
+	// HTMLSource includes source listings in /v1/html pages, like
+	// pdbhtml without -nosrc.
+	HTMLSource bool
+	// Metrics receives the daemon's counters and spans; /v1/metrics
+	// snapshots it. Nil disables instrumentation.
+	Metrics *obs.Metrics
+}
+
+// state is the immutable corpus-of-record a request sees: handlers
+// load it once and answer entirely from that snapshot, so a reload
+// mid-request yields a consistently old or consistently new answer,
+// never a mix.
+type state struct {
+	corpus      *corpus.Corpus
+	fingerprint string
+}
+
+// Server is the daemon. Create with New, expose with Handler.
+type Server struct {
+	cfg      Config
+	metrics  *obs.Metrics
+	cache    *cache
+	findings string // lint findings journal dir ("" = none)
+	mux      *http.ServeMux
+
+	st       atomic.Pointer[state]
+	reloadMu sync.Mutex // serializes Reload; never blocks requests
+}
+
+// New opens the corpus and builds the daemon around it.
+func New(ctx context.Context, cfg Config) (*Server, error) {
+	if len(cfg.Paths) == 0 {
+		return nil, fmt.Errorf("pdbd: no corpus paths configured")
+	}
+	if cfg.MemEntries <= 0 {
+		cfg.MemEntries = 4096
+	}
+	if cfg.Corpus.Metrics == nil {
+		// Corpus-side spans and counters (loads, graph builds, lint
+		// reuse) land in the daemon's registry unless routed elsewhere.
+		cfg.Corpus.Metrics = cfg.Metrics
+	}
+	s := &Server{cfg: cfg, metrics: cfg.Metrics}
+
+	var disk *durable.Journal
+	if cfg.CacheDir != "" {
+		var err error
+		disk, err = durable.OpenJournal(durable.OS, filepath.Join(cfg.CacheDir, "responses"))
+		if err != nil {
+			return nil, err
+		}
+		s.findings = filepath.Join(cfg.CacheDir, "findings")
+	}
+	s.cache = newCache(cfg.MemEntries, disk, s.metrics)
+
+	c, err := corpus.Open(ctx, cfg.Paths, cfg.Corpus)
+	if err != nil {
+		return nil, err
+	}
+	s.st.Store(&state{corpus: c, fingerprint: c.Fingerprint()})
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/lookup", s.handleLookup)
+	s.mux.HandleFunc("GET /v1/query/{cmd}", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/lint", s.handleLint)
+	s.mux.HandleFunc("GET /v1/tree", s.handleTree)
+	s.mux.HandleFunc("GET /v1/html/{page...}", s.handleHTML)
+	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Fingerprint returns the current corpus content fingerprint.
+func (s *Server) Fingerprint() string { return s.st.Load().fingerprint }
+
+// Corpus returns the current corpus snapshot.
+func (s *Server) Corpus() *corpus.Corpus { return s.st.Load().corpus }
+
+// --- request plumbing -------------------------------------------------------
+
+// errorBody is the JSON error envelope every non-200 response carries.
+type errorBody struct {
+	SchemaVersion int    `json:"schema_version"`
+	Error         string `json:"error"`
+}
+
+// fail maps a computation error onto the HTTP surface: corpus
+// classification errors become 400/404, cancellations mean the client
+// is gone (nothing useful to write), everything else is a 500.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		s.metrics.Counter("http.canceled").Add(1)
+		return
+	}
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, corpus.ErrBadRequest):
+		code = http.StatusBadRequest
+	case errors.Is(err, corpus.ErrNotFound):
+		code = http.StatusNotFound
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(errorBody{SchemaVersion: schema.Version, Error: err.Error()})
+}
+
+// formatParam validates ?format= (text or json; text is the default,
+// matching the CLIs).
+func formatParam(r *http.Request) (string, error) {
+	f := r.URL.Query().Get("format")
+	if f == "" {
+		f = "text"
+	}
+	if f != "text" && f != "json" {
+		return "", fmt.Errorf("%w: unknown format %q", corpus.ErrBadRequest, f)
+	}
+	return f, nil
+}
+
+// entryMeta classifies a query's invalidation footprint from its
+// argument specs. Specs in exact "kind:name" form are recorded as the
+// entry's node keys — a reload drops the entry only when one of those
+// nodes is in the affected closure of the change. Any looser spec
+// (bare names, path bases) can start matching new nodes a change
+// introduces, so the entry conservatively becomes global: dropped on
+// every content change.
+func entryMeta(args []string) (nodeKeys []string, global bool) {
+	for _, a := range args {
+		if strings.Contains(a, ":") {
+			nodeKeys = append(nodeKeys, a)
+		} else {
+			global = true
+		}
+	}
+	return nodeKeys, global
+}
+
+// serveCached answers one cacheable request: probe the two cache
+// tiers, coalesce concurrent misses, compute at most once per flight,
+// and stamp the cache disposition and corpus fingerprint headers.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, st *state,
+	endpoint string, params []string, nodeKeys []string, global bool,
+	contentType string, render func() ([]byte, error)) {
+
+	// Stamp the corpus epoch on every response — errors included — so
+	// clients can always tell which corpus version answered.
+	w.Header().Set("X-Pdbd-Fingerprint", st.fingerprint)
+
+	key := cacheKey(endpoint, params, st.fingerprint)
+	e, tier, err := s.cache.do(r.Context(), key, func() (*entry, error) {
+		body, err := render()
+		if err != nil {
+			return nil, err
+		}
+		return &entry{
+			SchemaVersion: schema.Version,
+			Endpoint:      endpoint,
+			Params:        params,
+			NodeKeys:      nodeKeys,
+			Global:        global,
+			ContentType:   contentType,
+			Body:          body,
+		}, nil
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if tier == "" {
+		tier = "miss"
+	}
+	w.Header().Set("Content-Type", e.ContentType)
+	w.Header().Set("X-Pdbd-Cache", tier)
+	_, _ = w.Write(e.Body)
+}
+
+func contentTypeFor(format string) string {
+	if format == "json" {
+		return "application/json"
+	}
+	return "text/plain; charset=utf-8"
+}
+
+// --- endpoints --------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.st.Load()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		SchemaVersion int      `json:"schema_version"`
+		Status        string   `json:"status"`
+		Fingerprint   string   `json:"fingerprint"`
+		Paths         []string `json:"paths"`
+		CacheEntries  int      `json:"cache_entries"`
+	}{schema.Version, "ok", st.fingerprint, s.cfg.Paths, s.cache.mem.len()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.metrics.WriteJSON(w); err != nil {
+		s.fail(w, err)
+	}
+}
+
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	s.query(w, r, corpus.CmdLookup, r.URL.Query()["node"])
+}
+
+// queryCommands maps the /v1/query/{cmd} path segment onto the corpus
+// command set ("rdeps" is the daemon spelling of revdeps; both work).
+var queryCommands = map[string]string{
+	"nodes":      corpus.CmdNodes,
+	"deps":       corpus.CmdDeps,
+	"rdeps":      corpus.CmdRevDeps,
+	"revdeps":    corpus.CmdRevDeps,
+	"somepath":   corpus.CmdSomePath,
+	"reaches":    corpus.CmdReaches,
+	"whatinputs": corpus.CmdWhatInputs,
+	"affected":   corpus.CmdAffected,
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	cmd, ok := queryCommands[r.PathValue("cmd")]
+	if !ok {
+		s.fail(w, fmt.Errorf("%w: unknown query command %q", corpus.ErrBadRequest, r.PathValue("cmd")))
+		return
+	}
+	q := r.URL.Query()
+	var args []string
+	switch cmd {
+	case corpus.CmdSomePath, corpus.CmdReaches:
+		args = []string{q.Get("from"), q.Get("to")}
+		if args[0] == "" || args[1] == "" {
+			s.fail(w, fmt.Errorf("%w: %s needs from= and to=", corpus.ErrBadRequest, cmd))
+			return
+		}
+	case corpus.CmdWhatInputs, corpus.CmdAffected:
+		args = q["file"]
+	case corpus.CmdNodes:
+	default:
+		args = q["node"]
+	}
+	s.query(w, r, cmd, args)
+}
+
+// query is the shared cacheable-query path behind /v1/lookup and
+// /v1/query/{cmd}.
+func (s *Server) query(w http.ResponseWriter, r *http.Request, cmd string, args []string) {
+	format, err := formatParam(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	depth := 0
+	if d := r.URL.Query().Get("depth"); d != "" {
+		depth, err = strconv.Atoi(d)
+		if err != nil {
+			s.fail(w, fmt.Errorf("%w: bad depth %q", corpus.ErrBadRequest, d))
+			return
+		}
+	}
+	st := s.st.Load()
+	params := append([]string{"format=" + format, "depth=" + strconv.Itoa(depth), "cmd=" + cmd}, args...)
+	nodeKeys, global := entryMeta(args)
+	if cmd == corpus.CmdNodes {
+		global = true
+	}
+	s.serveCached(w, r, st, "query", params, nodeKeys, global, contentTypeFor(format), func() ([]byte, error) {
+		res, err := st.corpus.Query(r.Context(), corpus.QueryRequest{Command: cmd, Args: args, Depth: depth})
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := res.Write(&buf, format); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+}
+
+// csv splits a comma-separated query parameter, dropping empties.
+func csv(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	format, err := formatParam(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	q := r.URL.Query()
+	passes := csv(q.Get("passes"))
+	bloat := 0
+	if b := q.Get("template-bloat"); b != "" {
+		bloat, err = strconv.Atoi(b)
+		if err != nil {
+			s.fail(w, fmt.Errorf("%w: bad template-bloat %q", corpus.ErrBadRequest, b))
+			return
+		}
+	}
+	// ?changed= routes the (cache-missing) run through the incremental
+	// driver for its affected-set accounting; the report bytes are
+	// identical either way, so it is deliberately NOT part of the cache
+	// key — a warm cache answers regardless of what changed.
+	changed := csv(q.Get("changed"))
+
+	st := s.st.Load()
+	params := append([]string{"format=" + format, "template-bloat=" + strconv.Itoa(bloat)}, passes...)
+	s.serveCached(w, r, st, "lint", params, nil, true, contentTypeFor(format), func() ([]byte, error) {
+		req := corpus.LintRequest{Passes: passes, TemplateBloat: bloat, Changed: changed}
+		if s.findings != "" {
+			req.FindingsDB = s.findings
+		}
+		res, err := st.corpus.Lint(r.Context(), req)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := res.Write(&buf, format); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+}
+
+func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	req := corpus.TreeRequest{
+		Files:   q.Has("files"),
+		Classes: q.Has("classes"),
+		Calls:   q.Has("calls"),
+	}
+	st := s.st.Load()
+	params := []string{
+		"files=" + strconv.FormatBool(req.Files),
+		"classes=" + strconv.FormatBool(req.Classes),
+		"calls=" + strconv.FormatBool(req.Calls),
+	}
+	s.serveCached(w, r, st, "tree", params, nil, true, "text/plain; charset=utf-8", func() ([]byte, error) {
+		var buf bytes.Buffer
+		if err := st.corpus.WriteTree(&buf, req); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+}
+
+func (s *Server) handleHTML(w http.ResponseWriter, r *http.Request) {
+	page := r.PathValue("page")
+	if page == "" {
+		page = "index.html"
+	}
+	st := s.st.Load()
+	s.serveCached(w, r, st, "html", []string{"page=" + page, "src=" + strconv.FormatBool(s.cfg.HTMLSource)},
+		nil, true, "text/html; charset=utf-8", func() ([]byte, error) {
+			return st.corpus.HTMLPage(page, s.cfg.HTMLSource)
+		})
+}
+
+// --- reload -----------------------------------------------------------------
+
+// ReloadSummary reports what a reload did: the fingerprint epoch
+// transition, which units changed, and how the result cache fared —
+// how many entries the change invalidated and how many were provably
+// untouched and carried over to keep serving warm.
+type ReloadSummary struct {
+	SchemaVersion  int      `json:"schema_version"`
+	OldFingerprint string   `json:"old_fingerprint"`
+	Fingerprint    string   `json:"fingerprint"`
+	Unchanged      bool     `json:"unchanged"`
+	ChangedUnits   []string `json:"changed_units"`
+	CacheCarried   int      `json:"cache_carried"`
+	CacheDropped   int      `json:"cache_dropped"`
+}
+
+// Reload re-opens the corpus from the configured paths, swaps it in
+// atomically, and invalidates exactly the cache entries the content
+// change could affect: the drop set is the affected closure of the
+// changed units on BOTH the old and the new dependency graph (old
+// catches severed edges, new catches added ones), plus every global
+// entry. Everything else is re-keyed to the new fingerprint.
+//
+// In-flight requests keep answering from the corpus snapshot they
+// loaded; new requests see the new corpus as soon as the swap lands.
+func (s *Server) Reload(ctx context.Context) (*ReloadSummary, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+
+	sp := s.metrics.StartSpan("reload")
+	defer sp.End()
+
+	old := s.st.Load()
+	c, err := corpus.Open(ctx, s.cfg.Paths, s.cfg.Corpus)
+	if err != nil {
+		return nil, fmt.Errorf("reload: %w", err)
+	}
+	sum := &ReloadSummary{
+		SchemaVersion:  schema.Version,
+		OldFingerprint: old.fingerprint,
+		Fingerprint:    c.Fingerprint(),
+	}
+	if sum.Fingerprint == sum.OldFingerprint {
+		// Identical content: keep the old corpus (its lazily built
+		// graph and fingerprints stay warm) and touch nothing.
+		sum.Unchanged = true
+		sum.ChangedUnits = []string{}
+		return sum, nil
+	}
+
+	changed := c.Fingerprints().ChangedUnits(old.corpus.Fingerprints())
+	sum.ChangedUnits = changed
+	if sum.ChangedUnits == nil {
+		sum.ChangedUnits = []string{}
+	}
+
+	drop := make(map[string]bool, len(changed))
+	for _, u := range changed {
+		drop["file:"+u] = true
+	}
+	collect := func(g *query.Graph, gerr error) error {
+		if gerr != nil {
+			return gerr
+		}
+		for _, n := range g.Affected(changed).Nodes() {
+			drop[n.Key()] = true
+		}
+		return nil
+	}
+	if err := collect(old.corpus.Graph(ctx)); err != nil {
+		return nil, fmt.Errorf("reload: %w", err)
+	}
+	if err := collect(c.Graph(ctx)); err != nil {
+		return nil, fmt.Errorf("reload: %w", err)
+	}
+
+	sum.CacheCarried, sum.CacheDropped = s.cache.invalidate(old.fingerprint, sum.Fingerprint, drop)
+	s.st.Store(&state{corpus: c, fingerprint: sum.Fingerprint})
+	s.metrics.Counter("reload.count").Add(1)
+	return sum, nil
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	sum, err := s.Reload(r.Context())
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(sum)
+}

@@ -1,0 +1,407 @@
+package pdbd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"pdt/internal/ductape"
+	"pdt/internal/obs"
+	"pdt/internal/pdb"
+	"pdt/internal/schema"
+)
+
+// testRaw builds a corpus with two disconnected clusters, so a change
+// in one provably cannot affect answers about the other:
+//
+//	cluster 1: main.cc -> a.h,  routine main (main.cc) calls helper (a.h)
+//	cluster 2: lib2.cc -> c.h,  routine work (lib2.cc)
+//
+// With extra=true, cluster 2 gains a routine in c.h — the "changed
+// corpus" second version.
+func testRaw(extra bool) *pdb.PDB {
+	fref := func(n int) pdb.Ref { return pdb.Ref{Prefix: "so", ID: n} }
+	loc := func(file, line int) pdb.Loc { return pdb.Loc{File: fref(file), Line: line, Col: 1} }
+	raw := &pdb.PDB{
+		Files: []*pdb.SourceFile{
+			{ID: 1, Name: "main.cc", Includes: []pdb.Ref{fref(2)}},
+			{ID: 2, Name: "a.h"},
+			{ID: 10, Name: "lib2.cc", Includes: []pdb.Ref{fref(11)}},
+			{ID: 11, Name: "c.h"},
+		},
+		Routines: []*pdb.Routine{
+			{ID: 30, Name: "main", Loc: loc(1, 10),
+				Pos:   pdb.Pos{BodyBegin: loc(1, 10), BodyEnd: loc(1, 12)},
+				Calls: []pdb.Call{{Callee: pdb.Ref{Prefix: "ro", ID: 31}, Loc: loc(1, 11)}}},
+			{ID: 31, Name: "helper", Loc: loc(2, 10),
+				Pos: pdb.Pos{BodyBegin: loc(2, 10), BodyEnd: loc(2, 12)}},
+			{ID: 32, Name: "work", Loc: loc(10, 5),
+				Pos: pdb.Pos{BodyBegin: loc(10, 5), BodyEnd: loc(10, 7)}},
+		},
+	}
+	if extra {
+		raw.Routines = append(raw.Routines, &pdb.Routine{
+			ID: 33, Name: "extra", Loc: loc(11, 3),
+			Pos: pdb.Pos{BodyBegin: loc(11, 3), BodyEnd: loc(11, 5)},
+		})
+	}
+	return raw
+}
+
+func saveRaw(t *testing.T, path string, raw *pdb.PDB) {
+	t.Helper()
+	if err := ductape.FromRaw(raw).Save(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newTestServer saves the raw database and boots a daemon over it.
+func newTestServer(t *testing.T, raw *pdb.PDB, cacheDir string) (*Server, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "corpus.pdb")
+	saveRaw(t, path, raw)
+	s, err := New(context.Background(), Config{
+		Paths:    []string{path},
+		CacheDir: cacheDir,
+		Metrics:  obs.New("pdbd-test"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, path
+}
+
+// get fetches a URL and returns status, body, and the cache header.
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("X-Pdbd-Cache")
+}
+
+func TestServerEndpoints(t *testing.T) {
+	s, _ := newTestServer(t, testRaw(false), "")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name, url, want string
+	}{
+		{"healthz", "/v1/healthz", `"status": "ok"`},
+		{"lookup", "/v1/lookup?node=file:main.cc", "file:main.cc\n"},
+		{"nodes", "/v1/query/nodes", "routine:helper()"},
+		{"deps", "/v1/query/deps?node=file:main.cc", "file:a.h"},
+		{"rdeps", "/v1/query/rdeps?node=file:a.h", "file:main.cc"},
+		{"somepath", "/v1/query/somepath?from=file:main.cc&to=file:a.h", "-include->"},
+		{"reaches", "/v1/query/reaches?from=file:main.cc&to=file:a.h", "true\n"},
+		{"whatinputs", "/v1/query/whatinputs?file=file:a.h", "file:main.cc"},
+		{"affected", "/v1/query/affected?file=file:a.h", "routine:main()"},
+		{"deps_json", "/v1/query/deps?node=file:main.cc&format=json", `"schema_version": 1`},
+		{"lint", "/v1/lint", "dead-routine"},
+		{"lint_json", "/v1/lint?format=json", `"schema_version": 1`},
+		{"tree", "/v1/tree", "=== file inclusion tree ==="},
+		{"tree_calls", "/v1/tree?calls", "=== static call graph ==="},
+		{"html_index", "/v1/html/index.html", "<html>"},
+		{"html_default", "/v1/html/", "<html>"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, body, _ := get(t, ts.URL+c.url)
+			if code != http.StatusOK {
+				t.Fatalf("GET %s = %d\n%s", c.url, code, body)
+			}
+			if !strings.Contains(body, c.want) {
+				t.Errorf("GET %s missing %q in:\n%s", c.url, c.want, body)
+			}
+		})
+	}
+
+	// /v1/metrics snapshots the daemon registry, including cache counters.
+	code, body, _ := get(t, ts.URL+"/v1/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "cache.mem.misses") {
+		t.Errorf("metrics = %d:\n%s", code, body)
+	}
+
+	// Error surface: unknown nodes are 404, malformed requests 400.
+	for _, c := range []struct {
+		url  string
+		code int
+	}{
+		{"/v1/query/deps?node=file:nope.cc", http.StatusNotFound},
+		{"/v1/html/no-such-page.html", http.StatusNotFound},
+		{"/v1/query/frobnicate?node=x", http.StatusBadRequest},
+		{"/v1/query/deps?node=file:main.cc&depth=zap", http.StatusBadRequest},
+		{"/v1/query/somepath?from=file:main.cc", http.StatusBadRequest},
+		{"/v1/lint?passes=no-such-pass", http.StatusBadRequest},
+		{"/v1/query/deps?node=file:main.cc&format=yaml", http.StatusBadRequest},
+	} {
+		code, body, _ := get(t, ts.URL+c.url)
+		if code != c.code {
+			t.Errorf("GET %s = %d, want %d\n%s", c.url, code, c.code, body)
+		}
+		if code != http.StatusOK && !strings.Contains(body, `"schema_version"`) {
+			t.Errorf("GET %s error body not versioned:\n%s", c.url, body)
+		}
+	}
+}
+
+func TestServerCacheTiers(t *testing.T) {
+	cacheDir := t.TempDir()
+	s, path := newTestServer(t, testRaw(false), cacheDir)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	url := ts.URL + "/v1/query/deps?node=file:main.cc"
+	_, cold, tier := get(t, url)
+	if tier != "miss" {
+		t.Errorf("first request tier = %q, want miss", tier)
+	}
+	_, warm, tier := get(t, url)
+	if tier != "mem" {
+		t.Errorf("second request tier = %q, want mem", tier)
+	}
+	if cold != warm {
+		t.Error("cached response differs from computed response")
+	}
+
+	// A fresh daemon over the same cache directory (a restart) serves
+	// the same answer from the disk tier without recomputing.
+	s2, err := New(context.Background(), Config{
+		Paths:    []string{path},
+		CacheDir: cacheDir,
+		Metrics:  obs.New("pdbd-test-2"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	_, disk, tier := get(t, ts2.URL+"/v1/query/deps?node=file:main.cc")
+	if tier != "disk" {
+		t.Errorf("restarted daemon tier = %q, want disk", tier)
+	}
+	if disk != cold {
+		t.Error("disk-tier response differs from original")
+	}
+}
+
+func TestServerReloadInvalidation(t *testing.T) {
+	s, path := newTestServer(t, testRaw(false), t.TempDir())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Warm the cache: one entry per cluster (exact-form specs, so the
+	// entries are per-node, not global), plus a global lint entry.
+	urlStable := ts.URL + "/v1/query/deps?node=file:main.cc"
+	urlChanged := ts.URL + "/v1/query/affected?file=file:c.h"
+	get(t, urlStable)
+	get(t, urlChanged)
+	get(t, ts.URL+"/v1/lint")
+	_, before, _ := get(t, urlChanged)
+
+	// Change cluster 2 only (a new routine in c.h) and reload.
+	saveRaw(t, path, testRaw(true))
+	resp, err := http.Post(ts.URL+"/v1/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum ReloadSummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sum.SchemaVersion != schema.Version || sum.Unchanged {
+		t.Fatalf("reload summary = %+v", sum)
+	}
+	if len(sum.ChangedUnits) != 1 || sum.ChangedUnits[0] != "c.h" {
+		t.Errorf("changed units = %v, want [c.h]", sum.ChangedUnits)
+	}
+	// The cluster-1 entry is provably untouched and carried; the
+	// cluster-2 entry and the global lint entry are dropped.
+	if sum.CacheCarried < 1 || sum.CacheDropped < 2 {
+		t.Errorf("cache carried %d dropped %d, want >=1 carried and >=2 dropped",
+			sum.CacheCarried, sum.CacheDropped)
+	}
+
+	// Carried: still a cache hit under the new fingerprint.
+	if _, _, tier := get(t, urlStable); tier != "mem" {
+		t.Errorf("untouched entry tier after reload = %q, want mem", tier)
+	}
+	// Dropped: recomputed, and the new answer reflects the change.
+	code, after, tier := get(t, urlChanged)
+	if code != http.StatusOK || tier != "miss" {
+		t.Errorf("changed entry after reload = (%d, %q), want recompute", code, tier)
+	}
+	if after == before {
+		t.Error("affected set did not change after the corpus changed")
+	}
+	if !strings.Contains(after, "routine:extra()") {
+		t.Errorf("new affected set missing the added routine:\n%s", after)
+	}
+
+	// Reloading identical content is a no-op.
+	resp, err = http.Post(ts.URL+"/v1/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !sum.Unchanged {
+		t.Errorf("identical reload not reported unchanged: %+v", sum)
+	}
+}
+
+// TestServerConcurrentReload hammers mixed endpoints while the corpus
+// flips between two versions under POST /v1/reload. Every response
+// must be internally consistent: the body must match the corpus
+// version named by its X-Pdbd-Fingerprint header — old or new, never
+// a mix. Run under -race this also exercises the swap and cache paths
+// for data races.
+func TestServerConcurrentReload(t *testing.T) {
+	s, path := newTestServer(t, testRaw(false), "")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Learn the two (fingerprint -> expected body) pairs up front.
+	expect := map[string]map[string]string{} // fingerprint -> url -> body
+	urls := []string{
+		"/v1/query/affected?file=file:c.h",
+		"/v1/query/deps?node=file:lib2.cc",
+		"/v1/lookup?node=routine:extra()&node=routine:work()",
+	}
+	learn := func() string {
+		fp := s.Fingerprint()
+		bodies := map[string]string{}
+		for _, u := range urls {
+			_, body, _ := get(t, ts.URL+u)
+			bodies[u] = body
+		}
+		expect[fp] = bodies
+		return fp
+	}
+	fp1 := learn()
+	saveRaw(t, path, testRaw(true))
+	if _, err := s.Reload(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	fp2 := learn()
+	if fp1 == fp2 {
+		t.Fatal("the two corpus versions fingerprint identically")
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				u := urls[(i+n)%len(urls)]
+				resp, err := client.Get(ts.URL + u)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				fp := resp.Header.Get("X-Pdbd-Fingerprint")
+				want, ok := expect[fp][u]
+				if !ok {
+					t.Errorf("response under unknown fingerprint %q", fp)
+					return
+				}
+				if string(body) != want {
+					t.Errorf("GET %s under %.12s: body does not match that corpus version\n got: %s\nwant: %s",
+						u, fp, body, want)
+					return
+				}
+			}
+		}(i)
+	}
+
+	for round := 0; round < 6; round++ {
+		saveRaw(t, path, testRaw(round%2 == 0))
+		if _, err := s.Reload(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestServerLookupWithNonExactSpecIsGlobal(t *testing.T) {
+	// A bare-name lookup can start matching new nodes after a reload,
+	// so its cache entry must be global: dropped on ANY change, even
+	// one in the "other" cluster.
+	s, path := newTestServer(t, testRaw(false), "")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	url := ts.URL + "/v1/lookup?node=helper()"
+	get(t, url)
+	saveRaw(t, path, testRaw(true))
+	sum, err := s.Reload(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.CacheDropped == 0 {
+		t.Fatalf("bare-name lookup entry survived a reload: %+v", sum)
+	}
+	if _, _, tier := get(t, url); tier != "miss" {
+		t.Errorf("bare-name lookup tier after reload = %q, want miss", tier)
+	}
+}
+
+func TestServerLintIncrementalFindings(t *testing.T) {
+	// With a cache dir, /v1/lint runs through the incremental driver:
+	// the first run populates the findings journal, and after a reload
+	// (which drops the global response entry) the re-run splices from
+	// it. The response bytes never change.
+	m := obs.New("pdbd-lint")
+	path := filepath.Join(t.TempDir(), "corpus.pdb")
+	saveRaw(t, path, testRaw(false))
+	s, err := New(context.Background(), Config{
+		Paths:    []string{path},
+		CacheDir: t.TempDir(),
+		Metrics:  m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, first, _ := get(t, ts.URL+"/v1/lint")
+	snap := m.Snapshot()
+	if snap.Counters["findings.stored"] == 0 {
+		t.Error("first lint run stored no findings in the journal")
+	}
+	// Same corpus, cache hit: no second run at all.
+	_, second, tier := get(t, ts.URL+"/v1/lint")
+	if tier != "mem" || second != first {
+		t.Errorf("second lint = (%q, equal=%v), want warm identical", tier, second == first)
+	}
+	fmt.Fprintf(io.Discard, "%s", first)
+}

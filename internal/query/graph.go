@@ -19,6 +19,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -94,6 +95,22 @@ type Graph struct {
 // the graph holds pointers into the database and stays valid as long
 // as the database does.
 func New(db *ductape.PDB) *Graph {
+	g, _ := NewContext(context.Background(), db)
+	return g
+}
+
+// buildCheckEvery is how many items/edge groups construction processes
+// between context checks: small enough that an abandoned build on a
+// monorepo-scale database stops within microseconds of cancellation,
+// large enough that the check is free on the hot path.
+const buildCheckEvery = 1024
+
+// NewContext builds the dependency graph like New but honors ctx the
+// way pdbio.LoadAll does: construction polls for cancellation between
+// batches of items and returns ctx.Err() instead of a graph, so a
+// server whose client disconnected mid-build does not keep burning a
+// core on an abandoned graph. A nil error means the graph is complete.
+func NewContext(ctx context.Context, db *ductape.PDB) (*Graph, error) {
 	g := &Graph{
 		db:           db,
 		nodes:        map[string]*Node{},
@@ -102,8 +119,10 @@ func New(db *ductape.PDB) *Graph {
 		routineNode:  map[*ductape.Routine]*Node{},
 		templateNode: map[*ductape.Template]*Node{},
 	}
-	g.build()
-	return g
+	if err := g.build(ctx); err != nil {
+		return nil, err
+	}
+	return g, nil
 }
 
 // DB returns the database the graph was built from.
@@ -182,29 +201,57 @@ func matchesBase(n *Node, spec string) bool {
 
 // --- construction -----------------------------------------------------------
 
-func (g *Graph) build() {
+func (g *Graph) build(ctx context.Context) error {
 	db := g.db
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// tick polls the context once per buildCheckEvery items so an
+	// abandoned build stops promptly without paying a per-item check.
+	step := 0
+	tick := func() error {
+		if step++; step%buildCheckEvery == 0 {
+			return ctx.Err()
+		}
+		return nil
+	}
 
 	for _, f := range db.Files() {
 		g.fileNode[f] = g.addNode(KindFile, f.Name())
+		if err := tick(); err != nil {
+			return err
+		}
 	}
 	// Entity names can collide (ODR duplicates, unresolved overloads);
 	// collisions get a "@file:line" location suffix, and a further "#n"
 	// ordinal only if even the located name repeats.
 	for _, c := range db.Classes() {
 		g.classNode[c] = g.addEntityNode(KindClass, c.FullName(), locSuffix(c.Location()))
+		if err := tick(); err != nil {
+			return err
+		}
 	}
 	for _, r := range db.Routines() {
 		g.routineNode[r] = g.addEntityNode(KindRoutine, r.FullName(), locSuffix(r.Location()))
+		if err := tick(); err != nil {
+			return err
+		}
 	}
 	for _, t := range db.Templates() {
 		g.templateNode[t] = g.addEntityNode(KindTemplate, t.Name(), locSuffix(t.Location()))
+		if err := tick(); err != nil {
+			return err
+		}
 	}
 
 	for _, f := range db.Files() {
 		from := g.fileNode[f]
 		for _, inc := range f.Includes() {
 			g.addEdge(EdgeInclude, from, g.fileNode[inc])
+		}
+		if err := tick(); err != nil {
+			return err
 		}
 	}
 	for _, c := range db.Classes() {
@@ -220,6 +267,9 @@ func (g *Graph) build() {
 		if loc := c.Location(); loc.File != nil {
 			g.addEdge(EdgeDefine, from, g.fileNode[loc.File])
 		}
+		if err := tick(); err != nil {
+			return err
+		}
 	}
 	for _, r := range db.Routines() {
 		from := g.routineNode[r]
@@ -232,12 +282,19 @@ func (g *Graph) build() {
 		if loc := r.Location(); loc.File != nil {
 			g.addEdge(EdgeDefine, from, g.fileNode[loc.File])
 		}
+		if err := tick(); err != nil {
+			return err
+		}
 	}
 	for _, t := range db.Templates() {
 		if loc := t.Location(); loc.File != nil {
 			g.addEdge(EdgeDefine, g.templateNode[t], g.fileNode[loc.File])
 		}
+		if err := tick(); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 func locSuffix(l ductape.Location) string {

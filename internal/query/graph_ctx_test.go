@@ -1,0 +1,33 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestNewContextCanceled pins the cancellation contract of graph
+// construction: a canceled context aborts the build with ctx.Err()
+// instead of returning a graph.
+func TestNewContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g, err := NewContext(ctx, testDB(t))
+	if g != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("NewContext(canceled) = (%v, %v), want (nil, context.Canceled)", g, err)
+	}
+}
+
+// TestNewContextLive verifies the context-aware constructor builds the
+// same graph New does when the context stays live.
+func TestNewContextLive(t *testing.T) {
+	g, err := NewContext(context.Background(), testDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := New(testDB(t))
+	if g.Len() != plain.Len() || g.EdgeCount() != plain.EdgeCount() {
+		t.Errorf("NewContext graph (%d nodes, %d edges) != New graph (%d nodes, %d edges)",
+			g.Len(), g.EdgeCount(), plain.Len(), plain.EdgeCount())
+	}
+}

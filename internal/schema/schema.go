@@ -1,0 +1,18 @@
+// Package schema pins the version of the toolkit's machine-readable
+// output formats. Every JSON renderer — pdblint findings reports,
+// pdbquery query results, obs metrics snapshots, and the pdbd HTTP
+// responses built from them — stamps its top-level object with a
+// "schema_version" field carrying Version, so HTTP clients and CLI
+// consumers share one versioned contract.
+//
+// Stability contract: within one Version, fields are only ever added,
+// never renamed, removed, or re-typed, and the meaning of existing
+// fields does not change. Consumers must ignore unknown fields.
+// Version is bumped on any breaking change, at which point renderers
+// for the previous version are gone — clients pin the version they
+// understand by checking the field, not by sniffing shapes.
+package schema
+
+// Version is the current output-schema version, shared by every JSON
+// renderer in the toolkit.
+const Version = 1

@@ -5,6 +5,7 @@
 package html
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"html"
@@ -75,18 +76,34 @@ func Generate(db *ductape.PDB, dir string, load SourceLoader) error {
 			errs = append(errs, fmt.Errorf("%s: %w", name, err))
 		}
 	}
-	pages := []struct {
-		name string
-		gen  func(io.Writer)
-	}{
+	for _, p := range sitePages(db, load) {
+		writePage(p.name, p.gen)
+	}
+	if len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+	return install(stage, dir, &installed)
+}
+
+// sitePage is one page of the documentation site: its file name and
+// the generator that renders it.
+type sitePage struct {
+	name string
+	gen  func(io.Writer)
+}
+
+// sitePages enumerates every page Generate writes, in generation
+// order: the five fixed pages plus one source page per file the loader
+// resolves. Page and PageNames serve the same list one page at a time,
+// so a page fetched individually (the pdbd /v1/html endpoint) is
+// byte-identical to the file Generate writes.
+func sitePages(db *ductape.PDB, load SourceLoader) []sitePage {
+	pages := []sitePage{
 		{"index.html", func(w io.Writer) { writeIndex(w, db) }},
 		{"classes.html", func(w io.Writer) { writeClasses(w, db) }},
 		{"routines.html", func(w io.Writer) { writeRoutines(w, db) }},
 		{"templates.html", func(w io.Writer) { writeTemplates(w, db) }},
 		{"files.html", func(w io.Writer) { writeFiles(w, db, load) }},
-	}
-	for _, p := range pages {
-		writePage(p.name, p.gen)
 	}
 	if load != nil {
 		for _, sf := range db.Files() {
@@ -94,14 +111,36 @@ func Generate(db *ductape.PDB, dir string, load SourceLoader) error {
 			if !ok {
 				continue
 			}
-			sf := sf
-			writePage(sourcePage(sf), func(w io.Writer) { writeSource(w, sf, content) })
+			sf, content := sf, content
+			pages = append(pages, sitePage{sourcePage(sf), func(w io.Writer) { writeSource(w, sf, content) }})
 		}
 	}
-	if len(errs) > 0 {
-		return errors.Join(errs...)
+	return pages
+}
+
+// PageNames lists the name of every page Generate would write for db,
+// in generation order.
+func PageNames(db *ductape.PDB, load SourceLoader) []string {
+	pages := sitePages(db, load)
+	names := make([]string, len(pages))
+	for i, p := range pages {
+		names[i] = p.name
 	}
-	return install(stage, dir, &installed)
+	return names
+}
+
+// Page renders one named page of the documentation site into memory,
+// byte-identical to the file Generate writes under the same name.
+// ok is false for a name Generate would not produce.
+func Page(db *ductape.PDB, name string, load SourceLoader) (content []byte, ok bool) {
+	for _, p := range sitePages(db, load) {
+		if p.name == name {
+			var buf bytes.Buffer
+			p.gen(&buf)
+			return buf.Bytes(), true
+		}
+	}
+	return nil, false
 }
 
 // install swaps the fully generated staging directory into place: the

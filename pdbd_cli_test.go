@@ -1,0 +1,138 @@
+// Byte-identity contract between the pdbd daemon and the CLIs: every
+// daemon endpoint response body must equal the corresponding
+// command-line invocation's standard output, byte for byte, over the
+// merged two-program workload. Both sides are thin shells over
+// internal/corpus, so this pins that neither grows a private renderer.
+package pdt_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pdt/internal/ductape"
+	"pdt/internal/obs"
+	"pdt/internal/pdbd"
+	"pdt/internal/workload"
+)
+
+// workloadPDB compiles and merges the Krylov + stack workload into a
+// saved database file.
+func workloadPDB(t *testing.T) string {
+	t.Helper()
+	dbKrylov := compileFilesTU(t, workload.KrylovFiles(), "krylov.cpp")
+	dbStack := compileFilesTU(t, workload.StackFiles(), "TestStackAr.cpp")
+	merged := ductape.Merge(dbKrylov, dbStack)
+	path := filepath.Join(t.TempDir(), "workload.pdb")
+	if err := merged.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPdbdMatchesCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	path := workloadPDB(t)
+	srv, err := pdbd.New(context.Background(), pdbd.Config{
+		Paths:   []string{path},
+		Metrics: obs.New("pdbd"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	fetch := func(t *testing.T, url string) string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d\n%s", url, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+
+	cases := []struct {
+		name string
+		url  string
+		tool string
+		args []string
+	}{
+		{"nodes", "/v1/query/nodes", "pdbquery", []string{path, "nodes"}},
+		{"lookup", "/v1/lookup?node=file:krylov.cpp&node=file:pooma.h", "pdbquery",
+			[]string{path, "lookup", "file:krylov.cpp", "file:pooma.h"}},
+		{"deps_text", "/v1/query/deps?node=file:krylov.cpp", "pdbquery",
+			[]string{path, "deps", "file:krylov.cpp"}},
+		{"deps_json", "/v1/query/deps?node=file:krylov.cpp&format=json", "pdbquery",
+			[]string{"-format=json", path, "deps", "file:krylov.cpp"}},
+		{"deps_depth1", "/v1/query/deps?node=file:krylov.cpp&depth=1", "pdbquery",
+			[]string{"-depth", "1", path, "deps", "file:krylov.cpp"}},
+		{"rdeps", "/v1/query/rdeps?node=pooma.h", "pdbquery",
+			[]string{path, "revdeps", "pooma.h"}},
+		{"somepath_json", "/v1/query/somepath?from=file:krylov.cpp&to=file:pooma.h&format=json", "pdbquery",
+			[]string{"-format=json", path, "somepath", "file:krylov.cpp", "file:pooma.h"}},
+		{"reaches", "/v1/query/reaches?from=file:krylov.cpp&to=file:pooma.h", "pdbquery",
+			[]string{path, "reaches", "file:krylov.cpp", "file:pooma.h"}},
+		{"whatinputs", "/v1/query/whatinputs?file=StackAr.h", "pdbquery",
+			[]string{path, "whatinputs", "StackAr.h"}},
+		{"affected_json", "/v1/query/affected?file=StackAr.h&format=json", "pdbquery",
+			[]string{"-format=json", path, "affected", "StackAr.h"}},
+		{"lint_text", "/v1/lint", "pdblint", []string{path}},
+		{"lint_json", "/v1/lint?format=json", "pdblint", []string{"-format=json", path}},
+		{"lint_passes", "/v1/lint?passes=dead-routine,odr-duplicate", "pdblint",
+			[]string{"-passes=dead-routine,odr-duplicate", path}},
+		{"tree", "/v1/tree", "pdbtree", []string{path}},
+		{"tree_calls", "/v1/tree?calls", "pdbtree", []string{"-calls", path}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			daemon := fetch(t, c.url)
+			cli, stderr, err := runTool(t, c.tool, c.args...)
+			if err != nil {
+				// pdblint exits with the findings code; that is not a
+				// failure for body comparison.
+				if c.tool != "pdblint" {
+					t.Fatalf("%s %v: %v\n%s", c.tool, c.args, err, stderr)
+				}
+			}
+			if daemon != cli {
+				t.Errorf("daemon %s and %s %v disagree\n--- daemon ---\n%s--- cli ---\n%s",
+					c.url, c.tool, c.args, daemon, cli)
+			}
+		})
+	}
+
+	// HTML: every page the daemon serves must equal the file pdbhtml
+	// writes under the same name (source listings disabled on both
+	// sides — the workload's sources are not on disk).
+	t.Run("html", func(t *testing.T) {
+		outDir := filepath.Join(t.TempDir(), "html")
+		if _, stderr, err := runTool(t, "pdbhtml", "-nosrc", "-d", outDir, path); err != nil {
+			t.Fatalf("pdbhtml: %v\n%s", err, stderr)
+		}
+		for _, page := range []string{"index.html", "classes.html", "routines.html", "templates.html", "files.html"} {
+			daemon := fetch(t, "/v1/html/"+page)
+			disk, err := os.ReadFile(filepath.Join(outDir, page))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if daemon != string(disk) {
+				t.Errorf("daemon /v1/html/%s differs from the pdbhtml file", page)
+			}
+		}
+	})
+}
