@@ -1,0 +1,161 @@
+// Differential proof that the binary PDTB encoding is a drop-in
+// replacement for the ASCII encoding: over randomly parameterized
+// generated corpora, ascii -> binary -> ascii is byte-identity, and
+// every tool surface (pdblint, pdbquery, pdbtree, the corpus
+// fingerprint) produces identical bytes whichever encoding it loads.
+package pdt_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pdt/internal/analysis"
+	"pdt/internal/corpus"
+	"pdt/internal/ductape"
+	"pdt/internal/workload"
+)
+
+// writeBothEncodings saves db in both encodings and proves the
+// ascii -> binary -> ascii round-trip is byte-identical for it.
+func writeBothEncodings(t *testing.T, db *ductape.PDB) (asciiPath, binPath string) {
+	t.Helper()
+	var ascii, bin bytes.Buffer
+	if err := db.Write(&ascii); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	reread, err := ductape.Read(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatalf("reading binary encoding back: %v", err)
+	}
+	var back bytes.Buffer
+	if err := reread.Write(&back); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != ascii.String() {
+		t.Fatalf("ascii -> binary -> ascii is not byte-identical:\n--- direct ---\n%s\n--- via binary ---\n%s",
+			ascii.String(), back.String())
+	}
+
+	dir := t.TempDir()
+	asciiPath = filepath.Join(dir, "corpus.pdb")
+	binPath = filepath.Join(dir, "corpus.bpdb")
+	if err := os.WriteFile(asciiPath, ascii.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(binPath, bin.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return asciiPath, binPath
+}
+
+// renderAll opens the database at path as a corpus and renders every
+// tool surface to bytes: the content fingerprint, the pdbtree view,
+// the pdblint JSON report, and a pdbquery JSON response.
+func renderAll(t *testing.T, path string) map[string]string {
+	t.Helper()
+	ctx := context.Background()
+	c, err := corpus.Open(ctx, []string{path}, corpus.Options{})
+	if err != nil {
+		t.Fatalf("corpus.Open(%s): %v", path, err)
+	}
+	out := map[string]string{"fingerprint": c.Fingerprint()}
+
+	var tree bytes.Buffer
+	if err := c.WriteTree(&tree, corpus.TreeRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	out["tree"] = tree.String()
+
+	lres, err := c.Lint(ctx, corpus.LintRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lint bytes.Buffer
+	if err := analysis.WriteJSON(&lint, lres.Diags); err != nil {
+		t.Fatal(err)
+	}
+	out["lint"] = lint.String()
+
+	qres, err := c.Query(ctx, corpus.QueryRequest{Command: corpus.CmdNodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q bytes.Buffer
+	if err := qres.Write(&q, "json"); err != nil {
+		t.Fatal(err)
+	}
+	out["query"] = q.String()
+	return out
+}
+
+// TestBinaryDifferentialCorpora draws random generator parameters from
+// a fixed seed, builds each corpus with the C++ front end, and checks
+// the full differential contract on every one. Run under -race in CI.
+func TestBinaryDifferentialCorpora(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles generated corpora")
+	}
+	rng := rand.New(rand.NewSource(8))
+	type builder struct {
+		name  string
+		build func(t *testing.T) *ductape.PDB
+	}
+	var cases []builder
+	for i := 0; i < 3; i++ {
+		depth, width, methods := 2+rng.Intn(3), 1+rng.Intn(3), 1+rng.Intn(3)
+		cases = append(cases, builder{
+			name: fmt.Sprintf("layered_d%dw%dm%d", depth, width, methods),
+			build: func(t *testing.T) *ductape.PDB {
+				files, mainFile := workload.GenLayeredLib(depth, width, methods)
+				return compileFilesTU(t, files, mainFile)
+			},
+		})
+	}
+	for i := 0; i < 3; i++ {
+		units, shared, local := 2+rng.Intn(3), 1+rng.Intn(4), 1+rng.Intn(3)
+		cases = append(cases, builder{
+			name: fmt.Sprintf("merge_u%ds%dl%d", units, shared, local),
+			build: func(t *testing.T) *ductape.PDB {
+				hdr, unitSrcs := workload.GenMergeUnits(units, shared, local)
+				var dbs []*ductape.PDB
+				for j, src := range unitSrcs {
+					name := fmt.Sprintf("unit%d.cpp", j)
+					dbs = append(dbs, compileFilesTU(t,
+						map[string]string{"shared.h": hdr, name: src}, name))
+				}
+				return ductape.Merge(dbs...)
+			},
+		})
+	}
+	cases = append(cases, builder{
+		name: "krylov_stack",
+		build: func(t *testing.T) *ductape.PDB {
+			return ductape.Merge(
+				compileFilesTU(t, workload.KrylovFiles(), "krylov.cpp"),
+				compileFilesTU(t, workload.StackFiles(), "TestStackAr.cpp"))
+		},
+	})
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			db := c.build(t)
+			asciiPath, binPath := writeBothEncodings(t, db)
+			fromASCII := renderAll(t, asciiPath)
+			fromBinary := renderAll(t, binPath)
+			for surface, want := range fromASCII {
+				if got := fromBinary[surface]; got != want {
+					t.Errorf("%s output differs between encodings\n--- ascii ---\n%s\n--- binary ---\n%s",
+						surface, want, got)
+				}
+			}
+		})
+	}
+}

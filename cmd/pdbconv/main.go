@@ -1,10 +1,17 @@
 // pdbconv converts files in the compact PDB format into a more
-// readable format (Table 2).
+// readable format (Table 2), or translates between the on-disk
+// encodings.
 //
 // Usage:
 //
-//	pdbconv [-o out.txt] [-j N] [-lenient] [-quarantine dir] [-retry N]
-//	        [-metrics file|-] [-trace] file.pdb
+//	pdbconv [-o out.txt] [-to text|ascii|binary] [-j N] [-lenient]
+//	        [-quarantine dir] [-retry N] [-metrics file|-] [-trace] file.pdb
+//
+// -to selects the output: "text" (default) is the human-readable
+// report; "ascii" re-emits the line-oriented PDB encoding; "binary"
+// emits the PDTB binary container. The input encoding is always
+// auto-detected, so -to=binary converts an ASCII database to binary
+// and -to=ascii converts it back.
 //
 // Exit codes: 0 success, 3 usage or I/O failure, 4 completed but
 // -lenient recovered past malformed input.
@@ -21,12 +28,16 @@ import (
 )
 
 func main() {
-	t := cliutil.New("pdbconv", "pdbconv [-o out.txt] [-j N] [-lenient] [-quarantine dir] [-retry N] [-metrics file|-] [-trace] file.pdb")
+	t := cliutil.New("pdbconv", "pdbconv [-o out.txt] [-to text|ascii|binary] [-j N] [-lenient] [-quarantine dir] [-retry N] [-metrics file|-] [-trace] file.pdb")
 	out := t.OutFlag()
+	to := t.Flags.String("to", "text", "output form: text (readable report), ascii, or binary")
 	workers := t.WorkersFlag()
 	res := t.ResilienceFlags()
 	t.ObsFlags()
 	t.Parse(os.Args[1:], 1, 1)
+	if *to != "text" && *to != "ascii" && *to != "binary" {
+		t.Fatalf("invalid -to=%s (want text, ascii, or binary)", *to)
+	}
 
 	opts := append([]pdbio.Option{pdbio.WithWorkers(*workers), pdbio.WithMetrics(t.Obs())},
 		res.Options()...)
@@ -36,8 +47,15 @@ func main() {
 	}
 	sp := t.Obs().StartSpan("convert")
 	err = t.WithOutput(*out, func(w io.Writer) error {
-		conv.Convert(w, db)
-		return nil
+		switch *to {
+		case "ascii":
+			return db.Write(w)
+		case "binary":
+			return db.WriteBinary(w)
+		default:
+			conv.Convert(w, db)
+			return nil
+		}
 	})
 	sp.End()
 	if err != nil {

@@ -14,8 +14,9 @@
 //
 // Usage:
 //
-//	pdbmerge [-o out.pdb] [-j N] [-strict] [-lenient] [-quarantine dir]
-//	         [-retry N] [-checkpoint-dir dir] [-resume]
+//	pdbmerge [-o out.pdb] [-format ascii|binary] [-j N] [-strict]
+//	         [-lenient] [-quarantine dir] [-retry N]
+//	         [-checkpoint-dir dir] [-resume]
 //	         [-metrics file|-] [-trace] a.pdb b.pdb ...
 //
 // Exit codes: 0 success, 3 usage or I/O failure, 4 completed but
@@ -37,11 +38,13 @@ import (
 )
 
 func main() {
-	t := cliutil.New("pdbmerge", "pdbmerge [-o out.pdb] [-j N] [-strict] [-lenient] [-quarantine dir] [-retry N] [-checkpoint-dir dir] [-resume] [-metrics file|-] [-trace] a.pdb b.pdb ...")
+	t := cliutil.New("pdbmerge", "pdbmerge [-o out.pdb] [-format ascii|binary] [-j N] [-strict] [-lenient] [-quarantine dir] [-retry N] [-checkpoint-dir dir] [-resume] [-metrics file|-] [-trace] a.pdb b.pdb ...")
 	out := t.OutFlag()
 	workers := t.WorkersFlag()
 	strict := t.Flags.Bool("strict", false,
 		"validate the referential integrity of every input database")
+	format := t.Flags.String("format", "ascii",
+		"output encoding: ascii or binary (inputs are auto-detected)")
 	ckptDir := t.Flags.String("checkpoint-dir", "",
 		"journal every completed merge unit into this directory (crash-safe, content-addressed)")
 	resume := t.Flags.Bool("resume", false,
@@ -51,6 +54,9 @@ func main() {
 	t.Parse(os.Args[1:], 1, -1)
 	if *resume && *ckptDir == "" {
 		t.Fatalf("-resume requires -checkpoint-dir")
+	}
+	if *format != "ascii" && *format != "binary" {
+		t.Fatalf("invalid -format=%s (want ascii or binary)", *format)
 	}
 
 	// One writer at a time: an flock next to the output (and on the
@@ -74,6 +80,9 @@ func main() {
 	defer stop()
 
 	opts := []pdbio.Option{pdbio.WithWorkers(*workers), pdbio.WithMetrics(t.Obs())}
+	if *format == "binary" {
+		opts = append(opts, pdbio.WithFormat(pdbio.FormatBinary))
+	}
 	if *strict {
 		opts = append(opts, pdbio.WithStrictValidation())
 	}

@@ -1,0 +1,167 @@
+package cmap_test
+
+import (
+	"sync"
+	"testing"
+
+	"pdt/internal/cmap"
+)
+
+func TestBasicOps(t *testing.T) {
+	m := cmap.NewInt[string]()
+	if _, ok := m.Get(1); ok {
+		t.Fatal("empty map reported a key")
+	}
+	m.Set(1, "a")
+	m.Set(2, "b")
+	m.Set(1, "c") // replace
+	if v, ok := m.Get(1); !ok || v != "c" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	m.Delete(1)
+	if _, ok := m.Get(1); ok {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestGetOrSet(t *testing.T) {
+	m := cmap.NewString[int]()
+	v, loaded := m.GetOrSet("k", 1)
+	if loaded || v != 1 {
+		t.Fatalf("first GetOrSet = %d, %v", v, loaded)
+	}
+	v, loaded = m.GetOrSet("k", 2)
+	if !loaded || v != 1 {
+		t.Fatalf("second GetOrSet = %d, %v; the first writer must win", v, loaded)
+	}
+}
+
+func TestRange(t *testing.T) {
+	m := cmap.NewInt[int]()
+	for i := 0; i < 1000; i++ {
+		m.Set(i, i*i)
+	}
+	seen := make(map[int]int)
+	m.Range(func(k, v int) bool {
+		seen[k] = v
+		return true
+	})
+	if len(seen) != 1000 {
+		t.Fatalf("Range visited %d keys, want 1000", len(seen))
+	}
+	for k, v := range seen {
+		if v != k*k {
+			t.Fatalf("key %d has value %d", k, v)
+		}
+	}
+	// Early termination stops the walk.
+	n := 0
+	m.Range(func(int, int) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("early-terminated Range visited %d", n)
+	}
+}
+
+// TestConcurrentDedup exercises the GetOrSet dedup contract under
+// contention: for every key exactly one writer must win, and every
+// loser must observe the winner's value. Run with -race in CI.
+func TestConcurrentDedup(t *testing.T) {
+	m := cmap.NewString[int]()
+	const keys = 128
+	const writers = 8
+	winners := make([][]int, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				v, loaded := m.GetOrSet(key(k), w)
+				if !loaded {
+					winners[w] = append(winners[w], k)
+				} else if v < 0 || v >= writers {
+					t.Errorf("key %d: loser observed impossible value %d", k, v)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, ws := range winners {
+		total += len(ws)
+	}
+	if total != keys {
+		t.Fatalf("%d wins for %d keys; GetOrSet must elect exactly one winner per key", total, keys)
+	}
+	if m.Len() != keys {
+		t.Fatalf("Len = %d, want %d", m.Len(), keys)
+	}
+}
+
+func key(k int) string {
+	return string(rune('a'+k%26)) + string(rune('0'+k/26))
+}
+
+// TestConcurrentMixed hammers reads, writes, and deletes together so
+// the race detector can see any unguarded path.
+func TestConcurrentMixed(t *testing.T) {
+	m := cmap.NewInt[int]()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := (g*2000 + i) % 512
+				switch i % 4 {
+				case 0:
+					m.Set(k, i)
+				case 1:
+					m.Get(k)
+				case 2:
+					m.GetOrSet(k, i)
+				case 3:
+					if i%64 == 3 {
+						m.Delete(k)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	m.Range(func(k, v int) bool { return true })
+}
+
+func BenchmarkShardedGet(b *testing.B) {
+	m := cmap.NewInt[int]()
+	for i := 0; i < 4096; i++ {
+		m.Set(i, i)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			m.Get(i % 4096)
+			i++
+		}
+	})
+}
+
+func BenchmarkGlobalGet(b *testing.B) {
+	var mu sync.RWMutex
+	m := make(map[int]int, 4096)
+	for i := 0; i < 4096; i++ {
+		m[i] = i
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			mu.RLock()
+			_ = m[i%4096]
+			mu.RUnlock()
+			i++
+		}
+	})
+}

@@ -3,6 +3,7 @@ package ductape
 import (
 	"fmt"
 
+	"pdt/internal/cmap"
 	"pdt/internal/pdb"
 )
 
@@ -30,22 +31,22 @@ type merger struct {
 	nextFile, nextType, nextTemplate          int
 	nextClass, nextRoutine, nextNS, nextMacro int
 
-	fileKeys     map[string]int
-	typeKeys     map[string]int
-	templateKeys map[string]int
-	classKeys    map[string]int
-	routineKeys  map[string]int
-	nsKeys       map[string]int
-	macroKeys    map[string]int
+	fileKeys     *cmap.Map[string, int]
+	typeKeys     *cmap.Map[string, int]
+	templateKeys *cmap.Map[string, int]
+	classKeys    *cmap.Map[string, int]
+	routineKeys  *cmap.Map[string, int]
+	nsKeys       *cmap.Map[string, int]
+	macroKeys    *cmap.Map[string, int]
 }
 
 func newMerger() *merger {
 	return &merger{
 		out:      &pdb.PDB{},
-		fileKeys: map[string]int{}, typeKeys: map[string]int{},
-		templateKeys: map[string]int{}, classKeys: map[string]int{},
-		routineKeys: map[string]int{}, nsKeys: map[string]int{},
-		macroKeys: map[string]int{},
+		fileKeys: cmap.NewString[int](), typeKeys: cmap.NewString[int](),
+		templateKeys: cmap.NewString[int](), classKeys: cmap.NewString[int](),
+		routineKeys: cmap.NewString[int](), nsKeys: cmap.NewString[int](),
+		macroKeys: cmap.NewString[int](),
 	}
 }
 
@@ -63,11 +64,11 @@ func (m *merger) add(db *PDB) {
 	// Pass 1: assign merged IDs for every item (matching or fresh).
 	for _, f := range db.files {
 		key := f.Name()
-		id, ok := m.fileKeys[key]
+		id, ok := m.fileKeys.Get(key)
 		if !ok {
 			m.nextFile++
 			id = m.nextFile
-			m.fileKeys[key] = id
+			m.fileKeys.Set(key, id)
 			m.out.Files = append(m.out.Files, &pdb.SourceFile{
 				ID: id, Name: f.raw.Name, System: f.raw.System})
 		}
@@ -75,11 +76,11 @@ func (m *merger) add(db *PDB) {
 	}
 	for _, t := range db.types {
 		key := t.raw.Kind + "|" + t.Name()
-		id, ok := m.typeKeys[key]
+		id, ok := m.typeKeys.Get(key)
 		if !ok {
 			m.nextType++
 			id = m.nextType
-			m.typeKeys[key] = id
+			m.typeKeys.Set(key, id)
 			cp := *t.raw
 			cp.ID = id
 			m.out.Types = append(m.out.Types, &cp)
@@ -88,11 +89,11 @@ func (m *merger) add(db *PDB) {
 	}
 	for _, n := range db.namespaces {
 		key := namespaceFullName(n)
-		id, ok := m.nsKeys[key]
+		id, ok := m.nsKeys.Get(key)
 		if !ok {
 			m.nextNS++
 			id = m.nextNS
-			m.nsKeys[key] = id
+			m.nsKeys.Set(key, id)
 			cp := *n.raw
 			cp.ID = id
 			m.out.Namespaces = append(m.out.Namespaces, &cp)
@@ -101,11 +102,11 @@ func (m *merger) add(db *PDB) {
 	}
 	for _, t := range db.templates {
 		key := fmt.Sprintf("%s|%s|%s", t.raw.Kind, t.Name(), t.Location())
-		id, ok := m.templateKeys[key]
+		id, ok := m.templateKeys.Get(key)
 		if !ok {
 			m.nextTemplate++
 			id = m.nextTemplate
-			m.templateKeys[key] = id
+			m.templateKeys.Set(key, id)
 			cp := *t.raw
 			cp.ID = id
 			m.out.Templates = append(m.out.Templates, &cp)
@@ -114,11 +115,11 @@ func (m *merger) add(db *PDB) {
 	}
 	for _, c := range db.classes {
 		key := c.FullName()
-		id, ok := m.classKeys[key]
+		id, ok := m.classKeys.Get(key)
 		if !ok {
 			m.nextClass++
 			id = m.nextClass
-			m.classKeys[key] = id
+			m.classKeys.Set(key, id)
 			cp := *c.raw
 			cp.ID = id
 			m.out.Classes = append(m.out.Classes, &cp)
@@ -127,11 +128,11 @@ func (m *merger) add(db *PDB) {
 	}
 	for _, r := range db.routines {
 		key := routineKey(r)
-		id, ok := m.routineKeys[key]
+		id, ok := m.routineKeys.Get(key)
 		if !ok {
 			m.nextRoutine++
 			id = m.nextRoutine
-			m.routineKeys[key] = id
+			m.routineKeys.Set(key, id)
 			cp := *r.raw
 			cp.ID = id
 			m.out.Routines = append(m.out.Routines, &cp)
@@ -140,9 +141,9 @@ func (m *merger) add(db *PDB) {
 	}
 	for _, mc := range db.Macros() {
 		key := fmt.Sprintf("%s|%s|%s", mc.Kind(), mc.Name(), mc.Location())
-		if _, ok := m.macroKeys[key]; !ok {
+		if _, ok := m.macroKeys.Get(key); !ok {
 			m.nextMacro++
-			m.macroKeys[key] = m.nextMacro
+			m.macroKeys.Set(key, m.nextMacro)
 			cp := *mc.raw
 			cp.ID = m.nextMacro
 			// Remap the location here (macros have no pass-2 rewrite):

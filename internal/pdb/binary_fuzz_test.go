@@ -1,0 +1,125 @@
+package pdb_test
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pdt/internal/faultio"
+	"pdt/internal/pdb"
+	"pdt/internal/workload"
+)
+
+// binSeed encodes db and returns the binary bytes, for corpus seeding.
+func binSeed(f *testing.F, db *pdb.PDB) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	if err := db.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzBinaryRead: for arbitrary bytes the binary decoders must never
+// panic, must keep memory proportional to the input (no
+// length-field-driven allocations), and must report damage as
+// structured errors (strict) or structured diagnostics (lenient) —
+// and on clean inputs strict, lenient, and the encode/decode
+// round-trip must all agree. Seeded from golden corpora, the workload
+// generators, and faultio.CorruptBytes-damaged encodings of each.
+func FuzzBinaryRead(f *testing.F) {
+	var seeds [][]byte
+	if golden, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden", "lintdemo.pdb")); err == nil {
+		db, err := pdb.Read(bytes.NewReader(golden))
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, binSeed(f, db))
+	} else {
+		f.Errorf("golden seed: %v", err)
+	}
+
+	hdr, units := workload.GenMergeUnits(2, 3, 2)
+	for _, unit := range units {
+		text := compileToPDBText(f, map[string]string{"shared.h": hdr, "unit.cpp": unit}, "unit.cpp")
+		db, err := pdb.Read(bytes.NewReader([]byte(text)))
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, binSeed(f, db))
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		seeds = append(seeds, binSeed(f, pdb.RandPDB(rand.New(rand.NewSource(seed)))))
+	}
+
+	for _, s := range seeds {
+		f.Add(s)
+		// Damaged variants steer the fuzzer into the recovery paths:
+		// payload flips, truncations, and header damage.
+		for dseed := int64(1); dseed <= 3; dseed++ {
+			corrupted, _ := faultio.CorruptBytes(s, dseed, 1+int(dseed)*2)
+			f.Add(corrupted)
+		}
+		f.Add(s[:len(s)/2])
+		f.Add(s[:min(len(s), 9)])
+	}
+	f.Add([]byte{})
+	f.Add([]byte("PDTB"))
+	f.Add([]byte("PDTB\x01\x00\x00\x00\x00"))
+	f.Add([]byte("<PDB 1.0>\nso#1 a.h\n"))
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		// Bounded memory: whatever the decoders build must stay
+		// proportional to the input. Each decoded item consumes at
+		// least two payload bytes, so the item count is bounded by the
+		// input length; a violation means a length field sized an
+		// allocation unchecked.
+		ldb, diags, lerr := pdb.ReadBinaryLenient(bytes.NewReader(input), "fuzz")
+		if lerr != nil {
+			t.Fatalf("ReadBinaryLenient returned a non-I/O error: %v", lerr)
+		}
+		if ldb.ItemCount() > len(input) {
+			t.Fatalf("lenient decode built %d items from %d bytes", ldb.ItemCount(), len(input))
+		}
+		for _, d := range diags {
+			if d.Cause == "" {
+				t.Fatalf("diagnostic with no cause: %+v", d)
+			}
+			if d.File != "fuzz" {
+				t.Fatalf("diagnostic does not name the input: %+v", d)
+			}
+		}
+
+		db, err := pdb.ReadBinary(bytes.NewReader(input)) // must not panic
+		if err != nil {
+			if len(diags) == 0 && pdb.IsBinaryPrefix(input) {
+				t.Fatalf("strict read failed (%v) but lenient saw nothing wrong", err)
+			}
+			return
+		}
+		if db.ItemCount() > len(input) {
+			t.Fatalf("strict decode built %d items from %d bytes", db.ItemCount(), len(input))
+		}
+		// A strict-clean input must be lenient-clean and agree.
+		if len(diags) != 0 {
+			t.Fatalf("strict read succeeded but lenient diagnosed: %v", diags)
+		}
+		if ldb.String() != db.String() {
+			t.Fatal("lenient and strict decodes of a clean stream disagree")
+		}
+		// Encode/decode is a fixed point on accepted inputs.
+		var re bytes.Buffer
+		if err := db.WriteBinary(&re); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		db2, err := pdb.ReadBinary(bytes.NewReader(re.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded stream does not decode: %v", err)
+		}
+		if db2.String() != db.String() {
+			t.Fatal("binary encode/decode is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,467 @@
+package pdb
+
+// The read side of the binary PDB encoding (see binary.go for the
+// layout). Two entry points mirror the ASCII readers:
+//
+//   - ReadBinary is strict: the first defect — bad magic, unsupported
+//     version, header or section checksum mismatch, a truncated or
+//     over-running payload — aborts the parse with a structured error.
+//   - ReadBinaryLenient recovers: a damaged section is dropped with one
+//     Diagnostic and every untouched section is decoded normally. Only
+//     real I/O failures from the reader return an error; format damage
+//     never does. In binary diagnostics the StartLine/EndLine fields
+//     carry byte offsets into the stream instead of line numbers.
+//
+// Every length and count read from the wire is validated against the
+// bytes that remain before any allocation is sized from it, so a
+// corrupted or adversarial input can never make the decoder allocate
+// more memory than a small multiple of the input size.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// IsBinaryPrefix reports whether the first bytes of a PDB stream
+// identify the binary encoding. Four bytes are enough; fewer never
+// match.
+func IsBinaryPrefix(prefix []byte) bool {
+	return len(prefix) >= len(BinaryMagic) && string(prefix[:len(BinaryMagic)]) == BinaryMagic
+}
+
+// ErrNotBinary reports input that does not start with the binary
+// magic; callers sniffing formats can test for it with errors.Is.
+var ErrNotBinary = errors.New("not a binary PDB: missing PDTB magic")
+
+// binSection is one decoded TOC entry.
+type binSection struct {
+	kind  byte
+	off   int // payload offset into the stream (diagnostics)
+	sum   uint32
+	bytes []byte
+}
+
+// ReadBinary parses a binary PDB stream strictly: any defect aborts
+// with an error naming the section and offset involved.
+func ReadBinary(r io.Reader) (*PDB, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return decodeBinary(data)
+}
+
+func decodeBinary(data []byte) (*PDB, error) {
+	sections, err := parseBinaryHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	p := &PDB{}
+	var tbl []string
+	for _, s := range sections {
+		if got := crc32.Checksum(s.bytes, castagnoli); got != s.sum {
+			return nil, fmt.Errorf("binary PDB: %s section at offset %d: checksum mismatch (stored %08x, computed %08x)",
+				sectionName(s.kind), s.off, s.sum, got)
+		}
+		if s.kind == secStrings {
+			tbl, err = decodeStrings(s.bytes)
+		} else {
+			err = decodeSection(p, s.kind, s.bytes, tbl)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("binary PDB: %s section at offset %d: %w",
+				sectionName(s.kind), s.off, err)
+		}
+	}
+	return p, nil
+}
+
+// ReadBinaryLenient parses a binary PDB stream in recovering mode:
+// damaged sections are dropped with one Diagnostic each and every
+// untouched section is decoded. A defect in the header or the string
+// table — which every other section depends on — ends the parse with
+// a diagnostic, returning whatever was recovered before it. The
+// returned error is reserved for I/O failures from r.
+func ReadBinaryLenient(r io.Reader, file string) (*PDB, []Diagnostic, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, diags := decodeBinaryLenient(data, file)
+	p.Recovered = diags
+	return p, diags, nil
+}
+
+func decodeBinaryLenient(data []byte, file string) (*PDB, []Diagnostic) {
+	p := &PDB{}
+	sections, err := parseBinaryHeader(data)
+	if err != nil {
+		return p, []Diagnostic{{File: file, StartLine: 0, EndLine: len(data),
+			Cause: err.Error()}}
+	}
+	var diags []Diagnostic
+	damaged := func(s binSection, cause string) {
+		diags = append(diags, Diagnostic{File: file, StartLine: s.off,
+			EndLine: s.off + len(s.bytes), Tag: sectionName(s.kind), Cause: cause})
+	}
+	var tbl []string
+	for _, s := range sections {
+		if got := crc32.Checksum(s.bytes, castagnoli); got != s.sum {
+			damaged(s, fmt.Sprintf("checksum mismatch (stored %08x, computed %08x)", s.sum, got))
+			if s.kind == secStrings {
+				// Without the string table no item section can resolve a
+				// name; everything after this point is undecodable.
+				diags[len(diags)-1].Cause += "; string table lost, dropping all sections"
+				return p, diags
+			}
+			continue
+		}
+		if s.kind == secStrings {
+			t, err := decodeStrings(s.bytes)
+			if err != nil {
+				damaged(s, err.Error()+"; string table lost, dropping all sections")
+				return p, diags
+			}
+			tbl = t
+			continue
+		}
+		// Decode into a scratch database so a mid-section defect cannot
+		// leave half a section's items behind: a section is recovered
+		// whole or dropped whole, the binary analogue of the ASCII
+		// reader's span-skipping discipline.
+		scratch := &PDB{}
+		if err := decodeSection(scratch, s.kind, s.bytes, tbl); err != nil {
+			damaged(s, err.Error())
+			continue
+		}
+		p.AppendItems(scratch)
+	}
+	return p, diags
+}
+
+// parseBinaryHeader validates the magic, version, and header checksum
+// and slices the payload of every TOC section out of data. No payload
+// checksum is verified here — strict and lenient mode differ in how
+// they react to payload damage, not in how they locate sections.
+func parseBinaryHeader(data []byte) ([]binSection, error) {
+	if !IsBinaryPrefix(data) {
+		return nil, ErrNotBinary
+	}
+	hdr := binReader{data: data, pos: len(BinaryMagic)}
+	version := hdr.u16()
+	hdr.u16() // flags, reserved
+	if hdr.err == nil && version != BinaryVersion {
+		return nil, fmt.Errorf("unsupported binary PDB version %d (this build reads version %d)",
+			version, BinaryVersion)
+	}
+	nSec := hdr.count(6) // kind + length varint + crc32 per entry
+	type tocEntry struct {
+		kind byte
+		n    int
+		sum  uint32
+	}
+	entries := make([]tocEntry, 0, min(nSec, sectionCount*2))
+	for i := 0; i < nSec && hdr.err == nil; i++ {
+		kind := hdr.u8()
+		n := hdr.length()
+		sum := hdr.u32()
+		entries = append(entries, tocEntry{kind, n, sum})
+	}
+	hdrEnd := hdr.pos
+	storedHdrSum := hdr.u32()
+	if hdr.err != nil {
+		return nil, fmt.Errorf("truncated binary PDB header: %w", hdr.err)
+	}
+	if got := crc32.Checksum(data[len(BinaryMagic):hdrEnd], castagnoli); got != storedHdrSum {
+		return nil, fmt.Errorf("binary PDB header checksum mismatch (stored %08x, computed %08x)",
+			storedHdrSum, got)
+	}
+	sections := make([]binSection, 0, len(entries))
+	off := hdr.pos
+	for _, e := range entries {
+		if e.n > len(data)-off {
+			return nil, fmt.Errorf("binary PDB: %s section at offset %d: payload of %d bytes overruns the %d-byte stream",
+				sectionName(e.kind), off, e.n, len(data))
+		}
+		sections = append(sections, binSection{kind: e.kind, off: off,
+			sum: e.sum, bytes: data[off : off+e.n]})
+		off += e.n
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("binary PDB: %d trailing bytes after the last section", len(data)-off)
+	}
+	return sections, nil
+}
+
+// binReader decodes primitives out of a byte slice with saturating
+// error handling: the first defect sets err, and every later read
+// returns zero values without advancing, so decode loops need a single
+// error check per item.
+type binReader struct {
+	data []byte
+	pos  int
+	tbl  []string
+	err  error
+}
+
+func (r *binReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *binReader) remaining() int { return len(r.data) - r.pos }
+
+func (r *binReader) u8() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 1 {
+		r.fail("truncated at offset %d", r.pos)
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *binReader) u16() uint16 {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 2 {
+		r.fail("truncated at offset %d", r.pos)
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.data[r.pos:])
+	r.pos += 2
+	return v
+}
+
+func (r *binReader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 4 {
+		r.fail("truncated at offset %d", r.pos)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *binReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail("bad uvarint at offset %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *binReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail("bad varint at offset %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+// count reads an element count and bounds it by the bytes that remain:
+// each element costs at least minBytes on the wire, so any larger
+// count is corruption — rejected before it can size an allocation.
+func (r *binReader) count(minBytes int) int {
+	at := r.pos
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if v > uint64(r.remaining()/minBytes) {
+		r.fail("count %d at offset %d exceeds the %d bytes remaining", v, at, r.remaining())
+		return 0
+	}
+	return int(v)
+}
+
+// length reads a byte length bounded by the bytes that remain.
+func (r *binReader) length() int { return r.count(1) }
+
+func (r *binReader) boolean() bool { return r.u8() != 0 }
+
+func (r *binReader) str() string {
+	at := r.pos
+	idx := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if idx >= uint64(len(r.tbl)) {
+		r.fail("string index %d at offset %d outside the %d-entry table", idx, at, len(r.tbl))
+		return ""
+	}
+	return r.tbl[idx]
+}
+
+func (r *binReader) ref() Ref {
+	return Ref{Prefix: r.str(), ID: int(r.varint())}
+}
+
+func (r *binReader) loc() Loc {
+	return Loc{File: r.ref(), Line: int(r.varint()), Col: int(r.varint())}
+}
+
+func (r *binReader) posn() Pos {
+	return Pos{HeaderBegin: r.loc(), HeaderEnd: r.loc(),
+		BodyBegin: r.loc(), BodyEnd: r.loc()}
+}
+
+// decodeStrings decodes the interned string table payload.
+func decodeStrings(payload []byte) ([]string, error) {
+	r := binReader{data: payload}
+	n := r.count(1)
+	tbl := make([]string, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		ln := r.length()
+		if r.err != nil {
+			break
+		}
+		tbl = append(tbl, string(r.data[r.pos:r.pos+ln]))
+		r.pos += ln
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(payload) {
+		return nil, fmt.Errorf("%d trailing bytes after %d strings", len(payload)-r.pos, n)
+	}
+	return tbl, nil
+}
+
+// decodeSection decodes one item section payload into p. The payload
+// must be consumed exactly; trailing bytes are corruption.
+func decodeSection(p *PDB, kind byte, payload []byte, tbl []string) error {
+	r := binReader{data: payload, tbl: tbl}
+	n := r.count(2)
+	for i := 0; i < n && r.err == nil; i++ {
+		switch kind {
+		case secFiles:
+			f := &SourceFile{ID: int(r.varint()), Name: r.str(), System: r.boolean()}
+			nInc := r.count(2)
+			for j := 0; j < nInc && r.err == nil; j++ {
+				f.Includes = append(f.Includes, r.ref())
+			}
+			if r.err == nil {
+				p.Files = append(p.Files, f)
+			}
+		case secTemplates:
+			t := &Template{ID: int(r.varint()), Name: r.str(), Loc: r.loc(),
+				Kind: r.str(), Class: r.ref(), Namespace: r.ref(),
+				Access: r.str(), Text: r.str(), Pos: r.posn()}
+			if r.err == nil {
+				p.Templates = append(p.Templates, t)
+			}
+		case secRoutines:
+			rt := &Routine{ID: int(r.varint()), Name: r.str(), Loc: r.loc(),
+				Class: r.ref(), Namespace: r.ref(), Access: r.str(),
+				Signature: r.ref(), Linkage: r.str(), Storage: r.str(),
+				Virtual: r.str(), Kind: r.str(), Template: r.ref(),
+				Static: r.boolean(), Inline: r.boolean(), Const: r.boolean()}
+			nCalls := r.count(6)
+			for j := 0; j < nCalls && r.err == nil; j++ {
+				rt.Calls = append(rt.Calls, Call{Callee: r.ref(),
+					Virtual: r.boolean(), Loc: r.loc()})
+			}
+			rt.Pos = r.posn()
+			if r.err == nil {
+				p.Routines = append(p.Routines, rt)
+			}
+		case secClasses:
+			c := &Class{ID: int(r.varint()), Name: r.str(), Loc: r.loc(),
+				Kind: r.str(), Parent: r.ref(), Namespace: r.ref(),
+				Access: r.str(), Template: r.ref(),
+				Specialization: r.boolean(), Instantiation: r.boolean()}
+			nBases := r.count(7)
+			for j := 0; j < nBases && r.err == nil; j++ {
+				c.Bases = append(c.Bases, BaseClass{Access: r.str(),
+					Virtual: r.boolean(), Class: r.ref(), Loc: r.loc()})
+			}
+			nFriends := r.count(1)
+			for j := 0; j < nFriends && r.err == nil; j++ {
+				c.Friends = append(c.Friends, r.str())
+			}
+			nFuncs := r.count(6)
+			for j := 0; j < nFuncs && r.err == nil; j++ {
+				c.Funcs = append(c.Funcs, FuncRef{Routine: r.ref(), Loc: r.loc()})
+			}
+			nMembers := r.count(9)
+			for j := 0; j < nMembers && r.err == nil; j++ {
+				c.Members = append(c.Members, Member{Name: r.str(), Loc: r.loc(),
+					Access: r.str(), Kind: r.str(), Type: r.ref(),
+					Static: r.boolean()})
+			}
+			c.Pos = r.posn()
+			if r.err == nil {
+				p.Classes = append(p.Classes, c)
+			}
+		case secTypes:
+			t := &Type{ID: int(r.varint()), Name: r.str(), Kind: r.str(),
+				IntKind: r.str(), Elem: r.ref(), Tref: r.ref()}
+			nQual := r.count(1)
+			for j := 0; j < nQual && r.err == nil; j++ {
+				t.Qual = append(t.Qual, r.str())
+			}
+			t.Class = r.ref()
+			t.Enum = r.ref()
+			t.Ret = r.ref()
+			nArgs := r.count(2)
+			for j := 0; j < nArgs && r.err == nil; j++ {
+				t.Args = append(t.Args, r.ref())
+			}
+			t.Ellipsis = r.boolean()
+			t.ArrayLen = r.varint()
+			if r.err == nil {
+				p.Types = append(p.Types, t)
+			}
+		case secNamespaces:
+			ns := &Namespace{ID: int(r.varint()), Name: r.str(), Loc: r.loc(),
+				Parent: r.ref(), Alias: r.str()}
+			nMem := r.count(1)
+			for j := 0; j < nMem && r.err == nil; j++ {
+				ns.Members = append(ns.Members, r.str())
+			}
+			if r.err == nil {
+				p.Namespaces = append(p.Namespaces, ns)
+			}
+		case secMacros:
+			m := &Macro{ID: int(r.varint()), Name: r.str(), Loc: r.loc(),
+				Kind: r.str(), Text: r.str()}
+			if r.err == nil {
+				p.Macros = append(p.Macros, m)
+			}
+		default:
+			return fmt.Errorf("unknown section kind %d", kind)
+		}
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if r.pos != len(payload) {
+		return fmt.Errorf("%d trailing bytes after %d items", len(payload)-r.pos, n)
+	}
+	return nil
+}

@@ -1,0 +1,287 @@
+package pdb_test
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pdt/internal/faultio"
+	"pdt/internal/pdb"
+)
+
+// roundTripBinary encodes p and decodes the bytes strictly.
+func roundTripBinary(t *testing.T, p *pdb.PDB) *pdb.PDB {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.WriteBinary(&buf); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	back, err := pdb.ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	return back
+}
+
+// TestBinaryRoundTripGolden: ascii → binary → ascii over the golden
+// database must be byte-identical.
+func TestBinaryRoundTripGolden(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden", "lintdemo.pdb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pdb.Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ascii1 := p.String()
+	back := roundTripBinary(t, p)
+	if ascii2 := back.String(); ascii1 != ascii2 {
+		t.Fatalf("ascii -> binary -> ascii is not byte-identical:\n--- before ---\n%s\n--- after ---\n%s", ascii1, ascii2)
+	}
+}
+
+// TestBinaryRoundTripRandom: the binary codec must preserve every
+// model field of arbitrary generated databases, including ones the
+// ASCII writer would normalize away.
+func TestBinaryRoundTripRandom(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		p := pdb.RandPDB(rand.New(rand.NewSource(seed)))
+		back := roundTripBinary(t, p)
+		if a, b := p.String(), back.String(); a != b {
+			t.Fatalf("seed %d: binary round-trip changed the ascii rendering:\n--- before ---\n%s\n--- after ---\n%s", seed, a, b)
+		}
+		if a, b := p.ItemCount(), back.ItemCount(); a != b {
+			t.Fatalf("seed %d: item count drifted %d -> %d", seed, a, b)
+		}
+	}
+}
+
+// TestBinaryRoundTripOddFields covers model states the generators
+// rarely produce: negative IDs, refs with unusual prefixes, set
+// ellipsis with no args, empty strings that the ASCII writer would
+// replace with defaults.
+func TestBinaryRoundTripOddFields(t *testing.T) {
+	p := &pdb.PDB{
+		Files: []*pdb.SourceFile{{ID: -3, Name: "a b c.h", System: true,
+			Includes: []pdb.Ref{{Prefix: "so", ID: -9}, {}}}},
+		Types: []*pdb.Type{{ID: 7, Name: "", Kind: "func", Ellipsis: true,
+			ArrayLen: -1, Args: nil, Ret: pdb.Ref{Prefix: "zz", ID: 4}}},
+		Routines: []*pdb.Routine{{ID: 1, Name: "f", Access: "", Kind: "",
+			Loc: pdb.Loc{File: pdb.Ref{Prefix: "so", ID: -3}, Line: -5, Col: 0}}},
+	}
+	back := roundTripBinary(t, p)
+	if got := back.Files[0].Includes[0].ID; got != -9 {
+		t.Errorf("negative include ref ID lost: %d", got)
+	}
+	if !back.Types[0].Ellipsis || back.Types[0].ArrayLen != -1 {
+		t.Errorf("type flags lost: %+v", back.Types[0])
+	}
+	if back.Routines[0].Loc.Line != -5 {
+		t.Errorf("negative line lost: %+v", back.Routines[0].Loc)
+	}
+	if got := back.Types[0].Ret.Prefix; got != "zz" {
+		t.Errorf("odd ref prefix lost: %q", got)
+	}
+	if a, b := p.String(), back.String(); a != b {
+		t.Fatalf("ascii rendering changed:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestBinaryDeterministic: the same model must always encode to the
+// same bytes, so content-addressed caches can key on the encoding.
+func TestBinaryDeterministic(t *testing.T) {
+	p := pdb.RandPDB(rand.New(rand.NewSource(42)))
+	var b1, b2 bytes.Buffer
+	if err := p.WriteBinary(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteBinary(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("two encodings of the same model differ")
+	}
+}
+
+// TestReadAutoDetects: pdb.Read and pdb.ReadLenient must accept both
+// encodings without being told which one they are looking at.
+func TestReadAutoDetects(t *testing.T) {
+	p := pdb.RandPDB(rand.New(rand.NewSource(7)))
+	ascii := p.String()
+	var bin bytes.Buffer
+	if err := p.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+
+	fromASCII, err := pdb.Read(strings.NewReader(ascii))
+	if err != nil {
+		t.Fatalf("Read(ascii): %v", err)
+	}
+	fromBin, err := pdb.Read(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatalf("Read(binary): %v", err)
+	}
+	if fromASCII.String() != fromBin.String() {
+		t.Fatal("auto-detected reads disagree between encodings")
+	}
+
+	lb, diags, err := pdb.ReadLenient(bytes.NewReader(bin.Bytes()), pdb.DefaultMaxLineBytes, "x.pdb")
+	if err != nil {
+		t.Fatalf("ReadLenient(binary): %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("clean binary stream produced diagnostics: %v", diags)
+	}
+	if lb.String() != fromBin.String() {
+		t.Fatal("lenient binary read disagrees with strict")
+	}
+}
+
+// TestBinaryStrictErrors: every class of damage must surface as a
+// structured error naming what went wrong, never a panic or a silent
+// misparse.
+func TestBinaryStrictErrors(t *testing.T) {
+	p := pdb.RandPDB(rand.New(rand.NewSource(3)))
+	var buf bytes.Buffer
+	if err := p.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantSub string
+	}{
+		{"not binary", func(b []byte) []byte { return []byte("<PDB 1.0>\n") }, "missing PDTB magic"},
+		{"truncated magic", func(b []byte) []byte { return b[:2] }, "missing PDTB magic"},
+		{"bad version", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[4] = 0xFF
+			return c
+		}, "unsupported binary PDB version"},
+		{"truncated header", func(b []byte) []byte { return b[:6] }, "truncated"},
+		{"payload damage", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-1] ^= 0xFF
+			return c
+		}, "checksum mismatch"},
+		{"truncated payloads", func(b []byte) []byte { return b[:len(b)-4] }, "overruns"},
+		{"trailing garbage", func(b []byte) []byte { return append(append([]byte(nil), b...), 1, 2, 3) }, "trailing bytes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := pdb.ReadBinary(bytes.NewReader(tc.mutate(clean)))
+			if err == nil {
+				t.Fatal("strict read accepted damaged input")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestBinaryLenientRecoversUntouchedSections is the binary recovery
+// contract: damage confined to one section's payload drops that
+// section with one diagnostic and preserves every other section's
+// items intact.
+func TestBinaryLenientRecoversUntouchedSections(t *testing.T) {
+	var p *pdb.PDB
+	for seed := int64(1); ; seed++ {
+		p = pdb.RandPDB(rand.New(rand.NewSource(seed)))
+		if len(p.Routines) > 0 && len(p.Classes) > 0 && len(p.Files) > 0 {
+			break
+		}
+		if seed > 100 {
+			t.Fatal("generator never produced routines+classes+files")
+		}
+	}
+	var buf bytes.Buffer
+	if err := p.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+
+	// Find the routines section via a probe: flip one byte at a time
+	// from the end until the strict error names the routines section,
+	// then hand that damaged stream to the lenient reader.
+	var damaged []byte
+	for i := len(clean) - 1; i > 0; i-- {
+		c := append([]byte(nil), clean...)
+		c[i] ^= 0xA5
+		_, err := pdb.ReadBinary(bytes.NewReader(c))
+		if err != nil && strings.Contains(err.Error(), "routines section") {
+			damaged = c
+			break
+		}
+	}
+	if damaged == nil {
+		t.Fatal("could not construct a routines-section-only corruption")
+	}
+
+	got, diags, err := pdb.ReadBinaryLenient(bytes.NewReader(damaged), "dmg.pdb")
+	if err != nil {
+		t.Fatalf("lenient read errored on format damage: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want exactly one diagnostic, got %v", diags)
+	}
+	d := diags[0]
+	if d.Tag != "routines" || d.File != "dmg.pdb" || d.Cause == "" {
+		t.Fatalf("diagnostic not structured: %+v", d)
+	}
+	if len(got.Routines) != 0 {
+		t.Fatalf("damaged routines section still produced %d routines", len(got.Routines))
+	}
+	if len(got.Files) != len(p.Files) || len(got.Classes) != len(p.Classes) ||
+		len(got.Types) != len(p.Types) || len(got.Templates) != len(p.Templates) ||
+		len(got.Namespaces) != len(p.Namespaces) || len(got.Macros) != len(p.Macros) {
+		t.Fatalf("untouched sections not fully recovered: got %d/%d/%d/%d/%d/%d items",
+			len(got.Files), len(got.Classes), len(got.Types), len(got.Templates),
+			len(got.Namespaces), len(got.Macros))
+	}
+	// The recovered files must match the originals byte-for-byte.
+	want := &pdb.PDB{Files: p.Files, Classes: p.Classes, Types: p.Types,
+		Templates: p.Templates, Namespaces: p.Namespaces, Macros: p.Macros}
+	if got.String() != want.String() {
+		t.Fatal("recovered sections differ from the originals")
+	}
+}
+
+// TestBinaryLenientSeededDamage: under seeded random corruption the
+// lenient reader must never error, and any surviving items must come
+// only from checksum-clean sections (no silent misparses).
+func TestBinaryLenientSeededDamage(t *testing.T) {
+	p := pdb.RandPDB(rand.New(rand.NewSource(23)))
+	var buf bytes.Buffer
+	if err := p.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for seed := int64(1); seed <= 64; seed++ {
+		damaged, _ := faultio.CorruptBytes(clean, seed, 1+int(seed%7))
+		got, diags, err := pdb.ReadBinaryLenient(bytes.NewReader(damaged), "seeded.pdb")
+		if err != nil {
+			t.Fatalf("seed %d: lenient read errored: %v", seed, err)
+		}
+		if bytes.Equal(damaged, clean) {
+			continue
+		}
+		// Structured diagnostics: every entry names the input and a
+		// cause; section-level entries carry the section name.
+		for _, d := range diags {
+			if d.File != "seeded.pdb" || d.Cause == "" {
+				t.Fatalf("seed %d: unstructured diagnostic %+v", seed, d)
+			}
+		}
+		if got.ItemCount() > p.ItemCount() {
+			t.Fatalf("seed %d: corruption grew the database: %d -> %d items",
+				seed, p.ItemCount(), got.ItemCount())
+		}
+	}
+}

@@ -76,7 +76,10 @@ func attrSet(keys ...string) map[string]bool {
 // forensic value.
 const maxSkippedLineBytes = 4096
 
-// ReadLenient parses a PDB stream in recovering mode. Malformed spans —
+// ReadLenient parses a PDB stream in recovering mode, auto-detecting
+// the encoding like Read: binary streams route to ReadBinaryLenient
+// (whose unit of recovery is the checksummed section instead of the
+// line span). For ASCII input: malformed spans —
 // a damaged header, over-long lines, corrupted item heads, unknown
 // attribute keywords, attributes outside any item — are skipped with
 // one Diagnostic per span instead of aborting the parse. The returned
@@ -90,9 +93,13 @@ const maxSkippedLineBytes = 4096
 // touched is therefore always preserved intact — the invariant the
 // fault-injection property tests pin down.
 func ReadLenient(r io.Reader, maxLineBytes int, file string) (*PDB, []Diagnostic, error) {
+	br := bufio.NewReader(r)
+	if sniffBinary(br) {
+		return ReadBinaryLenient(br, file)
+	}
 	p := &PDB{}
 	ip := itemParser{out: p}
-	sc := newLenientLineScanner(r, maxLineBytes)
+	sc := newLenientLineScanner(br, maxLineBytes)
 
 	var diags []Diagnostic
 	sawHeader := false

@@ -15,8 +15,25 @@ import (
 // single line larger than this aborts the parse.
 const DefaultMaxLineBytes = 4 * 1024 * 1024
 
-// Read parses a PDB file from r.
-func Read(r io.Reader) (*PDB, error) { return ReadLimit(r, DefaultMaxLineBytes) }
+// Read parses a PDB file from r, auto-detecting the encoding: streams
+// that start with the binary magic decode through ReadBinary, anything
+// else takes the ASCII path (whose own header check rejects non-PDB
+// input). Both encodings carry the same document model, so callers
+// never see which one a file used.
+func Read(r io.Reader) (*PDB, error) {
+	br := bufio.NewReader(r)
+	if sniffBinary(br) {
+		return ReadBinary(br)
+	}
+	return ReadLimit(br, DefaultMaxLineBytes)
+}
+
+// sniffBinary peeks at the stream for the binary magic without
+// consuming it. Streams shorter than the magic are never binary.
+func sniffBinary(br *bufio.Reader) bool {
+	prefix, _ := br.Peek(len(BinaryMagic))
+	return IsBinaryPrefix(prefix)
+}
 
 // ReadFile parses the PDB file at path. It is the convenience
 // constructor the command-line tools share; callers that need

@@ -212,7 +212,7 @@ func MergeToFile(ctx context.Context, path string, inputs []string, opts ...Opti
 	if err != nil {
 		return err
 	}
-	if err := merged.Write(w); err != nil {
+	if err := cfg.writeMerged(merged, w); err != nil {
 		w.Abort()
 		return err
 	}

@@ -1,6 +1,7 @@
 package pdbio
 
 import (
+	"bufio"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -124,7 +125,18 @@ func (c config) readLenient(ctx context.Context, r io.Reader, path string) (*pdb
 	}
 	sp := c.startSpan("read")
 	defer sp.End()
-	raw, diags, err := pdb.ReadLenient(r, c.maxLineBytes, path)
+	br := bufio.NewReader(r)
+	var raw *pdb.PDB
+	var diags []pdb.Diagnostic
+	var err error
+	if prefix, _ := br.Peek(len(pdb.BinaryMagic)); pdb.IsBinaryPrefix(prefix) {
+		// Binary damage diagnostics carry byte offsets and section names
+		// but no skipped source lines, so the dropped-line counters stay
+		// zero and there is nothing for the quarantine to dump.
+		raw, diags, err = pdb.ReadBinaryLenient(br, path)
+	} else {
+		raw, diags, err = pdb.ReadLenient(br, c.maxLineBytes, path)
+	}
 	if err != nil {
 		return nil, err
 	}

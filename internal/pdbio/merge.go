@@ -123,5 +123,5 @@ func MergeFiles(ctx context.Context, w io.Writer, paths []string, opts ...Option
 	cfg := newConfig(opts)
 	ws := cfg.startSpan("write")
 	defer ws.End()
-	return merged.Write(w)
+	return cfg.writeMerged(merged, w)
 }

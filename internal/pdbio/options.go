@@ -21,6 +21,7 @@
 package pdbio
 
 import (
+	"io"
 	"io/fs"
 	"runtime"
 	"sync/atomic"
@@ -34,6 +35,21 @@ import (
 
 // Option configures Load, LoadAll, Read, Merge, and MergeFiles.
 type Option func(*config)
+
+// Format selects a serialization encoding for written output. Reads
+// never need one: every reader auto-detects the encoding from the
+// stream's first bytes.
+type Format int
+
+const (
+	// FormatASCII is the line-oriented "<PDB 1.0>" text encoding — the
+	// default, and the interchange form every tool accepts.
+	FormatASCII Format = iota
+	// FormatBinary is the PDTB binary container: interned strings,
+	// varint-packed sections, per-section checksums. Same model,
+	// smaller and faster to parse.
+	FormatBinary
+)
 
 type config struct {
 	workers      int
@@ -57,6 +73,17 @@ type config struct {
 
 	// Post-load hooks, run on every successfully built object graph.
 	postLoad []func(*ductape.PDB)
+
+	// Output encoding for MergeFiles / MergeToFile.
+	format Format
+}
+
+// writeMerged serializes db in the configured output format.
+func (c config) writeMerged(db *ductape.PDB, w io.Writer) error {
+	if c.format == FormatBinary {
+		return db.WriteBinary(w)
+	}
+	return db.Write(w)
 }
 
 // durableFS resolves the filesystem all durable writes go through:
@@ -120,6 +147,14 @@ func (c config) workerCount() int {
 // worker per available CPU; n == 1 forces the sequential paths.
 func WithWorkers(n int) Option {
 	return func(c *config) { c.workers = n }
+}
+
+// WithFormat selects the encoding MergeFiles and MergeToFile use for
+// the merged output: FormatASCII (the default) or FormatBinary. Load,
+// LoadAll, and Read are unaffected — they detect the encoding of each
+// input from its first bytes, so ASCII and binary corpora mix freely.
+func WithFormat(f Format) Option {
+	return func(c *config) { c.format = f }
 }
 
 // WithStrictValidation makes Load and LoadAll run the referential

@@ -1,6 +1,7 @@
 package pdbio
 
 import (
+	"bufio"
 	"context"
 	"io"
 	"sync"
@@ -36,6 +37,25 @@ func blockSize(b pdb.Block) int64 {
 // into item blocks, stage 2 parses blocks on a worker pool, stage 3
 // reassembles the fragments in input order.
 func readRaw(ctx context.Context, r io.Reader, cfg config) (*pdb.PDB, error) {
+	// Binary streams announce themselves with the PDTB magic; they have
+	// no line structure for the block pipeline to split, so they take
+	// the dedicated binary decoder at any worker count.
+	br := bufio.NewReader(r)
+	if prefix, _ := br.Peek(len(pdb.BinaryMagic)); pdb.IsBinaryPrefix(prefix) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sp := cfg.startSpan("read")
+		defer sp.End()
+		raw, err := pdb.ReadBinary(br)
+		if err != nil {
+			return nil, err
+		}
+		sp.AddItems(int64(raw.ItemCount()))
+		return raw, nil
+	}
+	r = br
+
 	workers := cfg.workerCount()
 	if workers <= 1 {
 		if err := ctx.Err(); err != nil {
