@@ -1,0 +1,139 @@
+// Benchmark snapshot for the taustream profile pipeline.
+//
+// TestBenchSnapshotTaustream is gated on PDT_BENCH_SNAPSHOT_TAUSTREAM:
+// when the variable names an output path, the test measures (1) raw
+// decode+aggregate throughput of the daemon-side ingest and (2)
+// end-to-end streamed throughput through the buffered client and a
+// live HTTP ingest endpoint, and writes the events/sec measurements as
+// JSON. CI runs it on every push and uploads the artifact; the
+// committed BENCH_taustream.json is the documented baseline. A
+// conservative throughput floor is asserted here: ingest must sustain
+// at least 100k events/sec, the end-to-end stream at least 10k — far
+// below healthy numbers, so only a real regression trips it.
+package pdt_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"pdt/internal/taustream"
+)
+
+func TestBenchSnapshotTaustream(t *testing.T) {
+	out := os.Getenv("PDT_BENCH_SNAPSHOT_TAUSTREAM")
+	if out == "" {
+		t.Skip("set PDT_BENCH_SNAPSHOT_TAUSTREAM=<path> to write the benchmark snapshot")
+	}
+
+	// Part 1: daemon-side ingest (decode + sharded aggregation), the
+	// hot loop every posted batch runs through.
+	const batchEvents = 4096
+	events := make([]taustream.Event, 0, batchEvents)
+	events = append(events, taustream.Event{Kind: taustream.KindRunStart})
+	for i := 0; len(events) < batchEvents-1; i++ {
+		events = append(events, taustream.Event{
+			Kind: taustream.KindSample, Name: "push() Stack<int>",
+			Calls: 1, Inclusive: uint64(i + 2), Exclusive: uint64(i + 1),
+		}, taustream.Event{
+			Kind: taustream.KindEdge, Parent: "main()", Name: "push() Stack<int>",
+			Calls: 1, Inclusive: uint64(i + 2),
+		})
+	}
+	events = append(events, taustream.Event{Kind: taustream.KindRunEnd})
+	batch := taustream.AppendBatch(nil, events)
+
+	agg := taustream.NewAggregator(nil)
+	const ingestIters = 200
+	start := time.Now()
+	for i := 0; i < ingestIters; i++ {
+		if _, err := agg.Ingest(bytes.NewReader(batch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ingestSecs := time.Since(start).Seconds()
+	ingestEvents := float64(ingestIters * len(events))
+	ingestRate := ingestEvents / ingestSecs
+
+	// Part 2: end to end — concurrent buffered clients streaming over
+	// HTTP into a live aggregator, the shape of many simultaneous
+	// taurun -stream runs.
+	e2eAgg := taustream.NewAggregator(nil)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := e2eAgg.Ingest(r.Body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+	}))
+	defer ts.Close()
+	httpc := &http.Client{Timeout: 30 * time.Second,
+		Transport: &http.Transport{MaxConnsPerHost: 64, MaxIdleConnsPerHost: 64}}
+
+	const (
+		streamClients   = 8
+		eventsPerClient = 20000
+	)
+	start = time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < streamClients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// The buffer holds the whole run so the measurement is of
+			// sustained delivery, not of the drop path.
+			c := taustream.Dial(ts.URL, taustream.Options{
+				Buffer: eventsPerClient + 16, HTTPClient: httpc})
+			for j := 0; j < eventsPerClient; j++ {
+				c.Sample("f()", 1, 2, 1)
+			}
+			if err := c.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+			if n := c.Dropped(); n != 0 {
+				t.Errorf("dropped %d events with a full-run buffer", n)
+			}
+		}()
+	}
+	wg.Wait()
+	streamSecs := time.Since(start).Seconds()
+	streamEvents := float64(streamClients * eventsPerClient)
+	streamRate := streamEvents / streamSecs
+
+	s := e2eAgg.Snapshot()
+	if s.Runs != streamClients || s.Timers[0].Calls != uint64(streamEvents) {
+		t.Fatalf("end-to-end lost events: %+v", s)
+	}
+
+	t.Logf("ingest: %.0f events/sec; streamed end-to-end: %.0f events/sec", ingestRate, streamRate)
+	if ingestRate < 100_000 {
+		t.Errorf("ingest rate %.0f events/sec below the 100k floor", ingestRate)
+	}
+	if streamRate < 10_000 {
+		t.Errorf("streamed rate %.0f events/sec below the 10k floor", streamRate)
+	}
+
+	snap := map[string]any{
+		"generated_by":            "TestBenchSnapshotTaustream",
+		"ingest_events":           int(ingestEvents),
+		"ingest_events_per_sec":   ingestRate,
+		"stream_clients":          streamClients,
+		"stream_events":           int(streamEvents),
+		"stream_events_per_sec":   streamRate,
+		"batch_events":            batchEvents,
+		"ingest_batch_bytes":      len(batch),
+		"bytes_per_event_on_wire": float64(len(batch)) / float64(len(events)),
+		"ingest_floor_events_sec": 100_000,
+		"stream_floor_events_sec": 10_000,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -24,6 +24,10 @@
 //	GET  /v1/html/{page}                   documentation pages
 //	POST /v1/reload                        re-open the corpus, invalidate
 //	                                       only affected cache entries
+//	POST /v1/profile/ingest                streamed TAU profile events
+//	                                       (taurun -stream)
+//	GET  /v1/profile                       live aggregated profile JSON
+//	GET  /v1/profile/html                  live dashboard fragment
 //
 // SIGHUP triggers the same reload as POST /v1/reload; SIGINT/SIGTERM
 // shut down gracefully. With -cache-dir, responses and lint findings
@@ -96,7 +100,10 @@ func main() {
 		}
 	}()
 
-	hs := &http.Server{Handler: srv.Handler()}
+	// The hardened server: header/read/write/idle timeouts so one slow
+	// client (slowloris) can't pin connections forever. The ingest body
+	// cap lives in the handler (http.MaxBytesReader).
+	hs := srv.HTTPServer()
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
 

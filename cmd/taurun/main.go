@@ -3,9 +3,16 @@
 // interpreter, and print the collected profile (the paper's Figure 7
 // displays).
 //
+// With -stream, timer samples and call edges are also emitted live to
+// a pdbd daemon's /v1/profile/ingest endpoint as the program runs,
+// feeding the daemon's aggregated /v1/profile dashboards. The emitter
+// is buffered and non-blocking: a slow or absent daemon never stalls
+// the profiled program — overflow events are dropped and counted.
+//
 // Usage:
 //
-//	taurun [-wall] [-bars] [-I dir]... [-metrics file|-] file.cpp
+//	taurun [-wall] [-bars] [-callpath] [-I dir]... [-metrics file|-]
+//	       [-stream addr] file.cpp
 package main
 
 import (
@@ -17,7 +24,10 @@ import (
 	"pdt/internal/cliutil"
 	"pdt/internal/obs"
 	"pdt/internal/tau"
+	"pdt/internal/taustream"
 )
+
+const usage = "usage: taurun [-wall] [-bars] [-callpath] [-I dir]... [-metrics file|-] [-stream addr] file.cpp"
 
 type stringList []string
 
@@ -28,6 +38,35 @@ func (s *stringList) Set(v string) error {
 	return nil
 }
 
+// sourceExts are the file extensions loaded from the main file's
+// directory and every -I directory.
+var sourceExts = map[string]bool{".cpp": true, ".h": true, ".hpp": true, ".cc": true}
+
+// loadDir reads dir's source files into files, keyed by base name.
+// Existing keys are kept: the main file's directory is loaded first,
+// so its entries win any name collision with an -I directory (and
+// earlier -I directories win over later ones).
+func loadDir(dir string, files map[string]string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !sourceExts[filepath.Ext(e.Name())] {
+			continue
+		}
+		if _, ok := files[e.Name()]; ok {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		files[e.Name()] = string(b)
+	}
+	return nil
+}
+
 func main() {
 	var includes stringList
 	wall := flag.Bool("wall", false, "use wall-clock time instead of the deterministic virtual clock")
@@ -35,37 +74,29 @@ func main() {
 	callpath := flag.Bool("callpath", false, "also print the caller/callee breakdown")
 	metrics := flag.String("metrics", "",
 		"export the profile as a JSON obs snapshot to this file (- = standard error)")
+	stream := flag.String("stream", "",
+		"stream profile events to a pdbd daemon at this address (host:port or URL)")
 	flag.Var(&includes, "I", "add an include search directory (repeatable)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: taurun [-wall] [-bars] file.cpp")
+		fmt.Fprintln(os.Stderr, usage)
 		os.Exit(2)
 	}
 
 	mainPath := flag.Arg(0)
 	files := map[string]string{}
-	// Load the main file and sibling headers/sources from its directory
-	// so local includes resolve.
-	dir := filepath.Dir(mainPath)
-	entries, err := os.ReadDir(dir)
-	if err != nil {
+	// Load the main file and sibling headers/sources from its
+	// directory, then each -I directory, so local and search-path
+	// includes resolve. Main-directory entries win name collisions.
+	if err := loadDir(filepath.Dir(mainPath), files); err != nil {
 		fmt.Fprintf(os.Stderr, "taurun: %v\n", err)
 		os.Exit(1)
 	}
-	for _, e := range entries {
-		if e.IsDir() {
-			continue
-		}
-		ext := filepath.Ext(e.Name())
-		if ext != ".cpp" && ext != ".h" && ext != ".hpp" && ext != ".cc" {
-			continue
-		}
-		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "taurun: %v\n", err)
+	for _, dir := range includes {
+		if err := loadDir(dir, files); err != nil {
+			fmt.Fprintf(os.Stderr, "taurun: -I %s: %v\n", dir, err)
 			os.Exit(1)
 		}
-		files[e.Name()] = string(b)
 	}
 	mainName := filepath.Base(mainPath)
 	if _, ok := files[mainName]; !ok {
@@ -74,13 +105,41 @@ func main() {
 	}
 
 	mode := tau.VirtualClock
+	unit := taustream.UnitSteps
 	if *wall {
 		mode = tau.WallClock
+		unit = taustream.UnitNanos
 	}
-	res, err := tau.ProfileSource(files, mainName, mode)
+
+	var m *obs.Metrics
+	if *metrics != "" {
+		m = obs.New("taurun")
+	}
+
+	var client *taustream.Client
+	var sink tau.Sink
+	if *stream != "" {
+		client = taustream.Dial(*stream, taustream.Options{Unit: unit, Metrics: m})
+		sink = client
+	}
+
+	res, err := tau.ProfileSourceTo(files, mainName, mode, sink)
 	if err != nil {
+		if client != nil {
+			_ = client.Close()
+		}
 		fmt.Fprintf(os.Stderr, "taurun: %v\n", err)
 		os.Exit(1)
+	}
+	if client != nil {
+		// Flush the stream before printing: a dead daemon is a warning,
+		// not a failure — the one-shot report below is unaffected.
+		if err := client.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "taurun: stream: %v\n", err)
+		}
+		if n := client.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "taurun: stream: %d event(s) dropped (buffer overflow)\n", n)
+		}
 	}
 	fmt.Print(res.Output)
 	fmt.Printf("\n[program exited with code %d]\n\n", res.ExitCode)
@@ -94,7 +153,6 @@ func main() {
 		tau.WriteCallPaths(os.Stdout, res.Runtime)
 	}
 	if *metrics != "" {
-		m := obs.New("taurun")
 		res.Runtime.ExportObs(m)
 		// The snapshot goes through the shared cliutil.Create seam (a
 		// crash-consistent durable write by default): a full disk

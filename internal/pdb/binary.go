@@ -111,13 +111,11 @@ func (e *binWriter) str(s string) uint64 {
 }
 
 func (e *binWriter) putUvarint(b *bytes.Buffer, v uint64) {
-	n := binary.PutUvarint(e.scratch[:], v)
-	b.Write(e.scratch[:n])
+	b.Write(AppendUvarint(e.scratch[:0], v))
 }
 
 func (e *binWriter) putVarint(b *bytes.Buffer, v int64) {
-	n := binary.PutVarint(e.scratch[:], v)
-	b.Write(e.scratch[:n])
+	b.Write(AppendVarint(e.scratch[:0], v))
 }
 
 func (e *binWriter) putStr(b *bytes.Buffer, s string) {

@@ -1,0 +1,142 @@
+package pdb
+
+// Shared primitives of the PDTB wire conventions (see binary.go):
+// unsigned and zigzag varints, and length-prefixed byte strings. The
+// binary PDB encoder uses them through binWriter, and the taustream
+// profile-event protocol reuses them directly, so both wire formats
+// agree on how an integer or a string looks on the wire.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AppendUvarint appends v as an unsigned varint.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// AppendVarint appends v as a zigzag varint (signed values survive).
+func AppendVarint(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+// AppendLenBytes appends b length-prefixed: a uvarint byte count, then
+// the raw bytes — the inline spelling of a string (the binary PDB
+// string table frames its entries the same way).
+func AppendLenBytes(dst []byte, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendLenString appends s as a length-prefixed byte string.
+func AppendLenString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// WireReader is a bounds-checked decoding cursor over one wire buffer.
+// It follows the binary PDB reader's error discipline: the first
+// defect latches into Err, every later read is a no-op zero, and any
+// length or count read from the wire is validated against the bytes
+// that remain before an allocation is sized from it.
+type WireReader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+// NewWireReader builds a cursor over data.
+func NewWireReader(data []byte) *WireReader { return &WireReader{data: data} }
+
+// Err returns the first decoding defect, or nil.
+func (r *WireReader) Err() error { return r.err }
+
+// Pos returns the current byte offset (for diagnostics).
+func (r *WireReader) Pos() int { return r.pos }
+
+// Remaining returns the number of undecoded bytes.
+func (r *WireReader) Remaining() int { return len(r.data) - r.pos }
+
+func (r *WireReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+// U8 reads one byte.
+func (r *WireReader) U8() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.Remaining() < 1 {
+		r.fail("truncated at offset %d", r.pos)
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+// Uvarint reads an unsigned varint.
+func (r *WireReader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail("bad uvarint at offset %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+// Varint reads a zigzag varint.
+func (r *WireReader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail("bad varint at offset %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+// Length reads a byte length and bounds it by the bytes that remain,
+// so corrupted input can never size an oversized allocation.
+func (r *WireReader) Length() int {
+	at := r.pos
+	v := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64(r.Remaining()) {
+		r.fail("length %d at offset %d exceeds the %d bytes remaining", v, at, r.Remaining())
+		return 0
+	}
+	return int(v)
+}
+
+// Bytes reads n raw bytes, aliasing the underlying buffer.
+func (r *WireReader) Bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > r.Remaining() {
+		r.fail("%d bytes requested at offset %d with %d remaining", n, r.pos, r.Remaining())
+		return nil
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+// LenString reads a length-prefixed byte string (AppendLenString's
+// inverse), copying it out of the buffer.
+func (r *WireReader) LenString() string {
+	return string(r.Bytes(r.Length()))
+}

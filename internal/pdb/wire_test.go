@@ -1,0 +1,75 @@
+package pdb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendUvarint(b, 0)
+	b = AppendUvarint(b, 1<<40)
+	b = AppendVarint(b, -7)
+	b = AppendVarint(b, 1<<33)
+	b = AppendLenString(b, "push() Stack<int>")
+	b = AppendLenBytes(b, []byte{1, 2, 3})
+	b = AppendLenString(b, "")
+
+	r := NewWireReader(b)
+	if v := r.Uvarint(); v != 0 {
+		t.Errorf("uvarint = %d, want 0", v)
+	}
+	if v := r.Uvarint(); v != 1<<40 {
+		t.Errorf("uvarint = %d, want %d", v, uint64(1)<<40)
+	}
+	if v := r.Varint(); v != -7 {
+		t.Errorf("varint = %d, want -7", v)
+	}
+	if v := r.Varint(); v != 1<<33 {
+		t.Errorf("varint = %d, want %d", v, int64(1)<<33)
+	}
+	if s := r.LenString(); s != "push() Stack<int>" {
+		t.Errorf("string = %q", s)
+	}
+	if got := r.Bytes(r.Length()); string(got) != "\x01\x02\x03" {
+		t.Errorf("bytes = %v", got)
+	}
+	if s := r.LenString(); s != "" {
+		t.Errorf("empty string = %q", s)
+	}
+	if r.Err() != nil {
+		t.Fatalf("err = %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestWireReaderTruncation(t *testing.T) {
+	// A length that overruns the remaining bytes must fail before any
+	// allocation is sized from it, and the first error must latch.
+	b := AppendUvarint(nil, 1<<30)
+	r := NewWireReader(b)
+	if n := r.Length(); n != 0 {
+		t.Errorf("oversized length = %d, want 0", n)
+	}
+	if r.Err() == nil || !strings.Contains(r.Err().Error(), "exceeds") {
+		t.Errorf("err = %v, want bounds failure", r.Err())
+	}
+	// Reads after a latched error are no-op zeros.
+	if v := r.Uvarint(); v != 0 {
+		t.Errorf("post-error uvarint = %d", v)
+	}
+
+	r = NewWireReader(nil)
+	if r.U8() != 0 || r.Err() == nil {
+		t.Error("U8 on empty input must fail")
+	}
+
+	// A truncated varint (continuation bit set, no next byte).
+	r = NewWireReader([]byte{0x80})
+	r.Uvarint()
+	if r.Err() == nil {
+		t.Error("truncated uvarint must fail")
+	}
+}

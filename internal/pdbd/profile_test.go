@@ -1,0 +1,199 @@
+package pdbd
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pdt/internal/obs"
+	"pdt/internal/taustream"
+)
+
+func profileBatch() []byte {
+	return taustream.AppendBatch(nil, []taustream.Event{
+		{Kind: taustream.KindRunStart, Unit: taustream.UnitSteps},
+		{Kind: taustream.KindSample, Name: "push() Stack<int>", Calls: 2, Inclusive: 8, Exclusive: 5},
+		{Kind: taustream.KindEdge, Parent: "main()", Name: "push() Stack<int>", Calls: 2, Inclusive: 8},
+		{Kind: taustream.KindRunEnd, Dropped: 1},
+	})
+}
+
+func postBatch(t *testing.T, url string, body []byte) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/profile/ingest", "application/x-pdt-taustream",
+		bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.String()
+}
+
+func TestProfileIngestAndServe(t *testing.T) {
+	s, _ := newTestServer(t, testRaw(false), "")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Before any run: an empty but well-formed profile.
+	code, body, tier := get(t, ts.URL+"/v1/profile")
+	if code != http.StatusOK || tier != "miss" {
+		t.Fatalf("empty profile: %d, tier %q", code, tier)
+	}
+	for _, want := range []string{`"schema_version"`, `"runs": 0`, `"timers": []`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("empty profile missing %s:\n%s", want, body)
+		}
+	}
+
+	code, body = postBatch(t, ts.URL, profileBatch())
+	if code != http.StatusOK {
+		t.Fatalf("ingest = %d:\n%s", code, body)
+	}
+	for _, want := range []string{`"schema_version"`, `"events": 4`, `"runs": 1`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("ingest response missing %s:\n%s", want, body)
+		}
+	}
+
+	code, body, tier = get(t, ts.URL+"/v1/profile")
+	if code != http.StatusOK || tier != "miss" {
+		t.Fatalf("profile after ingest: %d, tier %q", code, tier)
+	}
+	for _, want := range []string{`"unit": "steps"`, `"runs": 1`, `"dropped_by_clients": 1`,
+		"push() Stack<int>", `"parent": "main()"`, `"name": "Stack<int>"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("profile missing %s:\n%s", want, body)
+		}
+	}
+
+	// Unchanged aggregate: the renderer memo answers ("mem"), body
+	// identical.
+	_, body2, tier := get(t, ts.URL+"/v1/profile")
+	if tier != "mem" || body2 != body {
+		t.Errorf("repeat: tier %q, bodies equal %v", tier, body2 == body)
+	}
+	if got := s.metrics.Snapshot().Counters["profile.memo_hits"]; got == 0 {
+		t.Error("memo hit not counted")
+	}
+
+	// New events invalidate the memo.
+	postBatch(t, ts.URL, profileBatch())
+	_, body3, tier := get(t, ts.URL+"/v1/profile")
+	if tier != "miss" || !strings.Contains(body3, `"runs": 2`) {
+		t.Errorf("after second ingest: tier %q\n%s", tier, body3)
+	}
+
+	// The HTML dashboard renders the same aggregate.
+	code, page, _ := get(t, ts.URL+"/v1/profile/html")
+	if code != http.StatusOK {
+		t.Fatalf("html = %d", code)
+	}
+	for _, want := range []string{`<div class="tau-profile">`, "Stack&lt;int&gt;", "2 run(s)"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("dashboard missing %q:\n%s", want, page)
+		}
+	}
+}
+
+func TestProfileIngestMalformed(t *testing.T) {
+	s, _ := newTestServer(t, testRaw(false), "")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := postBatch(t, ts.URL, []byte("garbage"))
+	if code != http.StatusBadRequest {
+		t.Fatalf("malformed ingest = %d, want 400:\n%s", code, body)
+	}
+	if !strings.Contains(body, `"error"`) || !strings.Contains(body, "malformed") {
+		t.Errorf("error envelope: %s", body)
+	}
+	if _, b, _ := get(t, ts.URL+"/v1/profile"); !strings.Contains(b, `"runs": 0`) {
+		t.Errorf("malformed ingest mutated the aggregate:\n%s", b)
+	}
+}
+
+// TestProfileIngestBodyCap pins the request-body bound: an oversized
+// batch is refused with the bad-request envelope naming the cap, and
+// the connection-level reader stops at the limit.
+func TestProfileIngestBodyCap(t *testing.T) {
+	path := t.TempDir() + "/corpus.pdb"
+	saveRaw(t, path, testRaw(false))
+	s, err := New(context.Background(), Config{
+		Paths:          []string{path},
+		Metrics:        obs.New("pdbd-test"),
+		IngestMaxBytes: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := postBatch(t, ts.URL, bytes.Repeat([]byte{0xee}, 1024))
+	if code != http.StatusBadRequest {
+		t.Fatalf("oversized ingest = %d, want 400:\n%s", code, body)
+	}
+	if !strings.Contains(body, "64-byte cap") {
+		t.Errorf("cap not named: %s", body)
+	}
+
+	// A batch under the cap still lands.
+	small := taustream.AppendBatch(nil, []taustream.Event{{Kind: taustream.KindRunStart}})
+	if code, body := postBatch(t, ts.URL, small); code != http.StatusOK {
+		t.Fatalf("small ingest = %d:\n%s", code, body)
+	}
+}
+
+// TestHTTPServerHardened pins the slowloris fix: the server the daemon
+// actually runs carries header/read/write/idle timeouts.
+func TestHTTPServerHardened(t *testing.T) {
+	s, _ := newTestServer(t, testRaw(false), "")
+	hs := s.HTTPServer()
+	if hs.Handler == nil {
+		t.Fatal("no handler")
+	}
+	if hs.ReadHeaderTimeout != ReadHeaderTimeout || hs.ReadHeaderTimeout <= 0 {
+		t.Errorf("ReadHeaderTimeout = %v", hs.ReadHeaderTimeout)
+	}
+	if hs.ReadTimeout != ReadTimeout || hs.ReadTimeout <= 0 {
+		t.Errorf("ReadTimeout = %v", hs.ReadTimeout)
+	}
+	if hs.WriteTimeout != WriteTimeout || hs.WriteTimeout <= 0 {
+		t.Errorf("WriteTimeout = %v", hs.WriteTimeout)
+	}
+	if hs.IdleTimeout != IdleTimeout || hs.IdleTimeout <= 0 {
+		t.Errorf("IdleTimeout = %v", hs.IdleTimeout)
+	}
+}
+
+// TestProfileSurvivesReload pins the reload semantics: profiles
+// describe program runs, not the corpus, so a corpus reload leaves the
+// aggregate (and the live dashboards) intact while the fingerprint
+// header moves with the corpus.
+func TestProfileSurvivesReload(t *testing.T) {
+	raw := testRaw(false)
+	s, path := newTestServer(t, raw, "")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	postBatch(t, ts.URL, profileBatch())
+	_, before, _ := get(t, ts.URL+"/v1/profile")
+
+	saveRaw(t, path, testRaw(true)) // change the corpus on disk
+	if _, err := s.Reload(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	_, after, tier := get(t, ts.URL+"/v1/profile")
+	if after != before {
+		t.Errorf("reload changed the profile:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+	if tier != "mem" {
+		t.Errorf("tier after reload = %q, want mem (epoch unchanged)", tier)
+	}
+}

@@ -30,11 +30,14 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"time"
+
 	"pdt/internal/corpus"
 	"pdt/internal/durable"
 	"pdt/internal/obs"
 	"pdt/internal/query"
 	"pdt/internal/schema"
+	"pdt/internal/taustream"
 )
 
 // Config configures one daemon instance. Corpus holds the same
@@ -55,6 +58,9 @@ type Config struct {
 	// HTMLSource includes source listings in /v1/html pages, like
 	// pdbhtml without -nosrc.
 	HTMLSource bool
+	// IngestMaxBytes caps one /v1/profile/ingest request body
+	// (0 = DefaultIngestMaxBytes). Oversized bodies answer 400.
+	IngestMaxBytes int64
 	// Metrics receives the daemon's counters and spans; /v1/metrics
 	// snapshots it. Nil disables instrumentation.
 	Metrics *obs.Metrics
@@ -77,6 +83,14 @@ type Server struct {
 	findings string // lint findings journal dir ("" = none)
 	mux      *http.ServeMux
 
+	// profile is the live TAU-stream aggregate. It outlives corpus
+	// reloads on purpose: it describes instrumented program runs, not
+	// the database, so a reload must not erase it.
+	profile     *taustream.Aggregator
+	ingestMax   int64
+	profileJSON liveMemo
+	profileHTML liveMemo
+
 	st       atomic.Pointer[state]
 	reloadMu sync.Mutex // serializes Reload; never blocks requests
 }
@@ -95,6 +109,11 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 		cfg.Corpus.Metrics = cfg.Metrics
 	}
 	s := &Server{cfg: cfg, metrics: cfg.Metrics}
+	s.profile = taustream.NewAggregator(cfg.Metrics)
+	s.ingestMax = cfg.IngestMaxBytes
+	if s.ingestMax <= 0 {
+		s.ingestMax = DefaultIngestMaxBytes
+	}
 
 	var disk *durable.Journal
 	if cfg.CacheDir != "" {
@@ -122,11 +141,49 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/tree", s.handleTree)
 	s.mux.HandleFunc("GET /v1/html/{page...}", s.handleHTML)
 	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
+	s.mux.HandleFunc("POST /v1/profile/ingest", s.handleProfileIngest)
+	s.mux.HandleFunc("GET /v1/profile", s.handleProfile)
+	s.mux.HandleFunc("GET /v1/profile/html", s.handleProfileHTML)
 	return s, nil
 }
 
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Timeout discipline for the public listener. A daemon "for millions
+// of users" must bound what one slow client can hold: without a read
+// timeout, a client that dribbles header bytes (slowloris) pins a
+// connection — and its goroutine — forever.
+const (
+	// ReadHeaderTimeout bounds the wait for a request line + headers.
+	ReadHeaderTimeout = 10 * time.Second
+	// ReadTimeout bounds reading one full request, body included; at
+	// the ingest body cap this still allows a sub-3KB/s uploader.
+	ReadTimeout = 60 * time.Second
+	// WriteTimeout bounds writing one response.
+	WriteTimeout = 60 * time.Second
+	// IdleTimeout reaps keep-alive connections parked between
+	// requests.
+	IdleTimeout = 120 * time.Second
+)
+
+// HTTPServer wraps the daemon handler in an http.Server carrying the
+// timeout discipline above; cmd/pdbd serves through it, and tests
+// assert the configuration so the unbounded-server regression cannot
+// return.
+func (s *Server) HTTPServer() *http.Server {
+	return &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: ReadHeaderTimeout,
+		ReadTimeout:       ReadTimeout,
+		WriteTimeout:      WriteTimeout,
+		IdleTimeout:       IdleTimeout,
+	}
+}
+
+// Profile returns the live TAU-stream aggregate (for tests and
+// embedders).
+func (s *Server) Profile() *taustream.Aggregator { return s.profile }
 
 // Fingerprint returns the current corpus content fingerprint.
 func (s *Server) Fingerprint() string { return s.st.Load().fingerprint }

@@ -57,6 +57,13 @@ func load(ctx context.Context, path string, cfg config) (*ductape.PDB, error) {
 	}
 }
 
+// Retryable reports whether err is a transient failure worth retrying
+// under this package's classification — the shared retry discipline:
+// the loader's WithRetry policy and the taustream emitter's
+// send-with-backoff both consult it, so "what is transient" has one
+// answer toolkit-wide.
+func Retryable(err error) bool { return retryable(err) }
+
 // retryable classifies an error as a transient I/O failure worth
 // retrying: it reports Temporary() == true (the net.Error convention,
 // followed by faultio's injected errors), or wraps one of the classic

@@ -35,6 +35,9 @@ func (rt *Runtime) recordEdge(parent, child string, incl uint64) {
 	}
 	e.Calls++
 	e.Inclusive += incl
+	if rt.sink != nil {
+		rt.sink.Edge(parent, child, 1, incl)
+	}
 }
 
 // Edges returns the call-path edges sorted by inclusive time

@@ -24,6 +24,14 @@ type Result struct {
 // PDB, recompile the translated source, execute it on the interpreter,
 // and collect run-time statistics.
 func ProfileSource(files map[string]string, mainFile string, mode ClockMode) (*Result, error) {
+	return ProfileSourceTo(files, mainFile, mode, nil)
+}
+
+// ProfileSourceTo is ProfileSource with a streaming sink attached to
+// the measurement runtime before execution: timer samples and call
+// edges flow to the sink as the program runs (taurun -stream), in
+// addition to the one-shot report collected in the Result.
+func ProfileSourceTo(files map[string]string, mainFile string, mode ClockMode, sink Sink) (*Result, error) {
 	// Phase 1: compile the original source and build its PDB.
 	opts := core.Options{}
 	fs := core.NewFileSet(opts)
@@ -66,6 +74,9 @@ func ProfileSource(files map[string]string, mainFile string, mode ClockMode) (*R
 	var out strings.Builder
 	in := interp.New(res2.Unit, interp.Options{Out: &out})
 	rt := Install(in, mode)
+	if sink != nil {
+		rt.SetSink(sink)
+	}
 	code, err := in.Run()
 	if err != nil {
 		return nil, fmt.Errorf("run: %w", err)

@@ -45,6 +45,19 @@ type frame struct {
 	childTime uint64
 }
 
+// Sink receives profile events as the instrumented program produces
+// them: one Sample per completed timer scope and one Edge per
+// parent→child relationship observed. A sink must never block — the
+// streaming client (internal/taustream) buffers and drops under
+// pressure rather than stalling the profiled program.
+type Sink interface {
+	// Sample reports a completed timer scope.
+	Sample(name string, calls, incl, excl uint64)
+	// Edge reports a parent→child timer relationship ("<root>" is the
+	// parent of top-level scopes).
+	Edge(parent, child string, calls, incl uint64)
+}
+
 // Runtime collects profile data for one program run.
 type Runtime struct {
 	in    *interp.Interp
@@ -53,7 +66,22 @@ type Runtime struct {
 	data  map[string]*Profile
 	edges map[edgeKey]*Edge
 	t0    time.Time
+	steps uint64 // standalone virtual clock (no interpreter attached)
+	sink  Sink
 }
+
+// NewRuntime builds a runtime that is driven directly through
+// Start/Stop rather than by interpreter intrinsics. With VirtualClock
+// and no interpreter attached, the clock advances one step per
+// reading, so profiles are deterministic.
+func NewRuntime(mode ClockMode) *Runtime {
+	return &Runtime{mode: mode, data: map[string]*Profile{}, t0: time.Now()}
+}
+
+// SetSink attaches a streaming sink: every subsequent completed timer
+// scope is forwarded as it closes, in addition to being accumulated in
+// the runtime's own tables. A nil sink detaches.
+func (rt *Runtime) SetSink(s Sink) { rt.sink = s }
 
 // Install attaches a fresh runtime to an interpreter: the TauProfiler
 // constructor/destructor intrinsics are registered so TAU_PROFILE
@@ -95,6 +123,10 @@ func (rt *Runtime) now() uint64 {
 	if rt.mode == WallClock {
 		return uint64(time.Since(rt.t0).Nanoseconds())
 	}
+	if rt.in == nil {
+		rt.steps++
+		return rt.steps
+	}
 	return rt.in.Clock()
 }
 
@@ -125,6 +157,9 @@ func (rt *Runtime) Stop() {
 	p.Calls++
 	p.Inclusive += incl
 	p.Exclusive += excl
+	if rt.sink != nil {
+		rt.sink.Sample(f.name, 1, incl, excl)
+	}
 	if len(rt.stack) > 0 {
 		parent := &rt.stack[len(rt.stack)-1]
 		parent.childTime += incl

@@ -1,0 +1,166 @@
+package tau
+
+import (
+	"testing"
+
+	"pdt/internal/obs"
+)
+
+// Edge cases of the measurement runtime: unbalanced stops, zero-length
+// wall-clock frames, export from nil/empty runtimes, and the
+// standalone step clock the streaming tests rely on.
+
+// TestStopEmptyStack pins that an unbalanced Stop — a destructor
+// intrinsic firing with no matching constructor, or a caller driving
+// the runtime by hand — is ignored rather than panicking.
+func TestStopEmptyStack(t *testing.T) {
+	rt := NewRuntime(VirtualClock)
+	rt.Stop() // nothing open
+	if rt.Depth() != 0 || len(rt.Profiles()) != 0 || len(rt.Edges()) != 0 {
+		t.Errorf("unbalanced Stop mutated the runtime: depth %d, %d profiles",
+			rt.Depth(), len(rt.Profiles()))
+	}
+	rt.Start("f()")
+	rt.Stop()
+	rt.Stop() // unbalanced again, after real activity
+	p := rt.Lookup("f()")
+	if p == nil || p.Calls != 1 {
+		t.Errorf("profile after extra Stop: %v", p)
+	}
+}
+
+// TestWallClockZeroDurationFrames pins that back-to-back wall-clock
+// scopes too fast to be separated by the clock stay consistent: no
+// unsigned underflow, exclusive never exceeds inclusive.
+func TestWallClockZeroDurationFrames(t *testing.T) {
+	rt := NewRuntime(WallClock)
+	for i := 0; i < 100; i++ {
+		rt.Start("outer()")
+		rt.Start("inner()")
+		rt.Stop()
+		rt.Stop()
+	}
+	for _, p := range rt.Profiles() {
+		if p.Calls != 100 {
+			t.Errorf("%s: calls = %d, want 100", p.Name, p.Calls)
+		}
+		if p.Exclusive > p.Inclusive {
+			t.Errorf("%s: exclusive %d > inclusive %d (underflow)", p.Name, p.Exclusive, p.Inclusive)
+		}
+		// A uint64 wraparound would be astronomically large.
+		if p.Inclusive > uint64(1)<<62 {
+			t.Errorf("%s: inclusive %d looks like an underflow wrap", p.Name, p.Inclusive)
+		}
+	}
+	if rt.Unit() != "nsec" {
+		t.Errorf("unit = %q, want nsec", rt.Unit())
+	}
+}
+
+// TestExportObsNilRuntime pins that exporting from a nil runtime (a
+// pipeline that failed before profiling) or into a nil registry is a
+// no-op, not a crash.
+func TestExportObsNilRuntime(t *testing.T) {
+	var rt *Runtime
+	rt.ExportObs(obs.New("x")) // must not panic
+	NewRuntime(VirtualClock).ExportObs(nil)
+}
+
+// TestExportObsEmptyRuntime pins the empty-profile export: a runtime
+// that never timed anything still produces a coherent snapshot.
+func TestExportObsEmptyRuntime(t *testing.T) {
+	m := obs.New("x")
+	NewRuntime(VirtualClock).ExportObs(m)
+	snap := m.Snapshot()
+	if snap.Counters["tau.calls"] != 0 {
+		t.Errorf("tau.calls = %d, want 0", snap.Counters["tau.calls"])
+	}
+	if snap.Gauges["tau.unit.nanoseconds"] != 0 {
+		t.Errorf("gauge = %d, want 0 (virtual clock)", snap.Gauges["tau.unit.nanoseconds"])
+	}
+}
+
+// TestStandaloneStepClock pins the deterministic clock NewRuntime
+// provides without an interpreter: every reading advances one step, so
+// two identical runs profile identically.
+func TestStandaloneStepClock(t *testing.T) {
+	run := func() []*Profile {
+		rt := NewRuntime(VirtualClock)
+		rt.Start("a()")
+		rt.Start("b()")
+		rt.Stop()
+		rt.Stop()
+		return rt.Profiles()
+	}
+	p1, p2 := run(), run()
+	if len(p1) != 2 || len(p2) != 2 {
+		t.Fatalf("profiles: %v, %v", p1, p2)
+	}
+	for i := range p1 {
+		if *p1[i] != *p2[i] {
+			t.Errorf("runs differ: %v vs %v", p1[i], p2[i])
+		}
+	}
+	// b: start=2, stop=3 → incl 1. a: start=1, stop=4 → incl 3, excl 2.
+	a, b := p1[1], p1[0]
+	if a.Name != "a()" { // sorted by exclusive descending
+		a, b = b, a
+	}
+	if a.Inclusive != 3 || a.Exclusive != 2 || b.Inclusive != 1 || b.Exclusive != 1 {
+		t.Errorf("step-clock times: a=%v b=%v", a, b)
+	}
+}
+
+// TestSinkReceivesDeltas pins the streaming contract Stop() upholds:
+// one Sample per completed scope with calls=1 deltas, one Edge per
+// parent→child observation, so sums over events equal the one-shot
+// profile.
+func TestSinkReceivesDeltas(t *testing.T) {
+	var samples, edges int
+	var sampleCalls uint64
+	sink := sinkFuncs{
+		sample: func(name string, calls, incl, excl uint64) {
+			samples++
+			sampleCalls += calls
+			if calls != 1 {
+				t.Errorf("sample %s: calls = %d, want delta of 1", name, calls)
+			}
+			if excl > incl {
+				t.Errorf("sample %s: excl %d > incl %d", name, excl, incl)
+			}
+		},
+		edge: func(parent, child string, calls, incl uint64) {
+			edges++
+			if parent == "" || child == "" {
+				t.Errorf("edge with empty endpoint: %q→%q", parent, child)
+			}
+		},
+	}
+	rt := NewRuntime(VirtualClock)
+	rt.SetSink(sink)
+	for i := 0; i < 3; i++ {
+		rt.Start("outer()")
+		rt.Start("inner()")
+		rt.Stop()
+		rt.Stop()
+	}
+	if samples != 6 || sampleCalls != 6 || edges != 6 {
+		t.Errorf("samples=%d calls=%d edges=%d, want 6/6/6", samples, sampleCalls, edges)
+	}
+	rt.SetSink(nil) // detaching must stop the flow
+	rt.Start("quiet()")
+	rt.Stop()
+	if samples != 6 {
+		t.Error("detached sink still receiving")
+	}
+}
+
+type sinkFuncs struct {
+	sample func(string, uint64, uint64, uint64)
+	edge   func(string, string, uint64, uint64)
+}
+
+func (s sinkFuncs) Sample(name string, calls, incl, excl uint64) { s.sample(name, calls, incl, excl) }
+func (s sinkFuncs) Edge(parent, child string, calls, incl uint64) {
+	s.edge(parent, child, calls, incl)
+}

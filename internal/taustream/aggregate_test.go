@@ -1,0 +1,237 @@
+package taustream
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pdt/internal/schema"
+	"pdt/internal/tau"
+)
+
+// driveRun replays a deterministic workload — nested and template
+// timers, varying per seed — onto a runtime. Both halves of the
+// differential test run it on identical fresh runtimes, so the only
+// difference between them is the transport.
+func driveRun(rt *tau.Runtime, seed int) {
+	rt.Start("main()")
+	for i := 0; i <= seed%3; i++ {
+		rt.Start("push() Stack<int>")
+		rt.Start("isFull() Stack<int>")
+		rt.Stop()
+		rt.Stop()
+	}
+	rt.Start(fmt.Sprintf("work%d()", seed%2))
+	rt.Stop()
+	rt.Stop()
+}
+
+// ingestServer serves the ingest endpoint directly off an aggregator.
+func ingestServer(t *testing.T, agg *Aggregator) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := agg.Ingest(r.Body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestStreamedMatchesOffline is the tentpole property: streaming N
+// runs through the wire-format client yields a /v1/profile snapshot
+// byte-identical to merging the same N one-shot profiles offline
+// (AddRuntime).
+func TestStreamedMatchesOffline(t *testing.T) {
+	const runs = 8
+
+	streamed := NewAggregator(nil)
+	ts := ingestServer(t, streamed)
+	for seed := 0; seed < runs; seed++ {
+		rt := tau.NewRuntime(tau.VirtualClock)
+		c := Dial(ts.URL, Options{Unit: UnitSteps})
+		rt.SetSink(c)
+		driveRun(rt, seed)
+		if err := c.Close(); err != nil {
+			t.Fatalf("run %d: close: %v", seed, err)
+		}
+		if n := c.Dropped(); n != 0 {
+			t.Fatalf("run %d: %d events dropped; property needs a lossless stream", seed, n)
+		}
+	}
+
+	offline := NewAggregator(nil)
+	for seed := 0; seed < runs; seed++ {
+		rt := tau.NewRuntime(tau.VirtualClock)
+		driveRun(rt, seed)
+		offline.AddRuntime(rt)
+	}
+
+	var got, want bytes.Buffer
+	if err := streamed.Snapshot().WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if err := offline.Snapshot().WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("streamed and offline snapshots differ:\nstreamed:\n%s\noffline:\n%s",
+			got.String(), want.String())
+	}
+	if !strings.Contains(got.String(), "Stack<int>") {
+		t.Errorf("snapshot lost the template instantiation grouping:\n%s", got.String())
+	}
+	snap := streamed.Snapshot()
+	if snap.Runs != runs || snap.Unit != "steps" || snap.SchemaVersion != schema.Version {
+		t.Errorf("snapshot header: %+v", snap)
+	}
+}
+
+func TestIngestMalformed(t *testing.T) {
+	agg := NewAggregator(nil)
+	_, err := agg.Ingest(strings.NewReader("not a stream"))
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want ErrMalformed", err)
+	}
+	if agg.Epoch() != 0 {
+		t.Error("malformed ingest mutated the aggregate")
+	}
+}
+
+func TestIngestAccumulates(t *testing.T) {
+	agg := NewAggregator(nil)
+	batch := AppendBatch(nil, []Event{
+		{Kind: KindRunStart, Unit: UnitNanos},
+		{Kind: KindSample, Name: "f()", Calls: 2, Inclusive: 10, Exclusive: 6},
+		{Kind: KindEdge, Parent: "<root>", Name: "f()", Calls: 2, Inclusive: 10},
+		{Kind: KindRunEnd, Dropped: 3},
+	})
+	for i := 0; i < 2; i++ {
+		n, err := agg.Ingest(bytes.NewReader(batch))
+		if err != nil || n != 4 {
+			t.Fatalf("ingest %d: n=%d err=%v", i, n, err)
+		}
+	}
+	s := agg.Snapshot()
+	if s.Runs != 2 || s.DroppedByClients != 6 || s.Unit != "nsec" {
+		t.Errorf("header: %+v", s)
+	}
+	if len(s.Timers) != 1 || s.Timers[0].Calls != 4 || s.Timers[0].Inclusive != 20 ||
+		s.Timers[0].Exclusive != 12 {
+		t.Errorf("timers: %+v", s.Timers)
+	}
+	if len(s.Edges) != 1 || s.Edges[0].Parent != "<root>" || s.Edges[0].Calls != 4 {
+		t.Errorf("edges: %+v", s.Edges)
+	}
+}
+
+func TestSnapshotMixedUnits(t *testing.T) {
+	agg := NewAggregator(nil)
+	agg.apply(&Event{Kind: KindRunStart, Unit: UnitSteps})
+	agg.apply(&Event{Kind: KindRunStart, Unit: UnitNanos})
+	if got := agg.Snapshot().Unit; got != "mixed" {
+		t.Errorf("unit = %q, want mixed", got)
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewAggregator(nil).Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Empty aggregates serialize arrays, not nulls, and no unit.
+	for _, want := range []string{`"timers": []`, `"edges": []`, `"templates": []`, `"unit": ""`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("empty snapshot missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestAddRuntimeNil(t *testing.T) {
+	agg := NewAggregator(nil)
+	agg.AddRuntime(nil)
+	if agg.Epoch() != 0 {
+		t.Error("nil runtime mutated the aggregate")
+	}
+}
+
+func TestInstantiationOf(t *testing.T) {
+	cases := []struct {
+		name, want string
+		ok         bool
+	}{
+		{"push() Stack<int>", "Stack<int>", true},
+		{"main()", "", false},
+		{"a b", "", false},
+		{"top() Stack<Vector<double>>", "Stack<Vector<double>>", true},
+	}
+	for _, tc := range cases {
+		got, ok := instantiationOf(tc.name)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("instantiationOf(%q) = %q, %v; want %q, %v", tc.name, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestWriteHTML(t *testing.T) {
+	agg := NewAggregator(nil)
+	rt := tau.NewRuntime(tau.VirtualClock)
+	driveRun(rt, 1)
+	agg.AddRuntime(rt)
+
+	var buf bytes.Buffer
+	if err := WriteHTML(&buf, agg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	for _, want := range []string{`<div class="tau-profile">`, "Flat profile",
+		"Template instantiations", "Call paths", "Stack&lt;int&gt;", "1 run(s)"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("HTML missing %q:\n%s", want, page)
+		}
+	}
+	if strings.Contains(page, "Stack<int>") {
+		t.Error("template name not HTML-escaped")
+	}
+}
+
+// TestWriteHTMLEmpty pins that a daemon with no runs yet still renders
+// a (minimal) dashboard rather than erroring.
+func TestWriteHTMLEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHTML(&buf, NewAggregator(nil).Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0 run(s)") {
+		t.Errorf("empty dashboard: %s", buf.String())
+	}
+}
+
+// TestEpochAdvances pins the renderer memo key: any applied event
+// changes the epoch.
+func TestEpochAdvances(t *testing.T) {
+	agg := NewAggregator(nil)
+	before := agg.Epoch()
+	agg.apply(&Event{Kind: KindSample, Name: "f", Calls: 1})
+	if agg.Epoch() == before {
+		t.Error("epoch did not advance on ingest")
+	}
+}
+
+// TestIngestReadError pins that a failing body reader surfaces as a
+// non-ErrMalformed error (a transport problem, not a client bug).
+func TestIngestReadError(t *testing.T) {
+	agg := NewAggregator(nil)
+	_, err := agg.Ingest(&failingReader{})
+	if err == nil || errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want a plain read error", err)
+	}
+}
+
+type failingReader struct{}
+
+func (*failingReader) Read([]byte) (int, error) { return 0, errors.New("boom") }

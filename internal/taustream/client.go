@@ -1,0 +1,266 @@
+package taustream
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pdt/internal/obs"
+	"pdt/internal/pdbio"
+)
+
+// IngestPath is the daemon endpoint profile batches are posted to.
+const IngestPath = "/v1/profile/ingest"
+
+// Options configures a Client. The zero value is usable: virtual-clock
+// unit, default buffering, and a shared default HTTP client.
+type Options struct {
+	// Unit stamps the run's clock unit on its RunStart event.
+	Unit Unit
+	// Buffer is the event channel capacity (default 4096). When the
+	// flusher cannot keep up and the buffer fills, further events are
+	// dropped — never blocking the instrumented program.
+	Buffer int
+	// BatchEvents flushes a batch once it holds this many events
+	// (default 512).
+	BatchEvents int
+	// FlushEvery flushes a partial batch after this long (default
+	// 200ms), bounding dashboard staleness during long quiet runs.
+	FlushEvery time.Duration
+	// Retries is how many times a failed send is retried when the
+	// error is transient under pdbio.Retryable (default 3).
+	Retries int
+	// RetryBackoff is the initial retry delay, doubling per attempt
+	// (default 50ms).
+	RetryBackoff time.Duration
+	// Metrics receives the client's counters (ingest.sent events,
+	// ingest.dropped, ingest.batches, ingest.retries,
+	// ingest.send_errors). Nil disables instrumentation.
+	Metrics *obs.Metrics
+	// HTTPClient overrides the transport (shared by load tests to
+	// bound connection counts). Nil uses a client with a 10s timeout.
+	HTTPClient *http.Client
+}
+
+// Client is the streaming emitter: a buffered, non-blocking tau.Sink
+// that frames profile events and posts them to a pdbd ingest endpoint
+// in batches, with retry/backoff on transient failures. Under
+// pressure — full buffer, daemon away — it drops events and counts
+// them; the profiled program never waits on the network.
+type Client struct {
+	url     string
+	ch      chan Event
+	quit    chan struct{}
+	done    chan struct{}
+	opts    Options
+	httpc   *http.Client
+	metrics *obs.Metrics
+
+	closing  atomic.Bool
+	dropped  atomic.Uint64
+	sent     atomic.Uint64
+	closeErr error
+	closed   sync.Once
+}
+
+// Dial builds a client posting to addr and starts its flusher. addr is
+// a host:port or a base URL; the ingest path is appended when absent.
+// Dial never connects eagerly — the first batch does — so a dead
+// daemon costs the program nothing but dropped events.
+func Dial(addr string, opts Options) *Client {
+	if opts.Buffer <= 0 {
+		opts.Buffer = 4096
+	}
+	if opts.BatchEvents <= 0 {
+		opts.BatchEvents = 512
+	}
+	if opts.FlushEvery <= 0 {
+		opts.FlushEvery = 200 * time.Millisecond
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	} else if opts.Retries == 0 {
+		opts.Retries = 3
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 50 * time.Millisecond
+	}
+	c := &Client{
+		url:     ingestURL(addr),
+		ch:      make(chan Event, opts.Buffer),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+		opts:    opts,
+		httpc:   opts.HTTPClient,
+		metrics: opts.Metrics,
+	}
+	if c.httpc == nil {
+		c.httpc = &http.Client{Timeout: 10 * time.Second}
+	}
+	go c.flusher()
+	return c
+}
+
+// ingestURL normalizes addr into the full ingest endpoint URL.
+func ingestURL(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	if strings.HasSuffix(addr, IngestPath) {
+		return addr
+	}
+	return strings.TrimSuffix(addr, "/") + IngestPath
+}
+
+// Sample implements tau.Sink: one completed timer scope.
+func (c *Client) Sample(name string, calls, incl, excl uint64) {
+	c.emit(Event{Kind: KindSample, Name: name, Calls: calls, Inclusive: incl, Exclusive: excl})
+}
+
+// Edge implements tau.Sink: one parent→child call-path observation.
+func (c *Client) Edge(parent, child string, calls, incl uint64) {
+	c.emit(Event{Kind: KindEdge, Parent: parent, Name: child, Calls: calls, Inclusive: incl})
+}
+
+// Dropped returns how many events were discarded because the buffer
+// was full (the drop-not-block contract's loss meter).
+func (c *Client) Dropped() uint64 { return c.dropped.Load() }
+
+// Sent returns how many events were delivered in acknowledged batches.
+func (c *Client) Sent() uint64 { return c.sent.Load() }
+
+// emit enqueues without ever blocking: a full buffer — or a client
+// already closing — drops the event and counts it.
+func (c *Client) emit(ev Event) {
+	if c.closing.Load() {
+		c.dropped.Add(1)
+		c.metrics.Counter("ingest.dropped").Add(1)
+		return
+	}
+	select {
+	case c.ch <- ev:
+	default:
+		c.dropped.Add(1)
+		c.metrics.Counter("ingest.dropped").Add(1)
+	}
+}
+
+// Close flushes buffered events, appends the RunEnd marker carrying
+// the final drop count, posts the last batch, and returns the last
+// send failure (nil when every batch was acknowledged). Events
+// emitted after Close begins are dropped, never a panic.
+func (c *Client) Close() error {
+	c.closed.Do(func() {
+		c.closing.Store(true)
+		close(c.quit)
+		<-c.done
+	})
+	return c.closeErr
+}
+
+// flusher is the background sender: it batches events from the
+// channel and posts a batch when it is full or the flush interval
+// elapses. The RunStart event leads the first batch (it bypasses the
+// buffer, so it is never dropped); RunEnd trails the last.
+func (c *Client) flusher() {
+	defer close(c.done)
+	ticker := time.NewTicker(c.opts.FlushEvery)
+	defer ticker.Stop()
+
+	batch := []Event{{Kind: KindRunStart, Unit: c.opts.Unit}}
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		if err := c.post(batch); err != nil {
+			c.closeErr = err
+			c.metrics.Counter("ingest.send_errors").Add(1)
+		} else {
+			c.sent.Add(uint64(len(batch)))
+			c.metrics.Counter("ingest.sent").Add(int64(len(batch)))
+		}
+		batch = batch[:0]
+	}
+	for {
+		select {
+		case ev := <-c.ch:
+			batch = append(batch, ev)
+			if len(batch) >= c.opts.BatchEvents {
+				flush()
+			}
+		case <-c.quit:
+			// Drain whatever the program enqueued before Close, then
+			// trail the stream with the loss-accounting marker.
+			for {
+				select {
+				case ev := <-c.ch:
+					batch = append(batch, ev)
+					if len(batch) >= c.opts.BatchEvents {
+						flush()
+					}
+					continue
+				default:
+				}
+				break
+			}
+			batch = append(batch, Event{Kind: KindRunEnd, Dropped: c.dropped.Load()})
+			flush()
+			return
+		case <-ticker.C:
+			flush()
+		}
+	}
+}
+
+// statusError is a non-2xx ingest response. 5xx and 429 are transient
+// under the Temporary() convention pdbio.Retryable consults; 4xx are
+// not (a malformed or oversized batch will not improve on resend).
+type statusError struct {
+	code int
+	body string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("ingest: HTTP %d: %s", e.code, strings.TrimSpace(e.body))
+}
+
+func (e *statusError) Temporary() bool {
+	return e.code >= 500 || e.code == http.StatusTooManyRequests
+}
+
+// post encodes and sends one batch, retrying transient failures with
+// doubling backoff under the same classification the pdbio loader
+// uses.
+func (c *Client) post(batch []Event) error {
+	body := AppendBatch(nil, batch)
+	backoff := c.opts.RetryBackoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.postOnce(body)
+		if err == nil || attempt >= c.opts.Retries || !pdbio.Retryable(err) {
+			return err
+		}
+		c.metrics.Counter("ingest.retries").Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+func (c *Client) postOnce(body []byte) error {
+	resp, err := c.httpc.Post(c.url, "application/x-pdt-taustream", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg := make([]byte, 256)
+		n, _ := resp.Body.Read(msg)
+		return &statusError{code: resp.StatusCode, body: string(msg[:n])}
+	}
+	c.metrics.Counter("ingest.batches").Add(1)
+	return nil
+}

@@ -1,0 +1,215 @@
+package taustream
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pdt/internal/obs"
+)
+
+func TestIngestURL(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"localhost:7245", "http://localhost:7245/v1/profile/ingest"},
+		{"http://localhost:7245", "http://localhost:7245/v1/profile/ingest"},
+		{"http://localhost:7245/", "http://localhost:7245/v1/profile/ingest"},
+		{"https://pdbd.example/v1/profile/ingest", "https://pdbd.example/v1/profile/ingest"},
+	}
+	for _, tc := range cases {
+		if got := ingestURL(tc.in); got != tc.want {
+			t.Errorf("ingestURL(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestStatusErrorClassification(t *testing.T) {
+	for code, transient := range map[int]bool{500: true, 503: true, 429: true, 400: false, 404: false} {
+		e := &statusError{code: code}
+		if e.Temporary() != transient {
+			t.Errorf("HTTP %d: Temporary() = %v, want %v", code, e.Temporary(), transient)
+		}
+	}
+}
+
+// TestClientDeliversAll is the happy path: everything emitted before
+// Close arrives, framed by exactly one RunStart and one RunEnd.
+func TestClientDeliversAll(t *testing.T) {
+	agg := NewAggregator(nil)
+	ts := ingestServer(t, agg)
+	m := obs.New("test")
+	c := Dial(ts.URL, Options{Unit: UnitNanos, Metrics: m})
+	const n = 100
+	for i := 0; i < n; i++ {
+		c.Sample("f()", 1, 2, 1)
+		c.Edge("<root>", "f()", 1, 2)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Dropped() != 0 {
+		t.Fatalf("dropped %d events on an idle server", c.Dropped())
+	}
+	if got := c.Sent(); got != 2*n+2 { // events + RunStart + RunEnd
+		t.Errorf("sent = %d, want %d", got, 2*n+2)
+	}
+	s := agg.Snapshot()
+	if s.Runs != 1 || len(s.Timers) != 1 || s.Timers[0].Calls != n ||
+		len(s.Edges) != 1 || s.Edges[0].Calls != n {
+		t.Errorf("aggregate: %+v", s)
+	}
+	if m.Snapshot().Counters["ingest.sent"] != 2*n+2 {
+		t.Errorf("counters: %+v", m.Snapshot().Counters)
+	}
+}
+
+// TestClientDropsNotBlocks is the drop-not-block contract: with the
+// daemon wedged mid-request and a one-event buffer, a burst of emits
+// returns immediately (never stalling the profiled program), the
+// overflow is counted in ingest.dropped, and the RunEnd marker carries
+// the loss to the daemon.
+func TestClientDropsNotBlocks(t *testing.T) {
+	agg := NewAggregator(nil)
+	release := make(chan struct{})
+	var wedged atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if wedged.CompareAndSwap(false, true) {
+			<-release // wedge only the first batch; Close's flush proceeds
+		}
+		if _, err := agg.Ingest(r.Body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+	}))
+	defer ts.Close()
+
+	m := obs.New("test")
+	c := Dial(ts.URL, Options{
+		Buffer:      1,
+		BatchEvents: 1, // flush per event, so the flusher wedges in post()
+		Retries:     -1,
+		Metrics:     m,
+	})
+	c.Sample("first()", 1, 1, 1) // pulls the flusher into the wedged POST
+	deadline := time.After(5 * time.Second)
+	for c.Dropped() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("no drops despite a wedged daemon and a full buffer")
+		default:
+		}
+		done := make(chan struct{})
+		go func() { c.Sample("burst()", 1, 1, 1); close(done) }()
+		select {
+		case <-done: // emit returned immediately — the contract
+		case <-time.After(time.Second):
+			t.Fatal("emit blocked on a wedged daemon")
+		}
+	}
+	close(release)
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	dropped := c.Dropped()
+	if dropped == 0 {
+		t.Fatal("expected dropped events")
+	}
+	if got := m.Snapshot().Counters["ingest.dropped"]; got != int64(dropped) {
+		t.Errorf("ingest.dropped counter = %d, want %d", got, dropped)
+	}
+	if got := agg.Snapshot().DroppedByClients; got != dropped {
+		t.Errorf("RunEnd carried %d dropped, client counted %d", got, dropped)
+	}
+}
+
+// TestClientRetriesTransient pins the pdbio.Retryable discipline: 5xx
+// responses are retried with backoff until the daemon recovers, and
+// the batch is not lost.
+func TestClientRetriesTransient(t *testing.T) {
+	agg := NewAggregator(nil)
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= 2 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		if _, err := agg.Ingest(r.Body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+	}))
+	defer ts.Close()
+
+	m := obs.New("test")
+	// FlushEvery is long so the only flush is Close's: one batch, an
+	// exact attempt count.
+	c := Dial(ts.URL, Options{Retries: 3, RetryBackoff: time.Millisecond,
+		FlushEvery: time.Minute, Metrics: m})
+	c.Sample("f()", 1, 1, 1)
+	if err := c.Close(); err != nil {
+		t.Fatalf("close after recovery: %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3 (two 503s, one success)", got)
+	}
+	if got := m.Snapshot().Counters["ingest.retries"]; got != 2 {
+		t.Errorf("ingest.retries = %d, want 2", got)
+	}
+	if s := agg.Snapshot(); len(s.Timers) != 1 || s.Timers[0].Calls != 1 {
+		t.Errorf("batch lost across retries: %+v", s)
+	}
+}
+
+// TestClientPermanentFailureNotRetried pins that 4xx responses are
+// terminal: resending a bad batch cannot succeed.
+func TestClientPermanentFailureNotRetried(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, "no", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := Dial(ts.URL, Options{Retries: 5, RetryBackoff: time.Millisecond,
+		FlushEvery: time.Minute})
+	c.Sample("f()", 1, 1, 1)
+	err := c.Close()
+	if err == nil {
+		t.Fatal("close reported no error from a rejecting daemon")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("attempts = %d, want 1 (4xx is permanent)", got)
+	}
+}
+
+// TestClientDeadDaemon: a daemon that is simply absent costs the
+// program nothing but a close-time error and dropped-on-the-floor
+// batches — taurun treats it as a warning.
+func TestClientDeadDaemon(t *testing.T) {
+	c := Dial("127.0.0.1:1", Options{Retries: -1,
+		HTTPClient: &http.Client{Timeout: time.Second}})
+	c.Sample("f()", 1, 1, 1)
+	if err := c.Close(); err == nil {
+		t.Fatal("close reported no error with no daemon listening")
+	}
+}
+
+// TestClientEmitAfterClose pins the no-panic contract: late samples
+// from a confused caller are counted as drops, never a send on a
+// closed channel.
+func TestClientEmitAfterClose(t *testing.T) {
+	agg := NewAggregator(nil)
+	ts := ingestServer(t, agg)
+	c := Dial(ts.URL, Options{})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c.Sample("late()", 1, 1, 1)
+	c.Edge("<root>", "late()", 1, 1)
+	if c.Dropped() != 2 {
+		t.Errorf("late emits: dropped = %d, want 2", c.Dropped())
+	}
+	if err := c.Close(); err != nil { // double Close is a no-op
+		t.Fatal(err)
+	}
+}

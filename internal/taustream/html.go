@@ -1,0 +1,99 @@
+package taustream
+
+import (
+	"fmt"
+	"html"
+	"io"
+)
+
+// WriteHTML renders the snapshot as a self-contained dashboard
+// fragment in the pdbhtml idiom — the live counterpart of the paper's
+// Figure 7 displays: a bar overview scaled to the hottest timer, the
+// flat profile table, the per-template-instantiation grouping, and
+// the call-path edges. The fragment is a single <div>, embeddable in
+// any page (or usable directly: browsers render fragments), and is
+// deterministic for a quiesced aggregator.
+func WriteHTML(w io.Writer, s *Snapshot) error {
+	esc := html.EscapeString
+	var total, max uint64
+	for _, t := range s.Timers {
+		total += t.Exclusive
+		if t.Exclusive > max {
+			max = t.Exclusive
+		}
+	}
+	pct := func(v uint64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(v) / float64(total)
+	}
+
+	b := &errWriter{w: w}
+	b.printf("<div class=\"tau-profile\">\n")
+	b.printf("<h2>Live TAU profile</h2>\n")
+	b.printf("<p class=\"tau-summary\">%d run(s), %d timer(s), unit %s, %d event(s) dropped by clients</p>\n",
+		s.Runs, len(s.Timers), esc(unitOrDash(s.Unit)), s.DroppedByClients)
+
+	b.printf("<table class=\"tau-bars\">\n")
+	for _, t := range s.Timers {
+		width := 0
+		if max > 0 {
+			width = int(uint64(300) * t.Exclusive / max)
+		}
+		b.printf("<tr><td><div class=\"tau-bar\" style=\"width:%dpx;background:#36c;height:1em\"></div></td>"+
+			"<td>%5.1f%%</td><td>%s</td></tr>\n", width, pct(t.Exclusive), esc(t.Name))
+	}
+	b.printf("</table>\n")
+
+	b.printf("<h3>Flat profile (%s)</h3>\n<table class=\"tau-flat\">\n", esc(unitOrDash(s.Unit)))
+	b.printf("<tr><th>%%Time</th><th>Exclusive</th><th>Inclusive</th><th>#Calls</th><th>Name</th></tr>\n")
+	for _, t := range s.Timers {
+		b.printf("<tr><td>%.1f</td><td>%d</td><td>%d</td><td>%d</td><td>%s</td></tr>\n",
+			pct(t.Exclusive), t.Exclusive, t.Inclusive, t.Calls, esc(t.Name))
+	}
+	b.printf("</table>\n")
+
+	if len(s.Templates) > 0 {
+		b.printf("<h3>Template instantiations</h3>\n<table class=\"tau-templates\">\n")
+		b.printf("<tr><th>Instantiation</th><th>Timers</th><th>#Calls</th><th>Exclusive</th><th>Inclusive</th></tr>\n")
+		for _, t := range s.Templates {
+			b.printf("<tr><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td></tr>\n",
+				esc(t.Name), t.Timers, t.Calls, t.Exclusive, t.Inclusive)
+		}
+		b.printf("</table>\n")
+	}
+
+	if len(s.Edges) > 0 {
+		b.printf("<h3>Call paths</h3>\n<table class=\"tau-edges\">\n")
+		b.printf("<tr><th>Parent</th><th>Child</th><th>#Calls</th><th>Inclusive</th></tr>\n")
+		for _, e := range s.Edges {
+			b.printf("<tr><td>%s</td><td>%s</td><td>%d</td><td>%d</td></tr>\n",
+				esc(e.Parent), esc(e.Child), e.Calls, e.Inclusive)
+		}
+		b.printf("</table>\n")
+	}
+	b.printf("</div>\n")
+	return b.err
+}
+
+func unitOrDash(u string) string {
+	if u == "" {
+		return "-"
+	}
+	return u
+}
+
+// errWriter latches the first write failure so the renderer reads as
+// straight-line formatting.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (b *errWriter) printf(format string, args ...any) {
+	if b.err != nil {
+		return
+	}
+	_, b.err = fmt.Fprintf(b.w, format, args...)
+}

@@ -1,0 +1,106 @@
+package taustream
+
+import (
+	"strings"
+	"testing"
+
+	"pdt/internal/pdb"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	in := []Event{
+		{Kind: KindRunStart, Unit: UnitNanos},
+		{Kind: KindSample, Name: "push() Stack<int>", Calls: 3, Inclusive: 40, Exclusive: 25},
+		{Kind: KindEdge, Parent: "main()", Name: "push() Stack<int>", Calls: 1, Inclusive: 40},
+		{Kind: KindSample, Name: "", Calls: 0, Inclusive: 0, Exclusive: 0},
+		{Kind: KindRunEnd, Dropped: 7},
+	}
+	data := AppendBatch(nil, in)
+	out, skipped, err := DecodeBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped = %d, want 0", skipped)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestDecodeBatchEmpty(t *testing.T) {
+	out, skipped, err := DecodeBatch(AppendBatch(nil, nil))
+	if err != nil || skipped != 0 || len(out) != 0 {
+		t.Fatalf("empty batch: %v events, %d skipped, err %v", out, skipped, err)
+	}
+}
+
+// TestDecodeBatchSkipsUnknownKinds pins the forward-compatibility
+// contract: a frame with an unrecognized kind is skipped (and counted),
+// not an error, so new event kinds can ship without breaking deployed
+// daemons.
+func TestDecodeBatchSkipsUnknownKinds(t *testing.T) {
+	data := AppendBatch(nil, []Event{{Kind: KindRunStart}})
+	// Hand-frame an event of kind 99 with an arbitrary payload, then
+	// splice a later sample frame in behind it (skipping the 5-byte
+	// magic+version header of the second batch).
+	data = pdb.AppendLenBytes(data, []byte{99, 0xde, 0xad})
+	more := AppendBatch(nil, []Event{{Kind: KindSample, Name: "f", Calls: 1}})
+	data = append(data, more[len(Magic)+1:]...)
+
+	out, skipped, err := DecodeBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+	if len(out) != 2 || out[1].Name != "f" {
+		t.Errorf("events after unknown kind lost: %+v", out)
+	}
+}
+
+func TestDecodeBatchMalformed(t *testing.T) {
+	valid := AppendBatch(nil, []Event{{Kind: KindSample, Name: "f", Calls: 1}})
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "magic"},
+		{"bad magic", []byte("PDTB\x01"), "magic"},
+		{"bad version", append([]byte(Magic), 0x7f), "unsupported version"},
+		{"truncated frame", valid[:len(valid)-2], ""},
+		{"overrun length", append([]byte(Magic), 0x01, 0xff), ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := DecodeBatch(tc.data)
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestUnitMapping(t *testing.T) {
+	if UnitSteps.String() != "steps" || UnitNanos.String() != "nsec" {
+		t.Errorf("unit spellings: %q, %q", UnitSteps, UnitNanos)
+	}
+	for _, label := range []string{"steps", "nsec"} {
+		if got := UnitFor(label).String(); got != label {
+			t.Errorf("UnitFor(%q).String() = %q", label, got)
+		}
+	}
+	if UnitFor("unknown") != UnitSteps {
+		t.Error("unknown label should default to the virtual clock")
+	}
+}

@@ -1,0 +1,209 @@
+// Integration tests for taurun's include search (-I) and live
+// streaming (-stream), driving the built binary the way a user would.
+package pdt_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"pdt/internal/taustream"
+)
+
+// TestCLITaurunIncludeDir is the regression test for the -I bug: the
+// flag used to be parsed and then ignored, so a header outside the
+// main file's directory was unresolvable. The committed fixture keeps
+// mathutil.h in a sibling include/ directory.
+func TestCLITaurunIncludeDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	// Without -I the header never loads: the run must fail.
+	_, stderr, err := runTool(t, "taurun", "testdata/cxx/incdir/app/main.cpp")
+	if err == nil {
+		t.Fatal("taurun succeeded without -I; the fixture no longer isolates the header")
+	}
+	if !strings.Contains(stderr, "taurun:") {
+		t.Errorf("stderr: %q", stderr)
+	}
+
+	out, stderr, err := runTool(t, "taurun",
+		"-I", "testdata/cxx/incdir/include", "testdata/cxx/incdir/app/main.cpp")
+	if err != nil {
+		t.Fatalf("taurun -I: %v\n%s", err, stderr)
+	}
+	for _, want := range []string{"total 36", "%Time", "cube(int)", "accumulate(int, int)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("taurun -I output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCLITaurunIncludeCollision pins the collision rule: when an -I
+// directory carries a file with the same base name as one next to the
+// main file, the main file's directory wins.
+func TestCLITaurunIncludeCollision(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	mainDir := t.TempDir()
+	incDir := t.TempDir()
+	writeFile := func(dir, name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile(mainDir, "main.cpp", `#include "value.h"
+#include <iostream>
+int main() {
+    cout << "value " << value() << endl;
+    return 0;
+}
+`)
+	writeFile(mainDir, "value.h", "int value() { return 1; }\n")
+	writeFile(incDir, "value.h", "int value() { return 2; }\n")
+
+	out, stderr, err := runTool(t, "taurun", "-I", incDir,
+		filepath.Join(mainDir, "main.cpp"))
+	if err != nil {
+		t.Fatalf("taurun: %v\n%s", err, stderr)
+	}
+	if !strings.Contains(out, "value 1") {
+		t.Errorf("-I shadowed the main directory's header:\n%s", out)
+	}
+}
+
+// TestCLITaurunUsage pins the corrected usage string: it must name
+// every flag the tool accepts (it used to omit -I, -callpath, and
+// -metrics).
+func TestCLITaurunUsage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	_, stderr, err := runTool(t, "taurun")
+	if err == nil {
+		t.Fatal("taurun with no arguments succeeded")
+	}
+	for _, want := range []string{"-wall", "-bars", "-callpath", "-I dir", "-metrics", "-stream"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("usage missing %q: %s", want, stderr)
+		}
+	}
+}
+
+// TestCLITaurunStream is the end-to-end streaming smoke: taurun
+// -stream posts live events to an ingest endpoint while the program
+// runs, and the aggregated profile must agree with the one-shot report
+// taurun prints — same timers, same call counts.
+func TestCLITaurunStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	agg := taustream.NewAggregator(nil)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := agg.Ingest(r.Body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+	}))
+	defer ts.Close()
+
+	// The fixture is small enough that its whole run fits the client
+	// buffer: the stream must be lossless. (A firehose like the krylov
+	// benchmark legitimately drops under the drop-not-block contract;
+	// internal/taustream's tests cover that path.)
+	out, stderr, err := runTool(t, "taurun", "-stream", ts.URL,
+		"-I", "testdata/cxx/incdir/include", "testdata/cxx/incdir/app/main.cpp")
+	if err != nil {
+		t.Fatalf("taurun -stream: %v\n%s", err, stderr)
+	}
+	if strings.Contains(stderr, "dropped") {
+		t.Fatalf("lossy stream on an idle server: %s", stderr)
+	}
+
+	// The one-shot stdout report must be unaffected by streaming.
+	plain, _, err := runTool(t, "taurun",
+		"-I", "testdata/cxx/incdir/include", "testdata/cxx/incdir/app/main.cpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != plain {
+		t.Error("stdout differs with -stream enabled")
+	}
+
+	snap := agg.Snapshot()
+	if snap.Runs != 1 || snap.Unit != "steps" || snap.DroppedByClients != 0 {
+		t.Fatalf("aggregate header: %+v", snap)
+	}
+	streamed := map[string]uint64{}
+	for _, tm := range snap.Timers {
+		streamed[tm.Name] = tm.Calls
+	}
+	reported := reportCalls(t, out)
+	if len(reported) == 0 {
+		t.Fatalf("no timers parsed from report:\n%s", out)
+	}
+	for name, calls := range reported {
+		if streamed[name] != calls {
+			t.Errorf("%s: streamed %d calls, report says %d", name, streamed[name], calls)
+		}
+	}
+	if len(streamed) != len(reported) {
+		t.Errorf("streamed %d timers, report has %d", len(streamed), len(reported))
+	}
+}
+
+// TestCLITaurunStreamDeadDaemon pins the drop-not-block contract at
+// the CLI surface: with nothing listening, the run still succeeds and
+// prints its report; the stream failure is only a warning.
+func TestCLITaurunStreamDeadDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	out, stderr, err := runTool(t, "taurun", "-stream", "127.0.0.1:1",
+		"-I", "testdata/cxx/incdir/include", "testdata/cxx/incdir/app/main.cpp")
+	if err != nil {
+		t.Fatalf("taurun must not fail on a dead daemon: %v\n%s", err, stderr)
+	}
+	if !strings.Contains(out, "total 36") || !strings.Contains(out, "%Time") {
+		t.Errorf("report lost: %s", out)
+	}
+	if !strings.Contains(stderr, "taurun: stream:") {
+		t.Errorf("no stream warning on stderr: %q", stderr)
+	}
+}
+
+// reportCalls parses "#Calls name" pairs out of taurun's flat-profile
+// table.
+func reportCalls(t *testing.T, out string) map[string]uint64 {
+	t.Helper()
+	// Table rows: %Time  Exclusive  Inclusive  #Calls  Name (the name
+	// can carry a template instantiation suffix).
+	re := regexp.MustCompile(`(?m)^\s*[\d.]+\s+\d+\s+\d+\s+(\d+)\s+(\S.*\S|\S)\s*$`)
+	calls := map[string]uint64{}
+	inTable := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "%Time") {
+			inTable = true
+			continue
+		}
+		if !inTable {
+			continue
+		}
+		m := re.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		var n uint64
+		if _, err := fmt.Sscan(m[1], &n); err != nil {
+			t.Fatal(err)
+		}
+		calls[m[2]] += n
+	}
+	return calls
+}

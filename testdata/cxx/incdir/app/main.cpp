@@ -1,0 +1,12 @@
+#include "mathutil.h"
+#include <iostream>
+
+// Sums the first cubes via helpers defined in ../include/mathutil.h:
+// running this without -I ../include fails to resolve the header.
+int main() {
+    int total = 0;
+    for (int i = 1; i <= 3; i++)
+        total = accumulate(total, i);
+    cout << "total " << total << endl;
+    return 0;
+}

@@ -1,0 +1,12 @@
+#ifndef MATHUTIL_H
+#define MATHUTIL_H
+// Helpers that live outside the main file's directory on purpose:
+// taurun only finds this header through -I include (the include-dir
+// regression fixture).
+int cube(int x) {
+    return x * x * x;
+}
+int accumulate(int total, int x) {
+    return total + cube(x);
+}
+#endif
