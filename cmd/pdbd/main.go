@@ -14,7 +14,10 @@
 //
 // Endpoints (all JSON errors, schema_version-stamped):
 //
-//	GET  /v1/healthz                       liveness + corpus fingerprint
+//	GET  /v1/healthz                       readiness: 200 ok once the corpus
+//	                                       is loaded, 503 loading/reloading
+//	GET  /v1/livez                         liveness: 200 whenever the
+//	                                       process serves HTTP at all
 //	GET  /v1/metrics                       obs counters/spans snapshot
 //	GET  /v1/lookup?node=SPEC              resolve node specs
 //	GET  /v1/query/{cmd}                   deps, rdeps, somepath, reaches,
@@ -74,7 +77,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	srv, err := pdbd.New(ctx, cfg)
+	// Listen BEFORE loading: a large corpus can take a while to merge,
+	// and orchestrators probe the port as soon as the process starts.
+	// The deferred server answers /v1/livez 200 and /v1/healthz 503
+	// "loading" until the corpus lands, then flips ready.
+	srv, err := pdbd.NewDeferred(cfg)
 	if err != nil {
 		t.Fatalf("%v", err)
 	}
@@ -83,8 +90,7 @@ func main() {
 	if err != nil {
 		t.Fatalf("%v", err)
 	}
-	fmt.Fprintf(t.Stderr, "pdbd: serving %d input(s) on %s (fingerprint %.12s)\n",
-		len(cfg.Paths), ln.Addr(), srv.Fingerprint())
+	fmt.Fprintf(t.Stderr, "pdbd: listening on %s; loading %d input(s)\n", ln.Addr(), len(cfg.Paths))
 
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
@@ -106,6 +112,12 @@ func main() {
 	hs := srv.HTTPServer()
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
+
+	if err := srv.LoadCorpus(ctx); err != nil {
+		_ = hs.Close()
+		t.Fatalf("%v", err)
+	}
+	fmt.Fprintf(t.Stderr, "pdbd: ready (fingerprint %.12s)\n", srv.Fingerprint())
 
 	select {
 	case <-ctx.Done():

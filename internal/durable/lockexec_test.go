@@ -1,0 +1,250 @@
+//go:build unix
+
+// Multi-process lock contention tests: every scenario here crosses a
+// real process boundary via re-exec of the test binary, because flock
+// semantics that matter for the lease protocol — release on death,
+// survival under SIGSTOP — are invisible to in-process tests.
+package durable_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"pdt/internal/durable"
+)
+
+// lockHelperEnv selects the helper mode: the re-exec'd test binary
+// checks it in TestMain before the testing framework parses flags.
+const lockHelperEnv = "PDT_TEST_LOCK_HELPER"
+
+func TestMain(m *testing.M) {
+	switch os.Getenv(lockHelperEnv) {
+	case "":
+		os.Exit(m.Run())
+	case "hold":
+		// Acquire the lock named by argv's last element, heartbeat it,
+		// print "held", and hold until stdin closes.
+		lockHelperHold(os.Args[len(os.Args)-1])
+	case "try":
+		// Try a non-blocking acquire and report the outcome.
+		_, err := durable.AcquireLock(os.Args[len(os.Args)-1])
+		if errors.Is(err, durable.ErrLocked) {
+			fmt.Println("locked")
+			os.Exit(0)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("acquired")
+		os.Exit(0)
+	}
+	os.Exit(2)
+}
+
+func lockHelperHold(path string) {
+	l, err := durable.AcquireLock(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("held")
+	go func() {
+		for {
+			time.Sleep(10 * time.Millisecond)
+			if l.Touch() != nil {
+				return
+			}
+		}
+	}()
+	// Park until the parent closes stdin (or kills us).
+	buf := make([]byte, 1)
+	os.Stdin.Read(buf)
+	l.Release()
+	os.Exit(0)
+}
+
+// spawnHolder starts a child process that acquires and heartbeats the
+// lock, returning once the child confirms it holds it. Closing the
+// returned pipe makes the child release and exit cleanly.
+func spawnHolder(t *testing.T, path string) (*exec.Cmd, *os.File) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], path)
+	cmd.Env = append(os.Environ(), lockHelperEnv+"=hold")
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	n, err := out.Read(buf)
+	if err != nil || !strings.HasPrefix(string(buf[:n]), "held") {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("holder never confirmed: %q err=%v", buf[:n], err)
+	}
+	return cmd, stdin.(*os.File)
+}
+
+// TestLockContendedAcrossProcesses: while another process holds the
+// flock, this process sees ErrLocked both directly and from a child.
+func TestLockContendedAcrossProcesses(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.lock")
+	cmd, stdin := spawnHolder(t, path)
+	defer func() { stdin.Close(); cmd.Wait() }()
+
+	if _, err := durable.AcquireLock(path); !errors.Is(err, durable.ErrLocked) {
+		t.Fatalf("AcquireLock against live cross-process holder: %v, want ErrLocked", err)
+	}
+	try := exec.Command(os.Args[0], path)
+	try.Env = append(os.Environ(), lockHelperEnv+"=try")
+	out, err := try.Output()
+	if err != nil || strings.TrimSpace(string(out)) != "locked" {
+		t.Fatalf("third-process probe: %q err=%v, want locked", out, err)
+	}
+}
+
+// TestAcquireLockWaitOutlastsHolder: AcquireLockWait must block while
+// the holder lives and win promptly once it releases.
+func TestAcquireLockWaitOutlastsHolder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.lock")
+	cmd, stdin := spawnHolder(t, path)
+
+	if _, err := durable.AcquireLockWait(path, 50*time.Millisecond); !errors.Is(err, durable.ErrLocked) {
+		t.Fatalf("short wait against live holder: %v, want ErrLocked", err)
+	}
+	// Release the holder shortly after the wait begins.
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		stdin.Close()
+		cmd.Wait()
+	}()
+	l, err := durable.AcquireLockWait(path, 5*time.Second)
+	if err != nil {
+		t.Fatalf("wait past holder release: %v", err)
+	}
+	l.Release()
+}
+
+// TestLockFreedWhenHolderSIGKILLed: the kernel must release the flock
+// the instant the holding process dies, so a peer's takeover needs no
+// cleanup step.
+func TestLockFreedWhenHolderSIGKILLed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.lock")
+	cmd, stdin := spawnHolder(t, path)
+	defer stdin.Close()
+
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	l, err := durable.AcquireLockWait(path, 5*time.Second)
+	if err != nil {
+		t.Fatalf("lock not freed by holder death: %v", err)
+	}
+	l.Release()
+}
+
+// TestBreakStaleLockDistinguishesDeadFromWedged: a SIGSTOPped holder
+// keeps the flock but stops heartbeating. BreakStaleLock must report
+// ErrLocked (wedged, kill required) — and succeed after the holder is
+// SIGKILLed, exactly the coordinator's takeover sequence.
+func TestBreakStaleLockDistinguishesDeadFromWedged(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.lock")
+	cmd, stdin := spawnHolder(t, path)
+	defer stdin.Close()
+
+	// Freeze the holder: heartbeats stop, flock stays held.
+	if err := cmd.Process.Signal(syscall.SIGSTOP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if age, ok := durable.HeartbeatAge(path); ok && age > 50*time.Millisecond {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeat never went stale after SIGSTOP")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	broken, err := durable.BreakStaleLock(path, 50*time.Millisecond)
+	if broken || !errors.Is(err, durable.ErrLocked) {
+		t.Fatalf("BreakStaleLock on wedged holder: broken=%v err=%v, want ErrLocked", broken, err)
+	}
+
+	// Kill the wedged holder; its flock evaporates and the break wins.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	broken, err = durable.BreakStaleLock(path, 50*time.Millisecond)
+	if err != nil || !broken {
+		t.Fatalf("BreakStaleLock on dead holder: broken=%v err=%v, want broken", broken, err)
+	}
+	l, err := durable.AcquireLock(path)
+	if err != nil {
+		t.Fatalf("acquire after break: %v", err)
+	}
+	l.Release()
+}
+
+// TestBreakStaleLockFreshHeartbeat: a live, heartbeating holder is
+// never broken.
+func TestBreakStaleLockFreshHeartbeat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.lock")
+	cmd, stdin := spawnHolder(t, path)
+	defer func() { stdin.Close(); cmd.Wait() }()
+
+	broken, err := durable.BreakStaleLock(path, time.Hour)
+	if broken || err != nil {
+		t.Fatalf("BreakStaleLock on fresh heartbeat: broken=%v err=%v, want no-op", broken, err)
+	}
+}
+
+// TestHeartbeatAgeMissing: no lock file means no heartbeat, not an
+// error.
+func TestHeartbeatAgeMissing(t *testing.T) {
+	if _, ok := durable.HeartbeatAge(filepath.Join(t.TempDir(), "absent")); ok {
+		t.Fatal("HeartbeatAge on missing file reported ok")
+	}
+}
+
+// TestTouchRefreshesHeartbeat: Touch must move the mtime forward so a
+// supervisor polling HeartbeatAge sees progress.
+func TestTouchRefreshesHeartbeat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.lock")
+	l, err := durable.AcquireLock(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+	age, ok := durable.HeartbeatAge(path)
+	if !ok || age < 30*time.Minute {
+		t.Fatalf("backdated heartbeat age = %v ok=%v", age, ok)
+	}
+	if err := l.Touch(); err != nil {
+		t.Fatal(err)
+	}
+	age, ok = durable.HeartbeatAge(path)
+	if !ok || age > time.Minute {
+		t.Fatalf("touched heartbeat age = %v ok=%v, want fresh", age, ok)
+	}
+}

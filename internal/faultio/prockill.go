@@ -1,0 +1,198 @@
+package faultio
+
+import (
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"pdt/internal/durable"
+)
+
+// ProcKillEnv is the environment variable that arms real process-level
+// chaos in a cooperating process (a shard-merge worker). Unlike the
+// CrashFS error-injection seam, these directives end the process the
+// way the field does — SIGKILL mid-instruction, SIGSTOP wedging it
+// alive — so supervision, lease takeover, and journal resume are
+// exercised across true process boundaries. One directive:
+//
+//	kill@<stage>  SIGKILL the process when CrashPoint(stage) runs
+//	stop@<stage>  SIGSTOP it there instead: alive, flock held,
+//	              heartbeat frozen (the wedge a supervisor must detect)
+//	site@<N>      SIGKILL at the Nth durable write site (ProcKillFS),
+//	              tearing whatever write was in flight
+//
+// An unset or non-matching directive costs one Getenv per crash point.
+const ProcKillEnv = "PDT_PROCKILL"
+
+// CrashPoint executes the armed directive when stage matches it: the
+// cooperating process names its supervision stages ("start", "lease",
+// "merge", "result", ...) and a chaos schedule picks which one to die
+// at. A no-op in normal runs.
+func CrashPoint(stage string) {
+	mode, arg, ok := strings.Cut(os.Getenv(ProcKillEnv), "@")
+	if !ok || arg != stage {
+		return
+	}
+	switch mode {
+	case "kill":
+		selfKill()
+	case "stop":
+		selfStop()
+	}
+}
+
+// ProcKillFS returns a durable.FS over base (nil = the real
+// filesystem) that SIGKILLs the process at the write site armed by a
+// site@N directive, or nil when no site kill is armed. Site accounting
+// matches CrashFS — one site per mutating operation, one per byte
+// written — so a kill can land inside a write and leave a genuinely
+// torn staging file for the survivor to cope with.
+func ProcKillFS(base durable.FS) durable.FS {
+	mode, arg, ok := strings.Cut(os.Getenv(ProcKillEnv), "@")
+	if !ok || mode != "site" {
+		return nil
+	}
+	site, err := strconv.ParseInt(arg, 10, 64)
+	if err != nil || site < 0 {
+		return nil
+	}
+	if base == nil {
+		base = durable.OS
+	}
+	return &killFS{base: base, budget: site}
+}
+
+// killFS is the self-killing filesystem behind ProcKillFS.
+type killFS struct {
+	base durable.FS
+
+	mu     sync.Mutex
+	budget int64
+	used   int64
+}
+
+// spend consumes up to n sites; when the budget runs out it reports
+// how many bytes may still be written before the process must die.
+func (k *killFS) spend(n int64) (granted int64, die bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if rem := k.budget - k.used; rem < n {
+		k.used = k.budget
+		return rem, true
+	}
+	k.used += n
+	return n, false
+}
+
+// op charges one site for a whole-operation kill point, dying before
+// the operation runs.
+func (k *killFS) op() {
+	if _, die := k.spend(1); die {
+		selfKill()
+	}
+}
+
+func (k *killFS) OpenFile(name string, flag int, perm fs.FileMode) (durable.File, error) {
+	k.op()
+	f, err := k.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &killFile{fs: k, f: f}, nil
+}
+
+func (k *killFS) Rename(oldpath, newpath string) error {
+	k.op()
+	return k.base.Rename(oldpath, newpath)
+}
+
+func (k *killFS) Remove(name string) error {
+	k.op()
+	return k.base.Remove(name)
+}
+
+func (k *killFS) MkdirAll(path string, perm fs.FileMode) error {
+	k.op()
+	return k.base.MkdirAll(path, perm)
+}
+
+// killFile tears writes for real: the granted prefix reaches the disk,
+// then the process dies mid-write.
+type killFile struct {
+	fs *killFS
+	f  durable.File
+}
+
+func (k *killFile) Write(p []byte) (int, error) {
+	granted, die := k.fs.spend(int64(len(p)))
+	n, err := k.f.Write(p[:granted])
+	if die {
+		k.f.Sync() // make the torn prefix durable before dying
+		selfKill()
+	}
+	return n, err
+}
+
+func (k *killFile) Sync() error {
+	k.fs.op()
+	return k.f.Sync()
+}
+
+func (k *killFile) Close() error { return k.f.Close() }
+
+// KillSchedule derives a deterministic chaos directive for every
+// (shard, attempt) pair from one seed — deterministic per pair rather
+// than per draw order, so concurrent supervision slots scheduling
+// attempts in any interleaving reproduce the same kills. Attempt 0 of
+// every shard always dies (each worker is killed at least once);
+// later attempts below maxKillAttempts die with probability 1/2; at
+// and beyond maxKillAttempts the directive is always empty, so a
+// bounded-retry supervisor is guaranteed to converge.
+type KillSchedule struct {
+	seed            int64
+	stages          []string
+	maxKillAttempts int
+	maxSite         int64
+}
+
+// NewKillSchedule builds a schedule over the given crash stages.
+// maxSite bounds site@N draws (the write-site kill offset).
+func NewKillSchedule(seed int64, stages []string, maxKillAttempts int, maxSite int64) *KillSchedule {
+	if maxSite < 1 {
+		maxSite = 1
+	}
+	return &KillSchedule{seed: seed, stages: stages, maxKillAttempts: maxKillAttempts, maxSite: maxSite}
+}
+
+// Directive returns the PDT_PROCKILL value for one attempt, or "" for
+// a clean run.
+func (k *KillSchedule) Directive(shard, attempt int) string {
+	if attempt >= k.maxKillAttempts {
+		return ""
+	}
+	rng := rand.New(rand.NewSource(k.seed ^ int64(shard)*1_000_003 ^ int64(attempt)*7_919))
+	if attempt > 0 && rng.Intn(2) == 0 {
+		return ""
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return "kill@" + k.stages[rng.Intn(len(k.stages))]
+	case 1:
+		return "stop@" + k.stages[rng.Intn(len(k.stages))]
+	default:
+		return fmt.Sprintf("site@%d", rng.Int63n(k.maxSite))
+	}
+}
+
+// Env returns the directive as environment entries ready to append to
+// a worker's environment — empty for a clean attempt.
+func (k *KillSchedule) Env(shard, attempt int) []string {
+	if d := k.Directive(shard, attempt); d != "" {
+		return []string{ProcKillEnv + "=" + d}
+	}
+	return nil
+}

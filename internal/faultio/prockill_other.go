@@ -1,0 +1,19 @@
+//go:build !unix
+
+package faultio
+
+import "os"
+
+// selfKill without POSIX signals approximates kill -9 with an
+// immediate exit: deferred functions are skipped, but create-exclusive
+// lock files are left behind (matching durable's !unix lock caveat).
+func selfKill() {
+	os.Exit(137)
+}
+
+// selfStop cannot be emulated portably (there is no way to freeze a
+// process while keeping it alive); a stop directive degrades to a
+// kill, which the same supervision path recovers.
+func selfStop() {
+	os.Exit(137)
+}

@@ -1,0 +1,114 @@
+//go:build unix
+
+package faultio_test
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"pdt/internal/faultio"
+)
+
+// crashHelperEnv re-execs the test binary straight into a CrashPoint
+// call, so the kill directives are proven against a real process.
+const crashHelperEnv = "PDT_TEST_CRASH_HELPER"
+
+func TestMain(m *testing.M) {
+	if stage := os.Getenv(crashHelperEnv); stage != "" {
+		faultio.CrashPoint(stage)
+		fmt.Println("survived")
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestCrashPointKillsOnMatchingStage: a kill@stage directive must end
+// the process with SIGKILL at exactly that stage and no other.
+func TestCrashPointKillsOnMatchingStage(t *testing.T) {
+	run := func(directive, stage string) (string, error) {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(),
+			crashHelperEnv+"="+stage,
+			faultio.ProcKillEnv+"="+directive)
+		out, err := cmd.Output()
+		return strings.TrimSpace(string(out)), err
+	}
+
+	out, err := run("kill@merge", "merge")
+	if err == nil || out == "survived" {
+		t.Fatalf("kill@merge at stage merge: out=%q err=%v, want SIGKILL death", out, err)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != -1 {
+		t.Fatalf("expected signal death, got %v", err)
+	}
+
+	out, err = run("kill@merge", "lease")
+	if err != nil || out != "survived" {
+		t.Fatalf("kill@merge at stage lease: out=%q err=%v, want survival", out, err)
+	}
+	out, err = run("", "merge")
+	if err != nil || out != "survived" {
+		t.Fatalf("no directive: out=%q err=%v, want survival", out, err)
+	}
+}
+
+// TestProcKillFSUnarmed: without a site directive there is no wrapper,
+// so the hot path costs nothing.
+func TestProcKillFSUnarmed(t *testing.T) {
+	t.Setenv(faultio.ProcKillEnv, "")
+	if fs := faultio.ProcKillFS(nil); fs != nil {
+		t.Fatal("ProcKillFS armed with empty directive")
+	}
+	t.Setenv(faultio.ProcKillEnv, "kill@merge")
+	if fs := faultio.ProcKillFS(nil); fs != nil {
+		t.Fatal("ProcKillFS armed by a stage directive")
+	}
+	t.Setenv(faultio.ProcKillEnv, "site@12")
+	if fs := faultio.ProcKillFS(nil); fs == nil {
+		t.Fatal("ProcKillFS not armed by site@12")
+	}
+}
+
+// TestKillScheduleDeterministicAndConverging: same seed, same
+// directives regardless of draw order; attempt 0 always kills; beyond
+// maxKillAttempts always clean.
+func TestKillScheduleDeterministicAndConverging(t *testing.T) {
+	stages := []string{"start", "lease", "merge", "result"}
+	a := faultio.NewKillSchedule(42, stages, 2, 500)
+	b := faultio.NewKillSchedule(42, stages, 2, 500)
+	for shard := 0; shard < 16; shard++ {
+		for attempt := 0; attempt < 5; attempt++ {
+			da, db := a.Directive(shard, attempt), b.Directive(shard, attempt)
+			if da != db {
+				t.Fatalf("shard %d attempt %d: %q != %q", shard, attempt, da, db)
+			}
+			if attempt == 0 && da == "" {
+				t.Fatalf("shard %d attempt 0: no kill directive; every worker must die once", shard)
+			}
+			if attempt >= 2 && da != "" {
+				t.Fatalf("shard %d attempt %d: directive %q past maxKillAttempts", shard, attempt, da)
+			}
+			if da != "" && !strings.HasPrefix(da, "kill@") && !strings.HasPrefix(da, "stop@") && !strings.HasPrefix(da, "site@") {
+				t.Fatalf("malformed directive %q", da)
+			}
+		}
+	}
+	// Different seeds must eventually disagree (sanity, not certainty:
+	// 16 shards x 2 attempts of identical draws is astronomically
+	// unlikely).
+	c := faultio.NewKillSchedule(43, stages, 2, 500)
+	same := true
+	for shard := 0; shard < 16 && same; shard++ {
+		for attempt := 0; attempt < 2; attempt++ {
+			if a.Directive(shard, attempt) != c.Directive(shard, attempt) {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+}

@@ -1,0 +1,24 @@
+//go:build unix
+
+package faultio
+
+import (
+	"os"
+	"syscall"
+)
+
+// selfKill dies the way kill -9 does: no deferred functions, no
+// flushes, descriptors and flocks released by the kernel.
+func selfKill() {
+	syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	// SIGKILL is not deliverable to self synchronously in every
+	// scheduler state; block until it lands rather than return and
+	// keep executing past the "crash".
+	select {}
+}
+
+// selfStop wedges the process: alive, locks held, heartbeat frozen —
+// the failure mode only a deadline-based supervisor catches.
+func selfStop() {
+	syscall.Kill(os.Getpid(), syscall.SIGSTOP)
+}

@@ -150,7 +150,11 @@ func (e *binWriter) putPos(b *bytes.Buffer, p Pos) {
 
 // WriteBinary serializes the database in the binary encoding. The
 // bytes are deterministic: the same model always encodes identically,
-// so content-addressed caches may key on them.
+// so content-addressed caches may key on them. Defaultable fields are
+// written in the same canonical form the ASCII writer emits (racs NA,
+// rkind fun, rvirt no, ...), so a model and its ASCII round-trip — the
+// detour every journaled merge checkpoint takes — encode to identical
+// binary bytes.
 func (p *PDB) WriteBinary(w io.Writer) error {
 	e := newBinWriter()
 
@@ -175,8 +179,8 @@ func (p *PDB) WriteBinary(w io.Writer) error {
 		e.putStr(&templates, t.Kind)
 		e.putRef(&templates, t.Class)
 		e.putRef(&templates, t.Namespace)
-		e.putStr(&templates, t.Access)
-		e.putStr(&templates, t.Text)
+		e.putStr(&templates, naEmpty(t.Access))
+		e.putStr(&templates, oneLine(t.Text))
 		e.putPos(&templates, t.Pos)
 	}
 
@@ -187,12 +191,12 @@ func (p *PDB) WriteBinary(w io.Writer) error {
 		e.putLoc(&routines, r.Loc)
 		e.putRef(&routines, r.Class)
 		e.putRef(&routines, r.Namespace)
-		e.putStr(&routines, r.Access)
+		e.putStr(&routines, orNA(r.Access))
 		e.putRef(&routines, r.Signature)
-		e.putStr(&routines, r.Linkage)
-		e.putStr(&routines, r.Storage)
-		e.putStr(&routines, r.Virtual)
-		e.putStr(&routines, r.Kind)
+		e.putStr(&routines, orDefault(r.Linkage, "C++"))
+		e.putStr(&routines, orNA(r.Storage))
+		e.putStr(&routines, orDefault(r.Virtual, "no"))
+		e.putStr(&routines, orDefault(r.Kind, "fun"))
 		e.putRef(&routines, r.Template)
 		e.putBool(&routines, r.Static)
 		e.putBool(&routines, r.Inline)
@@ -211,10 +215,10 @@ func (p *PDB) WriteBinary(w io.Writer) error {
 		e.putVarint(&classes, int64(c.ID))
 		e.putStr(&classes, c.Name)
 		e.putLoc(&classes, c.Loc)
-		e.putStr(&classes, c.Kind)
+		e.putStr(&classes, orDefault(c.Kind, "class"))
 		e.putRef(&classes, c.Parent)
 		e.putRef(&classes, c.Namespace)
-		e.putStr(&classes, c.Access)
+		e.putStr(&classes, naEmpty(c.Access))
 		e.putRef(&classes, c.Template)
 		e.putBool(&classes, c.Specialization)
 		e.putBool(&classes, c.Instantiation)
@@ -238,8 +242,8 @@ func (p *PDB) WriteBinary(w io.Writer) error {
 		for _, m := range c.Members {
 			e.putStr(&classes, m.Name)
 			e.putLoc(&classes, m.Loc)
-			e.putStr(&classes, m.Access)
-			e.putStr(&classes, m.Kind)
+			e.putStr(&classes, orNA(m.Access))
+			e.putStr(&classes, orDefault(m.Kind, "var"))
 			e.putRef(&classes, m.Type)
 			e.putBool(&classes, m.Static)
 		}
@@ -287,8 +291,8 @@ func (p *PDB) WriteBinary(w io.Writer) error {
 		e.putVarint(&macros, int64(m.ID))
 		e.putStr(&macros, m.Name)
 		e.putLoc(&macros, m.Loc)
-		e.putStr(&macros, m.Kind)
-		e.putStr(&macros, m.Text)
+		e.putStr(&macros, orDefault(m.Kind, "def"))
+		e.putStr(&macros, oneLine(m.Text))
 	}
 
 	// The string table is complete only now that every item payload

@@ -240,6 +240,16 @@ func orDefault(s, def string) string {
 	return s
 }
 
+// naEmpty maps the two spellings of "no access recorded" — "" and
+// "NA" — to the canonical empty string, mirroring the writer's
+// omit-when-NA rule for template and class access.
+func naEmpty(s string) string {
+	if s == "NA" {
+		return ""
+	}
+	return s
+}
+
 // oneLine collapses whitespace so multi-line texts (template bodies,
 // macro definitions) stay on a single attribute line.
 func oneLine(s string) string {

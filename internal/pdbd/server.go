@@ -91,12 +91,29 @@ type Server struct {
 	profileJSON liveMemo
 	profileHTML liveMemo
 
-	st       atomic.Pointer[state]
-	reloadMu sync.Mutex // serializes Reload; never blocks requests
+	st        atomic.Pointer[state] // nil until LoadCorpus completes
+	reloading atomic.Bool           // true while a reload rebuild is in flight
+	reloadMu  sync.Mutex            // serializes Reload; never blocks requests
 }
 
 // New opens the corpus and builds the daemon around it.
 func New(ctx context.Context, cfg Config) (*Server, error) {
+	s, err := NewDeferred(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.LoadCorpus(ctx); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewDeferred builds the daemon — handler, caches, profile aggregator —
+// WITHOUT opening the corpus, so the listener can come up and answer
+// health probes immediately. Until LoadCorpus completes, /v1/healthz
+// reports 503 "loading" (liveness stays green on /v1/livez) and every
+// corpus-backed endpoint answers 503 instead of blocking.
+func NewDeferred(cfg Config) (*Server, error) {
 	if len(cfg.Paths) == 0 {
 		return nil, fmt.Errorf("pdbd: no corpus paths configured")
 	}
@@ -126,14 +143,9 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	}
 	s.cache = newCache(cfg.MemEntries, disk, s.metrics)
 
-	c, err := corpus.Open(ctx, cfg.Paths, cfg.Corpus)
-	if err != nil {
-		return nil, err
-	}
-	s.st.Store(&state{corpus: c, fingerprint: c.Fingerprint()})
-
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/livez", s.handleLivez)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/lookup", s.handleLookup)
 	s.mux.HandleFunc("GET /v1/query/{cmd}", s.handleQuery)
@@ -145,6 +157,18 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/profile", s.handleProfile)
 	s.mux.HandleFunc("GET /v1/profile/html", s.handleProfileHTML)
 	return s, nil
+}
+
+// LoadCorpus performs the deferred initial corpus open and flips the
+// daemon ready. Safe to call once after NewDeferred (New calls it for
+// you).
+func (s *Server) LoadCorpus(ctx context.Context) error {
+	c, err := corpus.Open(ctx, s.cfg.Paths, s.cfg.Corpus)
+	if err != nil {
+		return err
+	}
+	s.st.Store(&state{corpus: c, fingerprint: c.Fingerprint()})
+	return nil
 }
 
 // Handler returns the daemon's HTTP handler.
@@ -185,11 +209,23 @@ func (s *Server) HTTPServer() *http.Server {
 // embedders).
 func (s *Server) Profile() *taustream.Aggregator { return s.profile }
 
-// Fingerprint returns the current corpus content fingerprint.
-func (s *Server) Fingerprint() string { return s.st.Load().fingerprint }
+// Fingerprint returns the current corpus content fingerprint ("" until
+// LoadCorpus completes).
+func (s *Server) Fingerprint() string {
+	if st := s.st.Load(); st != nil {
+		return st.fingerprint
+	}
+	return ""
+}
 
-// Corpus returns the current corpus snapshot.
-func (s *Server) Corpus() *corpus.Corpus { return s.st.Load().corpus }
+// Corpus returns the current corpus snapshot (nil until LoadCorpus
+// completes).
+func (s *Server) Corpus() *corpus.Corpus {
+	if st := s.st.Load(); st != nil {
+		return st.corpus
+	}
+	return nil
+}
 
 // --- request plumbing -------------------------------------------------------
 
@@ -298,20 +334,81 @@ func contentTypeFor(format string) string {
 	return "text/plain; charset=utf-8"
 }
 
+// ready returns the current corpus snapshot, or answers 503 with a
+// JSON envelope when the initial load hasn't completed yet. Handlers
+// that need the corpus go through here so a deferred-start daemon
+// degrades to "try again shortly" instead of a nil-pointer crash.
+func (s *Server) ready(w http.ResponseWriter) (*state, bool) {
+	st := s.st.Load()
+	if st == nil {
+		s.metrics.Counter("http.not_ready").Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(errorBody{SchemaVersion: schema.Version,
+			Error: "corpus is still loading; retry shortly"})
+		return nil, false
+	}
+	return st, true
+}
+
 // --- endpoints --------------------------------------------------------------
 
+// healthzBody is the /v1/healthz response. Status is "ok" when the
+// daemon is ready to answer corpus queries, "loading" during the
+// deferred initial load, "reloading" while a reload rebuild is in
+// flight — the latter two with HTTP 503, making the endpoint a
+// readiness probe a load balancer can act on directly. Process
+// liveness (is the daemon up at all?) is the separate, always-200
+// /v1/livez.
+type healthzBody struct {
+	SchemaVersion int      `json:"schema_version"`
+	Status        string   `json:"status"`
+	Fingerprint   string   `json:"fingerprint"`
+	Paths         []string `json:"paths"`
+	CacheEntries  int      `json:"cache_entries"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := healthzBody{
+		SchemaVersion: schema.Version,
+		Status:        "ok",
+		Paths:         s.cfg.Paths,
+		CacheEntries:  s.cache.mem.len(),
+	}
+	code := http.StatusOK
 	st := s.st.Load()
+	switch {
+	case st == nil:
+		body.Status, code = "loading", http.StatusServiceUnavailable
+	case s.reloading.Load():
+		// The old corpus still answers queries during a reload, but a
+		// balancer asking "should I send NEW traffic here?" gets told to
+		// prefer a replica that isn't mid-rebuild.
+		body.Status, code = "reloading", http.StatusServiceUnavailable
+		body.Fingerprint = st.fingerprint
+	default:
+		body.Fingerprint = st.fingerprint
+	}
 	w.Header().Set("Content-Type", "application/json")
+	if code != http.StatusOK {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(struct {
-		SchemaVersion int      `json:"schema_version"`
-		Status        string   `json:"status"`
-		Fingerprint   string   `json:"fingerprint"`
-		Paths         []string `json:"paths"`
-		CacheEntries  int      `json:"cache_entries"`
-	}{schema.Version, "ok", st.fingerprint, s.cfg.Paths, s.cache.mem.len()})
+	_ = enc.Encode(body)
+}
+
+// handleLivez is the liveness probe: 200 whenever the process can
+// serve HTTP at all, no matter how far the corpus load has gotten.
+// Restart-deciding probes point here; traffic-routing probes point at
+// /v1/healthz.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = fmt.Fprintf(w, "{\n  \"schema_version\": %d,\n  \"status\": \"alive\"\n}\n", schema.Version)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -378,7 +475,10 @@ func (s *Server) query(w http.ResponseWriter, r *http.Request, cmd string, args 
 			return
 		}
 	}
-	st := s.st.Load()
+	st, ok := s.ready(w)
+	if !ok {
+		return
+	}
 	params := append([]string{"format=" + format, "depth=" + strconv.Itoa(depth), "cmd=" + cmd}, args...)
 	nodeKeys, global := entryMeta(args)
 	if cmd == corpus.CmdNodes {
@@ -430,7 +530,10 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	// key — a warm cache answers regardless of what changed.
 	changed := csv(q.Get("changed"))
 
-	st := s.st.Load()
+	st, ok := s.ready(w)
+	if !ok {
+		return
+	}
 	params := append([]string{"format=" + format, "template-bloat=" + strconv.Itoa(bloat)}, passes...)
 	s.serveCached(w, r, st, "lint", params, nil, true, contentTypeFor(format), func() ([]byte, error) {
 		req := corpus.LintRequest{Passes: passes, TemplateBloat: bloat, Changed: changed}
@@ -456,7 +559,10 @@ func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
 		Classes: q.Has("classes"),
 		Calls:   q.Has("calls"),
 	}
-	st := s.st.Load()
+	st, ok := s.ready(w)
+	if !ok {
+		return
+	}
 	params := []string{
 		"files=" + strconv.FormatBool(req.Files),
 		"classes=" + strconv.FormatBool(req.Classes),
@@ -476,7 +582,10 @@ func (s *Server) handleHTML(w http.ResponseWriter, r *http.Request) {
 	if page == "" {
 		page = "index.html"
 	}
-	st := s.st.Load()
+	st, ok := s.ready(w)
+	if !ok {
+		return
+	}
 	s.serveCached(w, r, st, "html", []string{"page=" + page, "src=" + strconv.FormatBool(s.cfg.HTMLSource)},
 		nil, true, "text/html; charset=utf-8", func() ([]byte, error) {
 			return st.corpus.HTMLPage(page, s.cfg.HTMLSource)
@@ -512,10 +621,20 @@ func (s *Server) Reload(ctx context.Context) (*ReloadSummary, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 
+	old := s.st.Load()
+	if old == nil {
+		return nil, fmt.Errorf("reload: %w: initial corpus load has not completed", corpus.ErrBadRequest)
+	}
+
+	// While the rebuild runs, /v1/healthz flips to 503 "reloading" so
+	// balancers steer new traffic elsewhere; existing requests keep
+	// answering from the old snapshot.
+	s.reloading.Store(true)
+	defer s.reloading.Store(false)
+
 	sp := s.metrics.StartSpan("reload")
 	defer sp.End()
 
-	old := s.st.Load()
 	c, err := corpus.Open(ctx, s.cfg.Paths, s.cfg.Corpus)
 	if err != nil {
 		return nil, fmt.Errorf("reload: %w", err)

@@ -405,3 +405,110 @@ func TestServerLintIncrementalFindings(t *testing.T) {
 	}
 	fmt.Fprintf(io.Discard, "%s", first)
 }
+
+// TestServerReadiness drives the deferred-start lifecycle: a daemon
+// whose corpus hasn't loaded yet must stay alive on /v1/livez, answer
+// 503 "loading" on /v1/healthz and on every corpus-backed endpoint,
+// then flip to 200 "ok" the moment LoadCorpus completes.
+func TestServerReadiness(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corpus.pdb")
+	saveRaw(t, path, testRaw(false))
+	s, err := NewDeferred(Config{Paths: []string{path}, Metrics: obs.New("pdbd-test")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Liveness is green before the corpus exists.
+	code, body, _ := get(t, ts.URL+"/v1/livez")
+	if code != http.StatusOK || !strings.Contains(body, `"alive"`) {
+		t.Errorf("livez while loading = %d:\n%s", code, body)
+	}
+
+	// Readiness is not: 503 with a versioned JSON envelope.
+	code, body, _ = get(t, ts.URL+"/v1/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while loading = %d, want 503\n%s", code, body)
+	}
+	if !strings.Contains(body, `"status": "loading"`) || !strings.Contains(body, `"schema_version"`) {
+		t.Errorf("healthz loading body:\n%s", body)
+	}
+
+	// Corpus-backed endpoints degrade to 503, never crash.
+	for _, url := range []string{
+		"/v1/lookup?node=file:main.cc",
+		"/v1/query/deps?node=file:main.cc",
+		"/v1/lint",
+		"/v1/tree",
+		"/v1/html/index.html",
+	} {
+		code, body, _ := get(t, ts.URL+url)
+		if code != http.StatusServiceUnavailable {
+			t.Errorf("GET %s while loading = %d, want 503\n%s", url, code, body)
+		}
+		if !strings.Contains(body, `"schema_version"`) {
+			t.Errorf("GET %s 503 body not versioned:\n%s", url, body)
+		}
+	}
+
+	// A reload before the initial load is a client error, not a panic.
+	resp, err := http.Post(ts.URL+"/v1/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("reload while loading = %d, want 400", resp.StatusCode)
+	}
+
+	if err := s.LoadCorpus(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body, _ = get(t, ts.URL+"/v1/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"status": "ok"`) {
+		t.Errorf("healthz after load = %d:\n%s", code, body)
+	}
+	if !strings.Contains(body, s.Fingerprint()) {
+		t.Errorf("healthz missing fingerprint %q:\n%s", s.Fingerprint(), body)
+	}
+	code, body, _ = get(t, ts.URL+"/v1/query/deps?node=file:main.cc")
+	if code != http.StatusOK || !strings.Contains(body, "file:a.h") {
+		t.Errorf("query after load = %d:\n%s", code, body)
+	}
+}
+
+// TestServerHealthzDuringReload pins the readiness dip while a reload
+// rebuild is in flight: healthz answers 503 "reloading" (still carrying
+// the serving fingerprint), data endpoints keep answering 200 from the
+// old snapshot, and readiness returns once the swap lands.
+func TestServerHealthzDuringReload(t *testing.T) {
+	s, _ := newTestServer(t, testRaw(false), "")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	s.reloading.Store(true)
+	code, body, _ := get(t, ts.URL+"/v1/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, `"status": "reloading"`) {
+		t.Errorf("healthz during reload = %d:\n%s", code, body)
+	}
+	if !strings.Contains(body, s.Fingerprint()) {
+		t.Errorf("reloading healthz should carry the serving fingerprint:\n%s", body)
+	}
+	// Old snapshot keeps serving while not "ready".
+	code, body, _ = get(t, ts.URL+"/v1/query/deps?node=file:main.cc")
+	if code != http.StatusOK || !strings.Contains(body, "file:a.h") {
+		t.Errorf("query during reload = %d:\n%s", code, body)
+	}
+	s.reloading.Store(false)
+
+	// A real reload restores readiness on completion.
+	if _, err := s.Reload(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	code, body, _ = get(t, ts.URL+"/v1/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"status": "ok"`) {
+		t.Errorf("healthz after reload = %d:\n%s", code, body)
+	}
+}

@@ -64,19 +64,28 @@ func load(ctx context.Context, path string, cfg config) (*ductape.PDB, error) {
 // answer toolkit-wide.
 func Retryable(err error) bool { return retryable(err) }
 
-// retryable classifies an error as a transient I/O failure worth
+// retryable classifies an error as a transient failure worth
 // retrying: it reports Temporary() == true (the net.Error convention,
 // followed by faultio's injected errors), or wraps one of the classic
-// transient read failures. Format/parse errors never match.
+// transient read failures, or one of the connection-lifecycle errnos a
+// daemon restart surfaces to its clients — ECONNRESET, ECONNREFUSED,
+// EPIPE — which syscall.Errno.Temporary() does not report but which
+// resolve as soon as the peer is back. A false Temporary() therefore
+// cannot veto the errno list (syscall.Errno implements Temporary, so
+// an As-then-return would short-circuit every errno to its own
+// conservative answer). Format/parse errors never match.
 func retryable(err error) bool {
 	var te interface{ Temporary() bool }
-	if errors.As(err, &te) {
-		return te.Temporary()
+	if errors.As(err, &te) && te.Temporary() {
+		return true
 	}
 	return errors.Is(err, io.ErrUnexpectedEOF) ||
 		errors.Is(err, syscall.EINTR) ||
 		errors.Is(err, syscall.EAGAIN) ||
-		errors.Is(err, syscall.EIO)
+		errors.Is(err, syscall.EIO) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EPIPE)
 }
 
 func loadOnce(ctx context.Context, path string, cfg config) (*ductape.PDB, error) {

@@ -218,7 +218,9 @@ func WithQuarantine(dir string) Option {
 // WithRetry makes Load and LoadAll retry transient I/O failures —
 // errors reporting Temporary() == true (the net.Error convention, which
 // injected faults from internal/faultio follow) or wrapping
-// io.ErrUnexpectedEOF / EINTR / EAGAIN / EIO — up to n extra attempts
+// io.ErrUnexpectedEOF / EINTR / EAGAIN / EIO, or the
+// connection-lifecycle errnos a daemon restart surfaces (ECONNRESET /
+// ECONNREFUSED / EPIPE) — up to n extra attempts
 // per file, sleeping backoff before the first retry and doubling it
 // each attempt. Parse failures are never retried.
 func WithRetry(n int, backoff time.Duration) Option {

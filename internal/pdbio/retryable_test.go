@@ -1,0 +1,92 @@
+package pdbio_test
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"syscall"
+	"testing"
+
+	"pdt/internal/pdbio"
+)
+
+// temporaryErr reports whatever Temporary() answer it is built with —
+// the net.Error convention faultio's injected faults follow.
+type temporaryErr struct{ temp bool }
+
+func (e temporaryErr) Error() string   { return fmt.Sprintf("temporary=%v", e.temp) }
+func (e temporaryErr) Temporary() bool { return e.temp }
+
+// TestRetryableClassification is the table of the shared retry
+// discipline: one row per errno and convention the loader's WithRetry
+// policy and the taustream client consult. The connection-lifecycle
+// errnos (ECONNRESET, ECONNREFUSED, EPIPE) matter most: a daemon
+// restart surfaces exactly those to in-flight clients, and
+// syscall.Errno.Temporary() reports false for all three — so each row
+// also checks the wrapped forms a real dial/write produces, proving a
+// false Temporary() cannot veto the errno list.
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"plain error", errors.New("parse failed"), false},
+		{"io.EOF", io.EOF, false},
+		{"io.ErrUnexpectedEOF", io.ErrUnexpectedEOF, true},
+		{"EINTR", syscall.EINTR, true},
+		{"EAGAIN", syscall.EAGAIN, true},
+		{"EIO", syscall.EIO, true},
+		{"ECONNRESET", syscall.ECONNRESET, true},
+		{"ECONNREFUSED", syscall.ECONNREFUSED, true},
+		{"EPIPE", syscall.EPIPE, true},
+		{"ENOENT", syscall.ENOENT, false},
+		{"EACCES", syscall.EACCES, false},
+		{"ENOSPC", syscall.ENOSPC, false},
+		{"Temporary() true", temporaryErr{temp: true}, true},
+		{"Temporary() false", temporaryErr{temp: false}, false},
+		{"wrapped ECONNRESET", fmt.Errorf("read frame: %w", syscall.ECONNRESET), true},
+		{"wrapped EPIPE", fmt.Errorf("send event: %w", syscall.EPIPE), true},
+		{"net.OpError ECONNREFUSED", &net.OpError{
+			Op: "dial", Net: "tcp",
+			Err: &os.SyscallError{Syscall: "connect", Err: syscall.ECONNREFUSED},
+		}, true},
+		{"net.OpError ECONNRESET", &net.OpError{
+			Op: "write", Net: "tcp",
+			Err: &os.SyscallError{Syscall: "write", Err: syscall.ECONNRESET},
+		}, true},
+		{"net.OpError ENETUNREACH", &net.OpError{
+			Op: "dial", Net: "tcp",
+			Err: &os.SyscallError{Syscall: "connect", Err: syscall.ENETUNREACH},
+		}, false},
+		{"os.PathError ENOENT", &os.PathError{Op: "open", Path: "x.pdb", Err: syscall.ENOENT}, false},
+		{"os.PathError EIO", &os.PathError{Op: "read", Path: "x.pdb", Err: syscall.EIO}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := pdbio.Retryable(tc.err); got != tc.want {
+				t.Errorf("Retryable(%v) = %v, want %v", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestErrnoTemporaryIsFalseForConnReset pins the assumption the
+// classifier's structure rests on: the kernel errnos a daemon restart
+// produces do NOT self-report as temporary, so an As-then-return on
+// Temporary() would misclassify them. If a Go release ever changes
+// this, the early-return shortcut becomes safe again and this test
+// documents why the fall-through exists.
+func TestErrnoTemporaryIsFalseForConnReset(t *testing.T) {
+	for _, errno := range []syscall.Errno{syscall.ECONNRESET, syscall.ECONNREFUSED, syscall.EPIPE} {
+		if errno.Temporary() {
+			t.Logf("note: %v now self-reports Temporary(); fall-through no longer load-bearing", errno)
+		}
+		if !pdbio.Retryable(errno) {
+			t.Errorf("Retryable(%v) = false despite explicit errno listing", errno)
+		}
+	}
+}

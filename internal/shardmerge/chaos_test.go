@@ -1,0 +1,352 @@
+//go:build unix
+
+package shardmerge_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"pdt/internal/faultio"
+	"pdt/internal/shardmerge"
+)
+
+// chaosSeed honors PDT_KILLPOINT_SEED so CI sweeps different kill
+// schedules across runs while any failure stays reproducible from the
+// logged seed.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	if s := os.Getenv("PDT_KILLPOINT_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("PDT_KILLPOINT_SEED=%q: %v", s, err)
+		}
+		return v
+	}
+	return 1
+}
+
+// saveChaosArtifacts copies the coordinator state directory (journal,
+// leases, manifests, results) into PDT_KILLPOINT_ARTIFACTS when a
+// chaos iteration fails, so CI uploads what reproduces it.
+func saveChaosArtifacts(t *testing.T, dir string) {
+	t.Helper()
+	root := os.Getenv("PDT_KILLPOINT_ARTIFACTS")
+	if root == "" || !t.Failed() {
+		return
+	}
+	dst := filepath.Join(root, strings.ReplaceAll(t.Name(), "/", "_"))
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Logf("artifacts: %v", err)
+		return
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Logf("artifacts: %v", err)
+		return
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err == nil {
+			err = os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644)
+		}
+		if err != nil {
+			t.Logf("artifacts: %v", err)
+		}
+	}
+	t.Logf("chaos artifacts saved to %s", dst)
+}
+
+// TestChaosEveryWorkerSIGKILLedOnce is the headline robustness proof:
+// every shard's first worker is killed (or wedged, or cut mid-write)
+// at a schedule-chosen point, later attempts may be killed again, and
+// the final output is still byte-identical to the single-process
+// golden, with the reassignments visible in the metrics.
+func TestChaosEveryWorkerSIGKILLedOnce(t *testing.T) {
+	seed := chaosSeed(t)
+	inputs := genCorpus(t, 24)
+	want := golden(t, inputs)
+	// Pre-result stages only: a worker killed after durably writing its
+	// result completes the shard (result adoption), which would make
+	// the reassignment count nondeterministic. The result stage gets
+	// its own deterministic coverage in TestChaosKillAtEveryStage.
+	stages := []string{"start", "lease", "merge"}
+
+	for round := int64(0); round < 3; round++ {
+		round := round
+		t.Run(fmt.Sprintf("seed=%d/round=%d", seed, round), func(t *testing.T) {
+			sched := faultio.NewKillSchedule(seed+round, stages, 2, 200)
+			o := testOptions(t)
+			o.Shards = 4
+			o.MaxRetries = 4
+			o.WorkerEnvFor = func(shard, attempt int) []string {
+				if attempt == 0 {
+					// Attempt zero always dies: every worker is killed at
+					// least once, at a point chosen by the schedule.
+					d := sched.Directive(shard, 0)
+					if d == "" {
+						d = "kill@merge"
+					}
+					return []string{faultio.ProcKillEnv + "=" + d}
+				}
+				return sched.Env(shard, attempt)
+			}
+			defer saveChaosArtifacts(t, o.Dir)
+
+			got := mergedBytes(t, inputs, o)
+			if !bytes.Equal(got, want) {
+				t.Errorf("chaos output differs from golden (%d vs %d bytes)", len(got), len(want))
+			}
+			if c := counter(t, o.Metrics, "shard.reassigned"); c < 4 {
+				t.Errorf("shard.reassigned = %d, want >= 4 (every shard killed once)", c)
+			}
+			if c := counter(t, o.Metrics, "shard.completed"); c != 4 {
+				t.Errorf("shard.completed = %d, want 4", c)
+			}
+			t.Logf("reassigned=%d resumed=%d retries=%d fallback=%d",
+				counter(t, o.Metrics, "shard.reassigned"),
+				counter(t, o.Metrics, "shard.resumed"),
+				counter(t, o.Metrics, "shard.retries"),
+				counter(t, o.Metrics, "shard.fallback"))
+		})
+	}
+}
+
+// TestChaosKillAtEveryStage sweeps a deterministic kill at each
+// supervision window: before the lease, holding the lease, after the
+// merge, after the result; a SIGSTOP wedge at two windows; and a
+// mid-write cut at several durable-write sites. Each must end golden.
+// A worker killed at the result stage dies with its completion record
+// already durable, so the supervisor adopts it instead of reassigning
+// — every other directive forces a takeover by a fresh worker.
+func TestChaosKillAtEveryStage(t *testing.T) {
+	inputs := genCorpus(t, 8)
+	want := golden(t, inputs)
+	directives := []struct {
+		env      string
+		reassign bool
+	}{
+		{"kill@start", true}, {"kill@lease", true}, {"kill@merge", true},
+		{"kill@result", false},
+		{"stop@start", true}, {"stop@merge", true},
+		{"site@0", true}, {"site@3", true}, {"site@40", true},
+	}
+	for _, d := range directives {
+		d := d
+		t.Run(d.env, func(t *testing.T) {
+			t.Parallel()
+			o := testOptions(t)
+			o.Shards = 2
+			o.MaxRetries = 2
+			o.WorkerEnvFor = func(shard, attempt int) []string {
+				if attempt == 0 {
+					return []string{faultio.ProcKillEnv + "=" + d.env}
+				}
+				return nil
+			}
+			defer saveChaosArtifacts(t, o.Dir)
+
+			got := mergedBytes(t, inputs, o)
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s: output differs from golden", d.env)
+			}
+			reassigned := counter(t, o.Metrics, "shard.reassigned")
+			if d.reassign && reassigned < 2 {
+				t.Errorf("%s: shard.reassigned = %d, want >= 2", d.env, reassigned)
+			}
+			if !d.reassign && reassigned != 0 {
+				t.Errorf("%s: shard.reassigned = %d, want 0 (result adopted)", d.env, reassigned)
+			}
+			if c := counter(t, o.Metrics, "shard.completed"); c != 2 {
+				t.Errorf("%s: shard.completed = %d, want 2", d.env, c)
+			}
+		})
+	}
+}
+
+// TestChaosExhaustionFallsBackInProcess: when every attempt dies, the
+// retry budget runs out and the shard merges in-process — the caller
+// still gets a nil error and golden bytes.
+func TestChaosExhaustionFallsBackInProcess(t *testing.T) {
+	inputs := genCorpus(t, 8)
+	want := golden(t, inputs)
+	o := testOptions(t)
+	o.Shards = 2
+	o.MaxRetries = 1
+	o.WorkerEnvFor = func(shard, attempt int) []string {
+		return []string{faultio.ProcKillEnv + "=kill@start"} // all attempts die
+	}
+	defer saveChaosArtifacts(t, o.Dir)
+
+	got := mergedBytes(t, inputs, o)
+	if !bytes.Equal(got, want) {
+		t.Errorf("exhaustion fallback output differs from golden")
+	}
+	if c := counter(t, o.Metrics, "shard.fallback"); c != 2 {
+		t.Errorf("shard.fallback = %d, want 2", c)
+	}
+	if c := counter(t, o.Metrics, "shard.reassigned"); c != 2 {
+		t.Errorf("shard.reassigned = %d, want 2", c)
+	}
+}
+
+// TestChaosResumedWorkerReusesJournal: kill every shard's first
+// worker after its merge completed (kill@merge — the partial and all
+// journal entries are on disk, the result record is not). The second
+// attempt must resume from the journal, visible as shard.resumed.
+func TestChaosResumedWorkerReusesJournal(t *testing.T) {
+	inputs := genCorpus(t, 12)
+	want := golden(t, inputs)
+	o := testOptions(t)
+	o.Shards = 2
+	o.MaxRetries = 2
+	o.WorkerEnvFor = func(shard, attempt int) []string {
+		if attempt == 0 {
+			return []string{faultio.ProcKillEnv + "=kill@merge"}
+		}
+		return nil
+	}
+	defer saveChaosArtifacts(t, o.Dir)
+
+	got := mergedBytes(t, inputs, o)
+	if !bytes.Equal(got, want) {
+		t.Errorf("resumed output differs from golden")
+	}
+	if c := counter(t, o.Metrics, "shard.resumed"); c != 2 {
+		t.Errorf("shard.resumed = %d, want 2 (every takeover reused the dead worker's journal)", c)
+	}
+}
+
+// TestChaosCoordinatorKilledAndResumed kills a whole coordinator
+// process group (coordinator + live workers) mid-run with SIGKILL,
+// then re-runs the same merge with Resume in this process. The rerun
+// must produce golden bytes and actually reuse the dead run's work.
+func TestChaosCoordinatorKilledAndResumed(t *testing.T) {
+	dir := t.TempDir()
+	inputs := genCorpus(t, 160)
+	want := golden(t, inputs)
+	out := filepath.Join(dir, "merged.pdb")
+	state := filepath.Join(dir, "state")
+
+	listPath := filepath.Join(dir, "inputs.txt")
+	if err := os.WriteFile(listPath, []byte(strings.Join(inputs, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		coordEnv+"=1",
+		"PDT_TEST_COORD_DIR="+state,
+		"PDT_TEST_COORD_OUT="+out,
+		"PDT_TEST_COORD_INPUTS="+listPath,
+	)
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true} // kill the whole tree at once
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawn coordinator: %v", err)
+	}
+	reaped := false
+	defer func() {
+		if !reaped {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	// Wait until the run has journaled real work, then SIGKILL the
+	// process group — coordinator and workers die together, leaving
+	// leases, partial journal state, and possibly torn temp files.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator never journaled a checkpoint")
+		}
+		ckpts, _ := filepath.Glob(filepath.Join(state, "*.ckpt"))
+		if len(ckpts) >= 4 {
+			break
+		}
+		if _, err := os.Stat(out); err == nil {
+			break // finished before we could kill it; resume still must be golden
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL)
+	cmd.Wait()
+	reaped = true
+
+	o := testOptions(t)
+	o.Shards = 4
+	o.Dir = state
+	o.Resume = true
+	defer saveChaosArtifacts(t, state)
+	if err := shardmerge.MergeToFile(context.Background(), out, inputs, o); err != nil {
+		t.Fatalf("resumed coordinator: %v", err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("resumed coordinator output differs from golden (%d vs %d bytes)", len(got), len(want))
+	}
+	reused := counter(t, o.Metrics, "checkpoint.reused")
+	resumed := counter(t, o.Metrics, "shard.resumed")
+	t.Logf("resume reused %d journal entries across %d shards", reused, resumed)
+	if reused == 0 {
+		t.Errorf("resumed run reused no journal entries despite %s holding checkpoints", state)
+	}
+}
+
+// TestChaosDuplicateWorkersConverge runs two workers on the SAME
+// shard manifest concurrently — the both-alive race the lease
+// serializes. Whichever order they run in, the partial and result
+// converge to identical verified bytes.
+func TestChaosDuplicateWorkersConverge(t *testing.T) {
+	inputs := genCorpus(t, 6)
+	dir := t.TempDir()
+	o := testOptions(t)
+	o.Shards = 1
+	o.Dir = dir
+
+	// First, a normal run to lay down the manifest (and golden partial).
+	out := filepath.Join(t.TempDir(), "merged.pdb")
+	if err := shardmerge.MergeToFile(context.Background(), out, inputs, o); err != nil {
+		t.Fatalf("seed run: %v", err)
+	}
+	manifest := filepath.Join(dir, "shard-000.manifest.json")
+	partial := filepath.Join(dir, "shard-000.pdtb")
+	wantPartial, err := os.ReadFile(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Now race two fresh workers over the same manifest.
+	var cmds []*exec.Cmd
+	for i := 0; i < 2; i++ {
+		cmd := exec.Command(os.Args[0], manifest)
+		cmd.Env = append(os.Environ(), workerEnv+"=1")
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("spawn dup worker: %v", err)
+		}
+		cmds = append(cmds, cmd)
+	}
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			t.Errorf("duplicate worker %d failed: %v", i, err)
+		}
+	}
+	gotPartial, err := os.ReadFile(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotPartial, wantPartial) {
+		t.Errorf("racing duplicate workers diverged the partial")
+	}
+}

@@ -1,0 +1,487 @@
+// Package shardmerge scales the merge tree past one process: a
+// coordinator partitions the merge units into contiguous shards,
+// re-execs one worker process per shard (pdbmerge -worker-shard), and
+// k-way merges the resulting partial databases — byte-identical to the
+// single-process pdbio.Merge over the same inputs, because the merge
+// is order-associative and idempotent at every bracketing.
+//
+// The design is crash-first. Every piece of worker output is already
+// safe to lose or duplicate: checkpoints are content-addressed journal
+// entries (atomic, self-verifying, shared across all shards), partials
+// are durably renamed into place, and completion records carry the
+// content hash of the partial they describe. So supervision can be
+// simple and brutal — a worker that dies (SIGKILL) or wedges (flock
+// held, heartbeat frozen) is killed and its shard handed to a fresh
+// peer, which resumes from the dead worker's journal entries rather
+// than from zero. Even two live workers racing on one shard converge
+// to identical bytes. Repeated failures degrade to the in-process
+// merge path, so -shards is never less reliable than the default.
+package shardmerge
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"pdt/internal/durable"
+	"pdt/internal/obs"
+	"pdt/internal/pdbio"
+)
+
+// Options configures one coordinated merge.
+type Options struct {
+	// Shards is the number of partitions (clamped to the unit count).
+	Shards int
+	// Dir is the coordinator's state directory: shard manifests,
+	// partials, leases, results, and the shared checkpoint journal
+	// (*.ckpt entries, compatible with pdbmerge -checkpoint-dir).
+	Dir string
+	// Resume keeps prior shard results and journal entries; without it
+	// positional shard state (partials, results) is cleared first.
+	// Journal entries are content-addressed and always safe to keep.
+	Resume bool
+
+	// Heartbeat is the worker lease refresh interval (default 1s).
+	Heartbeat time.Duration
+	// StaleAfter is how long a silent worker lives before it is
+	// declared wedged, killed, and its shard reassigned (default
+	// 4*Heartbeat).
+	StaleAfter time.Duration
+	// MaxRetries bounds the extra worker attempts per shard before the
+	// shard degrades to the in-process merge (default 3).
+	MaxRetries int
+	// Backoff is the delay before the first reassignment, doubling per
+	// retry (default 50ms).
+	Backoff time.Duration
+	// Procs bounds concurrently supervised worker processes
+	// (default = Shards).
+	Procs int
+
+	// WorkerArgv is the argv prefix used to exec a worker; the
+	// manifest path is appended. Empty runs every shard in-process
+	// (still concurrently) — the degraded but dependency-free mode.
+	WorkerArgv []string
+	// WorkerEnv is appended to every worker's environment.
+	WorkerEnv []string
+	// WorkerEnvFor, when set, contributes per-attempt environment —
+	// the chaos seam faultio.KillSchedule plugs into.
+	WorkerEnvFor func(shard, attempt int) []string
+	// WorkerStderr receives worker diagnostics (default os.Stderr).
+	WorkerStderr io.Writer
+
+	// MergeWorkers is the in-process merge parallelism passed to each
+	// worker and to the final k-way merge (pdbio WithWorkers).
+	MergeWorkers int
+	// Format is the final output encoding (partials are always PDTB).
+	Format pdbio.Format
+
+	// Load options, mirroring the corpus flags.
+	Strict       bool
+	Lenient      bool
+	Quarantine   string
+	Retries      int
+	RetryBackoff time.Duration
+	MaxLineBytes int
+
+	// Metrics receives coordinator counters (shard.reassigned,
+	// shard.resumed, shard.retries, shard.fallback, shard.completed),
+	// per-shard attempt spans, and per-shard busy time. Nil disables.
+	Metrics *obs.Metrics
+}
+
+func (o Options) withDefaults() Options {
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = time.Second
+	}
+	if o.StaleAfter <= 0 {
+		o.StaleAfter = 4 * o.Heartbeat
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	} else if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 50 * time.Millisecond
+	}
+	if o.WorkerStderr == nil {
+		o.WorkerStderr = os.Stderr
+	}
+	return o
+}
+
+// Partition splits n units into k contiguous ranges (start inclusive,
+// end exclusive) whose sizes differ by at most one. Contiguity is what
+// makes the sharded result provably byte-identical: shard i holds
+// inputs[start:end] in order, so the final merge over partials is just
+// another bracketing of the same in-order sequence.
+func Partition(n, k int) [][2]int {
+	out := make([][2]int, 0, k)
+	base, rem := n/k, n%k
+	start := 0
+	for i := 0; i < k; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, [2]int{start, start + size})
+		start += size
+	}
+	return out
+}
+
+// MergeToFile merges inputs across o.Shards worker processes and
+// durably writes the result to path — the sharded twin of
+// pdbio.MergeToFile, byte-identical to it at every shard count and
+// kill schedule.
+func MergeToFile(ctx context.Context, path string, inputs []string, o Options) error {
+	partials, err := runShards(ctx, inputs, o)
+	if err != nil {
+		return err
+	}
+	return pdbio.MergeToFile(ctx, path, partials, o.finalOpts()...)
+}
+
+// MergeFiles is MergeToFile for stream output (stdout).
+func MergeFiles(ctx context.Context, w io.Writer, inputs []string, o Options) error {
+	partials, err := runShards(ctx, inputs, o)
+	if err != nil {
+		return err
+	}
+	return pdbio.MergeFiles(ctx, w, partials, o.finalOpts()...)
+}
+
+// finalOpts configures the coordinator's k-way merge over the partial
+// databases. The partials were produced by this package, so the load
+// resilience knobs do not apply; encoding and parallelism do.
+func (o Options) finalOpts() []pdbio.Option {
+	return []pdbio.Option{
+		pdbio.WithWorkers(o.MergeWorkers),
+		pdbio.WithFormat(o.Format),
+		pdbio.WithMetrics(o.Metrics),
+	}
+}
+
+// coord is one coordinated run.
+type coord struct {
+	o       Options
+	metrics *obs.Metrics
+	span    *obs.Span
+	pool    *obs.Pool
+	sem     chan struct{}
+}
+
+// shardFile names one of a shard's positional state files.
+func shardFile(dir string, shard int, suffix string) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d%s", shard, suffix))
+}
+
+// runShards partitions, supervises, and returns the partial paths in
+// shard order.
+func runShards(ctx context.Context, inputs []string, o Options) ([]string, error) {
+	if len(inputs) == 0 {
+		return nil, errors.New("shardmerge: no input files")
+	}
+	if o.Dir == "" {
+		return nil, errors.New("shardmerge: Options.Dir is required")
+	}
+	o = o.withDefaults()
+	k := o.Shards
+	if k > len(inputs) {
+		// More shards than units would spawn workers with nothing to
+		// do; clamp rather than error so -shards 8 on a 3-unit corpus
+		// just works.
+		k = len(inputs)
+	}
+	if k < 1 {
+		k = 1
+	}
+	procs := o.Procs
+	if procs <= 0 || procs > k {
+		procs = k
+	}
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shardmerge: %w", err)
+	}
+
+	// One coordinator per state directory: concurrent coordinators
+	// would race on the positional shard files.
+	lock, err := durable.AcquireLock(filepath.Join(o.Dir, "coordinator.lock"))
+	if err != nil {
+		return nil, err
+	}
+	defer lock.Release()
+
+	if !o.Resume {
+		// Positional state (partials, results) from a previous run
+		// could satisfy result verification while describing different
+		// inputs' shards; clear it. Journal entries are content-
+		// addressed and stay — a fresh run simply overwrites by key.
+		for _, pat := range []string{"shard-*.pdtb", "shard-*.result.json"} {
+			matches, _ := filepath.Glob(filepath.Join(o.Dir, pat))
+			for _, mpath := range matches {
+				os.Remove(mpath)
+			}
+		}
+	}
+
+	c := &coord{o: o, metrics: o.Metrics, sem: make(chan struct{}, procs)}
+	c.span = c.metrics.StartSpan("shardmerge")
+	defer c.span.End()
+	c.span.AddItems(int64(len(inputs)))
+	c.pool = c.metrics.Pool("shards")
+
+	ranges := Partition(len(inputs), k)
+	manifests := make([]*Manifest, k)
+	partials := make([]string, k)
+	for s := 0; s < k; s++ {
+		m := &Manifest{
+			Shard:        s,
+			Inputs:       inputs[ranges[s][0]:ranges[s][1]],
+			Partial:      shardFile(o.Dir, s, ".pdtb"),
+			Journal:      o.Dir,
+			Lease:        shardFile(o.Dir, s, ".lease"),
+			Result:       shardFile(o.Dir, s, ".result.json"),
+			HeartbeatMS:  int(o.Heartbeat / time.Millisecond),
+			Workers:      o.MergeWorkers,
+			Strict:       o.Strict,
+			Lenient:      o.Lenient,
+			Quarantine:   o.Quarantine,
+			Retries:      o.Retries,
+			BackoffMS:    int(o.RetryBackoff / time.Millisecond),
+			MaxLineBytes: o.MaxLineBytes,
+		}
+		data, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := durable.WriteFile(shardFile(o.Dir, s, ".manifest.json"), data, 0o644); err != nil {
+			return nil, err
+		}
+		manifests[s] = m
+		partials[s] = m.Partial
+	}
+
+	errs := make([]error, k)
+	donech := make(chan int)
+	for s := 0; s < k; s++ {
+		go func(s int) {
+			errs[s] = c.runShard(ctx, manifests[s])
+			donech <- s
+		}(s)
+	}
+	for range manifests {
+		<-donech
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return partials, nil
+}
+
+// runShard drives one shard to a verified partial: bounded worker
+// attempts with doubling backoff, then the in-process fallback. Every
+// attempt after the first counts as a reassignment — the shard moves
+// to a fresh peer process that resumes from whatever the dead one
+// journaled.
+func (c *coord) runShard(ctx context.Context, m *Manifest) error {
+	wrk := c.pool.Worker(m.Shard)
+	backoff := c.o.Backoff
+	var lastErr error
+
+	// A verified completion record left by a previous run (coordinator
+	// resume) settles the shard without spawning anything.
+	if res, ok := c.adoptResult(m); ok {
+		c.recordResult(res)
+		return nil
+	}
+
+	attempts := c.o.MaxRetries + 1
+	if len(c.o.WorkerArgv) == 0 {
+		attempts = 0 // no exec seam: straight to the in-process path
+	}
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if attempt > 0 {
+			c.metrics.Counter("shard.retries").Add(1)
+			c.metrics.Counter("shard.reassigned").Add(1)
+			fmt.Fprintf(c.o.WorkerStderr, "shardmerge: shard %d attempt %d failed (%v); reassigning after %v\n",
+				m.Shard, attempt-1, lastErr, backoff)
+			// A dead holder's flock is already gone; this clears the
+			// create-exclusive fallback lock on non-flock platforms. A
+			// still-live wedged holder reports ErrLocked and the new
+			// worker's own lease wait handles it.
+			durable.BreakStaleLock(m.Lease, c.o.StaleAfter)
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			}
+			backoff *= 2
+		}
+		c.sem <- struct{}{}
+		sp := c.span.Start(fmt.Sprintf("shard-%d/attempt-%d", m.Shard, attempt))
+		t0 := wrk.Begin()
+		res, err := c.superviseAttempt(ctx, m, attempt)
+		wrk.End(t0, int64(len(m.Inputs)), 0)
+		sp.End()
+		<-c.sem
+		if err == nil {
+			c.recordResult(res)
+			return nil
+		}
+		lastErr = err
+	}
+
+	// Exhausted (or no exec seam): the shard degrades to the exact
+	// code path a plain pdbmerge would run, resuming from the shared
+	// journal so even this reuses whatever any worker completed.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.sem <- struct{}{}
+	defer func() { <-c.sem }()
+	c.metrics.Counter("shard.fallback").Add(1)
+	if lastErr != nil {
+		fmt.Fprintf(c.o.WorkerStderr, "shardmerge: shard %d exhausted %d attempts (%v); merging in-process\n",
+			m.Shard, attempts, lastErr)
+	}
+	sp := c.span.Start(fmt.Sprintf("shard-%d/fallback", m.Shard))
+	defer sp.End()
+	t0 := wrk.Begin()
+	defer wrk.End(t0, int64(len(m.Inputs)), 0)
+
+	opts := []pdbio.Option{
+		pdbio.WithWorkers(c.o.MergeWorkers),
+		pdbio.WithCheckpoint(m.Journal, true),
+		pdbio.WithFormat(pdbio.FormatBinary),
+		pdbio.WithMetrics(c.metrics),
+	}
+	if c.o.Strict {
+		opts = append(opts, pdbio.WithStrictValidation())
+	}
+	if c.o.Lenient {
+		opts = append(opts, pdbio.WithLenient())
+	}
+	if c.o.Quarantine != "" {
+		opts = append(opts, pdbio.WithQuarantine(c.o.Quarantine))
+	}
+	if c.o.Retries > 0 {
+		opts = append(opts, pdbio.WithRetry(c.o.Retries, c.o.RetryBackoff))
+	}
+	if c.o.MaxLineBytes > 0 {
+		opts = append(opts, pdbio.WithMaxLineBytes(c.o.MaxLineBytes))
+	}
+	if err := pdbio.MergeToFile(ctx, m.Partial, m.Inputs, opts...); err != nil {
+		return fmt.Errorf("shard %d: in-process fallback: %w", m.Shard, err)
+	}
+	c.metrics.Counter("shard.completed").Add(1)
+	return nil
+}
+
+// adoptResult loads and verifies the shard's completion record, and
+// reclassifies the prior run's work as reused: the shard is settled by
+// bytes already on disk, not by anything this coordinator computed.
+func (c *coord) adoptResult(m *Manifest) (Result, bool) {
+	res, ok := loadResult(m.Result, m.Partial, m.Shard, m.inputsKey())
+	if !ok {
+		return Result{}, false
+	}
+	res.Reused, res.Written = res.Written+res.Reused, 0
+	return res, true
+}
+
+// recordResult folds a verified worker result into the coordinator's
+// counters. A result whose merge reused journal entries means the
+// shard genuinely resumed a previous holder's work.
+func (c *coord) recordResult(res Result) {
+	c.metrics.Counter("shard.completed").Add(1)
+	c.metrics.Counter("checkpoint.written").Add(res.Written)
+	c.metrics.Counter("checkpoint.reused").Add(res.Reused)
+	c.metrics.Counter("checkpoint.invalidated").Add(res.Invalidated)
+	if res.Reused > 0 {
+		c.metrics.Counter("shard.resumed").Add(1)
+	}
+	if res.Recovered > 0 {
+		c.metrics.Counter("shard.recovered").Add(res.Recovered)
+	}
+}
+
+// superviseAttempt spawns one worker process and watches it die,
+// finish, or wedge. The shard's durable Result file — not the exit
+// status — is the authoritative completion signal: it is checked on
+// every supervision event, so a worker that finished its work and
+// then died (SIGKILLed between writing the result and exiting) or
+// lingered in process teardown still completes the shard. Liveness is
+// the lease heartbeat; before the worker gets that far, the spawn
+// time counts as its last sign of life. A worker silent past
+// StaleAfter with no result is SIGKILLed — which releases its flock —
+// and reported as wedged.
+func (c *coord) superviseAttempt(ctx context.Context, m *Manifest, attempt int) (Result, error) {
+	argv := append(append([]string{}, c.o.WorkerArgv...), shardFile(c.o.Dir, m.Shard, ".manifest.json"))
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = append(os.Environ(), c.o.WorkerEnv...)
+	if c.o.WorkerEnvFor != nil {
+		cmd.Env = append(cmd.Env, c.o.WorkerEnvFor(m.Shard, attempt)...)
+	}
+	cmd.Stderr = c.o.WorkerStderr
+	start := time.Now()
+	if err := cmd.Start(); err != nil {
+		return Result{}, fmt.Errorf("shard %d: spawn: %w", m.Shard, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+
+	tick := time.NewTicker(c.o.Heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case err := <-done:
+			res, ok := loadResult(m.Result, m.Partial, m.Shard, m.inputsKey())
+			if ok {
+				// The work is durably complete and verified; how the
+				// process ended no longer matters.
+				return res, nil
+			}
+			if err != nil {
+				return Result{}, fmt.Errorf("shard %d: worker died: %w", m.Shard, err)
+			}
+			return Result{}, fmt.Errorf("shard %d: worker exited clean without a verifiable result", m.Shard)
+		case <-tick.C:
+			if res, ok := loadResult(m.Result, m.Partial, m.Shard, m.inputsKey()); ok {
+				// Done on disk; don't wait out process teardown. After
+				// the kill nothing can mutate the shard's state, and
+				// any in-flight atomic replace would have carried the
+				// same content-addressed bytes anyway.
+				cmd.Process.Kill()
+				<-done
+				return res, nil
+			}
+			last := start
+			if age, ok := durable.HeartbeatAge(m.Lease); ok {
+				if t := time.Now().Add(-age); t.After(last) {
+					last = t
+				}
+			}
+			if silent := time.Since(last); silent > c.o.StaleAfter {
+				cmd.Process.Kill()
+				<-done
+				return Result{}, fmt.Errorf("shard %d: worker wedged (silent %v > %v); killed", m.Shard, silent.Round(time.Millisecond), c.o.StaleAfter)
+			}
+		case <-ctx.Done():
+			cmd.Process.Kill()
+			<-done
+			return Result{}, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,386 @@
+package shardmerge_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pdt/internal/obs"
+	"pdt/internal/pdbio"
+	"pdt/internal/shardmerge"
+	"pdt/internal/workload"
+)
+
+// The exec seam: the coordinator re-execs this very test binary, and
+// TestMain dispatches on env sentinels before the testing framework
+// touches the flags. workerEnv turns the process into a shard worker
+// (manifest path = last argument); coordEnv turns it into a whole
+// coordinator run, which the resume test kills mid-flight.
+const (
+	workerEnv = "PDT_TEST_SHARD_WORKER"
+	coordEnv  = "PDT_TEST_SHARD_COORD"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(workerEnv) == "1" {
+		os.Exit(shardmerge.WorkerMain(os.Args[len(os.Args)-1], os.Stderr))
+	}
+	if os.Getenv(coordEnv) == "1" {
+		os.Exit(coordHelperMain())
+	}
+	os.Exit(m.Run())
+}
+
+// coordHelperMain runs a full coordinated merge from env-passed
+// parameters. Used by the resume test, which SIGKILLs this process
+// (and its worker children) partway through and then re-runs the same
+// merge with Resume in the parent test process.
+func coordHelperMain() int {
+	dir := os.Getenv("PDT_TEST_COORD_DIR")
+	out := os.Getenv("PDT_TEST_COORD_OUT")
+	listData, err := os.ReadFile(os.Getenv("PDT_TEST_COORD_INPUTS"))
+	if err != nil {
+		return 1
+	}
+	inputs := strings.Fields(strings.TrimSpace(string(listData)))
+	o := shardmerge.Options{
+		Shards:       4,
+		Dir:          dir,
+		Heartbeat:    150 * time.Millisecond,
+		Backoff:      5 * time.Millisecond,
+		WorkerArgv:   []string{os.Args[0]},
+		WorkerEnv:    []string{workerEnv + "=1"},
+		MergeWorkers: 1,
+	}
+	if err := shardmerge.MergeToFile(context.Background(), out, inputs, o); err != nil {
+		return 1
+	}
+	return 0
+}
+
+// genCorpus writes an n-unit PDB corpus with overlapping shared
+// headers/routines (cross-shard dedup is what makes the merge
+// non-trivial) and returns the unit paths.
+func genCorpus(t *testing.T, n int) []string {
+	t.Helper()
+	inputs, err := workload.GenPDBCorpus(t.TempDir(), n, 3, 2)
+	if err != nil {
+		t.Fatalf("GenPDBCorpus: %v", err)
+	}
+	return inputs
+}
+
+// golden is the single-process merge every sharded run must match
+// byte-for-byte.
+func golden(t *testing.T, inputs []string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := pdbio.MergeFiles(context.Background(), &buf, inputs); err != nil {
+		t.Fatalf("golden merge: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// testOptions returns fast-timing Options wired to the test binary's
+// worker mode. The heartbeat (and thus the 4x stale deadline) must
+// comfortably cover re-exec'd process startup, which runs well over
+// 100ms for a race-instrumented binary.
+func testOptions(t *testing.T) shardmerge.Options {
+	t.Helper()
+	return shardmerge.Options{
+		Dir:          t.TempDir(),
+		Heartbeat:    150 * time.Millisecond,
+		Backoff:      5 * time.Millisecond,
+		WorkerArgv:   []string{os.Args[0]},
+		WorkerEnv:    []string{workerEnv + "=1"},
+		WorkerStderr: io.Discard,
+		MergeWorkers: 2,
+		Metrics:      obs.New("shardmerge-test"),
+	}
+}
+
+func mergedBytes(t *testing.T, inputs []string, o shardmerge.Options) []byte {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "merged.pdb")
+	if err := shardmerge.MergeToFile(context.Background(), out, inputs, o); err != nil {
+		t.Fatalf("shardmerge.MergeToFile: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read merged: %v", err)
+	}
+	return data
+}
+
+func counter(t *testing.T, m *obs.Metrics, name string) int64 {
+	t.Helper()
+	return m.Snapshot().Counters[name]
+}
+
+// TestShardedMergeMatchesGolden is the core identity: at every shard
+// count, multi-process output is byte-identical to the single-process
+// merge over the same inputs.
+func TestShardedMergeMatchesGolden(t *testing.T) {
+	inputs := genCorpus(t, 17)
+	want := golden(t, inputs)
+	for _, shards := range []int{1, 2, 3, 8} {
+		o := testOptions(t)
+		o.Shards = shards
+		got := mergedBytes(t, inputs, o)
+		if !bytes.Equal(got, want) {
+			t.Errorf("shards=%d: output differs from single-process golden (%d vs %d bytes)",
+				shards, len(got), len(want))
+		}
+		if c := counter(t, o.Metrics, "shard.completed"); c != int64(shards) {
+			t.Errorf("shards=%d: shard.completed = %d, want %d", shards, c, shards)
+		}
+		if c := counter(t, o.Metrics, "shard.fallback"); c != 0 {
+			t.Errorf("shards=%d: unexpected shard.fallback = %d", shards, c)
+		}
+	}
+}
+
+// TestShardedMergeBinaryOutput checks the identity holds for PDTB
+// final output too (partials are always PDTB; this exercises the
+// format option on the final k-way merge).
+func TestShardedMergeBinaryOutput(t *testing.T) {
+	inputs := genCorpus(t, 9)
+	var want bytes.Buffer
+	if err := pdbio.MergeFiles(context.Background(), &want, inputs,
+		pdbio.WithFormat(pdbio.FormatBinary)); err != nil {
+		t.Fatalf("golden binary merge: %v", err)
+	}
+	o := testOptions(t)
+	o.Shards = 3
+	o.Format = pdbio.FormatBinary
+	if got := mergedBytes(t, inputs, o); !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("binary sharded output differs from golden (%d vs %d bytes)", len(got), want.Len())
+	}
+}
+
+// TestMergeFilesStream checks the io.Writer twin against the same
+// golden.
+func TestMergeFilesStream(t *testing.T) {
+	inputs := genCorpus(t, 6)
+	want := golden(t, inputs)
+	o := testOptions(t)
+	o.Shards = 2
+	var got bytes.Buffer
+	if err := shardmerge.MergeFiles(context.Background(), &got, inputs, o); err != nil {
+		t.Fatalf("MergeFiles: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("streamed sharded output differs from golden")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{1, 1}, {2, 1}, {10, 3}, {17, 8}, {16, 4}, {5, 5},
+	} {
+		ranges := shardmerge.Partition(tc.n, tc.k)
+		if len(ranges) != tc.k {
+			t.Fatalf("Partition(%d,%d): %d ranges, want %d", tc.n, tc.k, len(ranges), tc.k)
+		}
+		next, min, max := 0, tc.n, 0
+		for _, r := range ranges {
+			if r[0] != next {
+				t.Fatalf("Partition(%d,%d): range starts at %d, want %d (must be contiguous)", tc.n, tc.k, r[0], next)
+			}
+			size := r[1] - r[0]
+			if size < min {
+				min = size
+			}
+			if size > max {
+				max = size
+			}
+			next = r[1]
+		}
+		if next != tc.n {
+			t.Fatalf("Partition(%d,%d): ranges end at %d, want %d", tc.n, tc.k, next, tc.n)
+		}
+		if max-min > 1 {
+			t.Fatalf("Partition(%d,%d): shard sizes differ by %d (>1)", tc.n, tc.k, max-min)
+		}
+	}
+}
+
+func TestZeroInputsErrors(t *testing.T) {
+	o := testOptions(t)
+	o.Shards = 4
+	err := shardmerge.MergeToFile(context.Background(), filepath.Join(t.TempDir(), "out.pdb"), nil, o)
+	if err == nil {
+		t.Fatal("expected error for zero inputs")
+	}
+}
+
+func TestMissingDirErrors(t *testing.T) {
+	o := testOptions(t)
+	o.Dir = ""
+	err := shardmerge.MergeToFile(context.Background(), filepath.Join(t.TempDir(), "out.pdb"), genCorpus(t, 2), o)
+	if err == nil {
+		t.Fatal("expected error for empty Options.Dir")
+	}
+}
+
+// TestSingleUnitManyShards: shard count far beyond the unit count is
+// clamped, not an error, and still matches golden.
+func TestSingleUnitManyShards(t *testing.T) {
+	inputs := genCorpus(t, 1)
+	want := golden(t, inputs)
+	o := testOptions(t)
+	o.Shards = 8
+	if got := mergedBytes(t, inputs, o); !bytes.Equal(got, want) {
+		t.Errorf("1 unit / 8 shards differs from golden")
+	}
+	if c := counter(t, o.Metrics, "shard.completed"); c != 1 {
+		t.Errorf("shard.completed = %d, want 1 (clamped)", c)
+	}
+}
+
+// TestShardsExceedUnits: 8 shards over 3 units clamps to 3 workers.
+func TestShardsExceedUnits(t *testing.T) {
+	inputs := genCorpus(t, 3)
+	want := golden(t, inputs)
+	o := testOptions(t)
+	o.Shards = 8
+	if got := mergedBytes(t, inputs, o); !bytes.Equal(got, want) {
+		t.Errorf("3 units / 8 shards differs from golden")
+	}
+	if c := counter(t, o.Metrics, "shard.completed"); c != 3 {
+		t.Errorf("shard.completed = %d, want 3 (clamped)", c)
+	}
+}
+
+// TestInProcessMode: no WorkerArgv means every shard merges in this
+// process — the degraded mode, still golden.
+func TestInProcessMode(t *testing.T) {
+	inputs := genCorpus(t, 10)
+	want := golden(t, inputs)
+	o := testOptions(t)
+	o.Shards = 4
+	o.WorkerArgv = nil
+	if got := mergedBytes(t, inputs, o); !bytes.Equal(got, want) {
+		t.Errorf("in-process sharded output differs from golden")
+	}
+	if c := counter(t, o.Metrics, "shard.fallback"); c != 4 {
+		t.Errorf("shard.fallback = %d, want 4 (every shard in-process)", c)
+	}
+}
+
+// TestSpawnFailureFallsBack: an argv that can never exec burns the
+// retry budget and degrades to in-process — the merge still succeeds
+// and still matches golden.
+func TestSpawnFailureFallsBack(t *testing.T) {
+	inputs := genCorpus(t, 8)
+	want := golden(t, inputs)
+	o := testOptions(t)
+	o.Shards = 2
+	o.MaxRetries = 1
+	o.Backoff = time.Millisecond
+	o.WorkerArgv = []string{filepath.Join(t.TempDir(), "no-such-binary")}
+	if got := mergedBytes(t, inputs, o); !bytes.Equal(got, want) {
+		t.Errorf("spawn-failure fallback output differs from golden")
+	}
+	if c := counter(t, o.Metrics, "shard.fallback"); c != 2 {
+		t.Errorf("shard.fallback = %d, want 2", c)
+	}
+	if c := counter(t, o.Metrics, "shard.reassigned"); c != 2 {
+		t.Errorf("shard.reassigned = %d, want 2 (one retry per shard)", c)
+	}
+	if c := counter(t, o.Metrics, "shard.completed"); c != 2 {
+		t.Errorf("shard.completed = %d, want 2", c)
+	}
+}
+
+// TestStaleResultsNotAdopted: a Resume run over a *different* input
+// set in the same state directory must not adopt the previous run's
+// self-consistent partials/results — the InputsKey binding rejects
+// them and the new corpus merges correctly.
+func TestStaleResultsNotAdopted(t *testing.T) {
+	first := genCorpus(t, 6)
+	o := testOptions(t)
+	o.Shards = 2
+	out := filepath.Join(t.TempDir(), "merged.pdb")
+	if err := shardmerge.MergeToFile(context.Background(), out, first, o); err != nil {
+		t.Fatalf("first merge: %v", err)
+	}
+
+	second, err := workload.GenPDBCorpus(t.TempDir(), 9, 2, 3)
+	if err != nil {
+		t.Fatalf("GenPDBCorpus: %v", err)
+	}
+	want := golden(t, second)
+	o.Resume = true // keep the stale shard-*.result.json and partials around
+	o.Metrics = obs.New("second-run")
+	if err := shardmerge.MergeToFile(context.Background(), out, second, o); err != nil {
+		t.Fatalf("second merge: %v", err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("resumed run over different inputs adopted stale shard state")
+	}
+}
+
+// TestPartialCompositionProperty pins the algebra the whole design
+// rests on: merging contiguous partial merges (at any bracketing, in
+// either encoding) is byte-identical to one flat merge. If a future
+// merge change breaks order-associativity or idempotence, this fails
+// before any multi-process machinery gets involved.
+func TestPartialCompositionProperty(t *testing.T) {
+	inputs := genCorpus(t, 12)
+	want := golden(t, inputs)
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name   string
+		cuts   []int // partition boundaries (exclusive of 0 and len)
+		format pdbio.Format
+	}{
+		{"halves-ascii", []int{6}, pdbio.FormatASCII},
+		{"uneven-ascii", []int{1, 4, 11}, pdbio.FormatASCII},
+		{"halves-binary", []int{6}, pdbio.FormatBinary},
+		{"singletons-binary", []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, pdbio.FormatBinary},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			bounds := append(append([]int{0}, tc.cuts...), len(inputs))
+			var partials []string
+			for i := 0; i+1 < len(bounds); i++ {
+				p := filepath.Join(dir, "partial-"+tc.name+"-"+string(rune('a'+i))+".pdb")
+				if err := pdbio.MergeToFile(ctx, p, inputs[bounds[i]:bounds[i+1]],
+					pdbio.WithFormat(tc.format)); err != nil {
+					t.Fatalf("partial merge: %v", err)
+				}
+				partials = append(partials, p)
+			}
+			var got bytes.Buffer
+			if err := pdbio.MergeFiles(ctx, &got, partials); err != nil {
+				t.Fatalf("merge of partials: %v", err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Errorf("merge of partials differs from flat merge")
+			}
+		})
+	}
+
+	// Idempotence: re-merging the merged database is a fixed point.
+	merged := filepath.Join(t.TempDir(), "once.pdb")
+	if err := pdbio.MergeToFile(ctx, merged, inputs); err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := pdbio.MergeFiles(ctx, &again, []string{merged}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), want) {
+		t.Errorf("re-merge of merged output is not a fixed point")
+	}
+}

@@ -1,0 +1,255 @@
+package shardmerge
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"pdt/internal/durable"
+	"pdt/internal/faultio"
+	"pdt/internal/obs"
+	"pdt/internal/pdbio"
+)
+
+// Manifest is the coordinator→worker contract for one shard attempt:
+// everything a re-exec'd worker process needs to produce its partial
+// merge, serialized to a JSON file whose path is the worker's only
+// argument. Paths are absolute or coordinator-cwd-relative (workers
+// inherit the coordinator's working directory).
+type Manifest struct {
+	// Shard is the shard index (0-based), echoed into the Result so a
+	// stale result file cannot satisfy another shard.
+	Shard int `json:"shard"`
+	// Inputs is this shard's contiguous slice of the merge units.
+	Inputs []string `json:"inputs"`
+	// Partial is where the shard's merged PDTB database lands.
+	Partial string `json:"partial"`
+	// Journal is the shared content-addressed checkpoint directory. All
+	// shards journal into it, which is what makes a dead worker's
+	// completed units reusable by whichever peer takes the shard over.
+	Journal string `json:"journal"`
+	// Lease is the worker's heartbeat lock file: flock-held while the
+	// worker lives, mtime refreshed every Heartbeat.
+	Lease string `json:"lease"`
+	// Result is where the worker durably records its completion record.
+	Result string `json:"result"`
+	// HeartbeatMS is the lease refresh interval in milliseconds.
+	HeartbeatMS int `json:"heartbeat_ms"`
+	// Workers is the in-process merge parallelism (pdbio WithWorkers).
+	Workers int `json:"workers"`
+
+	// Load options, mirroring the coordinator's corpus flags.
+	Strict       bool   `json:"strict,omitempty"`
+	Lenient      bool   `json:"lenient,omitempty"`
+	Quarantine   string `json:"quarantine,omitempty"`
+	Retries      int    `json:"retries,omitempty"`
+	BackoffMS    int    `json:"backoff_ms,omitempty"`
+	MaxLineBytes int    `json:"max_line_bytes,omitempty"`
+}
+
+// Result is the worker→coordinator completion record, written durably
+// as the worker's last act. Key is the content hash of the partial
+// file, so the coordinator (or a resumed coordinator) can verify the
+// partial on disk is exactly the one this record describes.
+type Result struct {
+	Shard int    `json:"shard"`
+	Units int    `json:"units"`
+	Key   string `json:"key"`
+	// InputsKey fingerprints the shard's input set and the options
+	// that can change merge output, so a result left by a previous run
+	// over different inputs (or a different shard count) can never be
+	// adopted, however self-consistent it looks.
+	InputsKey   string `json:"inputs_key"`
+	Written     int64  `json:"checkpoint_written"`
+	Reused      int64  `json:"checkpoint_reused"`
+	Invalidated int64  `json:"checkpoint_invalidated"`
+	Recovered   int64  `json:"recovered"`
+}
+
+// inputsKey derives the manifest's result-binding fingerprint.
+func (m *Manifest) inputsKey() string {
+	parts := append([]string{"shardmerge-v1",
+		fmt.Sprintf("lenient=%v maxline=%d", m.Lenient, m.MaxLineBytes)}, m.Inputs...)
+	return durable.KeyOf(parts...)
+}
+
+// heartbeat resolves the manifest's interval with a floor: a zero or
+// absurdly small interval would melt into mtime-update spam.
+func (m *Manifest) heartbeat() time.Duration {
+	hb := time.Duration(m.HeartbeatMS) * time.Millisecond
+	if hb < 5*time.Millisecond {
+		hb = time.Second
+	}
+	return hb
+}
+
+// WorkerMain runs one shard worker to completion: read the manifest,
+// take the shard lease, heartbeat it, merge the shard's inputs into
+// the partial under the shared journal (always resuming — reusing any
+// checkpoints a previous holder of this shard completed before dying),
+// and durably record the Result. The exit code is the process's entire
+// answer: 0 with a verified Result file means the shard is done;
+// anything else means the coordinator should retry. Chaos directives
+// (faultio.ProcKillEnv) are honored at each named stage, which is how
+// the SIGKILL sweeps exercise every supervision window.
+func WorkerMain(manifestPath string, stderr io.Writer) int {
+	m, err := readManifest(manifestPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "shard worker: %v\n", err)
+		return 1
+	}
+	faultio.CrashPoint("start")
+
+	// The lease: flock proves exactly one live worker owns the shard;
+	// the mtime heartbeat proves it is making progress. A dead previous
+	// holder's flock is already gone; a wedged one forces the short
+	// wait to fail, and the coordinator kills it before retrying. The
+	// wait stays below the supervisor's stale deadline (4 heartbeats)
+	// so a worker parked on a wedged predecessor exits and is retried
+	// instead of being mistaken for wedged itself.
+	lease, err := durable.AcquireLockWait(m.Lease, 2*m.heartbeat())
+	if err != nil {
+		fmt.Fprintf(stderr, "shard worker %d: lease: %v\n", m.Shard, err)
+		return 1
+	}
+	defer lease.Release()
+	lease.Touch() // first heartbeat lands before any merge work
+	faultio.CrashPoint("lease")
+
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	go func() {
+		t := time.NewTicker(m.heartbeat())
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				lease.Touch()
+			case <-hbStop:
+				return
+			}
+		}
+	}()
+
+	// Idempotent fast path: a previous holder that died between
+	// writing its Result and exiting left everything durable; verify
+	// and adopt instead of re-merging.
+	if res, ok := loadResult(m.Result, m.Partial, m.Shard, m.inputsKey()); ok {
+		res.Reused, res.Written = res.Written+res.Reused, 0 // all prior work reused
+		if err := writeResult(m.Result, res); err != nil {
+			fmt.Fprintf(stderr, "shard worker %d: result: %v\n", m.Shard, err)
+			return 1
+		}
+		return 0
+	}
+
+	metrics := obs.New(fmt.Sprintf("shard-%d", m.Shard))
+	var stats pdbio.Stats
+	opts := []pdbio.Option{
+		pdbio.WithWorkers(m.Workers),
+		pdbio.WithCheckpoint(m.Journal, true), // always resume: takeover is the point
+		pdbio.WithFormat(pdbio.FormatBinary),
+		pdbio.WithMetrics(metrics),
+		pdbio.WithStats(&stats),
+	}
+	if m.Strict {
+		opts = append(opts, pdbio.WithStrictValidation())
+	}
+	if m.Lenient {
+		opts = append(opts, pdbio.WithLenient())
+	}
+	if m.Quarantine != "" {
+		opts = append(opts, pdbio.WithQuarantine(m.Quarantine))
+	}
+	if m.Retries > 0 {
+		opts = append(opts, pdbio.WithRetry(m.Retries, time.Duration(m.BackoffMS)*time.Millisecond))
+	}
+	if m.MaxLineBytes > 0 {
+		opts = append(opts, pdbio.WithMaxLineBytes(m.MaxLineBytes))
+	}
+	if fs := faultio.ProcKillFS(nil); fs != nil {
+		opts = append(opts, pdbio.WithWriteFS(fs))
+	}
+
+	if err := pdbio.MergeToFile(context.Background(), m.Partial, m.Inputs, opts...); err != nil {
+		fmt.Fprintf(stderr, "shard worker %d: merge: %v\n", m.Shard, err)
+		return 1
+	}
+	faultio.CrashPoint("merge")
+
+	key, err := fileSum(m.Partial)
+	if err != nil {
+		fmt.Fprintf(stderr, "shard worker %d: hashing partial: %v\n", m.Shard, err)
+		return 1
+	}
+	snap := metrics.Snapshot()
+	res := Result{
+		Shard:       m.Shard,
+		Units:       len(m.Inputs),
+		Key:         key,
+		InputsKey:   m.inputsKey(),
+		Written:     snap.Counters["checkpoint.written"],
+		Reused:      snap.Counters["checkpoint.reused"],
+		Invalidated: snap.Counters["checkpoint.invalidated"],
+		Recovered:   stats.Recovered.Load(),
+	}
+	if err := writeResult(m.Result, res); err != nil {
+		fmt.Fprintf(stderr, "shard worker %d: result: %v\n", m.Shard, err)
+		return 1
+	}
+	faultio.CrashPoint("result")
+	return 0
+}
+
+func readManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("manifest %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+func writeResult(path string, res Result) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return durable.WriteFile(path, data, 0o644)
+}
+
+// loadResult verifies a completion record against the partial on
+// disk: right shard, right input set, partial present, content hash
+// matching. Anything less reads as "no result" and the shard is
+// (re)merged.
+func loadResult(resultPath, partialPath string, shard int, inputsKey string) (Result, bool) {
+	data, err := os.ReadFile(resultPath)
+	if err != nil {
+		return Result{}, false
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil || res.Shard != shard ||
+		res.Key == "" || res.InputsKey != inputsKey {
+		return Result{}, false
+	}
+	key, err := fileSum(partialPath)
+	if err != nil || key != res.Key {
+		return Result{}, false
+	}
+	return res, true
+}
+
+// fileSum is the content hash of a file — durable.Sum over its bytes.
+func fileSum(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return durable.Sum(data), nil
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// PDBUnit synthesizes the text of one per-compilation-unit program
+// database directly — no C++ frontend in the loop — so corpora of tens
+// of thousands of units materialize in milliseconds. Each unit has
+// sharedHeaders header files carrying one shared routine apiece
+// (identical across every unit, so a merge must deduplicate them) plus
+// localRoutines unit-local routines (unique to the unit, so a merge
+// must keep every one). That mix makes the merged item count exactly
+// predictable: shared items appear once, local items n times.
+func PDBUnit(i, sharedHeaders, localRoutines int) string {
+	var sb strings.Builder
+	sb.WriteString("<PDB 1.0>\n")
+	id := 1
+	for h := 0; h < sharedHeaders; h++ {
+		fmt.Fprintf(&sb, "\nso#%d shared%d.h\n", id, h)
+		id++
+	}
+	unitFile := id
+	fmt.Fprintf(&sb, "\nso#%d unit%05d.cpp\n", id, i)
+	for h := 0; h < sharedHeaders; h++ {
+		fmt.Fprintf(&sb, "sinc %d\n", h+1)
+	}
+	id++
+	// Shared routines live in the shared headers: every unit carries an
+	// identical copy, the merge keeps one.
+	for h := 0; h < sharedHeaders; h++ {
+		fmt.Fprintf(&sb, "\nro#%d shared_f%d\nrloc so#%d 1 1\nracs NA\nrkind fun\nrlink C++\n", id, h, h+1)
+		id++
+	}
+	// Local routines live in the unit file: unique names, all survive
+	// the merge.
+	for r := 0; r < localRoutines; r++ {
+		fmt.Fprintf(&sb, "\nro#%d u%05d_f%d\nrloc so#%d %d 1\nracs NA\nrkind fun\nrlink C++\n", id, i, r, unitFile, r+1)
+		id++
+	}
+	return sb.String()
+}
+
+// GenPDBCorpus writes an n-unit synthetic corpus into dir (created if
+// needed), returning the paths in unit order. This is the
+// monorepo-scale merge workload: 10k+ real files on disk, each a
+// valid PDB the full load/merge pipeline ingests, generated directly
+// so benchmark setup is not dominated by the C++ frontend.
+func GenPDBCorpus(dir string, n, sharedHeaders, localRoutines int) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	paths := make([]string, n)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("unit%05d.pdb", i))
+		if err := os.WriteFile(paths[i], []byte(PDBUnit(i, sharedHeaders, localRoutines)), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return paths, nil
+}

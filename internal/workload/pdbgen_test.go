@@ -1,0 +1,63 @@
+package workload_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"pdt/internal/pdb"
+	"pdt/internal/pdbio"
+	"pdt/internal/workload"
+)
+
+// TestPDBUnitParses: every generated unit must be a valid PDB with the
+// promised item counts (headers + unit file + shared routines + local
+// routines).
+func TestPDBUnitParses(t *testing.T) {
+	text := workload.PDBUnit(7, 3, 5)
+	db, err := pdb.Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("generated unit does not parse: %v\n%s", err, text)
+	}
+	if got, want := len(db.Files), 4; got != want {
+		t.Errorf("source files = %d, want %d", got, want)
+	}
+	if got, want := len(db.Routines), 8; got != want {
+		t.Errorf("routines = %d, want %d", got, want)
+	}
+	if got, want := len(db.Files[3].Includes), 3; got != want {
+		t.Errorf("unit file includes = %d, want %d", got, want)
+	}
+}
+
+// TestGenPDBCorpusMergeDedup: merging an n-unit corpus keeps exactly
+// one copy of every shared item and all n copies of the local ones —
+// the predictable-count contract the monorepo-scale benchmarks rely
+// on.
+func TestGenPDBCorpusMergeDedup(t *testing.T) {
+	const n, shared, local = 40, 2, 3
+	paths, err := workload.GenPDBCorpus(t.TempDir(), n, shared, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != n {
+		t.Fatalf("%d paths, want %d", len(paths), n)
+	}
+	var buf bytes.Buffer
+	if err := pdbio.MergeFiles(context.Background(), &buf, paths); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := pdb.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Files: `shared` headers once + n unit files.
+	if got, want := len(merged.Files), shared+n; got != want {
+		t.Errorf("merged source files = %d, want %d", got, want)
+	}
+	// Routines: `shared` dedup'd + n*local unit-locals.
+	if got, want := len(merged.Routines), shared+n*local; got != want {
+		t.Errorf("merged routines = %d, want %d", got, want)
+	}
+}

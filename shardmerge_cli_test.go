@@ -1,0 +1,136 @@
+// CLI acceptance tests for pdbmerge -shards: the multi-process merge
+// must be byte-identical to the single-process merge, surface its
+// supervision counters through -metrics, and run as worker processes
+// spawned from the installed binary itself.
+package pdt_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pdt/internal/workload"
+)
+
+func genShardCorpus(t *testing.T, n int) []string {
+	t.Helper()
+	paths, err := workload.GenPDBCorpus(filepath.Join(t.TempDir(), "corpus"), n, 3, 2)
+	if err != nil {
+		t.Fatalf("generating corpus: %v", err)
+	}
+	return paths
+}
+
+func TestCLIShardedMergeMatchesSingleProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	inputs := genShardCorpus(t, 13)
+	tmp := t.TempDir()
+
+	for _, format := range []string{"ascii", "binary"} {
+		single := filepath.Join(tmp, "single-"+format+".pdb")
+		if _, stderr, err := runTool(t, "pdbmerge",
+			append([]string{"-o", single, "-format", format}, inputs...)...); err != nil {
+			t.Fatalf("single-process merge (%s): %v\n%s", format, err, stderr)
+		}
+		sharded := filepath.Join(tmp, "sharded-"+format+".pdb")
+		if _, stderr, err := runTool(t, "pdbmerge",
+			append([]string{"-o", sharded, "-format", format, "-shards", "4"}, inputs...)...); err != nil {
+			t.Fatalf("sharded merge (%s): %v\n%s", format, err, stderr)
+		}
+		want, err := os.ReadFile(single)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(sharded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s: sharded output differs from single-process (%d vs %d bytes)",
+				format, len(got), len(want))
+		}
+	}
+}
+
+func TestCLIShardedMergeMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	inputs := genShardCorpus(t, 9)
+	tmp := t.TempDir()
+	out := filepath.Join(tmp, "merged.pdb")
+	metricsPath := filepath.Join(tmp, "metrics.json")
+
+	_, stderr, err := runTool(t, "pdbmerge",
+		append([]string{"-o", out, "-shards", "3", "-metrics", metricsPath}, inputs...)...)
+	if err != nil {
+		t.Fatalf("sharded merge: %v\n%s", err, stderr)
+	}
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("metrics file: %v", err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics JSON: %v\n%s", err, data)
+	}
+	if got := snap.Counters["shard.completed"]; got != 3 {
+		t.Errorf("shard.completed = %d, want 3\n%s", got, data)
+	}
+	if got := snap.Counters["shard.fallback"]; got != 0 {
+		t.Errorf("shard.fallback = %d, want 0\n%s", got, data)
+	}
+}
+
+func TestCLIShardedMergeResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	inputs := genShardCorpus(t, 9)
+	tmp := t.TempDir()
+	ckpt := filepath.Join(tmp, "journal")
+
+	first := filepath.Join(tmp, "first.pdb")
+	if _, stderr, err := runTool(t, "pdbmerge",
+		append([]string{"-o", first, "-shards", "2", "-checkpoint-dir", ckpt}, inputs...)...); err != nil {
+		t.Fatalf("first run: %v\n%s", err, stderr)
+	}
+	// A -resume rerun over the same journal adopts the completed shard
+	// results instead of respawning workers, and stays byte-identical.
+	second := filepath.Join(tmp, "second.pdb")
+	metricsPath := filepath.Join(tmp, "metrics.json")
+	_, stderr, err := runTool(t, "pdbmerge",
+		append([]string{"-o", second, "-shards", "2", "-checkpoint-dir", ckpt,
+			"-resume", "-metrics", metricsPath}, inputs...)...)
+	if err != nil {
+		t.Fatalf("resume run: %v\n%s", err, stderr)
+	}
+	want, _ := os.ReadFile(first)
+	got, _ := os.ReadFile(second)
+	if string(got) != string(want) {
+		t.Errorf("resumed output differs (%d vs %d bytes)", len(got), len(want))
+	}
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("metrics file: %v", err)
+	}
+	if !strings.Contains(string(data), `"checkpoint.reused"`) {
+		t.Errorf("resume metrics missing checkpoint.reused:\n%s", data)
+	}
+}
+
+func TestCLIShardWorkerRejectsBadManifest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	_, stderr, err := runTool(t, "pdbmerge", "-worker-shard", filepath.Join(t.TempDir(), "nope.json"))
+	if err == nil {
+		t.Fatalf("worker over missing manifest succeeded; stderr:\n%s", stderr)
+	}
+}
